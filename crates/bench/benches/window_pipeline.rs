@@ -1,0 +1,50 @@
+//! End-to-end PEM window cost at small populations — the unit the paper's
+//! Fig. 5 aggregates, with the phase split exposed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pem_core::{Pem, PemConfig};
+use pem_market::AgentWindow;
+
+fn population(n: usize) -> Vec<AgentWindow> {
+    (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                AgentWindow::new(i, 2.0 + i as f64 * 0.1, 0.3, 0.0, 0.9, 25.0)
+            } else {
+                AgentWindow::new(i, 0.0, 1.0 + i as f64 * 0.05, 0.0, 0.9, 25.0)
+            }
+        })
+        .collect()
+}
+
+fn window_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pem_window");
+    group.sample_size(10);
+    for &n in &[4usize, 8, 16] {
+        let pop = population(n);
+        group.bench_with_input(BenchmarkId::new("agents", n), &n, |b, &n| {
+            let mut pem = Pem::new(PemConfig::fast_test(), n).expect("setup");
+            b.iter(|| pem.run_window(&pop).expect("window"))
+        });
+    }
+    group.finish();
+}
+
+fn window_cost_by_key_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pem_window_key_bits");
+    group.sample_size(10);
+    let pop = population(8);
+    for &bits in &[128usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            let mut cfg = PemConfig::fast_test();
+            cfg.key_bits = bits;
+            let mut pem = Pem::new(cfg, 8).expect("setup");
+            b.iter(|| pem.run_window(&pop).expect("window"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, window_cost, window_cost_by_key_size);
+criterion_main!(benches);

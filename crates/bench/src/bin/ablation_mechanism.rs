@@ -1,0 +1,86 @@
+//! **Ablation** — Stackelberg pricing vs. a uniform-price double auction.
+//!
+//! The paper chooses a Stackelberg game over auction mechanisms for price
+//! formation (related work, ref. 34). This ablation clears identical
+//! populations through both mechanisms across a trading day and compares
+//! prices, traded volume and buyer spend.
+//!
+//! ```text
+//! cargo run -p pem-bench --release --bin ablation_mechanism -- [--homes 100] [--windows 720]
+//! ```
+//!
+//! Expected outcome: the auction's midpoint price floats *above* the
+//! Stackelberg band clamp (buyers reveal a retail-level willingness to
+//! pay, so the midpoint lands near `(ask+120)/2`), making the Stackelberg
+//! market cheaper for buyers; traded volume matches whenever both books
+//! cross, because supply is fully absorbed either way.
+
+use pem_bench::{fmt_f, print_csv, Args};
+use pem_data::{TraceConfig, TraceGenerator};
+use pem_market::{auction_window, MarketEngine, MarketKind, PriceBand};
+
+fn main() {
+    let args = Args::from_env();
+    let homes = args.get_usize("homes", 100);
+    let windows = args.get_usize("windows", 720);
+    let seed = args.get_u64("seed", 2020);
+    eprintln!("# ablation_mechanism: homes={homes} windows={windows} seed={seed}");
+
+    let trace = TraceGenerator::new(TraceConfig {
+        homes,
+        windows,
+        seed,
+        ..TraceConfig::default()
+    })
+    .generate();
+    let band = PriceBand::paper_defaults();
+    let engine = MarketEngine::new(band);
+
+    let mut rows = Vec::new();
+    let mut stk_spend = 0.0;
+    let mut auc_spend = 0.0;
+    let mut stk_vol = 0.0;
+    let mut auc_vol = 0.0;
+    let mut both = 0usize;
+    for w in 0..trace.window_count() {
+        let agents = trace.window_agents(w);
+        let stackelberg = engine.run_window(&agents);
+        let auction = auction_window(&agents, &band);
+        if stackelberg.kind == MarketKind::NoMarket {
+            continue;
+        }
+        let s_vol: f64 = stackelberg.trades.iter().map(|t| t.energy).sum();
+        let a_vol = auction.traded;
+        let a_price = auction.price.unwrap_or(f64::NAN);
+        stk_vol += s_vol;
+        auc_vol += a_vol;
+        stk_spend += stackelberg.price * s_vol;
+        auc_spend += a_price * a_vol;
+        both += 1;
+        rows.push(vec![
+            w.to_string(),
+            fmt_f(stackelberg.price),
+            fmt_f(a_price),
+            fmt_f(s_vol),
+            fmt_f(a_vol),
+        ]);
+    }
+    print_csv(
+        &["window", "stackelberg_price", "auction_price", "stackelberg_kwh", "auction_kwh"],
+        &rows,
+    );
+    eprintln!("# shape: {both} two-sided windows compared");
+    eprintln!(
+        "# shape: mean price {:.2} (stackelberg) vs {:.2} (auction) ¢/kWh",
+        stk_spend / stk_vol,
+        auc_spend / auc_vol
+    );
+    eprintln!(
+        "# shape: volume {:.1} kWh (stackelberg) vs {:.1} kWh (auction)",
+        stk_vol, auc_vol
+    );
+    eprintln!(
+        "# shape: buyers pay {:.1}% less under the Stackelberg band",
+        (1.0 - (stk_spend / stk_vol) / (auc_spend / auc_vol)) * 100.0
+    );
+}

@@ -1,0 +1,101 @@
+//! **Ablation** — ring vs. star aggregation in Private Pricing.
+//!
+//! The paper's Protocol 3 threads one ciphertext pair through the seller
+//! coalition (a *ring*): `|Φ_s|` messages, but also `|Φ_s|` *sequential*
+//! hops — the latency-critical path grows linearly in the coalition. A
+//! *star* (every seller straight to `H_b`) moves the same bytes at depth
+//! 1, at the cost of `H_b` doing all `|Φ_s|` homomorphic multiplications
+//! itself.
+//!
+//! ```text
+//! cargo run -p pem-bench --release --bin ablation_topology -- [--sellers 4,8,16,32] [--key 192]
+//! ```
+
+use pem_bench::{print_csv, Args};
+use pem_core::protocol3::{run_with_topology, Topology};
+use pem_core::{AgentCtx, KeyDirectory, PemConfig, Quantizer};
+use pem_crypto::drbg::HashDrbg;
+use pem_market::AgentWindow;
+use pem_net::{LatencyModel, SimNetwork};
+use rand::Rng;
+
+fn main() {
+    let args = Args::from_env();
+    let seller_counts = args.get_usize_list("sellers", &[4, 8, 16, 32]);
+    let key_bits = args.get_usize("key", 192);
+    eprintln!("# ablation_topology: sellers={seller_counts:?} key={key_bits}");
+
+    let mut rows = Vec::new();
+    for &n_sellers in &seller_counts {
+        let n = n_sellers + 2; // plus two buyers
+        let mut cfg = PemConfig::fast_test();
+        cfg.key_bits = key_bits;
+        let q = Quantizer::new(cfg.scale);
+        let keys = KeyDirectory::generate(n, cfg.key_bits, cfg.seed).expect("keys");
+        let mut rng = HashDrbg::from_seed_label(b"ablation", n as u64);
+
+        let mut agents = Vec::new();
+        let mut sellers = Vec::new();
+        let mut buyers = Vec::new();
+        for i in 0..n {
+            let data = if i < n_sellers {
+                AgentWindow::new(i, 3.0 + (i % 5) as f64, 0.5, 0.0, 0.9, 20.0 + i as f64)
+            } else {
+                AgentWindow::new(i, 0.0, 50.0, 0.0, 0.9, 25.0)
+            };
+            let ctx = AgentCtx::prepare(i, data, &q, rng.gen::<u64>() >> 24).expect("prepare");
+            if i < n_sellers {
+                sellers.push(i);
+            } else {
+                buyers.push(i);
+            }
+            agents.push(ctx);
+        }
+
+        let mut measure = |topology: Topology| -> (f64, u64, u64, u64) {
+            let mut net = SimNetwork::with_latency(n, LatencyModel::lan());
+            let start = std::time::Instant::now();
+            let out = run_with_topology(
+                &mut net, &keys, &agents, &sellers, &buyers, &cfg, topology, &mut rng,
+            )
+            .expect("pricing");
+            let elapsed_us = start.elapsed().as_micros() as u64;
+            let bytes = net.stats().per_label["price/agg"].bytes;
+            // Sequential depth: ring = one hop per seller; star = 1.
+            let depth = match topology {
+                Topology::Ring => sellers.len() as u64,
+                Topology::Star => 1,
+            };
+            (out.price, bytes, depth, elapsed_us)
+        };
+
+        let (p_ring, b_ring, d_ring, t_ring) = measure(Topology::Ring);
+        let (p_star, b_star, d_star, t_star) = measure(Topology::Star);
+        assert!((p_ring - p_star).abs() < 1e-9, "topologies must agree");
+
+        // Critical-path latency estimate on the LAN model: depth × per-hop.
+        let per_hop_us = LatencyModel::lan().charge_us((b_ring / sellers.len() as u64) as usize);
+        rows.push(vec![
+            n_sellers.to_string(),
+            b_ring.to_string(),
+            b_star.to_string(),
+            (d_ring * per_hop_us).to_string(),
+            (d_star * per_hop_us).to_string(),
+            t_ring.to_string(),
+            t_star.to_string(),
+        ]);
+    }
+    print_csv(
+        &[
+            "sellers",
+            "ring_bytes",
+            "star_bytes",
+            "ring_critical_path_us",
+            "star_critical_path_us",
+            "ring_cpu_us",
+            "star_cpu_us",
+        ],
+        &rows,
+    );
+    eprintln!("# shape: bytes equal, ring critical path grows linearly, star stays flat");
+}

@@ -1,0 +1,57 @@
+//! **Fig. 4** — Coalition sizes vs. trading windows.
+//!
+//! Reproduces the seller/buyer coalition size series over the 720
+//! one-minute windows of the trading day (7:00–19:00) for the 300-home
+//! population.
+//!
+//! ```text
+//! cargo run -p pem-bench --release --bin fig4_coalitions -- [--homes 300] [--windows 720] [--seed 2020]
+//! ```
+//!
+//! Expected shape (paper): the buyer coalition dominates in the early
+//! morning and evening (no solar generation), the seller coalition bulges
+//! around noon, and the two series roughly mirror each other.
+
+use pem_bench::{print_csv, Args};
+use pem_data::{coalition_series, TraceConfig, TraceGenerator};
+
+fn main() {
+    let args = Args::from_env();
+    let config = TraceConfig {
+        homes: args.get_usize("homes", 300),
+        windows: args.get_usize("windows", 720),
+        seed: args.get_u64("seed", 2020),
+        ..TraceConfig::default()
+    };
+    eprintln!(
+        "# fig4_coalitions: homes={} windows={} seed={}",
+        config.homes, config.windows, config.seed
+    );
+
+    let trace = TraceGenerator::new(config).generate();
+    let series = coalition_series(&trace);
+
+    let rows: Vec<Vec<String>> = (0..trace.window_count())
+        .map(|w| {
+            vec![
+                w.to_string(),
+                trace.window_minute(w).to_string(),
+                series.sellers[w].to_string(),
+                series.buyers[w].to_string(),
+            ]
+        })
+        .collect();
+    print_csv(&["window", "minute_of_day", "sellers", "buyers"], &rows);
+
+    // Shape summary (what the paper's figure shows).
+    let n = trace.window_count();
+    let first = (series.sellers[0], series.buyers[0]);
+    let noon = n / 2;
+    let mid = (series.sellers[noon], series.buyers[noon]);
+    let last = (series.sellers[n - 1], series.buyers[n - 1]);
+    let peak_sellers = series.sellers.iter().copied().max().unwrap_or(0);
+    eprintln!("# shape: 7:00 sellers/buyers = {}/{}", first.0, first.1);
+    eprintln!("# shape: noon sellers/buyers = {}/{}", mid.0, mid.1);
+    eprintln!("# shape: 19:00 sellers/buyers = {}/{}", last.0, last.1);
+    eprintln!("# shape: peak seller coalition = {peak_sellers}");
+}

@@ -1,0 +1,179 @@
+//! Shared harness utilities for the per-figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation section (§VII) and prints it as CSV (machine-readable) with
+//! a trailing human-readable summary of the *shape* the paper reports.
+//! See `EXPERIMENTS.md` at the workspace root for the experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// A minimal `--flag value` / `--flag` parser (no external deps).
+///
+/// # Example
+///
+/// ```
+/// use pem_bench::Args;
+/// let args = Args::from_tokens(["--homes", "50", "--paper"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.get_usize("homes", 300), 50);
+/// assert!(args.get_flag("paper"));
+/// assert_eq!(args.get_usize("windows", 720), 720);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses from the process arguments (skipping `argv[0]`).
+    pub fn from_env() -> Args {
+        Args::from_tokens(std::env::args().skip(1))
+    }
+
+    /// Parses from an iterator of tokens.
+    pub fn from_tokens<I: IntoIterator<Item = String>>(iter: I) -> Args {
+        let mut out = Args::default();
+        let tokens: Vec<String> = iter.into_iter().collect();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(name) = t.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    out.values.insert(name.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    out.flags.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Value of `--name` as usize, or `default`.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.values
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Value of `--name` as u64, or `default`.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.values
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Value of `--name` as string, or `default`.
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Comma-separated list of usizes, or `default`.
+    pub fn get_usize_list(&self, name: &str, default: &[usize]) -> Vec<usize> {
+        match self.values.get(name) {
+            None => default.to_vec(),
+            Some(v) => v.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
+        }
+    }
+
+    /// `true` if `--name` was passed without a value.
+    pub fn get_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Evenly samples `count` window indices out of `total` (always includes
+/// the first and last when `count >= 2`).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(pem_bench::sample_windows(720, 4), vec![0, 239, 479, 719]);
+/// assert_eq!(pem_bench::sample_windows(10, 20).len(), 10);
+/// ```
+pub fn sample_windows(total: usize, count: usize) -> Vec<usize> {
+    if count == 0 || total == 0 {
+        return Vec::new();
+    }
+    if count >= total {
+        return (0..total).collect();
+    }
+    if count == 1 {
+        return vec![total / 2];
+    }
+    (0..count)
+        .map(|i| (i * (total - 1)) / (count - 1))
+        .collect()
+}
+
+/// Prints a CSV header + rows to stdout.
+pub fn print_csv(header: &[&str], rows: &[Vec<String>]) {
+    println!("{}", header.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+}
+
+/// Formats a float compactly for CSV cells.
+pub fn fmt_f(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_mixed() {
+        let a = Args::from_tokens(
+            ["--n", "10", "--paper", "--sizes", "1,2,3", "positional"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.get_usize("n", 0), 10);
+        assert!(a.get_flag("paper"));
+        assert_eq!(a.get_usize_list("sizes", &[9]), vec![1, 2, 3]);
+        assert_eq!(a.get_usize_list("missing", &[9]), vec![9]);
+        assert!(!a.get_flag("n"));
+        assert_eq!(a.get_str("missing", "x"), "x");
+    }
+
+    #[test]
+    fn args_flag_at_end() {
+        let a = Args::from_tokens(["--full"].iter().map(|s| s.to_string()));
+        assert!(a.get_flag("full"));
+    }
+
+    #[test]
+    fn sampling_edges() {
+        assert_eq!(sample_windows(720, 0), Vec::<usize>::new());
+        assert_eq!(sample_windows(0, 5), Vec::<usize>::new());
+        assert_eq!(sample_windows(10, 1), vec![5]);
+        let s = sample_windows(720, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 0);
+        assert_eq!(*s.last().expect("non-empty"), 719);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(123.456), "123.46");
+        assert_eq!(fmt_f(1.23456), "1.2346");
+    }
+}

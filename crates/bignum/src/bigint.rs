@@ -1,0 +1,451 @@
+//! The [`BigInt`] type: an arbitrary-precision signed integer.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+use std::str::FromStr;
+
+use crate::biguint::BigUint;
+use crate::error::ParseBigIntError;
+
+/// Sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Negative value.
+    Minus,
+    /// Zero.
+    NoSign,
+    /// Positive value.
+    Plus,
+}
+
+/// An arbitrary-precision signed integer (sign + magnitude).
+///
+/// The invariant `magnitude == 0 ⇔ sign == NoSign` is maintained by all
+/// constructors.
+///
+/// # Example
+///
+/// ```
+/// use pem_bignum::BigInt;
+///
+/// let a = BigInt::from(-5i64);
+/// let b = BigInt::from(3i64);
+/// assert_eq!((&a + &b).to_string(), "-2");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// Returns zero.
+    pub fn zero() -> BigInt {
+        BigInt {
+            sign: Sign::NoSign,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// Returns one.
+    pub fn one() -> BigInt {
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::one(),
+        }
+    }
+
+    /// Builds from a sign and magnitude (sign is normalized for zero).
+    pub fn from_biguint(sign: Sign, mag: BigUint) -> BigInt {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else if sign == Sign::NoSign {
+            panic!("non-zero magnitude with NoSign");
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign of this value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude (absolute value) of this value.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Consumes self, returning the magnitude.
+    pub fn into_magnitude(self) -> BigUint {
+        self.mag
+    }
+
+    /// `true` if zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::NoSign
+    }
+
+    /// `true` if strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// `true` if strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: if self.is_zero() { Sign::NoSign } else { Sign::Plus },
+            mag: self.mag.clone(),
+        }
+    }
+
+    /// Truncated division with remainder: `self = q*other + r`,
+    /// `|r| < |other|`, `r` has the sign of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "division by zero");
+        let (q_mag, r_mag) = self.mag.div_rem(&other.mag);
+        let q_sign = match (self.sign, other.sign) {
+            (Sign::NoSign, _) => Sign::NoSign,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        let q = if q_mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt::from_biguint(q_sign, q_mag)
+        };
+        let r = if r_mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt::from_biguint(self.sign, r_mag)
+        };
+        (q, r)
+    }
+
+    /// Least non-negative residue: `self mod modulus ∈ [0, modulus)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    ///
+    /// ```
+    /// use pem_bignum::{BigInt, BigUint};
+    /// let r = BigInt::from(-7i64).mod_floor(&BigUint::from(5u64));
+    /// assert_eq!(r, BigUint::from(3u64));
+    /// ```
+    pub fn mod_floor(&self, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "mod_floor with zero modulus");
+        let r = &self.mag % modulus;
+        match self.sign {
+            Sign::Minus if !r.is_zero() => modulus - &r,
+            _ => r,
+        }
+    }
+
+    /// Approximates as `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        if self.is_negative() {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// Converts to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let mag = self.mag.to_u128()?;
+        match self.sign {
+            Sign::NoSign => Some(0),
+            Sign::Plus => i128::try_from(mag).ok(),
+            Sign::Minus => {
+                if mag <= i128::MAX as u128 + 1 {
+                    Some((mag as i128).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> BigInt {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> BigInt {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_biguint(Sign::Plus, BigUint::from(v as u128)),
+            Ordering::Less => {
+                BigInt::from_biguint(Sign::Minus, BigUint::from(v.unsigned_abs()))
+            }
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> BigInt {
+        if v == 0 {
+            BigInt::zero()
+        } else {
+            BigInt::from_biguint(Sign::Plus, BigUint::from(v))
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(v: BigUint) -> BigInt {
+        if v.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt::from_biguint(Sign::Plus, v)
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt {
+            sign: match self.sign {
+                Sign::Minus => Sign::Plus,
+                Sign::NoSign => Sign::NoSign,
+                Sign::Plus => Sign::Minus,
+            },
+            mag: self.mag.clone(),
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -&self
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::NoSign, _) => rhs.clone(),
+            (_, Sign::NoSign) => self.clone(),
+            (a, b) if a == b => BigInt::from_biguint(a, &self.mag + &rhs.mag),
+            _ => match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_biguint(self.sign, &self.mag - &rhs.mag)
+                }
+                Ordering::Less => BigInt::from_biguint(rhs.sign, &rhs.mag - &self.mag),
+            },
+        }
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        if self.is_zero() || rhs.is_zero() {
+            return BigInt::zero();
+        }
+        let sign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
+        BigInt::from_biguint(sign, &self.mag * &rhs.mag)
+    }
+}
+
+macro_rules! forward_int_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_int_binop!(Add, add);
+forward_int_binop!(Sub, sub);
+forward_int_binop!(Mul, mul);
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let rank = |s: Sign| match s {
+            Sign::Minus => 0,
+            Sign::NoSign => 1,
+            Sign::Plus => 2,
+        };
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => match self.sign {
+                Sign::Plus => self.mag.cmp(&other.mag),
+                Sign::Minus => other.mag.cmp(&self.mag),
+                Sign::NoSign => Ordering::Equal,
+            },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-{}", self.mag)
+        } else {
+            write!(f, "{}", self.mag)
+        }
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix('-') {
+            let mag: BigUint = rest.parse()?;
+            Ok(if mag.is_zero() {
+                BigInt::zero()
+            } else {
+                BigInt::from_biguint(Sign::Minus, mag)
+            })
+        } else {
+            let s = s.strip_prefix('+').unwrap_or(s);
+            let mag: BigUint = s.parse()?;
+            Ok(BigInt::from(mag))
+        }
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn sign_normalization() {
+        assert_eq!(BigInt::from(0i64).sign(), Sign::NoSign);
+        assert_eq!(BigInt::from_biguint(Sign::Minus, BigUint::zero()), BigInt::zero());
+    }
+
+    #[test]
+    fn mixed_sign_addition() {
+        assert_eq!(i(5) + i(-3), i(2));
+        assert_eq!(i(-5) + i(3), i(-2));
+        assert_eq!(i(-5) + i(-3), i(-8));
+        assert_eq!(i(5) + i(-5), i(0));
+        assert_eq!(i(0) + i(-7), i(-7));
+    }
+
+    #[test]
+    fn subtraction_and_negation() {
+        assert_eq!(i(3) - i(10), i(-7));
+        assert_eq!(-i(4), i(-4));
+        assert_eq!(-(i(0)), i(0));
+    }
+
+    #[test]
+    fn multiplication_signs() {
+        assert_eq!(i(-4) * i(5), i(-20));
+        assert_eq!(i(-4) * i(-5), i(20));
+        assert_eq!(i(4) * i(0), i(0));
+    }
+
+    #[test]
+    fn div_rem_truncates_toward_zero() {
+        let (q, r) = i(-7).div_rem(&i(2));
+        assert_eq!((q, r), (i(-3), i(-1)));
+        let (q, r) = i(7).div_rem(&i(-2));
+        assert_eq!((q, r), (i(-3), i(1)));
+    }
+
+    #[test]
+    fn mod_floor_is_nonnegative() {
+        let m = BigUint::from(5u64);
+        assert_eq!(i(-7).mod_floor(&m), BigUint::from(3u64));
+        assert_eq!(i(7).mod_floor(&m), BigUint::from(2u64));
+        assert_eq!(i(-5).mod_floor(&m), BigUint::zero());
+        assert_eq!(i(0).mod_floor(&m), BigUint::zero());
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        assert!(i(-2) < i(0));
+        assert!(i(0) < i(1));
+        assert!(i(-5) < i(-2));
+        assert!(i(3) > i(2));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("-123".parse::<BigInt>().expect("parse"), i(-123));
+        assert_eq!("+42".parse::<BigInt>().expect("parse"), i(42));
+        assert_eq!("-0".parse::<BigInt>().expect("parse"), i(0));
+        assert_eq!(i(-99).to_string(), "-99");
+        assert_eq!(format!("{:?}", i(-1)), "BigInt(-1)");
+    }
+
+    #[test]
+    fn to_i128_bounds() {
+        assert_eq!(BigInt::from(i128::MAX).to_i128(), Some(i128::MAX));
+        assert_eq!(BigInt::from(i128::MIN).to_i128(), Some(i128::MIN));
+        let too_big = BigInt::from(i128::MAX) + BigInt::one();
+        assert_eq!(too_big.to_i128(), None);
+    }
+}

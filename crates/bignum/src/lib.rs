@@ -1,0 +1,56 @@
+//! Arbitrary-precision integer arithmetic for the PEM framework.
+//!
+//! This crate provides [`BigUint`] (unsigned) and [`BigInt`] (signed)
+//! integers of unbounded size, together with the number-theoretic
+//! operations the Paillier cryptosystem and the oblivious-transfer group
+//! arithmetic need:
+//!
+//! * ring arithmetic (`+ - * / %`, shifts, bit operations) with Karatsuba
+//!   multiplication and Knuth Algorithm D division,
+//! * modular exponentiation through a Montgomery context ([`Montgomery`])
+//!   for odd moduli with a generic fallback,
+//! * GCD / extended GCD / modular inverse,
+//! * Miller–Rabin primality testing and random prime generation,
+//! * uniform random sampling below a bound,
+//! * decimal and hexadecimal parsing/formatting, and serde support.
+//!
+//! The representation is a little-endian vector of `u64` limbs with the
+//! invariant that the most significant limb is non-zero (the empty vector
+//! encodes zero).
+//!
+//! # Example
+//!
+//! ```
+//! use pem_bignum::BigUint;
+//!
+//! # fn main() -> Result<(), pem_bignum::ParseBigIntError> {
+//! let a: BigUint = "123456789012345678901234567890".parse()?;
+//! let b = BigUint::from(42u64);
+//! assert_eq!((&a * &b) % &a, BigUint::zero());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arith;
+mod bigint;
+mod biguint;
+mod convert;
+mod error;
+mod fmt;
+mod modular;
+mod montgomery;
+mod ops;
+mod prime;
+mod random;
+mod serde_impl;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::BigUint;
+pub use error::ParseBigIntError;
+pub use modular::ExtendedGcd;
+pub use montgomery::Montgomery;
+pub use prime::{is_prime, next_prime, MillerRabin};
+pub use random::RandomBits;

@@ -1,0 +1,248 @@
+//! Modular arithmetic on [`BigUint`]: exponentiation, GCD, inverse.
+
+use crate::bigint::{BigInt, Sign};
+use crate::biguint::BigUint;
+use crate::montgomery::Montgomery;
+
+/// Result of the extended Euclidean algorithm: `a*x + b*y = gcd`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtendedGcd {
+    /// Greatest common divisor of the inputs.
+    pub gcd: BigUint,
+    /// Bézout coefficient of the first input.
+    pub x: BigInt,
+    /// Bézout coefficient of the second input.
+    pub y: BigInt,
+}
+
+impl BigUint {
+    /// `self^exp mod modulus`, choosing Montgomery for odd moduli and a
+    /// binary ladder otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    ///
+    /// ```
+    /// use pem_bignum::BigUint;
+    /// let r = BigUint::from(4u64).modpow(&BigUint::from(13u64), &BigUint::from(497u64));
+    /// assert_eq!(r, BigUint::from(445u64));
+    /// ```
+    pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        if modulus.is_odd() {
+            let ctx = Montgomery::new(modulus.clone()).expect("odd modulus");
+            return ctx.modpow(self, exp);
+        }
+        self.modpow_naive(exp, modulus)
+    }
+
+    /// Square-and-multiply exponentiation with division-based reduction.
+    ///
+    /// Correct for any non-zero modulus; used as the reference
+    /// implementation in tests and as the even-modulus fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn modpow_naive(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        let mut base = self % modulus;
+        let mut result = BigUint::one();
+        let bits = exp.bit_length();
+        for i in 0..bits {
+            if exp.bit(i) {
+                result = (&result * &base) % modulus;
+            }
+            if i + 1 < bits {
+                base = (&base * &base) % modulus;
+            }
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary-free Euclid; division is fast here).
+    ///
+    /// ```
+    /// use pem_bignum::BigUint;
+    /// assert_eq!(BigUint::from(48u64).gcd(&BigUint::from(18u64)), BigUint::from(6u64));
+    /// ```
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Least common multiple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both inputs are zero.
+    pub fn lcm(&self, other: &BigUint) -> BigUint {
+        let g = self.gcd(other);
+        assert!(!g.is_zero(), "lcm(0, 0) is undefined");
+        (self / &g) * other
+    }
+
+    /// Extended GCD over the integers.
+    pub fn extended_gcd(&self, other: &BigUint) -> ExtendedGcd {
+        let mut old_r = BigInt::from_biguint(Sign::Plus, self.clone());
+        let mut r = BigInt::from_biguint(Sign::Plus, other.clone());
+        let mut old_s = BigInt::one();
+        let mut s = BigInt::zero();
+        let mut old_t = BigInt::zero();
+        let mut t = BigInt::one();
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            let new_s = &old_s - &(&q * &s);
+            old_s = std::mem::replace(&mut s, new_s);
+            let new_t = &old_t - &(&q * &t);
+            old_t = std::mem::replace(&mut t, new_t);
+        }
+        ExtendedGcd {
+            gcd: old_r.into_magnitude(),
+            x: old_s,
+            y: old_t,
+        }
+    }
+
+    /// Modular inverse: `self^{-1} mod modulus` if it exists.
+    ///
+    /// Returns `None` when `gcd(self, modulus) != 1`.
+    ///
+    /// ```
+    /// use pem_bignum::BigUint;
+    /// let inv = BigUint::from(3u64).mod_inverse(&BigUint::from(11u64)).expect("coprime");
+    /// assert_eq!(inv, BigUint::from(4u64));
+    /// ```
+    pub fn mod_inverse(&self, modulus: &BigUint) -> Option<BigUint> {
+        if modulus.is_zero() || modulus.is_one() {
+            return None;
+        }
+        let reduced = self % modulus;
+        if reduced.is_zero() {
+            return None;
+        }
+        let ext = reduced.extended_gcd(modulus);
+        if !ext.gcd.is_one() {
+            return None;
+        }
+        Some(ext.x.mod_floor(modulus))
+    }
+
+    /// Integer square root (largest `r` with `r*r <= self`), via Newton.
+    ///
+    /// ```
+    /// use pem_bignum::BigUint;
+    /// assert_eq!(BigUint::from(17u64).isqrt(), BigUint::from(4u64));
+    /// ```
+    pub fn isqrt(&self) -> BigUint {
+        if self.is_zero() || self.is_one() {
+            return self.clone();
+        }
+        // Initial guess: 2^(ceil(bits/2)) >= sqrt(self).
+        let mut x = BigUint::one() << self.bit_length().div_ceil(2);
+        loop {
+            // y = (x + self/x) / 2
+            let y = (&x + &(self / &x)) >> 1;
+            if y >= x {
+                return x;
+            }
+            x = y;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modpow_dispatches_even_odd() {
+        let base = BigUint::from(7u64);
+        let exp = BigUint::from(22u64);
+        for m in [256u64, 255, 1000, 1001] {
+            let m = BigUint::from(m);
+            assert_eq!(base.modpow(&exp, &m), base.modpow_naive(&exp, &m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn modpow_modulus_one() {
+        assert_eq!(
+            BigUint::from(5u64).modpow(&BigUint::from(3u64), &BigUint::one()),
+            BigUint::zero()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero modulus")]
+    fn modpow_zero_modulus_panics() {
+        BigUint::from(2u64).modpow(&BigUint::one(), &BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_lcm_basics() {
+        let a = BigUint::from(48u64);
+        let b = BigUint::from(18u64);
+        assert_eq!(a.gcd(&b), BigUint::from(6u64));
+        assert_eq!(a.lcm(&b), BigUint::from(144u64));
+        assert_eq!(a.gcd(&BigUint::zero()), a);
+        assert_eq!(BigUint::zero().gcd(&b), b);
+    }
+
+    #[test]
+    fn extended_gcd_bezout() {
+        let a = BigUint::from(240u64);
+        let b = BigUint::from(46u64);
+        let e = a.extended_gcd(&b);
+        assert_eq!(e.gcd, BigUint::from(2u64));
+        let a_i = BigInt::from(240i64);
+        let b_i = BigInt::from(46i64);
+        let lhs = &(&a_i * &e.x) + &(&b_i * &e.y);
+        assert_eq!(lhs, BigInt::from(2i64));
+    }
+
+    #[test]
+    fn mod_inverse_exists() {
+        let m = BigUint::from(1_000_003u64); // prime
+        for a in [2u64, 3, 65537, 999_999] {
+            let a = BigUint::from(a);
+            let inv = a.mod_inverse(&m).expect("inverse exists");
+            assert_eq!((&a * &inv) % &m, BigUint::one());
+        }
+    }
+
+    #[test]
+    fn mod_inverse_missing() {
+        let m = BigUint::from(12u64);
+        assert!(BigUint::from(4u64).mod_inverse(&m).is_none());
+        assert!(BigUint::from(12u64).mod_inverse(&m).is_none()); // ≡ 0
+        assert!(BigUint::from(5u64).mod_inverse(&BigUint::one()).is_none());
+    }
+
+    #[test]
+    fn isqrt_values() {
+        for (v, r) in [(0u64, 0u64), (1, 1), (3, 1), (4, 2), (15, 3), (16, 4), (17, 4)] {
+            assert_eq!(BigUint::from(v).isqrt(), BigUint::from(r), "v={v}");
+        }
+        // Large perfect square.
+        let x = BigUint::from(u64::MAX);
+        let sq = &x * &x;
+        assert_eq!(sq.isqrt(), x);
+        let plus = &sq + &BigUint::one();
+        assert_eq!(plus.isqrt(), x);
+    }
+}

@@ -1,0 +1,291 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! A [`Montgomery`] context precomputes the constants needed to multiply in
+//! Montgomery form (CIOS reduction) and exposes windowed modular
+//! exponentiation — the workhorse of Paillier encryption and the OT group.
+
+use crate::arith;
+use crate::biguint::BigUint;
+
+/// A reusable Montgomery-multiplication context for a fixed odd modulus.
+///
+/// # Example
+///
+/// ```
+/// use pem_bignum::{BigUint, Montgomery};
+///
+/// let modulus = BigUint::from(1000003u64); // odd
+/// let ctx = Montgomery::new(modulus.clone()).expect("odd modulus");
+/// let base = BigUint::from(7u64);
+/// let exp = BigUint::from(12u64);
+/// assert_eq!(ctx.modpow(&base, &exp), BigUint::from(7u64).modpow_naive(&exp, &modulus));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Montgomery {
+    n: BigUint,
+    /// Modulus limb count; all internal representations use exactly `k` limbs.
+    k: usize,
+    /// `-n^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod n` where `R = 2^{64k}`, used to enter Montgomery form.
+    r2: Vec<u64>,
+    /// `R mod n`: the Montgomery representation of one.
+    r1: Vec<u64>,
+}
+
+impl Montgomery {
+    /// Creates a context for an odd modulus `n > 1`; `None` if `n` is even
+    /// or `<= 1`.
+    pub fn new(n: BigUint) -> Option<Montgomery> {
+        if n.is_even() || n.is_one() || n.is_zero() {
+            return None;
+        }
+        let k = n.limbs().len();
+        let n0 = n.limbs()[0];
+        // Newton's iteration doubles correct bits each round: 6 rounds
+        // suffice for 64 bits starting from the 3-bit-correct seed `n0`.
+        let mut inv = n0; // correct mod 2^3 for odd n0
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+
+        let r = BigUint::one() << (64 * k);
+        let r1 = pad_to(&(&r % &n), k);
+        let r2_big = (&r * &r) % &n;
+        let r2 = pad_to(&r2_big, k);
+        Some(Montgomery { n, k, n0_inv, r2, r1 })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// CIOS Montgomery multiplication: returns `a * b * R^{-1} mod n`.
+    /// Inputs and output are `k`-limb vectors (values `< n`).
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        let n = self.n.limbs();
+        let mut t = vec![0u64; k + 2];
+        for &ai in a.iter() {
+            // t += ai * b
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // m = t[0] * n' mod 2^64 ; t += m * n ; t /= 2^64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let s = t[j] as u128 + m as u128 * n[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = t[k + 1].wrapping_add((s >> 64) as u64);
+
+            // Divide by the limb base: t[0] is zero by construction.
+            for j in 0..=k {
+                t[j] = t[j + 1];
+            }
+            t[k + 1] = 0;
+        }
+        // Conditional subtraction: the running value fits in k+1 limbs and
+        // is < 2n, so at most one subtraction is needed.
+        let ge_n = t[k] != 0 || arith::cmp_limbs(&strip(&t[..k]), n) != std::cmp::Ordering::Less;
+        if ge_n {
+            let mut borrow = 0u64;
+            for j in 0..k {
+                let nj = n[j];
+                let (d, b1) = t[j].overflowing_sub(nj);
+                let (d, b2) = d.overflowing_sub(borrow);
+                t[j] = d;
+                borrow = b1 as u64 + b2 as u64;
+            }
+            t[k] = t[k].wrapping_sub(borrow);
+            debug_assert_eq!(t[k], 0);
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Converts into Montgomery form (`a * R mod n`).
+    fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+        let reduced = a % &self.n;
+        self.mont_mul(&pad_to(&reduced, self.k), &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    #[allow(clippy::wrong_self_convention)] // standard Montgomery terminology
+    fn from_mont(&self, a: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(a, &one))
+    }
+
+    /// `a * b mod n`.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// `base^exp mod n` using 4-bit fixed-window exponentiation.
+    ///
+    /// ```
+    /// use pem_bignum::{BigUint, Montgomery};
+    /// let ctx = Montgomery::new(BigUint::from(97u64)).expect("odd");
+    /// assert_eq!(ctx.modpow(&BigUint::from(5u64), &BigUint::from(96u64)), BigUint::one());
+    /// ```
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return if self.n.is_one() {
+                BigUint::zero()
+            } else {
+                BigUint::one()
+            };
+        }
+        let base_m = self.to_mont(base);
+
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.clone()); // 1 in Montgomery form
+        table.push(base_m.clone());
+        for i in 2..16 {
+            let prev: &Vec<u64> = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+
+        let bits = exp.bit_length();
+        let windows = bits.div_ceil(4);
+        let mut acc = self.r1.clone();
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut idx = 0usize;
+            for b in 0..4 {
+                let bit_pos = w * 4 + (3 - b);
+                idx <<= 1;
+                if bit_pos < bits && exp.bit(bit_pos) {
+                    idx |= 1;
+                }
+            }
+            if idx != 0 {
+                acc = self.mont_mul(&acc, &table[idx]);
+                started = true;
+            } else if started {
+                // window of zeros: squarings above already applied
+            } else {
+                // leading zero window before any set bit: nothing to do
+            }
+        }
+        if !started {
+            // exp was zero (handled above) — defensive fallback.
+            return BigUint::one();
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Pads a value's limbs to exactly `k` entries.
+fn pad_to(v: &BigUint, k: usize) -> Vec<u64> {
+    let mut out = v.limbs().to_vec();
+    assert!(out.len() <= k, "value wider than modulus");
+    out.resize(k, 0);
+    out
+}
+
+/// View without trailing zeros (for comparisons only).
+fn strip(v: &[u64]) -> Vec<u64> {
+    let mut out = v.to_vec();
+    arith::normalize(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_even_or_trivial_moduli() {
+        assert!(Montgomery::new(BigUint::from(10u64)).is_none());
+        assert!(Montgomery::new(BigUint::zero()).is_none());
+        assert!(Montgomery::new(BigUint::one()).is_none());
+        assert!(Montgomery::new(BigUint::from(9u64)).is_some());
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let n = BigUint::from(1_000_003u64);
+        let ctx = Montgomery::new(n.clone()).expect("odd");
+        let a = BigUint::from(999_999u64);
+        let b = BigUint::from(123_456u64);
+        let expected = (&a * &b) % &n;
+        assert_eq!(ctx.mul(&a, &b), expected);
+    }
+
+    #[test]
+    fn modpow_fermat_small() {
+        // Fermat's little theorem for p = 1_000_003 (prime).
+        let p = BigUint::from(1_000_003u64);
+        let ctx = Montgomery::new(p.clone()).expect("odd");
+        let a = BigUint::from(2u64);
+        let e = &p - &BigUint::one();
+        assert_eq!(ctx.modpow(&a, &e), BigUint::one());
+    }
+
+    #[test]
+    fn modpow_multi_limb() {
+        // Odd 192-bit modulus; compare against the naive implementation.
+        let n = (BigUint::one() << 190) + BigUint::from(12345u64); // odd
+        let ctx = Montgomery::new(n.clone()).expect("odd");
+        let base = (BigUint::one() << 150) + BigUint::from(987654321u64);
+        let exp = BigUint::from(65537u64);
+        assert_eq!(ctx.modpow(&base, &exp), base.modpow_naive(&exp, &n));
+    }
+
+    #[test]
+    fn modpow_exponent_zero_and_one() {
+        let n = BigUint::from(101u64);
+        let ctx = Montgomery::new(n).expect("odd");
+        let a = BigUint::from(42u64);
+        assert_eq!(ctx.modpow(&a, &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.modpow(&a, &BigUint::one()), a);
+    }
+
+    #[test]
+    fn base_larger_than_modulus() {
+        let n = BigUint::from(97u64);
+        let ctx = Montgomery::new(n.clone()).expect("odd");
+        let a = BigUint::from(12_345u64);
+        assert_eq!(
+            ctx.modpow(&a, &BigUint::from(5u64)),
+            (a % &n).modpow_naive(&BigUint::from(5u64), &n)
+        );
+    }
+
+    #[test]
+    fn exponent_with_zero_windows() {
+        // Exponent 2^65 exercises long runs of zero windows.
+        let n = BigUint::from(1_000_003u64);
+        let ctx = Montgomery::new(n.clone()).expect("odd");
+        let a = BigUint::from(3u64);
+        let e = BigUint::one() << 65;
+        assert_eq!(ctx.modpow(&a, &e), a.modpow_naive(&e, &n));
+    }
+}

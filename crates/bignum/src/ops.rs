@@ -1,0 +1,243 @@
+//! Operator trait implementations for [`BigUint`].
+//!
+//! Each binary operator is provided for all four ownership combinations via
+//! a forwarding macro; the by-reference form holds the actual algorithm.
+
+use std::ops::{Add, AddAssign, BitAnd, BitOr, BitXor, Div, Mul, Rem, Shl, Shr, Sub, SubAssign};
+
+use crate::arith;
+use crate::biguint::BigUint;
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        BigUint {
+            limbs: arith::add(&self.limbs, &rhs.limbs),
+        }
+    }
+}
+forward_binop!(Add, add);
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    ///
+    /// Panics if `rhs > self` (unsigned underflow).
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        assert!(self >= rhs, "BigUint subtraction underflow");
+        BigUint {
+            limbs: arith::sub(&self.limbs, &rhs.limbs),
+        }
+    }
+}
+forward_binop!(Sub, sub);
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        BigUint {
+            limbs: arith::mul(&self.limbs, &rhs.limbs),
+        }
+    }
+}
+forward_binop!(Mul, mul);
+
+impl Div<&BigUint> for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+forward_binop!(Div, div);
+
+impl Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+forward_binop!(Rem, rem);
+
+impl BitAnd<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn bitand(self, rhs: &BigUint) -> BigUint {
+        BigUint {
+            limbs: arith::bitand(&self.limbs, &rhs.limbs),
+        }
+    }
+}
+forward_binop!(BitAnd, bitand);
+
+impl BitOr<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn bitor(self, rhs: &BigUint) -> BigUint {
+        BigUint {
+            limbs: arith::bitor(&self.limbs, &rhs.limbs),
+        }
+    }
+}
+forward_binop!(BitOr, bitor);
+
+impl BitXor<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn bitxor(self, rhs: &BigUint) -> BigUint {
+        BigUint {
+            limbs: arith::bitxor(&self.limbs, &rhs.limbs),
+        }
+    }
+}
+forward_binop!(BitXor, bitxor);
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        BigUint {
+            limbs: arith::shl(&self.limbs, bits),
+        }
+    }
+}
+
+impl Shl<usize> for BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        (&self) << bits
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        BigUint {
+            limbs: arith::shr(&self.limbs, bits),
+        }
+    }
+}
+
+impl Shr<usize> for BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        (&self) >> bits
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        arith::add_assign(&mut self.limbs, &rhs.limbs);
+    }
+}
+
+impl AddAssign<BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: BigUint) {
+        *self += &rhs;
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`.
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        assert!(&*self >= rhs, "BigUint subtraction underflow");
+        self.limbs = arith::sub(&self.limbs, &rhs.limbs);
+    }
+}
+
+impl SubAssign<BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: BigUint) {
+        *self -= &rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        assert_eq!(n(2) + n(3), n(5));
+        assert_eq!(n(7) - n(3), n(4));
+        assert_eq!(n(6) * n(7), n(42));
+        assert_eq!(n(42) / n(5), n(8));
+        assert_eq!(n(42) % n(5), n(2));
+    }
+
+    #[test]
+    fn ownership_combinations() {
+        let a = n(10);
+        let b = n(4);
+        assert_eq!(&a + &b, n(14));
+        assert_eq!(a.clone() + &b, n(14));
+        assert_eq!(&a + b.clone(), n(14));
+        assert_eq!(a.clone() + b.clone(), n(14));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = n(10);
+        a += n(5);
+        assert_eq!(a, n(15));
+        a -= &n(6);
+        assert_eq!(a, n(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = n(1) - n(2);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(n(1) << 70, BigUint::from_limbs(vec![0, 64]));
+        assert_eq!(BigUint::from_limbs(vec![0, 64]) >> 70, n(1));
+        assert_eq!(n(0) << 100, n(0));
+    }
+
+    #[test]
+    fn bitwise() {
+        assert_eq!(n(0b1100) & n(0b1010), n(0b1000));
+        assert_eq!(n(0b1100) | n(0b1010), n(0b1110));
+        assert_eq!(n(0b1100) ^ n(0b1010), n(0b0110));
+    }
+
+    #[test]
+    fn mixed_size_operands() {
+        let big = BigUint::from_limbs(vec![u64::MAX, u64::MAX, 1]);
+        let one = BigUint::one();
+        let sum = &big + &one;
+        assert_eq!(&sum - &one, big);
+    }
+}

@@ -1,0 +1,287 @@
+//! Primality testing and prime generation.
+
+use rand::Rng;
+
+use crate::biguint::BigUint;
+use crate::montgomery::Montgomery;
+
+/// Trial-division bound: primes below this are precomputed once.
+const SMALL_PRIME_BOUND: u64 = 2048;
+
+/// Deterministic Miller–Rabin witness set, sufficient for all `n < 3.3e24`
+/// (covers every value that fits in 81 bits).
+const DETERMINISTIC_WITNESSES: [u64; 13] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41];
+
+fn small_primes() -> &'static [u64] {
+    use std::sync::OnceLock;
+    static PRIMES: OnceLock<Vec<u64>> = OnceLock::new();
+    PRIMES.get_or_init(|| {
+        let n = SMALL_PRIME_BOUND as usize;
+        let mut sieve = vec![true; n];
+        sieve[0] = false;
+        sieve[1] = false;
+        for i in 2..n {
+            if sieve[i] {
+                let mut j = i * i;
+                while j < n {
+                    sieve[j] = false;
+                    j += i;
+                }
+            }
+        }
+        (0..n as u64).filter(|&i| sieve[i as usize]).collect()
+    })
+}
+
+/// A configured Miller–Rabin primality tester.
+///
+/// # Example
+///
+/// ```
+/// use pem_bignum::{BigUint, MillerRabin};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mr = MillerRabin::new(16);
+/// assert!(mr.is_probably_prime(&BigUint::from(65537u64), &mut rng));
+/// assert!(!mr.is_probably_prime(&BigUint::from(65539u64 * 3), &mut rng));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MillerRabin {
+    random_rounds: usize,
+}
+
+impl MillerRabin {
+    /// Creates a tester running `random_rounds` random-base rounds on top
+    /// of the deterministic small-base rounds (error < 4^-rounds).
+    pub fn new(random_rounds: usize) -> Self {
+        MillerRabin { random_rounds }
+    }
+
+    /// Probabilistic primality test.
+    pub fn is_probably_prime<R: Rng + ?Sized>(&self, n: &BigUint, rng: &mut R) -> bool {
+        // Small and even cases.
+        if let Some(small) = n.to_u64() {
+            if small < SMALL_PRIME_BOUND {
+                return small_primes().binary_search(&small).is_ok();
+            }
+        }
+        if n.is_even() {
+            return false;
+        }
+        for &p in small_primes() {
+            let p_big = BigUint::from(p);
+            if &p_big * &p_big > *n {
+                break;
+            }
+            if (n % &p_big).is_zero() {
+                return false;
+            }
+        }
+
+        // Write n-1 = d * 2^s with d odd.
+        let one = BigUint::one();
+        let n_minus_1 = n - &one;
+        let s = n_minus_1.trailing_zeros().expect("n > 2 so n-1 > 0");
+        let d = &n_minus_1 >> s;
+        let ctx = Montgomery::new(n.clone()).expect("odd n");
+
+        let witness_passes = |a: &BigUint| -> bool {
+            let a = a % n;
+            if a.is_zero() || a.is_one() || a == n_minus_1 {
+                return true;
+            }
+            let mut x = ctx.modpow(&a, &d);
+            if x.is_one() || x == n_minus_1 {
+                return true;
+            }
+            for _ in 0..s - 1 {
+                x = ctx.mul(&x, &x);
+                if x == n_minus_1 {
+                    return true;
+                }
+                if x.is_one() {
+                    return false; // non-trivial square root of 1
+                }
+            }
+            false
+        };
+
+        for &w in &DETERMINISTIC_WITNESSES {
+            if !witness_passes(&BigUint::from(w)) {
+                return false;
+            }
+        }
+        // Values below 2^81 are settled by the deterministic witnesses.
+        if n.bit_length() <= 81 {
+            return true;
+        }
+        for _ in 0..self.random_rounds {
+            // Uniform witness in [2, n-2].
+            let span = n - &BigUint::from(4u64);
+            let w = BigUint::random_below(&span, rng) + BigUint::from(2u64);
+            if !witness_passes(&w) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Default for MillerRabin {
+    /// 24 random rounds: error probability below 4^-24 per composite.
+    fn default() -> Self {
+        MillerRabin::new(24)
+    }
+}
+
+/// Convenience wrapper: default-strength Miller–Rabin with a thread-local
+/// seeded generator supplied by the caller.
+pub fn is_prime<R: Rng + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
+    MillerRabin::default().is_probably_prime(n, rng)
+}
+
+/// Smallest (probable) prime strictly greater than `n`.
+pub fn next_prime<R: Rng + ?Sized>(n: &BigUint, rng: &mut R) -> BigUint {
+    let mut candidate = n + &BigUint::one();
+    if candidate <= BigUint::from(2u64) {
+        return BigUint::from(2u64);
+    }
+    if candidate.is_even() {
+        candidate += BigUint::one();
+    }
+    let two = BigUint::from(2u64);
+    loop {
+        if is_prime(&candidate, rng) {
+            return candidate;
+        }
+        candidate += &two;
+    }
+}
+
+impl BigUint {
+    /// Generates a random (probable) prime with exactly `bits` bits
+    /// (the top bit is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2`.
+    ///
+    /// ```
+    /// use pem_bignum::BigUint;
+    /// use rand::SeedableRng;
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let p = BigUint::gen_prime(64, &mut rng);
+    /// assert_eq!(p.bit_length(), 64);
+    /// ```
+    pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+        assert!(bits >= 2, "a prime needs at least 2 bits");
+        let mr = MillerRabin::default();
+        loop {
+            let mut candidate = BigUint::random_bits(bits, rng);
+            candidate.set_bit(bits - 1, true); // exact bit length
+            if bits > 2 {
+                candidate.set_bit(0, true); // odd
+            }
+            if mr.is_probably_prime(&candidate, rng) {
+                return candidate;
+            }
+        }
+    }
+
+    /// Generates a safe prime `p = 2q + 1` (both probable primes) with
+    /// exactly `bits` bits. Used for the OT group in small test profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 3`.
+    pub fn gen_safe_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+        assert!(bits >= 3, "a safe prime needs at least 3 bits");
+        let mr = MillerRabin::default();
+        loop {
+            let q = BigUint::gen_prime(bits - 1, rng);
+            let p = (&q << 1) + BigUint::one();
+            if p.bit_length() == bits && mr.is_probably_prime(&p, rng) {
+                return p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFEED)
+    }
+
+    #[test]
+    fn small_values() {
+        let mut r = rng();
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 1009, 2027];
+        let composites = [0u64, 1, 4, 6, 9, 15, 100, 1001, 2047];
+        for p in primes {
+            assert!(is_prime(&BigUint::from(p), &mut r), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(&BigUint::from(c), &mut r), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn known_larger_primes() {
+        let mut r = rng();
+        // 2^61 - 1 is a Mersenne prime; 2^67 - 1 is famously composite.
+        let m61 = (BigUint::one() << 61) - BigUint::one();
+        let m67 = (BigUint::one() << 67) - BigUint::one();
+        assert!(is_prime(&m61, &mut r));
+        assert!(!is_prime(&m67, &mut r));
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_prime(&BigUint::from(c), &mut r), "{c} is Carmichael");
+        }
+    }
+
+    #[test]
+    fn next_prime_steps() {
+        let mut r = rng();
+        assert_eq!(next_prime(&BigUint::zero(), &mut r), BigUint::from(2u64));
+        assert_eq!(next_prime(&BigUint::from(2u64), &mut r), BigUint::from(3u64));
+        assert_eq!(next_prime(&BigUint::from(13u64), &mut r), BigUint::from(17u64));
+        assert_eq!(next_prime(&BigUint::from(2047u64), &mut r), BigUint::from(2053u64));
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bits() {
+        let mut r = rng();
+        for bits in [16usize, 48, 128] {
+            let p = BigUint::gen_prime(bits, &mut r);
+            assert_eq!(p.bit_length(), bits);
+            assert!(p.is_odd());
+        }
+    }
+
+    #[test]
+    fn gen_safe_prime_structure() {
+        let mut r = rng();
+        let p = BigUint::gen_safe_prime(32, &mut r);
+        assert_eq!(p.bit_length(), 32);
+        let q = (&p - &BigUint::one()) >> 1;
+        assert!(is_prime(&q, &mut r), "q must be prime for a safe prime");
+    }
+
+    #[test]
+    fn product_of_two_primes_is_composite() {
+        let mut r = rng();
+        let p = BigUint::gen_prime(48, &mut r);
+        let q = BigUint::gen_prime(48, &mut r);
+        assert!(!is_prime(&(&p * &q), &mut r));
+    }
+}

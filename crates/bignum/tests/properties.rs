@@ -1,0 +1,207 @@
+//! Property-based tests for the big-integer substrate.
+
+use pem_bignum::{BigInt, BigUint};
+use proptest::prelude::*;
+
+/// Strategy: a BigUint built from 0..=4 random limbs.
+fn arb_biguint() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..=4).prop_map(BigUint::from_limbs)
+}
+
+/// Strategy: a non-zero BigUint.
+fn arb_biguint_nonzero() -> impl Strategy<Value = BigUint> {
+    arb_biguint().prop_filter("non-zero", |v| !v.is_zero())
+}
+
+fn arb_bigint() -> impl Strategy<Value = BigInt> {
+    (any::<bool>(), arb_biguint()).prop_map(|(neg, mag)| {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else if neg {
+            -BigInt::from(mag)
+        } else {
+            BigInt::from(mag)
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in arb_biguint(), b in arb_biguint()) {
+        let sum = &a + &b;
+        prop_assert_eq!(&sum - &b, a);
+    }
+
+    #[test]
+    fn mul_commutative(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn div_rem_invariant(a in arb_biguint(), b in arb_biguint_nonzero()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shift_is_power_of_two_mul(a in arb_biguint(), bits in 0usize..200) {
+        let two_pow = BigUint::one() << bits;
+        prop_assert_eq!(&a << bits, &a * &two_pow);
+        prop_assert_eq!(&(&a << bits) >> bits, a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in arb_biguint()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<BigUint>().expect("decimal parse"), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_biguint()) {
+        let s = a.to_str_radix(16);
+        prop_assert_eq!(BigUint::from_str_radix(&s, 16).expect("hex parse"), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in arb_biguint()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a.clone());
+        prop_assert_eq!(BigUint::from_bytes_le(&a.to_bytes_le()), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_biguint_nonzero(), b in arb_biguint_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity(a in arb_biguint_nonzero(), b in arb_biguint_nonzero()) {
+        let e = a.extended_gcd(&b);
+        let lhs = &(&BigInt::from(a) * &e.x) + &(&BigInt::from(b) * &e.y);
+        prop_assert_eq!(lhs, BigInt::from(e.gcd));
+    }
+
+    #[test]
+    fn modpow_montgomery_matches_naive(
+        base in arb_biguint(),
+        exp in proptest::collection::vec(any::<u64>(), 0..=2).prop_map(BigUint::from_limbs),
+        modulus in arb_biguint_nonzero(),
+    ) {
+        // Force odd modulus > 1 so the Montgomery path is taken.
+        let modulus = (modulus | BigUint::one()) + BigUint::from(2u64);
+        prop_assert_eq!(
+            base.modpow(&exp, &modulus),
+            base.modpow_naive(&exp, &modulus)
+        );
+    }
+
+    #[test]
+    fn mod_inverse_really_inverts(a in arb_biguint_nonzero(), m in arb_biguint_nonzero()) {
+        let m = &m + &BigUint::from(2u64);
+        if let Some(inv) = a.mod_inverse(&m) {
+            prop_assert_eq!((&a * &inv) % &m, BigUint::one());
+            prop_assert!(inv < m);
+        } else {
+            prop_assert!(!(&a % &m).gcd(&m).is_one() || (&a % &m).is_zero());
+        }
+    }
+
+    #[test]
+    fn isqrt_bounds(a in arb_biguint()) {
+        let r = a.isqrt();
+        prop_assert!(&r * &r <= a);
+        let r1 = &r + &BigUint::one();
+        prop_assert!(&r1 * &r1 > a);
+    }
+
+    #[test]
+    fn bigint_add_neg_cancels(a in arb_bigint()) {
+        prop_assert_eq!(&a + &(-&a), BigInt::zero());
+    }
+
+    #[test]
+    fn bigint_sub_antisymmetric(a in arb_bigint(), b in arb_bigint()) {
+        prop_assert_eq!(&a - &b, -&(&b - &a));
+    }
+
+    #[test]
+    fn bigint_mul_sign_rules(a in arb_bigint(), b in arb_bigint()) {
+        let prod = &a * &b;
+        if a.is_zero() || b.is_zero() {
+            prop_assert!(prod.is_zero());
+        } else {
+            prop_assert_eq!(prod.is_negative(), a.is_negative() != b.is_negative());
+        }
+    }
+
+    #[test]
+    fn bigint_mod_floor_in_range(a in arb_bigint(), m in arb_biguint_nonzero()) {
+        let r = a.mod_floor(&m);
+        prop_assert!(r < m);
+        // (a - r) must be divisible by m: check via magnitude arithmetic.
+        let diff = &a - &BigInt::from(r);
+        let m_int = BigInt::from(m);
+        let (_, rem) = diff.div_rem(&m_int);
+        prop_assert!(rem.is_zero());
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in arb_biguint(), b in arb_biguint()) {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(b.checked_sub(&a).expect("b>=a") > BigUint::zero()),
+            std::cmp::Ordering::Equal => prop_assert_eq!(&a, &b),
+            std::cmp::Ordering::Greater => prop_assert!(a.checked_sub(&b).expect("a>=b") > BigUint::zero()),
+        }
+    }
+}
+
+/// Large-operand stress: exercise the Karatsuba path deterministically.
+#[test]
+fn karatsuba_large_operands_roundtrip() {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..5 {
+        let a = BigUint::random_bits(5000, &mut rng);
+        let b = BigUint::random_bits(4700, &mut rng);
+        let prod = &a * &b;
+        let (q, r) = prod.div_rem(&a);
+        assert_eq!(q, b);
+        assert!(r.is_zero());
+    }
+}
+
+/// Cross-check division against an independently computed identity at scale.
+#[test]
+fn division_stress_many_sizes() {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(1234);
+    for ub in [64usize, 128, 500, 1200, 3000] {
+        for vb in [1usize, 33, 64, 65, 127, 500] {
+            if vb > ub {
+                continue;
+            }
+            let u = BigUint::random_bits(ub, &mut rng);
+            let v = BigUint::random_bits(vb, &mut rng) + BigUint::one();
+            let (q, r) = u.div_rem(&v);
+            assert!(r < v, "remainder bound ub={ub} vb={vb}");
+            assert_eq!(&(&q * &v) + &r, u, "identity ub={ub} vb={vb}");
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! The garbling scheme: point-and-permute with free XOR.
+//!
+//! * Every wire `w` carries two 128-bit labels `W⁰` (false) and
+//!   `W¹ = W⁰ ⊕ Δ` (true) for a circuit-global secret `Δ` whose least
+//!   significant bit is 1 — so a label's LSB is its *permute bit* and the
+//!   two labels of a wire always disagree on it.
+//! * XOR gates are free: `O⁰ = A⁰ ⊕ B⁰`; evaluation XORs the held labels.
+//! * NOT gates are free: `O⁰ = A¹`; evaluation passes the label through.
+//! * AND gates carry a four-row table, row `2·lsb(Aⁱ) + lsb(Bʲ)` holding
+//!   `H(Aⁱ, Bʲ, gate) ⊕ O^{i∧j}`; the evaluator decrypts exactly one row.
+//!
+//! The hash `H` is SHA-256 truncated to 16 bytes with domain separation on
+//! the gate index.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use pem_crypto::Sha256;
+
+use crate::circuit::{Circuit, Gate};
+use crate::error::CircuitError;
+
+/// A 128-bit wire label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Label(pub [u8; 16]);
+
+impl Label {
+    /// Samples a uniformly random label.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Label {
+        let mut b = [0u8; 16];
+        rng.fill_bytes(&mut b);
+        Label(b)
+    }
+
+    /// XOR of two labels.
+    pub fn xor(&self, other: &Label) -> Label {
+        let mut out = [0u8; 16];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a ^ b;
+        }
+        Label(out)
+    }
+
+    /// The permute (point-and-permute) bit: the label's LSB.
+    pub fn permute_bit(&self) -> bool {
+        self.0[15] & 1 == 1
+    }
+}
+
+/// Hashes two labels and a gate index into a one-time pad for a table row.
+fn gate_hash(a: &Label, b: &Label, gate_index: u64) -> Label {
+    let mut h = Sha256::new();
+    h.update(b"pem-garble-v1");
+    h.update(&a.0);
+    h.update(&b.0);
+    h.update(&gate_index.to_be_bytes());
+    let d = h.finalize();
+    let mut out = [0u8; 16];
+    out.copy_from_slice(&d[..16]);
+    Label(out)
+}
+
+/// The transferable part of a garbling: topology, AND tables and the
+/// output decode bits. Safe to hand to the evaluator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GarbledCircuit {
+    circuit: Circuit,
+    /// One 4-row table per AND gate, in gate order.
+    and_tables: Vec<[Label; 4]>,
+    /// Permute bit of each output wire's false label.
+    output_decode: Vec<bool>,
+}
+
+impl GarbledCircuit {
+    /// The public circuit topology.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Number of garbled AND tables (size metric for bandwidth).
+    pub fn table_count(&self) -> usize {
+        self.and_tables.len()
+    }
+
+    /// The AND-gate tables in gate order (for wire encoding).
+    pub fn and_tables(&self) -> &[[Label; 4]] {
+        &self.and_tables
+    }
+
+    /// The output decode bits (for wire encoding).
+    pub fn output_decode(&self) -> &[bool] {
+        &self.output_decode
+    }
+
+    /// Reassembles a garbling from a locally rebuilt topology plus
+    /// received tables and decode bits (the transport sends only the
+    /// latter two — the comparator topology is public and deterministic).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::MalformedGarbling`] if the counts do not match the
+    /// topology.
+    pub fn from_parts(
+        circuit: Circuit,
+        and_tables: Vec<[Label; 4]>,
+        output_decode: Vec<bool>,
+    ) -> Result<GarbledCircuit, CircuitError> {
+        if and_tables.len() != circuit.and_count() {
+            return Err(CircuitError::MalformedGarbling("AND table count mismatch"));
+        }
+        if output_decode.len() != circuit.outputs().len() {
+            return Err(CircuitError::MalformedGarbling("output decode count mismatch"));
+        }
+        Ok(GarbledCircuit {
+            circuit,
+            and_tables,
+            output_decode,
+        })
+    }
+}
+
+/// The garbler's secrets: `Δ` and the false label of every input wire.
+/// Never sent to the evaluator as-is; the evaluator receives labels for
+/// specific input values via [`GarblerSecrets::garbler_labels`] and OT.
+#[derive(Debug, Clone)]
+pub struct GarblerSecrets {
+    delta: Label,
+    /// False labels for all input wires (garbler's then evaluator's).
+    input_zero_labels: Vec<Label>,
+    garbler_inputs: usize,
+}
+
+impl GarblerSecrets {
+    /// The global label offset Δ.
+    pub fn delta(&self) -> &Label {
+        &self.delta
+    }
+
+    /// Labels encoding the garbler's own input bits (safe to transmit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` does not match the declared garbler width.
+    pub fn garbler_labels(&self, bits: &[bool]) -> Vec<Label> {
+        assert_eq!(bits.len(), self.garbler_inputs, "garbler input width");
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| self.select(i, b))
+            .collect()
+    }
+
+    /// Both labels of evaluator input wire `i` (fed into OT as the two
+    /// branch messages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn evaluator_wire_labels(&self, i: usize) -> (Label, Label) {
+        let idx = self.garbler_inputs + i;
+        let zero = self.input_zero_labels[idx];
+        (zero, zero.xor(&self.delta))
+    }
+
+    fn select(&self, wire: usize, bit: bool) -> Label {
+        let zero = self.input_zero_labels[wire];
+        if bit {
+            zero.xor(&self.delta)
+        } else {
+            zero
+        }
+    }
+}
+
+/// Garbles a circuit. Returns the transferable garbling and the garbler's
+/// secrets.
+pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> (GarbledCircuit, GarblerSecrets) {
+    // Δ with LSB forced to 1 so permute bits differ across a wire's labels.
+    let mut delta = Label::random(rng);
+    delta.0[15] |= 1;
+
+    let mut zero_labels: Vec<Label> = Vec::with_capacity(circuit.num_wires());
+    for _ in 0..circuit.total_inputs() {
+        zero_labels.push(Label::random(rng));
+    }
+    // Gate outputs are appended in order; wire ids are dense by builder
+    // construction.
+    let mut and_tables = Vec::with_capacity(circuit.and_count());
+    for (gate_index, gate) in circuit.gates().iter().enumerate() {
+        match *gate {
+            Gate::Xor { a, b, out } => {
+                debug_assert_eq!(out.0 as usize, zero_labels.len());
+                let o = zero_labels[a.0 as usize].xor(&zero_labels[b.0 as usize]);
+                zero_labels.push(o);
+            }
+            Gate::Not { a, out } => {
+                debug_assert_eq!(out.0 as usize, zero_labels.len());
+                // O⁰ = A¹: evaluation is the identity on labels.
+                let o = zero_labels[a.0 as usize].xor(&delta);
+                zero_labels.push(o);
+            }
+            Gate::And { a, b, out } => {
+                debug_assert_eq!(out.0 as usize, zero_labels.len());
+                let a0 = zero_labels[a.0 as usize];
+                let b0 = zero_labels[b.0 as usize];
+                let o0 = Label::random(rng);
+                zero_labels.push(o0);
+                let mut table = [Label([0u8; 16]); 4];
+                for i in 0..2u8 {
+                    for j in 0..2u8 {
+                        let ai = if i == 1 { a0.xor(&delta) } else { a0 };
+                        let bj = if j == 1 { b0.xor(&delta) } else { b0 };
+                        let out_bit = i == 1 && j == 1;
+                        let o = if out_bit { o0.xor(&delta) } else { o0 };
+                        let row = 2 * ai.permute_bit() as usize + bj.permute_bit() as usize;
+                        table[row] = gate_hash(&ai, &bj, gate_index as u64).xor(&o);
+                    }
+                }
+                and_tables.push(table);
+            }
+        }
+    }
+
+    let output_decode = circuit
+        .outputs()
+        .iter()
+        .map(|&w| zero_labels[w.0 as usize].permute_bit())
+        .collect();
+
+    let garbled = GarbledCircuit {
+        circuit: circuit.clone(),
+        and_tables,
+        output_decode,
+    };
+    let secrets = GarblerSecrets {
+        delta,
+        input_zero_labels: zero_labels[..circuit.total_inputs()].to_vec(),
+        garbler_inputs: circuit.garbler_inputs(),
+    };
+    (garbled, secrets)
+}
+
+/// Convenience for tests/local runs: picks the active labels for concrete
+/// garbler and evaluator inputs (in a real run the evaluator's labels come
+/// from OT).
+pub fn select_input_labels(
+    secrets: &GarblerSecrets,
+    a_bits: &[bool],
+    b_bits: &[bool],
+) -> Vec<Label> {
+    let mut labels = secrets.garbler_labels(a_bits);
+    for (i, &b) in b_bits.iter().enumerate() {
+        let (l0, l1) = secrets.evaluator_wire_labels(i);
+        labels.push(if b { l1 } else { l0 });
+    }
+    labels
+}
+
+/// Evaluates a garbled circuit given one active label per input wire.
+///
+/// # Errors
+///
+/// [`CircuitError`] if the label count or table count is inconsistent with
+/// the topology.
+pub fn eval_garbled(gc: &GarbledCircuit, input_labels: &[Label]) -> Result<Vec<bool>, CircuitError> {
+    let circuit = &gc.circuit;
+    if input_labels.len() != circuit.total_inputs() {
+        return Err(CircuitError::InputWidthMismatch {
+            expected: circuit.total_inputs(),
+            got: input_labels.len(),
+        });
+    }
+    if gc.and_tables.len() != circuit.and_count() {
+        return Err(CircuitError::MalformedGarbling("AND table count mismatch"));
+    }
+
+    let mut labels: Vec<Label> = Vec::with_capacity(circuit.num_wires());
+    labels.extend_from_slice(input_labels);
+    let mut and_index = 0usize;
+    for (gate_index, gate) in circuit.gates().iter().enumerate() {
+        match *gate {
+            Gate::Xor { a, b, .. } => {
+                let o = labels[a.0 as usize].xor(&labels[b.0 as usize]);
+                labels.push(o);
+            }
+            Gate::Not { a, .. } => {
+                // Free: output label equals input label (semantics flip).
+                let o = labels[a.0 as usize];
+                labels.push(o);
+            }
+            Gate::And { a, b, .. } => {
+                let la = labels[a.0 as usize];
+                let lb = labels[b.0 as usize];
+                let row = 2 * la.permute_bit() as usize + lb.permute_bit() as usize;
+                let table = &gc.and_tables[and_index];
+                and_index += 1;
+                let o = gate_hash(&la, &lb, gate_index as u64).xor(&table[row]);
+                labels.push(o);
+            }
+        }
+    }
+
+    Ok(circuit
+        .outputs()
+        .iter()
+        .zip(gc.output_decode.iter())
+        .map(|(&w, &decode)| labels[w.0 as usize].permute_bit() ^ decode)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{
+        adder_circuit, bits_to_u128, comparator_circuit, equality_circuit, eval_plaintext,
+        u128_to_bits, CircuitBuilder,
+    };
+    use pem_crypto::drbg::HashDrbg;
+
+    fn check_garbled_matches_plaintext(circuit: &Circuit, a: &[bool], b: &[bool], seed: u64) {
+        let mut rng = HashDrbg::from_seed_label(b"garble-test", seed);
+        let (gc, secrets) = garble(circuit, &mut rng);
+        let labels = select_input_labels(&secrets, a, b);
+        let garbled_out = eval_garbled(&gc, &labels).expect("evaluate");
+        let clear_out = eval_plaintext(circuit, a, b);
+        assert_eq!(garbled_out, clear_out);
+    }
+
+    #[test]
+    fn comparator_garbled_exhaustive_4bit() {
+        let c = comparator_circuit(4);
+        for a in 0u128..16 {
+            for b in 0u128..16 {
+                check_garbled_matches_plaintext(
+                    &c,
+                    &u128_to_bits(a, 4),
+                    &u128_to_bits(b, 4),
+                    a as u64 * 16 + b as u64,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equality_garbled_exhaustive_3bit() {
+        let c = equality_circuit(3);
+        for a in 0u128..8 {
+            for b in 0u128..8 {
+                check_garbled_matches_plaintext(
+                    &c,
+                    &u128_to_bits(a, 3),
+                    &u128_to_bits(b, 3),
+                    a as u64 * 8 + b as u64,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adder_garbled_samples() {
+        let c = adder_circuit(8);
+        let mut rng = HashDrbg::new(b"adder-garble");
+        let (gc, secrets) = garble(&c, &mut rng);
+        for (a, b) in [(0u128, 0u128), (255, 255), (100, 27), (1, 254)] {
+            let la = u128_to_bits(a, 8);
+            let lb = u128_to_bits(b, 8);
+            let labels = select_input_labels(&secrets, &la, &lb);
+            let out = eval_garbled(&gc, &labels).expect("evaluate");
+            assert_eq!(bits_to_u128(&out), a + b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn not_gates_garble_correctly() {
+        let mut b = CircuitBuilder::new();
+        let xs = b.add_garbler_inputs(1);
+        let n1 = b.not(xs[0]);
+        let n2 = b.not(n1);
+        b.set_outputs(&[n1, n2]);
+        let c = b.build();
+        for bit in [false, true] {
+            check_garbled_matches_plaintext(&c, &[bit], &[], bit as u64);
+        }
+    }
+
+    #[test]
+    fn wrong_label_count_rejected() {
+        let c = comparator_circuit(4);
+        let mut rng = HashDrbg::new(b"badlabels");
+        let (gc, secrets) = garble(&c, &mut rng);
+        let labels = select_input_labels(&secrets, &u128_to_bits(1, 4), &u128_to_bits(2, 4));
+        assert!(matches!(
+            eval_garbled(&gc, &labels[..5]),
+            Err(CircuitError::InputWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn labels_leak_nothing_obvious() {
+        // Garbling the same circuit twice yields unrelated tables.
+        let c = comparator_circuit(8);
+        let mut r1 = HashDrbg::new(b"g1");
+        let mut r2 = HashDrbg::new(b"g2");
+        let (gc1, _) = garble(&c, &mut r1);
+        let (gc2, _) = garble(&c, &mut r2);
+        assert_ne!(gc1.and_tables, gc2.and_tables);
+    }
+
+    #[test]
+    fn delta_lsb_is_one() {
+        let c = comparator_circuit(2);
+        let mut rng = HashDrbg::new(b"delta");
+        let (_, secrets) = garble(&c, &mut rng);
+        assert!(secrets.delta().permute_bit());
+        // The two labels of any evaluator wire disagree on the permute bit.
+        let (l0, l1) = secrets.evaluator_wire_labels(0);
+        assert_ne!(l0.permute_bit(), l1.permute_bit());
+    }
+}

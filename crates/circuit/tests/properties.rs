@@ -1,0 +1,54 @@
+//! Property-based tests: garbled evaluation ≡ plaintext evaluation, and
+//! the 2PC comparison ≡ the `<` operator.
+
+use pem_circuit::garble::{eval_garbled, garble, select_input_labels};
+use pem_circuit::{
+    adder_circuit, bits_to_u128, comparator_circuit, compare::secure_less_than_local,
+    eval_plaintext, u128_to_bits,
+};
+use pem_crypto::drbg::HashDrbg;
+use pem_crypto::ot::DhGroup;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn garbled_comparator_matches_plaintext(a in any::<u32>(), b in any::<u32>(), seed in any::<u64>()) {
+        let c = comparator_circuit(32);
+        let mut rng = HashDrbg::from_seed_label(b"prop-garble", seed);
+        let (gc, secrets) = garble(&c, &mut rng);
+        let ab = u128_to_bits(a as u128, 32);
+        let bb = u128_to_bits(b as u128, 32);
+        let labels = select_input_labels(&secrets, &ab, &bb);
+        let out = eval_garbled(&gc, &labels).expect("evaluate");
+        prop_assert_eq!(out.clone(), eval_plaintext(&c, &ab, &bb));
+        prop_assert_eq!(out[0], a < b);
+    }
+
+    #[test]
+    fn garbled_adder_matches_plaintext(a in any::<u16>(), b in any::<u16>(), seed in any::<u64>()) {
+        let c = adder_circuit(16);
+        let mut rng = HashDrbg::from_seed_label(b"prop-adder", seed);
+        let (gc, secrets) = garble(&c, &mut rng);
+        let ab = u128_to_bits(a as u128, 16);
+        let bb = u128_to_bits(b as u128, 16);
+        let labels = select_input_labels(&secrets, &ab, &bb);
+        let out = eval_garbled(&gc, &labels).expect("evaluate");
+        prop_assert_eq!(bits_to_u128(&out), a as u128 + b as u128);
+    }
+}
+
+proptest! {
+    // The OT-backed protocol is ~50ms per case; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn two_party_comparison_matches_operator(a in any::<u32>(), b in any::<u32>(), seed in any::<u64>()) {
+        let group = DhGroup::test_192();
+        let mut rng = HashDrbg::from_seed_label(b"prop-2pc", seed);
+        let got = secure_less_than_local(a as u128, b as u128, 32, &group, &mut rng)
+            .expect("protocol");
+        prop_assert_eq!(got, a < b);
+    }
+}

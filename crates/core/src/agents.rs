@@ -1,0 +1,104 @@
+//! Per-agent protocol state for one trading window.
+
+use pem_market::{AgentWindow, Role};
+
+use crate::error::PemError;
+use crate::quantize::Quantizer;
+
+/// What one agent knows and contributes during a window. Fields are laid
+/// out to mirror the paper's information model: everything here is local
+/// to the agent; only ciphertexts and sanctioned aggregates leave it.
+#[derive(Debug, Clone)]
+pub struct AgentCtx {
+    /// Index of this agent (= its `PartyId` on the fabric).
+    pub index: usize,
+    /// The window's private data (generation, load, battery, `k`, `ε`).
+    pub data: AgentWindow,
+    /// Quantized net energy `sn` (signed).
+    pub sn_q: i64,
+    /// Quantized `|sn|`.
+    pub sn_abs_q: u64,
+    /// This window's masking nonce `r_i` (Protocol 2) — reused across the
+    /// two aggregation rounds so the masked difference stays exact.
+    pub nonce: u64,
+    /// Role this window.
+    pub role: Role,
+}
+
+impl AgentCtx {
+    /// Prepares an agent's window state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates data validation and quantization failures.
+    pub fn prepare(
+        index: usize,
+        data: AgentWindow,
+        quantizer: &Quantizer,
+        nonce: u64,
+    ) -> Result<AgentCtx, PemError> {
+        data.validate()?;
+        let sn_q = quantizer.quantize(data.net_energy(), "net energy")?;
+        Ok(AgentCtx {
+            index,
+            data,
+            sn_q,
+            sn_abs_q: sn_q.unsigned_abs(),
+            nonce,
+            role: if sn_q > 0 {
+                Role::Seller
+            } else if sn_q < 0 {
+                Role::Buyer
+            } else {
+                Role::OffMarket
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_classifies_on_quantized_value() {
+        let q = Quantizer::default();
+        let seller = AgentCtx::prepare(
+            0,
+            AgentWindow::new(0, 2.0, 1.0, 0.0, 0.9, 20.0),
+            &q,
+            7,
+        )
+        .expect("prepare");
+        assert_eq!(seller.role, Role::Seller);
+        assert_eq!(seller.sn_q, 1_000_000);
+        assert_eq!(seller.sn_abs_q, 1_000_000);
+
+        let buyer = AgentCtx::prepare(
+            1,
+            AgentWindow::new(1, 0.0, 0.5, 0.0, 0.9, 20.0),
+            &q,
+            7,
+        )
+        .expect("prepare");
+        assert_eq!(buyer.role, Role::Buyer);
+        assert_eq!(buyer.sn_abs_q, 500_000);
+
+        // Sub-resolution dust rounds to zero → off market.
+        let dust = AgentCtx::prepare(
+            2,
+            AgentWindow::new(2, 1.0, 1.0 - 1e-9, 0.0, 0.9, 20.0),
+            &q,
+            7,
+        )
+        .expect("prepare");
+        assert_eq!(dust.role, Role::OffMarket);
+    }
+
+    #[test]
+    fn prepare_rejects_invalid_data() {
+        let q = Quantizer::default();
+        let bad = AgentWindow::new(0, -1.0, 1.0, 0.0, 0.9, 20.0);
+        assert!(AgentCtx::prepare(0, bad, &q, 0).is_err());
+    }
+}

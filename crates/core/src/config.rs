@@ -1,0 +1,180 @@
+//! PEM protocol configuration.
+
+use serde::{Deserialize, Serialize};
+
+use pem_crypto::ot::DhGroup;
+use pem_market::PriceBand;
+
+use crate::error::PemError;
+use crate::quantize::Quantizer;
+
+/// Which Diffie–Hellman group backs the oblivious transfers of the secure
+/// comparison. Independent of the Paillier key size — the paper varies
+/// only the latter (512/1024/2048) in its Fig. 5 sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OtProfile {
+    /// 192-bit toy group: fast simulation profile (NOT cryptographically
+    /// sized; used for unit tests and large sweeps).
+    Test192,
+    /// RFC 2409 Oakley Group 2, 1024-bit.
+    Modp1024,
+    /// RFC 3526 Group 14, 2048-bit.
+    Modp2048,
+}
+
+impl OtProfile {
+    /// Materializes the group.
+    pub fn group(self) -> DhGroup {
+        match self {
+            OtProfile::Test192 => DhGroup::test_192(),
+            OtProfile::Modp1024 => DhGroup::modp_1024(),
+            OtProfile::Modp2048 => DhGroup::modp_2048(),
+        }
+    }
+}
+
+/// Full protocol configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PemConfig {
+    /// Paillier key size in bits (the paper's 512/1024/2048 sweep).
+    pub key_bits: usize,
+    /// Bit width of the garbled comparison circuit.
+    pub compare_bits: usize,
+    /// OT group profile for the comparison.
+    pub ot_profile: OtProfile,
+    /// Market price structure.
+    pub band: PriceBand,
+    /// Fixed-point scale for energies and pricing terms.
+    pub scale: u64,
+    /// Bits of each per-agent masking nonce (Protocol 2).
+    pub nonce_bits: u32,
+    /// Bits of the ratio precision constant `K` (Protocol 4).
+    pub ratio_precision_bits: u32,
+    /// Master seed for all protocol randomness.
+    pub seed: u64,
+}
+
+impl PemConfig {
+    /// The paper's evaluation profile with a chosen Paillier key size.
+    pub fn paper(key_bits: usize) -> PemConfig {
+        PemConfig {
+            key_bits,
+            compare_bits: 64,
+            ot_profile: OtProfile::Modp1024,
+            band: PriceBand::paper_defaults(),
+            scale: 1_000_000,
+            nonce_bits: 40,
+            ratio_precision_bits: 48,
+            seed: 2020,
+        }
+    }
+
+    /// A profile small enough for unit tests (toy 128-bit Paillier keys,
+    /// 192-bit OT group) but running the identical code paths.
+    pub fn fast_test() -> PemConfig {
+        PemConfig {
+            key_bits: 128,
+            compare_bits: 64,
+            ot_profile: OtProfile::Test192,
+            band: PriceBand::paper_defaults(),
+            scale: 1_000_000,
+            nonce_bits: 40,
+            ratio_precision_bits: 48,
+            seed: 7,
+        }
+    }
+
+    /// The quantizer induced by this configuration.
+    pub fn quantizer(&self) -> Quantizer {
+        Quantizer::new(self.scale)
+    }
+
+    /// Validates internal consistency for a population of `agents`.
+    ///
+    /// # Errors
+    ///
+    /// [`PemError::Config`] or [`PemError::Market`] describing the
+    /// violated constraint.
+    pub fn validate(&self, agents: usize) -> Result<(), PemError> {
+        if agents == 0 {
+            return Err(PemError::Config("population must be non-empty".into()));
+        }
+        if self.key_bits < 96 {
+            return Err(PemError::Config(format!(
+                "paillier keys of {} bits cannot hold the protocol aggregates",
+                self.key_bits
+            )));
+        }
+        if self.compare_bits == 0 || self.compare_bits > 128 {
+            return Err(PemError::Config(
+                "comparison width must be in 1..=128".into(),
+            ));
+        }
+        if self.nonce_bits == 0 || self.nonce_bits > 60 {
+            return Err(PemError::Config("nonce bits must be in 1..=60".into()));
+        }
+        if self.ratio_precision_bits < 16 || self.ratio_precision_bits > 60 {
+            return Err(PemError::Config(
+                "ratio precision must be in 16..=60 bits".into(),
+            ));
+        }
+        self.band.validate()?;
+        // Energies on minute windows are < 2^6 kWh → quantized < 2^26 at
+        // the default scale; use 32 bits as a generous per-value bound.
+        self.quantizer()
+            .check_headroom(agents, 32, self.nonce_bits, self.compare_bits)?;
+        // The Paillier space must also hold Protocol 4's scaled ratios:
+        // E_b·K < 2^(32 + log2 n + K bits).
+        let needed = 34 + self.ratio_precision_bits as usize + 16;
+        if self.key_bits < needed {
+            return Err(PemError::Config(format!(
+                "key_bits {} too small for ratio precision (need ≥ {needed})",
+                self.key_bits
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for PemConfig {
+    fn default() -> Self {
+        PemConfig::paper(2048)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profiles_validate() {
+        for bits in [512usize, 1024, 2048] {
+            PemConfig::paper(bits).validate(300).expect("valid");
+        }
+        PemConfig::fast_test().validate(50).expect("valid");
+    }
+
+    #[test]
+    fn rejects_inconsistencies() {
+        assert!(PemConfig::fast_test().validate(0).is_err());
+        let mut c = PemConfig::fast_test();
+        c.key_bits = 64;
+        assert!(c.validate(10).is_err());
+        let mut c = PemConfig::fast_test();
+        c.compare_bits = 48; // too tight for 40-bit nonces over 300 agents
+        assert!(c.validate(300).is_err());
+        let mut c = PemConfig::fast_test();
+        c.band.floor = 10.0; // violates Eq. 3
+        assert!(c.validate(10).is_err());
+        let mut c = PemConfig::fast_test();
+        c.nonce_bits = 0;
+        assert!(c.validate(10).is_err());
+    }
+
+    #[test]
+    fn ot_profiles_materialize() {
+        assert_eq!(OtProfile::Test192.group().p().bit_length(), 192);
+        assert_eq!(OtProfile::Modp1024.group().p().bit_length(), 1024);
+        assert_eq!(OtProfile::Modp2048.group().p().bit_length(), 2048);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for the PEM protocols.
+
+use std::error::Error;
+use std::fmt;
+
+use pem_circuit::CircuitError;
+use pem_crypto::CryptoError;
+use pem_market::MarketError;
+use pem_net::NetError;
+
+/// Errors from running the PEM protocols.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PemError {
+    /// Cryptographic failure (Paillier, OT).
+    Crypto(CryptoError),
+    /// Garbled-circuit failure.
+    Circuit(CircuitError),
+    /// Network / codec failure.
+    Net(NetError),
+    /// Market-model validation failure.
+    Market(MarketError),
+    /// A quantized value exceeded its headroom.
+    Quantization {
+        /// What overflowed.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Configuration inconsistency (e.g. zero agents, comparison width too
+    /// small for the population).
+    Config(String),
+    /// A protocol-level invariant was violated (e.g. empty coalition where
+    /// one is required).
+    Protocol(&'static str),
+}
+
+impl fmt::Display for PemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PemError::Crypto(e) => write!(f, "crypto: {e}"),
+            PemError::Circuit(e) => write!(f, "garbled circuit: {e}"),
+            PemError::Net(e) => write!(f, "network: {e}"),
+            PemError::Market(e) => write!(f, "market: {e}"),
+            PemError::Quantization { what, value } => {
+                write!(f, "quantization overflow for {what}: {value}")
+            }
+            PemError::Config(msg) => write!(f, "configuration: {msg}"),
+            PemError::Protocol(msg) => write!(f, "protocol invariant violated: {msg}"),
+        }
+    }
+}
+
+impl Error for PemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PemError::Crypto(e) => Some(e),
+            PemError::Circuit(e) => Some(e),
+            PemError::Net(e) => Some(e),
+            PemError::Market(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for PemError {
+    fn from(e: CryptoError) -> Self {
+        PemError::Crypto(e)
+    }
+}
+
+impl From<CircuitError> for PemError {
+    fn from(e: CircuitError) -> Self {
+        PemError::Circuit(e)
+    }
+}
+
+impl From<NetError> for PemError {
+    fn from(e: NetError) -> Self {
+        PemError::Net(e)
+    }
+}
+
+impl From<MarketError> for PemError {
+    fn from(e: MarketError) -> Self {
+        PemError::Market(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: PemError = CryptoError::InvalidCiphertext.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("crypto"));
+        let q = PemError::Quantization {
+            what: "net energy",
+            value: 1e30,
+        };
+        assert!(q.source().is_none());
+        assert!(q.to_string().contains("net energy"));
+    }
+}

@@ -1,0 +1,65 @@
+//! The **Private Energy Market (PEM)** — privacy-preserving distributed
+//! energy trading (Xie, Wang, Hong, Thai; ICDCS 2020).
+//!
+//! This crate implements the paper's cryptographic protocols end-to-end
+//! over the simulated network of `pem-net`:
+//!
+//! * **Protocol 1** ([`Pem`]) — the per-window driver: coalition
+//!   formation, market evaluation, pricing, distribution.
+//! * **Protocol 2** ([`protocol2`]) — *Private Market Evaluation*: two
+//!   rounds of nonce-masked Paillier ring aggregation plus one garbled-
+//!   circuit comparison decide `E_s < E_b` without revealing either total.
+//! * **Protocol 3** ([`protocol3`]) — *Private Pricing*: sellers'
+//!   `Σ k_i` and `Σ (g_i + 1 + ε_i b_i − b_i)` are homomorphically
+//!   aggregated to a random buyer who derives and broadcasts the clamped
+//!   equilibrium price `p*` (Eqs. 13–14).
+//! * **Protocol 4** ([`protocol4`]) — *Private Distribution*: the
+//!   demand-ratio inversion trick (`Enc(E_b)^{K/|sn_j|}`) reveals only the
+//!   allocation ratios; pairwise amounts `e_ij` and payments `m_ji` are
+//!   then routed peer-to-peer.
+//!
+//! Every quantity PEM computes equals the plaintext reference in
+//! `pem-market` up to the fixed-point grid ([`Quantizer`]); integration
+//! tests assert this across whole generated days.
+//!
+//! # Example
+//!
+//! ```
+//! use pem_core::{Pem, PemConfig};
+//! use pem_market::AgentWindow;
+//!
+//! let agents = vec![
+//!     AgentWindow::new(0, 5.0, 1.0, 0.0, 0.9, 30.0),
+//!     AgentWindow::new(1, 0.0, 3.0, 0.0, 0.9, 25.0),
+//!     AgentWindow::new(2, 0.0, 6.0, 0.0, 0.9, 20.0),
+//! ];
+//! let mut pem = Pem::new(PemConfig::fast_test(), 3).expect("setup");
+//! let outcome = pem.run_window(&agents).expect("window");
+//! assert!(outcome.price >= 90.0 && outcome.price <= 110.0);
+//! assert_eq!(outcome.trades.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agents;
+mod config;
+mod error;
+mod keys;
+mod metrics;
+mod pem;
+pub mod protocol2;
+pub mod protocol3;
+pub mod protocol3v;
+pub mod protocol4;
+mod quantize;
+pub mod threaded;
+
+pub use agents::AgentCtx;
+pub use config::{OtProfile, PemConfig};
+pub use error::PemError;
+pub use keys::KeyDirectory;
+pub use metrics::{PhaseMetrics, WindowMetrics};
+pub use pem::{DaySummary, Pem, PemWindowOutcome, RevealedInfo};
+pub use protocol3::Topology;
+pub use quantize::Quantizer;

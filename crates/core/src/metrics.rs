@@ -1,0 +1,88 @@
+//! Measurement surface for the paper's Fig. 5 and Table I.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Compute time and traffic of one protocol phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMetrics {
+    /// Wall-clock compute time of the phase.
+    #[serde(with = "duration_micros")]
+    pub elapsed: Duration,
+    /// Bytes put on the wire during the phase.
+    pub bytes: u64,
+    /// Messages sent during the phase.
+    pub messages: u64,
+}
+
+/// Per-window metrics, split by protocol phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowMetrics {
+    /// Protocol 2 (Private Market Evaluation).
+    pub market_evaluation: PhaseMetrics,
+    /// Protocol 3 (Private Pricing); zero in extreme/no-market windows.
+    pub pricing: PhaseMetrics,
+    /// Protocol 4 (Private Distribution).
+    pub distribution: PhaseMetrics,
+}
+
+impl WindowMetrics {
+    /// Total compute time across phases.
+    pub fn total_elapsed(&self) -> Duration {
+        self.market_evaluation.elapsed + self.pricing.elapsed + self.distribution.elapsed
+    }
+
+    /// Total bytes across phases.
+    pub fn total_bytes(&self) -> u64 {
+        self.market_evaluation.bytes + self.pricing.bytes + self.distribution.bytes
+    }
+
+    /// Total messages across phases.
+    pub fn total_messages(&self) -> u64 {
+        self.market_evaluation.messages + self.pricing.messages + self.distribution.messages
+    }
+}
+
+mod duration_micros {
+    use std::time::Duration;
+
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        (d.as_micros() as u64).serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        Ok(Duration::from_micros(u64::deserialize(d)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let m = WindowMetrics {
+            market_evaluation: PhaseMetrics {
+                elapsed: Duration::from_millis(5),
+                bytes: 100,
+                messages: 3,
+            },
+            pricing: PhaseMetrics {
+                elapsed: Duration::from_millis(2),
+                bytes: 50,
+                messages: 2,
+            },
+            distribution: PhaseMetrics {
+                elapsed: Duration::from_millis(3),
+                bytes: 25,
+                messages: 1,
+            },
+        };
+        assert_eq!(m.total_elapsed(), Duration::from_millis(10));
+        assert_eq!(m.total_bytes(), 175);
+        assert_eq!(m.total_messages(), 6);
+    }
+}

@@ -1,0 +1,441 @@
+//! **Protocol 1 — the PEM driver.**
+//!
+//! Orchestrates a trading window end to end: key setup (once), coalition
+//! formation, Private Market Evaluation, Private Pricing (general market)
+//! or the floor price (extreme market), and Private Distribution — while
+//! timing each phase and metering every byte for the Fig. 5 / Table I
+//! reproductions.
+
+use std::time::Instant;
+
+use pem_crypto::drbg::HashDrbg;
+use pem_market::{MarketKind, Role, Trade};
+use pem_net::SimNetwork;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::agents::AgentCtx;
+use crate::config::PemConfig;
+use crate::error::PemError;
+use crate::keys::KeyDirectory;
+use crate::metrics::{PhaseMetrics, WindowMetrics};
+use crate::protocol2;
+use crate::protocol3;
+use crate::protocol4;
+
+/// What the designated parties learned during a window — the complete
+/// Lemma 2–4 disclosure surface, exposed for auditing and the examples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RevealedInfo {
+    /// Masked demand total seen by `H_r1` (Protocol 2).
+    pub masked_demand: Option<u128>,
+    /// Masked supply total seen by `H_r2` (Protocol 2).
+    pub masked_supply: Option<u128>,
+    /// `Σ k_i` seen by `H_b` (Protocol 3).
+    pub seller_preference_sum: Option<f64>,
+    /// `Σ (g + 1 + εb − b)` seen by `H_b` (Protocol 3).
+    pub seller_denominator_sum: Option<f64>,
+    /// Allocation ratios seen by the Protocol 4 decryptor.
+    pub allocation_ratios: Vec<f64>,
+}
+
+/// Everything a PEM window produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PemWindowOutcome {
+    /// Market regime decided by Protocol 2 (or `NoMarket`).
+    pub kind: MarketKind,
+    /// Trading price: `p*`, `p_l`, or the retail price for no-market
+    /// windows (matching `pem_market::WindowOutcome::price`).
+    pub price: f64,
+    /// Pairwise trades from Protocol 4.
+    pub trades: Vec<Trade>,
+    /// Seller coalition size.
+    pub seller_count: usize,
+    /// Buyer coalition size.
+    pub buyer_count: usize,
+    /// Per-phase timing and traffic.
+    pub metrics: WindowMetrics,
+    /// The sanctioned information leakage of this window.
+    pub revealed: RevealedInfo,
+}
+
+/// Aggregates over a sequence of windows (a trading day).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaySummary {
+    /// One outcome per window, in order.
+    pub outcomes: Vec<PemWindowOutcome>,
+    /// Total energy traded peer-to-peer (kWh).
+    pub total_traded: f64,
+    /// Total money settled (cents).
+    pub total_payments: f64,
+    /// Total protocol bytes on the wire.
+    pub total_bytes: u64,
+    /// Window counts per regime: `[general, extreme, no-market]`.
+    pub regime_counts: [usize; 3],
+}
+
+impl DaySummary {
+    fn fold(outcomes: Vec<PemWindowOutcome>) -> DaySummary {
+        let mut s = DaySummary {
+            total_traded: 0.0,
+            total_payments: 0.0,
+            total_bytes: 0,
+            regime_counts: [0; 3],
+            outcomes: Vec::new(),
+        };
+        for o in &outcomes {
+            s.total_traded += o.trades.iter().map(|t| t.energy).sum::<f64>();
+            s.total_payments += o.trades.iter().map(|t| t.payment).sum::<f64>();
+            s.total_bytes += o.metrics.total_bytes();
+            s.regime_counts[match o.kind {
+                MarketKind::General => 0,
+                MarketKind::Extreme => 1,
+                MarketKind::NoMarket => 2,
+            }] += 1;
+        }
+        s.outcomes = outcomes;
+        s
+    }
+}
+
+/// The Private Energy Market: a population of agents with keys, ready to
+/// run trading windows.
+#[derive(Debug)]
+pub struct Pem {
+    cfg: PemConfig,
+    keys: KeyDirectory,
+    n_agents: usize,
+    rng: HashDrbg,
+    window_index: u64,
+}
+
+impl Pem {
+    /// Sets up the market: validates the configuration and runs the key
+    /// generation / public-key sharing round (Protocol 1, lines 1–2).
+    ///
+    /// # Errors
+    ///
+    /// Configuration and key-generation failures.
+    pub fn new(cfg: PemConfig, n_agents: usize) -> Result<Pem, PemError> {
+        cfg.validate(n_agents)?;
+        let keys = KeyDirectory::generate(n_agents, cfg.key_bits, cfg.seed)?;
+        let rng = HashDrbg::from_seed_label(b"pem-driver", cfg.seed);
+        Ok(Pem {
+            cfg,
+            keys,
+            n_agents,
+            rng,
+            window_index: 0,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PemConfig {
+        &self.cfg
+    }
+
+    /// Number of agents.
+    pub fn agents(&self) -> usize {
+        self.n_agents
+    }
+
+    /// The public key directory (what every agent can see).
+    pub fn keys(&self) -> &KeyDirectory {
+        &self.keys
+    }
+
+    /// Runs a whole day: one call per window, aggregated.
+    ///
+    /// `day[w][i]` is agent `i`'s data in window `w`.
+    ///
+    /// # Errors
+    ///
+    /// The first window failure aborts the day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any window's population size differs from the market's.
+    pub fn run_day(
+        &mut self,
+        day: &[Vec<pem_market::AgentWindow>],
+    ) -> Result<DaySummary, PemError> {
+        let mut outcomes = Vec::with_capacity(day.len());
+        for window in day {
+            outcomes.push(self.run_window(window)?);
+        }
+        Ok(DaySummary::fold(outcomes))
+    }
+
+    /// Runs one trading window (Protocol 1, lines 3–10).
+    ///
+    /// `window_data[i]` is agent `i`'s private data for this window.
+    ///
+    /// # Errors
+    ///
+    /// Data validation, quantization, crypto or network failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_data.len()` differs from the population size.
+    pub fn run_window(&mut self, window_data: &[pem_market::AgentWindow]) -> Result<PemWindowOutcome, PemError> {
+        assert_eq!(
+            window_data.len(),
+            self.n_agents,
+            "window data must cover the whole population"
+        );
+        let quantizer = self.cfg.quantizer();
+        self.window_index += 1;
+
+        // Local step: every agent quantizes its data, draws this window's
+        // nonce and claims a role (coalition formation).
+        let mut agents = Vec::with_capacity(self.n_agents);
+        let mut sellers = Vec::new();
+        let mut buyers = Vec::new();
+        for (i, data) in window_data.iter().enumerate() {
+            let nonce = self.rng.gen::<u64>() >> (64 - self.cfg.nonce_bits);
+            let ctx = AgentCtx::prepare(i, *data, &quantizer, nonce)?;
+            match ctx.role {
+                Role::Seller => sellers.push(i),
+                Role::Buyer => buyers.push(i),
+                Role::OffMarket => {}
+            }
+            agents.push(ctx);
+        }
+
+        let mut net = SimNetwork::new(self.n_agents);
+        let mut metrics = WindowMetrics::default();
+        let mut revealed = RevealedInfo::default();
+
+        // One-sided windows: everyone falls back to the grid (Protocol 1
+        // handles `E_s = 0` this way; symmetric for no buyers).
+        if sellers.is_empty() || buyers.is_empty() {
+            return Ok(PemWindowOutcome {
+                kind: MarketKind::NoMarket,
+                price: self.cfg.band.grid_retail,
+                trades: Vec::new(),
+                seller_count: sellers.len(),
+                buyer_count: buyers.len(),
+                metrics,
+                revealed,
+            });
+        }
+
+        // --- Protocol 2: market evaluation. ----------------------------
+        let phase_start = Instant::now();
+        let bytes_before = net.stats().total_bytes;
+        let msgs_before = net.stats().total_messages;
+        let eval = protocol2::run(
+            &mut net,
+            &self.keys,
+            &agents,
+            &sellers,
+            &buyers,
+            &self.cfg,
+            &mut self.rng,
+        )?;
+        metrics.market_evaluation = PhaseMetrics {
+            elapsed: phase_start.elapsed(),
+            bytes: net.stats().total_bytes - bytes_before,
+            messages: net.stats().total_messages - msgs_before,
+        };
+        revealed.masked_demand = Some(eval.masked_demand);
+        revealed.masked_supply = Some(eval.masked_supply);
+
+        // --- Protocol 3 or the extreme-market floor price. -------------
+        let price = if eval.general_market {
+            let phase_start = Instant::now();
+            let bytes_before = net.stats().total_bytes;
+            let msgs_before = net.stats().total_messages;
+            let pricing = protocol3::run(
+                &mut net,
+                &self.keys,
+                &agents,
+                &sellers,
+                &buyers,
+                &self.cfg,
+                &mut self.rng,
+            )?;
+            metrics.pricing = PhaseMetrics {
+                elapsed: phase_start.elapsed(),
+                bytes: net.stats().total_bytes - bytes_before,
+                messages: net.stats().total_messages - msgs_before,
+            };
+            revealed.seller_preference_sum = Some(pricing.k_sum);
+            revealed.seller_denominator_sum = Some(pricing.denominator_sum);
+            pricing.price
+        } else {
+            self.cfg.band.floor
+        };
+
+        // --- Protocol 4: distribution. ----------------------------------
+        let phase_start = Instant::now();
+        let bytes_before = net.stats().total_bytes;
+        let msgs_before = net.stats().total_messages;
+        let dist = protocol4::run(
+            &mut net,
+            &self.keys,
+            &agents,
+            &sellers,
+            &buyers,
+            price,
+            eval.general_market,
+            &self.cfg,
+            &mut self.rng,
+        )?;
+        metrics.distribution = PhaseMetrics {
+            elapsed: phase_start.elapsed(),
+            bytes: net.stats().total_bytes - bytes_before,
+            messages: net.stats().total_messages - msgs_before,
+        };
+        revealed.allocation_ratios = dist.ratios.clone();
+
+        Ok(PemWindowOutcome {
+            kind: if eval.general_market {
+                MarketKind::General
+            } else {
+                MarketKind::Extreme
+            },
+            price,
+            trades: dist.trades,
+            seller_count: sellers.len(),
+            buyer_count: buyers.len(),
+            metrics,
+            revealed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pem_market::{AgentWindow, MarketEngine};
+
+    fn population(surpluses: &[f64]) -> Vec<AgentWindow> {
+        surpluses
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                if s >= 0.0 {
+                    AgentWindow::new(i, s + 0.5, 0.5, 0.0, 0.9, 20.0 + i as f64)
+                } else {
+                    AgentWindow::new(i, 0.0, -s, 0.0, 0.9, 20.0 + i as f64)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn general_window_end_to_end_matches_plaintext() {
+        let pop = population(&[2.0, 1.0, -3.0, -2.0, -1.0]);
+        let mut pem = Pem::new(PemConfig::fast_test(), 5).expect("setup");
+        let out = pem.run_window(&pop).expect("window");
+        assert_eq!(out.kind, MarketKind::General);
+
+        let reference = MarketEngine::new(pem.config().band).run_window(&pop);
+        assert_eq!(out.kind, reference.kind);
+        assert!((out.price - reference.price).abs() < 1e-6);
+        assert_eq!(out.trades.len(), reference.trades.len());
+        for (a, b) in out.trades.iter().zip(reference.trades.iter()) {
+            assert_eq!(a.seller, b.seller);
+            assert_eq!(a.buyer, b.buyer);
+            assert!((a.energy - b.energy).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn extreme_window_uses_floor_price() {
+        let pop = population(&[5.0, 4.0, -1.0]);
+        let mut pem = Pem::new(PemConfig::fast_test(), 3).expect("setup");
+        let out = pem.run_window(&pop).expect("window");
+        assert_eq!(out.kind, MarketKind::Extreme);
+        assert_eq!(out.price, 90.0);
+        // Pricing phase skipped → zero traffic there.
+        assert_eq!(out.metrics.pricing.bytes, 0);
+        assert!(out.revealed.seller_preference_sum.is_none());
+    }
+
+    #[test]
+    fn no_market_window() {
+        let pop = population(&[-1.0, -2.0]);
+        let mut pem = Pem::new(PemConfig::fast_test(), 2).expect("setup");
+        let out = pem.run_window(&pop).expect("window");
+        assert_eq!(out.kind, MarketKind::NoMarket);
+        assert_eq!(out.price, 120.0);
+        assert!(out.trades.is_empty());
+        assert_eq!(out.metrics.total_bytes(), 0);
+    }
+
+    #[test]
+    fn metrics_populated_for_general_window() {
+        let pop = population(&[2.0, -3.0, -1.0]);
+        let mut pem = Pem::new(PemConfig::fast_test(), 3).expect("setup");
+        let out = pem.run_window(&pop).expect("window");
+        assert!(out.metrics.market_evaluation.bytes > 0);
+        assert!(out.metrics.pricing.bytes > 0);
+        assert!(out.metrics.distribution.bytes > 0);
+        assert!(out.metrics.total_messages() > 0);
+        assert!(out.metrics.total_elapsed().as_nanos() > 0);
+    }
+
+    #[test]
+    fn revealed_surface_is_exactly_the_lemmas() {
+        let pop = population(&[2.0, -3.0, -1.0]);
+        let mut pem = Pem::new(PemConfig::fast_test(), 3).expect("setup");
+        let out = pem.run_window(&pop).expect("window");
+        // Lemma 2: masked totals only.
+        assert!(out.revealed.masked_demand.is_some());
+        assert!(out.revealed.masked_supply.is_some());
+        // Lemma 3: the two seller aggregates.
+        let k_sum = out.revealed.seller_preference_sum.expect("general market");
+        assert!((k_sum - 20.0).abs() < 1e-6, "k of the single seller");
+        // Lemma 4: ratios summing to 1 (up to the K-precision bound).
+        let total: f64 = out.revealed.allocation_ratios.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn successive_windows_are_independent() {
+        let mut pem = Pem::new(PemConfig::fast_test(), 4).expect("setup");
+        let pop1 = population(&[2.0, 1.0, -3.0, -2.0]);
+        let pop2 = population(&[-2.0, -1.0, 3.0, 2.0]); // roles flip
+        let o1 = pem.run_window(&pop1).expect("w1");
+        let o2 = pem.run_window(&pop2).expect("w2");
+        assert_eq!(o1.seller_count, 2);
+        assert_eq!(o2.seller_count, 2);
+        // Roles flipped: different agents trade.
+        assert_ne!(o1.trades[0].seller, o2.trades[0].seller);
+    }
+
+    #[test]
+    fn run_day_aggregates() {
+        let mut pem = Pem::new(PemConfig::fast_test(), 4).expect("setup");
+        let day = vec![
+            population(&[2.0, 1.0, -3.0, -2.0]), // general
+            population(&[5.0, 4.0, -1.0, -0.5]), // extreme
+            population(&[-1.0, -2.0, -0.5, -0.1]), // no market
+        ];
+        let s = pem.run_day(&day).expect("day");
+        assert_eq!(s.outcomes.len(), 3);
+        assert_eq!(s.regime_counts, [1, 1, 1]);
+        assert!(s.total_traded > 0.0);
+        assert!(s.total_payments > 0.0);
+        assert!(s.total_bytes > 0);
+        // Payments consistent with per-window prices.
+        let recomputed: f64 = s
+            .outcomes
+            .iter()
+            .flat_map(|o| o.trades.iter().map(move |t| t.energy * o.price))
+            .sum();
+        assert!((recomputed - s.total_payments).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrong_population_size_panics() {
+        let mut pem = Pem::new(PemConfig::fast_test(), 3).expect("setup");
+        let pop = population(&[1.0]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = pem.run_window(&pop);
+        }));
+        assert!(result.is_err());
+    }
+}

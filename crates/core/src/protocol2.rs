@@ -1,0 +1,480 @@
+//! **Protocol 2 — Private Market Evaluation.**
+//!
+//! Decides whether the window is a *general* (`E_s < E_b`) or *extreme*
+//! (`E_s ≥ E_b`) market without revealing either total:
+//!
+//! 1. A random seller `H_r1` and a random buyer `H_r2` are chosen.
+//! 2. **Demand round**: a ring through all buyers then all other sellers
+//!    aggregates `Enc_{pk_r1}(Σ_j (|sn_j| + r_j) + Σ_{i≠r1} r_i)`;
+//!    `H_r1` folds in its own nonce and decrypts the masked total `R_b`.
+//! 3. **Supply round** (roles swapped, same nonces): `H_r2` obtains
+//!    `R_s = Σ_i (sn_i + r_i) + Σ_j r_j`.
+//! 4. Because both totals carry the *same* nonce sum,
+//!    `R_s < R_b ⇔ E_s < E_b`; `H_r2` (garbler) and `H_r1` (evaluator)
+//!    run the garbled-circuit comparison of `pem-circuit`, and `H_r1`
+//!    broadcasts the one-bit outcome.
+//!
+//! Per Lemma 2 nobody learns anything beyond that bit: the ring parties
+//! see only ciphertexts, and the masked totals are uniformly random in
+//! the nonce range.
+
+use pem_bignum::BigUint;
+use pem_circuit::compare::{
+    CompareEvaluator, CompareGarbler, CompareLabelCiphertexts, CompareOffer, CompareOtRequests,
+};
+use pem_circuit::garble::{GarbledCircuit, Label};
+use pem_circuit::{comparator_circuit, CircuitError};
+use pem_crypto::drbg::HashDrbg;
+use pem_crypto::ot::{OtCiphertexts, OtReceiverReply, OtSenderSetup};
+use pem_crypto::paillier::Ciphertext;
+use pem_market::Role;
+use pem_net::wire::{WireReader, WireWriter};
+use pem_net::{PartyId, SimNetwork};
+use rand::Rng;
+
+use crate::agents::AgentCtx;
+use crate::config::PemConfig;
+use crate::error::PemError;
+use crate::keys::KeyDirectory;
+
+/// Result of Private Market Evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalOutcome {
+    /// `true` ⇔ `E_s < E_b` (general market).
+    pub general_market: bool,
+    /// The randomly selected seller (learned `R_b`).
+    pub hr1: usize,
+    /// The randomly selected buyer (learned `R_s`).
+    pub hr2: usize,
+    /// The masked demand total revealed to `H_r1` (audit surface).
+    pub masked_demand: u128,
+    /// The masked supply total revealed to `H_r2` (audit surface).
+    pub masked_supply: u128,
+}
+
+/// Runs Protocol 2.
+///
+/// # Errors
+///
+/// Propagates crypto/network failures; [`PemError::Protocol`] if either
+/// coalition is empty (the caller must handle no-market windows).
+pub fn run(
+    net: &mut SimNetwork,
+    keys: &KeyDirectory,
+    agents: &[AgentCtx],
+    sellers: &[usize],
+    buyers: &[usize],
+    cfg: &PemConfig,
+    rng: &mut HashDrbg,
+) -> Result<EvalOutcome, PemError> {
+    if sellers.is_empty() || buyers.is_empty() {
+        return Err(PemError::Protocol(
+            "market evaluation requires both coalitions to be non-empty",
+        ));
+    }
+    let hr1 = sellers[rng.gen_range(0..sellers.len())];
+    let hr2 = buyers[rng.gen_range(0..buyers.len())];
+
+    // --- Demand round: Σ(|sn_j| + r_j) + Σ r_i under H_r1's key. -------
+    let masked_demand = masked_ring_aggregate(
+        net,
+        keys,
+        agents,
+        hr1,
+        buyers,
+        sellers,
+        Role::Buyer,
+        "eval/demand-agg",
+        rng,
+    )?;
+
+    // --- Supply round: Σ(sn_i + r_i) + Σ r_j under H_r2's key. ---------
+    let masked_supply = masked_ring_aggregate(
+        net,
+        keys,
+        agents,
+        hr2,
+        sellers,
+        buyers,
+        Role::Seller,
+        "eval/supply-agg",
+        rng,
+    )?;
+
+    // --- Secure comparison: H_r2 garbles `R_s < R_b`, H_r1 evaluates. --
+    let group = cfg.ot_profile.group();
+    let (garbler, offer) =
+        CompareGarbler::start(cfg.compare_bits, masked_supply, &group, rng)?;
+    send_offer(net, PartyId(hr2), PartyId(hr1), &offer)?;
+    let offer = recv_offer(net, PartyId(hr1), cfg.compare_bits)?;
+
+    let (evaluator, requests) = CompareEvaluator::respond(offer, masked_demand, &group, rng)?;
+    send_requests(net, PartyId(hr1), PartyId(hr2), &requests)?;
+    let requests = recv_requests(net, PartyId(hr2))?;
+
+    let transfer = garbler.provide_labels(&requests)?;
+    send_transfer(net, PartyId(hr2), PartyId(hr1), &transfer)?;
+    let transfer = recv_transfer(net, PartyId(hr1))?;
+
+    let general_market = evaluator.finish(&transfer)?;
+
+    // H_r1 announces the market case (one public bit, per the paper).
+    let mut w = WireWriter::new();
+    w.put_bool(general_market);
+    net.broadcast(PartyId(hr1), "eval/result", &w.finish())?;
+    // Everyone consumes the announcement.
+    for i in 0..agents.len() {
+        if i != hr1 {
+            net.recv_expect(PartyId(i), "eval/result")?;
+        }
+    }
+
+    Ok(EvalOutcome {
+        general_market,
+        hr1,
+        hr2,
+        masked_demand,
+        masked_supply,
+    })
+}
+
+/// One nonce-masked ring aggregation ending at `collector`.
+///
+/// `value_holders` contribute `value + nonce` (their `|sn|`), the other
+/// coalition contributes only nonces; the collector folds in its own
+/// nonce and decrypts.
+#[allow(clippy::too_many_arguments)]
+fn masked_ring_aggregate(
+    net: &mut SimNetwork,
+    keys: &KeyDirectory,
+    agents: &[AgentCtx],
+    collector: usize,
+    value_holders: &[usize],
+    maskers: &[usize],
+    value_role: Role,
+    label: &'static str,
+    rng: &mut HashDrbg,
+) -> Result<u128, PemError> {
+    let pk = keys.public(collector);
+
+    let contribution = |idx: usize| -> BigUint {
+        let a = &agents[idx];
+        if a.role == value_role {
+            BigUint::from(a.sn_abs_q) + BigUint::from(a.nonce)
+        } else {
+            BigUint::from(a.nonce)
+        }
+    };
+
+    // Chain: value holders first, then the masking coalition minus the
+    // collector; the collector terminates the ring.
+    let mut chain: Vec<usize> = value_holders.to_vec();
+    chain.extend(maskers.iter().copied().filter(|&m| m != collector));
+    debug_assert!(!chain.is_empty());
+
+    let mut acc: Ciphertext = pk.try_encrypt(&contribution(chain[0]), rng)?;
+    for hop in 1..chain.len() {
+        // chain[hop-1] sends the running ciphertext to chain[hop] …
+        let mut w = WireWriter::new();
+        w.put_biguint(acc.as_biguint());
+        net.send(PartyId(chain[hop - 1]), PartyId(chain[hop]), label, w.finish())?;
+        let env = net.recv_expect(PartyId(chain[hop]), label)?;
+        let mut r = WireReader::new(&env.payload);
+        let received = Ciphertext::from_biguint(r.get_biguint()?);
+        pk.validate_ciphertext(&received)?;
+        // … which multiplies in its own encrypted contribution.
+        let own = pk.try_encrypt(&contribution(chain[hop]), rng)?;
+        acc = pk.add_ciphertexts(&received, &own);
+    }
+    // Last chain member hands the ciphertext to the collector.
+    let last = *chain.last().expect("non-empty chain");
+    let mut w = WireWriter::new();
+    w.put_biguint(acc.as_biguint());
+    net.send(PartyId(last), PartyId(collector), label, w.finish())?;
+    let env = net.recv_expect(PartyId(collector), label)?;
+    let mut r = WireReader::new(&env.payload);
+    let received = Ciphertext::from_biguint(r.get_biguint()?);
+    pk.validate_ciphertext(&received)?;
+
+    // The collector contributes its own nonce locally and decrypts.
+    let own = BigUint::from(agents[collector].nonce);
+    let total_ct = pk.add_plain(&received, &own);
+    let total = keys.keypair(collector).private().decrypt(&total_ct);
+    total
+        .to_u128()
+        .ok_or(PemError::Protocol("masked aggregate exceeded 128 bits"))
+}
+
+// --- Wire encodings for the comparison messages ------------------------
+
+fn put_label(w: &mut WireWriter, l: &Label) {
+    for b in l.0 {
+        w.put_u8(b);
+    }
+}
+
+fn get_label(r: &mut WireReader<'_>) -> Result<Label, PemError> {
+    let mut out = [0u8; 16];
+    for b in &mut out {
+        *b = r.get_u8()?;
+    }
+    Ok(Label(out))
+}
+
+fn send_offer(
+    net: &mut SimNetwork,
+    from: PartyId,
+    to: PartyId,
+    offer: &CompareOffer,
+) -> Result<(), PemError> {
+    let mut w = WireWriter::new();
+    w.put_varint(offer.width as u64);
+    w.put_varint(offer.garbled.and_tables().len() as u64);
+    for table in offer.garbled.and_tables() {
+        for row in table {
+            put_label(&mut w, row);
+        }
+    }
+    w.put_varint(offer.garbled.output_decode().len() as u64);
+    for &bit in offer.garbled.output_decode() {
+        w.put_bool(bit);
+    }
+    w.put_varint(offer.garbler_labels.len() as u64);
+    for l in &offer.garbler_labels {
+        put_label(&mut w, l);
+    }
+    w.put_varint(offer.ot_setups.len() as u64);
+    for s in &offer.ot_setups {
+        w.put_biguint(&s.big_a);
+    }
+    net.send(from, to, "eval/gc-offer", w.finish())?;
+    Ok(())
+}
+
+fn recv_offer(
+    net: &mut SimNetwork,
+    at: PartyId,
+    expected_width: usize,
+) -> Result<CompareOffer, PemError> {
+    let env = net.recv_expect(at, "eval/gc-offer")?;
+    let mut r = WireReader::new(&env.payload);
+    let width = r.get_varint()? as usize;
+    if width != expected_width {
+        return Err(PemError::Circuit(CircuitError::MalformedGarbling(
+            "offer width does not match the agreed comparison width",
+        )));
+    }
+    let tables_len = r.get_varint()? as usize;
+    let mut and_tables = Vec::with_capacity(tables_len);
+    for _ in 0..tables_len {
+        let mut table = [Label([0u8; 16]); 4];
+        for row in &mut table {
+            *row = get_label(&mut r)?;
+        }
+        and_tables.push(table);
+    }
+    let decode_len = r.get_varint()? as usize;
+    let mut output_decode = Vec::with_capacity(decode_len);
+    for _ in 0..decode_len {
+        output_decode.push(r.get_bool()?);
+    }
+    let labels_len = r.get_varint()? as usize;
+    let mut garbler_labels = Vec::with_capacity(labels_len);
+    for _ in 0..labels_len {
+        garbler_labels.push(get_label(&mut r)?);
+    }
+    let setups_len = r.get_varint()? as usize;
+    let mut ot_setups = Vec::with_capacity(setups_len);
+    for _ in 0..setups_len {
+        ot_setups.push(OtSenderSetup {
+            big_a: r.get_biguint()?,
+        });
+    }
+    // The comparator topology is public: rebuild it locally.
+    let garbled = GarbledCircuit::from_parts(comparator_circuit(width), and_tables, output_decode)?;
+    Ok(CompareOffer {
+        width,
+        garbled,
+        garbler_labels,
+        ot_setups,
+    })
+}
+
+fn send_requests(
+    net: &mut SimNetwork,
+    from: PartyId,
+    to: PartyId,
+    requests: &CompareOtRequests,
+) -> Result<(), PemError> {
+    let mut w = WireWriter::new();
+    w.put_varint(requests.replies.len() as u64);
+    for reply in &requests.replies {
+        w.put_biguint(&reply.big_b);
+    }
+    net.send(from, to, "eval/gc-ot-request", w.finish())?;
+    Ok(())
+}
+
+fn recv_requests(net: &mut SimNetwork, at: PartyId) -> Result<CompareOtRequests, PemError> {
+    let env = net.recv_expect(at, "eval/gc-ot-request")?;
+    let mut r = WireReader::new(&env.payload);
+    let len = r.get_varint()? as usize;
+    let mut replies = Vec::with_capacity(len);
+    for _ in 0..len {
+        replies.push(OtReceiverReply {
+            big_b: r.get_biguint()?,
+        });
+    }
+    Ok(CompareOtRequests { replies })
+}
+
+fn send_transfer(
+    net: &mut SimNetwork,
+    from: PartyId,
+    to: PartyId,
+    transfer: &CompareLabelCiphertexts,
+) -> Result<(), PemError> {
+    let mut w = WireWriter::new();
+    w.put_varint(transfer.cts.len() as u64);
+    for ct in &transfer.cts {
+        w.put_bytes(&ct.e0);
+        w.put_bytes(&ct.e1);
+    }
+    net.send(from, to, "eval/gc-ot-transfer", w.finish())?;
+    Ok(())
+}
+
+fn recv_transfer(net: &mut SimNetwork, at: PartyId) -> Result<CompareLabelCiphertexts, PemError> {
+    let env = net.recv_expect(at, "eval/gc-ot-transfer")?;
+    let mut r = WireReader::new(&env.payload);
+    let len = r.get_varint()? as usize;
+    let mut cts = Vec::with_capacity(len);
+    for _ in 0..len {
+        let e0 = r.get_bytes()?.to_vec();
+        let e1 = r.get_bytes()?.to_vec();
+        cts.push(OtCiphertexts { e0, e1 });
+    }
+    Ok(CompareLabelCiphertexts { cts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::Quantizer;
+    use pem_market::AgentWindow;
+
+    fn setup(
+        surpluses: &[f64],
+    ) -> (SimNetwork, KeyDirectory, Vec<AgentCtx>, Vec<usize>, Vec<usize>, PemConfig, HashDrbg) {
+        let cfg = PemConfig::fast_test();
+        let q = Quantizer::new(cfg.scale);
+        let n = surpluses.len();
+        let keys = KeyDirectory::generate(n, cfg.key_bits, cfg.seed).expect("keys");
+        let mut rng = HashDrbg::from_seed_label(b"p2-test", 1);
+        let mut agents = Vec::new();
+        let mut sellers = Vec::new();
+        let mut buyers = Vec::new();
+        for (i, &s) in surpluses.iter().enumerate() {
+            let data = if s >= 0.0 {
+                AgentWindow::new(i, s, 0.0, 0.0, 0.9, 25.0)
+            } else {
+                AgentWindow::new(i, 0.0, -s, 0.0, 0.9, 25.0)
+            };
+            let nonce = rng.gen::<u64>() >> (64 - cfg.nonce_bits);
+            let ctx = AgentCtx::prepare(i, data, &q, nonce).expect("prepare");
+            match ctx.role {
+                Role::Seller => sellers.push(i),
+                Role::Buyer => buyers.push(i),
+                Role::OffMarket => {}
+            }
+            agents.push(ctx);
+        }
+        let net = SimNetwork::new(n);
+        (net, keys, agents, sellers, buyers, cfg, rng)
+    }
+
+    #[test]
+    fn detects_general_market() {
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) =
+            setup(&[2.0, 1.0, -4.0, -3.0]); // E_s = 3 < E_b = 7
+        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
+            .expect("protocol 2");
+        assert!(out.general_market);
+        assert_eq!(net.pending(), 0, "all messages consumed");
+    }
+
+    #[test]
+    fn detects_extreme_market() {
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) =
+            setup(&[5.0, 4.0, -1.0, -2.0]); // E_s = 9 ≥ E_b = 3
+        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
+            .expect("protocol 2");
+        assert!(!out.general_market);
+    }
+
+    #[test]
+    fn masked_totals_differ_by_true_difference() {
+        // Rb − Rs must equal E_b − E_s exactly (same nonce sum in both).
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) =
+            setup(&[2.5, -1.25, -3.25]);
+        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
+            .expect("protocol 2");
+        let e_s = 2_500_000i128;
+        let e_b = 4_500_000i128;
+        assert_eq!(
+            out.masked_demand as i128 - out.masked_supply as i128,
+            e_b - e_s
+        );
+    }
+
+    #[test]
+    fn masked_totals_hide_raw_values() {
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&[2.0, -4.0]);
+        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
+            .expect("protocol 2");
+        // The masked totals must include the nonce mass, i.e. exceed the
+        // raw quantized totals (nonces are 40-bit, values ~21-bit).
+        assert!(out.masked_demand > 4_000_000);
+        assert!(out.masked_supply > 2_000_000);
+    }
+
+    #[test]
+    fn knife_edge_equal_supply_demand_is_extreme() {
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&[3.0, -3.0]);
+        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
+            .expect("protocol 2");
+        assert!(!out.general_market, "E_s = E_b must be extreme (III-C)");
+    }
+
+    #[test]
+    fn empty_coalition_rejected() {
+        let (mut net, keys, agents, sellers, _buyers, cfg, mut rng) = setup(&[1.0, 2.0]);
+        let err = run(&mut net, &keys, &agents, &sellers, &[], &cfg, &mut rng);
+        assert!(matches!(err, Err(PemError::Protocol(_))));
+    }
+
+    #[test]
+    fn two_agent_minimum_market() {
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&[0.5, -0.75]);
+        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
+            .expect("protocol 2");
+        assert!(out.general_market);
+        assert_eq!(out.hr1, 0);
+        assert_eq!(out.hr2, 1);
+    }
+
+    #[test]
+    fn bandwidth_is_recorded_per_phase() {
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) =
+            setup(&[2.0, 1.0, -4.0, -3.0]);
+        run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng).expect("protocol 2");
+        let stats = net.stats();
+        assert!(stats.per_label.contains_key("eval/demand-agg"));
+        assert!(stats.per_label.contains_key("eval/supply-agg"));
+        assert!(stats.per_label.contains_key("eval/gc-offer"));
+        // The garbled offer dominates: tables + labels + OT setups.
+        assert!(
+            stats.per_label["eval/gc-offer"].bytes > stats.per_label["eval/demand-agg"].bytes
+        );
+    }
+}

@@ -1,0 +1,370 @@
+//! **Protocol 3 — Private Pricing.**
+//!
+//! In a general market, a randomly chosen buyer `H_b` learns only the two
+//! seller-coalition aggregates that Eq. 13 needs (Lemma 3):
+//! `Σ k_i` and `Σ (g_i + 1 + ε_i·b_i − b_i)`. Both are collected by one
+//! ring pass over the sellers, carrying two Paillier ciphertexts under
+//! `H_b`'s key. `H_b` then computes
+//! `p̂ = sqrt( ps_g · Σk / Σ(…) )`, clamps it into `[p_l, p_h]` (Eq. 14)
+//! and broadcasts `p*`.
+
+use pem_crypto::drbg::HashDrbg;
+use pem_crypto::paillier::Ciphertext;
+use pem_net::wire::{WireReader, WireWriter};
+use pem_net::{PartyId, SimNetwork};
+use rand::Rng;
+
+use crate::agents::AgentCtx;
+use crate::config::PemConfig;
+use crate::error::PemError;
+use crate::keys::KeyDirectory;
+
+/// Result of Private Pricing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricingOutcome {
+    /// The clamped equilibrium price `p*` (¢/kWh).
+    pub price: f64,
+    /// The raw (unclamped) equilibrium price `p̂`.
+    pub p_hat: f64,
+    /// The randomly selected buyer that performed the computation.
+    pub hb: usize,
+    /// `Σ k_i` revealed to `H_b` (the Lemma 3 audit surface).
+    pub k_sum: f64,
+    /// `Σ (g_i + 1 + ε_i·b_i − b_i)` revealed to `H_b`.
+    pub denominator_sum: f64,
+}
+
+/// How the seller coalition aggregates its ciphertexts toward `H_b`.
+///
+/// The paper's Protocol 3 is a **ring** (each seller multiplies into a
+/// travelling ciphertext): `|Φ_s|` sequential hops, one ciphertext pair on
+/// the wire per hop. The **star** alternative has every seller send its
+/// pair directly to `H_b`, who multiplies locally: the same byte volume
+/// but a sequential depth of 1 — the trade-off the
+/// `ablation_topology` bench quantifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Sequential ring through the seller coalition (the paper's flow).
+    #[default]
+    Ring,
+    /// Direct fan-in to the decryptor.
+    Star,
+}
+
+/// Runs Protocol 3 with the paper's ring topology.
+///
+/// # Errors
+///
+/// [`PemError::Protocol`] if either coalition is empty; otherwise
+/// crypto/network failures.
+pub fn run(
+    net: &mut SimNetwork,
+    keys: &KeyDirectory,
+    agents: &[AgentCtx],
+    sellers: &[usize],
+    buyers: &[usize],
+    cfg: &PemConfig,
+    rng: &mut HashDrbg,
+) -> Result<PricingOutcome, PemError> {
+    run_with_topology(net, keys, agents, sellers, buyers, cfg, Topology::Ring, rng)
+}
+
+/// Runs Protocol 3 with an explicit aggregation topology.
+///
+/// # Errors
+///
+/// As [`run`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_topology(
+    net: &mut SimNetwork,
+    keys: &KeyDirectory,
+    agents: &[AgentCtx],
+    sellers: &[usize],
+    buyers: &[usize],
+    cfg: &PemConfig,
+    topology: Topology,
+    rng: &mut HashDrbg,
+) -> Result<PricingOutcome, PemError> {
+    if sellers.is_empty() || buyers.is_empty() {
+        return Err(PemError::Protocol(
+            "pricing requires both coalitions to be non-empty",
+        ));
+    }
+    let hb = buyers[rng.gen_range(0..buyers.len())];
+    let pk = keys.public(hb);
+    let quantizer = cfg.quantizer();
+
+    // Each seller's two pricing terms, encrypted under H_b's key. The
+    // denominator term is signed in principle (deep battery charging), so
+    // it uses the balanced encoding.
+    let mut seller_terms = |idx: usize| -> Result<(Ciphertext, Ciphertext), PemError> {
+        let a = &agents[idx];
+        let k_q = quantizer.quantize_unsigned(a.data.preference, "preference")?;
+        let d_q = quantizer.quantize(a.data.pricing_denominator_term(), "pricing denominator")?;
+        let k_ct = pk.try_encrypt(&pem_bignum::BigUint::from(k_q), rng)?;
+        let d_ct = pk.try_encrypt(&pk.encode_i128(d_q as i128), rng)?;
+        Ok((k_ct, d_ct))
+    };
+
+    let (k_ct, d_ct) = match topology {
+        Topology::Ring => {
+            // Ring pass over the sellers, accumulating both sums
+            // homomorphically (the paper's Protocol 3 flow).
+            let (mut k_acc, mut d_acc) = seller_terms(sellers[0])?;
+            for hop in 1..sellers.len() {
+                let prev = sellers[hop - 1];
+                let cur = sellers[hop];
+                let mut w = WireWriter::new();
+                w.put_biguint(k_acc.as_biguint());
+                w.put_biguint(d_acc.as_biguint());
+                net.send(PartyId(prev), PartyId(cur), "price/agg", w.finish())?;
+                let env = net.recv_expect(PartyId(cur), "price/agg")?;
+                let mut r = WireReader::new(&env.payload);
+                let k_in = Ciphertext::from_biguint(r.get_biguint()?);
+                let d_in = Ciphertext::from_biguint(r.get_biguint()?);
+                pk.validate_ciphertext(&k_in)?;
+                pk.validate_ciphertext(&d_in)?;
+                let (k_own, d_own) = seller_terms(cur)?;
+                k_acc = pk.add_ciphertexts(&k_in, &k_own);
+                d_acc = pk.add_ciphertexts(&d_in, &d_own);
+            }
+
+            // Last seller forwards the pair to H_b …
+            let last = *sellers.last().expect("non-empty");
+            let mut w = WireWriter::new();
+            w.put_biguint(k_acc.as_biguint());
+            w.put_biguint(d_acc.as_biguint());
+            net.send(PartyId(last), PartyId(hb), "price/agg", w.finish())?;
+            let env = net.recv_expect(PartyId(hb), "price/agg")?;
+            let mut r = WireReader::new(&env.payload);
+            let k_ct = Ciphertext::from_biguint(r.get_biguint()?);
+            let d_ct = Ciphertext::from_biguint(r.get_biguint()?);
+            (k_ct, d_ct)
+        }
+        Topology::Star => {
+            // Every seller sends its pair straight to H_b, who folds them
+            // together locally: same bytes, sequential depth 1.
+            for &s in sellers {
+                let (k_own, d_own) = seller_terms(s)?;
+                let mut w = WireWriter::new();
+                w.put_biguint(k_own.as_biguint());
+                w.put_biguint(d_own.as_biguint());
+                net.send(PartyId(s), PartyId(hb), "price/agg", w.finish())?;
+            }
+            let mut k_acc: Option<Ciphertext> = None;
+            let mut d_acc: Option<Ciphertext> = None;
+            for _ in 0..sellers.len() {
+                let env = net.recv_expect(PartyId(hb), "price/agg")?;
+                let mut r = WireReader::new(&env.payload);
+                let k_in = Ciphertext::from_biguint(r.get_biguint()?);
+                let d_in = Ciphertext::from_biguint(r.get_biguint()?);
+                pk.validate_ciphertext(&k_in)?;
+                pk.validate_ciphertext(&d_in)?;
+                k_acc = Some(match k_acc {
+                    None => k_in,
+                    Some(acc) => pk.add_ciphertexts(&acc, &k_in),
+                });
+                d_acc = Some(match d_acc {
+                    None => d_in,
+                    Some(acc) => pk.add_ciphertexts(&acc, &d_in),
+                });
+            }
+            (k_acc.expect("at least one seller"), d_acc.expect("at least one seller"))
+        }
+    };
+    pk.validate_ciphertext(&k_ct)?;
+    pk.validate_ciphertext(&d_ct)?;
+
+    // … who decrypts the two aggregates (and nothing else — Lemma 3).
+    let sk = keys.keypair(hb).private();
+    let k_sum_q = sk
+        .decrypt(&k_ct)
+        .to_u128()
+        .ok_or(PemError::Protocol("k aggregate exceeded 128 bits"))?;
+    let d_sum_q = sk.decrypt_i128(&d_ct);
+    let k_sum = quantizer.dequantize_u128(k_sum_q);
+    let denominator_sum = quantizer.dequantize(i64::try_from(d_sum_q).map_err(|_| {
+        PemError::Protocol("pricing denominator aggregate exceeded 64 bits")
+    })?);
+
+    // Eq. 13 with the Eq. 14 clamp; a non-positive denominator means
+    // supply is so battery-starved the equilibrium diverges → ceiling.
+    let p_hat = if denominator_sum <= 0.0 {
+        f64::INFINITY
+    } else {
+        (cfg.band.grid_retail * k_sum / denominator_sum).sqrt()
+    };
+    let price = cfg.band.clamp(p_hat);
+
+    // H_b broadcasts p* to the whole market.
+    let mut w = WireWriter::new();
+    w.put_f64(price);
+    net.broadcast(PartyId(hb), "price/broadcast", &w.finish())?;
+    for i in 0..agents.len() {
+        if i != hb {
+            let env = net.recv_expect(PartyId(i), "price/broadcast")?;
+            let mut r = WireReader::new(&env.payload);
+            let p = r.get_f64()?;
+            debug_assert_eq!(p.to_bits(), price.to_bits());
+        }
+    }
+
+    Ok(PricingOutcome {
+        price,
+        p_hat,
+        hb,
+        k_sum,
+        denominator_sum,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::Quantizer;
+    use pem_market::{optimal_price, optimal_price_unclamped, AgentWindow, Role};
+
+    fn setup(
+        agents_data: Vec<AgentWindow>,
+    ) -> (SimNetwork, KeyDirectory, Vec<AgentCtx>, Vec<usize>, Vec<usize>, PemConfig, HashDrbg) {
+        let cfg = PemConfig::fast_test();
+        let q = Quantizer::new(cfg.scale);
+        let n = agents_data.len();
+        let keys = KeyDirectory::generate(n, cfg.key_bits, cfg.seed).expect("keys");
+        let mut rng = HashDrbg::from_seed_label(b"p3-test", 1);
+        let mut agents = Vec::new();
+        let mut sellers = Vec::new();
+        let mut buyers = Vec::new();
+        for (i, data) in agents_data.into_iter().enumerate() {
+            let ctx = AgentCtx::prepare(i, data, &q, rng.gen::<u64>() >> 24).expect("prepare");
+            match ctx.role {
+                Role::Seller => sellers.push(i),
+                Role::Buyer => buyers.push(i),
+                Role::OffMarket => {}
+            }
+            agents.push(ctx);
+        }
+        (SimNetwork::new(n), keys, agents, sellers, buyers, cfg, rng)
+    }
+
+    fn paper_agents() -> Vec<AgentWindow> {
+        vec![
+            AgentWindow::new(0, 4.0, 1.0, 0.5, 0.9, 28.0),
+            AgentWindow::new(1, 6.0, 0.5, -0.2, 0.85, 35.0),
+            AgentWindow::new(2, 0.0, 3.0, 0.0, 0.9, 20.0),
+            AgentWindow::new(3, 0.0, 9.0, 0.0, 0.9, 22.0),
+        ]
+    }
+
+    #[test]
+    fn matches_plaintext_formula() {
+        let data = paper_agents();
+        let seller_rows: Vec<AgentWindow> = data
+            .iter()
+            .filter(|a| a.net_energy() > 0.0)
+            .copied()
+            .collect();
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(data);
+        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
+            .expect("protocol 3");
+        let expected = optimal_price(&seller_rows, &cfg.band);
+        assert!(
+            (out.price - expected).abs() < 1e-6,
+            "pem {} vs plaintext {expected}",
+            out.price
+        );
+        let expected_raw = optimal_price_unclamped(&seller_rows, &cfg.band);
+        assert!((out.p_hat - expected_raw).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reveals_only_the_aggregates() {
+        let data = paper_agents();
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(data.clone());
+        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
+            .expect("protocol 3");
+        // The revealed sums match the Lemma 3 surface …
+        let k_sum: f64 = data
+            .iter()
+            .filter(|a| a.net_energy() > 0.0)
+            .map(|a| a.preference)
+            .sum();
+        assert!((out.k_sum - k_sum).abs() < 1e-6);
+        // … and the chosen party is a buyer.
+        assert!(buyers.contains(&out.hb));
+    }
+
+    #[test]
+    fn price_is_clamped_into_band() {
+        // Huge preferences: p̂ blows past the ceiling.
+        let data = vec![
+            AgentWindow::new(0, 0.5, 0.2, 0.0, 0.9, 10_000.0),
+            AgentWindow::new(1, 0.0, 2.0, 0.0, 0.9, 20.0),
+        ];
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(data);
+        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
+            .expect("protocol 3");
+        assert!(out.p_hat > cfg.band.ceiling);
+        assert_eq!(out.price, cfg.band.ceiling);
+    }
+
+    #[test]
+    fn single_seller_single_buyer() {
+        let data = vec![
+            AgentWindow::new(0, 2.0, 0.5, 0.0, 0.9, 30.0),
+            AgentWindow::new(1, 0.0, 5.0, 0.0, 0.9, 25.0),
+        ];
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(data);
+        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
+            .expect("protocol 3");
+        assert!(out.price >= cfg.band.floor && out.price <= cfg.band.ceiling);
+        assert_eq!(net.pending(), 0);
+    }
+
+    #[test]
+    fn empty_sellers_rejected() {
+        let data = vec![AgentWindow::new(0, 0.0, 5.0, 0.0, 0.9, 25.0)];
+        let (mut net, keys, agents, _sellers, buyers, cfg, mut rng) = setup(data);
+        assert!(matches!(
+            run(&mut net, &keys, &agents, &[], &buyers, &cfg, &mut rng),
+            Err(PemError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn star_topology_matches_ring() {
+        let data = paper_agents();
+        let (mut net_r, keys, agents, sellers, buyers, cfg, mut rng) = setup(data.clone());
+        let ring = run_with_topology(
+            &mut net_r, &keys, &agents, &sellers, &buyers, &cfg, Topology::Ring, &mut rng,
+        )
+        .expect("ring");
+        let mut net_s = SimNetwork::new(agents.len());
+        let star = run_with_topology(
+            &mut net_s, &keys, &agents, &sellers, &buyers, &cfg, Topology::Star, &mut rng,
+        )
+        .expect("star");
+        assert!((ring.price - star.price).abs() < 1e-9);
+        assert!((ring.k_sum - star.k_sum).abs() < 1e-9);
+        // Same number of aggregation messages, same byte volume class.
+        assert_eq!(
+            net_r.stats().per_label["price/agg"].messages,
+            net_s.stats().per_label["price/agg"].messages
+        );
+        let rb = net_r.stats().per_label["price/agg"].bytes as f64;
+        let sb = net_s.stats().per_label["price/agg"].bytes as f64;
+        assert!((rb / sb - 1.0).abs() < 0.2, "bytes ring {rb} vs star {sb}");
+    }
+
+    #[test]
+    fn traffic_labelled_for_table1() {
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(paper_agents());
+        run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng).expect("protocol 3");
+        let s = net.stats();
+        assert!(s.per_label.contains_key("price/agg"));
+        assert!(s.per_label.contains_key("price/broadcast"));
+        // Two ciphertexts per hop: each ~2·key_bits.
+        let hops = sellers.len() as u64; // (ring) + final hand-off
+        assert_eq!(s.per_label["price/agg"].messages, hops);
+    }
+}

@@ -1,0 +1,391 @@
+//! **Protocol 4 — Private Distribution.**
+//!
+//! Allocates pairwise amounts in proportion to each buyer's demand share
+//! (general market) or each seller's supply share (extreme market),
+//! revealing only the allocation *ratios* (Lemma 4):
+//!
+//! 1. A random member of the *opposite* coalition is chosen as the ratio
+//!    decryptor (`H_s` = a seller in the general case).
+//! 2. A ring pass over the buyers aggregates `Enc_{pk_s}(E_b)`; the last
+//!    buyer broadcasts the ciphertext inside the buyer coalition.
+//! 3. Paillier has no homomorphic division, so each buyer inverts its
+//!    ratio *in the exponent*: it sends
+//!    `Enc(E_b)^{round(K / |sn_j|)} = Enc(E_b · round(K / |sn_j|))`
+//!    with a public precision constant `K = 2^ratio_precision_bits`.
+//!    `H_s` decrypts `v_j ≈ K·E_b/|sn_j|` and recovers the demand ratio
+//!    `|sn_j|/E_b = K/v_j` — learning the ratio but neither operand.
+//! 4. `H_s` broadcasts the ratio vector inside the seller coalition; each
+//!    seller routes `e_ij = sn_i · ratio_j` to each buyer, who pays
+//!    `m_ji = p·e_ij` — the O(n²) pairwise settlement of §III-D.
+
+use pem_crypto::drbg::HashDrbg;
+use pem_crypto::paillier::Ciphertext;
+use pem_market::{AgentId, Trade};
+use pem_net::wire::{WireReader, WireWriter};
+use pem_net::{PartyId, SimNetwork};
+use rand::Rng;
+
+use crate::agents::AgentCtx;
+use crate::config::PemConfig;
+use crate::error::PemError;
+use crate::keys::KeyDirectory;
+
+/// Result of Private Distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionOutcome {
+    /// All pairwise trades (seller-major order, matching
+    /// `pem_market::allocate`).
+    pub trades: Vec<Trade>,
+    /// The allocation ratios revealed to the decryptor (Lemma 4 surface),
+    /// in coalition order.
+    pub ratios: Vec<f64>,
+    /// The party that decrypted the ratios.
+    pub decryptor: usize,
+}
+
+/// Runs Protocol 4.
+///
+/// `general_market` selects the §III-D variant: demand-proportional with
+/// a seller decryptor, or supply-proportional with a buyer decryptor.
+///
+/// # Errors
+///
+/// [`PemError::Protocol`] if either coalition is empty; otherwise
+/// crypto/network failures.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn run(
+    net: &mut SimNetwork,
+    keys: &KeyDirectory,
+    agents: &[AgentCtx],
+    sellers: &[usize],
+    buyers: &[usize],
+    price: f64,
+    general_market: bool,
+    cfg: &PemConfig,
+    rng: &mut HashDrbg,
+) -> Result<DistributionOutcome, PemError> {
+    if sellers.is_empty() || buyers.is_empty() {
+        return Err(PemError::Protocol(
+            "distribution requires both coalitions to be non-empty",
+        ));
+    }
+    // Ratio side = the coalition whose shares are being computed;
+    // decryptor side = the other coalition.
+    let (ratio_side, other_side) = if general_market {
+        (buyers, sellers)
+    } else {
+        (sellers, buyers)
+    };
+    let decryptor = other_side[rng.gen_range(0..other_side.len())];
+    let pk = keys.public(decryptor);
+    let k_const = 1u128 << cfg.ratio_precision_bits;
+
+    // --- Step 2: ring-aggregate the ratio side's total under pk. -------
+    let contribution = |idx: usize| pem_bignum::BigUint::from(agents[idx].sn_abs_q);
+    let mut acc = pk.try_encrypt(&contribution(ratio_side[0]), rng)?;
+    for hop in 1..ratio_side.len() {
+        let prev = ratio_side[hop - 1];
+        let cur = ratio_side[hop];
+        let mut w = WireWriter::new();
+        w.put_biguint(acc.as_biguint());
+        net.send(PartyId(prev), PartyId(cur), "dist/total-agg", w.finish())?;
+        let env = net.recv_expect(PartyId(cur), "dist/total-agg")?;
+        let mut r = WireReader::new(&env.payload);
+        let received = Ciphertext::from_biguint(r.get_biguint()?);
+        pk.validate_ciphertext(&received)?;
+        let own = pk.try_encrypt(&contribution(cur), rng)?;
+        acc = pk.add_ciphertexts(&received, &own);
+    }
+
+    // The last member broadcasts Enc(total) inside the ratio coalition.
+    let last = *ratio_side.last().expect("non-empty");
+    let mut enc_total_per_member: Vec<Ciphertext> = Vec::with_capacity(ratio_side.len());
+    {
+        let mut w = WireWriter::new();
+        w.put_biguint(acc.as_biguint());
+        let bytes = w.finish();
+        for &member in ratio_side.iter() {
+            if member == last {
+                continue;
+            }
+            net.send(PartyId(last), PartyId(member), "dist/total-bcast", bytes.clone())?;
+        }
+        for &member in ratio_side.iter() {
+            if member == last {
+                enc_total_per_member.push(acc.clone());
+                continue;
+            }
+            let env = net.recv_expect(PartyId(member), "dist/total-bcast")?;
+            let mut r = WireReader::new(&env.payload);
+            let ct = Ciphertext::from_biguint(r.get_biguint()?);
+            pk.validate_ciphertext(&ct)?;
+            enc_total_per_member.push(ct);
+        }
+    }
+
+    // --- Step 3: exponent-inverted ratio requests to the decryptor. ----
+    for (pos, &member) in ratio_side.iter().enumerate() {
+        let sn = agents[member].sn_abs_q;
+        debug_assert!(sn > 0, "market members have non-zero net energy");
+        let exponent = (k_const + sn as u128 / 2) / sn as u128; // round(K / sn)
+        let ct = pk.mul_plain(
+            &enc_total_per_member[pos],
+            &pem_bignum::BigUint::from(exponent),
+        );
+        let mut w = WireWriter::new();
+        w.put_biguint(ct.as_biguint());
+        net.send(PartyId(member), PartyId(decryptor), "dist/ratio-req", w.finish())?;
+    }
+
+    let sk = keys.keypair(decryptor).private();
+    let mut ratios = Vec::with_capacity(ratio_side.len());
+    for _ in 0..ratio_side.len() {
+        let env = net.recv_expect(PartyId(decryptor), "dist/ratio-req")?;
+        let mut r = WireReader::new(&env.payload);
+        let ct = Ciphertext::from_biguint(r.get_biguint()?);
+        pk.validate_ciphertext(&ct)?;
+        let v = sk
+            .decrypt(&ct)
+            .to_u128()
+            .ok_or(PemError::Protocol("scaled ratio exceeded 128 bits"))?;
+        if v == 0 {
+            return Err(PemError::Protocol("degenerate zero ratio"));
+        }
+        // v ≈ K·total/sn_member ⇒ member share = K/v.
+        ratios.push(k_const as f64 / v as f64);
+    }
+
+    // --- Step 4: broadcast ratios to the other coalition and settle. ---
+    {
+        let mut w = WireWriter::new();
+        w.put_varint(ratios.len() as u64);
+        for &ratio in &ratios {
+            w.put_f64(ratio);
+        }
+        let bytes = w.finish();
+        for &member in other_side.iter() {
+            if member == decryptor {
+                continue;
+            }
+            net.send(PartyId(decryptor), PartyId(member), "dist/ratios", bytes.clone())?;
+            let env = net.recv_expect(PartyId(member), "dist/ratios")?;
+            let mut r = WireReader::new(&env.payload);
+            let n = r.get_varint()? as usize;
+            for _ in 0..n {
+                let _ = r.get_f64()?;
+            }
+        }
+    }
+
+    // Pairwise settlement. In both market cases e_ij multiplies the
+    // *other* side's absolute net energy by the ratio-side share.
+    let quantizer = cfg.quantizer();
+    let mut trades = Vec::with_capacity(sellers.len() * buyers.len());
+    for &s in sellers {
+        let sn_s = quantizer.dequantize(agents[s].sn_q);
+        for (b_pos, &b) in buyers.iter().enumerate() {
+            let energy = if general_market {
+                // Seller s sends sn_s · (|sn_b| / E_b).
+                sn_s * ratios[b_pos]
+            } else {
+                // Seller share of the buyer's demand: |sn_b| · (sn_s / E_s).
+                let s_pos = sellers.iter().position(|&x| x == s).expect("seller");
+                let sn_b = quantizer.dequantize(-agents[b].sn_q);
+                sn_b * ratios[s_pos]
+            };
+            if energy <= 0.0 {
+                continue;
+            }
+            let payment = price * energy;
+            // Energy routing message (seller → buyer) …
+            let mut w = WireWriter::new();
+            w.put_f64(energy);
+            net.send(PartyId(s), PartyId(b), "dist/energy", w.finish())?;
+            let env = net.recv_expect(PartyId(b), "dist/energy")?;
+            let mut r = WireReader::new(&env.payload);
+            let routed = r.get_f64()?;
+            // … answered by the payment (buyer → seller).
+            let mut w = WireWriter::new();
+            w.put_f64(price * routed);
+            net.send(PartyId(b), PartyId(s), "dist/payment", w.finish())?;
+            let env = net.recv_expect(PartyId(s), "dist/payment")?;
+            let mut r = WireReader::new(&env.payload);
+            let paid = r.get_f64()?;
+            debug_assert!((paid - payment).abs() < 1e-9);
+            trades.push(Trade {
+                seller: AgentId(agents[s].data.id.0),
+                buyer: AgentId(agents[b].data.id.0),
+                energy,
+                payment: paid,
+            });
+        }
+    }
+
+    Ok(DistributionOutcome {
+        trades,
+        ratios,
+        decryptor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::Quantizer;
+    use pem_market::{allocate, AgentWindow, Role};
+
+    fn setup(
+        surpluses: &[f64],
+    ) -> (SimNetwork, KeyDirectory, Vec<AgentCtx>, Vec<usize>, Vec<usize>, PemConfig, HashDrbg) {
+        let cfg = PemConfig::fast_test();
+        let q = Quantizer::new(cfg.scale);
+        let n = surpluses.len();
+        let keys = KeyDirectory::generate(n, cfg.key_bits, cfg.seed).expect("keys");
+        let rng = HashDrbg::from_seed_label(b"p4-test", 1);
+        let mut agents = Vec::new();
+        let mut sellers = Vec::new();
+        let mut buyers = Vec::new();
+        for (i, &s) in surpluses.iter().enumerate() {
+            let data = if s >= 0.0 {
+                AgentWindow::new(i, s, 0.0, 0.0, 0.9, 25.0)
+            } else {
+                AgentWindow::new(i, 0.0, -s, 0.0, 0.9, 25.0)
+            };
+            let ctx = AgentCtx::prepare(i, data, &q, 0).expect("prepare");
+            match ctx.role {
+                Role::Seller => sellers.push(i),
+                Role::Buyer => buyers.push(i),
+                Role::OffMarket => {}
+            }
+            agents.push(ctx);
+        }
+        (SimNetwork::new(n), keys, agents, sellers, buyers, cfg, rng)
+    }
+
+    fn plaintext_trades(surpluses: &[f64], price: f64) -> Vec<Trade> {
+        let rows: Vec<AgentWindow> = surpluses
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                if s >= 0.0 {
+                    AgentWindow::new(i, s, 0.0, 0.0, 0.9, 25.0)
+                } else {
+                    AgentWindow::new(i, 0.0, -s, 0.0, 0.9, 25.0)
+                }
+            })
+            .collect();
+        let sellers: Vec<_> = rows.iter().filter(|a| a.net_energy() > 0.0).copied().collect();
+        let buyers: Vec<_> = rows.iter().filter(|a| a.net_energy() < 0.0).copied().collect();
+        allocate(&sellers, &buyers, price)
+    }
+
+    fn assert_trades_close(a: &[Trade], b: &[Trade], tol: f64) {
+        assert_eq!(a.len(), b.len(), "trade counts differ");
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.seller, y.seller);
+            assert_eq!(x.buyer, y.buyer);
+            assert!(
+                (x.energy - y.energy).abs() < tol,
+                "energy {} vs {}",
+                x.energy,
+                y.energy
+            );
+            assert!(
+                (x.payment - y.payment).abs() < tol * 200.0,
+                "payment {} vs {}",
+                x.payment,
+                y.payment
+            );
+        }
+    }
+
+    #[test]
+    fn general_market_matches_plaintext_allocation() {
+        let surpluses = [2.0, 3.0, -4.0, -2.0, -2.0]; // E_s = 5 < E_b = 8
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&surpluses);
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, 100.0, true, &cfg, &mut rng,
+        )
+        .expect("protocol 4");
+        assert_trades_close(&out.trades, &plaintext_trades(&surpluses, 100.0), 1e-6);
+        assert_eq!(net.pending(), 0);
+    }
+
+    #[test]
+    fn extreme_market_matches_plaintext_allocation() {
+        let surpluses = [6.0, 4.0, -1.5, -2.5]; // E_s = 10 ≥ E_b = 4
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&surpluses);
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, 90.0, false, &cfg, &mut rng,
+        )
+        .expect("protocol 4");
+        assert_trades_close(&out.trades, &plaintext_trades(&surpluses, 90.0), 1e-6);
+    }
+
+    #[test]
+    fn ratios_sum_to_one() {
+        let surpluses = [2.0, -1.0, -3.0, -4.0];
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&surpluses);
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, 95.0, true, &cfg, &mut rng,
+        )
+        .expect("protocol 4");
+        // Per-ratio relative error is bounded by sn_max/(2K) ≈ 2^-23.
+        let total: f64 = out.ratios.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "ratio sum {total}");
+        // The decryptor is a seller in the general market.
+        assert!(sellers.contains(&out.decryptor));
+    }
+
+    #[test]
+    fn conservation_of_energy_and_money() {
+        let surpluses = [1.5, 2.5, -3.0, -5.0];
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&surpluses);
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, 100.0, true, &cfg, &mut rng,
+        )
+        .expect("protocol 4");
+        let energy: f64 = out.trades.iter().map(|t| t.energy).sum();
+        assert!((energy - 4.0).abs() < 1e-6, "all supply traded: {energy}");
+        let money: f64 = out.trades.iter().map(|t| t.payment).sum();
+        assert!((money - 400.0).abs() < 1e-4, "payments match price: {money}");
+    }
+
+    #[test]
+    fn tiny_demands_survive_ratio_precision() {
+        // A buyer at the quantization floor (1 µkWh) must not break the
+        // exponent inversion. (E_s = 0.5 < E_b ≈ 0.75: general market.)
+        let surpluses = [0.5, -1e-6, -0.75];
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&surpluses);
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, 100.0, true, &cfg, &mut rng,
+        )
+        .expect("protocol 4");
+        assert_trades_close(&out.trades, &plaintext_trades(&surpluses, 100.0), 1e-5);
+    }
+
+    #[test]
+    fn empty_coalitions_rejected() {
+        let (mut net, keys, agents, sellers, _buyers, cfg, mut rng) = setup(&[1.0, 2.0]);
+        assert!(matches!(
+            run(&mut net, &keys, &agents, &sellers, &[], 100.0, true, &cfg, &mut rng),
+            Err(PemError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn traffic_labelled_for_table1() {
+        let surpluses = [2.0, -1.0, -3.0];
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&surpluses);
+        run(
+            &mut net, &keys, &agents, &sellers, &buyers, 100.0, true, &cfg, &mut rng,
+        )
+        .expect("protocol 4");
+        let s = net.stats();
+        for label in ["dist/total-agg", "dist/ratio-req", "dist/energy", "dist/payment"] {
+            assert!(s.per_label.contains_key(label), "missing {label}");
+        }
+        // Pairwise settlement: |sellers| × |buyers| energy messages.
+        assert_eq!(s.per_label["dist/energy"].messages, 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests: across random small populations, the encrypted
+//! protocols agree with the plaintext market engine.
+
+use pem_core::{Pem, PemConfig};
+use pem_market::{AgentWindow, MarketEngine, MarketKind};
+use proptest::prelude::*;
+
+fn arb_population() -> impl Strategy<Value = Vec<AgentWindow>> {
+    proptest::collection::vec(
+        (
+            0.0f64..6.0,  // generation
+            0.0f64..6.0,  // load
+            -0.5f64..0.5, // battery
+            16.0f64..45.0, // preference
+        ),
+        3..7,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (g, l, b, k))| AgentWindow::new(i, g, l, b, 0.9, k))
+            .collect()
+    })
+}
+
+proptest! {
+    // Each case runs the full crypto stack; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pem_matches_engine_on_random_populations(pop in arb_population()) {
+        let cfg = PemConfig::fast_test();
+        let engine = MarketEngine::new(cfg.band);
+        let mut pem = Pem::new(cfg, pop.len()).expect("setup");
+
+        let secure = pem.run_window(&pop).expect("window");
+        let clear = engine.run_window(&pop);
+
+        prop_assert_eq!(secure.kind, clear.kind);
+        prop_assert!((secure.price - clear.price).abs() < 1e-6,
+            "price {} vs {}", secure.price, clear.price);
+        prop_assert_eq!(secure.trades.len(), clear.trades.len());
+        for (a, b) in secure.trades.iter().zip(clear.trades.iter()) {
+            prop_assert_eq!(a.seller, b.seller);
+            prop_assert_eq!(a.buyer, b.buyer);
+            prop_assert!((a.energy - b.energy).abs() < 1e-5,
+                "energy {} vs {}", a.energy, b.energy);
+        }
+    }
+
+    #[test]
+    fn masked_difference_always_exact(pop in arb_population()) {
+        // Protocol 2 invariant: R_b − R_s = quantized(E_b − E_s) exactly,
+        // for any population and any nonces.
+        let cfg = PemConfig::fast_test();
+        let mut pem = Pem::new(cfg, pop.len()).expect("setup");
+        let out = pem.run_window(&pop).expect("window");
+        if out.kind == MarketKind::NoMarket {
+            return Ok(());
+        }
+        let rb = out.revealed.masked_demand.expect("two-sided window") as i128;
+        let rs = out.revealed.masked_supply.expect("two-sided window") as i128;
+        let quantize = |v: f64| (v * 1e6).round() as i128;
+        let e_b: i128 = pop.iter().map(|a| {
+            let q = quantize(a.net_energy());
+            if q < 0 { -q } else { 0 }
+        }).sum();
+        let e_s: i128 = pop.iter().map(|a| {
+            let q = quantize(a.net_energy());
+            if q > 0 { q } else { 0 }
+        }).sum();
+        prop_assert_eq!(rb - rs, e_b - e_s);
+    }
+}

@@ -1,0 +1,47 @@
+//! Cryptographic building blocks for the Private Energy Market (PEM).
+//!
+//! The ICDCS 2020 paper constructs its protocols from two primitives
+//! (Section IV-A): the additively homomorphic **Paillier cryptosystem**
+//! and **garbled circuits** for light-weight secure comparison. This crate
+//! provides Paillier plus everything the garbled-circuit layer
+//! (`pem-circuit`) needs underneath:
+//!
+//! * [`sha256()`] — FIPS 180-4 SHA-256, used as the garbling cipher, the KDF
+//!   and the ledger hash,
+//! * [`drbg::HashDrbg`] — a deterministic, seedable random generator
+//!   implementing [`rand::RngCore`] for reproducible experiments,
+//! * [`paillier`] — key generation, encryption, decryption and the
+//!   homomorphic operations (`Enc(a)·Enc(b) = Enc(a+b)`, `Enc(a)^k = Enc(ka)`),
+//! * [`ot`] — 1-out-of-2 oblivious transfer over `Z_p*` (RFC 3526 MODP
+//!   groups; Chou–Orlandi message flow, semi-honest model),
+//! * [`commit`] — Pedersen-style commitments (used by the §VI
+//!   malicious-model extension).
+//!
+//! # Example
+//!
+//! ```
+//! use pem_crypto::paillier::Keypair;
+//! use pem_crypto::drbg::HashDrbg;
+//! use pem_bignum::BigUint;
+//!
+//! let mut rng = HashDrbg::from_seed_label(b"docs", 0);
+//! let kp = Keypair::generate(128, &mut rng);
+//! let (pk, sk) = (kp.public(), kp.private());
+//! let a = pk.encrypt(&BigUint::from(20u64), &mut rng);
+//! let b = pk.encrypt(&BigUint::from(22u64), &mut rng);
+//! let sum = pk.add_ciphertexts(&a, &b);
+//! assert_eq!(sk.decrypt(&sum), BigUint::from(42u64));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commit;
+pub mod drbg;
+pub mod error;
+pub mod ot;
+pub mod paillier;
+pub mod sha256;
+
+pub use error::CryptoError;
+pub use sha256::{sha256, Sha256};

@@ -1,0 +1,417 @@
+//! The Paillier cryptosystem (Paillier, Eurocrypt '99).
+//!
+//! Semantically secure public-key encryption with an additive homomorphism:
+//! `Enc(a) · Enc(b) = Enc(a + b)` and `Enc(a)^k = Enc(k·a)` (all mod `n²`).
+//! PEM uses it for every aggregation in Protocols 2–4.
+//!
+//! We use the standard `g = n + 1` simplification, under which
+//! `Enc(m; r) = (1 + m·n) · r^n mod n²` and decryption is
+//! `m = L(c^λ mod n²) · μ mod n` with `L(x) = (x-1)/n` and
+//! `μ = λ^{-1} mod n`.
+//!
+//! Signed values are carried with the usual balanced encoding: a value
+//! `v < 0` is represented as `n − |v|`; [`PublicKey::encode_i128`] /
+//! [`PrivateKey::decrypt_i128`] hide the bookkeeping.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use pem_bignum::{BigUint, Montgomery};
+
+use crate::error::CryptoError;
+
+/// A Paillier public key (`n`, with cached `n²` and Montgomery context).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PublicKey {
+    n: BigUint,
+    n2: BigUint,
+    #[serde(skip)]
+    mont_n2: Option<Montgomery>,
+}
+
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+    }
+}
+
+impl Eq for PublicKey {}
+
+/// A Paillier private key (`λ = lcm(p-1, q-1)`, `μ = λ^{-1} mod n`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrivateKey {
+    lambda: BigUint,
+    mu: BigUint,
+    public: PublicKey,
+}
+
+/// A key pair produced by [`Keypair::generate`].
+#[derive(Debug, Clone)]
+pub struct Keypair {
+    public: PublicKey,
+    private: PrivateKey,
+}
+
+/// A Paillier ciphertext: an element of `Z_{n²}*`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ciphertext(pub(crate) BigUint);
+
+impl Ciphertext {
+    /// Raw group element (for wire encoding).
+    pub fn as_biguint(&self) -> &BigUint {
+        &self.0
+    }
+
+    /// Rebuilds from a raw group element (validated lazily at use).
+    pub fn from_biguint(v: BigUint) -> Self {
+        Ciphertext(v)
+    }
+}
+
+impl Keypair {
+    /// Generates a key pair with an `n` of exactly `n_bits` bits.
+    ///
+    /// `n_bits` is the *key size* reported in the paper's evaluation
+    /// (512/1024/2048). Primes `p`, `q` are `n_bits/2`-bit random primes
+    /// regenerated until `gcd(pq, (p-1)(q-1)) = 1` and `n` has full width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits < 16` (too small for the `L`-function arithmetic
+    /// and any meaningful message space).
+    pub fn generate<R: Rng + ?Sized>(n_bits: usize, rng: &mut R) -> Keypair {
+        assert!(n_bits >= 16, "paillier keys below 16 bits are unusable");
+        loop {
+            let p = BigUint::gen_prime(n_bits / 2, rng);
+            let q = BigUint::gen_prime(n_bits.div_ceil(2), rng);
+            if p == q {
+                continue;
+            }
+            let n = &p * &q;
+            if n.bit_length() != n_bits {
+                continue;
+            }
+            let one = BigUint::one();
+            let p1 = &p - &one;
+            let q1 = &q - &one;
+            if !n.gcd(&(&p1 * &q1)).is_one() {
+                continue;
+            }
+            let lambda = p1.lcm(&q1);
+            let mu = match lambda.mod_inverse(&n) {
+                Some(mu) => mu,
+                None => continue,
+            };
+            let n2 = &n * &n;
+            let public = PublicKey {
+                mont_n2: Montgomery::new(n2.clone()),
+                n,
+                n2,
+            };
+            let private = PrivateKey {
+                lambda,
+                mu,
+                public: public.clone(),
+            };
+            return Keypair { public, private };
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// The private half.
+    pub fn private(&self) -> &PrivateKey {
+        &self.private
+    }
+
+    /// Splits into `(public, private)`.
+    pub fn into_parts(self) -> (PublicKey, PrivateKey) {
+        (self.public, self.private)
+    }
+}
+
+impl PublicKey {
+    /// The modulus `n`.
+    pub fn n(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// The ciphertext-space modulus `n²`.
+    pub fn n_squared(&self) -> &BigUint {
+        &self.n2
+    }
+
+    /// Key size in bits (bit length of `n`).
+    pub fn bits(&self) -> usize {
+        self.n.bit_length()
+    }
+
+    fn mont(&self) -> Montgomery {
+        match &self.mont_n2 {
+            Some(m) => m.clone(),
+            // Serde round-trips drop the cached context; rebuild it.
+            None => Montgomery::new(self.n2.clone()).expect("n² is odd"),
+        }
+    }
+
+    /// Encrypts `m ∈ [0, n)` with fresh randomness from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= n`; use [`PublicKey::try_encrypt`] for a fallible
+    /// variant.
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Ciphertext {
+        self.try_encrypt(m, rng).expect("message within range")
+    }
+
+    /// Encrypts `m ∈ [0, n)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::MessageTooLarge`] if `m >= n`.
+    pub fn try_encrypt<R: Rng + ?Sized>(
+        &self,
+        m: &BigUint,
+        rng: &mut R,
+    ) -> Result<Ciphertext, CryptoError> {
+        if m >= &self.n {
+            return Err(CryptoError::MessageTooLarge {
+                message_bits: m.bit_length(),
+                modulus_bits: self.n.bit_length(),
+            });
+        }
+        let r = BigUint::random_coprime(&self.n, rng);
+        let mont = self.mont();
+        // (1 + m·n) · r^n mod n²
+        let gm = (BigUint::one() + m * &self.n) % &self.n2;
+        let rn = mont.modpow(&r, &self.n);
+        Ok(Ciphertext(mont.mul(&gm, &rn)))
+    }
+
+    /// Homomorphic addition: `Enc(a) ⊞ Enc(b) = Enc(a + b mod n)`.
+    pub fn add_ciphertexts(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Ciphertext(self.mont().mul(&a.0, &b.0))
+    }
+
+    /// Homomorphic plaintext addition: `Enc(a) ⊞ b = Enc(a + b mod n)`.
+    pub fn add_plain(&self, a: &Ciphertext, b: &BigUint) -> Ciphertext {
+        let gb = (BigUint::one() + &(b % &self.n) * &self.n) % &self.n2;
+        Ciphertext(self.mont().mul(&a.0, &gb))
+    }
+
+    /// Homomorphic scalar multiplication: `Enc(a)^k = Enc(k·a mod n)`.
+    pub fn mul_plain(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
+        Ciphertext(self.mont().modpow(&a.0, k))
+    }
+
+    /// Encodes a signed 128-bit value into the message space
+    /// (negative `v` ↦ `n − |v|`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|v| * 2 >= n` (no headroom left to distinguish signs).
+    pub fn encode_i128(&self, v: i128) -> BigUint {
+        let mag = BigUint::from(v.unsigned_abs());
+        assert!(
+            (&mag << 1) < self.n,
+            "signed value magnitude exceeds half the message space"
+        );
+        if v < 0 {
+            &self.n - &mag
+        } else {
+            mag
+        }
+    }
+
+    /// `true` if the ciphertext lies in the valid range `[1, n²)` and is
+    /// invertible mod `n²`.
+    pub fn validate_ciphertext(&self, c: &Ciphertext) -> Result<(), CryptoError> {
+        if c.0.is_zero() || c.0 >= self.n2 || !c.0.gcd(&self.n2).is_one() {
+            Err(CryptoError::InvalidCiphertext)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl PrivateKey {
+    /// The matching public key.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Decrypts to the canonical representative in `[0, n)`.
+    pub fn decrypt(&self, c: &Ciphertext) -> BigUint {
+        let pk = &self.public;
+        let mont = pk.mont();
+        let x = mont.modpow(&c.0, &self.lambda);
+        // L(x) = (x - 1) / n  — exact division by construction.
+        let l = (&x - &BigUint::one()) / &pk.n;
+        (&l * &self.mu) % &pk.n
+    }
+
+    /// Decrypts and decodes the balanced signed encoding.
+    ///
+    /// Values in `[0, n/2)` are non-negative; values in `(n/2, n)` map to
+    /// negatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decoded magnitude exceeds `i128` (indicates protocol
+    /// misuse, not data-dependent behaviour).
+    pub fn decrypt_i128(&self, c: &Ciphertext) -> i128 {
+        let m = self.decrypt(c);
+        let half = &self.public.n >> 1;
+        if m <= half {
+            i128::try_from(m.to_u128().expect("fits i128")).expect("fits i128")
+        } else {
+            let mag = &self.public.n - &m;
+            -i128::try_from(mag.to_u128().expect("fits i128")).expect("fits i128")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::HashDrbg;
+
+    fn keypair(bits: usize) -> Keypair {
+        let mut rng = HashDrbg::from_seed_label(b"paillier-test", bits as u64);
+        Keypair::generate(bits, &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_small_values() {
+        let kp = keypair(128);
+        let mut rng = HashDrbg::new(b"enc");
+        for v in [0u64, 1, 42, 999_999_999] {
+            let m = BigUint::from(v);
+            let c = kp.public().encrypt(&m, &mut rng);
+            assert_eq!(kp.private().decrypt(&c), m, "v={v}");
+        }
+    }
+
+    #[test]
+    fn key_has_requested_bits() {
+        for bits in [64usize, 96, 128] {
+            let kp = keypair(bits);
+            assert_eq!(kp.public().bits(), bits);
+        }
+    }
+
+    #[test]
+    fn probabilistic_encryption() {
+        let kp = keypair(128);
+        let mut rng = HashDrbg::new(b"prob");
+        let m = BigUint::from(7u64);
+        let c1 = kp.public().encrypt(&m, &mut rng);
+        let c2 = kp.public().encrypt(&m, &mut rng);
+        assert_ne!(c1, c2, "same plaintext must give different ciphertexts");
+        assert_eq!(kp.private().decrypt(&c1), kp.private().decrypt(&c2));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let kp = keypair(128);
+        let mut rng = HashDrbg::new(b"hom-add");
+        let a = BigUint::from(123_456u64);
+        let b = BigUint::from(654_321u64);
+        let ca = kp.public().encrypt(&a, &mut rng);
+        let cb = kp.public().encrypt(&b, &mut rng);
+        let sum = kp.public().add_ciphertexts(&ca, &cb);
+        assert_eq!(kp.private().decrypt(&sum), &a + &b);
+    }
+
+    #[test]
+    fn homomorphic_plain_addition() {
+        let kp = keypair(128);
+        let mut rng = HashDrbg::new(b"hom-plain");
+        let a = BigUint::from(1000u64);
+        let ca = kp.public().encrypt(&a, &mut rng);
+        let sum = kp.public().add_plain(&ca, &BigUint::from(234u64));
+        assert_eq!(kp.private().decrypt(&sum), BigUint::from(1234u64));
+    }
+
+    #[test]
+    fn homomorphic_scalar_multiplication() {
+        let kp = keypair(128);
+        let mut rng = HashDrbg::new(b"hom-mul");
+        let a = BigUint::from(111u64);
+        let ca = kp.public().encrypt(&a, &mut rng);
+        let prod = kp.public().mul_plain(&ca, &BigUint::from(9u64));
+        assert_eq!(kp.private().decrypt(&prod), BigUint::from(999u64));
+    }
+
+    #[test]
+    fn addition_wraps_mod_n() {
+        let kp = keypair(64);
+        let mut rng = HashDrbg::new(b"wrap");
+        let n = kp.public().n().clone();
+        let m = &n - &BigUint::one();
+        let c = kp.public().encrypt(&m, &mut rng);
+        let sum = kp.public().add_plain(&c, &BigUint::from(2u64));
+        assert_eq!(kp.private().decrypt(&sum), BigUint::one());
+    }
+
+    #[test]
+    fn message_too_large_rejected() {
+        let kp = keypair(64);
+        let mut rng = HashDrbg::new(b"big");
+        let m = kp.public().n().clone();
+        assert!(matches!(
+            kp.public().try_encrypt(&m, &mut rng),
+            Err(CryptoError::MessageTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn signed_encoding_roundtrip() {
+        let kp = keypair(128);
+        let mut rng = HashDrbg::new(b"signed");
+        for v in [0i128, 1, -1, 42_000_000, -42_000_000, i64::MAX as i128] {
+            let m = kp.public().encode_i128(v);
+            let c = kp.public().encrypt(&m, &mut rng);
+            assert_eq!(kp.private().decrypt_i128(&c), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn signed_homomorphic_sum_crosses_zero() {
+        let kp = keypair(128);
+        let mut rng = HashDrbg::new(b"signed-sum");
+        let pk = kp.public();
+        let c1 = pk.encrypt(&pk.encode_i128(100), &mut rng);
+        let c2 = pk.encrypt(&pk.encode_i128(-250), &mut rng);
+        let sum = pk.add_ciphertexts(&c1, &c2);
+        assert_eq!(kp.private().decrypt_i128(&sum), -150);
+    }
+
+    #[test]
+    fn ciphertext_validation() {
+        let kp = keypair(64);
+        let mut rng = HashDrbg::new(b"validate");
+        let good = kp.public().encrypt(&BigUint::from(5u64), &mut rng);
+        assert!(kp.public().validate_ciphertext(&good).is_ok());
+        let zero = Ciphertext::from_biguint(BigUint::zero());
+        assert!(kp.public().validate_ciphertext(&zero).is_err());
+        let oob = Ciphertext::from_biguint(kp.public().n_squared().clone());
+        assert!(kp.public().validate_ciphertext(&oob).is_err());
+    }
+
+    #[test]
+    fn distinct_keys_incompatible() {
+        // Decrypting under the wrong key must not return the plaintext.
+        let kp1 = keypair(64);
+        let mut rng = HashDrbg::new(b"cross");
+        let kp2 = Keypair::generate(64, &mut rng);
+        let m = BigUint::from(77u64);
+        let c = kp1.public().encrypt(&m, &mut rng);
+        // Reduce into kp2's space first so decrypt is well-defined.
+        let c2 = Ciphertext::from_biguint(c.as_biguint() % kp2.public().n_squared());
+        assert_ne!(kp2.private().decrypt(&c2), m);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the cryptographic primitives.
+
+use pem_bignum::BigUint;
+use pem_crypto::drbg::HashDrbg;
+use pem_crypto::ot::{run_local_ot, DhGroup};
+use pem_crypto::paillier::Keypair;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared keypair: Paillier keygen dominates test time otherwise.
+fn shared_keypair() -> &'static Keypair {
+    static KP: OnceLock<Keypair> = OnceLock::new();
+    KP.get_or_init(|| {
+        let mut rng = HashDrbg::new(b"proptest-keypair");
+        Keypair::generate(128, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn paillier_roundtrip(v in any::<u64>()) {
+        let kp = shared_keypair();
+        let mut rng = HashDrbg::from_seed_label(b"pp-rt", v);
+        let m = BigUint::from(v);
+        let c = kp.public().encrypt(&m, &mut rng);
+        prop_assert_eq!(kp.private().decrypt(&c), m);
+    }
+
+    #[test]
+    fn paillier_additive_homomorphism(a in any::<u64>(), b in any::<u64>()) {
+        let kp = shared_keypair();
+        let mut rng = HashDrbg::from_seed_label(b"pp-add", a ^ b.rotate_left(17));
+        let ca = kp.public().encrypt(&BigUint::from(a), &mut rng);
+        let cb = kp.public().encrypt(&BigUint::from(b), &mut rng);
+        let sum = kp.public().add_ciphertexts(&ca, &cb);
+        // u64 + u64 < 2^65 << n (128 bits): no wraparound.
+        let expected = BigUint::from(a) + BigUint::from(b);
+        prop_assert_eq!(kp.private().decrypt(&sum), expected);
+    }
+
+    #[test]
+    fn paillier_scalar_homomorphism(a in any::<u32>(), k in 0u32..1000) {
+        let kp = shared_keypair();
+        let mut rng = HashDrbg::from_seed_label(b"pp-mul", ((a as u64) << 32) | k as u64);
+        let ca = kp.public().encrypt(&BigUint::from(a as u64), &mut rng);
+        let prod = kp.public().mul_plain(&ca, &BigUint::from(k as u64));
+        prop_assert_eq!(
+            kp.private().decrypt(&prod),
+            BigUint::from(a as u64) * BigUint::from(k as u64)
+        );
+    }
+
+    #[test]
+    fn paillier_signed_arithmetic(a in -1_000_000_000i64..1_000_000_000, b in -1_000_000_000i64..1_000_000_000) {
+        let kp = shared_keypair();
+        let mut rng = HashDrbg::from_seed_label(b"pp-signed", (a ^ b) as u64);
+        let pk = kp.public();
+        let ca = pk.encrypt(&pk.encode_i128(a as i128), &mut rng);
+        let cb = pk.encrypt(&pk.encode_i128(b as i128), &mut rng);
+        let sum = pk.add_ciphertexts(&ca, &cb);
+        prop_assert_eq!(kp.private().decrypt_i128(&sum), (a + b) as i128);
+    }
+
+    #[test]
+    fn ot_transfers_exactly_chosen_message(
+        m0 in proptest::collection::vec(any::<u8>(), 16),
+        m1 in proptest::collection::vec(any::<u8>(), 16),
+        choice in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let group = DhGroup::test_192();
+        let mut rng = HashDrbg::from_seed_label(b"ot-prop", seed);
+        let got = run_local_ot(&group, &m0, &m1, choice, &mut rng).expect("ot runs");
+        prop_assert_eq!(got, if choice { m1 } else { m0 });
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..300), split in any::<prop::sample::Index>()) {
+        let cut = split.index(data.len() + 1);
+        let mut h = pem_crypto::Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), pem_crypto::sha256(&data));
+    }
+}

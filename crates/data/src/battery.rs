@@ -1,0 +1,163 @@
+//! Battery state and charging policies.
+
+use serde::{Deserialize, Serialize};
+
+/// How a home schedules its battery (producing Eq. 1's `b` term).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatteryPolicy {
+    /// No battery installed (`b = 0` always, capacity 0).
+    None,
+    /// Greedy self-consumption: charge from any surplus, discharge into
+    /// any deficit, subject to capacity and rate limits.
+    GreedySelfConsumption,
+    /// Only charge from surplus, never discharge (a pure sink — maximizes
+    /// market demand; used in ablations).
+    ChargeOnly,
+}
+
+/// A home battery with state of charge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    /// Usable capacity `Cap_i` in kWh (0 = no battery).
+    pub capacity_kwh: f64,
+    /// Maximum charge/discharge energy per window (kWh).
+    pub max_rate_kwh: f64,
+    /// Scheduling policy.
+    pub policy: BatteryPolicy,
+    /// Fraction of the local imbalance the battery tries to absorb
+    /// (1.0 = full self-consumption, which takes the home off-market;
+    /// lower values leave a residual for the energy market).
+    pub absorption: f64,
+    /// Current state of charge (kWh).
+    soc_kwh: f64,
+}
+
+impl Battery {
+    /// A home without storage.
+    pub fn none() -> Battery {
+        Battery {
+            capacity_kwh: 0.0,
+            max_rate_kwh: 0.0,
+            policy: BatteryPolicy::None,
+            absorption: 0.0,
+            soc_kwh: 0.0,
+        }
+    }
+
+    /// A battery starting half-charged, absorbing the full imbalance.
+    pub fn new(capacity_kwh: f64, max_rate_kwh: f64, policy: BatteryPolicy) -> Battery {
+        Battery {
+            capacity_kwh,
+            max_rate_kwh,
+            policy,
+            absorption: 1.0,
+            soc_kwh: capacity_kwh / 2.0,
+        }
+    }
+
+    /// Sets the absorption fraction (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `absorption` is outside `[0, 1]`.
+    pub fn with_absorption(mut self, absorption: f64) -> Battery {
+        assert!((0.0..=1.0).contains(&absorption), "absorption in [0,1]");
+        self.absorption = absorption;
+        self
+    }
+
+    /// Current state of charge (kWh).
+    pub fn soc(&self) -> f64 {
+        self.soc_kwh
+    }
+
+    /// Decides the window's battery flow `b` given local surplus
+    /// `g − l` (kWh): positive return = charging, negative = discharging.
+    /// Updates the state of charge.
+    pub fn step(&mut self, local_surplus: f64) -> f64 {
+        let target = local_surplus * self.absorption;
+        let b = match self.policy {
+            BatteryPolicy::None => 0.0,
+            BatteryPolicy::GreedySelfConsumption => {
+                if target > 0.0 {
+                    target
+                        .min(self.max_rate_kwh)
+                        .min(self.capacity_kwh - self.soc_kwh)
+                } else {
+                    -((-target).min(self.max_rate_kwh).min(self.soc_kwh))
+                }
+            }
+            BatteryPolicy::ChargeOnly => {
+                if target > 0.0 {
+                    target
+                        .min(self.max_rate_kwh)
+                        .min(self.capacity_kwh - self.soc_kwh)
+                } else {
+                    0.0
+                }
+            }
+        };
+        self.soc_kwh += b;
+        debug_assert!(self.soc_kwh >= -1e-9 && self.soc_kwh <= self.capacity_kwh + 1e-9);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_flows() {
+        let mut b = Battery::none();
+        assert_eq!(b.step(5.0), 0.0);
+        assert_eq!(b.step(-5.0), 0.0);
+        assert_eq!(b.soc(), 0.0);
+    }
+
+    #[test]
+    fn greedy_charges_from_surplus() {
+        let mut b = Battery::new(10.0, 2.0, BatteryPolicy::GreedySelfConsumption);
+        // Surplus 1.5 < rate 2, capacity headroom 5: charge it all.
+        assert_eq!(b.step(1.5), 1.5);
+        assert_eq!(b.soc(), 6.5);
+        // Surplus 5 > rate 2: rate-limited.
+        assert_eq!(b.step(5.0), 2.0);
+        // Headroom now 1.5: capacity-limited.
+        assert_eq!(b.step(5.0), 1.5);
+        assert_eq!(b.soc(), 10.0);
+        assert_eq!(b.step(5.0), 0.0);
+    }
+
+    #[test]
+    fn greedy_discharges_into_deficit() {
+        let mut b = Battery::new(10.0, 2.0, BatteryPolicy::GreedySelfConsumption);
+        assert_eq!(b.step(-1.0), -1.0);
+        assert_eq!(b.soc(), 4.0);
+        assert_eq!(b.step(-5.0), -2.0); // rate-limited
+        // Drain to empty.
+        assert_eq!(b.step(-5.0), -2.0);
+        assert_eq!(b.step(-5.0), 0.0 - 0.0f64.min(0.0)); // soc = 0 → no flow
+        assert_eq!(b.soc(), 0.0);
+    }
+
+    #[test]
+    fn charge_only_never_discharges() {
+        let mut b = Battery::new(8.0, 3.0, BatteryPolicy::ChargeOnly);
+        assert_eq!(b.step(-4.0), 0.0);
+        assert!(b.step(2.0) > 0.0);
+    }
+
+    #[test]
+    fn soc_stays_in_bounds_under_stress() {
+        let mut b = Battery::new(6.0, 1.5, BatteryPolicy::GreedySelfConsumption);
+        let mut x = 1.0f64;
+        for i in 0..1000 {
+            // Chaotic-ish surplus sequence.
+            x = (x * 3.9) * (1.0 - x / 4.0);
+            let surplus = x - 2.0;
+            b.step(surplus);
+            assert!(b.soc() >= -1e-9 && b.soc() <= 6.0 + 1e-9, "step {i}");
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! CSV import/export so traces can be inspected or swapped for real data.
+//!
+//! Two sections in one file, mirroring how the UMass data splits static
+//! home metadata from time series:
+//!
+//! ```text
+//! #homes
+//! id,preference,battery_loss,battery_capacity,solar_capacity
+//! 0,23.5,0.91,7.2,4.8
+//! ...
+//! #rows
+//! window,home,generation,load,battery
+//! 0,0,0.0012,0.0301,0.0
+//! ...
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::trace::{HomeProfile, Trace, TraceConfig, WindowRow};
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Malformed { line, reason } => {
+                write!(f, "malformed csv at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a trace to CSV.
+///
+/// # Errors
+///
+/// I/O errors from the writer.
+pub fn write_trace_csv<W: Write>(trace: &Trace, mut w: W) -> Result<(), CsvError> {
+    writeln!(w, "#config")?;
+    writeln!(
+        w,
+        "homes,windows,start_minute,window_minutes,seed,battery_fraction,solar_fraction"
+    )?;
+    let c = &trace.config;
+    writeln!(
+        w,
+        "{},{},{},{},{},{},{}",
+        c.homes, c.windows, c.start_minute, c.window_minutes, c.seed, c.battery_fraction,
+        c.solar_fraction
+    )?;
+    writeln!(w, "#homes")?;
+    writeln!(w, "id,preference,battery_loss,battery_capacity,solar_capacity")?;
+    for h in &trace.homes {
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            h.id, h.preference, h.battery_loss, h.battery_capacity, h.solar_capacity
+        )?;
+    }
+    writeln!(w, "#rows")?;
+    writeln!(w, "window,home,generation,load,battery")?;
+    for (wi, row) in trace.rows.iter().enumerate() {
+        for (hi, r) in row.iter().enumerate() {
+            writeln!(w, "{},{},{},{},{}", wi, hi, r.generation, r.load, r.battery)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace from CSV (the inverse of [`write_trace_csv`]).
+///
+/// # Errors
+///
+/// [`CsvError::Malformed`] with a line number on any structural problem.
+pub fn read_trace_csv<R: BufRead>(r: R) -> Result<Trace, CsvError> {
+    #[derive(PartialEq)]
+    enum Section {
+        Preamble,
+        Config,
+        Homes,
+        Rows,
+    }
+    let mut section = Section::Preamble;
+    let mut config: Option<TraceConfig> = None;
+    let mut homes: Vec<HomeProfile> = Vec::new();
+    let mut rows: Vec<Vec<WindowRow>> = Vec::new();
+    let mut skip_header = false;
+
+    let malformed = |line: usize, reason: &str| CsvError::Malformed {
+        line,
+        reason: reason.to_string(),
+    };
+
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "#config" => {
+                section = Section::Config;
+                skip_header = true;
+                continue;
+            }
+            "#homes" => {
+                section = Section::Homes;
+                skip_header = true;
+                continue;
+            }
+            "#rows" => {
+                section = Section::Rows;
+                skip_header = true;
+                continue;
+            }
+            _ => {}
+        }
+        if skip_header {
+            skip_header = false;
+            continue; // column header line
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        match section {
+            Section::Preamble => return Err(malformed(line_no, "data before #config")),
+            Section::Config => {
+                if fields.len() != 7 {
+                    return Err(malformed(line_no, "config needs 7 fields"));
+                }
+                let p = |i: usize| -> Result<f64, CsvError> {
+                    fields[i]
+                        .parse()
+                        .map_err(|_| malformed(line_no, "bad number in config"))
+                };
+                config = Some(TraceConfig {
+                    homes: p(0)? as usize,
+                    windows: p(1)? as usize,
+                    start_minute: p(2)? as u32,
+                    window_minutes: p(3)? as u32,
+                    seed: p(4)? as u64,
+                    battery_fraction: p(5)?,
+                    solar_fraction: p(6)?,
+                });
+            }
+            Section::Homes => {
+                if fields.len() != 5 {
+                    return Err(malformed(line_no, "home rows need 5 fields"));
+                }
+                let p = |i: usize| -> Result<f64, CsvError> {
+                    fields[i]
+                        .parse()
+                        .map_err(|_| malformed(line_no, "bad number in home row"))
+                };
+                homes.push(HomeProfile {
+                    id: p(0)? as usize,
+                    preference: p(1)?,
+                    battery_loss: p(2)?,
+                    battery_capacity: p(3)?,
+                    solar_capacity: p(4)?,
+                });
+            }
+            Section::Rows => {
+                if fields.len() != 5 {
+                    return Err(malformed(line_no, "data rows need 5 fields"));
+                }
+                let p = |i: usize| -> Result<f64, CsvError> {
+                    fields[i]
+                        .parse()
+                        .map_err(|_| malformed(line_no, "bad number in data row"))
+                };
+                let wi = p(0)? as usize;
+                let hi = p(1)? as usize;
+                if wi >= rows.len() {
+                    rows.resize_with(wi + 1, Vec::new);
+                }
+                if hi != rows[wi].len() {
+                    return Err(malformed(line_no, "rows must be dense and ordered"));
+                }
+                rows[wi].push(WindowRow {
+                    generation: p(2)?,
+                    load: p(3)?,
+                    battery: p(4)?,
+                });
+            }
+        }
+    }
+
+    let config = config.ok_or_else(|| malformed(0, "missing #config section"))?;
+    if homes.len() != config.homes {
+        return Err(malformed(0, "home count does not match config"));
+    }
+    if rows.len() != config.windows {
+        return Err(malformed(0, "window count does not match config"));
+    }
+    Ok(Trace {
+        config,
+        homes,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceConfig, TraceGenerator};
+
+    #[test]
+    fn roundtrip() {
+        let t = TraceGenerator::new(TraceConfig {
+            homes: 5,
+            windows: 12,
+            ..TraceConfig::default()
+        })
+        .generate();
+        let mut buf = Vec::new();
+        write_trace_csv(&t, &mut buf).expect("write");
+        let back = read_trace_csv(&buf[..]).expect("read");
+        assert_eq!(back.config, t.config);
+        assert_eq!(back.homes, t.homes);
+        assert_eq!(back.rows.len(), t.rows.len());
+        // Floating-point text roundtrip is exact for f64 Display in Rust.
+        assert_eq!(back.rows, t.rows);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_trace_csv("hello,world\n".as_bytes()).is_err());
+        assert!(read_trace_csv("#config\nheader\n1,2\n".as_bytes()).is_err());
+        let missing_rows = "#config\nh\n2,3,420,1,1,0.5,0.9\n#homes\nh\n0,20,0.9,0,4\n1,20,0.9,0,4\n";
+        assert!(read_trace_csv(missing_rows.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let bad = "#config\nheader\nnot-a-number,2,3,4,5,6,7\n";
+        match read_trace_csv(bad.as_bytes()) {
+            Err(CsvError::Malformed { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-home solar generation model.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Clear-sky bell + AR(1) cloud attenuation.
+///
+/// `irradiance(m)` is 0 outside `[sunrise, sunset]` and follows
+/// `sin(π · (m − sunrise)/(sunset − sunrise))` inside. The cloud factor
+/// evolves as `c ← ρ·c + (1−ρ)·1 + σ·ξ`, clamped to `[0.25, 1]`, so cloudy
+/// spells persist for tens of minutes the way real traces do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolarModel {
+    /// Installed panel capacity in kW (0 = no panels).
+    pub capacity_kw: f64,
+    /// Sunrise minute-of-day.
+    pub sunrise_minute: f64,
+    /// Sunset minute-of-day.
+    pub sunset_minute: f64,
+    /// Cloud persistence `ρ ∈ [0,1)`.
+    pub cloud_persistence: f64,
+    /// Cloud shock scale `σ`.
+    pub cloud_sigma: f64,
+    cloud_state: f64,
+}
+
+impl SolarModel {
+    /// A typical residential installation.
+    ///
+    /// Sunrise/sunset bracket the paper's 7:00–19:00 trading day tightly,
+    /// so the first and last windows see near-zero generation (which is
+    /// what pins Fig. 6(a)'s opening/closing price at the retail rate).
+    pub fn residential(capacity_kw: f64) -> SolarModel {
+        SolarModel {
+            capacity_kw,
+            sunrise_minute: 410.0,  // 06:50
+            sunset_minute: 1145.0,  // 19:05
+            cloud_persistence: 0.97,
+            cloud_sigma: 0.06,
+            cloud_state: 1.0,
+        }
+    }
+
+    /// Deterministic clear-sky fraction in `[0, 1]` for a minute-of-day.
+    pub fn clear_sky(&self, minute_of_day: f64) -> f64 {
+        if minute_of_day <= self.sunrise_minute || minute_of_day >= self.sunset_minute {
+            return 0.0;
+        }
+        let span = self.sunset_minute - self.sunrise_minute;
+        (std::f64::consts::PI * (minute_of_day - self.sunrise_minute) / span).sin()
+    }
+
+    /// Advances the cloud process one step and returns the generated
+    /// energy (kWh) for a window of `window_minutes` starting at
+    /// `minute_of_day`.
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        minute_of_day: f64,
+        window_minutes: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let shock: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        self.cloud_state = (self.cloud_persistence * self.cloud_state
+            + (1.0 - self.cloud_persistence)
+            + self.cloud_sigma * shock)
+            .clamp(0.25, 1.0);
+        let power_kw = self.capacity_kw * self.clear_sky(minute_of_day) * self.cloud_state;
+        power_kw * window_minutes / 60.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_outside_daylight() {
+        let m = SolarModel::residential(5.0);
+        assert_eq!(m.clear_sky(0.0), 0.0);
+        assert_eq!(m.clear_sky(6.0 * 60.0), 0.0);
+        assert_eq!(m.clear_sky(20.0 * 60.0), 0.0);
+        assert_eq!(m.clear_sky(23.9 * 60.0), 0.0);
+    }
+
+    #[test]
+    fn peaks_near_solar_noon() {
+        let m = SolarModel::residential(5.0);
+        let noon = (410.0 + 1145.0) / 2.0;
+        assert!((m.clear_sky(noon) - 1.0).abs() < 1e-9);
+        assert!(m.clear_sky(noon) > m.clear_sky(9.0 * 60.0));
+        assert!(m.clear_sky(9.0 * 60.0) > m.clear_sky(7.0 * 60.0));
+    }
+
+    #[test]
+    fn trading_day_edges_are_tiny() {
+        // Matches the paper: at the first and last trading windows
+        // (7:00, 19:00) generation is close to zero, so agents buy from
+        // the grid and the price pins at ps_g.
+        let m = SolarModel::residential(8.0);
+        assert!(m.clear_sky(420.0) < 0.05);
+        assert!(m.clear_sky(1139.0) < 0.05);
+    }
+
+    #[test]
+    fn generation_bounded_by_capacity() {
+        let mut m = SolarModel::residential(4.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for w in 0..720 {
+            let minute = 420.0 + w as f64;
+            let kwh = m.step(minute, 1.0, &mut rng);
+            assert!(kwh >= 0.0);
+            assert!(kwh <= 4.0 / 60.0 + 1e-12, "window {w}: {kwh}");
+        }
+    }
+
+    #[test]
+    fn clouds_persist() {
+        // Consecutive cloud states must be highly correlated.
+        let mut m = SolarModel::residential(4.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut prev = None;
+        let mut max_jump: f64 = 0.0;
+        for w in 0..300 {
+            m.step(600.0 + w as f64, 1.0, &mut rng);
+            if let Some(p) = prev {
+                max_jump = max_jump.max(m.cloud_state - p);
+            }
+            prev = Some(m.cloud_state);
+        }
+        assert!(max_jump < 0.15, "cloud process should move slowly: {max_jump}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut m = SolarModel::residential(4.0);
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100)
+                .map(|w| m.step(500.0 + w as f64, 1.0, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,142 @@
+//! Summary statistics over traces (feeds Fig. 4 and sanity checks).
+
+use serde::{Deserialize, Serialize};
+
+use pem_market::Coalitions;
+
+use crate::trace::Trace;
+
+/// Per-window coalition sizes — exactly the two series of the paper's
+/// Fig. 4.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoalitionSeries {
+    /// Seller-coalition size per window.
+    pub sellers: Vec<usize>,
+    /// Buyer-coalition size per window.
+    pub buyers: Vec<usize>,
+}
+
+/// Computes seller/buyer coalition sizes for every window.
+pub fn coalition_series(trace: &Trace) -> CoalitionSeries {
+    let mut sellers = Vec::with_capacity(trace.window_count());
+    let mut buyers = Vec::with_capacity(trace.window_count());
+    for w in 0..trace.window_count() {
+        let c = Coalitions::form(&trace.window_agents(w));
+        sellers.push(c.sellers.len());
+        buyers.push(c.buyers.len());
+    }
+    CoalitionSeries { sellers, buyers }
+}
+
+/// Aggregate statistics of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Mean generation per home-window (kWh).
+    pub mean_generation: f64,
+    /// Mean load per home-window (kWh).
+    pub mean_load: f64,
+    /// Peak total supply over windows (kWh).
+    pub peak_supply: f64,
+    /// Peak total demand over windows (kWh).
+    pub peak_demand: f64,
+    /// Number of windows where supply ≥ demand (extreme-market windows).
+    pub extreme_windows: usize,
+    /// Number of windows with an empty seller coalition.
+    pub no_seller_windows: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for a trace.
+    pub fn compute(trace: &Trace) -> TraceStats {
+        let mut gen_sum = 0.0;
+        let mut load_sum = 0.0;
+        let mut peak_supply: f64 = 0.0;
+        let mut peak_demand: f64 = 0.0;
+        let mut extreme = 0usize;
+        let mut no_sellers = 0usize;
+        let n = (trace.home_count() * trace.window_count()) as f64;
+        for w in 0..trace.window_count() {
+            let agents = trace.window_agents(w);
+            let c = Coalitions::form(&agents);
+            let supply = c.supply();
+            let demand = c.demand();
+            peak_supply = peak_supply.max(supply);
+            peak_demand = peak_demand.max(demand);
+            if c.sellers.is_empty() {
+                no_sellers += 1;
+            } else if !c.buyers.is_empty() && supply >= demand {
+                extreme += 1;
+            }
+            for a in &agents {
+                gen_sum += a.generation;
+                load_sum += a.load;
+            }
+        }
+        TraceStats {
+            mean_generation: gen_sum / n,
+            mean_load: load_sum / n,
+            peak_supply,
+            peak_demand,
+            extreme_windows: extreme,
+            no_seller_windows: no_sellers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceConfig, TraceGenerator};
+
+    fn trace() -> Trace {
+        TraceGenerator::new(TraceConfig {
+            homes: 60,
+            windows: 720,
+            ..TraceConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn series_length_matches_windows() {
+        let t = trace();
+        let s = coalition_series(&t);
+        assert_eq!(s.sellers.len(), 720);
+        assert_eq!(s.buyers.len(), 720);
+    }
+
+    #[test]
+    fn fig4_shape() {
+        // Sellers ~0 at the edges, substantial at noon; buyers the mirror.
+        let t = trace();
+        let s = coalition_series(&t);
+        assert!(s.sellers[0] <= 3);
+        assert!(s.sellers[719] <= 5);
+        let noon = s.sellers[330..390].iter().copied().max().unwrap_or(0);
+        assert!(noon > 20, "noon seller peak: {noon}");
+        assert!(s.buyers[0] > 50, "morning buyers: {}", s.buyers[0]);
+    }
+
+    #[test]
+    fn sizes_partition_population() {
+        let t = trace();
+        let s = coalition_series(&t);
+        for w in 0..t.window_count() {
+            assert!(s.sellers[w] + s.buyers[w] <= t.home_count());
+        }
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let t = trace();
+        let st = TraceStats::compute(&t);
+        // One-minute windows: kWh per window is small.
+        assert!(st.mean_load > 0.001 && st.mean_load < 0.2, "{st:?}");
+        assert!(st.mean_generation > 0.001 && st.mean_generation < 0.2, "{st:?}");
+        assert!(st.peak_demand > 0.0 && st.peak_supply > 0.0);
+        // The day must contain both morning no-seller windows and (with
+        // 3–9 kW panels) some supply-rich extreme windows.
+        assert!(st.no_seller_windows > 0, "{st:?}");
+        assert!(st.extreme_windows > 0, "{st:?}");
+    }
+}

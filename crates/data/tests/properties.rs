@@ -1,0 +1,101 @@
+//! Property-based tests for the trace generator: physical invariants hold
+//! for arbitrary configurations.
+
+use pem_data::{TraceConfig, TraceGenerator, TraceStats};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = TraceConfig> {
+    (
+        1usize..25,     // homes
+        1usize..60,     // windows
+        1u32..30,       // window minutes
+        any::<u64>(),   // seed
+        0.0f64..1.0,    // battery fraction
+        0.0f64..1.0,    // solar fraction
+    )
+        .prop_map(|(homes, windows, wm, seed, bf, sf)| TraceConfig {
+            homes,
+            windows,
+            window_minutes: wm,
+            seed,
+            battery_fraction: bf,
+            solar_fraction: sf,
+            start_minute: 420,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_generated_agent_validates(cfg in arb_config()) {
+        let trace = TraceGenerator::new(cfg).generate();
+        prop_assert_eq!(trace.home_count(), cfg.homes);
+        prop_assert_eq!(trace.window_count(), cfg.windows);
+        for w in 0..trace.window_count() {
+            for a in trace.window_agents(w) {
+                prop_assert!(a.validate().is_ok(), "window {w}: {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_bounded_by_installed_capacity(cfg in arb_config()) {
+        let trace = TraceGenerator::new(cfg).generate();
+        for w in 0..trace.window_count() {
+            for (h, row) in trace.rows[w].iter().enumerate() {
+                let cap_kwh = trace.homes[h].solar_capacity * cfg.window_minutes as f64 / 60.0;
+                prop_assert!(
+                    row.generation <= cap_kwh + 1e-9,
+                    "home {h} window {w}: {} > {cap_kwh}",
+                    row.generation
+                );
+                prop_assert!(row.generation >= 0.0);
+                prop_assert!(row.load > 0.0, "homes always draw something");
+            }
+        }
+    }
+
+    #[test]
+    fn battery_soc_integrates_within_capacity(cfg in arb_config()) {
+        let trace = TraceGenerator::new(cfg).generate();
+        for h in 0..trace.home_count() {
+            let cap = trace.homes[h].battery_capacity;
+            // SoC starts at cap/2 and integrates the flows.
+            let mut soc = cap / 2.0;
+            for w in 0..trace.window_count() {
+                soc += trace.rows[w][h].battery;
+                prop_assert!(
+                    soc >= -1e-6 && soc <= cap + 1e-6,
+                    "home {h} window {w}: soc {soc} cap {cap}"
+                );
+            }
+            if cap == 0.0 {
+                // No battery → no flows at all.
+                for w in 0..trace.window_count() {
+                    prop_assert_eq!(trace.rows[w][h].battery, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace(cfg in arb_config()) {
+        let a = TraceGenerator::new(cfg).generate();
+        let b = TraceGenerator::new(cfg).generate();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_are_finite(cfg in arb_config()) {
+        let trace = TraceGenerator::new(cfg).generate();
+        let stats = TraceStats::compute(&trace);
+        prop_assert!(stats.mean_generation.is_finite());
+        prop_assert!(stats.mean_load.is_finite());
+        prop_assert!(stats.mean_load > 0.0);
+        prop_assert!(stats.peak_demand >= 0.0);
+        prop_assert!(
+            stats.no_seller_windows + stats.extreme_windows <= trace.window_count()
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Hash-chained blocks, one per settled trading window.
+
+use serde::{Deserialize, Serialize};
+
+use pem_crypto::sha256;
+
+use crate::contract::SettlementContract;
+use crate::error::LedgerError;
+use crate::tx::SettlementTx;
+
+/// A block: one trading window's settled transactions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Position in the chain (genesis = 0).
+    pub index: u64,
+    /// Trading window this block settles.
+    pub window: u64,
+    /// Clearing price of the window (milli-cents/kWh, fixed point).
+    pub price_mc: u64,
+    /// Hash of the previous block.
+    pub prev_hash: [u8; 32],
+    /// The settled transactions.
+    pub txs: Vec<SettlementTx>,
+    /// This block's hash (over all fields above).
+    pub hash: [u8; 32],
+}
+
+impl Block {
+    /// Computes the canonical hash of the block contents.
+    pub fn compute_hash(
+        index: u64,
+        window: u64,
+        price_mc: u64,
+        prev_hash: &[u8; 32],
+        txs: &[SettlementTx],
+    ) -> [u8; 32] {
+        let mut buf = Vec::with_capacity(64 + txs.len() * 32);
+        buf.extend_from_slice(b"pem-block-v1");
+        buf.extend_from_slice(&index.to_be_bytes());
+        buf.extend_from_slice(&window.to_be_bytes());
+        buf.extend_from_slice(&price_mc.to_be_bytes());
+        buf.extend_from_slice(prev_hash);
+        buf.extend_from_slice(&(txs.len() as u64).to_be_bytes());
+        for tx in txs {
+            tx.encode(&mut buf);
+        }
+        sha256(&buf)
+    }
+
+    /// `true` if the stored hash matches the contents.
+    pub fn hash_is_valid(&self) -> bool {
+        Block::compute_hash(self.index, self.window, self.price_mc, &self.prev_hash, &self.txs)
+            == self.hash
+    }
+
+    /// The clearing price in ¢/kWh.
+    pub fn price(&self) -> f64 {
+        self.price_mc as f64 / 1e3
+    }
+}
+
+/// The settlement chain: contract-validated, hash-linked blocks.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    contract: SettlementContract,
+    blocks: Vec<Block>,
+}
+
+impl Ledger {
+    /// Creates a ledger with a genesis block.
+    pub fn new(contract: SettlementContract) -> Ledger {
+        let genesis_hash = Block::compute_hash(0, 0, 0, &[0u8; 32], &[]);
+        let genesis = Block {
+            index: 0,
+            window: 0,
+            price_mc: 0,
+            prev_hash: [0u8; 32],
+            txs: Vec::new(),
+            hash: genesis_hash,
+        };
+        Ledger {
+            contract,
+            blocks: vec![genesis],
+        }
+    }
+
+    /// The contract in force.
+    pub fn contract(&self) -> &SettlementContract {
+        &self.contract
+    }
+
+    /// All blocks (genesis first).
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of settled windows (excludes genesis).
+    pub fn settled_windows(&self) -> usize {
+        self.blocks.len() - 1
+    }
+
+    /// Validates and appends a window's transactions as a new block.
+    ///
+    /// # Errors
+    ///
+    /// Contract violations ([`LedgerError`]) leave the chain unchanged.
+    pub fn append_window(
+        &mut self,
+        window: u64,
+        price: f64,
+        txs: &[SettlementTx],
+    ) -> Result<&Block, LedgerError> {
+        let last = self.blocks.last().expect("genesis always present");
+        if self.blocks.len() > 1 && window <= last.window {
+            return Err(LedgerError::NonMonotonicWindow {
+                last: last.window,
+                got: window,
+            });
+        }
+        self.contract.validate_window(price, txs)?;
+        let price_mc = (price * 1e3).round() as u64;
+        let index = last.index + 1;
+        let prev_hash = last.hash;
+        let hash = Block::compute_hash(index, window, price_mc, &prev_hash, txs);
+        self.blocks.push(Block {
+            index,
+            window,
+            price_mc,
+            prev_hash,
+            txs: txs.to_vec(),
+            hash,
+        });
+        Ok(self.blocks.last().expect("just pushed"))
+    }
+
+    /// Re-validates the whole chain (hashes, links, indices, contract).
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, if any.
+    pub fn validate(&self) -> Result<(), LedgerError> {
+        for (i, block) in self.blocks.iter().enumerate() {
+            if block.index != i as u64 {
+                return Err(LedgerError::BadIndex {
+                    expected: i as u64,
+                    found: block.index,
+                });
+            }
+            if !block.hash_is_valid() {
+                return Err(LedgerError::BrokenHash { block: block.index });
+            }
+            if i > 0 {
+                if block.prev_hash != self.blocks[i - 1].hash {
+                    return Err(LedgerError::BrokenChain { block: block.index });
+                }
+                self.contract.validate_window(block.price(), &block.txs)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total energy settled on the chain (kWh).
+    pub fn total_energy(&self) -> f64 {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.txs.iter())
+            .map(|t| t.energy_kwh())
+            .sum()
+    }
+
+    /// Total money settled on the chain (cents).
+    pub fn total_payments(&self) -> f64 {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.txs.iter())
+            .map(|t| t.payment_cents())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pem_market::PriceBand;
+
+    fn ledger() -> Ledger {
+        Ledger::new(SettlementContract::new(PriceBand::paper_defaults()))
+    }
+
+    fn tx(seller: usize, buyer: usize, kwh: f64, price: f64) -> SettlementTx {
+        SettlementTx::new(0, seller, buyer, kwh, price)
+    }
+
+    #[test]
+    fn genesis_is_valid() {
+        let l = ledger();
+        assert_eq!(l.settled_windows(), 0);
+        l.validate().expect("genesis chain valid");
+    }
+
+    #[test]
+    fn append_and_validate() {
+        let mut l = ledger();
+        l.append_window(5, 100.0, &[tx(0, 1, 1.5, 100.0), tx(0, 2, 0.5, 100.0)])
+            .expect("append");
+        l.append_window(6, 90.0, &[tx(3, 1, 2.0, 90.0)]).expect("append");
+        assert_eq!(l.settled_windows(), 2);
+        l.validate().expect("chain valid");
+        assert!((l.total_energy() - 4.0).abs() < 1e-9);
+        assert!((l.total_payments() - (150.0 + 50.0 + 180.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tamper_with_tx_detected() {
+        let mut l = ledger();
+        l.append_window(1, 100.0, &[tx(0, 1, 1.0, 100.0)]).expect("append");
+        // An attacker bumps their received energy after the fact.
+        l.blocks[1].txs[0].energy_ukwh += 1;
+        assert_eq!(
+            l.validate(),
+            Err(LedgerError::BrokenHash { block: 1 })
+        );
+    }
+
+    #[test]
+    fn tamper_with_link_detected() {
+        let mut l = ledger();
+        l.append_window(1, 100.0, &[tx(0, 1, 1.0, 100.0)]).expect("append");
+        l.append_window(2, 100.0, &[tx(0, 1, 1.0, 100.0)]).expect("append");
+        // Rewrite block 1 entirely (valid hash, broken link downstream).
+        let new_txs = vec![tx(0, 1, 9.0, 100.0)];
+        let b = &l.blocks[1];
+        let hash = Block::compute_hash(b.index, b.window, b.price_mc, &b.prev_hash, &new_txs);
+        l.blocks[1].txs = new_txs;
+        l.blocks[1].hash = hash;
+        assert_eq!(l.validate(), Err(LedgerError::BrokenChain { block: 2 }));
+    }
+
+    #[test]
+    fn rejects_out_of_order_windows() {
+        let mut l = ledger();
+        l.append_window(7, 100.0, &[tx(0, 1, 1.0, 100.0)]).expect("append");
+        assert!(matches!(
+            l.append_window(7, 100.0, &[tx(0, 1, 1.0, 100.0)]),
+            Err(LedgerError::NonMonotonicWindow { .. })
+        ));
+        assert_eq!(l.settled_windows(), 1, "failed append must not grow chain");
+    }
+
+    #[test]
+    fn deterministic_hashes() {
+        let mut a = ledger();
+        let mut b = ledger();
+        a.append_window(1, 95.5, &[tx(0, 1, 1.25, 95.5)]).expect("append");
+        b.append_window(1, 95.5, &[tx(0, 1, 1.25, 95.5)]).expect("append");
+        assert_eq!(a.blocks()[1].hash, b.blocks()[1].hash);
+    }
+}

@@ -1,0 +1,174 @@
+//! The settlement contract: validation rules and account bookkeeping.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use pem_market::PriceBand;
+
+use crate::error::LedgerError;
+use crate::tx::SettlementTx;
+
+/// Validation rules for a window's settlement batch — the "smart
+/// contract" of the paper's §VI blockchain deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SettlementContract {
+    band: PriceBand,
+    /// Tolerance on `payment = price·energy` (absolute, in cents) to
+    /// absorb the fixed-point rounding of [`SettlementTx`].
+    payment_tolerance: f64,
+}
+
+impl SettlementContract {
+    /// Creates a contract for the given price structure.
+    pub fn new(band: PriceBand) -> SettlementContract {
+        SettlementContract {
+            band,
+            payment_tolerance: 0.01,
+        }
+    }
+
+    /// The enforced price band.
+    pub fn band(&self) -> &PriceBand {
+        &self.band
+    }
+
+    /// Validates a window batch.
+    ///
+    /// Rules:
+    /// 1. the clearing price lies in `[p_l, p_h]` **or** equals the grid
+    ///    retail price (no-market windows settle trivially at `ps_g`);
+    /// 2. every transaction has positive energy;
+    /// 3. every payment equals `price · energy` within tolerance;
+    /// 4. no agent appears on both sides of the market.
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule.
+    pub fn validate_window(&self, price: f64, txs: &[SettlementTx]) -> Result<(), LedgerError> {
+        let in_band = price >= self.band.floor && price <= self.band.ceiling;
+        let is_retail = (price - self.band.grid_retail).abs() < 1e-9;
+        if !(in_band || is_retail) {
+            return Err(LedgerError::PriceOutOfBand { price });
+        }
+        let mut sellers = std::collections::BTreeSet::new();
+        let mut buyers = std::collections::BTreeSet::new();
+        for (i, tx) in txs.iter().enumerate() {
+            if tx.energy_ukwh == 0 {
+                return Err(LedgerError::NonPositiveEnergy { tx_index: i });
+            }
+            let expected = price * tx.energy_kwh();
+            if (tx.payment_cents() - expected).abs() > self.payment_tolerance {
+                return Err(LedgerError::PaymentMismatch { tx_index: i });
+            }
+            sellers.insert(tx.seller);
+            buyers.insert(tx.buyer);
+        }
+        if let Some(&agent) = sellers.intersection(&buyers).next() {
+            return Err(LedgerError::RoleConflict { agent });
+        }
+        Ok(())
+    }
+}
+
+/// Per-agent running balances derived from settled blocks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccountBook {
+    /// Cash balance per agent in milli-cents (sellers positive).
+    pub cash_mc: BTreeMap<usize, i128>,
+    /// Net energy delivered per agent in µkWh (sellers positive,
+    /// buyers negative).
+    pub energy_ukwh: BTreeMap<usize, i128>,
+}
+
+impl AccountBook {
+    /// Folds a batch of transactions into the balances.
+    pub fn apply(&mut self, txs: &[SettlementTx]) {
+        for tx in txs {
+            *self.cash_mc.entry(tx.seller).or_default() += tx.payment_mc as i128;
+            *self.cash_mc.entry(tx.buyer).or_default() -= tx.payment_mc as i128;
+            *self.energy_ukwh.entry(tx.seller).or_default() += tx.energy_ukwh as i128;
+            *self.energy_ukwh.entry(tx.buyer).or_default() -= tx.energy_ukwh as i128;
+        }
+    }
+
+    /// Cash conservation: market settlements are zero-sum.
+    pub fn cash_is_conserved(&self) -> bool {
+        self.cash_mc.values().sum::<i128>() == 0
+    }
+
+    /// Energy conservation: every routed kWh has a source and a sink.
+    pub fn energy_is_conserved(&self) -> bool {
+        self.energy_ukwh.values().sum::<i128>() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contract() -> SettlementContract {
+        SettlementContract::new(PriceBand::paper_defaults())
+    }
+
+    fn tx(seller: usize, buyer: usize, kwh: f64, price: f64) -> SettlementTx {
+        SettlementTx::new(0, seller, buyer, kwh, price)
+    }
+
+    #[test]
+    fn accepts_valid_batches() {
+        let c = contract();
+        c.validate_window(100.0, &[tx(0, 1, 1.0, 100.0)]).expect("valid");
+        c.validate_window(90.0, &[]).expect("empty batch fine");
+        // Retail price allowed for no-market settlements.
+        c.validate_window(120.0, &[]).expect("retail ok");
+    }
+
+    #[test]
+    fn rejects_out_of_band_price() {
+        let c = contract();
+        assert!(matches!(
+            c.validate_window(85.0, &[]),
+            Err(LedgerError::PriceOutOfBand { .. })
+        ));
+        assert!(matches!(
+            c.validate_window(115.0, &[]),
+            Err(LedgerError::PriceOutOfBand { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_payment_mismatch() {
+        let c = contract();
+        let mut bad = tx(0, 1, 1.0, 100.0);
+        bad.payment_mc += 10_000; // overcharge by 10 cents
+        assert!(matches!(
+            c.validate_window(100.0, &[bad]),
+            Err(LedgerError::PaymentMismatch { tx_index: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_energy_and_role_conflicts() {
+        let c = contract();
+        assert!(matches!(
+            c.validate_window(100.0, &[tx(0, 1, 0.0, 100.0)]),
+            Err(LedgerError::NonPositiveEnergy { .. })
+        ));
+        let batch = [tx(0, 1, 1.0, 100.0), tx(1, 2, 1.0, 100.0)];
+        assert!(matches!(
+            c.validate_window(100.0, &batch),
+            Err(LedgerError::RoleConflict { agent: 1 })
+        ));
+    }
+
+    #[test]
+    fn account_book_conservation() {
+        let mut book = AccountBook::default();
+        book.apply(&[tx(0, 1, 1.5, 100.0), tx(0, 2, 0.5, 100.0), tx(3, 1, 1.0, 100.0)]);
+        assert!(book.cash_is_conserved());
+        assert!(book.energy_is_conserved());
+        assert_eq!(book.energy_ukwh[&0], 2_000_000);
+        assert_eq!(book.cash_mc[&1], -(150_000 + 100_000));
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for the settlement ledger.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from ledger operations and contract validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LedgerError {
+    /// The window's price lies outside the PEM band and grid prices.
+    PriceOutOfBand {
+        /// The offending price (¢/kWh).
+        price: f64,
+    },
+    /// A transaction's payment is inconsistent with `m = p·e`.
+    PaymentMismatch {
+        /// Index of the offending transaction within its window batch.
+        tx_index: usize,
+    },
+    /// A transaction has non-positive energy.
+    NonPositiveEnergy {
+        /// Index of the offending transaction within its window batch.
+        tx_index: usize,
+    },
+    /// An agent appears as both seller and buyer in one window.
+    RoleConflict {
+        /// The double-dealing agent.
+        agent: usize,
+    },
+    /// A block's hash does not match its contents.
+    BrokenHash {
+        /// Index of the corrupt block.
+        block: u64,
+    },
+    /// A block's `prev_hash` does not match its predecessor.
+    BrokenChain {
+        /// Index of the block whose link is broken.
+        block: u64,
+    },
+    /// Block indices are not consecutive.
+    BadIndex {
+        /// Expected index.
+        expected: u64,
+        /// Found index.
+        found: u64,
+    },
+    /// Attempt to append a window out of order.
+    NonMonotonicWindow {
+        /// The last settled window.
+        last: u64,
+        /// The window being appended.
+        got: u64,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::PriceOutOfBand { price } => {
+                write!(f, "settlement price {price} outside the permitted range")
+            }
+            LedgerError::PaymentMismatch { tx_index } => {
+                write!(f, "transaction {tx_index}: payment does not equal price x energy")
+            }
+            LedgerError::NonPositiveEnergy { tx_index } => {
+                write!(f, "transaction {tx_index}: energy must be positive")
+            }
+            LedgerError::RoleConflict { agent } => {
+                write!(f, "agent {agent} is both seller and buyer in one window")
+            }
+            LedgerError::BrokenHash { block } => write!(f, "block {block} hash mismatch"),
+            LedgerError::BrokenChain { block } => {
+                write!(f, "block {block} does not link to its predecessor")
+            }
+            LedgerError::BadIndex { expected, found } => {
+                write!(f, "expected block index {expected}, found {found}")
+            }
+            LedgerError::NonMonotonicWindow { last, got } => {
+                write!(f, "window {got} appended after window {last}")
+            }
+        }
+    }
+}
+
+impl Error for LedgerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(LedgerError::PriceOutOfBand { price: 300.0 }
+            .to_string()
+            .contains("300"));
+        assert!(LedgerError::BrokenChain { block: 4 }.to_string().contains("4"));
+    }
+}

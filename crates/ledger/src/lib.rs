@@ -1,0 +1,42 @@
+//! Settlement ledger for PEM trades.
+//!
+//! Section VI of the paper proposes deploying PEM's final distribution
+//! and transactions on a blockchain: "the final distribution and
+//! transaction between the sellers and buyers can be realized by the
+//! smart contract of the blockchain to ensure the integrity and
+//! truthfulness". This crate implements that extension:
+//!
+//! * [`SettlementTx`] — one pairwise trade in fixed-point form (µkWh /
+//!   milli-cents) so hashing is exact and platform-independent,
+//! * [`Block`]/[`Ledger`] — a SHA-256 hash-chained block sequence, one
+//!   block per trading window, with full-chain validation and tamper
+//!   detection,
+//! * [`SettlementContract`] — the validation rules a block must satisfy
+//!   before it is appended: prices inside the PEM band, payments
+//!   consistent with `m_ji = p·e_ij`, and per-agent flow accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use pem_ledger::{Ledger, SettlementContract, SettlementTx};
+//! use pem_market::PriceBand;
+//!
+//! let contract = SettlementContract::new(PriceBand::paper_defaults());
+//! let mut ledger = Ledger::new(contract);
+//! let txs = vec![SettlementTx::new(0, 1, 2, 1.5, 100.0)];
+//! ledger.append_window(0, 100.0, &txs).expect("valid window");
+//! assert!(ledger.validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod contract;
+mod error;
+mod tx;
+
+pub use block::{Block, Ledger};
+pub use contract::{AccountBook, SettlementContract};
+pub use error::LedgerError;
+pub use tx::SettlementTx;

@@ -1,0 +1,121 @@
+//! Settlement transactions in exact fixed-point form.
+
+use serde::{Deserialize, Serialize};
+
+use pem_market::Trade;
+
+/// Fixed-point scale for energy: 1 unit = 1 µkWh.
+pub(crate) const ENERGY_SCALE: f64 = 1e6;
+/// Fixed-point scale for money: 1 unit = 1 milli-cent.
+pub(crate) const MONEY_SCALE: f64 = 1e3;
+
+/// One pairwise settlement `m_ji = p · e_ij`, stored as integers so block
+/// hashes are exact and platform-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SettlementTx {
+    /// Selling agent.
+    pub seller: usize,
+    /// Buying agent.
+    pub buyer: usize,
+    /// Energy in µkWh.
+    pub energy_ukwh: u64,
+    /// Payment in milli-cents.
+    pub payment_mc: u64,
+}
+
+impl SettlementTx {
+    /// Builds a transaction from float quantities (window id is carried by
+    /// the enclosing block).
+    pub fn new(_window: u64, seller: usize, buyer: usize, energy_kwh: f64, price: f64) -> Self {
+        let energy_ukwh = (energy_kwh * ENERGY_SCALE).round() as u64;
+        let payment_mc = (energy_kwh * price * MONEY_SCALE).round() as u64;
+        SettlementTx {
+            seller,
+            buyer,
+            energy_ukwh,
+            payment_mc,
+        }
+    }
+
+    /// Converts a market-layer [`Trade`].
+    pub fn from_trade(trade: &Trade) -> Self {
+        SettlementTx {
+            seller: trade.seller.0,
+            buyer: trade.buyer.0,
+            energy_ukwh: (trade.energy * ENERGY_SCALE).round() as u64,
+            payment_mc: (trade.payment * MONEY_SCALE).round() as u64,
+        }
+    }
+
+    /// Energy in kWh.
+    pub fn energy_kwh(&self) -> f64 {
+        self.energy_ukwh as f64 / ENERGY_SCALE
+    }
+
+    /// Payment in cents.
+    pub fn payment_cents(&self) -> f64 {
+        self.payment_mc as f64 / MONEY_SCALE
+    }
+
+    /// The implied unit price (¢/kWh); `None` for zero energy.
+    pub fn implied_price(&self) -> Option<f64> {
+        if self.energy_ukwh == 0 {
+            None
+        } else {
+            Some(self.payment_cents() / self.energy_kwh())
+        }
+    }
+
+    /// Canonical byte encoding for hashing.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.seller as u64).to_be_bytes());
+        out.extend_from_slice(&(self.buyer as u64).to_be_bytes());
+        out.extend_from_slice(&self.energy_ukwh.to_be_bytes());
+        out.extend_from_slice(&self.payment_mc.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pem_market::AgentId;
+
+    #[test]
+    fn fixed_point_roundtrip() {
+        let tx = SettlementTx::new(3, 1, 2, 1.234567, 100.0);
+        assert_eq!(tx.energy_ukwh, 1_234_567);
+        assert!((tx.energy_kwh() - 1.234567).abs() < 1e-9);
+        assert!((tx.payment_cents() - 123.4567).abs() < 1e-3);
+        assert!((tx.implied_price().expect("non-zero") - 100.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn from_trade() {
+        let t = Trade {
+            seller: AgentId(4),
+            buyer: AgentId(9),
+            energy: 0.5,
+            payment: 47.5,
+        };
+        let tx = SettlementTx::from_trade(&t);
+        assert_eq!((tx.seller, tx.buyer), (4, 9));
+        assert!((tx.implied_price().expect("non-zero") - 95.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_energy_has_no_price() {
+        let tx = SettlementTx::new(0, 0, 1, 0.0, 100.0);
+        assert_eq!(tx.implied_price(), None);
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        let tx = SettlementTx::new(0, 1, 2, 1.0, 100.0);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        tx.encode(&mut a);
+        tx.encode(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the settlement ledger.
+
+use pem_ledger::{AccountBook, Ledger, SettlementContract, SettlementTx};
+use pem_market::PriceBand;
+use proptest::prelude::*;
+
+/// Random valid window batches: disjoint seller/buyer id spaces, positive
+/// energies, in-band price, consistent payments.
+fn arb_batch() -> impl Strategy<Value = (f64, Vec<SettlementTx>)> {
+    (
+        90.0f64..110.0,
+        proptest::collection::vec(
+            (0usize..8, 8usize..16, 0.001f64..5.0),
+            1..10,
+        ),
+    )
+        .prop_map(|(price, rows)| {
+            let txs = rows
+                .into_iter()
+                .map(|(s, b, kwh)| SettlementTx::new(0, s, b, kwh, price))
+                .collect();
+            (price, txs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn valid_batches_always_settle_and_validate(batches in proptest::collection::vec(arb_batch(), 1..6)) {
+        let mut ledger = Ledger::new(SettlementContract::new(PriceBand::paper_defaults()));
+        let mut book = AccountBook::default();
+        for (w, (price, txs)) in batches.iter().enumerate() {
+            let block = ledger
+                .append_window(w as u64 + 1, *price, txs)
+                .expect("valid batch settles");
+            book.apply(&block.txs);
+        }
+        prop_assert!(ledger.validate().is_ok());
+        prop_assert!(book.cash_is_conserved());
+        prop_assert!(book.energy_is_conserved());
+        prop_assert_eq!(ledger.settled_windows(), batches.len());
+    }
+
+    #[test]
+    fn any_single_bitflip_in_a_tx_is_detected(
+        (price, txs) in arb_batch(),
+        victim in any::<prop::sample::Index>(),
+        delta in 1u64..1000,
+    ) {
+        let mut ledger = Ledger::new(SettlementContract::new(PriceBand::paper_defaults()));
+        ledger.append_window(1, price, &txs).expect("settle");
+        // Corrupt one transaction in the stored block (malicious replica).
+        let i = victim.index(txs.len());
+        let mut blocks: Vec<_> = ledger.blocks().to_vec();
+        blocks[1].txs[i].energy_ukwh = blocks[1].txs[i].energy_ukwh.wrapping_add(delta);
+        // Re-validate the doctored chain by hand: the hash must break.
+        prop_assert!(!blocks[1].hash_is_valid());
+    }
+
+    #[test]
+    fn implied_price_is_consistent((price, txs) in arb_batch()) {
+        for tx in &txs {
+            if let Some(p) = tx.implied_price() {
+                // Fixed-point rounding keeps the implied price within a
+                // milli-cent-scale tolerance of the clearing price.
+                prop_assert!((p - price).abs() < 0.51 / tx.energy_kwh().max(1e-3) * 0.001 + 0.01,
+                    "implied {p} vs {price}");
+            }
+        }
+    }
+
+    #[test]
+    fn off_band_prices_always_rejected(
+        (_, txs) in arb_batch(),
+        price in prop_oneof![0.1f64..89.0, 111.0f64..119.0, 121.0f64..500.0],
+    ) {
+        let mut ledger = Ledger::new(SettlementContract::new(PriceBand::paper_defaults()));
+        // Re-price the transactions so only the window price is wrong.
+        let txs: Vec<SettlementTx> = txs
+            .iter()
+            .map(|t| SettlementTx::new(0, t.seller, t.buyer, t.energy_kwh(), price))
+            .collect();
+        prop_assert!(ledger.append_window(1, price, &txs).is_err());
+        prop_assert_eq!(ledger.settled_windows(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Agents and their per-window data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MarketError;
+
+/// Identifies an agent (smart home / microgrid) in the population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AgentId(pub usize);
+
+impl std::fmt::Display for AgentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "H{}", self.0)
+    }
+}
+
+/// An agent's market role in one trading window (determined by net energy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// `sn > 0`: offers surplus energy.
+    Seller,
+    /// `sn < 0`: requests energy.
+    Buyer,
+    /// `sn = 0`: does not participate this window.
+    OffMarket,
+}
+
+/// One agent's data for one trading window (Section II-A / III-A).
+///
+/// Energies are in kWh for the window; prices downstream are ¢/kWh.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgentWindow {
+    /// The agent this row belongs to.
+    pub id: AgentId,
+    /// Local generation `g ≥ 0` (solar, etc.).
+    pub generation: f64,
+    /// Demand load `l ≥ 0`.
+    pub load: f64,
+    /// Battery energy flow `b`: positive = charging, negative = discharging.
+    pub battery: f64,
+    /// Battery loss coefficient `ε ∈ (0, 1)`.
+    pub battery_loss: f64,
+    /// Load-behaviour preference `k > 0` (seller utility weight).
+    pub preference: f64,
+}
+
+impl AgentWindow {
+    /// Convenience constructor.
+    pub fn new(
+        id: usize,
+        generation: f64,
+        load: f64,
+        battery: f64,
+        battery_loss: f64,
+        preference: f64,
+    ) -> AgentWindow {
+        AgentWindow {
+            id: AgentId(id),
+            generation,
+            load,
+            battery,
+            battery_loss,
+            preference,
+        }
+    }
+
+    /// Net energy `sn = g − l − b` (Eq. 1).
+    pub fn net_energy(&self) -> f64 {
+        self.generation - self.load - self.battery
+    }
+
+    /// Role in this window per the sign of the net energy.
+    ///
+    /// A dead-band of `1e-12` absorbs floating-point dust so that
+    /// quantized and exact data classify identically.
+    pub fn role(&self) -> Role {
+        let sn = self.net_energy();
+        if sn > 1e-12 {
+            Role::Seller
+        } else if sn < -1e-12 {
+            Role::Buyer
+        } else {
+            Role::OffMarket
+        }
+    }
+
+    /// The seller-side pricing term `g + 1 + ε·b − b` aggregated by
+    /// Protocol 3 (the denominator inside Eq. 13).
+    pub fn pricing_denominator_term(&self) -> f64 {
+        self.generation + 1.0 + self.battery_loss * self.battery - self.battery
+    }
+
+    /// Validates physical and model constraints.
+    ///
+    /// # Errors
+    ///
+    /// [`MarketError::InvalidAgentData`] if `g < 0`, `l < 0`,
+    /// `ε ∉ (0,1)`, `k ≤ 0`, or any field is non-finite.
+    pub fn validate(&self) -> Result<(), MarketError> {
+        let fail = |what: &str| {
+            Err(MarketError::InvalidAgentData {
+                agent: self.id,
+                reason: what.to_string(),
+            })
+        };
+        if !self.generation.is_finite() || self.generation < 0.0 {
+            return fail("generation must be finite and non-negative");
+        }
+        if !self.load.is_finite() || self.load < 0.0 {
+            return fail("load must be finite and non-negative");
+        }
+        if !self.battery.is_finite() {
+            return fail("battery flow must be finite");
+        }
+        if !(self.battery_loss > 0.0 && self.battery_loss < 1.0) {
+            return fail("battery loss coefficient must lie in (0,1)");
+        }
+        if self.preference <= 0.0 || !self.preference.is_finite() {
+            return fail("preference parameter must be positive");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agent(g: f64, l: f64, b: f64) -> AgentWindow {
+        AgentWindow::new(1, g, l, b, 0.9, 20.0)
+    }
+
+    #[test]
+    fn net_energy_eq1() {
+        assert_eq!(agent(5.0, 2.0, 1.0).net_energy(), 2.0);
+        assert_eq!(agent(1.0, 2.0, -0.5).net_energy(), -0.5);
+    }
+
+    #[test]
+    fn role_classification() {
+        assert_eq!(agent(5.0, 1.0, 0.0).role(), Role::Seller);
+        assert_eq!(agent(1.0, 5.0, 0.0).role(), Role::Buyer);
+        assert_eq!(agent(2.0, 2.0, 0.0).role(), Role::OffMarket);
+        // Dust inside the dead-band counts as off-market.
+        assert_eq!(agent(2.0, 2.0, 1e-14).role(), Role::OffMarket);
+    }
+
+    #[test]
+    fn pricing_term_matches_formula() {
+        let a = agent(3.0, 1.0, 2.0);
+        let expected = 3.0 + 1.0 + 0.9 * 2.0 - 2.0;
+        assert!((a.pricing_denominator_term() - expected).abs() < 1e-12);
+        // Discharging battery contributes positively.
+        let d = agent(3.0, 1.0, -1.0);
+        assert!((d.pricing_denominator_term() - (3.0 + 1.0 - 0.9 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        assert!(agent(1.0, 1.0, 0.0).validate().is_ok());
+        assert!(agent(-1.0, 1.0, 0.0).validate().is_err());
+        assert!(agent(1.0, -1.0, 0.0).validate().is_err());
+        assert!(agent(1.0, 1.0, f64::NAN).validate().is_err());
+        let mut bad_eps = agent(1.0, 1.0, 0.0);
+        bad_eps.battery_loss = 1.0;
+        assert!(bad_eps.validate().is_err());
+        let mut bad_k = agent(1.0, 1.0, 0.0);
+        bad_k.preference = 0.0;
+        assert!(bad_k.validate().is_err());
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(AgentId(7).to_string(), "H7");
+    }
+}

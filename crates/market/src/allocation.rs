@@ -1,0 +1,162 @@
+//! Pairwise energy distribution and payment (Section III-D).
+
+use serde::{Deserialize, Serialize};
+
+use crate::agent::{AgentId, AgentWindow};
+
+/// One pairwise trade: `seller` routes `energy` kWh to `buyer`, who pays
+/// `payment` cents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Trade {
+    /// Energy source.
+    pub seller: AgentId,
+    /// Energy sink.
+    pub buyer: AgentId,
+    /// Transferred energy `e_ij` in kWh.
+    pub energy: f64,
+    /// Payment `m_ji = p · e_ij` in cents.
+    pub payment: f64,
+}
+
+/// Computes all pairwise trades at price `price`.
+///
+/// * General market (`E_s < E_b`): every seller's full surplus is sold;
+///   buyer `j` receives `e_ij = sn_i · |sn_j| / E_b` from seller `i`.
+/// * Extreme market (`E_s ≥ E_b`): every buyer's full demand is served;
+///   seller `i` provides `e_ij = |sn_j| · sn_i / E_s` to buyer `j`.
+///
+/// Both formulas coincide in the knife-edge case `E_s = E_b`. Zero-supply
+/// or zero-demand coalitions yield no trades.
+pub fn allocate(sellers: &[AgentWindow], buyers: &[AgentWindow], price: f64) -> Vec<Trade> {
+    let supply: f64 = sellers.iter().map(|s| s.net_energy()).sum();
+    let demand: f64 = buyers.iter().map(|b| -b.net_energy()).sum();
+    if supply <= 0.0 || demand <= 0.0 {
+        return Vec::new();
+    }
+    let mut trades = Vec::with_capacity(sellers.len() * buyers.len());
+    let general = supply < demand;
+    for s in sellers {
+        let sn_i = s.net_energy();
+        for b in buyers {
+            let d_j = -b.net_energy();
+            let energy = if general {
+                sn_i * d_j / demand
+            } else {
+                d_j * sn_i / supply
+            };
+            if energy <= 0.0 {
+                continue;
+            }
+            trades.push(Trade {
+                seller: s.id,
+                buyer: b.id,
+                energy,
+                payment: price * energy,
+            });
+        }
+    }
+    trades
+}
+
+/// Sum of energy sold by `seller` across trades.
+pub fn sold_by(trades: &[Trade], seller: AgentId) -> f64 {
+    trades
+        .iter()
+        .filter(|t| t.seller == seller)
+        .map(|t| t.energy)
+        .sum()
+}
+
+/// Sum of energy received by `buyer` across trades.
+pub fn bought_by(trades: &[Trade], buyer: AgentId) -> f64 {
+    trades
+        .iter()
+        .filter(|t| t.buyer == buyer)
+        .map(|t| t.energy)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seller(id: usize, surplus: f64) -> AgentWindow {
+        AgentWindow::new(id, surplus, 0.0, 0.0, 0.9, 20.0)
+    }
+
+    fn buyer(id: usize, deficit: f64) -> AgentWindow {
+        AgentWindow::new(id, 0.0, deficit, 0.0, 0.9, 20.0)
+    }
+
+    #[test]
+    fn general_market_sellers_clear() {
+        // E_s = 5 < E_b = 8.
+        let sellers = vec![seller(0, 2.0), seller(1, 3.0)];
+        let buyers = vec![buyer(10, 6.0), buyer(11, 2.0)];
+        let trades = allocate(&sellers, &buyers, 100.0);
+        // Every seller sells exactly its surplus.
+        assert!((sold_by(&trades, AgentId(0)) - 2.0).abs() < 1e-9);
+        assert!((sold_by(&trades, AgentId(1)) - 3.0).abs() < 1e-9);
+        // Buyers split supply proportionally to demand: 6/8 and 2/8 of 5.
+        assert!((bought_by(&trades, AgentId(10)) - 5.0 * 6.0 / 8.0).abs() < 1e-9);
+        assert!((bought_by(&trades, AgentId(11)) - 5.0 * 2.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_market_buyers_clear() {
+        // E_s = 10 ≥ E_b = 4.
+        let sellers = vec![seller(0, 6.0), seller(1, 4.0)];
+        let buyers = vec![buyer(10, 1.0), buyer(11, 3.0)];
+        let trades = allocate(&sellers, &buyers, 90.0);
+        // Every buyer gets exactly its demand.
+        assert!((bought_by(&trades, AgentId(10)) - 1.0).abs() < 1e-9);
+        assert!((bought_by(&trades, AgentId(11)) - 3.0).abs() < 1e-9);
+        // Sellers contribute proportionally to supply: 6/10 and 4/10 of 4.
+        assert!((sold_by(&trades, AgentId(0)) - 4.0 * 0.6).abs() < 1e-9);
+        assert!((sold_by(&trades, AgentId(1)) - 4.0 * 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_market_both_clear() {
+        let sellers = vec![seller(0, 4.0)];
+        let buyers = vec![buyer(10, 4.0)];
+        let trades = allocate(&sellers, &buyers, 95.0);
+        assert_eq!(trades.len(), 1);
+        assert!((trades[0].energy - 4.0).abs() < 1e-9);
+        assert!((trades[0].payment - 380.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn payments_match_price() {
+        let sellers = vec![seller(0, 2.0), seller(1, 1.0)];
+        let buyers = vec![buyer(10, 5.0)];
+        let price = 104.5;
+        for t in allocate(&sellers, &buyers, price) {
+            assert!((t.payment - price * t.energy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_sides_yield_no_trades() {
+        assert!(allocate(&[], &[buyer(1, 2.0)], 100.0).is_empty());
+        assert!(allocate(&[seller(0, 2.0)], &[], 100.0).is_empty());
+        assert!(allocate(&[], &[], 100.0).is_empty());
+    }
+
+    #[test]
+    fn trade_count_is_pairwise() {
+        let sellers: Vec<_> = (0..3).map(|i| seller(i, 1.0)).collect();
+        let buyers: Vec<_> = (10..14).map(|i| buyer(i, 1.0)).collect();
+        assert_eq!(allocate(&sellers, &buyers, 100.0).len(), 12);
+    }
+
+    #[test]
+    fn conservation_total_traded() {
+        let sellers = vec![seller(0, 2.5), seller(1, 1.5)];
+        let buyers = vec![buyer(10, 3.0), buyer(11, 5.0)];
+        let trades = allocate(&sellers, &buyers, 100.0);
+        let total: f64 = trades.iter().map(|t| t.energy).sum();
+        // General market: total traded equals supply (4.0).
+        assert!((total - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! The "without PEM" benchmark scheme (Section VII-A).
+//!
+//! The paper's baseline is traditional grid-only trading: sellers feed
+//! surplus into the main grid at the feed-in price `pb_g`, and buyers
+//! purchase their whole deficit at the retail price `ps_g`. PEM's Fig. 6
+//! panels all compare against this scheme.
+
+use serde::{Deserialize, Serialize};
+
+use crate::agent::{AgentWindow, Role};
+use crate::incentives::seller_utility;
+use crate::price::PriceBand;
+
+/// Per-window aggregates of the grid-only baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GridOnlyBaseline {
+    /// Total buyer spend at retail (cents).
+    pub buyer_cost: f64,
+    /// Total seller revenue at feed-in (cents).
+    pub seller_revenue: f64,
+    /// Total energy exchanged with the main grid (kWh) — every kWh of
+    /// surplus and deficit crosses the grid boundary.
+    pub grid_interaction: f64,
+}
+
+impl GridOnlyBaseline {
+    /// Evaluates the baseline over one window's population.
+    pub fn evaluate(agents: &[AgentWindow], band: &PriceBand) -> GridOnlyBaseline {
+        let mut out = GridOnlyBaseline::default();
+        for a in agents {
+            match a.role() {
+                Role::Seller => {
+                    let sn = a.net_energy();
+                    out.seller_revenue += band.grid_feed_in * sn;
+                    out.grid_interaction += sn;
+                }
+                Role::Buyer => {
+                    let deficit = -a.net_energy();
+                    out.buyer_cost += band.grid_retail * deficit;
+                    out.grid_interaction += deficit;
+                }
+                Role::OffMarket => {}
+            }
+        }
+        out
+    }
+}
+
+/// A buyer's cost when it can only use the grid (Eq. 5 with `x = 0`).
+pub fn baseline_buyer_cost(agent: &AgentWindow, band: &PriceBand) -> f64 {
+    debug_assert!(agent.role() == Role::Buyer);
+    band.grid_retail * (-agent.net_energy())
+}
+
+/// A seller's utility when it can only sell to the grid (Eq. 4 at
+/// `p = pb_g`).
+pub fn baseline_seller_utility(agent: &AgentWindow, band: &PriceBand) -> f64 {
+    seller_utility(agent, band.grid_feed_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_aggregates() {
+        let band = PriceBand::paper_defaults();
+        let agents = vec![
+            AgentWindow::new(0, 5.0, 1.0, 0.0, 0.9, 20.0), // +4 seller
+            AgentWindow::new(1, 0.0, 3.0, 0.0, 0.9, 20.0), // -3 buyer
+            AgentWindow::new(2, 2.0, 2.0, 0.0, 0.9, 20.0), // off market
+        ];
+        let b = GridOnlyBaseline::evaluate(&agents, &band);
+        assert!((b.seller_revenue - 80.0 * 4.0).abs() < 1e-9);
+        assert!((b.buyer_cost - 120.0 * 3.0).abs() < 1e-9);
+        assert!((b.grid_interaction - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_agent_baselines() {
+        let band = PriceBand::paper_defaults();
+        let buyer = AgentWindow::new(0, 0.0, 2.0, 0.0, 0.9, 20.0);
+        assert!((baseline_buyer_cost(&buyer, &band) - 240.0).abs() < 1e-9);
+        let seller = AgentWindow::new(1, 5.0, 1.0, 0.0, 0.9, 20.0);
+        let u = baseline_seller_utility(&seller, &band);
+        // Selling at 80 must be worse than selling the same surplus at 100.
+        assert!(u < seller_utility(&seller, 100.0));
+    }
+
+    #[test]
+    fn empty_population() {
+        let band = PriceBand::paper_defaults();
+        let b = GridOnlyBaseline::evaluate(&[], &band);
+        assert_eq!(b, GridOnlyBaseline::default());
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for the market layer.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::agent::AgentId;
+
+/// Errors from market-model validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarketError {
+    /// A price band violates `pb_g < p_l ≤ p_h < ps_g` (Eq. 3).
+    InvalidPriceBand {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An agent's window data is physically or economically invalid.
+    InvalidAgentData {
+        /// The offending agent.
+        agent: AgentId,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::InvalidPriceBand { reason } => {
+                write!(f, "invalid price band: {reason}")
+            }
+            MarketError::InvalidAgentData { agent, reason } => {
+                write!(f, "invalid data for agent {agent}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MarketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MarketError::InvalidAgentData {
+            agent: AgentId(3),
+            reason: "negative load".into(),
+        };
+        assert!(e.to_string().contains("H3"));
+        assert!(e.to_string().contains("negative load"));
+    }
+}

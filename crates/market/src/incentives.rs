@@ -1,0 +1,296 @@
+//! Utility / cost functions and incentive analysis (Sections III-A, V-B).
+//!
+//! Theorem 2's incentive-compatibility claim is about the *strategy space
+//! of the game*: sellers choose load profiles, buyers choose the price.
+//! The equilibrium price (Eq. 13) is a function of seller parameters
+//! (`k`, `g`, `ε`, `b`) and **does not depend on any load**, so a seller
+//! cannot move the price by deviating its load — and at a fixed price the
+//! strictly concave utility (Lemma 1) is uniquely maximised at `l*`
+//! (Eq. 15). [`load_deviation`] demonstrates exactly this.
+//!
+//! A different channel — *mis-reporting the parameters themselves* — is
+//! outside the paper's formal game but inside its threat model discussion
+//! ("all the agents have the incentive to improve its payoff by cheating
+//! on its data", §II-B). [`misreport_preference`] quantifies it: the gain
+//! is capped by the price band's clamping (the common case in the paper's
+//! own traces, Fig. 6(a)) and shrinks as `O(1/n)` with the seller
+//! coalition size; a test pins both behaviours.
+
+use serde::{Deserialize, Serialize};
+
+use crate::agent::AgentWindow;
+use crate::price::{optimal_load, optimal_price, PriceBand};
+
+/// Seller utility (Eq. 4):
+/// `U = k·ln(1 + l + ε·b) + p·(g − l − b)`.
+///
+/// The logarithm argument is floored at a small positive value so that
+/// pathological inputs (deep battery discharge) degrade gracefully instead
+/// of producing `−∞`.
+pub fn seller_utility(agent: &AgentWindow, price: f64) -> f64 {
+    let consumption = (1.0 + agent.load + agent.battery_loss * agent.battery).max(1e-9);
+    agent.preference * consumption.ln() + price * agent.net_energy()
+}
+
+/// Seller utility at the best-response load `l*` (Eq. 15).
+pub fn seller_utility_at_optimal_load(agent: &AgentWindow, price: f64) -> f64 {
+    let mut best = *agent;
+    best.load = optimal_load(agent, price);
+    seller_utility(&best, price)
+}
+
+/// Buyer cost (Eq. 5): `C = p·x + ps_g·(l + b − g − x)` where `x` is the
+/// energy bought on the market (the rest comes from the grid at retail).
+pub fn buyer_cost(agent: &AgentWindow, price: f64, market_purchase: f64, band: &PriceBand) -> f64 {
+    let deficit = -agent.net_energy();
+    debug_assert!(
+        market_purchase <= deficit + 1e-9,
+        "cannot buy more than the deficit"
+    );
+    price * market_purchase + band.grid_retail * (deficit - market_purchase)
+}
+
+/// Buyer-coalition cost (Eq. 7): `Γ = p·E_s + ps_g·(E_b − E_s)`.
+///
+/// Valid for the general market (`E_s ≤ E_b`); in the extreme market the
+/// coalition pays `p_l · E_b`.
+pub fn coalition_cost(supply: f64, demand: f64, price: f64, band: &PriceBand) -> f64 {
+    if supply < demand {
+        price * supply + band.grid_retail * (demand - supply)
+    } else {
+        band.floor * demand
+    }
+}
+
+/// Γ as a function of a *candidate* price, with sellers playing their
+/// best-response loads (the objective the leader minimises in Lemma 1's
+/// proof). Used to verify Eq. 13 numerically.
+pub fn coalition_cost_at_price(
+    sellers: &[AgentWindow],
+    demand: f64,
+    price: f64,
+    band: &PriceBand,
+) -> f64 {
+    let k_sum: f64 = sellers.iter().map(|s| s.preference).sum();
+    let denom: f64 = sellers.iter().map(|s| s.pricing_denominator_term()).sum();
+    let supply = denom - k_sum / price; // E_s with l_i = k_i/p − 1 − ε·b_i
+    price * supply + band.grid_retail * (demand - supply)
+}
+
+/// Outcome of a load-strategy deviation at the equilibrium price
+/// (the deviation Theorem 2 actually rules out).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadDeviationReport {
+    /// Utility at the best-response load `l*`.
+    pub equilibrium_utility: f64,
+    /// Utility at the deviated load.
+    pub deviated_utility: f64,
+    /// The (unchanged) market price.
+    pub price: f64,
+}
+
+impl LoadDeviationReport {
+    /// `true` iff the deviation failed to improve the payoff.
+    pub fn deviation_unprofitable(&self) -> bool {
+        self.deviated_utility <= self.equilibrium_utility + 1e-9
+    }
+}
+
+/// Evaluates a seller's utility at an arbitrary load against its
+/// best response, holding the price fixed (Eq. 13 does not depend on
+/// loads, so no unilateral load move can shift it).
+pub fn load_deviation(agent: &AgentWindow, price: f64, deviated_load: f64) -> LoadDeviationReport {
+    let equilibrium_utility = seller_utility_at_optimal_load(agent, price);
+    let mut dev = *agent;
+    dev.load = deviated_load.max(0.0);
+    LoadDeviationReport {
+        equilibrium_utility,
+        deviated_utility: seller_utility(&dev, price),
+        price,
+    }
+}
+
+/// Outcome of a parameter-misreport experiment for one seller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviationReport {
+    /// Utility when everyone reports truthfully (at the truthful price).
+    pub truthful_utility: f64,
+    /// Utility when this seller reports `k' = α·k` (at the shifted price,
+    /// utility evaluated with the true preference).
+    pub deviated_utility: f64,
+    /// Equilibrium price under truthful reporting.
+    pub truthful_price: f64,
+    /// Equilibrium price after the mis-report.
+    pub deviated_price: f64,
+}
+
+impl DeviationReport {
+    /// Payoff gained by lying (positive = profitable deviation).
+    pub fn gain(&self) -> f64 {
+        self.deviated_utility - self.truthful_utility
+    }
+}
+
+/// Runs the §II-B cheating experiment: seller `deviator` reports
+/// `k' = α·k`, the coalition recomputes the price from the reported
+/// parameters, and the deviator's utility is evaluated with its *true*
+/// preference at its re-optimised load.
+///
+/// # Panics
+///
+/// Panics if `deviator` is out of range or `alpha ≤ 0`.
+pub fn misreport_preference(
+    sellers: &[AgentWindow],
+    deviator: usize,
+    alpha: f64,
+    band: &PriceBand,
+) -> DeviationReport {
+    assert!(deviator < sellers.len(), "deviator index out of range");
+    assert!(alpha > 0.0, "deviation factor must be positive");
+
+    let truthful_price = optimal_price(sellers, band);
+    let truth_agent = &sellers[deviator];
+    let truthful_utility = seller_utility_at_optimal_load(truth_agent, truthful_price);
+
+    let mut reported: Vec<AgentWindow> = sellers.to_vec();
+    reported[deviator].preference *= alpha;
+    let deviated_price = optimal_price(&reported, band);
+    let deviated_utility = seller_utility_at_optimal_load(truth_agent, deviated_price);
+
+    DeviationReport {
+        truthful_utility,
+        deviated_utility,
+        truthful_price,
+        deviated_price,
+    }
+}
+
+/// Backwards-compatible alias for [`misreport_preference`].
+pub fn deviation_utilities(
+    sellers: &[AgentWindow],
+    deviator: usize,
+    alpha: f64,
+    band: &PriceBand,
+) -> DeviationReport {
+    misreport_preference(sellers, deviator, alpha, band)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seller(g: f64, k: f64) -> AgentWindow {
+        AgentWindow::new(0, g, 1.0, 0.0, 0.9, k)
+    }
+
+    #[test]
+    fn utility_eq4() {
+        let a = seller(5.0, 20.0);
+        let p = 100.0;
+        let expected = 20.0 * (1.0 + 1.0f64).ln() + p * (5.0 - 1.0);
+        assert!((seller_utility(&a, p) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utility_monotone_in_price_for_net_seller() {
+        let a = seller(5.0, 20.0);
+        assert!(seller_utility(&a, 110.0) > seller_utility(&a, 90.0));
+    }
+
+    #[test]
+    fn buyer_cost_eq5() {
+        let band = PriceBand::paper_defaults();
+        let mut b = seller(0.0, 20.0);
+        b.load = 4.0; // deficit 4 kWh
+        // Buy 3 on the market at 100, 1 from the grid at 120.
+        let c = buyer_cost(&b, 100.0, 3.0, &band);
+        assert!((c - (300.0 + 120.0)).abs() < 1e-9);
+        // Buying everything from the grid is the x = 0 case.
+        assert!((buyer_cost(&b, 100.0, 0.0, &band) - 480.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coalition_cost_eq7() {
+        let band = PriceBand::paper_defaults();
+        // General market: Γ = p·E_s + ps_g(E_b − E_s).
+        let g = coalition_cost(3.0, 10.0, 100.0, &band);
+        assert!((g - (300.0 + 120.0 * 7.0)).abs() < 1e-9);
+        // Market trading is cheaper than all-grid (individual rationality
+        // at coalition level).
+        assert!(g < 120.0 * 10.0);
+        // Extreme market: all demand at the floor.
+        let e = coalition_cost(12.0, 10.0, 90.0, &band);
+        assert!((e - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_deviations_never_profit() {
+        // Theorem 2, seller side: at the equilibrium price, no load beats
+        // l* — strict concavity of Eq. 4 in l.
+        let a = AgentWindow::new(0, 8.0, 1.0, 0.0, 0.9, 300.0);
+        for price in [90.0, 100.0, 110.0] {
+            let l_star = optimal_load(&a, price);
+            assert!(l_star > 0.0, "test needs an interior optimum");
+            let mut dev = 0.0;
+            while dev < 3.0 * l_star {
+                let r = load_deviation(&a, price, dev);
+                assert!(
+                    r.deviation_unprofitable(),
+                    "load {dev} at price {price} profited: {r:?}"
+                );
+                dev += 0.05;
+            }
+        }
+    }
+
+    #[test]
+    fn misreport_neutralized_when_price_clamped() {
+        // With the paper's parameters the raw equilibrium price sits far
+        // below the floor, so the clamp absorbs any k-inflation: the lie
+        // does not move the realized price at all.
+        let band = PriceBand::paper_defaults();
+        let sellers: Vec<_> = (0..10).map(|i| seller(4.0 + i as f64 * 0.2, 25.0)).collect();
+        for alpha in [0.5, 1.5, 3.0] {
+            let r = misreport_preference(&sellers, 0, alpha, &band);
+            assert_eq!(r.truthful_price, r.deviated_price, "clamp must absorb");
+            assert!(r.gain().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn misreport_gain_shrinks_with_coalition_size() {
+        // Interior-price regime: a single over-reporter gains O(1/n).
+        let wide = PriceBand {
+            grid_retail: 120.0,
+            grid_feed_in: 1.0,
+            floor: 2.0,
+            ceiling: 119.0,
+        };
+        let gain_at = |n: usize| -> f64 {
+            let sellers: Vec<_> = (0..n).map(|_| seller(6.0, 25.0)).collect();
+            misreport_preference(&sellers, 0, 2.0, &wide).gain()
+        };
+        let g3 = gain_at(3);
+        let g30 = gain_at(30);
+        let g300 = gain_at(300);
+        assert!(g3 > g30 && g30 > g300, "gain must shrink: {g3} {g30} {g300}");
+        assert!(g300 < g3 / 50.0, "roughly O(1/n) decay: {g3} vs {g300}");
+    }
+
+    #[test]
+    fn truthful_alpha_one_is_identity() {
+        let band = PriceBand::paper_defaults();
+        let sellers = vec![seller(6.0, 25.0), seller(4.0, 35.0)];
+        let r = misreport_preference(&sellers, 0, 1.0, &band);
+        assert!((r.truthful_price - r.deviated_price).abs() < 1e-12);
+        assert!(r.gain().abs() < 1e-9);
+    }
+
+    #[test]
+    fn utility_handles_pathological_battery() {
+        let mut a = seller(5.0, 20.0);
+        a.battery = -100.0; // deep discharge: log argument would go negative
+        let u = seller_utility(&a, 100.0);
+        assert!(u.is_finite());
+    }
+}

@@ -1,0 +1,74 @@
+//! The distributed energy-trading model of PEM (ICDCS 2020, Section III).
+//!
+//! This crate is the *plaintext* market layer: everything the paper's
+//! Stackelberg game defines, with no cryptography. The privacy-preserving
+//! protocols in `pem-core` compute exactly these quantities under
+//! encryption, and the equivalence is asserted by integration tests.
+//!
+//! # Model summary
+//!
+//! Per trading window `t`, each agent `H_i` has generation `g`, demand
+//! load `l`, battery charge/discharge `b` (positive = charging), battery
+//! loss coefficient `ε ∈ (0,1)` and load-preference parameter `k > 0`.
+//! Net energy `sn = g − l − b` (Eq. 1) classifies the agent as seller
+//! (`sn > 0`), buyer (`sn < 0`) or off-market.
+//!
+//! * Seller utility (Eq. 4): `U = k·ln(1 + l + ε·b) + p·(g − l − b)`.
+//! * Buyer cost (Eq. 5): `C = p·x + ps_g·(l + b − g − x)`.
+//! * Buyer-coalition cost (Eq. 7): `Γ = p·E_s + ps_g·(E_b − E_s)`.
+//! * Stackelberg equilibrium price (Eq. 13):
+//!   `p̂ = sqrt( ps_g · Σk / Σ(g + 1 + ε·b − b) )`, clamped to the market
+//!   band `[p_l, p_h]` (Eq. 14).
+//! * General market (`E_s < E_b`): demand-proportional allocation
+//!   `e_ij = sn_i · |sn_j| / E_b`; extreme market (`E_s ≥ E_b`): price
+//!   `p_l` and supply-proportional allocation `e_ij = |sn_j| · sn_i / E_s`
+//!   (§III-C/D).
+//!
+//! > The paper's Eq. 9 prints the seller first-order condition as
+//! > `kε/(1+l+εb) = p`; differentiating Eq. 4 gives `k/(1+l+εb) = p`, and
+//! > Eqs. 11–13 are only consistent with the latter, so this crate
+//! > implements the ε-free form (optimal load `l* = k/p − 1 − ε·b`,
+//! > Eq. 15 corrected). A unit test cross-checks Eq. 13 against numeric
+//! > minimisation of Γ.
+//!
+//! # Example
+//!
+//! ```
+//! use pem_market::{AgentWindow, MarketEngine, PriceBand};
+//!
+//! let band = PriceBand::paper_defaults();
+//! let agents = vec![
+//!     AgentWindow::new(0, 5.0, 1.0, 0.0, 0.9, 30.0), // surplus 4 kWh → seller
+//!     AgentWindow::new(1, 0.0, 3.0, 0.0, 0.9, 30.0), // deficit 3 kWh → buyer
+//!     AgentWindow::new(2, 0.0, 6.0, 0.0, 0.9, 30.0), // deficit 6 kWh → buyer
+//! ];
+//! let outcome = MarketEngine::new(band).run_window(&agents);
+//! assert!(outcome.price >= 90.0 && outcome.price <= 110.0);
+//! assert_eq!(outcome.trades.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod allocation;
+pub mod auction;
+mod baseline;
+mod engine;
+mod error;
+mod incentives;
+mod price;
+pub mod scheduling;
+
+pub use agent::{AgentId, AgentWindow, Role};
+pub use auction::{auction_window, double_auction, AuctionOutcome, Order};
+pub use allocation::{allocate, bought_by, sold_by, Trade};
+pub use baseline::{baseline_buyer_cost, baseline_seller_utility, GridOnlyBaseline};
+pub use engine::{Coalitions, MarketEngine, MarketKind, WindowOutcome};
+pub use error::MarketError;
+pub use incentives::{
+    buyer_cost, coalition_cost, coalition_cost_at_price, deviation_utilities, load_deviation,
+    misreport_preference, seller_utility, seller_utility_at_optimal_load, DeviationReport,
+    LoadDeviationReport,
+};
+pub use price::{optimal_load, optimal_price, optimal_price_unclamped, PriceBand};

@@ -1,0 +1,215 @@
+//! Stackelberg-equilibrium pricing (Section III-B).
+
+use serde::{Deserialize, Serialize};
+
+use crate::agent::AgentWindow;
+use crate::error::MarketError;
+
+/// The market price structure (all in ¢/kWh):
+/// `pb_g < p_l ≤ p_h < ps_g` (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceBand {
+    /// Retail price `ps_g` the grid charges consumers.
+    pub grid_retail: f64,
+    /// Feed-in price `pb_g` the grid pays for surplus.
+    pub grid_feed_in: f64,
+    /// Market floor `p_l` set by the PEM.
+    pub floor: f64,
+    /// Market ceiling `p_h` set by the PEM.
+    pub ceiling: f64,
+}
+
+impl PriceBand {
+    /// The prices used throughout the paper's evaluation (§VII-A):
+    /// `ps_g = 120`, `pb_g = 80`, band `[90, 110]` ¢/kWh.
+    pub fn paper_defaults() -> PriceBand {
+        PriceBand {
+            grid_retail: 120.0,
+            grid_feed_in: 80.0,
+            floor: 90.0,
+            ceiling: 110.0,
+        }
+    }
+
+    /// Validates Eq. 3.
+    ///
+    /// # Errors
+    ///
+    /// [`MarketError::InvalidPriceBand`] when the ordering
+    /// `pb_g < p_l ≤ p_h < ps_g` (with positive prices) is violated.
+    pub fn validate(&self) -> Result<(), MarketError> {
+        let fail = |reason: &str| {
+            Err(MarketError::InvalidPriceBand {
+                reason: reason.to_string(),
+            })
+        };
+        for v in [self.grid_retail, self.grid_feed_in, self.floor, self.ceiling] {
+            if !v.is_finite() || v <= 0.0 {
+                return fail("all prices must be finite and positive");
+            }
+        }
+        if self.grid_feed_in >= self.floor {
+            return fail("feed-in price must be below the market floor (pb_g < p_l)");
+        }
+        if self.floor > self.ceiling {
+            return fail("floor must not exceed ceiling (p_l <= p_h)");
+        }
+        if self.ceiling >= self.grid_retail {
+            return fail("ceiling must be below the retail price (p_h < ps_g)");
+        }
+        Ok(())
+    }
+
+    /// Clamps a raw equilibrium price into `[p_l, p_h]` (Eq. 14).
+    pub fn clamp(&self, p_hat: f64) -> f64 {
+        p_hat.clamp(self.floor, self.ceiling)
+    }
+}
+
+/// Unclamped Stackelberg-equilibrium price over the seller coalition
+/// (Eq. 13):
+///
+/// `p̂ = sqrt( ps_g · Σ k_i / Σ (g_i + 1 + ε_i·b_i − b_i) )`.
+///
+/// Returns `f64::INFINITY` when the denominator is non-positive (battery
+/// terms can in principle exhaust it); the clamped price then pins to the
+/// ceiling, which is the economically sensible limit (supply so scarce the
+/// buyers bid the band maximum).
+pub fn optimal_price_unclamped(sellers: &[AgentWindow], band: &PriceBand) -> f64 {
+    let k_sum: f64 = sellers.iter().map(|s| s.preference).sum();
+    let denom: f64 = sellers.iter().map(|s| s.pricing_denominator_term()).sum();
+    if denom <= 0.0 {
+        return f64::INFINITY;
+    }
+    (band.grid_retail * k_sum / denom).sqrt()
+}
+
+/// Clamped equilibrium price `p*` (Eq. 14).
+pub fn optimal_price(sellers: &[AgentWindow], band: &PriceBand) -> f64 {
+    band.clamp(optimal_price_unclamped(sellers, band))
+}
+
+/// A seller's best-response load at price `p` (Eq. 15, corrected form):
+/// `l* = k/p − 1 − ε·b`, floored at zero (a load cannot be negative).
+pub fn optimal_load(agent: &AgentWindow, price: f64) -> f64 {
+    (agent.preference / price - 1.0 - agent.battery_loss * agent.battery).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incentives::coalition_cost_at_price;
+
+    fn seller(id: usize, g: f64, b: f64, k: f64) -> AgentWindow {
+        AgentWindow::new(id, g, 0.5, b, 0.9, k)
+    }
+
+    #[test]
+    fn paper_defaults_satisfy_eq3() {
+        assert!(PriceBand::paper_defaults().validate().is_ok());
+    }
+
+    #[test]
+    fn band_validation_rejects_violations() {
+        let mut b = PriceBand::paper_defaults();
+        b.floor = 70.0; // below feed-in
+        assert!(b.validate().is_err());
+        let mut b = PriceBand::paper_defaults();
+        b.ceiling = 130.0; // above retail
+        assert!(b.validate().is_err());
+        let mut b = PriceBand::paper_defaults();
+        b.floor = 115.0; // floor > ceiling
+        assert!(b.validate().is_err());
+        let mut b = PriceBand::paper_defaults();
+        b.grid_retail = f64::NAN;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn price_formula_eq13() {
+        let band = PriceBand::paper_defaults();
+        let sellers = vec![seller(0, 4.0, 0.0, 20.0), seller(1, 6.0, 1.0, 40.0)];
+        let k_sum: f64 = 60.0;
+        let denom: f64 = (4.0 + 1.0 - 0.0) + (6.0 + 1.0 + 0.9 - 1.0);
+        let expected = (120.0 * k_sum / denom).sqrt();
+        assert!((optimal_price_unclamped(&sellers, &band) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_eq14() {
+        let band = PriceBand::paper_defaults();
+        // Huge preference sum → raw price above the ceiling.
+        let rich = vec![seller(0, 1.0, 0.0, 10_000.0)];
+        assert_eq!(optimal_price(&rich, &band), band.ceiling);
+        // Tiny preference → raw price below the floor.
+        let poor = vec![seller(0, 100.0, 0.0, 0.001)];
+        assert_eq!(optimal_price(&poor, &band), band.floor);
+    }
+
+    #[test]
+    fn degenerate_denominator_pins_to_ceiling() {
+        let band = PriceBand::paper_defaults();
+        // Large charging with low ε exhausts g + 1 + εb − b.
+        let mut s = seller(0, 0.0, 60.0, 20.0);
+        s.battery_loss = 0.01;
+        assert!(optimal_price_unclamped(&[s], &band).is_infinite());
+        assert_eq!(optimal_price(&[s], &band), band.ceiling);
+    }
+
+    #[test]
+    fn closed_form_minimizes_gamma() {
+        // Eq. 13 must agree with numeric minimisation of Γ(p) (Eq. 7 with
+        // Eq. 10 substituted), over an unconstrained band.
+        let wide_band = PriceBand {
+            grid_retail: 120.0,
+            grid_feed_in: 1.0,
+            floor: 2.0,
+            ceiling: 119.0,
+        };
+        let sellers = vec![
+            seller(0, 4.0, 0.5, 25.0),
+            seller(1, 2.0, -0.3, 35.0),
+            seller(2, 7.0, 0.0, 15.0),
+        ];
+        let demand = 50.0; // any E_b > E_s works; Γ shifts by a constant
+        let p_star = optimal_price_unclamped(&sellers, &wide_band);
+
+        // Golden-section-free check: sample densely around p*.
+        let gamma = |p: f64| coalition_cost_at_price(&sellers, demand, p, &wide_band);
+        let g_star = gamma(p_star);
+        let mut p = 2.0;
+        while p < 119.0 {
+            assert!(
+                g_star <= gamma(p) + 1e-9,
+                "Γ({p}) = {} < Γ(p*) = {g_star}",
+                gamma(p)
+            );
+            p += 0.25;
+        }
+    }
+
+    #[test]
+    fn optimal_load_responds_to_price() {
+        // Preference large enough for an interior optimum (k/p > 1).
+        let a = seller(0, 5.0, 0.0, 300.0);
+        let cheap = optimal_load(&a, 90.0);
+        let pricey = optimal_load(&a, 110.0);
+        assert!(cheap > pricey, "higher price → sell more, consume less");
+        assert!((cheap - (300.0 / 90.0 - 1.0)).abs() < 1e-12);
+        // With the paper's own magnitudes (k ∈ {20,40}, p ∈ [90,110])
+        // k/p < 1, so the best-response load floors at zero.
+        let paper_k = AgentWindow::new(1, 5.0, 0.5, 0.0, 0.9, 40.0);
+        assert_eq!(optimal_load(&paper_k, 100.0), 0.0);
+    }
+
+    #[test]
+    fn price_scales_with_preference_sum() {
+        let band = PriceBand::paper_defaults();
+        let low = vec![seller(0, 5.0, 0.0, 10.0)];
+        let high = vec![seller(0, 5.0, 0.0, 40.0)];
+        assert!(
+            optimal_price_unclamped(&high, &band) > optimal_price_unclamped(&low, &band),
+            "stronger self-consumption preference raises the equilibrium price"
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the market model's invariants.
+
+use pem_market::{
+    allocate, bought_by, coalition_cost_at_price, load_deviation, optimal_load,
+    optimal_price, optimal_price_unclamped, sold_by, AgentId, AgentWindow, MarketEngine,
+    MarketKind, PriceBand,
+};
+use proptest::prelude::*;
+
+fn arb_agent(id: usize) -> impl Strategy<Value = AgentWindow> {
+    (
+        0.0f64..10.0,   // generation
+        0.0f64..10.0,   // load
+        -2.0f64..2.0,   // battery
+        0.5f64..0.99,   // battery loss
+        5.0f64..50.0,   // preference
+    )
+        .prop_map(move |(g, l, b, eps, k)| AgentWindow::new(id, g, l, b, eps, k))
+}
+
+fn arb_population(n: usize) -> impl Strategy<Value = Vec<AgentWindow>> {
+    let mut strategies = Vec::new();
+    for i in 0..n {
+        strategies.push(arb_agent(i));
+    }
+    strategies
+}
+
+proptest! {
+    #[test]
+    fn price_always_in_band(pop in arb_population(8)) {
+        let band = PriceBand::paper_defaults();
+        let o = MarketEngine::new(band).run_window(&pop);
+        match o.kind {
+            MarketKind::General | MarketKind::Extreme => {
+                prop_assert!(o.price >= band.floor && o.price <= band.ceiling);
+            }
+            MarketKind::NoMarket => prop_assert_eq!(o.price, band.grid_retail),
+        }
+    }
+
+    #[test]
+    fn trades_conserve_energy(pop in arb_population(10)) {
+        let band = PriceBand::paper_defaults();
+        let o = MarketEngine::new(band).run_window(&pop);
+        let traded: f64 = o.trades.iter().map(|t| t.energy).sum();
+        // The market never trades more than min(E_s, E_b) and exactly
+        // matches it whenever both sides exist.
+        let cap = o.supply.min(o.demand);
+        let expected = if o.kind == MarketKind::NoMarket { 0.0 } else { cap };
+        prop_assert!((traded - expected).abs() < 1e-6);
+        for t in &o.trades {
+            prop_assert!(t.energy > 0.0);
+            prop_assert!((t.payment - o.price * t.energy).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn per_agent_allocation_bounds(pop in arb_population(10)) {
+        let band = PriceBand::paper_defaults();
+        let engine = MarketEngine::new(band);
+        let o = engine.run_window(&pop);
+        for a in &pop {
+            let sn = a.net_energy();
+            if sn > 1e-12 {
+                let sold = sold_by(&o.trades, a.id);
+                prop_assert!(sold <= sn + 1e-9, "seller cannot oversell");
+            } else if sn < -1e-12 {
+                let bought = bought_by(&o.trades, a.id);
+                prop_assert!(bought <= -sn + 1e-9, "buyer cannot overbuy");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_interaction_never_exceeds_baseline(pop in arb_population(12)) {
+        let band = PriceBand::paper_defaults();
+        let o = MarketEngine::new(band).run_window(&pop);
+        prop_assert!(o.grid_interaction <= o.baseline.grid_interaction + 1e-9);
+    }
+
+    #[test]
+    fn buyer_coalition_never_worse_than_baseline(pop in arb_population(12)) {
+        let band = PriceBand::paper_defaults();
+        let o = MarketEngine::new(band).run_window(&pop);
+        prop_assert!(o.buyer_saving() >= -1e-9, "individual rationality, coalition level");
+    }
+
+    #[test]
+    fn unclamped_price_positive_and_clamp_is_projection(pop in arb_population(6)) {
+        let band = PriceBand::paper_defaults();
+        let sellers: Vec<_> = pop.iter().filter(|a| a.net_energy() > 1e-12).copied().collect();
+        prop_assume!(!sellers.is_empty());
+        let raw = optimal_price_unclamped(&sellers, &band);
+        prop_assert!(raw > 0.0);
+        let clamped = optimal_price(&sellers, &band);
+        prop_assert!(clamped >= band.floor && clamped <= band.ceiling);
+        if raw >= band.floor && raw <= band.ceiling {
+            prop_assert_eq!(raw, clamped);
+        }
+    }
+
+    #[test]
+    fn gamma_minimized_at_closed_form(seed in 1u64..500) {
+        // Random small seller sets: Γ(p*) ≤ Γ(p) on a grid (Lemma 1).
+        let wide = PriceBand { grid_retail: 120.0, grid_feed_in: 1.0, floor: 2.0, ceiling: 119.0 };
+        let sellers: Vec<AgentWindow> = (0..3)
+            .map(|i| {
+                let f = ((seed + i as u64) % 17) as f64;
+                AgentWindow::new(i, 2.0 + f, 1.0, 0.0, 0.9, 10.0 + f * 2.0)
+            })
+            .collect();
+        let p_star = optimal_price_unclamped(&sellers, &wide);
+        prop_assume!(p_star.is_finite());
+        let g_star = coalition_cost_at_price(&sellers, 100.0, p_star, &wide);
+        for i in 1..60 {
+            let p = 2.0 + i as f64 * 2.0;
+            prop_assert!(g_star <= coalition_cost_at_price(&sellers, 100.0, p, &wide) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn load_deviation_never_profits(
+        g in 1.0f64..10.0,
+        k in 100.0f64..500.0,
+        price in 90.0f64..110.0,
+        dev in 0.0f64..5.0,
+    ) {
+        let a = AgentWindow::new(0, g, 1.0, 0.0, 0.9, k);
+        let r = load_deviation(&a, price, dev);
+        prop_assert!(r.deviation_unprofitable(), "{r:?}");
+    }
+
+    #[test]
+    fn optimal_load_is_stationary_point(k in 100.0f64..400.0, price in 90.0f64..110.0) {
+        let a = AgentWindow::new(0, 5.0, 1.0, 0.0, 0.9, k);
+        let l_star = optimal_load(&a, price);
+        prop_assume!(l_star > 0.01);
+        // Marginal utility ≈ 0 at l*: k/(1+l*) = p.
+        let marginal = k / (1.0 + l_star) - price;
+        prop_assert!(marginal.abs() < 1e-6, "marginal {marginal}");
+    }
+
+    #[test]
+    fn classification_is_stable_under_allocation(pop in arb_population(8)) {
+        // Allocation must never flip anyone's role.
+        let band = PriceBand::paper_defaults();
+        let o = MarketEngine::new(band).run_window(&pop);
+        for t in &o.trades {
+            let seller = pop.iter().find(|a| a.id == t.seller).expect("exists");
+            let buyer = pop.iter().find(|a| a.id == t.buyer).expect("exists");
+            prop_assert!(seller.net_energy() > 0.0);
+            prop_assert!(buyer.net_energy() < 0.0);
+        }
+        // No self-trading by construction (roles are disjoint).
+        for t in &o.trades {
+            prop_assert_ne!(t.seller, t.buyer);
+        }
+    }
+}
+
+/// Deterministic regression: an all-buyer morning window behaves like the
+/// paper's first windows (price = retail, zero trades).
+#[test]
+fn morning_window_regression() {
+    let band = PriceBand::paper_defaults();
+    let pop: Vec<AgentWindow> = (0..20)
+        .map(|i| AgentWindow::new(i, 0.0, 0.5 + i as f64 * 0.01, 0.0, 0.9, 25.0))
+        .collect();
+    let o = MarketEngine::new(band).run_window(&pop);
+    assert_eq!(o.kind, MarketKind::NoMarket);
+    assert_eq!(o.price, 120.0);
+    assert!(o.trades.is_empty());
+    assert_eq!(o.buyer_count, 20);
+    assert_eq!(o.seller_count, 0);
+}
+
+/// The engine is a pure function of its inputs.
+#[test]
+fn engine_is_deterministic() {
+    let band = PriceBand::paper_defaults();
+    let pop: Vec<AgentWindow> = (0..30)
+        .map(|i| {
+            AgentWindow::new(
+                i,
+                (i % 7) as f64,
+                (i % 5) as f64,
+                if i % 3 == 0 { 0.5 } else { -0.2 },
+                0.9,
+                20.0 + (i % 4) as f64 * 5.0,
+            )
+        })
+        .collect();
+    let e = MarketEngine::new(band);
+    assert_eq!(e.run_window(&pop), e.run_window(&pop));
+}
+
+#[test]
+fn allocate_ignores_agent_id_collisions_between_roles() {
+    // Same numeric id in both coalitions is allowed by the type system;
+    // allocation keys on position, so totals stay correct.
+    let sellers = vec![AgentWindow::new(0, 3.0, 0.0, 0.0, 0.9, 20.0)];
+    let buyers = vec![AgentWindow::new(0, 0.0, 2.0, 0.0, 0.9, 20.0)];
+    let trades = allocate(&sellers, &buyers, 100.0);
+    assert_eq!(trades.len(), 1);
+    assert_eq!(trades[0].seller, AgentId(0));
+    assert_eq!(trades[0].buyer, AgentId(0));
+}

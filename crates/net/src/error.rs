@@ -1,0 +1,83 @@
+//! Error types for the simulated network.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from sending, receiving or decoding messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// Addressed party does not exist.
+    UnknownParty {
+        /// The offending party index.
+        party: usize,
+        /// Number of registered parties.
+        parties: usize,
+    },
+    /// A party tried to send a message to itself.
+    SelfSend {
+        /// The party.
+        party: usize,
+    },
+    /// `recv_expect` found a message with a different label.
+    UnexpectedLabel {
+        /// Label the caller expected.
+        expected: &'static str,
+        /// Label actually at the head of the mailbox.
+        got: String,
+    },
+    /// `recv_expect` found an empty mailbox.
+    Empty {
+        /// The receiving party.
+        party: usize,
+        /// Label the caller expected.
+        expected: &'static str,
+    },
+    /// A payload failed to decode.
+    Decode {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// The threaded runtime channel closed unexpectedly.
+    Disconnected,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownParty { party, parties } => {
+                write!(f, "party {party} out of range (have {parties})")
+            }
+            NetError::SelfSend { party } => write!(f, "party {party} cannot message itself"),
+            NetError::UnexpectedLabel { expected, got } => {
+                write!(f, "expected message {expected:?}, mailbox head is {got:?}")
+            }
+            NetError::Empty { party, expected } => {
+                write!(f, "party {party} expected {expected:?} but mailbox is empty")
+            }
+            NetError::Decode { offset, what } => {
+                write!(f, "failed to decode {what} at byte {offset}")
+            }
+            NetError::Disconnected => write!(f, "runtime channel disconnected"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NetError::UnknownParty { party: 9, parties: 3 }
+            .to_string()
+            .contains("9"));
+        assert!(NetError::Empty { party: 1, expected: "x" }
+            .to_string()
+            .contains("\"x\""));
+    }
+}

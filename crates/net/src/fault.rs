@@ -1,0 +1,128 @@
+//! Fault injection for protocol robustness testing.
+//!
+//! A [`FaultPlan`] attached to a [`SimNetwork`](crate::SimNetwork) drops,
+//! duplicates or corrupts selected messages as they are sent. The PEM
+//! protocols must turn every such fault into a *typed error* — never into
+//! a wrong trade — which `pem-core`'s failure-injection tests assert.
+
+use std::collections::BTreeMap;
+
+/// What to do to a matched message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Silently discard the message.
+    Drop,
+    /// Deliver the message twice.
+    Duplicate,
+    /// Flip a byte in the payload (bit 0 of the middle byte).
+    Corrupt,
+    /// Truncate the payload to half its length.
+    Truncate,
+}
+
+/// A schedule of faults keyed by message label: the `n`-th send (0-based)
+/// carrying that label is hit.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// label → (target occurrence, fault).
+    rules: BTreeMap<&'static str, (u64, FaultKind)>,
+    /// label → sends seen so far.
+    seen: BTreeMap<&'static str, u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules `kind` against the `nth` message with `label`.
+    pub fn inject(mut self, label: &'static str, nth: u64, kind: FaultKind) -> FaultPlan {
+        self.rules.insert(label, (nth, kind));
+        self
+    }
+
+    /// Consults the plan for a message about to be sent. Returns the
+    /// action to apply (and advances the occurrence counter).
+    pub(crate) fn action(&mut self, label: &'static str) -> Option<FaultKind> {
+        let seen = self.seen.entry(label).or_insert(0);
+        let current = *seen;
+        *seen += 1;
+        match self.rules.get(label) {
+            Some(&(nth, kind)) if nth == current => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// Applies a fault to a payload; `None` means the message is dropped.
+    pub(crate) fn apply(kind: FaultKind, mut payload: Vec<u8>) -> Option<(Vec<u8>, bool)> {
+        match kind {
+            FaultKind::Drop => None,
+            FaultKind::Duplicate => Some((payload, true)),
+            FaultKind::Corrupt => {
+                if !payload.is_empty() {
+                    let mid = payload.len() / 2;
+                    payload[mid] ^= 1;
+                }
+                Some((payload, false))
+            }
+            FaultKind::Truncate => {
+                payload.truncate(payload.len() / 2);
+                Some((payload, false))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartyId, SimNetwork};
+
+    #[test]
+    fn plan_matches_nth_occurrence() {
+        let mut plan = FaultPlan::new().inject("x", 1, FaultKind::Drop);
+        assert_eq!(plan.action("x"), None); // 0th
+        assert_eq!(plan.action("x"), Some(FaultKind::Drop)); // 1st
+        assert_eq!(plan.action("x"), None); // 2nd
+        assert_eq!(plan.action("y"), None);
+    }
+
+    #[test]
+    fn drop_loses_message() {
+        let mut net = SimNetwork::new(2)
+            .with_faults(FaultPlan::new().inject("m", 0, FaultKind::Drop));
+        net.send(PartyId(0), PartyId(1), "m", vec![1, 2, 3]).expect("send");
+        assert!(net.recv(PartyId(1)).is_none(), "message must be dropped");
+        // Later messages flow normally.
+        net.send(PartyId(0), PartyId(1), "m", vec![4]).expect("send");
+        assert_eq!(net.recv(PartyId(1)).expect("delivered").payload, vec![4]);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let mut net = SimNetwork::new(2)
+            .with_faults(FaultPlan::new().inject("m", 0, FaultKind::Duplicate));
+        net.send(PartyId(0), PartyId(1), "m", vec![7]).expect("send");
+        assert_eq!(net.recv(PartyId(1)).expect("first").payload, vec![7]);
+        assert_eq!(net.recv(PartyId(1)).expect("second").payload, vec![7]);
+        assert!(net.recv(PartyId(1)).is_none());
+    }
+
+    #[test]
+    fn corrupt_flips_a_byte() {
+        let mut net = SimNetwork::new(2)
+            .with_faults(FaultPlan::new().inject("m", 0, FaultKind::Corrupt));
+        net.send(PartyId(0), PartyId(1), "m", vec![0, 0, 0]).expect("send");
+        let env = net.recv(PartyId(1)).expect("delivered");
+        assert_eq!(env.payload, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn truncate_halves_payload() {
+        let mut net = SimNetwork::new(2)
+            .with_faults(FaultPlan::new().inject("m", 0, FaultKind::Truncate));
+        net.send(PartyId(0), PartyId(1), "m", vec![1, 2, 3, 4]).expect("send");
+        assert_eq!(net.recv(PartyId(1)).expect("delivered").payload, vec![1, 2]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Simulated multi-party network for the PEM protocols.
+//!
+//! The paper evaluates PEM with one Docker container per agent on a
+//! CloudLab server (§VII-A); what the evaluation actually measures is
+//! protocol compute time and bytes on the wire. This crate reproduces the
+//! measurement surface in-process:
+//!
+//! * [`wire`] — a compact, explicit binary codec ([`wire::WireWriter`] /
+//!   [`wire::WireReader`]) so every protocol message has a well-defined
+//!   serialized size (Table I is computed from these, not from struct
+//!   guesses),
+//! * [`SimNetwork`] — a deterministic, single-threaded message fabric with
+//!   per-party mailboxes, per-label byte/message counters and an optional
+//!   latency model,
+//! * [`runtime`] — a crossbeam-channel threaded fabric with the same
+//!   [`NetStats`] surface, used to run each agent on its own OS thread
+//!   (the closest in-process analogue of the paper's per-agent
+//!   containers).
+//!
+//! # Example
+//!
+//! ```
+//! use pem_net::{PartyId, SimNetwork};
+//!
+//! let mut net = SimNetwork::new(3);
+//! net.send(PartyId(0), PartyId(2), "greet", b"hello".to_vec()).unwrap();
+//! let env = net.recv(PartyId(2)).expect("delivered");
+//! assert_eq!(env.payload, b"hello");
+//! assert_eq!(net.stats().total_bytes, 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod fault;
+mod sim;
+mod stats;
+pub mod runtime;
+pub mod wire;
+
+pub use error::NetError;
+pub use fault::{FaultKind, FaultPlan};
+pub use sim::{Envelope, LatencyModel, PartyId, SimNetwork};
+pub use stats::{LabelStats, NetStats};

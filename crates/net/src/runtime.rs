@@ -1,0 +1,228 @@
+//! Threaded multi-party runtime: one OS thread per agent, crossbeam
+//! channels as links — the in-process analogue of the paper's per-agent
+//! Docker containers.
+//!
+//! Statistics are recorded through a shared [`NetStats`] behind a
+//! `parking_lot` mutex, so the measurement surface matches
+//! [`crate::SimNetwork`] exactly.
+
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::error::NetError;
+use crate::sim::{Envelope, PartyId};
+use crate::stats::NetStats;
+
+/// A party's handle onto the threaded fabric.
+pub struct Endpoint {
+    id: PartyId,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+    stats: Arc<Mutex<NetStats>>,
+}
+
+impl Endpoint {
+    /// This endpoint's party id.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+
+    /// Number of parties on the fabric.
+    pub fn parties(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends `payload` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownParty`], [`NetError::SelfSend`], or
+    /// [`NetError::Disconnected`] if the recipient hung up.
+    pub fn send(&self, to: PartyId, label: &'static str, payload: Vec<u8>) -> Result<(), NetError> {
+        if to.0 >= self.senders.len() {
+            return Err(NetError::UnknownParty {
+                party: to.0,
+                parties: self.senders.len(),
+            });
+        }
+        if to == self.id {
+            return Err(NetError::SelfSend { party: to.0 });
+        }
+        self.stats
+            .lock()
+            .record(self.id.0, to.0, label, payload.len());
+        self.senders[to.0]
+            .send(Envelope {
+                from: self.id,
+                to,
+                label,
+                payload,
+            })
+            .map_err(|_| NetError::Disconnected)
+    }
+
+    /// Blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] when all senders are gone.
+    pub fn recv(&self) -> Result<Envelope, NetError> {
+        self.receiver.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    /// Blocking receive that additionally checks the label.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnexpectedLabel`] or [`NetError::Disconnected`].
+    pub fn recv_expect(&self, label: &'static str) -> Result<Envelope, NetError> {
+        let env = self.recv()?;
+        if env.label != label {
+            return Err(NetError::UnexpectedLabel {
+                expected: label,
+                got: env.label.to_string(),
+            });
+        }
+        Ok(env)
+    }
+}
+
+/// Builds a fabric of `parties` endpoints plus the shared stats handle.
+pub fn build_fabric(parties: usize) -> (Vec<Endpoint>, Arc<Mutex<NetStats>>) {
+    let stats = Arc::new(Mutex::new(NetStats::new(parties)));
+    let mut senders = Vec::with_capacity(parties);
+    let mut receivers = Vec::with_capacity(parties);
+    for _ in 0..parties {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let endpoints = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(i, receiver)| Endpoint {
+            id: PartyId(i),
+            senders: senders.clone(),
+            receiver,
+            stats: Arc::clone(&stats),
+        })
+        .collect();
+    (endpoints, stats)
+}
+
+/// Runs `body` on one thread per endpoint and joins them all, returning
+/// each thread's result in party order.
+///
+/// # Panics
+///
+/// Propagates panics from party threads.
+pub fn run_parties<T, F>(endpoints: Vec<Endpoint>, body: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(Endpoint) -> T + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let handles: Vec<_> = endpoints
+        .into_iter()
+        .map(|ep| {
+            let body = Arc::clone(&body);
+            thread::spawn(move || body(ep))
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("party thread panicked"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_passes_a_token() {
+        let n = 5;
+        let (endpoints, stats) = build_fabric(n);
+        let results = run_parties(endpoints, move |ep| {
+            let id = ep.id().0;
+            if id == 0 {
+                ep.send(PartyId(1), "token", vec![1]).expect("send");
+                let env = ep.recv_expect("token").expect("recv");
+                env.payload[0]
+            } else {
+                let env = ep.recv_expect("token").expect("recv");
+                let next = PartyId((id + 1) % ep.parties());
+                let mut p = env.payload;
+                p[0] += 1;
+                ep.send(next, "token", p.clone()).expect("send");
+                p[0]
+            }
+        });
+        // Token incremented once per hop: party 0 sees n.
+        assert_eq!(results[0], n as u8);
+        let s = stats.lock();
+        assert_eq!(s.total_messages, n as u64);
+        assert_eq!(s.total_bytes, n as u64);
+    }
+
+    #[test]
+    fn gather_to_root() {
+        let n = 8;
+        let (endpoints, stats) = build_fabric(n);
+        let results = run_parties(endpoints, move |ep| {
+            let id = ep.id().0;
+            if id == 0 {
+                let mut sum = 0u64;
+                for _ in 1..ep.parties() {
+                    let env = ep.recv_expect("report").expect("recv");
+                    sum += env.payload[0] as u64;
+                }
+                sum
+            } else {
+                ep.send(PartyId(0), "report", vec![id as u8]).expect("send");
+                0
+            }
+        });
+        assert_eq!(results[0], (1..8).sum::<u64>());
+        assert_eq!(stats.lock().total_messages, 7);
+    }
+
+    #[test]
+    fn send_errors() {
+        let (mut endpoints, _stats) = build_fabric(2);
+        let ep = endpoints.remove(0);
+        assert!(matches!(
+            ep.send(PartyId(0), "x", vec![]),
+            Err(NetError::SelfSend { .. })
+        ));
+        assert!(matches!(
+            ep.send(PartyId(9), "x", vec![]),
+            Err(NetError::UnknownParty { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_match_sequential_fabric() {
+        // Same traffic pattern on both fabrics → identical counters.
+        let (endpoints, stats) = build_fabric(3);
+        run_parties(endpoints, |ep| {
+            if ep.id().0 == 0 {
+                ep.send(PartyId(1), "m", vec![0; 10]).expect("send");
+                ep.send(PartyId(2), "m", vec![0; 20]).expect("send");
+            } else {
+                ep.recv_expect("m").expect("recv");
+            }
+        });
+
+        let mut sim = crate::SimNetwork::new(3);
+        sim.send(PartyId(0), PartyId(1), "m", vec![0; 10]).expect("send");
+        sim.send(PartyId(0), PartyId(2), "m", vec![0; 20]).expect("send");
+        sim.recv(PartyId(1)).expect("deliver");
+        sim.recv(PartyId(2)).expect("deliver");
+
+        assert_eq!(&*stats.lock(), sim.stats());
+    }
+}

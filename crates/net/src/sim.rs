@@ -1,0 +1,306 @@
+//! The deterministic single-threaded network fabric.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::stats::NetStats;
+
+/// Index of a party on the fabric (an agent, in PEM terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PartyId(pub usize);
+
+impl std::fmt::Display for PartyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender.
+    pub from: PartyId,
+    /// Recipient.
+    pub to: PartyId,
+    /// Protocol-phase label (used for accounting and `recv_expect`).
+    pub label: &'static str,
+    /// Serialized payload.
+    pub payload: Vec<u8>,
+}
+
+/// A simple affine latency model: `base + per_kib · ceil(len/1024)`
+/// microseconds per message, accumulated on a simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed per-message latency (µs).
+    pub base_us: u64,
+    /// Additional latency per KiB (µs).
+    pub per_kib_us: u64,
+}
+
+impl LatencyModel {
+    /// Zero-latency model (pure bandwidth accounting).
+    pub fn zero() -> LatencyModel {
+        LatencyModel {
+            base_us: 0,
+            per_kib_us: 0,
+        }
+    }
+
+    /// A LAN-ish profile: 100 µs per message + 8 µs per KiB (~1 Gbit/s).
+    pub fn lan() -> LatencyModel {
+        LatencyModel {
+            base_us: 100,
+            per_kib_us: 8,
+        }
+    }
+
+    /// Latency charged for a message of `len` bytes.
+    pub fn charge_us(&self, len: usize) -> u64 {
+        self.base_us + self.per_kib_us * (len as u64).div_ceil(1024)
+    }
+}
+
+/// Deterministic in-memory network: per-party FIFO mailboxes, byte
+/// accounting, simulated latency clock, optional fault injection.
+#[derive(Debug)]
+pub struct SimNetwork {
+    mailboxes: Vec<VecDeque<Envelope>>,
+    stats: NetStats,
+    latency: LatencyModel,
+    clock_us: u64,
+    faults: crate::fault::FaultPlan,
+}
+
+impl SimNetwork {
+    /// Creates a fabric with `parties` parties and no latency model.
+    pub fn new(parties: usize) -> SimNetwork {
+        SimNetwork::with_latency(parties, LatencyModel::zero())
+    }
+
+    /// Creates a fabric with a latency model.
+    pub fn with_latency(parties: usize, latency: LatencyModel) -> SimNetwork {
+        SimNetwork {
+            mailboxes: (0..parties).map(|_| VecDeque::new()).collect(),
+            stats: NetStats::new(parties),
+            latency,
+            clock_us: 0,
+            faults: crate::fault::FaultPlan::new(),
+        }
+    }
+
+    /// Attaches a fault-injection plan (builder style).
+    pub fn with_faults(mut self, faults: crate::fault::FaultPlan) -> SimNetwork {
+        self.faults = faults;
+        self
+    }
+
+    /// Number of parties.
+    pub fn parties(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Simulated network time spent so far (µs).
+    pub fn simulated_latency_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    fn check(&self, p: PartyId) -> Result<(), NetError> {
+        if p.0 >= self.mailboxes.len() {
+            Err(NetError::UnknownParty {
+                party: p.0,
+                parties: self.mailboxes.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Sends `payload` from `from` to `to` under a phase label.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownParty`] / [`NetError::SelfSend`].
+    pub fn send(
+        &mut self,
+        from: PartyId,
+        to: PartyId,
+        label: &'static str,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        self.check(from)?;
+        self.check(to)?;
+        if from == to {
+            return Err(NetError::SelfSend { party: from.0 });
+        }
+        // The sender is charged for the bytes it put on the wire even if
+        // the fabric then drops or mangles them (as a real NIC would be).
+        self.stats.record(from.0, to.0, label, payload.len());
+        self.clock_us += self.latency.charge_us(payload.len());
+        let (payload, duplicate) = match self.faults.action(label) {
+            None => (payload, false),
+            Some(kind) => match crate::fault::FaultPlan::apply(kind, payload) {
+                None => return Ok(()), // dropped in flight
+                Some(x) => x,
+            },
+        };
+        if duplicate {
+            self.mailboxes[to.0].push_back(Envelope {
+                from,
+                to,
+                label,
+                payload: payload.clone(),
+            });
+        }
+        self.mailboxes[to.0].push_back(Envelope {
+            from,
+            to,
+            label,
+            payload,
+        });
+        Ok(())
+    }
+
+    /// Broadcasts to every other party (bytes are charged per recipient —
+    /// the fabric models point-to-point links, as Docker bridge networks
+    /// do).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownParty`] if `from` is invalid.
+    pub fn broadcast(
+        &mut self,
+        from: PartyId,
+        label: &'static str,
+        payload: &[u8],
+    ) -> Result<(), NetError> {
+        self.check(from)?;
+        for to in 0..self.mailboxes.len() {
+            if to != from.0 {
+                self.send(from, PartyId(to), label, payload.to_vec())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pops the next message for `to`, if any.
+    pub fn recv(&mut self, to: PartyId) -> Option<Envelope> {
+        self.mailboxes.get_mut(to.0)?.pop_front()
+    }
+
+    /// Pops the next message for `to`, requiring the given label.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Empty`] or [`NetError::UnexpectedLabel`]; the message
+    /// is *not* consumed on a label mismatch.
+    pub fn recv_expect(&mut self, to: PartyId, label: &'static str) -> Result<Envelope, NetError> {
+        self.check(to)?;
+        let head = self.mailboxes[to.0].front().ok_or(NetError::Empty {
+            party: to.0,
+            expected: label,
+        })?;
+        if head.label != label {
+            return Err(NetError::UnexpectedLabel {
+                expected: label,
+                got: head.label.to_string(),
+            });
+        }
+        Ok(self.mailboxes[to.0].pop_front().expect("head exists"))
+    }
+
+    /// Number of undelivered messages across all mailboxes.
+    pub fn pending(&self) -> usize {
+        self.mailboxes.iter().map(|m| m.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_recv_fifo() {
+        let mut net = SimNetwork::new(2);
+        net.send(PartyId(0), PartyId(1), "a", vec![1]).expect("send");
+        net.send(PartyId(0), PartyId(1), "b", vec![2, 3]).expect("send");
+        let first = net.recv(PartyId(1)).expect("first");
+        assert_eq!((first.label, first.payload), ("a", vec![1]));
+        let second = net.recv(PartyId(1)).expect("second");
+        assert_eq!((second.label, second.payload), ("b", vec![2, 3]));
+        assert!(net.recv(PartyId(1)).is_none());
+    }
+
+    #[test]
+    fn rejects_bad_addresses() {
+        let mut net = SimNetwork::new(2);
+        assert!(matches!(
+            net.send(PartyId(0), PartyId(5), "x", vec![]),
+            Err(NetError::UnknownParty { .. })
+        ));
+        assert!(matches!(
+            net.send(PartyId(0), PartyId(0), "x", vec![]),
+            Err(NetError::SelfSend { .. })
+        ));
+    }
+
+    #[test]
+    fn recv_expect_enforces_label() {
+        let mut net = SimNetwork::new(2);
+        net.send(PartyId(0), PartyId(1), "right", vec![7]).expect("send");
+        assert!(matches!(
+            net.recv_expect(PartyId(1), "wrong"),
+            Err(NetError::UnexpectedLabel { .. })
+        ));
+        // The mismatching message is still there.
+        assert_eq!(net.pending(), 1);
+        let env = net.recv_expect(PartyId(1), "right").expect("now matches");
+        assert_eq!(env.payload, vec![7]);
+        assert!(matches!(
+            net.recv_expect(PartyId(1), "right"),
+            Err(NetError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn broadcast_charges_per_recipient() {
+        let mut net = SimNetwork::new(4);
+        net.broadcast(PartyId(1), "bc", &[0u8; 10]).expect("broadcast");
+        assert_eq!(net.stats().total_messages, 3);
+        assert_eq!(net.stats().total_bytes, 30);
+        assert_eq!(net.stats().sent_bytes[1], 30);
+        for p in [0usize, 2, 3] {
+            assert_eq!(net.stats().received_bytes[p], 10);
+        }
+        assert!(net.recv(PartyId(1)).is_none(), "no self-delivery");
+    }
+
+    #[test]
+    fn latency_clock_accumulates() {
+        let mut net = SimNetwork::with_latency(2, LatencyModel::lan());
+        net.send(PartyId(0), PartyId(1), "x", vec![0u8; 2048]).expect("send");
+        // 100 base + 8 * ceil(2048/1024) = 116.
+        assert_eq!(net.simulated_latency_us(), 116);
+        net.send(PartyId(1), PartyId(0), "y", vec![]).expect("send");
+        assert_eq!(net.simulated_latency_us(), 216);
+    }
+
+    #[test]
+    fn label_accounting() {
+        let mut net = SimNetwork::new(3);
+        net.send(PartyId(0), PartyId(1), "pricing", vec![0; 64]).expect("send");
+        net.send(PartyId(1), PartyId(2), "pricing", vec![0; 36]).expect("send");
+        net.send(PartyId(2), PartyId(0), "distribution", vec![0; 8]).expect("send");
+        let s = net.stats();
+        assert_eq!(s.per_label["pricing"].bytes, 100);
+        assert_eq!(s.per_label["pricing"].messages, 2);
+        assert_eq!(s.per_label["distribution"].bytes, 8);
+    }
+}

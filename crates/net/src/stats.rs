@@ -1,0 +1,139 @@
+//! Bandwidth and message accounting (the measurement surface of Table I).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one message label (protocol phase).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelStats {
+    /// Messages carried.
+    pub messages: u64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Total messages delivered.
+    pub total_messages: u64,
+    /// Total payload bytes delivered.
+    pub total_bytes: u64,
+    /// Bytes sent per party.
+    pub sent_bytes: Vec<u64>,
+    /// Bytes received per party.
+    pub received_bytes: Vec<u64>,
+    /// Per-label breakdown (sorted map for deterministic reports).
+    pub per_label: BTreeMap<String, LabelStats>,
+}
+
+impl NetStats {
+    /// Creates counters for `parties` parties.
+    pub fn new(parties: usize) -> NetStats {
+        NetStats {
+            sent_bytes: vec![0; parties],
+            received_bytes: vec![0; parties],
+            ..NetStats::default()
+        }
+    }
+
+    /// Records one delivered message.
+    pub fn record(&mut self, from: usize, to: usize, label: &str, len: usize) {
+        self.total_messages += 1;
+        self.total_bytes += len as u64;
+        self.sent_bytes[from] += len as u64;
+        self.received_bytes[to] += len as u64;
+        let e = self.per_label.entry(label.to_string()).or_default();
+        e.messages += 1;
+        e.bytes += len as u64;
+    }
+
+    /// Merges another stats block into this one (used when a phase runs on
+    /// a separate fabric, e.g. the threaded runtime).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the party counts differ.
+    pub fn merge(&mut self, other: &NetStats) {
+        assert_eq!(
+            self.sent_bytes.len(),
+            other.sent_bytes.len(),
+            "party count mismatch"
+        );
+        self.total_messages += other.total_messages;
+        self.total_bytes += other.total_bytes;
+        for (a, b) in self.sent_bytes.iter_mut().zip(other.sent_bytes.iter()) {
+            *a += b;
+        }
+        for (a, b) in self
+            .received_bytes
+            .iter_mut()
+            .zip(other.received_bytes.iter())
+        {
+            *a += b;
+        }
+        for (label, s) in &other.per_label {
+            let e = self.per_label.entry(label.clone()).or_default();
+            e.messages += s.messages;
+            e.bytes += s.bytes;
+        }
+    }
+
+    /// Mean bytes sent+received per party (what Table I averages).
+    pub fn mean_bytes_per_party(&self) -> f64 {
+        if self.sent_bytes.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self
+            .sent_bytes
+            .iter()
+            .zip(self.received_bytes.iter())
+            .map(|(s, r)| s + r)
+            .sum();
+        total as f64 / self.sent_bytes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = NetStats::new(3);
+        s.record(0, 1, "phase-a", 100);
+        s.record(1, 2, "phase-a", 50);
+        s.record(2, 0, "phase-b", 25);
+        assert_eq!(s.total_messages, 3);
+        assert_eq!(s.total_bytes, 175);
+        assert_eq!(s.sent_bytes, vec![100, 50, 25]);
+        assert_eq!(s.received_bytes, vec![25, 100, 50]);
+        assert_eq!(s.per_label["phase-a"].messages, 2);
+        assert_eq!(s.per_label["phase-a"].bytes, 150);
+        assert_eq!(s.per_label["phase-b"].bytes, 25);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = NetStats::new(2);
+        a.record(0, 1, "x", 10);
+        let mut b = NetStats::new(2);
+        b.record(1, 0, "x", 5);
+        b.record(0, 1, "y", 7);
+        a.merge(&b);
+        assert_eq!(a.total_bytes, 22);
+        assert_eq!(a.per_label["x"].bytes, 15);
+        assert_eq!(a.per_label["y"].bytes, 7);
+        assert_eq!(a.sent_bytes, vec![17, 5]);
+    }
+
+    #[test]
+    fn mean_bytes_per_party() {
+        let mut s = NetStats::new(2);
+        s.record(0, 1, "x", 100);
+        // Party 0 sent 100, party 1 received 100 → (100 + 100) / 2.
+        assert_eq!(s.mean_bytes_per_party(), 100.0);
+        assert_eq!(NetStats::default().mean_bytes_per_party(), 0.0);
+    }
+}

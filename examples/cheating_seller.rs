@@ -1,0 +1,79 @@
+//! Incentive compatibility in practice (Theorem 2 + §II-B threat model).
+//!
+//! ```text
+//! cargo run --release --example cheating_seller
+//! ```
+//!
+//! Two experiments:
+//!
+//! 1. **Load deviation** (the deviation the Stackelberg game rules out):
+//!    at the equilibrium price, a seller sweeps its load strategy away
+//!    from the best response `l*` — utility only falls (strict concavity
+//!    of Eq. 4).
+//! 2. **Parameter mis-reporting** (the "cheating on its data" concern):
+//!    a seller inflates its reported preference `k' = α·k` to push the
+//!    price up. With the paper's price band the clamp absorbs the lie
+//!    entirely; in an artificially wide band the residual gain decays as
+//!    `O(1/n)` with the coalition size.
+
+use pem::market::{
+    load_deviation, misreport_preference, optimal_load, optimal_price, AgentWindow, PriceBand,
+};
+
+fn seller(id: usize, g: f64, k: f64) -> AgentWindow {
+    AgentWindow::new(id, g, 1.0, 0.0, 0.9, k)
+}
+
+fn main() {
+    let band = PriceBand::paper_defaults();
+
+    // --- Experiment 1: load deviation at fixed price. -------------------
+    println!("=== 1. Deviating from the best-response load ===");
+    let agent = AgentWindow::new(0, 8.0, 1.0, 0.0, 0.9, 300.0);
+    let price = 100.0;
+    let l_star = optimal_load(&agent, price);
+    println!("equilibrium price {price:.0} ¢/kWh, best-response load l* = {l_star:.3} kWh\n");
+    println!("{:>10} {:>14} {:>10}", "load", "utility", "vs l*");
+    for factor in [0.0, 0.5, 0.8, 1.0, 1.2, 1.5, 2.0] {
+        let dev = l_star * factor;
+        let r = load_deviation(&agent, price, dev);
+        println!(
+            "{:>10.3} {:>14.3} {:>10.3}",
+            dev,
+            r.deviated_utility,
+            r.deviated_utility - r.equilibrium_utility
+        );
+        assert!(r.deviation_unprofitable());
+    }
+    println!("→ every deviation loses utility (Eq. 4 is strictly concave)\n");
+
+    // --- Experiment 2: mis-reporting k. ---------------------------------
+    println!("=== 2. Inflating the reported preference k ===");
+    let sellers: Vec<AgentWindow> = (0..5).map(|i| seller(i, 5.0 + i as f64, 25.0)).collect();
+    let p = optimal_price(&sellers, &band);
+    println!("truthful clamped price with the paper band: {p:.2} ¢/kWh\n");
+    println!("{:>8} {:>14} {:>14} {:>10}", "alpha", "price(truth)", "price(lie)", "gain");
+    for alpha in [1.0, 1.5, 2.0, 4.0] {
+        let r = misreport_preference(&sellers, 0, alpha, &band);
+        println!(
+            "{:>8.1} {:>14.2} {:>14.2} {:>10.4}",
+            alpha, r.truthful_price, r.deviated_price, r.gain()
+        );
+    }
+    println!("→ the band clamp absorbs the lie: zero gain under the paper's prices\n");
+
+    println!("=== 3. Wide-band residual gain decays with coalition size ===");
+    let wide = PriceBand {
+        grid_retail: 120.0,
+        grid_feed_in: 1.0,
+        floor: 2.0,
+        ceiling: 119.0,
+    };
+    println!("{:>8} {:>12}", "sellers", "gain(α=2)");
+    for n in [3usize, 10, 30, 100, 300] {
+        let coalition: Vec<AgentWindow> = (0..n).map(|i| seller(i, 6.0, 25.0)).collect();
+        let r = misreport_preference(&coalition, 0, 2.0, &wide);
+        println!("{n:>8} {:>12.5}", r.gain());
+    }
+    println!("→ a lone liar's influence on the price — and its payoff — vanishes as n grows");
+}

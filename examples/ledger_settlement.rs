@@ -1,0 +1,119 @@
+//! Blockchain settlement of PEM trades (§VI "Blockchain Deployment").
+//!
+//! ```text
+//! cargo run --release --example ledger_settlement
+//! ```
+//!
+//! Runs a short trading day through the PEM protocols, settles every
+//! window's trades into the hash-chained ledger under the settlement
+//! contract, then demonstrates tamper detection: an agent who rewrites a
+//! settled trade breaks the chain.
+
+use pem::core::{Pem, PemConfig};
+use pem::data::{TraceConfig, TraceGenerator};
+use pem::ledger::{AccountBook, Ledger, SettlementContract, SettlementTx};
+use pem::market::PriceBand;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = TraceGenerator::new(TraceConfig {
+        homes: 16,
+        windows: 24, // half-hour windows
+        window_minutes: 30,
+        seed: 11,
+        ..TraceConfig::default()
+    })
+    .generate();
+
+    let contract = SettlementContract::new(PriceBand::paper_defaults());
+    let mut ledger = Ledger::new(contract);
+    let mut book = AccountBook::default();
+    let mut pem = Pem::new(PemConfig::fast_test(), trace.home_count())?;
+
+    println!("=== Settling a trading day on the ledger ===\n");
+    for w in 0..trace.window_count() {
+        let outcome = pem.run_window(&trace.window_agents(w))?;
+        let txs: Vec<SettlementTx> = outcome.trades.iter().map(SettlementTx::from_trade).collect();
+        if txs.is_empty() {
+            continue; // nothing to settle this window
+        }
+        let block = ledger.append_window(w as u64, outcome.price, &txs)?;
+        book.apply(&block.txs);
+        println!(
+            "  window {w:>2}: block #{:<3} {:>2} txs at {:>6.2} ¢/kWh  hash {}",
+            block.index,
+            block.txs.len(),
+            block.price(),
+            hex8(&block.hash)
+        );
+    }
+
+    println!("\nchain length    : {} blocks (+genesis)", ledger.settled_windows());
+    println!("energy settled  : {:.2} kWh", ledger.total_energy());
+    println!("money settled   : ${:.2}", ledger.total_payments() / 100.0);
+    ledger.validate()?;
+    println!("full validation : ok");
+    println!(
+        "conservation    : cash {} / energy {}",
+        if book.cash_is_conserved() { "ok" } else { "VIOLATED" },
+        if book.energy_is_conserved() { "ok" } else { "VIOLATED" },
+    );
+
+    // --- Tamper demonstration. -----------------------------------------
+    println!("\nan attacker rewrites a settled trade (+1 kWh to themselves)…");
+    let mut forked = ledger.clone();
+    // (direct mutation stands in for a malicious replica)
+    let blocks = forked.blocks().len();
+    let _ = blocks;
+    let tampered = forked.validate_after_tamper();
+    match tampered {
+        Err(e) => println!("detected: {e}"),
+        Ok(()) => println!("NOT DETECTED — this must never print"),
+    }
+    Ok(())
+}
+
+fn hex8(h: &[u8; 32]) -> String {
+    h[..8].iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Helper on a cloned ledger: flips one energy unit and re-validates.
+trait TamperDemo {
+    fn validate_after_tamper(&mut self) -> Result<(), pem::ledger::LedgerError>;
+}
+
+impl TamperDemo for Ledger {
+    fn validate_after_tamper(&mut self) -> Result<(), pem::ledger::LedgerError> {
+        // The Ledger API deliberately exposes no mutation; emulate a
+        // corrupt replica by rebuilding a chain whose first settled block
+        // carries a doctored transaction, then splicing the original tail
+        // onto it and re-validating.
+        let blocks = self.blocks().to_vec();
+        if blocks.len() < 2 {
+            return Ok(());
+        }
+        let contract = self.contract().clone();
+        let mut forged = Ledger::new(contract);
+        let b = &blocks[1];
+        let mut txs = b.txs.clone();
+        txs[0].energy_ukwh += 1_000_000; // +1 kWh
+        // The forger can produce a *locally* consistent block…
+        forged.append_window(b.window, b.price(), &txs).ok();
+        // …but every later block still commits to the honest history, so
+        // chain validation over (forged block 1) + (honest tail) fails.
+        let mut spliced = forged.blocks().to_vec();
+        spliced.extend_from_slice(&blocks[2..]);
+        validate_block_sequence(&spliced)
+    }
+}
+
+fn validate_block_sequence(blocks: &[pem::ledger::Block]) -> Result<(), pem::ledger::LedgerError> {
+    for (i, b) in blocks.iter().enumerate() {
+        if !b.hash_is_valid() {
+            return Err(pem::ledger::LedgerError::BrokenHash { block: b.index });
+        }
+        if i > 0 && b.prev_hash != blocks[i - 1].hash {
+            return Err(pem::ledger::LedgerError::BrokenChain { block: b.index });
+        }
+    }
+    Ok(())
+}

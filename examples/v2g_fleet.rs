@@ -1,0 +1,90 @@
+//! Vehicle-to-Grid (V2G): electric vehicles as trading agents.
+//!
+//! ```text
+//! cargo run --release --example v2g_fleet
+//! ```
+//!
+//! Section VI of the paper: "PEM can be extended to Vehicle-to-Grid (V2G)
+//! applications by considering electrical vehicles as agents with local
+//! energy." This example models an evening peak where a commuter EV fleet
+//! (large batteries, no generation) discharges into the neighbourhood
+//! market while homes cover their dinner-time load — cheaper for the
+//! homes than retail, better-paid for the EVs than the feed-in tariff.
+
+use pem::core::{Pem, PemConfig};
+use pem::market::{AgentWindow, MarketEngine, PriceBand};
+
+/// An EV selling from its battery: generation 0, tiny parasitic load,
+/// negative battery flow (discharging `kwh` into the market).
+fn ev(id: usize, discharge_kwh: f64, k: f64) -> AgentWindow {
+    AgentWindow::new(id, 0.0, 0.05, -discharge_kwh, 0.93, k)
+}
+
+/// A home in the evening peak: no solar, dinner-time load.
+fn home(id: usize, load_kwh: f64, k: f64) -> AgentWindow {
+    AgentWindow::new(id, 0.0, load_kwh, 0.0, 0.90, k)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 6 EVs back from the commute with charge to spare, 14 homes cooking.
+    let mut agents = Vec::new();
+    for i in 0..6 {
+        agents.push(ev(i, 1.5 + 0.4 * i as f64, 30.0 + i as f64));
+    }
+    for i in 6..20 {
+        agents.push(home(i, 0.8 + 0.15 * (i - 6) as f64, 24.0));
+    }
+
+    println!("=== V2G evening window: 6 EVs + 14 homes ===\n");
+    let fleet_supply: f64 = agents.iter().map(|a| a.net_energy().max(0.0)).sum();
+    let home_demand: f64 = agents.iter().map(|a| (-a.net_energy()).max(0.0)).sum();
+    println!("fleet supply : {fleet_supply:.2} kWh");
+    println!("home demand  : {home_demand:.2} kWh");
+
+    let mut pem = Pem::new(PemConfig::fast_test(), agents.len())?;
+    let outcome = pem.run_window(&agents)?;
+    println!("\nmarket regime : {:?}", outcome.kind);
+    println!("clearing price: {:.2} ¢/kWh", outcome.price);
+
+    // Fleet economics vs. selling to the grid at the feed-in tariff.
+    let band = PriceBand::paper_defaults();
+    let mut fleet_revenue = 0.0;
+    for t in &outcome.trades {
+        if t.seller.0 < 6 {
+            fleet_revenue += t.payment;
+        }
+    }
+    let sold: f64 = outcome
+        .trades
+        .iter()
+        .filter(|t| t.seller.0 < 6)
+        .map(|t| t.energy)
+        .sum();
+    let feed_in_revenue = sold * band.grid_feed_in;
+    println!("\nfleet sold {sold:.2} kWh:");
+    println!("  via PEM      : {:.1} cents", fleet_revenue);
+    println!("  via feed-in  : {:.1} cents", feed_in_revenue);
+    println!(
+        "  uplift       : +{:.1}% for the EV owners",
+        (fleet_revenue / feed_in_revenue - 1.0) * 100.0
+    );
+
+    // Home economics vs. buying everything at retail.
+    let bought: f64 = outcome.trades.iter().map(|t| t.energy).sum();
+    let paid: f64 = outcome.trades.iter().map(|t| t.payment).sum();
+    let retail_for_same = bought * band.grid_retail;
+    println!("\nhomes bought {bought:.2} kWh on the market:");
+    println!("  via PEM      : {:.1} cents", paid);
+    println!("  via retail   : {:.1} cents", retail_for_same);
+    println!(
+        "  saving       : −{:.1}% on the traded energy",
+        (1.0 - paid / retail_for_same) * 100.0
+    );
+
+    // Sanity: equivalent to the plaintext engine.
+    let reference = MarketEngine::new(band).run_window(&agents);
+    assert_eq!(outcome.kind, reference.kind);
+    assert!((outcome.price - reference.price).abs() < 1e-6);
+    println!("\n✓ verified against the plaintext Stackelberg engine");
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Whole-stack integration: synthetic day → PEM protocols → ledger
+//! settlement, with conservation and integrity checks at each boundary.
+
+use pem::core::{Pem, PemConfig};
+use pem::data::{TraceConfig, TraceGenerator};
+use pem::ledger::{AccountBook, Ledger, SettlementContract, SettlementTx};
+use pem::market::{MarketEngine, MarketKind, PriceBand};
+
+#[test]
+fn day_pipeline_settles_on_ledger() {
+    let trace = TraceGenerator::new(TraceConfig {
+        homes: 10,
+        windows: 16,
+        window_minutes: 45,
+        seed: 5,
+        ..TraceConfig::default()
+    })
+    .generate();
+
+    let mut pem = Pem::new(PemConfig::fast_test(), trace.home_count()).expect("setup");
+    let mut ledger = Ledger::new(SettlementContract::new(PriceBand::paper_defaults()));
+    let mut book = AccountBook::default();
+    let mut settled_windows = 0;
+
+    for w in 0..trace.window_count() {
+        let out = pem.run_window(&trace.window_agents(w)).expect("window");
+        let txs: Vec<SettlementTx> = out.trades.iter().map(SettlementTx::from_trade).collect();
+        if txs.is_empty() {
+            continue;
+        }
+        let block = ledger
+            .append_window(w as u64, out.price, &txs)
+            .expect("contract accepts PEM output");
+        book.apply(&block.txs);
+        settled_windows += 1;
+    }
+
+    assert!(settled_windows > 0, "day must contain trading windows");
+    ledger.validate().expect("chain valid");
+    assert!(book.cash_is_conserved(), "settlements are zero-sum");
+    assert!(book.energy_is_conserved(), "every kWh has source and sink");
+}
+
+#[test]
+fn contract_rejects_price_outside_pem_rules() {
+    // The settlement contract enforces exactly the Eq. 3 discipline the
+    // protocols guarantee, so doctored clearing prices cannot settle.
+    let mut ledger = Ledger::new(SettlementContract::new(PriceBand::paper_defaults()));
+    let tx = SettlementTx::new(0, 0, 1, 1.0, 150.0);
+    assert!(ledger.append_window(1, 150.0, &[tx]).is_err());
+}
+
+#[test]
+fn pem_and_engine_agree_on_aggregate_economics() {
+    let trace = TraceGenerator::new(TraceConfig {
+        homes: 8,
+        windows: 12,
+        window_minutes: 60,
+        seed: 17,
+        ..TraceConfig::default()
+    })
+    .generate();
+
+    let band = PriceBand::paper_defaults();
+    let engine = MarketEngine::new(band);
+    let mut pem = Pem::new(PemConfig::fast_test(), trace.home_count()).expect("setup");
+
+    let mut pem_traded = 0.0;
+    let mut engine_traded = 0.0;
+    for w in 0..trace.window_count() {
+        let agents = trace.window_agents(w);
+        let secure = pem.run_window(&agents).expect("window");
+        let clear = engine.run_window(&agents);
+        pem_traded += secure.trades.iter().map(|t| t.energy).sum::<f64>();
+        engine_traded += clear.trades.iter().map(|t| t.energy).sum::<f64>();
+    }
+    assert!(
+        (pem_traded - engine_traded).abs() < 1e-4,
+        "total energy: {pem_traded} vs {engine_traded}"
+    );
+}
+
+#[test]
+fn market_regimes_follow_the_sun() {
+    // Structural check over the day: no-market or general early, extreme
+    // possible only when solar supply exists.
+    let trace = TraceGenerator::new(TraceConfig {
+        homes: 30,
+        windows: 72,
+        window_minutes: 10,
+        seed: 3,
+        ..TraceConfig::default()
+    })
+    .generate();
+    let engine = MarketEngine::new(PriceBand::paper_defaults());
+
+    let first = engine.run_window(&trace.window_agents(0));
+    assert_ne!(first.kind, MarketKind::Extreme, "7:00 cannot be supply-rich");
+
+    let mut extremes = 0;
+    for w in 0..trace.window_count() {
+        let o = engine.run_window(&trace.window_agents(w));
+        if o.kind == MarketKind::Extreme {
+            extremes += 1;
+            let minute = trace.window_minute(w);
+            assert!(
+                (8 * 60..18 * 60).contains(&minute),
+                "extreme market outside daylight at minute {minute}"
+            );
+        }
+    }
+    assert!(extremes > 0, "a solar-rich day must hit extreme markets");
+}

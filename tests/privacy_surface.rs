@@ -1,0 +1,96 @@
+//! Structural privacy checks: the protocols disclose exactly the
+//! Lemma 2–4 surface, nothing identifying any individual agent.
+
+use pem::core::{Pem, PemConfig};
+use pem::market::{AgentWindow, MarketKind};
+
+fn population() -> Vec<AgentWindow> {
+    vec![
+        AgentWindow::new(0, 4.0, 1.0, 0.0, 0.9, 30.0), // seller +3
+        AgentWindow::new(1, 2.5, 0.5, 0.0, 0.9, 26.0), // seller +2
+        AgentWindow::new(2, 0.0, 3.0, 0.0, 0.9, 21.0), // buyer −3
+        AgentWindow::new(3, 0.0, 4.0, 0.0, 0.9, 24.0), // buyer −4
+        AgentWindow::new(4, 0.0, 1.0, 0.0, 0.9, 28.0), // buyer −1
+    ]
+}
+
+#[test]
+fn masked_totals_are_nonce_blinded() {
+    let pop = population();
+    let mut pem = Pem::new(PemConfig::fast_test(), pop.len()).expect("setup");
+    let out = pem.run_window(&pop).expect("window");
+    let rb = out.revealed.masked_demand.expect("revealed");
+    let rs = out.revealed.masked_supply.expect("revealed");
+    // Raw quantized totals: supply 5 kWh, demand 8 kWh at scale 1e6.
+    let raw_supply = 5_000_000u128;
+    let raw_demand = 8_000_000u128;
+    // The masked values must be far above the raw totals (five 40-bit
+    // nonces ≈ 2^41 ≫ 2^23) …
+    assert!(rb > raw_demand * 1000, "R_b barely masked: {rb}");
+    assert!(rs > raw_supply * 1000, "R_s barely masked: {rs}");
+    // … while their *difference* is exactly the demand-supply gap, which
+    // is all the comparison needs.
+    assert_eq!(rb - rs, raw_demand - raw_supply);
+}
+
+#[test]
+fn masked_totals_change_every_window() {
+    // Same population, consecutive windows: fresh nonces make the masked
+    // values unlinkable across windows.
+    let pop = population();
+    let mut pem = Pem::new(PemConfig::fast_test(), pop.len()).expect("setup");
+    let a = pem.run_window(&pop).expect("w1");
+    let b = pem.run_window(&pop).expect("w2");
+    assert_ne!(a.revealed.masked_demand, b.revealed.masked_demand);
+    assert_ne!(a.revealed.masked_supply, b.revealed.masked_supply);
+    // The decision itself is stable.
+    assert_eq!(a.kind, b.kind);
+    assert!((a.price - b.price).abs() < 1e-9);
+}
+
+#[test]
+fn pricing_reveals_sums_not_addends() {
+    let pop = population();
+    let mut pem = Pem::new(PemConfig::fast_test(), pop.len()).expect("setup");
+    let out = pem.run_window(&pop).expect("window");
+    assert_eq!(out.kind, MarketKind::General);
+    let k_sum = out.revealed.seller_preference_sum.expect("general window");
+    // Only the sum 30 + 26 leaves the coalition.
+    assert!((k_sum - 56.0).abs() < 1e-6);
+    let d_sum = out.revealed.seller_denominator_sum.expect("general window");
+    // g + 1 + εb − b per seller: (4+1) + (2.5+1) = 8.5.
+    assert!((d_sum - 8.5).abs() < 1e-6);
+}
+
+#[test]
+fn distribution_reveals_ratios_not_magnitudes() {
+    let pop = population();
+    let mut pem = Pem::new(PemConfig::fast_test(), pop.len()).expect("setup");
+    let out = pem.run_window(&pop).expect("window");
+    let ratios = &out.revealed.allocation_ratios;
+    assert_eq!(ratios.len(), 3, "one ratio per buyer");
+    // Ratios 3/8, 4/8, 1/8 — scale-free: the same ratios would arise from
+    // demands (6,8,2) or (0.3,0.4,0.1); E_b itself is not derivable.
+    assert!((ratios[0] - 0.375).abs() < 1e-6);
+    assert!((ratios[1] - 0.5).abs() < 1e-6);
+    assert!((ratios[2] - 0.125).abs() < 1e-6);
+}
+
+#[test]
+fn extreme_windows_reveal_no_pricing_aggregates() {
+    let pop = vec![
+        AgentWindow::new(0, 9.0, 1.0, 0.0, 0.9, 30.0), // seller +8
+        AgentWindow::new(1, 6.0, 0.5, 0.0, 0.9, 26.0), // seller +5.5
+        AgentWindow::new(2, 0.0, 2.0, 0.0, 0.9, 21.0), // buyer −2
+    ];
+    let mut pem = Pem::new(PemConfig::fast_test(), pop.len()).expect("setup");
+    let out = pem.run_window(&pop).expect("window");
+    assert_eq!(out.kind, MarketKind::Extreme);
+    // Protocol 3 never ran: the seller aggregates stay private.
+    assert!(out.revealed.seller_preference_sum.is_none());
+    assert!(out.revealed.seller_denominator_sum.is_none());
+    // Supply ratios (8, 5.5)/13.5 are the extreme-market surface.
+    assert_eq!(out.revealed.allocation_ratios.len(), 2);
+    let total: f64 = out.revealed.allocation_ratios.iter().sum();
+    assert!((total - 1.0).abs() < 1e-6);
+}
