@@ -52,7 +52,10 @@ fn keygen(c: &mut Criterion) {
 
 fn oblivious_transfer(c: &mut Criterion) {
     let mut group = c.benchmark_group("ot");
-    for (name, g) in [("test192", DhGroup::test_192()), ("modp1024", DhGroup::modp_1024())] {
+    for (name, g) in [
+        ("test192", DhGroup::test_192()),
+        ("modp1024", DhGroup::modp_1024()),
+    ] {
         let mut rng = HashDrbg::from_seed_label(b"bench-ot", 0);
         group.bench_function(name, |b| {
             b.iter(|| run_local_ot(&g, &[0u8; 16], &[1u8; 16], true, &mut rng).expect("ot"))

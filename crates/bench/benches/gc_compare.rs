@@ -45,13 +45,16 @@ fn full_comparison_with_ot(c: &mut Criterion) {
     for &width in &[16usize, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
             let mut rng = HashDrbg::from_seed_label(b"bench-2pc", width as u64);
-            b.iter(|| {
-                secure_less_than_local(1000, 2000, width, &dh, &mut rng).expect("compare")
-            })
+            b.iter(|| secure_less_than_local(1000, 2000, width, &dh, &mut rng).expect("compare"))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, garbling_cost, evaluation_cost, full_comparison_with_ot);
+criterion_group!(
+    benches,
+    garbling_cost,
+    evaluation_cost,
+    full_comparison_with_ot
+);
 criterion_main!(benches);

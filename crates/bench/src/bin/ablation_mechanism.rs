@@ -66,7 +66,13 @@ fn main() {
         ]);
     }
     print_csv(
-        &["window", "stackelberg_price", "auction_price", "stackelberg_kwh", "auction_kwh"],
+        &[
+            "window",
+            "stackelberg_price",
+            "auction_price",
+            "stackelberg_kwh",
+            "auction_kwh",
+        ],
         &rows,
     );
     eprintln!("# shape: {both} two-sided windows compared");

@@ -56,7 +56,7 @@ fn main() {
             let mut net = SimNetwork::with_latency(n, LatencyModel::lan());
             let start = std::time::Instant::now();
             let out = run_with_topology(
-                &mut net, &keys, &agents, &sellers, &buyers, &cfg, topology, &mut rng,
+                &mut net, &keys, &agents, &sellers, &buyers, &cfg, topology, &mut None, &mut rng,
             )
             .expect("pricing");
             let elapsed_us = start.elapsed().as_micros() as u64;

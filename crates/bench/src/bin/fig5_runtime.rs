@@ -103,7 +103,10 @@ fn run_samples(trace: &Trace, cfg: PemConfig, sample: usize) -> Vec<Duration> {
 
 fn figure_a(p: &Profile, seed: u64) {
     let key = *p.key_sizes.last().expect("non-empty");
-    eprintln!("# fig5a: avg runtime per window, key={key} bits, n={:?}", p.agent_sizes);
+    eprintln!(
+        "# fig5a: avg runtime per window, key={key} bits, n={:?}",
+        p.agent_sizes
+    );
     let mut columns = Vec::new();
     for &n in &p.agent_sizes {
         let trace = make_trace(n, seed);
@@ -130,7 +133,10 @@ fn figure_a(p: &Profile, seed: u64) {
 
 fn figure_b(p: &Profile, seed: u64) {
     let n = p.agent_sizes[p.agent_sizes.len() / 2];
-    eprintln!("# fig5b: total runtime vs windows, n={n}, keys={:?}", p.key_sizes);
+    eprintln!(
+        "# fig5b: total runtime vs windows, n={n}, keys={:?}",
+        p.key_sizes
+    );
     let trace = make_trace(n, seed);
     let mut columns = Vec::new();
     for &key in &p.key_sizes {
@@ -149,7 +155,11 @@ fn figure_b(p: &Profile, seed: u64) {
         rows.push(row);
     }
     let header: Vec<String> = std::iter::once("windows".to_string())
-        .chain(p.key_sizes.iter().map(|k| format!("total_runtime_s_key{k}")))
+        .chain(
+            p.key_sizes
+                .iter()
+                .map(|k| format!("total_runtime_s_key{k}")),
+        )
         .collect();
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     println!("## fig5b agents={n}");
@@ -157,7 +167,10 @@ fn figure_b(p: &Profile, seed: u64) {
 }
 
 fn figure_c(p: &Profile, seed: u64) {
-    eprintln!("# fig5c: full-day runtime vs agents, keys={:?}", p.key_sizes);
+    eprintln!(
+        "# fig5c: full-day runtime vs agents, keys={:?}",
+        p.key_sizes
+    );
     let mut rows = Vec::new();
     for &n in &p.agent_sizes {
         let trace = make_trace(n, seed);

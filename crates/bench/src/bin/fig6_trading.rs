@@ -59,7 +59,14 @@ fn panel_price(homes: usize, windows: usize, seed: u64) {
     }
     println!("## fig6a_price homes={homes}");
     print_csv(
-        &["window", "price", "grid_purchase", "grid_retail", "lower_bound", "upper_bound"],
+        &[
+            "window",
+            "price",
+            "grid_purchase",
+            "grid_retail",
+            "lower_bound",
+            "upper_bound",
+        ],
         &rows,
     );
     eprintln!("# shape: {pinned_retail} windows at retail (morning/evening), {at_floor} at the floor (midday)");
@@ -108,7 +115,13 @@ fn panel_utility(homes: usize, windows: usize, seed: u64) {
     }
     println!("## fig6b_utility homes={homes}");
     print_csv(
-        &["window", "k20_with_pem", "k20_without_pem", "k40_with_pem", "k40_without_pem"],
+        &[
+            "window",
+            "k20_with_pem",
+            "k20_without_pem",
+            "k40_with_pem",
+            "k40_without_pem",
+        ],
         &rows,
     );
     eprintln!(
@@ -152,7 +165,13 @@ fn panel_cost(windows: usize, seed: u64) {
     }
     println!("## fig6c_cost");
     print_csv(
-        &["window", "cost_100_with_pem", "cost_100_without_pem", "cost_200_with_pem", "cost_200_without_pem"],
+        &[
+            "window",
+            "cost_100_with_pem",
+            "cost_100_without_pem",
+            "cost_200_with_pem",
+            "cost_200_without_pem",
+        ],
         &rows,
     );
     for s in summaries {

@@ -22,7 +22,14 @@ fn main() {
     let args = Args::from_env();
     let paper = args.get_flag("paper");
     let homes = args.get_usize("homes", if paper { 200 } else { 24 });
-    let keys = args.get_usize_list("keys", if paper { &[512, 1024, 2048] } else { &[128, 192, 256] });
+    let keys = args.get_usize_list(
+        "keys",
+        if paper {
+            &[512, 1024, 2048]
+        } else {
+            &[128, 192, 256]
+        },
+    );
     let sample = args.get_usize("sample", if paper { 48 } else { 10 });
     let seed = args.get_u64("seed", 2020);
     let m_points: Vec<usize> = args.get_usize_list("m", &[300, 360, 420, 480, 540, 600, 660, 720]);
@@ -42,7 +49,11 @@ fn main() {
     let mut per_window_mb = Vec::new();
     for &key in &keys {
         let mut cfg = PemConfig::paper(key);
-        cfg.ot_profile = if paper { OtProfile::Modp1024 } else { OtProfile::Test192 };
+        cfg.ot_profile = if paper {
+            OtProfile::Modp1024
+        } else {
+            OtProfile::Test192
+        };
         cfg.seed = seed;
         let mut pem = Pem::new(cfg, homes).expect("pem setup");
         let windows = sample_windows(720, sample);

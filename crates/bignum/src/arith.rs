@@ -374,8 +374,12 @@ mod tests {
     #[test]
     fn karatsuba_matches_schoolbook() {
         // Build operands big enough to trigger Karatsuba.
-        let a: Vec<u64> = (0..80).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).collect();
-        let b: Vec<u64> = (0..75).map(|i| (i as u64).wrapping_mul(0xD1B54A32D192ED03) ^ 7).collect();
+        let a: Vec<u64> = (0..80)
+            .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let b: Vec<u64> = (0..75)
+            .map(|i| (i as u64).wrapping_mul(0xD1B54A32D192ED03) ^ 7)
+            .collect();
         assert_eq!(mul(&a, &b), mul_schoolbook(&a, &b));
     }
 

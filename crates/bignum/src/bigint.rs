@@ -100,7 +100,11 @@ impl BigInt {
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
         BigInt {
-            sign: if self.is_zero() { Sign::NoSign } else { Sign::Plus },
+            sign: if self.is_zero() {
+                Sign::NoSign
+            } else {
+                Sign::Plus
+            },
             mag: self.mag.clone(),
         }
     }
@@ -190,9 +194,7 @@ impl From<i128> for BigInt {
         match v.cmp(&0) {
             Ordering::Equal => BigInt::zero(),
             Ordering::Greater => BigInt::from_biguint(Sign::Plus, BigUint::from(v as u128)),
-            Ordering::Less => {
-                BigInt::from_biguint(Sign::Minus, BigUint::from(v.unsigned_abs()))
-            }
+            Ordering::Less => BigInt::from_biguint(Sign::Minus, BigUint::from(v.unsigned_abs())),
         }
     }
 }
@@ -247,9 +249,7 @@ impl Add<&BigInt> for &BigInt {
             (a, b) if a == b => BigInt::from_biguint(a, &self.mag + &rhs.mag),
             _ => match self.mag.cmp(&rhs.mag) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt::from_biguint(self.sign, &self.mag - &rhs.mag)
-                }
+                Ordering::Greater => BigInt::from_biguint(self.sign, &self.mag - &rhs.mag),
                 Ordering::Less => BigInt::from_biguint(rhs.sign, &rhs.mag - &self.mag),
             },
         }
@@ -381,7 +381,10 @@ mod tests {
     #[test]
     fn sign_normalization() {
         assert_eq!(BigInt::from(0i64).sign(), Sign::NoSign);
-        assert_eq!(BigInt::from_biguint(Sign::Minus, BigUint::zero()), BigInt::zero());
+        assert_eq!(
+            BigInt::from_biguint(Sign::Minus, BigUint::zero()),
+            BigInt::zero()
+        );
     }
 
     #[test]

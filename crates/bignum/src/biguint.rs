@@ -250,10 +250,7 @@ mod tests {
     fn conversions_to_primitive() {
         assert_eq!(BigUint::from(42u64).to_u64(), Some(42));
         assert_eq!(BigUint::from_limbs(vec![1, 1]).to_u64(), None);
-        assert_eq!(
-            BigUint::from_limbs(vec![0, 1]).to_u128(),
-            Some(1u128 << 64)
-        );
+        assert_eq!(BigUint::from_limbs(vec![0, 1]).to_u128(), Some(1u128 << 64));
         let f = BigUint::from_limbs(vec![0, 1]).to_f64();
         assert!((f - (u64::MAX as f64 + 1.0)).abs() < 1e4);
     }

@@ -145,10 +145,7 @@ mod tests {
     fn from_primitives() {
         assert_eq!(BigUint::from(0u8), BigUint::zero());
         assert_eq!(BigUint::from(u64::MAX).limbs(), &[u64::MAX]);
-        assert_eq!(
-            BigUint::from(u128::MAX).limbs(),
-            &[u64::MAX, u64::MAX]
-        );
+        assert_eq!(BigUint::from(u128::MAX).limbs(), &[u64::MAX, u64::MAX]);
         assert_eq!(BigUint::from(300u16), BigUint::from(300u64));
     }
 

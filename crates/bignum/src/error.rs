@@ -67,6 +67,8 @@ mod tests {
         assert!(ParseBigIntError::invalid_digit('x')
             .to_string()
             .contains("'x'"));
-        assert!(ParseBigIntError::invalid_radix(99).to_string().contains("99"));
+        assert!(ParseBigIntError::invalid_radix(99)
+            .to_string()
+            .contains("99"));
     }
 }

@@ -235,7 +235,15 @@ mod tests {
 
     #[test]
     fn isqrt_values() {
-        for (v, r) in [(0u64, 0u64), (1, 1), (3, 1), (4, 2), (15, 3), (16, 4), (17, 4)] {
+        for (v, r) in [
+            (0u64, 0u64),
+            (1, 1),
+            (3, 1),
+            (4, 2),
+            (15, 3),
+            (16, 4),
+            (17, 4),
+        ] {
             assert_eq!(BigUint::from(v).isqrt(), BigUint::from(r), "v={v}");
         }
         // Large perfect square.

@@ -55,7 +55,13 @@ impl Montgomery {
         let r1 = pad_to(&(&r % &n), k);
         let r2_big = (&r * &r) % &n;
         let r2 = pad_to(&r2_big, k);
-        Some(Montgomery { n, k, n0_inv, r2, r1 })
+        Some(Montgomery {
+            n,
+            k,
+            n0_inv,
+            r2,
+            r1,
+        })
     }
 
     /// The modulus this context reduces by.

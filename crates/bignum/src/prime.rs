@@ -227,7 +227,10 @@ mod tests {
             assert!(is_prime(&BigUint::from(p), &mut r), "{p} should be prime");
         }
         for c in composites {
-            assert!(!is_prime(&BigUint::from(c), &mut r), "{c} should be composite");
+            assert!(
+                !is_prime(&BigUint::from(c), &mut r),
+                "{c} should be composite"
+            );
         }
     }
 
@@ -253,9 +256,18 @@ mod tests {
     fn next_prime_steps() {
         let mut r = rng();
         assert_eq!(next_prime(&BigUint::zero(), &mut r), BigUint::from(2u64));
-        assert_eq!(next_prime(&BigUint::from(2u64), &mut r), BigUint::from(3u64));
-        assert_eq!(next_prime(&BigUint::from(13u64), &mut r), BigUint::from(17u64));
-        assert_eq!(next_prime(&BigUint::from(2047u64), &mut r), BigUint::from(2053u64));
+        assert_eq!(
+            next_prime(&BigUint::from(2u64), &mut r),
+            BigUint::from(3u64)
+        );
+        assert_eq!(
+            next_prime(&BigUint::from(13u64), &mut r),
+            BigUint::from(17u64)
+        );
+        assert_eq!(
+            next_prime(&BigUint::from(2047u64), &mut r),
+            BigUint::from(2053u64)
+        );
     }
 
     #[test]

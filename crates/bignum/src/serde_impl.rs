@@ -41,7 +41,9 @@ mod tests {
 
     #[test]
     fn biguint_roundtrip_via_str_deserializer() {
-        let v: BigUint = "340282366920938463463374607431768211456".parse().expect("parse");
+        let v: BigUint = "340282366920938463463374607431768211456"
+            .parse()
+            .expect("parse");
         let de: StrDeserializer<ValueError> =
             "340282366920938463463374607431768211456".into_deserializer();
         let back = BigUint::deserialize(de).expect("deserialize");

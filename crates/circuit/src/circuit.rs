@@ -2,8 +2,6 @@
 
 use serde::{Deserialize, Serialize};
 
-
-
 /// Identifies a wire in a [`Circuit`]. Wires are numbered with all garbler
 /// input wires first, evaluator input wires second, then one wire per gate
 /// output.
@@ -354,8 +352,12 @@ pub fn eval_plaintext(circuit: &Circuit, a_bits: &[bool], b_bits: &[bool]) -> Ve
     wires[a_bits.len()..a_bits.len() + b_bits.len()].copy_from_slice(b_bits);
     for g in circuit.gates() {
         match *g {
-            Gate::Xor { a, b, out } => wires[out.0 as usize] = wires[a.0 as usize] ^ wires[b.0 as usize],
-            Gate::And { a, b, out } => wires[out.0 as usize] = wires[a.0 as usize] & wires[b.0 as usize],
+            Gate::Xor { a, b, out } => {
+                wires[out.0 as usize] = wires[a.0 as usize] ^ wires[b.0 as usize]
+            }
+            Gate::And { a, b, out } => {
+                wires[out.0 as usize] = wires[a.0 as usize] & wires[b.0 as usize]
+            }
             Gate::Not { a, out } => wires[out.0 as usize] = !wires[a.0 as usize],
         }
     }

@@ -297,8 +297,8 @@ mod tests {
         for _ in 0..10 {
             let a: u64 = value_rng.gen();
             let b: u64 = value_rng.gen();
-            let got = secure_less_than_local(a as u128, b as u128, 64, &g, &mut rng)
-                .expect("compare");
+            let got =
+                secure_less_than_local(a as u128, b as u128, 64, &g, &mut rng).expect("compare");
             assert_eq!(got, a < b, "a={a} b={b}");
         }
     }

@@ -109,7 +109,9 @@ impl GarbledCircuit {
             return Err(CircuitError::MalformedGarbling("AND table count mismatch"));
         }
         if output_decode.len() != circuit.outputs().len() {
-            return Err(CircuitError::MalformedGarbling("output decode count mismatch"));
+            return Err(CircuitError::MalformedGarbling(
+                "output decode count mismatch",
+            ));
         }
         Ok(GarbledCircuit {
             circuit,
@@ -261,7 +263,10 @@ pub fn select_input_labels(
 ///
 /// [`CircuitError`] if the label count or table count is inconsistent with
 /// the topology.
-pub fn eval_garbled(gc: &GarbledCircuit, input_labels: &[Label]) -> Result<Vec<bool>, CircuitError> {
+pub fn eval_garbled(
+    gc: &GarbledCircuit,
+    input_labels: &[Label],
+) -> Result<Vec<bool>, CircuitError> {
     let circuit = &gc.circuit;
     if input_labels.len() != circuit.total_inputs() {
         return Err(CircuitError::InputWidthMismatch {

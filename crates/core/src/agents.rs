@@ -63,24 +63,14 @@ mod tests {
     #[test]
     fn prepare_classifies_on_quantized_value() {
         let q = Quantizer::default();
-        let seller = AgentCtx::prepare(
-            0,
-            AgentWindow::new(0, 2.0, 1.0, 0.0, 0.9, 20.0),
-            &q,
-            7,
-        )
-        .expect("prepare");
+        let seller = AgentCtx::prepare(0, AgentWindow::new(0, 2.0, 1.0, 0.0, 0.9, 20.0), &q, 7)
+            .expect("prepare");
         assert_eq!(seller.role, Role::Seller);
         assert_eq!(seller.sn_q, 1_000_000);
         assert_eq!(seller.sn_abs_q, 1_000_000);
 
-        let buyer = AgentCtx::prepare(
-            1,
-            AgentWindow::new(1, 0.0, 0.5, 0.0, 0.9, 20.0),
-            &q,
-            7,
-        )
-        .expect("prepare");
+        let buyer = AgentCtx::prepare(1, AgentWindow::new(1, 0.0, 0.5, 0.0, 0.9, 20.0), &q, 7)
+            .expect("prepare");
         assert_eq!(buyer.role, Role::Buyer);
         assert_eq!(buyer.sn_abs_q, 500_000);
 

@@ -52,6 +52,11 @@ pub struct PemConfig {
     pub ratio_precision_bits: u32,
     /// Master seed for all protocol randomness.
     pub seed: u64,
+    /// Precomputed Paillier randomizers held per key (0 disables the
+    /// pool). Batches of `r^n mod n²` are generated off the critical path
+    /// and consumed by the protocols, amortizing the encryption hot path;
+    /// see [`crate::randpool`].
+    pub randomizer_pool: usize,
 }
 
 impl PemConfig {
@@ -66,6 +71,7 @@ impl PemConfig {
             nonce_bits: 40,
             ratio_precision_bits: 48,
             seed: 2020,
+            randomizer_pool: 0,
         }
     }
 
@@ -81,7 +87,15 @@ impl PemConfig {
             nonce_bits: 40,
             ratio_precision_bits: 48,
             seed: 7,
+            randomizer_pool: 0,
         }
+    }
+
+    /// Enables a precomputed-randomizer pool of `batch` entries per key.
+    #[must_use]
+    pub fn with_randomizer_pool(mut self, batch: usize) -> PemConfig {
+        self.randomizer_pool = batch;
+        self
     }
 
     /// The quantizer induced by this configuration.

@@ -61,6 +61,12 @@ impl KeyDirectory {
     pub fn keypair(&self, i: usize) -> &Keypair {
         &self.keypairs[i]
     }
+
+    /// Builds a precomputed-randomizer pool of `batch` entries per key —
+    /// the off-critical-path half of encryption (see [`crate::randpool`]).
+    pub fn randomizer_pool(&self, batch: usize, seed: u64) -> crate::randpool::RandomizerPool {
+        crate::randpool::RandomizerPool::generate(self, batch, seed)
+    }
 }
 
 #[cfg(test)]

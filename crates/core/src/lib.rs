@@ -53,6 +53,7 @@ pub mod protocol3;
 pub mod protocol3v;
 pub mod protocol4;
 mod quantize;
+pub mod randpool;
 pub mod threaded;
 
 pub use agents::AgentCtx;
@@ -63,3 +64,4 @@ pub use metrics::{PhaseMetrics, WindowMetrics};
 pub use pem::{DaySummary, Pem, PemWindowOutcome, RevealedInfo};
 pub use protocol3::Topology;
 pub use quantize::Quantizer;
+pub use randpool::{PoolStats, RandomizerPool};

@@ -36,6 +36,7 @@ use crate::agents::AgentCtx;
 use crate::config::PemConfig;
 use crate::error::PemError;
 use crate::keys::KeyDirectory;
+use crate::randpool::{self, RandomizerPool};
 
 /// Result of Private Market Evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +59,7 @@ pub struct EvalOutcome {
 ///
 /// Propagates crypto/network failures; [`PemError::Protocol`] if either
 /// coalition is empty (the caller must handle no-market windows).
+#[allow(clippy::too_many_arguments)]
 pub fn run(
     net: &mut SimNetwork,
     keys: &KeyDirectory,
@@ -65,6 +67,7 @@ pub fn run(
     sellers: &[usize],
     buyers: &[usize],
     cfg: &PemConfig,
+    pool: &mut Option<RandomizerPool>,
     rng: &mut HashDrbg,
 ) -> Result<EvalOutcome, PemError> {
     if sellers.is_empty() || buyers.is_empty() {
@@ -85,6 +88,7 @@ pub fn run(
         sellers,
         Role::Buyer,
         "eval/demand-agg",
+        pool,
         rng,
     )?;
 
@@ -98,13 +102,13 @@ pub fn run(
         buyers,
         Role::Seller,
         "eval/supply-agg",
+        pool,
         rng,
     )?;
 
     // --- Secure comparison: H_r2 garbles `R_s < R_b`, H_r1 evaluates. --
     let group = cfg.ot_profile.group();
-    let (garbler, offer) =
-        CompareGarbler::start(cfg.compare_bits, masked_supply, &group, rng)?;
+    let (garbler, offer) = CompareGarbler::start(cfg.compare_bits, masked_supply, &group, rng)?;
     send_offer(net, PartyId(hr2), PartyId(hr1), &offer)?;
     let offer = recv_offer(net, PartyId(hr1), cfg.compare_bits)?;
 
@@ -153,6 +157,7 @@ fn masked_ring_aggregate(
     maskers: &[usize],
     value_role: Role,
     label: &'static str,
+    pool: &mut Option<RandomizerPool>,
     rng: &mut HashDrbg,
 ) -> Result<u128, PemError> {
     let pk = keys.public(collector);
@@ -172,18 +177,24 @@ fn masked_ring_aggregate(
     chain.extend(maskers.iter().copied().filter(|&m| m != collector));
     debug_assert!(!chain.is_empty());
 
-    let mut acc: Ciphertext = pk.try_encrypt(&contribution(chain[0]), rng)?;
+    let mut acc: Ciphertext =
+        randpool::encrypt_under(pk, collector, &contribution(chain[0]), pool, rng)?;
     for hop in 1..chain.len() {
         // chain[hop-1] sends the running ciphertext to chain[hop] …
         let mut w = WireWriter::new();
         w.put_biguint(acc.as_biguint());
-        net.send(PartyId(chain[hop - 1]), PartyId(chain[hop]), label, w.finish())?;
+        net.send(
+            PartyId(chain[hop - 1]),
+            PartyId(chain[hop]),
+            label,
+            w.finish(),
+        )?;
         let env = net.recv_expect(PartyId(chain[hop]), label)?;
         let mut r = WireReader::new(&env.payload);
         let received = Ciphertext::from_biguint(r.get_biguint()?);
         pk.validate_ciphertext(&received)?;
         // … which multiplies in its own encrypted contribution.
-        let own = pk.try_encrypt(&contribution(chain[hop]), rng)?;
+        let own = randpool::encrypt_under(pk, collector, &contribution(chain[hop]), pool, rng)?;
         acc = pk.add_ciphertexts(&received, &own);
     }
     // Last chain member hands the ciphertext to the collector.
@@ -365,7 +376,15 @@ mod tests {
 
     fn setup(
         surpluses: &[f64],
-    ) -> (SimNetwork, KeyDirectory, Vec<AgentCtx>, Vec<usize>, Vec<usize>, PemConfig, HashDrbg) {
+    ) -> (
+        SimNetwork,
+        KeyDirectory,
+        Vec<AgentCtx>,
+        Vec<usize>,
+        Vec<usize>,
+        PemConfig,
+        HashDrbg,
+    ) {
         let cfg = PemConfig::fast_test();
         let q = Quantizer::new(cfg.scale);
         let n = surpluses.len();
@@ -395,30 +414,33 @@ mod tests {
 
     #[test]
     fn detects_general_market() {
-        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) =
-            setup(&[2.0, 1.0, -4.0, -3.0]); // E_s = 3 < E_b = 7
-        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
-            .expect("protocol 2");
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&[2.0, 1.0, -4.0, -3.0]); // E_s = 3 < E_b = 7
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        )
+        .expect("protocol 2");
         assert!(out.general_market);
         assert_eq!(net.pending(), 0, "all messages consumed");
     }
 
     #[test]
     fn detects_extreme_market() {
-        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) =
-            setup(&[5.0, 4.0, -1.0, -2.0]); // E_s = 9 ≥ E_b = 3
-        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
-            .expect("protocol 2");
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&[5.0, 4.0, -1.0, -2.0]); // E_s = 9 ≥ E_b = 3
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        )
+        .expect("protocol 2");
         assert!(!out.general_market);
     }
 
     #[test]
     fn masked_totals_differ_by_true_difference() {
         // Rb − Rs must equal E_b − E_s exactly (same nonce sum in both).
-        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) =
-            setup(&[2.5, -1.25, -3.25]);
-        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
-            .expect("protocol 2");
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&[2.5, -1.25, -3.25]);
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        )
+        .expect("protocol 2");
         let e_s = 2_500_000i128;
         let e_b = 4_500_000i128;
         assert_eq!(
@@ -430,8 +452,10 @@ mod tests {
     #[test]
     fn masked_totals_hide_raw_values() {
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&[2.0, -4.0]);
-        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
-            .expect("protocol 2");
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        )
+        .expect("protocol 2");
         // The masked totals must include the nonce mass, i.e. exceed the
         // raw quantized totals (nonces are 40-bit, values ~21-bit).
         assert!(out.masked_demand > 4_000_000);
@@ -441,23 +465,36 @@ mod tests {
     #[test]
     fn knife_edge_equal_supply_demand_is_extreme() {
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&[3.0, -3.0]);
-        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
-            .expect("protocol 2");
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        )
+        .expect("protocol 2");
         assert!(!out.general_market, "E_s = E_b must be extreme (III-C)");
     }
 
     #[test]
     fn empty_coalition_rejected() {
         let (mut net, keys, agents, sellers, _buyers, cfg, mut rng) = setup(&[1.0, 2.0]);
-        let err = run(&mut net, &keys, &agents, &sellers, &[], &cfg, &mut rng);
+        let err = run(
+            &mut net,
+            &keys,
+            &agents,
+            &sellers,
+            &[],
+            &cfg,
+            &mut None,
+            &mut rng,
+        );
         assert!(matches!(err, Err(PemError::Protocol(_))));
     }
 
     #[test]
     fn two_agent_minimum_market() {
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&[0.5, -0.75]);
-        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
-            .expect("protocol 2");
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        )
+        .expect("protocol 2");
         assert!(out.general_market);
         assert_eq!(out.hr1, 0);
         assert_eq!(out.hr2, 1);
@@ -465,16 +502,16 @@ mod tests {
 
     #[test]
     fn bandwidth_is_recorded_per_phase() {
-        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) =
-            setup(&[2.0, 1.0, -4.0, -3.0]);
-        run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng).expect("protocol 2");
+        let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&[2.0, 1.0, -4.0, -3.0]);
+        run(
+            &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        )
+        .expect("protocol 2");
         let stats = net.stats();
         assert!(stats.per_label.contains_key("eval/demand-agg"));
         assert!(stats.per_label.contains_key("eval/supply-agg"));
         assert!(stats.per_label.contains_key("eval/gc-offer"));
         // The garbled offer dominates: tables + labels + OT setups.
-        assert!(
-            stats.per_label["eval/gc-offer"].bytes > stats.per_label["eval/demand-agg"].bytes
-        );
+        assert!(stats.per_label["eval/gc-offer"].bytes > stats.per_label["eval/demand-agg"].bytes);
     }
 }

@@ -18,6 +18,7 @@ use crate::agents::AgentCtx;
 use crate::config::PemConfig;
 use crate::error::PemError;
 use crate::keys::KeyDirectory;
+use crate::randpool::{self, RandomizerPool};
 
 /// Result of Private Pricing.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +58,7 @@ pub enum Topology {
 ///
 /// [`PemError::Protocol`] if either coalition is empty; otherwise
 /// crypto/network failures.
+#[allow(clippy::too_many_arguments)]
 pub fn run(
     net: &mut SimNetwork,
     keys: &KeyDirectory,
@@ -64,9 +66,20 @@ pub fn run(
     sellers: &[usize],
     buyers: &[usize],
     cfg: &PemConfig,
+    pool: &mut Option<RandomizerPool>,
     rng: &mut HashDrbg,
 ) -> Result<PricingOutcome, PemError> {
-    run_with_topology(net, keys, agents, sellers, buyers, cfg, Topology::Ring, rng)
+    run_with_topology(
+        net,
+        keys,
+        agents,
+        sellers,
+        buyers,
+        cfg,
+        Topology::Ring,
+        pool,
+        rng,
+    )
 }
 
 /// Runs Protocol 3 with an explicit aggregation topology.
@@ -83,6 +96,7 @@ pub fn run_with_topology(
     buyers: &[usize],
     cfg: &PemConfig,
     topology: Topology,
+    pool: &mut Option<RandomizerPool>,
     rng: &mut HashDrbg,
 ) -> Result<PricingOutcome, PemError> {
     if sellers.is_empty() || buyers.is_empty() {
@@ -101,8 +115,8 @@ pub fn run_with_topology(
         let a = &agents[idx];
         let k_q = quantizer.quantize_unsigned(a.data.preference, "preference")?;
         let d_q = quantizer.quantize(a.data.pricing_denominator_term(), "pricing denominator")?;
-        let k_ct = pk.try_encrypt(&pem_bignum::BigUint::from(k_q), rng)?;
-        let d_ct = pk.try_encrypt(&pk.encode_i128(d_q as i128), rng)?;
+        let k_ct = randpool::encrypt_under(pk, hb, &pem_bignum::BigUint::from(k_q), pool, rng)?;
+        let d_ct = randpool::encrypt_under(pk, hb, &pk.encode_i128(d_q as i128), pool, rng)?;
         Ok((k_ct, d_ct))
     };
 
@@ -169,7 +183,10 @@ pub fn run_with_topology(
                     Some(acc) => pk.add_ciphertexts(&acc, &d_in),
                 });
             }
-            (k_acc.expect("at least one seller"), d_acc.expect("at least one seller"))
+            (
+                k_acc.expect("at least one seller"),
+                d_acc.expect("at least one seller"),
+            )
         }
     };
     pk.validate_ciphertext(&k_ct)?;
@@ -183,9 +200,10 @@ pub fn run_with_topology(
         .ok_or(PemError::Protocol("k aggregate exceeded 128 bits"))?;
     let d_sum_q = sk.decrypt_i128(&d_ct);
     let k_sum = quantizer.dequantize_u128(k_sum_q);
-    let denominator_sum = quantizer.dequantize(i64::try_from(d_sum_q).map_err(|_| {
-        PemError::Protocol("pricing denominator aggregate exceeded 64 bits")
-    })?);
+    let denominator_sum = quantizer.dequantize(
+        i64::try_from(d_sum_q)
+            .map_err(|_| PemError::Protocol("pricing denominator aggregate exceeded 64 bits"))?,
+    );
 
     // Eq. 13 with the Eq. 14 clamp; a non-positive denominator means
     // supply is so battery-starved the equilibrium diverges → ceiling.
@@ -226,7 +244,15 @@ mod tests {
 
     fn setup(
         agents_data: Vec<AgentWindow>,
-    ) -> (SimNetwork, KeyDirectory, Vec<AgentCtx>, Vec<usize>, Vec<usize>, PemConfig, HashDrbg) {
+    ) -> (
+        SimNetwork,
+        KeyDirectory,
+        Vec<AgentCtx>,
+        Vec<usize>,
+        Vec<usize>,
+        PemConfig,
+        HashDrbg,
+    ) {
         let cfg = PemConfig::fast_test();
         let q = Quantizer::new(cfg.scale);
         let n = agents_data.len();
@@ -265,8 +291,10 @@ mod tests {
             .copied()
             .collect();
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(data);
-        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
-            .expect("protocol 3");
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        )
+        .expect("protocol 3");
         let expected = optimal_price(&seller_rows, &cfg.band);
         assert!(
             (out.price - expected).abs() < 1e-6,
@@ -281,8 +309,10 @@ mod tests {
     fn reveals_only_the_aggregates() {
         let data = paper_agents();
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(data.clone());
-        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
-            .expect("protocol 3");
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        )
+        .expect("protocol 3");
         // The revealed sums match the Lemma 3 surface …
         let k_sum: f64 = data
             .iter()
@@ -302,8 +332,10 @@ mod tests {
             AgentWindow::new(1, 0.0, 2.0, 0.0, 0.9, 20.0),
         ];
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(data);
-        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
-            .expect("protocol 3");
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        )
+        .expect("protocol 3");
         assert!(out.p_hat > cfg.band.ceiling);
         assert_eq!(out.price, cfg.band.ceiling);
     }
@@ -315,8 +347,10 @@ mod tests {
             AgentWindow::new(1, 0.0, 5.0, 0.0, 0.9, 25.0),
         ];
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(data);
-        let out = run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
-            .expect("protocol 3");
+        let out = run(
+            &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        )
+        .expect("protocol 3");
         assert!(out.price >= cfg.band.floor && out.price <= cfg.band.ceiling);
         assert_eq!(net.pending(), 0);
     }
@@ -326,7 +360,16 @@ mod tests {
         let data = vec![AgentWindow::new(0, 0.0, 5.0, 0.0, 0.9, 25.0)];
         let (mut net, keys, agents, _sellers, buyers, cfg, mut rng) = setup(data);
         assert!(matches!(
-            run(&mut net, &keys, &agents, &[], &buyers, &cfg, &mut rng),
+            run(
+                &mut net,
+                &keys,
+                &agents,
+                &[],
+                &buyers,
+                &cfg,
+                &mut None,
+                &mut rng
+            ),
             Err(PemError::Protocol(_))
         ));
     }
@@ -336,12 +379,28 @@ mod tests {
         let data = paper_agents();
         let (mut net_r, keys, agents, sellers, buyers, cfg, mut rng) = setup(data.clone());
         let ring = run_with_topology(
-            &mut net_r, &keys, &agents, &sellers, &buyers, &cfg, Topology::Ring, &mut rng,
+            &mut net_r,
+            &keys,
+            &agents,
+            &sellers,
+            &buyers,
+            &cfg,
+            Topology::Ring,
+            &mut None,
+            &mut rng,
         )
         .expect("ring");
         let mut net_s = SimNetwork::new(agents.len());
         let star = run_with_topology(
-            &mut net_s, &keys, &agents, &sellers, &buyers, &cfg, Topology::Star, &mut rng,
+            &mut net_s,
+            &keys,
+            &agents,
+            &sellers,
+            &buyers,
+            &cfg,
+            Topology::Star,
+            &mut None,
+            &mut rng,
         )
         .expect("star");
         assert!((ring.price - star.price).abs() < 1e-9);
@@ -359,7 +418,10 @@ mod tests {
     #[test]
     fn traffic_labelled_for_table1() {
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(paper_agents());
-        run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng).expect("protocol 3");
+        run(
+            &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        )
+        .expect("protocol 3");
         let s = net.stats();
         assert!(s.per_label.contains_key("price/agg"));
         assert!(s.per_label.contains_key("price/broadcast"));

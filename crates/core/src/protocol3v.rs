@@ -186,7 +186,8 @@ pub fn run(
     } else if seller_denoms <= 0.0 {
         cfg.band.ceiling
     } else {
-        cfg.band.clamp((cfg.band.grid_retail * k_sum / seller_denoms).sqrt())
+        cfg.band
+            .clamp((cfg.band.grid_retail * k_sum / seller_denoms).sqrt())
     };
 
     // Broadcast the verdict (and the price when valid).
@@ -218,7 +219,16 @@ mod tests {
     #[allow(clippy::type_complexity)]
     fn setup(
         n_sellers: usize,
-    ) -> (SimNetwork, KeyDirectory, Vec<AgentCtx>, Vec<usize>, Vec<usize>, PemConfig, PedersenParams, HashDrbg) {
+    ) -> (
+        SimNetwork,
+        KeyDirectory,
+        Vec<AgentCtx>,
+        Vec<usize>,
+        Vec<usize>,
+        PemConfig,
+        PedersenParams,
+        HashDrbg,
+    ) {
         let mut cfg = PemConfig::fast_test();
         cfg.key_bits = 256; // must exceed the 191-bit commitment group order
         let q = Quantizer::new(cfg.scale);
@@ -243,7 +253,16 @@ mod tests {
             agents.push(ctx);
         }
         let pedersen = PedersenParams::derive(DhGroup::test_192());
-        (SimNetwork::new(n), keys, agents, sellers, buyers, cfg, pedersen, rng)
+        (
+            SimNetwork::new(n),
+            keys,
+            agents,
+            sellers,
+            buyers,
+            cfg,
+            pedersen,
+            rng,
+        )
     }
 
     #[test]
@@ -284,7 +303,7 @@ mod tests {
         .expect("verified");
         let mut net2 = SimNetwork::new(agents.len());
         let plain = crate::protocol3::run(
-            &mut net2, &keys, &agents, &sellers, &buyers, &cfg, &mut rng,
+            &mut net2, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
         )
         .expect("plain");
         assert!((verified.price - plain.price).abs() < 1e-9);

@@ -29,6 +29,7 @@ use crate::agents::AgentCtx;
 use crate::config::PemConfig;
 use crate::error::PemError;
 use crate::keys::KeyDirectory;
+use crate::randpool::{self, RandomizerPool};
 
 /// Result of Private Distribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +63,7 @@ pub fn run(
     price: f64,
     general_market: bool,
     cfg: &PemConfig,
+    pool: &mut Option<RandomizerPool>,
     rng: &mut HashDrbg,
 ) -> Result<DistributionOutcome, PemError> {
     if sellers.is_empty() || buyers.is_empty() {
@@ -82,7 +84,7 @@ pub fn run(
 
     // --- Step 2: ring-aggregate the ratio side's total under pk. -------
     let contribution = |idx: usize| pem_bignum::BigUint::from(agents[idx].sn_abs_q);
-    let mut acc = pk.try_encrypt(&contribution(ratio_side[0]), rng)?;
+    let mut acc = randpool::encrypt_under(pk, decryptor, &contribution(ratio_side[0]), pool, rng)?;
     for hop in 1..ratio_side.len() {
         let prev = ratio_side[hop - 1];
         let cur = ratio_side[hop];
@@ -93,7 +95,7 @@ pub fn run(
         let mut r = WireReader::new(&env.payload);
         let received = Ciphertext::from_biguint(r.get_biguint()?);
         pk.validate_ciphertext(&received)?;
-        let own = pk.try_encrypt(&contribution(cur), rng)?;
+        let own = randpool::encrypt_under(pk, decryptor, &contribution(cur), pool, rng)?;
         acc = pk.add_ciphertexts(&received, &own);
     }
 
@@ -108,7 +110,12 @@ pub fn run(
             if member == last {
                 continue;
             }
-            net.send(PartyId(last), PartyId(member), "dist/total-bcast", bytes.clone())?;
+            net.send(
+                PartyId(last),
+                PartyId(member),
+                "dist/total-bcast",
+                bytes.clone(),
+            )?;
         }
         for &member in ratio_side.iter() {
             if member == last {
@@ -134,7 +141,12 @@ pub fn run(
         );
         let mut w = WireWriter::new();
         w.put_biguint(ct.as_biguint());
-        net.send(PartyId(member), PartyId(decryptor), "dist/ratio-req", w.finish())?;
+        net.send(
+            PartyId(member),
+            PartyId(decryptor),
+            "dist/ratio-req",
+            w.finish(),
+        )?;
     }
 
     let sk = keys.keypair(decryptor).private();
@@ -167,7 +179,12 @@ pub fn run(
             if member == decryptor {
                 continue;
             }
-            net.send(PartyId(decryptor), PartyId(member), "dist/ratios", bytes.clone())?;
+            net.send(
+                PartyId(decryptor),
+                PartyId(member),
+                "dist/ratios",
+                bytes.clone(),
+            )?;
             let env = net.recv_expect(PartyId(member), "dist/ratios")?;
             let mut r = WireReader::new(&env.payload);
             let n = r.get_varint()? as usize;
@@ -236,7 +253,15 @@ mod tests {
 
     fn setup(
         surpluses: &[f64],
-    ) -> (SimNetwork, KeyDirectory, Vec<AgentCtx>, Vec<usize>, Vec<usize>, PemConfig, HashDrbg) {
+    ) -> (
+        SimNetwork,
+        KeyDirectory,
+        Vec<AgentCtx>,
+        Vec<usize>,
+        Vec<usize>,
+        PemConfig,
+        HashDrbg,
+    ) {
         let cfg = PemConfig::fast_test();
         let q = Quantizer::new(cfg.scale);
         let n = surpluses.len();
@@ -274,8 +299,16 @@ mod tests {
                 }
             })
             .collect();
-        let sellers: Vec<_> = rows.iter().filter(|a| a.net_energy() > 0.0).copied().collect();
-        let buyers: Vec<_> = rows.iter().filter(|a| a.net_energy() < 0.0).copied().collect();
+        let sellers: Vec<_> = rows
+            .iter()
+            .filter(|a| a.net_energy() > 0.0)
+            .copied()
+            .collect();
+        let buyers: Vec<_> = rows
+            .iter()
+            .filter(|a| a.net_energy() < 0.0)
+            .copied()
+            .collect();
         allocate(&sellers, &buyers, price)
     }
 
@@ -304,7 +337,7 @@ mod tests {
         let surpluses = [2.0, 3.0, -4.0, -2.0, -2.0]; // E_s = 5 < E_b = 8
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&surpluses);
         let out = run(
-            &mut net, &keys, &agents, &sellers, &buyers, 100.0, true, &cfg, &mut rng,
+            &mut net, &keys, &agents, &sellers, &buyers, 100.0, true, &cfg, &mut None, &mut rng,
         )
         .expect("protocol 4");
         assert_trades_close(&out.trades, &plaintext_trades(&surpluses, 100.0), 1e-6);
@@ -316,7 +349,7 @@ mod tests {
         let surpluses = [6.0, 4.0, -1.5, -2.5]; // E_s = 10 ≥ E_b = 4
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&surpluses);
         let out = run(
-            &mut net, &keys, &agents, &sellers, &buyers, 90.0, false, &cfg, &mut rng,
+            &mut net, &keys, &agents, &sellers, &buyers, 90.0, false, &cfg, &mut None, &mut rng,
         )
         .expect("protocol 4");
         assert_trades_close(&out.trades, &plaintext_trades(&surpluses, 90.0), 1e-6);
@@ -327,7 +360,7 @@ mod tests {
         let surpluses = [2.0, -1.0, -3.0, -4.0];
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&surpluses);
         let out = run(
-            &mut net, &keys, &agents, &sellers, &buyers, 95.0, true, &cfg, &mut rng,
+            &mut net, &keys, &agents, &sellers, &buyers, 95.0, true, &cfg, &mut None, &mut rng,
         )
         .expect("protocol 4");
         // Per-ratio relative error is bounded by sn_max/(2K) ≈ 2^-23.
@@ -342,13 +375,16 @@ mod tests {
         let surpluses = [1.5, 2.5, -3.0, -5.0];
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&surpluses);
         let out = run(
-            &mut net, &keys, &agents, &sellers, &buyers, 100.0, true, &cfg, &mut rng,
+            &mut net, &keys, &agents, &sellers, &buyers, 100.0, true, &cfg, &mut None, &mut rng,
         )
         .expect("protocol 4");
         let energy: f64 = out.trades.iter().map(|t| t.energy).sum();
         assert!((energy - 4.0).abs() < 1e-6, "all supply traded: {energy}");
         let money: f64 = out.trades.iter().map(|t| t.payment).sum();
-        assert!((money - 400.0).abs() < 1e-4, "payments match price: {money}");
+        assert!(
+            (money - 400.0).abs() < 1e-4,
+            "payments match price: {money}"
+        );
     }
 
     #[test]
@@ -358,7 +394,7 @@ mod tests {
         let surpluses = [0.5, -1e-6, -0.75];
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&surpluses);
         let out = run(
-            &mut net, &keys, &agents, &sellers, &buyers, 100.0, true, &cfg, &mut rng,
+            &mut net, &keys, &agents, &sellers, &buyers, 100.0, true, &cfg, &mut None, &mut rng,
         )
         .expect("protocol 4");
         assert_trades_close(&out.trades, &plaintext_trades(&surpluses, 100.0), 1e-5);
@@ -368,7 +404,18 @@ mod tests {
     fn empty_coalitions_rejected() {
         let (mut net, keys, agents, sellers, _buyers, cfg, mut rng) = setup(&[1.0, 2.0]);
         assert!(matches!(
-            run(&mut net, &keys, &agents, &sellers, &[], 100.0, true, &cfg, &mut rng),
+            run(
+                &mut net,
+                &keys,
+                &agents,
+                &sellers,
+                &[],
+                100.0,
+                true,
+                &cfg,
+                &mut None,
+                &mut rng
+            ),
             Err(PemError::Protocol(_))
         ));
     }
@@ -378,11 +425,16 @@ mod tests {
         let surpluses = [2.0, -1.0, -3.0];
         let (mut net, keys, agents, sellers, buyers, cfg, mut rng) = setup(&surpluses);
         run(
-            &mut net, &keys, &agents, &sellers, &buyers, 100.0, true, &cfg, &mut rng,
+            &mut net, &keys, &agents, &sellers, &buyers, 100.0, true, &cfg, &mut None, &mut rng,
         )
         .expect("protocol 4");
         let s = net.stats();
-        for label in ["dist/total-agg", "dist/ratio-req", "dist/energy", "dist/payment"] {
+        for label in [
+            "dist/total-agg",
+            "dist/ratio-req",
+            "dist/energy",
+            "dist/payment",
+        ] {
             assert!(s.per_label.contains_key(label), "missing {label}");
         }
         // Pairwise settlement: |sellers| × |buyers| energy messages.

@@ -1,0 +1,235 @@
+//! Batched Paillier encryption randomizers (`r^n mod n²`).
+//!
+//! Every Paillier encryption pays one full-width modular exponentiation
+//! for its randomizer; the message factor `1 + m·n` is a single
+//! multiplication. Since the randomizer is message-independent, batches
+//! can be generated **off the critical path** (idle time between trading
+//! windows) and consumed one per encryption during the protocols — the
+//! hot path drops to one modular multiplication per encryption.
+//!
+//! The pool keeps one queue *per key in the directory* (a randomizer is
+//! bound to the modulus it was computed under), each fed by its own
+//! deterministic DRBG stream. Draw order under a given key is fixed by
+//! protocol order, so runs with the same seed *and the same
+//! configuration* (batch size included) are bit-identical — the
+//! worker-count determinism the grid builds on. The batch size itself is
+//! part of that equivalence class: when the pool runs dry mid-window,
+//! [`encrypt_under`] falls back to on-line randomizer generation from
+//! the caller's protocol stream, which consumes draws that a
+//! larger-batch run would not, shifting every later ciphertext. Market
+//! outcomes (prices, trades, regimes) are unaffected either way.
+//!
+//! Deployment note: in a real deployment each agent would pre-generate
+//! private randomizer batches for the public keys it expects to encrypt
+//! under. The simulator models the *cost structure* with one shared pool
+//! per target key, mirroring how `KeyDirectory` centralizes key material
+//! to keep information flow explicit.
+
+use std::collections::VecDeque;
+
+use pem_bignum::BigUint;
+use pem_crypto::drbg::HashDrbg;
+use pem_crypto::paillier::{Ciphertext, PublicKey, Randomizer};
+use pem_crypto::CryptoError;
+
+use crate::keys::KeyDirectory;
+
+/// Draw/refill counters for observability (surfaced in grid reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Encryptions served from a precomputed randomizer.
+    pub hits: u64,
+    /// Encryptions that fell back to on-line exponentiation.
+    pub misses: u64,
+    /// Randomizers generated (initial batch + refills).
+    pub generated: u64,
+}
+
+impl PoolStats {
+    /// Fraction of encryptions served from the pool (1.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A per-key pool of precomputed Paillier randomizers.
+#[derive(Debug, Clone)]
+pub struct RandomizerPool {
+    queues: Vec<VecDeque<Randomizer>>,
+    streams: Vec<HashDrbg>,
+    batch: usize,
+    stats: PoolStats,
+}
+
+impl RandomizerPool {
+    /// Builds a pool holding `batch` randomizers per directory key,
+    /// deterministically derived from `seed` (independent of the
+    /// protocol RNG streams).
+    pub fn generate(keys: &KeyDirectory, batch: usize, seed: u64) -> RandomizerPool {
+        let mut queues = Vec::with_capacity(keys.len());
+        let mut streams = Vec::with_capacity(keys.len());
+        let mut stats = PoolStats::default();
+        for i in 0..keys.len() {
+            let mut stream = HashDrbg::from_seed_label(b"pem-randpool", seed ^ ((i as u64) << 24));
+            let fresh = keys.public(i).precompute_randomizers(batch, &mut stream);
+            stats.generated += fresh.len() as u64;
+            queues.push(fresh.into());
+            streams.push(stream);
+        }
+        RandomizerPool {
+            queues,
+            streams,
+            batch,
+            stats,
+        }
+    }
+
+    /// Number of keys the pool covers.
+    pub fn keys(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Target batch size per key.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Currently available randomizers under key `key_owner`.
+    pub fn available(&self, key_owner: usize) -> usize {
+        self.queues.get(key_owner).map_or(0, VecDeque::len)
+    }
+
+    /// Draws one randomizer bound to `key_owner`'s modulus, if available.
+    pub fn take(&mut self, key_owner: usize) -> Option<Randomizer> {
+        match self.queues.get_mut(key_owner).and_then(VecDeque::pop_front) {
+            Some(r) => {
+                self.stats.hits += 1;
+                Some(r)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Tops every queue back up to the batch size — the off-critical-path
+    /// step, meant to run between windows. Returns how many randomizers
+    /// were generated.
+    pub fn refill(&mut self, keys: &KeyDirectory) -> usize {
+        assert_eq!(keys.len(), self.queues.len(), "key directory size changed");
+        let mut generated = 0;
+        for (i, queue) in self.queues.iter_mut().enumerate() {
+            let missing = self.batch.saturating_sub(queue.len());
+            if missing > 0 {
+                let fresh = keys
+                    .public(i)
+                    .precompute_randomizers(missing, &mut self.streams[i]);
+                generated += fresh.len();
+                queue.extend(fresh);
+            }
+        }
+        self.stats.generated += generated as u64;
+        generated
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+/// Encrypts `m` under `pk` (owned by directory entry `key_owner`),
+/// preferring a pooled randomizer and falling back to `rng`.
+///
+/// # Errors
+///
+/// [`CryptoError::MessageTooLarge`] if `m` exceeds the message space.
+pub fn encrypt_under(
+    pk: &PublicKey,
+    key_owner: usize,
+    m: &BigUint,
+    pool: &mut Option<RandomizerPool>,
+    rng: &mut HashDrbg,
+) -> Result<Ciphertext, CryptoError> {
+    if let Some(pool) = pool.as_mut() {
+        if let Some(r) = pool.take(key_owner) {
+            return pk.try_encrypt_with(m, &r);
+        }
+    }
+    pk.try_encrypt(m, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directory() -> KeyDirectory {
+        KeyDirectory::generate(3, 128, 11).expect("keys")
+    }
+
+    #[test]
+    fn generates_batch_per_key() {
+        let keys = directory();
+        let pool = RandomizerPool::generate(&keys, 4, 1);
+        assert_eq!(pool.keys(), 3);
+        for i in 0..3 {
+            assert_eq!(pool.available(i), 4);
+        }
+        assert_eq!(pool.stats().generated, 12);
+    }
+
+    #[test]
+    fn take_depletes_and_refill_restores() {
+        let keys = directory();
+        let mut pool = RandomizerPool::generate(&keys, 2, 1);
+        assert!(pool.take(0).is_some());
+        assert!(pool.take(0).is_some());
+        assert!(pool.take(0).is_none(), "queue exhausted");
+        assert_eq!(pool.available(0), 0);
+        assert_eq!(pool.refill(&keys), 2);
+        assert_eq!(pool.available(0), 2);
+        let s = pool.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.generated, 8);
+    }
+
+    #[test]
+    fn pooled_ciphertexts_decrypt() {
+        let keys = directory();
+        let mut pool = Some(RandomizerPool::generate(&keys, 1, 9));
+        let mut rng = HashDrbg::new(b"fallback");
+        let m = BigUint::from(123u64);
+        // First draw: pooled. Second: fallback. Both decrypt correctly.
+        let c1 = encrypt_under(keys.public(1), 1, &m, &mut pool, &mut rng).expect("pooled");
+        let c2 = encrypt_under(keys.public(1), 1, &m, &mut pool, &mut rng).expect("fallback");
+        assert_ne!(c1, c2);
+        assert_eq!(keys.keypair(1).private().decrypt(&c1), m);
+        assert_eq!(keys.keypair(1).private().decrypt(&c2), m);
+        let stats = pool.expect("pool").stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn pool_streams_are_independent_of_draw_interleaving() {
+        // Draw order across *different* keys must not change what each
+        // key's queue yields — the worker-pool determinism guarantee.
+        let keys = directory();
+        let mut a = RandomizerPool::generate(&keys, 3, 5);
+        let mut b = RandomizerPool::generate(&keys, 3, 5);
+        let a0 = a.take(0).expect("a0");
+        let _ = a.take(1).expect("a1");
+        let a0b = a.take(0).expect("a0 second");
+        let b0 = b.take(0).expect("b0");
+        let b0b = b.take(0).expect("b0 second");
+        let _ = b.take(1).expect("b1");
+        assert_eq!(a0, b0);
+        assert_eq!(a0b, b0b);
+    }
+}

@@ -109,7 +109,12 @@ pub fn pricing_ring_threaded(
         let id = ep.id().0;
         let mut rng = HashDrbg::from_seed_label(b"threaded-pricing", seed ^ id as u64);
         match &plans[id] {
-            RolePlan::Seller { k_q, d_q, next, starts } => {
+            RolePlan::Seller {
+                k_q,
+                d_q,
+                next,
+                starts,
+            } => {
                 let k_ct = pk
                     .try_encrypt(&BigUint::from(*k_q), &mut rng)
                     .map_err(|e| e.to_string())?;
@@ -121,16 +126,24 @@ pub fn pricing_ring_threaded(
                 } else {
                     let env = ep.recv_expect("price/agg").map_err(|e| e.to_string())?;
                     let mut r = WireReader::new(&env.payload);
-                    let k_in = Ciphertext::from_biguint(r.get_biguint().map_err(|e| e.to_string())?);
-                    let d_in = Ciphertext::from_biguint(r.get_biguint().map_err(|e| e.to_string())?);
-                    (pk.add_ciphertexts(&k_in, &k_ct), pk.add_ciphertexts(&d_in, &d_ct))
+                    let k_in =
+                        Ciphertext::from_biguint(r.get_biguint().map_err(|e| e.to_string())?);
+                    let d_in =
+                        Ciphertext::from_biguint(r.get_biguint().map_err(|e| e.to_string())?);
+                    (
+                        pk.add_ciphertexts(&k_in, &k_ct),
+                        pk.add_ciphertexts(&d_in, &d_ct),
+                    )
                 };
                 let mut w = WireWriter::new();
                 w.put_biguint(k_out.as_biguint());
                 w.put_biguint(d_out.as_biguint());
-                ep.send(*next, "price/agg", w.finish()).map_err(|e| e.to_string())?;
+                ep.send(*next, "price/agg", w.finish())
+                    .map_err(|e| e.to_string())?;
                 // Sellers also hear the broadcast.
-                let env = ep.recv_expect("price/broadcast").map_err(|e| e.to_string())?;
+                let env = ep
+                    .recv_expect("price/broadcast")
+                    .map_err(|e| e.to_string())?;
                 let mut r = WireReader::new(&env.payload);
                 r.get_f64().map_err(|e| e.to_string())
             }
@@ -164,7 +177,9 @@ pub fn pricing_ring_threaded(
                 Ok(price)
             }
             RolePlan::Listener => {
-                let env = ep.recv_expect("price/broadcast").map_err(|e| e.to_string())?;
+                let env = ep
+                    .recv_expect("price/broadcast")
+                    .map_err(|e| e.to_string())?;
                 let mut r = WireReader::new(&env.payload);
                 r.get_f64().map_err(|e| e.to_string())
             }
@@ -196,7 +211,13 @@ mod tests {
     use pem_net::SimNetwork;
     use rand::Rng;
 
-    fn setup() -> (KeyDirectory, Vec<AgentCtx>, Vec<usize>, Vec<usize>, PemConfig) {
+    fn setup() -> (
+        KeyDirectory,
+        Vec<AgentCtx>,
+        Vec<usize>,
+        Vec<usize>,
+        PemConfig,
+    ) {
         let cfg = PemConfig::fast_test();
         let q = Quantizer::new(cfg.scale);
         let data = vec![
@@ -234,8 +255,10 @@ mod tests {
         // regardless because the aggregates are decryptor-independent).
         let mut net = SimNetwork::new(agents.len());
         let mut rng = HashDrbg::from_seed_label(b"threaded-ref", 9);
-        let seq = protocol3::run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
-            .expect("sequential");
+        let seq = protocol3::run(
+            &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        )
+        .expect("sequential");
         assert!(
             (threaded_price - seq.price).abs() < 1e-9,
             "threaded {threaded_price} vs sequential {}",
@@ -243,10 +266,7 @@ mod tests {
         );
 
         // Traffic pattern: |sellers| ring messages + (n−1) broadcasts.
-        assert_eq!(
-            stats.per_label["price/agg"].messages,
-            sellers.len() as u64
-        );
+        assert_eq!(stats.per_label["price/agg"].messages, sellers.len() as u64);
         assert_eq!(
             stats.per_label["price/broadcast"].messages,
             (agents.len() - 1) as u64

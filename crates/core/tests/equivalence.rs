@@ -82,7 +82,11 @@ fn pem_handles_role_churn() {
         let flip = w % 2 == 0;
         let pop: Vec<AgentWindow> = (0..4)
             .map(|i| {
-                let surplus = if (i % 2 == 0) == flip { 1.0 + i as f64 } else { -2.0 };
+                let surplus = if (i % 2 == 0) == flip {
+                    1.0 + i as f64
+                } else {
+                    -2.0
+                };
                 if surplus > 0.0 {
                     AgentWindow::new(i, surplus, 0.0, 0.0, 0.9, 25.0)
                 } else {

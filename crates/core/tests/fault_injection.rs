@@ -16,7 +16,14 @@ use pem_market::{AgentWindow, Role};
 use pem_net::{FaultKind, FaultPlan, SimNetwork};
 use rand::Rng;
 
-fn setup() -> (KeyDirectory, Vec<AgentCtx>, Vec<usize>, Vec<usize>, PemConfig, HashDrbg) {
+fn setup() -> (
+    KeyDirectory,
+    Vec<AgentCtx>,
+    Vec<usize>,
+    Vec<usize>,
+    PemConfig,
+    HashDrbg,
+) {
     let cfg = PemConfig::fast_test();
     let q = Quantizer::new(cfg.scale);
     let data = vec![
@@ -45,7 +52,9 @@ fn setup() -> (KeyDirectory, Vec<AgentCtx>, Vec<usize>, Vec<usize>, PemConfig, H
 fn run_protocol2_with(plan: FaultPlan) -> Result<protocol2::EvalOutcome, PemError> {
     let (keys, agents, sellers, buyers, cfg, mut rng) = setup();
     let mut net = SimNetwork::new(agents.len()).with_faults(plan);
-    protocol2::run(&mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut rng)
+    protocol2::run(
+        &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+    )
 }
 
 #[test]
@@ -56,10 +65,8 @@ fn baseline_without_faults_succeeds() {
 
 #[test]
 fn dropped_aggregation_message_aborts() {
-    let err = run_protocol2_with(
-        FaultPlan::new().inject("eval/demand-agg", 1, FaultKind::Drop),
-    )
-    .expect_err("must abort");
+    let err = run_protocol2_with(FaultPlan::new().inject("eval/demand-agg", 1, FaultKind::Drop))
+        .expect_err("must abort");
     assert!(matches!(err, PemError::Net(_)), "got {err:?}");
 }
 
@@ -74,32 +81,35 @@ fn dropped_gc_offer_aborts() {
 fn duplicated_message_aborts_on_label_mismatch() {
     // The duplicate lingers in the recipient's mailbox; the next
     // recv_expect for a different label trips over it.
-    let err = run_protocol2_with(
-        FaultPlan::new().inject("eval/demand-agg", 0, FaultKind::Duplicate),
-    )
-    .expect_err("must abort");
+    let err =
+        run_protocol2_with(FaultPlan::new().inject("eval/demand-agg", 0, FaultKind::Duplicate))
+            .expect_err("must abort");
     assert!(matches!(err, PemError::Net(_)), "got {err:?}");
 }
 
 #[test]
 fn truncated_ciphertext_fails_to_decode() {
-    let err = run_protocol2_with(
-        FaultPlan::new().inject("eval/supply-agg", 0, FaultKind::Truncate),
-    )
-    .expect_err("must abort");
-    assert!(matches!(err, PemError::Net(_)), "decode error expected, got {err:?}");
+    let err =
+        run_protocol2_with(FaultPlan::new().inject("eval/supply-agg", 0, FaultKind::Truncate))
+            .expect_err("must abort");
+    assert!(
+        matches!(err, PemError::Net(_)),
+        "decode error expected, got {err:?}"
+    );
 }
 
 #[test]
 fn truncated_gc_transfer_fails_cleanly() {
-    let err = run_protocol2_with(
-        FaultPlan::new().inject("eval/gc-ot-transfer", 0, FaultKind::Truncate),
-    )
-    .expect_err("must abort");
+    let err =
+        run_protocol2_with(FaultPlan::new().inject("eval/gc-ot-transfer", 0, FaultKind::Truncate))
+            .expect_err("must abort");
     // Truncation surfaces as a decode failure or a malformed-garbling
     // complaint, depending on where the cut lands — both are typed.
     assert!(
-        matches!(err, PemError::Net(_) | PemError::Circuit(_) | PemError::Crypto(_)),
+        matches!(
+            err,
+            PemError::Net(_) | PemError::Circuit(_) | PemError::Crypto(_)
+        ),
         "got {err:?}"
     );
 }
@@ -125,7 +135,9 @@ fn faults_never_produce_trades() {
                     "{label}/{kind:?} silently changed the outcome"
                 ),
                 Err(
-                    PemError::Net(_) | PemError::Circuit(_) | PemError::Crypto(_)
+                    PemError::Net(_)
+                    | PemError::Circuit(_)
+                    | PemError::Crypto(_)
                     | PemError::Protocol(_),
                 ) => {}
                 Err(other) => panic!("{label}/{kind:?}: unexpected error class {other:?}"),

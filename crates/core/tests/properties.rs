@@ -8,9 +8,9 @@ use proptest::prelude::*;
 fn arb_population() -> impl Strategy<Value = Vec<AgentWindow>> {
     proptest::collection::vec(
         (
-            0.0f64..6.0,  // generation
-            0.0f64..6.0,  // load
-            -0.5f64..0.5, // battery
+            0.0f64..6.0,   // generation
+            0.0f64..6.0,   // load
+            -0.5f64..0.5,  // battery
             16.0f64..45.0, // preference
         ),
         3..7,

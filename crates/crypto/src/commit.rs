@@ -140,16 +140,11 @@ mod tests {
         let pp = params();
         let mut rng = HashDrbg::new(b"pedersen-hom");
         let (a, b) = (BigUint::from(30u64), BigUint::from(12u64));
-        let (ra, rb) = (
-            pp.random_blinding(&mut rng),
-            pp.random_blinding(&mut rng),
-        );
+        let (ra, rb) = (pp.random_blinding(&mut rng), pp.random_blinding(&mut rng));
         let ca = pp.commit(&a, &ra);
         let cb = pp.commit(&b, &rb);
         let combined = pp.combine(&ca, &cb);
-        assert!(pp
-            .verify(&combined, &(&a + &b), &(&ra + &rb))
-            .is_ok());
+        assert!(pp.verify(&combined, &(&a + &b), &(&ra + &rb)).is_ok());
     }
 
     #[test]

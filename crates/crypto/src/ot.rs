@@ -431,8 +431,7 @@ mod tests {
         let group = DhGroup::test_192();
         let mut rng = HashDrbg::new(b"ot-len");
         let (sender, setup) = OtSender::new(group.clone(), &mut rng);
-        let (_receiver, reply) =
-            OtReceiver::new(group, &setup, false, &mut rng).expect("reply");
+        let (_receiver, reply) = OtReceiver::new(group, &setup, false, &mut rng).expect("reply");
         assert!(sender.encrypt(&reply, &[0u8; 4], &[1u8; 5]).is_err());
     }
 

@@ -68,6 +68,28 @@ impl Ciphertext {
     }
 }
 
+/// A precomputed encryption randomizer: `r^n mod n²` for a fresh uniform
+/// `r ∈ Z_n*`.
+///
+/// Computing `r^n mod n²` is the dominant cost of a Paillier encryption
+/// (one full-width modular exponentiation); the masked message factor
+/// `1 + m·n` costs a single multiplication. Randomizers therefore can be
+/// batch-generated *off the critical path* and consumed one per
+/// encryption — same ciphertext distribution, amortized hot path. Each
+/// randomizer is bound to the key it was generated under and must be
+/// used **at most once** (reuse links ciphertexts of the same party).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Randomizer {
+    rn: BigUint,
+}
+
+impl Randomizer {
+    /// The raw precomputed group element `r^n mod n²`.
+    pub fn as_biguint(&self) -> &BigUint {
+        &self.rn
+    }
+}
+
 impl Keypair {
     /// Generates a key pair with an `n` of exactly `n_bits` bits.
     ///
@@ -189,6 +211,50 @@ impl PublicKey {
         let gm = (BigUint::one() + m * &self.n) % &self.n2;
         let rn = mont.modpow(&r, &self.n);
         Ok(Ciphertext(mont.mul(&gm, &rn)))
+    }
+
+    /// Precomputes `count` encryption randomizers (`r^n mod n²`).
+    ///
+    /// This is the batchable, off-critical-path part of encryption; pair
+    /// with [`PublicKey::try_encrypt_with`] on the hot path.
+    pub fn precompute_randomizers<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<Randomizer> {
+        let mont = self.mont();
+        (0..count)
+            .map(|_| {
+                let r = BigUint::random_coprime(&self.n, rng);
+                Randomizer {
+                    rn: mont.modpow(&r, &self.n),
+                }
+            })
+            .collect()
+    }
+
+    /// Encrypts `m ∈ [0, n)` consuming a precomputed randomizer.
+    ///
+    /// Produces exactly the ciphertext [`PublicKey::try_encrypt`] would
+    /// have produced with the randomizer's underlying `r`, at the cost of
+    /// one modular multiplication instead of a modular exponentiation.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::MessageTooLarge`] if `m >= n`.
+    pub fn try_encrypt_with(
+        &self,
+        m: &BigUint,
+        randomizer: &Randomizer,
+    ) -> Result<Ciphertext, CryptoError> {
+        if m >= &self.n {
+            return Err(CryptoError::MessageTooLarge {
+                message_bits: m.bit_length(),
+                modulus_bits: self.n.bit_length(),
+            });
+        }
+        let gm = (BigUint::one() + m * &self.n) % &self.n2;
+        Ok(Ciphertext(self.mont().mul(&gm, &randomizer.rn)))
     }
 
     /// Homomorphic addition: `Enc(a) ⊞ Enc(b) = Enc(a + b mod n)`.
@@ -388,6 +454,54 @@ mod tests {
         let c2 = pk.encrypt(&pk.encode_i128(-250), &mut rng);
         let sum = pk.add_ciphertexts(&c1, &c2);
         assert_eq!(kp.private().decrypt_i128(&sum), -150);
+    }
+
+    #[test]
+    fn precomputed_randomizers_encrypt_identically() {
+        let kp = keypair(128);
+        let pk = kp.public();
+        let mut rng = HashDrbg::new(b"pool");
+        let pool = pk.precompute_randomizers(4, &mut rng);
+        assert_eq!(pool.len(), 4);
+        // Distinct randomizers → distinct ciphertexts of the same value.
+        let m = BigUint::from(321u64);
+        let c0 = pk.try_encrypt_with(&m, &pool[0]).expect("encrypt");
+        let c1 = pk.try_encrypt_with(&m, &pool[1]).expect("encrypt");
+        assert_ne!(c0, c1);
+        for c in [&c0, &c1] {
+            assert!(pk.validate_ciphertext(c).is_ok());
+            assert_eq!(kp.private().decrypt(c), m);
+        }
+        // Homomorphism is preserved across the two encryption paths.
+        let fresh = pk.encrypt(&BigUint::from(9u64), &mut rng);
+        let sum = pk.add_ciphertexts(&c0, &fresh);
+        assert_eq!(kp.private().decrypt(&sum), BigUint::from(330u64));
+    }
+
+    #[test]
+    fn precomputed_randomizer_matches_stream() {
+        // Same DRBG stream, both paths → identical ciphertext bits.
+        let kp = keypair(128);
+        let pk = kp.public();
+        let m = BigUint::from(77u64);
+        let mut rng_a = HashDrbg::new(b"same-stream");
+        let direct = pk.encrypt(&m, &mut rng_a);
+        let mut rng_b = HashDrbg::new(b"same-stream");
+        let pool = pk.precompute_randomizers(1, &mut rng_b);
+        let via_pool = pk.try_encrypt_with(&m, &pool[0]).expect("encrypt");
+        assert_eq!(direct, via_pool);
+    }
+
+    #[test]
+    fn precomputed_rejects_oversized_message() {
+        let kp = keypair(64);
+        let mut rng = HashDrbg::new(b"pool-big");
+        let pool = kp.public().precompute_randomizers(1, &mut rng);
+        assert!(matches!(
+            kp.public()
+                .try_encrypt_with(&kp.public().n().clone(), &pool[0]),
+            Err(CryptoError::MessageTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -135,7 +135,7 @@ mod tests {
         assert_eq!(b.step(-1.0), -1.0);
         assert_eq!(b.soc(), 4.0);
         assert_eq!(b.step(-5.0), -2.0); // rate-limited
-        // Drain to empty.
+                                        // Drain to empty.
         assert_eq!(b.step(-5.0), -2.0);
         assert_eq!(b.step(-5.0), 0.0 - 0.0f64.min(0.0)); // soc = 0 → no flow
         assert_eq!(b.soc(), 0.0);

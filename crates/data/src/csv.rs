@@ -75,11 +75,19 @@ pub fn write_trace_csv<W: Write>(trace: &Trace, mut w: W) -> Result<(), CsvError
     writeln!(
         w,
         "{},{},{},{},{},{},{}",
-        c.homes, c.windows, c.start_minute, c.window_minutes, c.seed, c.battery_fraction,
+        c.homes,
+        c.windows,
+        c.start_minute,
+        c.window_minutes,
+        c.seed,
+        c.battery_fraction,
         c.solar_fraction
     )?;
     writeln!(w, "#homes")?;
-    writeln!(w, "id,preference,battery_loss,battery_capacity,solar_capacity")?;
+    writeln!(
+        w,
+        "id,preference,battery_loss,battery_capacity,solar_capacity"
+    )?;
     for h in &trace.homes {
         writeln!(
             w,
@@ -256,7 +264,8 @@ mod tests {
     fn rejects_garbage() {
         assert!(read_trace_csv("hello,world\n".as_bytes()).is_err());
         assert!(read_trace_csv("#config\nheader\n1,2\n".as_bytes()).is_err());
-        let missing_rows = "#config\nh\n2,3,420,1,1,0.5,0.9\n#homes\nh\n0,20,0.9,0,4\n1,20,0.9,0,4\n";
+        let missing_rows =
+            "#config\nh\n2,3,420,1,1,0.5,0.9\n#homes\nh\n0,20,0.9,0,4\n1,20,0.9,0,4\n";
         assert!(read_trace_csv(missing_rows.as_bytes()).is_err());
     }
 

@@ -33,8 +33,8 @@ impl SolarModel {
     pub fn residential(capacity_kw: f64) -> SolarModel {
         SolarModel {
             capacity_kw,
-            sunrise_minute: 410.0,  // 06:50
-            sunset_minute: 1145.0,  // 19:05
+            sunrise_minute: 410.0, // 06:50
+            sunset_minute: 1145.0, // 19:05
             cloud_persistence: 0.97,
             cloud_sigma: 0.06,
             cloud_state: 1.0,
@@ -129,7 +129,10 @@ mod tests {
             }
             prev = Some(m.cloud_state);
         }
-        assert!(max_jump < 0.15, "cloud process should move slowly: {max_jump}");
+        assert!(
+            max_jump < 0.15,
+            "cloud process should move slowly: {max_jump}"
+        );
     }
 
     #[test]

@@ -132,7 +132,10 @@ mod tests {
         let st = TraceStats::compute(&t);
         // One-minute windows: kWh per window is small.
         assert!(st.mean_load > 0.001 && st.mean_load < 0.2, "{st:?}");
-        assert!(st.mean_generation > 0.001 && st.mean_generation < 0.2, "{st:?}");
+        assert!(
+            st.mean_generation > 0.001 && st.mean_generation < 0.2,
+            "{st:?}"
+        );
         assert!(st.peak_demand > 0.0 && st.peak_supply > 0.0);
         // The day must contain both morning no-seller windows and (with
         // 3–9 kW panels) some supply-rich extreme windows.

@@ -154,7 +154,9 @@ impl TraceGenerator {
         for id in 0..cfg.homes {
             // Independent stream per home so adding homes never perturbs
             // existing ones.
-            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id as u64 + 1)));
+            let mut rng = StdRng::seed_from_u64(
+                cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id as u64 + 1)),
+            );
 
             let has_solar = rng.gen::<f64>() < cfg.solar_fraction;
             let solar_capacity = if has_solar {
@@ -210,8 +212,7 @@ impl TraceGenerator {
             let mut window = Vec::with_capacity(cfg.homes);
             for h in 0..cfg.homes {
                 let rng = &mut home_rngs[h];
-                let generation =
-                    solar_models[h].step(minute, cfg.window_minutes as f64, rng);
+                let generation = solar_models[h].step(minute, cfg.window_minutes as f64, rng);
                 let load = load_models[h].step(minute, cfg.window_minutes as f64, rng);
                 let battery = batteries[h].step(generation - load);
                 window.push(WindowRow {
@@ -353,8 +354,16 @@ mod tests {
     #[test]
     fn preferences_span_paper_range() {
         let t = small_trace();
-        let min = t.homes.iter().map(|h| h.preference).fold(f64::MAX, f64::min);
-        let max = t.homes.iter().map(|h| h.preference).fold(f64::MIN, f64::max);
+        let min = t
+            .homes
+            .iter()
+            .map(|h| h.preference)
+            .fold(f64::MAX, f64::min);
+        let max = t
+            .homes
+            .iter()
+            .map(|h| h.preference)
+            .fold(f64::MIN, f64::max);
         assert!(min >= 15.0 && max <= 45.0, "k range [{min}, {max}]");
     }
 }

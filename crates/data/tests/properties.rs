@@ -6,12 +6,12 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = TraceConfig> {
     (
-        1usize..25,     // homes
-        1usize..60,     // windows
-        1u32..30,       // window minutes
-        any::<u64>(),   // seed
-        0.0f64..1.0,    // battery fraction
-        0.0f64..1.0,    // solar fraction
+        1usize..25,   // homes
+        1usize..60,   // windows
+        1u32..30,     // window minutes
+        any::<u64>(), // seed
+        0.0f64..1.0,  // battery fraction
+        0.0f64..1.0,  // solar fraction
     )
         .prop_map(|(homes, windows, wm, seed, bf, sf)| TraceConfig {
             homes,

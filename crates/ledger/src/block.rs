@@ -49,8 +49,13 @@ impl Block {
 
     /// `true` if the stored hash matches the contents.
     pub fn hash_is_valid(&self) -> bool {
-        Block::compute_hash(self.index, self.window, self.price_mc, &self.prev_hash, &self.txs)
-            == self.hash
+        Block::compute_hash(
+            self.index,
+            self.window,
+            self.price_mc,
+            &self.prev_hash,
+            &self.txs,
+        ) == self.hash
     }
 
     /// The clearing price in ¢/kWh.
@@ -203,7 +208,8 @@ mod tests {
         let mut l = ledger();
         l.append_window(5, 100.0, &[tx(0, 1, 1.5, 100.0), tx(0, 2, 0.5, 100.0)])
             .expect("append");
-        l.append_window(6, 90.0, &[tx(3, 1, 2.0, 90.0)]).expect("append");
+        l.append_window(6, 90.0, &[tx(3, 1, 2.0, 90.0)])
+            .expect("append");
         assert_eq!(l.settled_windows(), 2);
         l.validate().expect("chain valid");
         assert!((l.total_energy() - 4.0).abs() < 1e-9);
@@ -213,20 +219,20 @@ mod tests {
     #[test]
     fn tamper_with_tx_detected() {
         let mut l = ledger();
-        l.append_window(1, 100.0, &[tx(0, 1, 1.0, 100.0)]).expect("append");
+        l.append_window(1, 100.0, &[tx(0, 1, 1.0, 100.0)])
+            .expect("append");
         // An attacker bumps their received energy after the fact.
         l.blocks[1].txs[0].energy_ukwh += 1;
-        assert_eq!(
-            l.validate(),
-            Err(LedgerError::BrokenHash { block: 1 })
-        );
+        assert_eq!(l.validate(), Err(LedgerError::BrokenHash { block: 1 }));
     }
 
     #[test]
     fn tamper_with_link_detected() {
         let mut l = ledger();
-        l.append_window(1, 100.0, &[tx(0, 1, 1.0, 100.0)]).expect("append");
-        l.append_window(2, 100.0, &[tx(0, 1, 1.0, 100.0)]).expect("append");
+        l.append_window(1, 100.0, &[tx(0, 1, 1.0, 100.0)])
+            .expect("append");
+        l.append_window(2, 100.0, &[tx(0, 1, 1.0, 100.0)])
+            .expect("append");
         // Rewrite block 1 entirely (valid hash, broken link downstream).
         let new_txs = vec![tx(0, 1, 9.0, 100.0)];
         let b = &l.blocks[1];
@@ -239,7 +245,8 @@ mod tests {
     #[test]
     fn rejects_out_of_order_windows() {
         let mut l = ledger();
-        l.append_window(7, 100.0, &[tx(0, 1, 1.0, 100.0)]).expect("append");
+        l.append_window(7, 100.0, &[tx(0, 1, 1.0, 100.0)])
+            .expect("append");
         assert!(matches!(
             l.append_window(7, 100.0, &[tx(0, 1, 1.0, 100.0)]),
             Err(LedgerError::NonMonotonicWindow { .. })
@@ -251,8 +258,10 @@ mod tests {
     fn deterministic_hashes() {
         let mut a = ledger();
         let mut b = ledger();
-        a.append_window(1, 95.5, &[tx(0, 1, 1.25, 95.5)]).expect("append");
-        b.append_window(1, 95.5, &[tx(0, 1, 1.25, 95.5)]).expect("append");
+        a.append_window(1, 95.5, &[tx(0, 1, 1.25, 95.5)])
+            .expect("append");
+        b.append_window(1, 95.5, &[tx(0, 1, 1.25, 95.5)])
+            .expect("append");
         assert_eq!(a.blocks()[1].hash, b.blocks()[1].hash);
     }
 }

@@ -118,7 +118,8 @@ mod tests {
     #[test]
     fn accepts_valid_batches() {
         let c = contract();
-        c.validate_window(100.0, &[tx(0, 1, 1.0, 100.0)]).expect("valid");
+        c.validate_window(100.0, &[tx(0, 1, 1.0, 100.0)])
+            .expect("valid");
         c.validate_window(90.0, &[]).expect("empty batch fine");
         // Retail price allowed for no-market settlements.
         c.validate_window(120.0, &[]).expect("retail ok");
@@ -165,7 +166,11 @@ mod tests {
     #[test]
     fn account_book_conservation() {
         let mut book = AccountBook::default();
-        book.apply(&[tx(0, 1, 1.5, 100.0), tx(0, 2, 0.5, 100.0), tx(3, 1, 1.0, 100.0)]);
+        book.apply(&[
+            tx(0, 1, 1.5, 100.0),
+            tx(0, 2, 0.5, 100.0),
+            tx(3, 1, 1.0, 100.0),
+        ]);
         assert!(book.cash_is_conserved());
         assert!(book.energy_is_conserved());
         assert_eq!(book.energy_ukwh[&0], 2_000_000);

@@ -60,7 +60,10 @@ impl fmt::Display for LedgerError {
                 write!(f, "settlement price {price} outside the permitted range")
             }
             LedgerError::PaymentMismatch { tx_index } => {
-                write!(f, "transaction {tx_index}: payment does not equal price x energy")
+                write!(
+                    f,
+                    "transaction {tx_index}: payment does not equal price x energy"
+                )
             }
             LedgerError::NonPositiveEnergy { tx_index } => {
                 write!(f, "transaction {tx_index}: energy must be positive")
@@ -93,6 +96,8 @@ mod tests {
         assert!(LedgerError::PriceOutOfBand { price: 300.0 }
             .to_string()
             .contains("300"));
-        assert!(LedgerError::BrokenChain { block: 4 }.to_string().contains("4"));
+        assert!(LedgerError::BrokenChain { block: 4 }
+            .to_string()
+            .contains("4"));
     }
 }

@@ -9,10 +9,7 @@ use proptest::prelude::*;
 fn arb_batch() -> impl Strategy<Value = (f64, Vec<SettlementTx>)> {
     (
         90.0f64..110.0,
-        proptest::collection::vec(
-            (0usize..8, 8usize..16, 0.001f64..5.0),
-            1..10,
-        ),
+        proptest::collection::vec((0usize..8, 8usize..16, 0.001f64..5.0), 1..10),
     )
         .prop_map(|(price, rows)| {
             let txs = rows

@@ -199,19 +199,33 @@ mod tests {
 
     #[test]
     fn conservation_and_bounds() {
-        let asks: Vec<Order> = (0..4).map(|i| ask(i, 1.0 + i as f64 * 0.5, 82.0 + i as f64 * 5.0)).collect();
-        let bids: Vec<Order> = (4..7).map(|i| bid(i, 2.0, 118.0 - (i - 4) as f64 * 4.0)).collect();
+        let asks: Vec<Order> = (0..4)
+            .map(|i| ask(i, 1.0 + i as f64 * 0.5, 82.0 + i as f64 * 5.0))
+            .collect();
+        let bids: Vec<Order> = (4..7)
+            .map(|i| bid(i, 2.0, 118.0 - (i - 4) as f64 * 4.0))
+            .collect();
         let out = double_auction(asks.clone(), bids.clone());
         let price = out.price.expect("books cross");
         // Price between best ask and best bid.
         assert!((82.0..=118.0).contains(&price));
         // No seller oversells, no buyer overbuys.
         for o in &asks {
-            let sold: f64 = out.trades.iter().filter(|t| t.seller == o.agent).map(|t| t.energy).sum();
+            let sold: f64 = out
+                .trades
+                .iter()
+                .filter(|t| t.seller == o.agent)
+                .map(|t| t.energy)
+                .sum();
             assert!(sold <= o.quantity + 1e-9);
         }
         for o in &bids {
-            let bought: f64 = out.trades.iter().filter(|t| t.buyer == o.agent).map(|t| t.energy).sum();
+            let bought: f64 = out
+                .trades
+                .iter()
+                .filter(|t| t.buyer == o.agent)
+                .map(|t| t.energy)
+                .sum();
             assert!(bought <= o.quantity + 1e-9);
         }
     }

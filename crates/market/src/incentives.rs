@@ -202,7 +202,7 @@ mod tests {
         let band = PriceBand::paper_defaults();
         let mut b = seller(0.0, 20.0);
         b.load = 4.0; // deficit 4 kWh
-        // Buy 3 on the market at 100, 1 from the grid at 120.
+                      // Buy 3 on the market at 100, 1 from the grid at 120.
         let c = buyer_cost(&b, 100.0, 3.0, &band);
         assert!((c - (300.0 + 120.0)).abs() < 1e-9);
         // Buying everything from the grid is the x = 0 case.
@@ -249,7 +249,9 @@ mod tests {
         // below the floor, so the clamp absorbs any k-inflation: the lie
         // does not move the realized price at all.
         let band = PriceBand::paper_defaults();
-        let sellers: Vec<_> = (0..10).map(|i| seller(4.0 + i as f64 * 0.2, 25.0)).collect();
+        let sellers: Vec<_> = (0..10)
+            .map(|i| seller(4.0 + i as f64 * 0.2, 25.0))
+            .collect();
         for alpha in [0.5, 1.5, 3.0] {
             let r = misreport_preference(&sellers, 0, alpha, &band);
             assert_eq!(r.truthful_price, r.deviated_price, "clamp must absorb");
@@ -273,7 +275,10 @@ mod tests {
         let g3 = gain_at(3);
         let g30 = gain_at(30);
         let g300 = gain_at(300);
-        assert!(g3 > g30 && g30 > g300, "gain must shrink: {g3} {g30} {g300}");
+        assert!(
+            g3 > g30 && g30 > g300,
+            "gain must shrink: {g3} {g30} {g300}"
+        );
         assert!(g300 < g3 / 50.0, "roughly O(1/n) decay: {g3} vs {g300}");
     }
 

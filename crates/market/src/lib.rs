@@ -61,8 +61,8 @@ mod price;
 pub mod scheduling;
 
 pub use agent::{AgentId, AgentWindow, Role};
-pub use auction::{auction_window, double_auction, AuctionOutcome, Order};
 pub use allocation::{allocate, bought_by, sold_by, Trade};
+pub use auction::{auction_window, double_auction, AuctionOutcome, Order};
 pub use baseline::{baseline_buyer_cost, baseline_seller_utility, GridOnlyBaseline};
 pub use engine::{Coalitions, MarketEngine, MarketKind, WindowOutcome};
 pub use error::MarketError;

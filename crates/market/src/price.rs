@@ -43,7 +43,12 @@ impl PriceBand {
                 reason: reason.to_string(),
             })
         };
-        for v in [self.grid_retail, self.grid_feed_in, self.floor, self.ceiling] {
+        for v in [
+            self.grid_retail,
+            self.grid_feed_in,
+            self.floor,
+            self.ceiling,
+        ] {
             if !v.is_finite() || v <= 0.0 {
                 return fail("all prices must be finite and positive");
             }

@@ -210,12 +210,36 @@ mod tests {
         // Greedy self-consumption absorbs the morning surplus; the DP
         // holds capacity to exploit the 110-price spike.
         let forecast = vec![
-            ForecastWindow { generation: 2.0, load: 0.0, sell_price: 90.0, buy_price: 120.0 },
-            ForecastWindow { generation: 2.0, load: 0.0, sell_price: 90.0, buy_price: 120.0 },
-            ForecastWindow { generation: 0.0, load: 0.0, sell_price: 110.0, buy_price: 120.0 },
-            ForecastWindow { generation: 0.0, load: 0.0, sell_price: 110.0, buy_price: 120.0 },
+            ForecastWindow {
+                generation: 2.0,
+                load: 0.0,
+                sell_price: 90.0,
+                buy_price: 120.0,
+            },
+            ForecastWindow {
+                generation: 2.0,
+                load: 0.0,
+                sell_price: 90.0,
+                buy_price: 120.0,
+            },
+            ForecastWindow {
+                generation: 0.0,
+                load: 0.0,
+                sell_price: 110.0,
+                buy_price: 120.0,
+            },
+            ForecastWindow {
+                generation: 0.0,
+                load: 0.0,
+                sell_price: 110.0,
+                buy_price: 120.0,
+            },
         ];
-        let sp = StorageSpec { capacity: 4.0, max_rate: 2.0, initial_soc: 0.0 };
+        let sp = StorageSpec {
+            capacity: 4.0,
+            max_rate: 2.0,
+            initial_soc: 0.0,
+        };
         let s = optimize(&forecast, &sp, 81);
         // Greedy: sells 4 kWh at 90 = 360. DP: charge 4, sell 4 at 110 = 440.
         let greedy_flows = vec![2.0, 2.0, 0.0, 0.0];
@@ -231,11 +255,30 @@ mod tests {
     #[test]
     fn evaluate_matches_optimize_objective() {
         let forecast = vec![
-            ForecastWindow { generation: 1.0, load: 0.4, sell_price: 95.0, buy_price: 120.0 },
-            ForecastWindow { generation: 0.2, load: 1.0, sell_price: 105.0, buy_price: 120.0 },
-            ForecastWindow { generation: 0.0, load: 0.8, sell_price: 110.0, buy_price: 118.0 },
+            ForecastWindow {
+                generation: 1.0,
+                load: 0.4,
+                sell_price: 95.0,
+                buy_price: 120.0,
+            },
+            ForecastWindow {
+                generation: 0.2,
+                load: 1.0,
+                sell_price: 105.0,
+                buy_price: 120.0,
+            },
+            ForecastWindow {
+                generation: 0.0,
+                load: 0.8,
+                sell_price: 110.0,
+                buy_price: 118.0,
+            },
         ];
-        let sp = StorageSpec { capacity: 3.0, max_rate: 1.5, initial_soc: 1.5 };
+        let sp = StorageSpec {
+            capacity: 3.0,
+            max_rate: 1.5,
+            initial_soc: 1.5,
+        };
         let s = optimize(&forecast, &sp, 61);
         let replayed = evaluate(&forecast, &s.flows);
         assert!(
@@ -248,10 +291,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity")]
     fn rejects_degenerate_spec() {
-        optimize(&flat(0.0, 0.0, 100.0, 100.0, 2), &StorageSpec {
-            capacity: 0.0,
-            max_rate: 1.0,
-            initial_soc: 0.0,
-        }, 10);
+        optimize(
+            &flat(0.0, 0.0, 100.0, 100.0, 2),
+            &StorageSpec {
+                capacity: 0.0,
+                max_rate: 1.0,
+                initial_soc: 0.0,
+            },
+            10,
+        );
     }
 }

@@ -1,19 +1,18 @@
 //! Property-based tests for the market model's invariants.
 
 use pem_market::{
-    allocate, bought_by, coalition_cost_at_price, load_deviation, optimal_load,
-    optimal_price, optimal_price_unclamped, sold_by, AgentId, AgentWindow, MarketEngine,
-    MarketKind, PriceBand,
+    allocate, bought_by, coalition_cost_at_price, load_deviation, optimal_load, optimal_price,
+    optimal_price_unclamped, sold_by, AgentId, AgentWindow, MarketEngine, MarketKind, PriceBand,
 };
 use proptest::prelude::*;
 
 fn arb_agent(id: usize) -> impl Strategy<Value = AgentWindow> {
     (
-        0.0f64..10.0,   // generation
-        0.0f64..10.0,   // load
-        -2.0f64..2.0,   // battery
-        0.5f64..0.99,   // battery loss
-        5.0f64..50.0,   // preference
+        0.0f64..10.0, // generation
+        0.0f64..10.0, // load
+        -2.0f64..2.0, // battery
+        0.5f64..0.99, // battery loss
+        5.0f64..50.0, // preference
     )
         .prop_map(move |(g, l, b, eps, k)| AgentWindow::new(id, g, l, b, eps, k))
 }

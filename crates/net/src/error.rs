@@ -55,7 +55,10 @@ impl fmt::Display for NetError {
                 write!(f, "expected message {expected:?}, mailbox head is {got:?}")
             }
             NetError::Empty { party, expected } => {
-                write!(f, "party {party} expected {expected:?} but mailbox is empty")
+                write!(
+                    f,
+                    "party {party} expected {expected:?} but mailbox is empty"
+                )
             }
             NetError::Decode { offset, what } => {
                 write!(f, "failed to decode {what} at byte {offset}")
@@ -73,11 +76,17 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(NetError::UnknownParty { party: 9, parties: 3 }
-            .to_string()
-            .contains("9"));
-        assert!(NetError::Empty { party: 1, expected: "x" }
-            .to_string()
-            .contains("\"x\""));
+        assert!(NetError::UnknownParty {
+            party: 9,
+            parties: 3
+        }
+        .to_string()
+        .contains("9"));
+        assert!(NetError::Empty {
+            party: 1,
+            expected: "x"
+        }
+        .to_string()
+        .contains("\"x\""));
     }
 }

@@ -90,20 +90,23 @@ mod tests {
 
     #[test]
     fn drop_loses_message() {
-        let mut net = SimNetwork::new(2)
-            .with_faults(FaultPlan::new().inject("m", 0, FaultKind::Drop));
-        net.send(PartyId(0), PartyId(1), "m", vec![1, 2, 3]).expect("send");
+        let mut net =
+            SimNetwork::new(2).with_faults(FaultPlan::new().inject("m", 0, FaultKind::Drop));
+        net.send(PartyId(0), PartyId(1), "m", vec![1, 2, 3])
+            .expect("send");
         assert!(net.recv(PartyId(1)).is_none(), "message must be dropped");
         // Later messages flow normally.
-        net.send(PartyId(0), PartyId(1), "m", vec![4]).expect("send");
+        net.send(PartyId(0), PartyId(1), "m", vec![4])
+            .expect("send");
         assert_eq!(net.recv(PartyId(1)).expect("delivered").payload, vec![4]);
     }
 
     #[test]
     fn duplicate_delivers_twice() {
-        let mut net = SimNetwork::new(2)
-            .with_faults(FaultPlan::new().inject("m", 0, FaultKind::Duplicate));
-        net.send(PartyId(0), PartyId(1), "m", vec![7]).expect("send");
+        let mut net =
+            SimNetwork::new(2).with_faults(FaultPlan::new().inject("m", 0, FaultKind::Duplicate));
+        net.send(PartyId(0), PartyId(1), "m", vec![7])
+            .expect("send");
         assert_eq!(net.recv(PartyId(1)).expect("first").payload, vec![7]);
         assert_eq!(net.recv(PartyId(1)).expect("second").payload, vec![7]);
         assert!(net.recv(PartyId(1)).is_none());
@@ -111,18 +114,20 @@ mod tests {
 
     #[test]
     fn corrupt_flips_a_byte() {
-        let mut net = SimNetwork::new(2)
-            .with_faults(FaultPlan::new().inject("m", 0, FaultKind::Corrupt));
-        net.send(PartyId(0), PartyId(1), "m", vec![0, 0, 0]).expect("send");
+        let mut net =
+            SimNetwork::new(2).with_faults(FaultPlan::new().inject("m", 0, FaultKind::Corrupt));
+        net.send(PartyId(0), PartyId(1), "m", vec![0, 0, 0])
+            .expect("send");
         let env = net.recv(PartyId(1)).expect("delivered");
         assert_eq!(env.payload, vec![0, 1, 0]);
     }
 
     #[test]
     fn truncate_halves_payload() {
-        let mut net = SimNetwork::new(2)
-            .with_faults(FaultPlan::new().inject("m", 0, FaultKind::Truncate));
-        net.send(PartyId(0), PartyId(1), "m", vec![1, 2, 3, 4]).expect("send");
+        let mut net =
+            SimNetwork::new(2).with_faults(FaultPlan::new().inject("m", 0, FaultKind::Truncate));
+        net.send(PartyId(0), PartyId(1), "m", vec![1, 2, 3, 4])
+            .expect("send");
         assert_eq!(net.recv(PartyId(1)).expect("delivered").payload, vec![1, 2]);
     }
 }

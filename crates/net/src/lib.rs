@@ -34,9 +34,9 @@
 
 mod error;
 pub mod fault;
+pub mod runtime;
 mod sim;
 mod stats;
-pub mod runtime;
 pub mod wire;
 
 pub use error::NetError;

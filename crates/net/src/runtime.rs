@@ -218,8 +218,10 @@ mod tests {
         });
 
         let mut sim = crate::SimNetwork::new(3);
-        sim.send(PartyId(0), PartyId(1), "m", vec![0; 10]).expect("send");
-        sim.send(PartyId(0), PartyId(2), "m", vec![0; 20]).expect("send");
+        sim.send(PartyId(0), PartyId(1), "m", vec![0; 10])
+            .expect("send");
+        sim.send(PartyId(0), PartyId(2), "m", vec![0; 20])
+            .expect("send");
         sim.recv(PartyId(1)).expect("deliver");
         sim.recv(PartyId(2)).expect("deliver");
 

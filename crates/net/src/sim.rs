@@ -229,8 +229,10 @@ mod tests {
     #[test]
     fn send_and_recv_fifo() {
         let mut net = SimNetwork::new(2);
-        net.send(PartyId(0), PartyId(1), "a", vec![1]).expect("send");
-        net.send(PartyId(0), PartyId(1), "b", vec![2, 3]).expect("send");
+        net.send(PartyId(0), PartyId(1), "a", vec![1])
+            .expect("send");
+        net.send(PartyId(0), PartyId(1), "b", vec![2, 3])
+            .expect("send");
         let first = net.recv(PartyId(1)).expect("first");
         assert_eq!((first.label, first.payload), ("a", vec![1]));
         let second = net.recv(PartyId(1)).expect("second");
@@ -254,7 +256,8 @@ mod tests {
     #[test]
     fn recv_expect_enforces_label() {
         let mut net = SimNetwork::new(2);
-        net.send(PartyId(0), PartyId(1), "right", vec![7]).expect("send");
+        net.send(PartyId(0), PartyId(1), "right", vec![7])
+            .expect("send");
         assert!(matches!(
             net.recv_expect(PartyId(1), "wrong"),
             Err(NetError::UnexpectedLabel { .. })
@@ -272,7 +275,8 @@ mod tests {
     #[test]
     fn broadcast_charges_per_recipient() {
         let mut net = SimNetwork::new(4);
-        net.broadcast(PartyId(1), "bc", &[0u8; 10]).expect("broadcast");
+        net.broadcast(PartyId(1), "bc", &[0u8; 10])
+            .expect("broadcast");
         assert_eq!(net.stats().total_messages, 3);
         assert_eq!(net.stats().total_bytes, 30);
         assert_eq!(net.stats().sent_bytes[1], 30);
@@ -285,7 +289,8 @@ mod tests {
     #[test]
     fn latency_clock_accumulates() {
         let mut net = SimNetwork::with_latency(2, LatencyModel::lan());
-        net.send(PartyId(0), PartyId(1), "x", vec![0u8; 2048]).expect("send");
+        net.send(PartyId(0), PartyId(1), "x", vec![0u8; 2048])
+            .expect("send");
         // 100 base + 8 * ceil(2048/1024) = 116.
         assert_eq!(net.simulated_latency_us(), 116);
         net.send(PartyId(1), PartyId(0), "y", vec![]).expect("send");
@@ -295,9 +300,12 @@ mod tests {
     #[test]
     fn label_accounting() {
         let mut net = SimNetwork::new(3);
-        net.send(PartyId(0), PartyId(1), "pricing", vec![0; 64]).expect("send");
-        net.send(PartyId(1), PartyId(2), "pricing", vec![0; 36]).expect("send");
-        net.send(PartyId(2), PartyId(0), "distribution", vec![0; 8]).expect("send");
+        net.send(PartyId(0), PartyId(1), "pricing", vec![0; 64])
+            .expect("send");
+        net.send(PartyId(1), PartyId(2), "pricing", vec![0; 36])
+            .expect("send");
+        net.send(PartyId(2), PartyId(0), "distribution", vec![0; 8])
+            .expect("send");
         let s = net.stats();
         assert_eq!(s.per_label["pricing"].bytes, 100);
         assert_eq!(s.per_label["pricing"].messages, 2);

@@ -80,6 +80,41 @@ impl NetStats {
         }
     }
 
+    /// Merges a smaller fabric's counters into this one, translating its
+    /// party ids through `map` (`map[local] = global`). This is how the
+    /// grid orchestrator folds per-coalition traffic into one
+    /// grid-global accounting surface: each coalition runs on its own
+    /// fabric with local ids `0..k`, while the grid tracks the full
+    /// population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` does not cover `other`'s parties or maps outside
+    /// this fabric.
+    pub fn merge_mapped(&mut self, other: &NetStats, map: &[usize]) {
+        assert_eq!(
+            map.len(),
+            other.sent_bytes.len(),
+            "map must cover every party of the merged fabric"
+        );
+        self.total_messages += other.total_messages;
+        self.total_bytes += other.total_bytes;
+        for (local, &global) in map.iter().enumerate() {
+            assert!(
+                global < self.sent_bytes.len(),
+                "mapped party {global} outside fabric of {}",
+                self.sent_bytes.len()
+            );
+            self.sent_bytes[global] += other.sent_bytes[local];
+            self.received_bytes[global] += other.received_bytes[local];
+        }
+        for (label, s) in &other.per_label {
+            let e = self.per_label.entry(label.clone()).or_default();
+            e.messages += s.messages;
+            e.bytes += s.bytes;
+        }
+    }
+
     /// Mean bytes sent+received per party (what Table I averages).
     pub fn mean_bytes_per_party(&self) -> f64 {
         if self.sent_bytes.is_empty() {
@@ -126,6 +161,31 @@ mod tests {
         assert_eq!(a.per_label["x"].bytes, 15);
         assert_eq!(a.per_label["y"].bytes, 7);
         assert_eq!(a.sent_bytes, vec![17, 5]);
+    }
+
+    #[test]
+    fn merge_mapped_translates_parties() {
+        // Coalition fabric of 2 parties mapping onto global ids {4, 1}.
+        let mut global = NetStats::new(6);
+        global.record(0, 5, "pre", 3);
+        let mut shard = NetStats::new(2);
+        shard.record(0, 1, "x", 10);
+        shard.record(1, 0, "y", 4);
+        global.merge_mapped(&shard, &[4, 1]);
+        assert_eq!(global.total_messages, 3);
+        assert_eq!(global.total_bytes, 17);
+        assert_eq!(global.sent_bytes, vec![3, 4, 0, 0, 10, 0]);
+        assert_eq!(global.received_bytes, vec![0, 10, 0, 0, 4, 3]);
+        assert_eq!(global.per_label["x"].bytes, 10);
+        assert_eq!(global.per_label["y"].messages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "map must cover")]
+    fn merge_mapped_rejects_short_map() {
+        let mut global = NetStats::new(4);
+        let shard = NetStats::new(3);
+        global.merge_mapped(&shard, &[0, 1]);
     }
 
     #[test]

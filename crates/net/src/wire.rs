@@ -252,7 +252,17 @@ mod tests {
 
     #[test]
     fn varint_boundaries() {
-        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut w = WireWriter::new();
             w.put_varint(v);
             let bytes = w.finish();

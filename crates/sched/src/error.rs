@@ -1,0 +1,49 @@
+//! Error type of the grid orchestrator.
+
+use std::fmt;
+
+use pem_core::PemError;
+use pem_ledger::LedgerError;
+
+/// Anything that can go wrong while orchestrating a grid.
+#[derive(Debug)]
+pub enum SchedError {
+    /// Invalid orchestrator configuration.
+    Config(String),
+    /// A coalition's PEM window failed.
+    Pem(PemError),
+    /// Settlement of a shard outcome was rejected by the contract.
+    Ledger(LedgerError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Config(msg) => write!(f, "grid configuration: {msg}"),
+            SchedError::Pem(e) => write!(f, "coalition window: {e}"),
+            SchedError::Ledger(e) => write!(f, "settlement: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Config(_) => None,
+            SchedError::Pem(e) => Some(e),
+            SchedError::Ledger(e) => Some(e),
+        }
+    }
+}
+
+impl From<PemError> for SchedError {
+    fn from(e: PemError) -> SchedError {
+        SchedError::Pem(e)
+    }
+}
+
+impl From<LedgerError> for SchedError {
+    fn from(e: LedgerError) -> SchedError {
+        SchedError::Ledger(e)
+    }
+}

@@ -1,0 +1,465 @@
+//! The grid orchestrator: sharded multi-coalition PEM windows on a
+//! fixed worker pool, settled onto one ledger.
+
+use pem_core::{Pem, PemConfig, PemError, PoolStats};
+use pem_ledger::{Ledger, SettlementContract, SettlementTx};
+use pem_market::{AgentWindow, MarketKind};
+use pem_net::NetStats;
+
+use crate::error::SchedError;
+use crate::partition::{PartitionStrategy, Partitioner, ShardPlan};
+use crate::pool;
+use crate::report::{
+    phase_latencies, GridDayReport, GridReport, PriceStats, SettlementSummary, ShardOutcome,
+};
+
+/// Configuration of a sharded grid.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Per-coalition protocol configuration. `pem.seed` is the grid
+    /// master seed; every coalition derives an independent stream from
+    /// it, so outcomes are deterministic at any worker count.
+    pub pem: PemConfig,
+    /// Maximum agents per coalition (the paper's evaluated regime is
+    /// tens to low hundreds; protocol cost grows superlinearly).
+    pub coalition_size: usize,
+    /// Worker threads running coalition windows (and key generation).
+    pub workers: usize,
+    /// Partitioning strategy.
+    pub strategy: PartitionStrategy,
+}
+
+impl GridConfig {
+    /// Validates grid-level constraints (per-coalition constraints are
+    /// validated by [`PemConfig::validate`] at shard construction).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Config`] describing the violation.
+    pub fn validate(&self) -> Result<(), SchedError> {
+        if self.coalition_size < 2 {
+            return Err(SchedError::Config(
+                "coalitions need at least 2 agents to trade".into(),
+            ));
+        }
+        if self.workers == 0 {
+            return Err(SchedError::Config("worker pool cannot be empty".into()));
+        }
+        if let PartitionStrategy::Feeder { feeders } = self.strategy {
+            if feeders == 0 {
+                return Err(SchedError::Config("feeder count cannot be zero".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One coalition's persistent state: membership plus its PEM instance
+/// (keys are generated once and reused across the day's windows).
+struct Shard {
+    members: Vec<usize>,
+    pem: Pem,
+}
+
+/// Derives coalition `shard`'s seed from the grid master seed.
+fn shard_seed(master: u64, shard: usize) -> u64 {
+    master ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1)
+}
+
+/// The sharded grid orchestrator.
+///
+/// Partitions the population once (on the first window), spins up one
+/// [`Pem`] per coalition, then runs every subsequent window by
+/// dispatching coalition jobs onto the worker pool and merging the
+/// results into a [`GridReport`] — traffic onto global party ids,
+/// trades onto the settlement chain, latencies into percentiles.
+///
+/// # Determinism
+///
+/// Given the same population stream and configuration (including
+/// `pem.seed`), every run produces bit-identical [`GridReport`]
+/// fingerprints regardless of `workers`: coalitions own disjoint RNG
+/// streams, randomizer pools are per-shard, and results are folded in
+/// shard order, never completion order.
+pub struct GridOrchestrator {
+    cfg: GridConfig,
+    partitioner: Box<dyn Partitioner + Send + Sync>,
+    shards: Option<Vec<Shard>>,
+    plan: Option<ShardPlan>,
+    ledger: Ledger,
+    population: Option<usize>,
+    window: u64,
+}
+
+impl GridOrchestrator {
+    /// Creates an orchestrator with the strategy named in the config.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Config`] for invalid grid parameters.
+    pub fn new(cfg: GridConfig) -> Result<GridOrchestrator, SchedError> {
+        cfg.validate()?;
+        let partitioner = cfg.strategy.build();
+        let contract = SettlementContract::new(cfg.pem.band);
+        Ok(GridOrchestrator {
+            partitioner,
+            ledger: Ledger::new(contract),
+            cfg,
+            shards: None,
+            plan: None,
+            population: None,
+            window: 0,
+        })
+    }
+
+    /// Replaces the partitioner with a custom strategy (before the first
+    /// window; afterwards membership is fixed with the key material).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Config`] if shards already exist.
+    pub fn with_partitioner(
+        mut self,
+        partitioner: Box<dyn Partitioner + Send + Sync>,
+    ) -> Result<GridOrchestrator, SchedError> {
+        if self.shards.is_some() {
+            return Err(SchedError::Config(
+                "cannot change partitioner after shards were formed".into(),
+            ));
+        }
+        self.partitioner = partitioner;
+        Ok(self)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GridConfig {
+        &self.cfg
+    }
+
+    /// The shard plan, once the first window has fixed it.
+    pub fn plan(&self) -> Option<&ShardPlan> {
+        self.plan.as_ref()
+    }
+
+    /// The settlement chain.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Windows run so far.
+    pub fn windows_run(&self) -> u64 {
+        self.window
+    }
+
+    /// Forms coalitions and generates key material for `population`
+    /// agents (runs keygen for all coalitions on the worker pool). Called
+    /// implicitly by the first window; explicit calls let callers front-
+    /// load setup.
+    ///
+    /// # Errors
+    ///
+    /// Per-coalition configuration/key failures.
+    pub fn form_shards(&mut self, agents: &[AgentWindow]) -> Result<(), SchedError> {
+        if self.shards.is_some() {
+            return Ok(());
+        }
+        if agents.is_empty() {
+            return Err(SchedError::Config("population must be non-empty".into()));
+        }
+        let plan = self.partitioner.partition(agents, self.cfg.coalition_size);
+        let master = self.cfg.pem.seed;
+        let base_cfg = self.cfg.pem.clone();
+        let jobs: Vec<Vec<usize>> = plan.shards().to_vec();
+        let built: Vec<Result<Shard, PemError>> =
+            pool::run_indexed(self.cfg.workers, jobs, move |idx, members| {
+                let mut cfg = base_cfg.clone();
+                cfg.seed = shard_seed(master, idx);
+                let pem = Pem::new(cfg, members.len())?;
+                Ok(Shard { members, pem })
+            });
+        let mut shards = Vec::with_capacity(built.len());
+        for shard in built {
+            shards.push(shard?);
+        }
+        self.population = Some(agents.len());
+        self.plan = Some(plan);
+        self.shards = Some(shards);
+        Ok(())
+    }
+
+    /// Runs one grid-wide trading window over the whole population.
+    ///
+    /// # Errors
+    ///
+    /// Shard protocol failures or settlement-contract violations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population` length changes between windows (coalition
+    /// membership and keys are fixed after the first window).
+    pub fn run_window(&mut self, population: &[AgentWindow]) -> Result<GridReport, SchedError> {
+        self.form_shards(population)?;
+        let expected = self.population.expect("set by form_shards");
+        assert_eq!(
+            population.len(),
+            expected,
+            "population size changed between windows"
+        );
+
+        // --- Dispatch coalition windows onto the worker pool. ----------
+        let shards = self.shards.take().expect("formed above");
+        let jobs: Vec<(Shard, Vec<AgentWindow>)> = shards
+            .into_iter()
+            .map(|shard| {
+                let data: Vec<AgentWindow> = shard.members.iter().map(|&a| population[a]).collect();
+                (shard, data)
+            })
+            .collect();
+        let finished = pool::run_indexed(self.cfg.workers, jobs, |_, (mut shard, data)| {
+            let outcome = shard.pem.run_window(&data);
+            (shard, outcome)
+        });
+
+        // Reinstall shard state before error propagation so one failed
+        // window doesn't wedge the orchestrator.
+        let mut outcomes = Vec::with_capacity(finished.len());
+        let mut shards = Vec::with_capacity(finished.len());
+        for (shard, outcome) in finished {
+            shards.push(shard);
+            outcomes.push(outcome);
+        }
+        self.shards = Some(shards);
+        let outcomes: Vec<pem_core::PemWindowOutcome> =
+            outcomes.into_iter().collect::<Result<_, _>>()?;
+
+        self.fold_window(population.len(), outcomes)
+    }
+
+    /// Runs a whole day: one grid window per entry of `day`, then
+    /// validates the settlement chain end to end.
+    ///
+    /// # Errors
+    ///
+    /// The first window failure aborts the day.
+    pub fn run_day(&mut self, day: &[Vec<AgentWindow>]) -> Result<GridDayReport, SchedError> {
+        let mut windows = Vec::with_capacity(day.len());
+        for population in day {
+            windows.push(self.run_window(population)?);
+        }
+        let ledger_valid = self.ledger.validate().is_ok();
+        Ok(GridDayReport::fold(windows, ledger_valid))
+    }
+
+    /// Merges per-shard outcomes into the window's [`GridReport`].
+    fn fold_window(
+        &mut self,
+        agents: usize,
+        outcomes: Vec<pem_core::PemWindowOutcome>,
+    ) -> Result<GridReport, SchedError> {
+        let shards = self.shards.as_ref().expect("installed by run_window");
+        let window = self.window;
+        self.window += 1;
+
+        let mut net = NetStats::new(agents);
+        let mut cleared = 0.0;
+        let mut payments = 0.0;
+        let mut regimes = [0usize; 3];
+        let mut prices = Vec::new();
+        let mut blocks_appended = 0;
+
+        let shard_total = shards.len() as u64;
+        for (idx, (shard, outcome)) in shards.iter().zip(outcomes.iter()).enumerate() {
+            net.merge_mapped(&outcome.net, &shard.members);
+            cleared += outcome.trades.iter().map(|t| t.energy).sum::<f64>();
+            payments += outcome.trades.iter().map(|t| t.payment).sum::<f64>();
+            let regime = match outcome.kind {
+                MarketKind::General => 0,
+                MarketKind::Extreme => 1,
+                MarketKind::NoMarket => 2,
+            };
+            regimes[regime] += 1;
+            if outcome.kind != MarketKind::NoMarket {
+                prices.push(outcome.price);
+            }
+            // Trades already carry global agent ids (AgentWindow::id
+            // survives sharding); settle one block per trading shard.
+            // Dust below the chain's 1 µkWh resolution cannot be settled
+            // (the contract rejects zero-energy transactions) and is
+            // dropped here — at the default scale that is < 0.1 mWh per
+            // trade.
+            let txs: Vec<SettlementTx> = outcome
+                .trades
+                .iter()
+                .map(SettlementTx::from_trade)
+                .filter(|tx| tx.energy_ukwh > 0)
+                .collect();
+            if !txs.is_empty() {
+                // Block window ids encode (grid window, shard) as
+                // `window·S + shard + 1`: strictly increasing (the
+                // ledger's monotonicity rule) and recoverable — auditors
+                // map any settled block back to its grid window and
+                // coalition by divmod with the shard count.
+                let block_window = window * shard_total + idx as u64 + 1;
+                self.ledger
+                    .append_window(block_window, outcome.price, &txs)?;
+                blocks_appended += 1;
+            }
+        }
+
+        let outcome_refs: Vec<&pem_core::PemWindowOutcome> = outcomes.iter().collect();
+        let latency = phase_latencies(&outcome_refs);
+        let pool_stats =
+            shards
+                .iter()
+                .filter_map(|s| s.pem.pool_stats())
+                .fold(None::<PoolStats>, |acc, s| {
+                    let mut a = acc.unwrap_or_default();
+                    a.hits += s.hits;
+                    a.misses += s.misses;
+                    a.generated += s.generated;
+                    Some(a)
+                });
+
+        let tip_hash = self
+            .ledger
+            .blocks()
+            .last()
+            .expect("genesis always present")
+            .hash;
+        let shard_outcomes: Vec<ShardOutcome> = shards
+            .iter()
+            .zip(outcomes)
+            .enumerate()
+            .map(|(idx, (shard, outcome))| ShardOutcome {
+                shard: idx,
+                members: shard.members.clone(),
+                outcome,
+            })
+            .collect();
+
+        Ok(GridReport {
+            window,
+            agents,
+            shard_outcomes,
+            cleared_kwh: cleared,
+            payments_cents: payments,
+            regime_counts: regimes,
+            prices: PriceStats::from_prices(&prices),
+            net,
+            latency,
+            settlement: SettlementSummary {
+                blocks_appended,
+                chain_blocks: self.ledger.blocks().len(),
+                tip_hash,
+            },
+            pool: pool_stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population(n: usize) -> Vec<AgentWindow> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    AgentWindow::new(
+                        i,
+                        2.0 + (i % 5) as f64 * 0.3,
+                        0.5,
+                        0.0,
+                        0.9,
+                        22.0 + i as f64,
+                    )
+                } else {
+                    AgentWindow::new(i, 0.0, 1.5 + (i % 3) as f64 * 0.5, 0.0, 0.9, 25.0)
+                }
+            })
+            .collect()
+    }
+
+    fn config(workers: usize) -> GridConfig {
+        GridConfig {
+            pem: PemConfig::fast_test().with_randomizer_pool(4),
+            coalition_size: 6,
+            workers,
+            strategy: PartitionStrategy::SurplusBalanced,
+        }
+    }
+
+    #[test]
+    fn grid_window_covers_population_and_settles() {
+        let pop = population(20);
+        let mut grid = GridOrchestrator::new(config(2)).expect("grid");
+        let report = grid.run_window(&pop).expect("window");
+        assert_eq!(report.agents, 20);
+        assert_eq!(report.shard_outcomes.len(), 4);
+        assert!(report.cleared_kwh > 0.0);
+        assert!(report.payments_cents > 0.0);
+        assert!(report.net.total_bytes > 0);
+        assert_eq!(report.net.sent_bytes.len(), 20);
+        assert!(report.settlement.blocks_appended > 0);
+        assert!(grid.ledger().validate().is_ok());
+        let pool = report.pool.expect("pools enabled");
+        assert!(pool.hits > 0);
+        // Prices live inside the band for every trading shard.
+        assert!(report.prices.min >= grid.config().pem.band.floor);
+        assert!(report.prices.max <= grid.config().pem.band.ceiling);
+    }
+
+    #[test]
+    fn day_settles_every_window_and_validates() {
+        let day: Vec<Vec<AgentWindow>> = (0..3).map(|_| population(12)).collect();
+        let mut grid = GridOrchestrator::new(config(3)).expect("grid");
+        let report = grid.run_day(&day).expect("day");
+        assert_eq!(report.windows.len(), 3);
+        assert!(report.ledger_valid);
+        assert!(report.cleared_kwh > 0.0);
+        assert_eq!(
+            grid.ledger().settled_windows(),
+            report
+                .windows
+                .iter()
+                .map(|w| w.settlement.blocks_appended)
+                .sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn membership_is_stable_across_windows() {
+        let pop = population(12);
+        let mut grid = GridOrchestrator::new(config(2)).expect("grid");
+        let r1 = grid.run_window(&pop).expect("w1");
+        let r2 = grid.run_window(&pop).expect("w2");
+        for (a, b) in r1.shard_outcomes.iter().zip(r2.shard_outcomes.iter()) {
+            assert_eq!(a.members, b.members);
+        }
+        assert_eq!(grid.windows_run(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut cfg = config(1);
+        cfg.coalition_size = 1;
+        assert!(matches!(
+            GridOrchestrator::new(cfg),
+            Err(SchedError::Config(_))
+        ));
+        let mut cfg = config(1);
+        cfg.workers = 0;
+        assert!(GridOrchestrator::new(cfg).is_err());
+        let mut cfg = config(1);
+        cfg.strategy = PartitionStrategy::Feeder { feeders: 0 };
+        assert!(GridOrchestrator::new(cfg).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "population size changed")]
+    fn population_resize_panics() {
+        let mut grid = GridOrchestrator::new(config(1)).expect("grid");
+        grid.run_window(&population(8)).expect("w1");
+        let _ = grid.run_window(&population(10));
+    }
+}

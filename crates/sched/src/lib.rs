@@ -1,0 +1,68 @@
+//! **`pem-sched`** — the sharded multi-coalition grid orchestrator.
+//!
+//! The ICDCS 2020 paper evaluates PEM on one coalition per trading
+//! window; this crate is the subsystem that scales the same protocols to
+//! grid-sized populations:
+//!
+//! * [`partition`] — pluggable [`Partitioner`] strategies carve the
+//!   population into bounded coalitions (round-robin, feeder-topology
+//!   locality, surplus-balanced serpentine dealing),
+//! * [`pool`] — a fixed worker pool with deterministic result ordering:
+//!   the same seed yields bit-identical grids at 1, 4 or 64 workers,
+//! * per-coalition [`pem_core::Pem`] instances with batched Paillier
+//!   randomizer pools ([`pem_core::randpool`]) amortizing the encryption
+//!   hot path between windows,
+//! * [`GridOrchestrator`] — dispatches coalition windows, merges traffic
+//!   onto grid-global party ids ([`pem_net::NetStats::merge_mapped`]),
+//!   folds prices into cross-shard dispersion and latencies into
+//!   percentiles, and settles every trading coalition's trades onto one
+//!   hash-chained [`pem_ledger::Ledger`].
+//!
+//! # Example
+//!
+//! ```
+//! use pem_core::PemConfig;
+//! use pem_market::AgentWindow;
+//! use pem_sched::{GridConfig, GridOrchestrator, PartitionStrategy};
+//!
+//! // 12 agents, coalitions of at most 4, two workers.
+//! let population: Vec<AgentWindow> = (0..12)
+//!     .map(|i| {
+//!         if i % 2 == 0 {
+//!             AgentWindow::new(i, 3.0, 0.5, 0.0, 0.9, 25.0)
+//!         } else {
+//!             AgentWindow::new(i, 0.0, 2.0, 0.0, 0.9, 28.0)
+//!         }
+//!     })
+//!     .collect();
+//! let mut grid = GridOrchestrator::new(GridConfig {
+//!     pem: PemConfig::fast_test().with_randomizer_pool(4),
+//!     coalition_size: 4,
+//!     workers: 2,
+//!     strategy: PartitionStrategy::SurplusBalanced,
+//! })?;
+//! let report = grid.run_window(&population)?;
+//! assert_eq!(report.shard_outcomes.len(), 3);
+//! assert!(report.cleared_kwh > 0.0);
+//! assert!(grid.ledger().validate().is_ok());
+//! # Ok::<(), pem_sched::SchedError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod grid;
+pub mod partition;
+pub mod pool;
+mod report;
+
+pub use error::SchedError;
+pub use grid::{GridConfig, GridOrchestrator};
+pub use partition::{
+    FeederTopology, PartitionStrategy, Partitioner, RoundRobin, ShardPlan, SurplusBalanced,
+};
+pub use report::{
+    GridDayReport, GridReport, LatencyPercentiles, PhaseLatencies, PriceStats, SettlementSummary,
+    ShardOutcome,
+};

@@ -1,0 +1,310 @@
+//! Grid-level reporting: what a sharded trading window produced.
+
+use pem_core::{PemWindowOutcome, PoolStats};
+use pem_crypto::sha256;
+use pem_market::MarketKind;
+use pem_net::NetStats;
+
+/// One coalition's contribution to a grid window.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Shard index within the plan.
+    pub shard: usize,
+    /// Global agent indices of the coalition members.
+    pub members: Vec<usize>,
+    /// The coalition's PEM window outcome (trades already carry global
+    /// agent ids via `AgentWindow::id`).
+    pub outcome: PemWindowOutcome,
+}
+
+/// Dispersion of clearing prices across the trading coalitions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PriceStats {
+    /// Coalitions that actually traded (general or extreme regime).
+    pub trading_shards: usize,
+    /// Lowest clearing price.
+    pub min: f64,
+    /// Highest clearing price.
+    pub max: f64,
+    /// Mean clearing price.
+    pub mean: f64,
+    /// Population standard deviation of clearing prices — the
+    /// cross-shard price-dispersion figure.
+    pub stddev: f64,
+}
+
+impl PriceStats {
+    /// Computes dispersion over the prices of trading shards.
+    pub fn from_prices(prices: &[f64]) -> PriceStats {
+        if prices.is_empty() {
+            return PriceStats::default();
+        }
+        let n = prices.len() as f64;
+        let mean = prices.iter().sum::<f64>() / n;
+        let var = prices.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n;
+        PriceStats {
+            trading_shards: prices.len(),
+            min: prices.iter().copied().fold(f64::INFINITY, f64::min),
+            max: prices.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean,
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+/// Nearest-rank percentiles over per-shard phase latencies (µs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyPercentiles {
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Slowest shard — the window's critical path.
+    pub max_us: u64,
+}
+
+impl LatencyPercentiles {
+    /// Computes percentiles from unsorted per-shard samples.
+    pub fn from_samples(samples: &[u64]) -> LatencyPercentiles {
+        if samples.is_empty() {
+            return LatencyPercentiles::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        LatencyPercentiles {
+            p50_us: nearest_rank(&sorted, 0.50),
+            p90_us: nearest_rank(&sorted, 0.90),
+            p99_us: nearest_rank(&sorted, 0.99),
+            max_us: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Per-phase latency percentiles across the window's coalitions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseLatencies {
+    /// Protocol 2 (Private Market Evaluation).
+    pub evaluation: LatencyPercentiles,
+    /// Protocol 3 (Private Pricing).
+    pub pricing: LatencyPercentiles,
+    /// Protocol 4 (Private Distribution).
+    pub distribution: LatencyPercentiles,
+    /// Whole coalition windows.
+    pub total: LatencyPercentiles,
+}
+
+/// What landed on the settlement chain for this window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SettlementSummary {
+    /// Blocks appended by this window (one per trading shard).
+    pub blocks_appended: usize,
+    /// Chain length afterwards (including genesis).
+    pub chain_blocks: usize,
+    /// Hash of the chain tip after settlement.
+    pub tip_hash: [u8; 32],
+}
+
+/// Everything one sharded grid window produced.
+#[derive(Debug, Clone)]
+pub struct GridReport {
+    /// Grid window index (0-based, monotonically increasing).
+    pub window: u64,
+    /// Population size.
+    pub agents: usize,
+    /// Per-coalition outcomes, in shard order.
+    pub shard_outcomes: Vec<ShardOutcome>,
+    /// Total energy cleared peer-to-peer (kWh).
+    pub cleared_kwh: f64,
+    /// Total payments settled (cents).
+    pub payments_cents: f64,
+    /// Shard counts per regime: `[general, extreme, no-market]`.
+    pub regime_counts: [usize; 3],
+    /// Cross-shard price dispersion.
+    pub prices: PriceStats,
+    /// Grid-global traffic (shard fabrics merged onto global party ids).
+    pub net: NetStats,
+    /// Latency percentiles across shards.
+    pub latency: PhaseLatencies,
+    /// Settlement-chain effects of this window.
+    pub settlement: SettlementSummary,
+    /// Randomizer-pool activity of *this window alone* (deltas, not
+    /// lifetime totals), summed across the coalitions' pools; `None`
+    /// when pools are disabled.
+    pub pool: Option<PoolStats>,
+}
+
+impl GridReport {
+    /// Canonical digest of everything *deterministic* in the report:
+    /// shard membership, regimes, prices, trades, traffic totals and the
+    /// settlement tip. Two runs of the same population + seed must
+    /// produce identical fingerprints regardless of worker count;
+    /// latencies and pool hit counters are deliberately excluded.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        let mut buf = Vec::with_capacity(64 + self.shard_outcomes.len() * 64);
+        buf.extend_from_slice(b"pem-grid-report-v1");
+        buf.extend_from_slice(&self.window.to_be_bytes());
+        buf.extend_from_slice(&(self.agents as u64).to_be_bytes());
+        for so in &self.shard_outcomes {
+            buf.extend_from_slice(&(so.shard as u64).to_be_bytes());
+            buf.extend_from_slice(&(so.members.len() as u64).to_be_bytes());
+            for &m in &so.members {
+                buf.extend_from_slice(&(m as u64).to_be_bytes());
+            }
+            buf.push(match so.outcome.kind {
+                MarketKind::General => 0,
+                MarketKind::Extreme => 1,
+                MarketKind::NoMarket => 2,
+            });
+            buf.extend_from_slice(&so.outcome.price.to_bits().to_be_bytes());
+            buf.extend_from_slice(&(so.outcome.trades.len() as u64).to_be_bytes());
+            for t in &so.outcome.trades {
+                buf.extend_from_slice(&(t.seller.0 as u64).to_be_bytes());
+                buf.extend_from_slice(&(t.buyer.0 as u64).to_be_bytes());
+                buf.extend_from_slice(&t.energy.to_bits().to_be_bytes());
+                buf.extend_from_slice(&t.payment.to_bits().to_be_bytes());
+            }
+            // The sanctioned disclosure surface is seed-dependent (nonce
+            // masses, ratio quantization); folding it in makes the
+            // fingerprint sensitive to the crypto streams as well.
+            // Options get a presence byte and the ratio list a length
+            // prefix so the serialization stays injective.
+            let rev = &so.outcome.revealed;
+            for masked in [rev.masked_demand, rev.masked_supply] {
+                match masked {
+                    Some(v) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&v.to_be_bytes());
+                    }
+                    None => buf.push(0),
+                }
+            }
+            buf.extend_from_slice(&(rev.allocation_ratios.len() as u64).to_be_bytes());
+            for r in &rev.allocation_ratios {
+                buf.extend_from_slice(&r.to_bits().to_be_bytes());
+            }
+        }
+        buf.extend_from_slice(&self.net.total_bytes.to_be_bytes());
+        buf.extend_from_slice(&self.net.total_messages.to_be_bytes());
+        buf.extend_from_slice(&self.settlement.tip_hash);
+        sha256(&buf)
+    }
+}
+
+/// Aggregates over a sequence of grid windows (a trading day).
+#[derive(Debug, Clone)]
+pub struct GridDayReport {
+    /// One report per window, in order.
+    pub windows: Vec<GridReport>,
+    /// Total energy cleared across the day (kWh).
+    pub cleared_kwh: f64,
+    /// Total payments settled (cents).
+    pub payments_cents: f64,
+    /// Total protocol bytes across the day.
+    pub total_bytes: u64,
+    /// Total protocol messages across the day.
+    pub total_messages: u64,
+    /// `true` if the settlement chain validated end-to-end afterwards.
+    pub ledger_valid: bool,
+    /// Day-total randomizer-pool counters (sum of per-window deltas).
+    pub pool: Option<PoolStats>,
+}
+
+impl GridDayReport {
+    /// Folds per-window reports plus the final chain validation verdict.
+    pub fn fold(windows: Vec<GridReport>, ledger_valid: bool) -> GridDayReport {
+        let mut day = GridDayReport {
+            cleared_kwh: 0.0,
+            payments_cents: 0.0,
+            total_bytes: 0,
+            total_messages: 0,
+            ledger_valid,
+            pool: None,
+            windows: Vec::new(),
+        };
+        for w in &windows {
+            day.cleared_kwh += w.cleared_kwh;
+            day.payments_cents += w.payments_cents;
+            day.total_bytes += w.net.total_bytes;
+            day.total_messages += w.net.total_messages;
+            if let Some(p) = w.pool {
+                let d = day.pool.get_or_insert_with(PoolStats::default);
+                d.hits += p.hits;
+                d.misses += p.misses;
+                d.generated += p.generated;
+            }
+        }
+        day.windows = windows;
+        day
+    }
+}
+
+/// Extracts `(outcome, phase)` latencies in µs for percentile folding.
+pub(crate) fn phase_latencies(outcomes: &[&PemWindowOutcome]) -> PhaseLatencies {
+    let us = |d: std::time::Duration| d.as_micros() as u64;
+    let eval: Vec<u64> = outcomes
+        .iter()
+        .map(|o| us(o.metrics.market_evaluation.elapsed))
+        .collect();
+    let pricing: Vec<u64> = outcomes
+        .iter()
+        .map(|o| us(o.metrics.pricing.elapsed))
+        .collect();
+    let dist: Vec<u64> = outcomes
+        .iter()
+        .map(|o| us(o.metrics.distribution.elapsed))
+        .collect();
+    let total: Vec<u64> = outcomes
+        .iter()
+        .map(|o| us(o.metrics.total_elapsed()))
+        .collect();
+    PhaseLatencies {
+        evaluation: LatencyPercentiles::from_samples(&eval),
+        pricing: LatencyPercentiles::from_samples(&pricing),
+        distribution: LatencyPercentiles::from_samples(&dist),
+        total: LatencyPercentiles::from_samples(&total),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_stats_dispersion() {
+        let s = PriceStats::from_prices(&[100.0, 102.0, 98.0, 100.0]);
+        assert_eq!(s.trading_shards, 4);
+        assert_eq!(s.min, 98.0);
+        assert_eq!(s.max, 102.0);
+        assert!((s.mean - 100.0).abs() < 1e-12);
+        assert!((s.stddev - (2.0f64).sqrt()).abs() < 1e-9);
+        assert_eq!(PriceStats::from_prices(&[]), PriceStats::default());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let p = LatencyPercentiles::from_samples(&samples);
+        assert_eq!(p.p50_us, 50);
+        assert_eq!(p.p90_us, 90);
+        assert_eq!(p.p99_us, 99);
+        assert_eq!(p.max_us, 100);
+        let single = LatencyPercentiles::from_samples(&[7]);
+        assert_eq!(
+            (single.p50_us, single.p90_us, single.p99_us, single.max_us),
+            (7, 7, 7, 7)
+        );
+        assert_eq!(
+            LatencyPercentiles::from_samples(&[]),
+            LatencyPercentiles::default()
+        );
+    }
+}

@@ -52,12 +52,18 @@ fn main() {
     let sellers: Vec<AgentWindow> = (0..5).map(|i| seller(i, 5.0 + i as f64, 25.0)).collect();
     let p = optimal_price(&sellers, &band);
     println!("truthful clamped price with the paper band: {p:.2} ¢/kWh\n");
-    println!("{:>8} {:>14} {:>14} {:>10}", "alpha", "price(truth)", "price(lie)", "gain");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "alpha", "price(truth)", "price(lie)", "gain"
+    );
     for alpha in [1.0, 1.5, 2.0, 4.0] {
         let r = misreport_preference(&sellers, 0, alpha, &band);
         println!(
             "{:>8.1} {:>14.2} {:>14.2} {:>10.4}",
-            alpha, r.truthful_price, r.deviated_price, r.gain()
+            alpha,
+            r.truthful_price,
+            r.deviated_price,
+            r.gain()
         );
     }
     println!("→ the band clamp absorbs the lie: zero gain under the paper's prices\n");

@@ -1,0 +1,135 @@
+//! A grid-scale trading day: 1,000 smart homes partitioned into 30-odd
+//! coalitions, each running the full PEM protocol stack in parallel on a
+//! fixed worker pool, with batched Paillier randomizers and every trade
+//! settled onto one hash-chained ledger.
+//!
+//! ```text
+//! cargo run --release --example grid_day
+//! cargo run --release --example grid_day -- --homes 1000 --windows 4 \
+//!     --coalition 31 --workers 8 --strategy surplus --pool 8
+//! ```
+
+use std::time::Instant;
+
+use pem::core::PemConfig;
+use pem::data::{TraceConfig, TraceGenerator};
+use pem::sched::{GridConfig, GridOrchestrator, PartitionStrategy};
+
+/// `--flag value` lookup over `std::env::args` (no external deps).
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let homes: usize = arg("--homes", 1000);
+    let windows: usize = arg("--windows", 4).max(1);
+    let coalition: usize = arg("--coalition", 31);
+    let workers: usize = arg(
+        "--workers",
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    );
+    let pool: usize = arg("--pool", 64);
+    let strategy = match arg("--strategy", "surplus".to_string()).as_str() {
+        "round-robin" => PartitionStrategy::RoundRobin,
+        "feeder" => PartitionStrategy::Feeder { feeders: 8 },
+        _ => PartitionStrategy::SurplusBalanced,
+    };
+
+    println!("== PEM grid day ==");
+    println!("homes {homes} | windows {windows} | coalition ≤{coalition} | workers {workers} | randomizer pool {pool}/key");
+
+    // Midday trace windows: solar homes sell, the rest buy.
+    let trace = TraceGenerator::new(TraceConfig {
+        homes,
+        windows: 96,
+        seed: 2020,
+        ..TraceConfig::default()
+    })
+    .generate();
+    // Start mid-morning and wrap around the 96-window day so any
+    // --windows value works.
+    let day: Vec<_> = (0..windows)
+        .map(|w| trace.window_agents((40 + w * 2) % trace.window_count()))
+        .collect();
+
+    let mut grid = GridOrchestrator::new(GridConfig {
+        pem: PemConfig::fast_test().with_randomizer_pool(pool),
+        coalition_size: coalition,
+        workers,
+        strategy,
+    })
+    .expect("grid configuration");
+
+    // Front-load coalition formation + keygen (parallel on the pool).
+    let setup = Instant::now();
+    grid.form_shards(&day[0]).expect("shard formation");
+    let plan = grid.plan().expect("plan fixed");
+    println!(
+        "formed {} coalitions (largest {}) in {:.1}s",
+        plan.shard_count(),
+        plan.largest(),
+        setup.elapsed().as_secs_f64()
+    );
+
+    let start = Instant::now();
+    let report = grid.run_day(&day).expect("grid day");
+    let elapsed = start.elapsed().as_secs_f64();
+
+    println!("\nwindow  shards g/e/n  cleared kWh  price μ±σ [min,max]   p99 lat   blocks");
+    for w in &report.windows {
+        let p = &w.prices;
+        println!(
+            "{:>6}  {:>2}/{:>2}/{:>2}  {:>11.2}  {:>6.2}±{:<5.2} [{:>6.2},{:>6.2}]  {:>6}µs  {:>6}",
+            w.window,
+            w.regime_counts[0],
+            w.regime_counts[1],
+            w.regime_counts[2],
+            w.cleared_kwh,
+            p.mean,
+            p.stddev,
+            p.min,
+            p.max,
+            w.latency.total.p99_us,
+            w.settlement.blocks_appended,
+        );
+    }
+
+    let agents_windows = (homes * windows) as f64;
+    println!("\n== day totals ==");
+    println!("cleared energy     {:>12.2} kWh", report.cleared_kwh);
+    println!("settled payments   {:>12.2} ¢", report.payments_cents);
+    println!(
+        "protocol traffic   {:>12} bytes in {} messages",
+        report.total_bytes, report.total_messages
+    );
+    println!(
+        "bytes/agent/window {:>12.1}",
+        report.total_bytes as f64 / agents_windows
+    );
+    println!(
+        "throughput         {:>12.1} agent-windows/s",
+        agents_windows / elapsed
+    );
+    if let Some(pool) = report.pool {
+        println!(
+            "randomizer pool    {:>12.1}% hit rate ({} hits, {} misses)",
+            pool.hit_rate() * 100.0,
+            pool.hits,
+            pool.misses
+        );
+    }
+    println!(
+        "settlement chain   {:>12} blocks, valid: {}",
+        grid.ledger().blocks().len(),
+        report.ledger_valid
+    );
+    let tip = grid.ledger().blocks().last().expect("tip").hash;
+    let hex: String = tip.iter().map(|b| format!("{b:02x}")).collect();
+    println!("chain tip          {hex}");
+    println!("wall clock         {elapsed:>12.1} s");
+}

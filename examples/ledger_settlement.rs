@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Settling a trading day on the ledger ===\n");
     for w in 0..trace.window_count() {
         let outcome = pem.run_window(&trace.window_agents(w))?;
-        let txs: Vec<SettlementTx> = outcome.trades.iter().map(SettlementTx::from_trade).collect();
+        let txs: Vec<SettlementTx> = outcome
+            .trades
+            .iter()
+            .map(SettlementTx::from_trade)
+            .collect();
         if txs.is_empty() {
             continue; // nothing to settle this window
         }
@@ -47,15 +51,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nchain length    : {} blocks (+genesis)", ledger.settled_windows());
+    println!(
+        "\nchain length    : {} blocks (+genesis)",
+        ledger.settled_windows()
+    );
     println!("energy settled  : {:.2} kWh", ledger.total_energy());
     println!("money settled   : ${:.2}", ledger.total_payments() / 100.0);
     ledger.validate()?;
     println!("full validation : ok");
     println!(
         "conservation    : cash {} / energy {}",
-        if book.cash_is_conserved() { "ok" } else { "VIOLATED" },
-        if book.energy_is_conserved() { "ok" } else { "VIOLATED" },
+        if book.cash_is_conserved() {
+            "ok"
+        } else {
+            "VIOLATED"
+        },
+        if book.energy_is_conserved() {
+            "ok"
+        } else {
+            "VIOLATED"
+        },
     );
 
     // --- Tamper demonstration. -----------------------------------------
@@ -96,7 +111,7 @@ impl TamperDemo for Ledger {
         let b = &blocks[1];
         let mut txs = b.txs.clone();
         txs[0].energy_ukwh += 1_000_000; // +1 kWh
-        // The forger can produce a *locally* consistent block…
+                                         // The forger can produce a *locally* consistent block…
         forged.append_window(b.window, b.price(), &txs).ok();
         // …but every later block still commits to the honest history, so
         // chain validation over (forged block 1) + (honest tail) fails.

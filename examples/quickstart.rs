@@ -55,8 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nwhat actually left the devices (sanctioned disclosure):");
-    if let (Some(rb), Some(rs)) = (outcome.revealed.masked_demand, outcome.revealed.masked_supply)
-    {
+    if let (Some(rb), Some(rs)) = (
+        outcome.revealed.masked_demand,
+        outcome.revealed.masked_supply,
+    ) {
         println!("  H_r1 saw masked demand R_b = {rb} (nonce-blinded)");
         println!("  H_r2 saw masked supply R_s = {rs} (nonce-blinded)");
     }

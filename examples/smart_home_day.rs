@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })
     .generate();
 
-    println!("=== A day of distributed energy trading: {} homes ===\n", trace.home_count());
+    println!(
+        "=== A day of distributed energy trading: {} homes ===\n",
+        trace.home_count()
+    );
 
     // --- Market-layer sweep over the whole day. ------------------------
     let band = PriceBand::paper_defaults();
@@ -48,8 +51,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }] += 1;
     }
     let series = coalition_series(&trace);
-    println!("window regimes     : {} general / {} extreme / {} no-market", regimes[0], regimes[1], regimes[2]);
-    println!("peak seller group  : {} homes", series.sellers.iter().max().unwrap_or(&0));
+    println!(
+        "window regimes     : {} general / {} extreme / {} no-market",
+        regimes[0], regimes[1], regimes[2]
+    );
+    println!(
+        "peak seller group  : {} homes",
+        series.sellers.iter().max().unwrap_or(&0)
+    );
     println!("energy traded P2P  : {traded:.1} kWh");
     println!(
         "buyer spend        : ${:.2} with PEM vs ${:.2} grid-only  ({:.1}% saved)",
@@ -65,7 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Cryptographic verification on representative windows. ---------
     println!("\nrunning the full MPC stack on three representative windows:");
     let mut pem = Pem::new(PemConfig::fast_test(), trace.home_count())?;
-    for (name, w) in [("morning", 6), ("noon", trace.window_count() / 2), ("evening", trace.window_count() - 6)] {
+    for (name, w) in [
+        ("morning", 6),
+        ("noon", trace.window_count() / 2),
+        ("evening", trace.window_count() - 6),
+    ] {
         let agents = trace.window_agents(w);
         let secure = pem.run_window(&agents)?;
         let clear = engine.run_window(&agents);

@@ -40,7 +40,11 @@ fn main() {
             load,
             // Surplus sells at the market price (or feed-in when there is
             // no market); deficit buys at retail.
-            sell_price: if o.trades.is_empty() { band.grid_feed_in } else { o.price },
+            sell_price: if o.trades.is_empty() {
+                band.grid_feed_in
+            } else {
+                o.price
+            },
             buy_price: band.grid_retail,
         });
     }

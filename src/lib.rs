@@ -19,6 +19,7 @@
 //! | [`net`] | `pem-net` | simulated byte-metered network, wire codec, threaded runtime |
 //! | [`core`] | `pem-core` | Protocols 1–4: the Private Energy Market itself |
 //! | [`ledger`] | `pem-ledger` | hash-chained settlement ledger (§VI blockchain extension) |
+//! | [`sched`] | `pem-sched` | sharded multi-coalition grid orchestrator (bounded coalitions, worker pool, batched crypto) |
 //!
 //! # Quickstart
 //!
@@ -52,3 +53,4 @@ pub use pem_data as data;
 pub use pem_ledger as ledger;
 pub use pem_market as market;
 pub use pem_net as net;
+pub use pem_sched as sched;

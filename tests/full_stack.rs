@@ -95,7 +95,11 @@ fn market_regimes_follow_the_sun() {
     let engine = MarketEngine::new(PriceBand::paper_defaults());
 
     let first = engine.run_window(&trace.window_agents(0));
-    assert_ne!(first.kind, MarketKind::Extreme, "7:00 cannot be supply-rich");
+    assert_ne!(
+        first.kind,
+        MarketKind::Extreme,
+        "7:00 cannot be supply-rich"
+    );
 
     let mut extremes = 0;
     for w in 0..trace.window_count() {

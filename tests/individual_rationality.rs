@@ -102,5 +102,9 @@ fn coalition_savings_add_up_across_the_day() {
     let saving = 1.0 - with_pem / without;
     // The paper reports ~25% average reduction for its traces; the exact
     // figure depends on supply availability, but it must be material.
-    assert!(saving > 0.02, "day-level saving only {:.2}%", saving * 100.0);
+    assert!(
+        saving > 0.02,
+        "day-level saving only {:.2}%",
+        saving * 100.0
+    );
 }

@@ -1,0 +1,94 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! Only the [`BytesMut`] growable buffer and the [`BufMut`] write trait
+//! subset used by the PEM wire codec are provided, implemented over
+//! `Vec<u8>`.
+
+#![forbid(unsafe_code)]
+
+/// A growable byte buffer (Vec-backed subset of upstream `BytesMut`).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.inner
+    }
+}
+
+/// Types that accept appended bytes (subset of upstream `BufMut`).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_accumulate() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_u64(0x0203_0405_0607_0809);
+        b.put_slice(&[0xAA, 0xBB]);
+        assert_eq!(b.len(), 11);
+        assert!(!b.is_empty());
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 0xAA, 0xBB]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API the workspace benches compile against —
+//! [`Criterion`], [`BenchmarkId`], `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `criterion_group!` / `criterion_main!` — with a
+//! simple measure-and-print runner: each benchmark is warmed up once and
+//! timed over a fixed iteration budget, reporting mean ns/iter to stdout.
+//! No statistics, plotting, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn run_one(label: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b); // warm-up single pass
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_nanos() / u128::from(iters.max(1));
+    println!("bench {label:<48} {per_iter:>12} ns/iter ({iters} iters)");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Lowers the iteration budget for expensive benchmarks (mirrors
+    /// upstream's sample-count control).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Runs `f` as `group_name/name`.
+    pub fn bench_function<N: fmt::Display, F: FnMut(&mut Bencher)>(&mut self, name: N, mut f: F) {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.iters, &mut f);
+    }
+
+    /// Runs `f` with a borrowed input as `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.iters, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; matches the upstream API).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Criterion {
+    fn effective_iters(&self) -> u64 {
+        if self.iters == 0 {
+            20
+        } else {
+            self.iters
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let iters = self.effective_iters();
+        BenchmarkGroup {
+            name: name.to_string(),
+            iters,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        run_one(name, self.effective_iters(), &mut f);
+    }
+}
+
+/// Declares a benchmark group function, upstream-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(42)));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,98 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by the
+//! PEM workspace (the threaded network fabric). This vendored version
+//! layers the crossbeam API over `std::sync::mpsc`, adding the `Sync`
+//! receiver sharing crossbeam provides via an internal mutex.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer channels (std-backed subset).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// An unbounded channel sender (cloneable).
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    /// An unbounded channel receiver (cloneable, mutex-shared).
+    #[derive(Debug, Clone)]
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when all senders have disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing if the channel is disconnected.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.inner.lock().expect("channel mutex poisoned");
+            guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `Ok(None)`-like behaviour is folded into
+        /// the error for simplicity of the subset.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let guard = self.inner.lock().expect("channel mutex poisoned");
+            guard.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(41u32).expect("send");
+            tx.send(1).expect("send");
+            assert_eq!(rx.recv().expect("recv") + rx.recv().expect("recv"), 42);
+        }
+
+        #[test]
+        fn disconnect_reported() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn works_across_threads() {
+            let (tx, rx) = unbounded();
+            let h = std::thread::spawn(move || tx.send(7u64).expect("send"));
+            assert_eq!(rx.recv().expect("recv"), 7);
+            h.join().expect("join");
+        }
+    }
+}

@@ -1,0 +1,693 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the PEM property suites use: the [`proptest!`]
+//! macro (with `#![proptest_config(...)]`), [`strategy::Strategy`] with
+//! `prop_map` / `prop_filter`, range and tuple strategies,
+//! [`arbitrary::any`], [`collection::vec`], [`sample::Index`],
+//! `prop_oneof!`, the `prop_assert*` / `prop_assume!` macros, and a tiny
+//! `[class]{m,n}` regex-string strategy.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the generated values left opaque), and generation streams are
+//! deterministic per test name rather than globally configurable.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Case-count configuration and the per-test deterministic RNG.
+
+    pub use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Subset of upstream `ProptestConfig`: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a test case did not complete.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case was rejected (filter miss or `prop_assume!` failure).
+        Reject,
+    }
+
+    /// Deterministic generation stream for one property.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from a test name (FNV-1a over the bytes).
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(h),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::{TestCaseError, TestRng};
+
+    /// A recipe for generating values of an associated type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value, or rejects the case.
+        ///
+        /// # Errors
+        ///
+        /// [`TestCaseError::Reject`] when a filter could not be satisfied.
+        fn gen_one(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `pred` (bounded retries).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+
+        /// Boxes the strategy (object-safe dispatch for `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A heap-allocated, dynamically dispatched strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn gen_one(&self, rng: &mut TestRng) -> Result<V, TestCaseError> {
+            (**self).gen_one(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_one(&self, rng: &mut TestRng) -> Result<O, TestCaseError> {
+            Ok((self.f)(self.inner.gen_one(rng)?))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn gen_one(&self, rng: &mut TestRng) -> Result<S::Value, TestCaseError> {
+            // Local retries keep whole-case rejection rare; fall back to a
+            // case-level Reject if the predicate is extremely selective.
+            for _ in 0..100 {
+                let v = self.inner.gen_one(rng)?;
+                if (self.pred)(&v) {
+                    return Ok(v);
+                }
+            }
+            let _ = self.whence;
+            Err(TestCaseError::Reject)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct OneOf<V> {
+        alts: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Builds from a non-empty list of alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `alts` is empty.
+        pub fn new(alts: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+            assert!(!alts.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { alts }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn gen_one(&self, rng: &mut TestRng) -> Result<V, TestCaseError> {
+            use rand::Rng;
+            let i = rng.rng.gen_range(0..self.alts.len());
+            self.alts[i].gen_one(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn gen_one(&self, _rng: &mut TestRng) -> Result<V, TestCaseError> {
+            Ok(self.0.clone())
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_one(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                    use rand::Rng;
+                    Ok(rng.rng.gen_range(self.clone()))
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_one(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                    use rand::Rng;
+                    Ok(rng.rng.gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen_one(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    Ok(($($name.gen_one(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    // A vector of strategies generates element-wise (upstream behaviour).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn gen_one(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+            self.iter().map(|s| s.gen_one(rng)).collect()
+        }
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_one(&self, rng: &mut TestRng) -> Result<String, TestCaseError> {
+            Ok(crate::string::gen_from_pattern(self, rng))
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — canonical strategies per type.
+
+    use std::marker::PhantomData;
+
+    use crate::test_runner::{TestCaseError, TestRng};
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one canonical value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T> {
+        marker: PhantomData<T>,
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            marker: PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> crate::strategy::Strategy for Any<T> {
+        type Value = T;
+        fn gen_one(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
+            Ok(T::arbitrary_value(rng))
+        }
+    }
+
+    macro_rules! impl_arbitrary_via_gen {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_via_gen!(u8, u16, u32, u64, usize, bool);
+
+    impl Arbitrary for i64 {
+        fn arbitrary_value(rng: &mut TestRng) -> i64 {
+            use rand::RngCore;
+            rng.rng.next_u64() as i64
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            // Arbitrary bit patterns: exercises infinities, NaNs and
+            // subnormals, like upstream's full f64 domain.
+            use rand::RngCore;
+            f64::from_bits(rng.rng.next_u64())
+        }
+    }
+}
+
+pub mod sample {
+    //! Random index selection into runtime-sized collections.
+
+    use crate::test_runner::TestRng;
+
+    /// An index drawn before the collection size is known.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Projects onto `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl crate::arbitrary::Arbitrary for Index {
+        fn arbitrary_value(rng: &mut TestRng) -> Index {
+            use rand::RngCore;
+            Index(rng.rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::{TestCaseError, TestRng};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with sizes in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_one(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, TestCaseError> {
+            use rand::Rng;
+            let len = rng.rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.gen_one(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! A tiny `[class]{m,n}` regex-string generator.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                    let body = &chars[i + 1..close];
+                    assert!(
+                        body.first() != Some(&'^'),
+                        "negated classes unsupported in vendored proptest: {pattern:?}"
+                    );
+                    let mut set = Vec::new();
+                    let mut j = 0;
+                    while j < body.len() {
+                        if j + 2 < body.len() && body[j + 1] == '-' {
+                            let (a, b) = (body[j], body[j + 2]);
+                            assert!(a <= b, "inverted range in {pattern:?}");
+                            for c in a..=b {
+                                set.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            set.push(body[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Atom::Class(set)
+                }
+                c => {
+                    assert!(
+                        !"(){}|*+?.\\^$".contains(c),
+                        "regex feature {c:?} unsupported in vendored proptest: {pattern:?}"
+                    );
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.parse().expect("repetition min"),
+                        b.parse().expect("repetition max"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Generates one string matching the supported pattern subset.
+    pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = rng.rng.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                        out.push(set[rng.rng.gen_range(0..set.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    //! Everything a property file conventionally glob-imports.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced access mirror (`prop::sample::Index`, …).
+    pub use crate as prop;
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < cfg.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= cfg.cases.saturating_mul(100).max(1000),
+                        "proptest stub: too many rejected cases"
+                    );
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(
+                                let $arg = match $crate::strategy::Strategy::gen_one(
+                                    &($strat),
+                                    &mut rng,
+                                ) {
+                                    ::core::result::Result::Ok(v) => v,
+                                    ::core::result::Result::Err(e) => {
+                                        return ::core::result::Result::Err(e)
+                                    }
+                                };
+                            )+
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => continue,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategy alternatives with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alt:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($alt)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 3u64..17, b in 0.5f64..2.0, c in 1usize..=4) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((0.5..2.0).contains(&b));
+            prop_assert!((1..=4).contains(&c));
+        }
+
+        #[test]
+        fn maps_and_filters_compose(v in (0u32..100).prop_map(|x| x * 2).prop_filter("nonzero", |x| *x > 0)) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!(v > 0);
+        }
+
+        #[test]
+        fn vec_sizes(xs in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_tuples((a, b) in (any::<bool>(), any::<u16>()), pick in prop_oneof![1u64..2, 5u64..6]) {
+            let _ = (a, b);
+            prop_assert!(pick == 1 || pick == 5);
+        }
+
+        #[test]
+        fn assume_rejects(v in 0u32..10) {
+            prop_assume!(v < 9);
+            prop_assert!(v < 9);
+        }
+
+        #[test]
+        fn index_projects(ix in any::<prop::sample::Index>()) {
+            prop_assert!(ix.index(7) < 7);
+        }
+
+        #[test]
+        fn pattern_strings(s in "[a-c]{2,4}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let s = 0u64..u64::MAX;
+        let mut r1 = crate::test_runner::TestRng::from_name("x");
+        let mut r2 = crate::test_runner::TestRng::from_name("x");
+        assert_eq!(s.gen_one(&mut r1).unwrap(), s.gen_one(&mut r2).unwrap());
+    }
+}

@@ -1,0 +1,346 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access. This vendored crate
+//! provides the trait shapes the PEM workspace compiles against:
+//!
+//! * [`Serialize`] / [`Serializer`] and [`Deserialize`] / [`Deserializer`]
+//!   with the scalar and string methods the hand-written impls use
+//!   (`serialize_str`, `String::deserialize`, `u64::deserialize`, …),
+//! * [`ser::Error`] / [`de::Error`] with `custom`,
+//! * [`de::value::StrDeserializer`] + [`de::IntoDeserializer`] (used by
+//!   the bignum round-trip tests),
+//! * `#[derive(Serialize, Deserialize)]` re-exported from the companion
+//!   `serde_derive` stub. Derived impls are **markers**: they satisfy
+//!   trait bounds but report `unsupported` if actually driven, since no
+//!   data format crate (serde_json, …) exists in this offline workspace.
+//!   Hand-written impls (e.g. big integers as decimal strings) are fully
+//!   functional.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization half.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors a [`Serializer`] may produce.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can serialize values.
+    ///
+    /// Every method has an erroring default so formats implement only the
+    /// subset they support.
+    pub trait Serializer: Sized {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Error type of the format.
+        type Error: Error;
+
+        /// Serializes a string slice.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+            let _ = v;
+            Err(Error::custom("serialize_str unsupported by this format"))
+        }
+
+        /// Serializes a `bool`.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+            let _ = v;
+            Err(Error::custom("serialize_bool unsupported by this format"))
+        }
+
+        /// Serializes a `u64`.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+            let _ = v;
+            Err(Error::custom("serialize_u64 unsupported by this format"))
+        }
+
+        /// Serializes an `i64`.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+            let _ = v;
+            Err(Error::custom("serialize_i64 unsupported by this format"))
+        }
+
+        /// Serializes an `f64`.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+            let _ = v;
+            Err(Error::custom("serialize_f64 unsupported by this format"))
+        }
+    }
+
+    /// A value that can be serialized by any [`Serializer`].
+    pub trait Serialize {
+        /// Serializes `self` into the given format.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl Serialize for &str {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl Serialize for bool {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_bool(*self)
+        }
+    }
+
+    impl Serialize for f64 {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_f64(*self)
+        }
+    }
+
+    macro_rules! impl_ser_uint {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.serialize_u64(*self as u64)
+                }
+            }
+        )*};
+    }
+    impl_ser_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_ser_int {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.serialize_i64(*self as i64)
+                }
+            }
+        )*};
+    }
+    impl_ser_int!(i8, i16, i32, i64, isize);
+}
+
+/// Deserialization half.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors a [`Deserializer`] may produce.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can deserialize values.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type of the format.
+        type Error: Error;
+
+        /// Produces an owned string.
+        fn deserialize_string(self) -> Result<String, Self::Error> {
+            Err(Error::custom(
+                "deserialize_string unsupported by this format",
+            ))
+        }
+
+        /// Produces a `bool`.
+        fn deserialize_bool(self) -> Result<bool, Self::Error> {
+            Err(Error::custom("deserialize_bool unsupported by this format"))
+        }
+
+        /// Produces a `u64`.
+        fn deserialize_u64(self) -> Result<u64, Self::Error> {
+            Err(Error::custom("deserialize_u64 unsupported by this format"))
+        }
+
+        /// Produces an `i64`.
+        fn deserialize_i64(self) -> Result<i64, Self::Error> {
+            Err(Error::custom("deserialize_i64 unsupported by this format"))
+        }
+
+        /// Produces an `f64`.
+        fn deserialize_f64(self) -> Result<f64, Self::Error> {
+            Err(Error::custom("deserialize_f64 unsupported by this format"))
+        }
+    }
+
+    /// A value constructible from any [`Deserializer`].
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes a value of this type.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    impl<'de> Deserialize<'de> for String {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            deserializer.deserialize_string()
+        }
+    }
+
+    impl<'de> Deserialize<'de> for bool {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            deserializer.deserialize_bool()
+        }
+    }
+
+    impl<'de> Deserialize<'de> for f64 {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            deserializer.deserialize_f64()
+        }
+    }
+
+    macro_rules! impl_de_uint {
+        ($($t:ty),*) => {$(
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    let v = deserializer.deserialize_u64()?;
+                    <$t>::try_from(v).map_err(|_| Error::custom("integer out of range"))
+                }
+            }
+        )*};
+    }
+    impl_de_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_de_int {
+        ($($t:ty),*) => {$(
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    let v = deserializer.deserialize_i64()?;
+                    <$t>::try_from(v).map_err(|_| Error::custom("integer out of range"))
+                }
+            }
+        )*};
+    }
+    impl_de_int!(i8, i16, i32, i64, isize);
+
+    /// Conversion of plain values into deserializers.
+    pub trait IntoDeserializer<'de, E: Error = value::Error> {
+        /// The deserializer produced.
+        type Deserializer: Deserializer<'de, Error = E>;
+        /// Wraps `self` as a deserializer.
+        fn into_deserializer(self) -> Self::Deserializer;
+    }
+
+    /// Ready-made value deserializers.
+    pub mod value {
+        use std::fmt;
+        use std::marker::PhantomData;
+
+        /// A plain string error for the value deserializers.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct Error {
+            msg: String,
+        }
+
+        impl fmt::Display for Error {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.msg)
+            }
+        }
+
+        impl std::error::Error for Error {}
+
+        impl super::Error for Error {
+            fn custom<T: fmt::Display>(msg: T) -> Self {
+                Error {
+                    msg: msg.to_string(),
+                }
+            }
+        }
+
+        impl crate::ser::Error for Error {
+            fn custom<T: fmt::Display>(msg: T) -> Self {
+                Error {
+                    msg: msg.to_string(),
+                }
+            }
+        }
+
+        /// Deserializer over a borrowed string slice.
+        #[derive(Debug, Clone, Copy)]
+        pub struct StrDeserializer<'de, E> {
+            value: &'de str,
+            marker: PhantomData<E>,
+        }
+
+        impl<'de, E> StrDeserializer<'de, E> {
+            /// Wraps a string slice.
+            pub fn new(value: &'de str) -> Self {
+                StrDeserializer {
+                    value,
+                    marker: PhantomData,
+                }
+            }
+        }
+
+        impl<'de, E: super::Error> super::Deserializer<'de> for StrDeserializer<'de, E> {
+            type Error = E;
+
+            fn deserialize_string(self) -> Result<String, E> {
+                Ok(self.value.to_owned())
+            }
+
+            fn deserialize_bool(self) -> Result<bool, E> {
+                self.value
+                    .parse()
+                    .map_err(|_| super::Error::custom("invalid bool"))
+            }
+
+            fn deserialize_u64(self) -> Result<u64, E> {
+                self.value
+                    .parse()
+                    .map_err(|_| super::Error::custom("invalid u64"))
+            }
+
+            fn deserialize_i64(self) -> Result<i64, E> {
+                self.value
+                    .parse()
+                    .map_err(|_| super::Error::custom("invalid i64"))
+            }
+
+            fn deserialize_f64(self) -> Result<f64, E> {
+                self.value
+                    .parse()
+                    .map_err(|_| super::Error::custom("invalid f64"))
+            }
+        }
+
+        impl<'de, E: super::Error> super::IntoDeserializer<'de, E> for &'de str {
+            type Deserializer = StrDeserializer<'de, E>;
+            fn into_deserializer(self) -> StrDeserializer<'de, E> {
+                StrDeserializer::new(self)
+            }
+        }
+    }
+}
+
+// Trait and derive-macro namespaces are distinct, so the same names can
+// re-export both (exactly as upstream serde does with its derive feature).
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(test)]
+mod tests {
+    use super::de::value::{Error as ValueError, StrDeserializer};
+    use super::de::{Deserialize, IntoDeserializer};
+
+    #[test]
+    fn str_deserializer_roundtrips_scalars() {
+        let d: StrDeserializer<ValueError> = "42".into_deserializer();
+        assert_eq!(u64::deserialize(d).expect("u64"), 42);
+        let d: StrDeserializer<ValueError> = "-7".into_deserializer();
+        assert_eq!(i64::deserialize(d).expect("i64"), -7);
+        let d: StrDeserializer<ValueError> = "2.5".into_deserializer();
+        assert_eq!(f64::deserialize(d).expect("f64"), 2.5);
+        let d: StrDeserializer<ValueError> = "hello".into_deserializer();
+        assert_eq!(String::deserialize(d).expect("string"), "hello");
+    }
+
+    #[test]
+    fn invalid_scalars_error() {
+        let d: StrDeserializer<ValueError> = "nope".into_deserializer();
+        assert!(u64::deserialize(d).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Derive-macro companion to the offline `serde` stub.
+//!
+//! Emits *marker* impls: they satisfy `Serialize`/`Deserialize` bounds so
+//! downstream code compiles, and report an error if actually driven (no
+//! data-format crate exists in this offline workspace to drive them).
+//! Written against `proc_macro` alone — no `syn`/`quote` available.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following `struct` / `enum` / `union` at the
+/// top level of a `DeriveInput` token stream.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find a struct/enum name in derive input");
+}
+
+/// Marker `Serialize` derive (see crate docs).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::ser::Serializer>(&self, _serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 ::core::result::Result::Err(<S::Error as ::serde::ser::Error>::custom(\n\
+                     \"derived serialization is a marker in the offline serde stub\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
+
+/// Marker `Deserialize` derive (see crate docs).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::de::Deserializer<'de>>(_deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+                     \"derived deserialization is a marker in the offline serde stub\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
