@@ -1,0 +1,166 @@
+//! Coupling gain sweep: the same grid day with cross-shard coupling off
+//! and on, reporting the dispersion closed, energy transferred, welfare
+//! recovered and the coupling round's (tiny) traffic overhead — the
+//! perf/welfare trajectory of the `pem-coupling` subsystem.
+//!
+//! ```text
+//! cargo run --release -p pem-bench --bin coupling_gain -- \
+//!     --homes 300 --windows 2 --coalition 25 --workers 4
+//! ```
+//!
+//! Output is a JSON array (one element per window) followed by a
+//! human-readable summary table.
+
+use std::time::Instant;
+
+use pem_bench::Args;
+use pem_core::PemConfig;
+use pem_coupling::CouplingConfig;
+use pem_data::{TraceConfig, TraceGenerator};
+use pem_market::{AgentWindow, PriceBand};
+use pem_sched::{GridConfig, GridOrchestrator, PartitionStrategy};
+
+struct Row {
+    window: u64,
+    shards: usize,
+    pre_dispersion: f64,
+    post_dispersion: f64,
+    corridor: f64,
+    transferred_kwh: f64,
+    welfare_cents: f64,
+    coupling_msgs: u64,
+    coupling_bytes: u64,
+}
+
+/// The `grid_day` morning-shoulder day (see `examples/grid_day.rs`).
+fn day(homes: usize, windows: usize) -> Vec<Vec<AgentWindow>> {
+    let trace = TraceGenerator::new(TraceConfig {
+        homes,
+        windows: 96,
+        window_minutes: 15,
+        seed: 2020,
+        solar_fraction: 0.35,
+        ..TraceConfig::default()
+    })
+    .generate();
+    (0..windows)
+        .map(|w| trace.window_agents((8 + w * 2) % trace.window_count()))
+        .collect()
+}
+
+fn config(coalition: usize, workers: usize, couple: bool) -> GridConfig {
+    let mut pem = PemConfig::fast_test().with_randomizer_pool(16);
+    pem.band = PriceBand {
+        grid_retail: 120.0,
+        grid_feed_in: 20.0,
+        floor: 30.0,
+        ceiling: 110.0,
+    };
+    GridConfig {
+        pem,
+        coalition_size: coalition,
+        workers,
+        strategy: PartitionStrategy::Feeder { feeders: 8 },
+        coupling: couple.then(CouplingConfig::fast_test),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let homes = args.get_usize("homes", 300);
+    let windows = args.get_usize("windows", 2);
+    let coalition = args.get_usize("coalition", 25);
+    let workers = args.get_usize(
+        "workers",
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    );
+    let data = day(homes, windows);
+
+    // Baseline: coupling off (for the wall-clock overhead figure).
+    let mut plain = GridOrchestrator::new(config(coalition, workers, false)).expect("grid");
+    plain.form_shards(&data[0]).expect("shards");
+    let start = Instant::now();
+    let base = plain.run_day(&data).expect("baseline day");
+    let base_s = start.elapsed().as_secs_f64();
+
+    // Coupled run.
+    let mut grid = GridOrchestrator::new(config(coalition, workers, true)).expect("grid");
+    grid.form_shards(&data[0]).expect("shards");
+    let start = Instant::now();
+    let report = grid.run_day(&data).expect("coupled day");
+    let coupled_s = start.elapsed().as_secs_f64();
+
+    let rows: Vec<Row> = report
+        .windows
+        .iter()
+        .map(|w| {
+            let cs = w.coupling.as_ref().expect("coupling enabled");
+            Row {
+                window: w.window,
+                shards: cs.shards,
+                pre_dispersion: cs.pre_dispersion,
+                post_dispersion: cs.post_dispersion,
+                corridor: cs.corridor_price,
+                transferred_kwh: cs.transferred_kwh,
+                welfare_cents: cs.welfare_gain_cents,
+                coupling_msgs: cs.net.total_messages,
+                coupling_bytes: cs.net.total_bytes,
+            }
+        })
+        .collect();
+
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"homes\": {}, \"window\": {}, \"shards\": {}, ",
+                "\"pre_dispersion\": {:.4}, \"post_dispersion\": {:.4}, ",
+                "\"corridor\": {:.3}, \"transferred_kwh\": {:.4}, ",
+                "\"welfare_cents\": {:.2}, \"coupling_msgs\": {}, ",
+                "\"coupling_bytes\": {}, \"base_s\": {:.3}, \"coupled_s\": {:.3}}}{}"
+            ),
+            homes,
+            r.window,
+            r.shards,
+            r.pre_dispersion,
+            r.post_dispersion,
+            r.corridor,
+            r.transferred_kwh,
+            r.welfare_cents,
+            r.coupling_msgs,
+            r.coupling_bytes,
+            base_s,
+            coupled_s,
+            if i + 1 < rows.len() { ",\n" } else { "\n" }
+        ));
+    }
+    out.push(']');
+    println!("{out}");
+
+    println!();
+    println!("window shards  σ pre→post   corridor  moved kWh  welfare ¢  msgs   bytes");
+    for r in &rows {
+        println!(
+            "{:>6} {:>6}  {:>5.2}→{:<5.2}  {:>8.2}  {:>9.3}  {:>9.1}  {:>4}  {:>6}",
+            r.window,
+            r.shards,
+            r.pre_dispersion,
+            r.post_dispersion,
+            r.corridor,
+            r.transferred_kwh,
+            r.welfare_cents,
+            r.coupling_msgs,
+            r.coupling_bytes
+        );
+    }
+    println!(
+        "\nday: {:.2} kWh transferred, +{:.1} ¢ welfare | wall {:.2}s -> {:.2}s ({:+.1}% overhead) | cleared {:.2} kWh (baseline {:.2})",
+        report.transferred_kwh,
+        report.coupling_welfare_cents,
+        base_s,
+        coupled_s,
+        (coupled_s / base_s - 1.0) * 100.0,
+        report.cleared_kwh,
+        base.cleared_kwh,
+    );
+}

@@ -54,6 +54,7 @@ fn sweep(population: usize, coalition: usize, workers: usize, windows: usize, po
         coalition_size: coalition,
         workers,
         strategy: PartitionStrategy::SurplusBalanced,
+        coupling: None,
     })
     .expect("grid configuration");
 

@@ -57,6 +57,12 @@ pub struct PemConfig {
     /// and consumed by the protocols, amortizing the encryption hot path;
     /// see [`crate::randpool`].
     pub randomizer_pool: usize,
+    /// When `true`, the between-window pool refill scales each key's
+    /// batch to its observed draw rate
+    /// ([`crate::randpool::RandomizerPool::refill_adaptive`]) instead of
+    /// topping up to the static `randomizer_pool` size. Market outcomes
+    /// are unaffected either way; only the precompute schedule moves.
+    pub adaptive_pool: bool,
 }
 
 impl PemConfig {
@@ -72,6 +78,7 @@ impl PemConfig {
             ratio_precision_bits: 48,
             seed: 2020,
             randomizer_pool: 0,
+            adaptive_pool: false,
         }
     }
 
@@ -88,6 +95,7 @@ impl PemConfig {
             ratio_precision_bits: 48,
             seed: 7,
             randomizer_pool: 0,
+            adaptive_pool: false,
         }
     }
 
@@ -95,6 +103,14 @@ impl PemConfig {
     #[must_use]
     pub fn with_randomizer_pool(mut self, batch: usize) -> PemConfig {
         self.randomizer_pool = batch;
+        self
+    }
+
+    /// Switches the between-window refill to demand-adaptive per-key
+    /// batch sizing (no effect while the pool is disabled).
+    #[must_use]
+    pub fn with_adaptive_pool(mut self) -> PemConfig {
+        self.adaptive_pool = true;
         self
     }
 

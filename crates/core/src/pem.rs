@@ -315,7 +315,11 @@ impl Pem {
         // next window's encryptions are all pre-amortized. Runs after the
         // phase timers, so it never pollutes the hot-path metrics.
         if let Some(pool) = self.pool.as_mut() {
-            pool.refill(&self.keys);
+            if self.cfg.adaptive_pool {
+                pool.refill_adaptive(&self.keys);
+            } else {
+                pool.refill(&self.keys);
+            }
         }
 
         Ok(PemWindowOutcome {
@@ -514,6 +518,35 @@ mod tests {
         // deterministic across runs.
         assert!(a_stats.hits > 0, "pool must serve encryptions");
         assert_eq!(a_stats, b_stats, "pool counters are deterministic too");
+    }
+
+    #[test]
+    fn adaptive_refill_preserves_outcomes() {
+        let pop = population(&[2.0, 1.0, -3.0, -2.0, -1.0]);
+        let run = |adaptive: bool| {
+            let mut cfg = PemConfig::fast_test().with_randomizer_pool(4);
+            if adaptive {
+                cfg = cfg.with_adaptive_pool();
+            }
+            let mut pem = Pem::new(cfg, 5).expect("setup");
+            let o1 = pem.run_window(&pop).expect("w1");
+            let o2 = pem.run_window(&pop).expect("w2");
+            (o1, o2, pem.pool_stats().expect("pool enabled"))
+        };
+        let (s1, s2, s_stats) = run(false);
+        let (a1, a2, a_stats) = run(true);
+        // Window 1 is identical (refill policy only acts *between*
+        // windows, and wall-clock timings are the only field exempt);
+        // window 2 keeps every market outcome.
+        assert_eq!(s1.trades, a1.trades);
+        assert_eq!(s1.revealed, a1.revealed);
+        assert_eq!(s1.net, a1.net);
+        assert_eq!(s2.kind, a2.kind);
+        assert_eq!(s2.price.to_bits(), a2.price.to_bits());
+        assert_eq!(s2.trades, a2.trades);
+        assert_eq!(s2.net.total_messages, a2.net.total_messages);
+        // The adaptive refill sizes to demand, not the static batch.
+        assert_ne!(s_stats.generated, a_stats.generated);
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub struct RandomizerPool {
     streams: Vec<HashDrbg>,
     batch: usize,
     stats: PoolStats,
+    /// Draws attempted per key since the last refill (hits + misses) —
+    /// the observed per-key demand the adaptive refill scales to.
+    draws: Vec<u64>,
+    /// Misses per key since the last refill (a miss means the queue ran
+    /// dry mid-window: the previous target underestimated demand).
+    dry: Vec<u64>,
 }
 
 impl RandomizerPool {
@@ -81,11 +87,14 @@ impl RandomizerPool {
             queues.push(fresh.into());
             streams.push(stream);
         }
+        let keys = queues.len();
         RandomizerPool {
             queues,
             streams,
             batch,
             stats,
+            draws: vec![0; keys],
+            dry: vec![0; keys],
         }
     }
 
@@ -106,6 +115,9 @@ impl RandomizerPool {
 
     /// Draws one randomizer bound to `key_owner`'s modulus, if available.
     pub fn take(&mut self, key_owner: usize) -> Option<Randomizer> {
+        if let Some(d) = self.draws.get_mut(key_owner) {
+            *d += 1;
+        }
         match self.queues.get_mut(key_owner).and_then(VecDeque::pop_front) {
             Some(r) => {
                 self.stats.hits += 1;
@@ -113,6 +125,9 @@ impl RandomizerPool {
             }
             None => {
                 self.stats.misses += 1;
+                if let Some(d) = self.dry.get_mut(key_owner) {
+                    *d += 1;
+                }
                 None
             }
         }
@@ -122,10 +137,17 @@ impl RandomizerPool {
     /// step, meant to run between windows. Returns how many randomizers
     /// were generated.
     pub fn refill(&mut self, keys: &KeyDirectory) -> usize {
+        let targets = vec![self.batch; self.queues.len()];
+        self.refill_to_targets(keys, &targets)
+    }
+
+    /// Tops queue `i` up to `targets[i]`, resetting the per-key demand
+    /// counters — the shared mechanics of both refill policies.
+    fn refill_to_targets(&mut self, keys: &KeyDirectory, targets: &[usize]) -> usize {
         assert_eq!(keys.len(), self.queues.len(), "key directory size changed");
         let mut generated = 0;
         for (i, queue) in self.queues.iter_mut().enumerate() {
-            let missing = self.batch.saturating_sub(queue.len());
+            let missing = targets[i].saturating_sub(queue.len());
             if missing > 0 {
                 let fresh = keys
                     .public(i)
@@ -133,9 +155,52 @@ impl RandomizerPool {
                 generated += fresh.len();
                 queue.extend(fresh);
             }
+            self.draws[i] = 0;
+            self.dry[i] = 0;
         }
         self.stats.generated += generated as u64;
         generated
+    }
+
+    /// The adaptive per-key refill target for an observed window demand.
+    ///
+    /// The curve, in terms of `demand` (draws under the key since the
+    /// last refill) and `misses` (draws that found the queue dry):
+    ///
+    /// * **idle key** (`demand = 0`) → target 1: keep a single
+    ///   randomizer as insurance, stop generating for keys nobody
+    ///   encrypts under;
+    /// * **steady key** (`misses = 0`) → `demand + demand/4 + 1`: last
+    ///   window's demand plus 25% headroom for jitter;
+    /// * **starved key** (`misses > 0`) → `2·demand`: the target was an
+    ///   underestimate, so grow aggressively;
+    /// * everything is capped at `4·base` so one anomalous window cannot
+    ///   commit unbounded precompute.
+    pub fn adaptive_target(demand: u64, misses: u64, base: usize) -> usize {
+        let cap = (4 * base.max(1)) as u64;
+        let raw = if demand == 0 {
+            1
+        } else if misses > 0 {
+            2 * demand
+        } else {
+            demand + demand / 4 + 1
+        };
+        raw.clamp(1, cap) as usize
+    }
+
+    /// Tops every queue up to its *adaptive* target — scaled per key to
+    /// the draw rate observed since the last refill (see
+    /// [`RandomizerPool::adaptive_target`]) instead of the static batch
+    /// size. Returns how many randomizers were generated.
+    ///
+    /// Like [`RandomizerPool::refill`] this is deterministic: the targets
+    /// are a pure function of the (deterministic) draw history, so two
+    /// runs of the same configuration refill identically.
+    pub fn refill_adaptive(&mut self, keys: &KeyDirectory) -> usize {
+        let targets: Vec<usize> = (0..self.queues.len())
+            .map(|i| RandomizerPool::adaptive_target(self.draws[i], self.dry[i], self.batch))
+            .collect();
+        self.refill_to_targets(keys, &targets)
     }
 
     /// Lifetime counters.
@@ -214,6 +279,55 @@ mod tests {
         assert_eq!(keys.keypair(1).private().decrypt(&c2), m);
         let stats = pool.expect("pool").stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn adaptation_curve_shape() {
+        // Idle keys park at one randomizer.
+        assert_eq!(RandomizerPool::adaptive_target(0, 0, 8), 1);
+        // Steady demand gets 25% headroom, monotone in demand.
+        assert_eq!(RandomizerPool::adaptive_target(4, 0, 8), 6);
+        assert_eq!(RandomizerPool::adaptive_target(8, 0, 8), 11);
+        for d in 1..30u64 {
+            assert!(
+                RandomizerPool::adaptive_target(d + 1, 0, 16)
+                    >= RandomizerPool::adaptive_target(d, 0, 16),
+                "target must be monotone in demand (d={d})"
+            );
+        }
+        // A starved key doubles, and always beats the steady target.
+        assert_eq!(RandomizerPool::adaptive_target(5, 2, 8), 10);
+        assert!(
+            RandomizerPool::adaptive_target(5, 1, 8) > RandomizerPool::adaptive_target(5, 0, 8)
+        );
+        // Everything caps at 4x the configured base batch.
+        assert_eq!(RandomizerPool::adaptive_target(1000, 0, 8), 32);
+        assert_eq!(RandomizerPool::adaptive_target(1000, 99, 8), 32);
+        assert_eq!(RandomizerPool::adaptive_target(1000, 0, 0), 4);
+    }
+
+    #[test]
+    fn adaptive_refill_scales_per_key() {
+        let keys = directory();
+        let mut pool = RandomizerPool::generate(&keys, 2, 3);
+        // Key 0: heavy demand (4 draws, 2 dry). Key 1: light (1 draw).
+        // Key 2: idle.
+        for _ in 0..4 {
+            let _ = pool.take(0);
+        }
+        let _ = pool.take(1);
+        let generated = pool.refill_adaptive(&keys);
+        // Key 0 grows to 2*4 = 8, key 1 tops up to 1 + 1/4 + 1 = 2,
+        // key 2 keeps its untouched batch of 2 (target 1 < on-hand 2).
+        assert_eq!(pool.available(0), 8);
+        assert_eq!(pool.available(1), 2);
+        assert_eq!(pool.available(2), 2);
+        assert_eq!(generated, 8 + 1);
+
+        // Next window is quiet on key 0: no regeneration for anyone.
+        let _ = pool.take(0);
+        assert_eq!(pool.refill_adaptive(&keys), 0, "7 on hand covers demand");
+        assert_eq!(pool.available(0), 7);
     }
 
     #[test]

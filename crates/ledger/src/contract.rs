@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use pem_market::PriceBand;
 
 use crate::error::LedgerError;
-use crate::tx::SettlementTx;
+use crate::tx::{SettlementTx, TransferTx};
 
 /// Validation rules for a window's settlement batch — the "smart
 /// contract" of the paper's §VI blockchain deployment.
@@ -66,6 +66,51 @@ impl SettlementContract {
         }
         if let Some(&agent) = sellers.intersection(&buyers).next() {
             return Err(LedgerError::RoleConflict { agent });
+        }
+        Ok(())
+    }
+
+    /// Validates a coupling-round transfer batch.
+    ///
+    /// Rules (the inter-shard analogue of [`Self::validate_window`]):
+    /// 1. the corridor price lies strictly inside the PEM band `[p_l,
+    ///    p_h]` — transfers at grid prices would be pointless arbitrage;
+    /// 2. every transfer has positive energy;
+    /// 3. every payment equals `corridor · energy` within tolerance;
+    /// 4. no coalition both exports and imports in one round, and no
+    ///    transfer loops back to its own coalition.
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule.
+    pub fn validate_transfers(
+        &self,
+        corridor: f64,
+        transfers: &[TransferTx],
+    ) -> Result<(), LedgerError> {
+        if corridor < self.band.floor || corridor > self.band.ceiling {
+            return Err(LedgerError::PriceOutOfBand { price: corridor });
+        }
+        let mut exporters = std::collections::BTreeSet::new();
+        let mut importers = std::collections::BTreeSet::new();
+        for (i, t) in transfers.iter().enumerate() {
+            if t.from_shard == t.to_shard {
+                return Err(LedgerError::SelfTransfer {
+                    shard: t.from_shard,
+                });
+            }
+            if t.energy_ukwh == 0 {
+                return Err(LedgerError::NonPositiveEnergy { tx_index: i });
+            }
+            let expected = corridor * t.energy_kwh();
+            if (t.payment_cents() - expected).abs() > self.payment_tolerance {
+                return Err(LedgerError::PaymentMismatch { tx_index: i });
+            }
+            exporters.insert(t.from_shard);
+            importers.insert(t.to_shard);
+        }
+        if let Some(&shard) = exporters.intersection(&importers).next() {
+            return Err(LedgerError::TransferRoleConflict { shard });
         }
         Ok(())
     }
@@ -160,6 +205,44 @@ mod tests {
         assert!(matches!(
             c.validate_window(100.0, &batch),
             Err(LedgerError::RoleConflict { agent: 1 })
+        ));
+    }
+
+    #[test]
+    fn transfer_rules_enforced() {
+        let c = contract();
+        let good = [
+            TransferTx::new(0, 2, 1.5, 100.0),
+            TransferTx::new(1, 3, 0.5, 100.0),
+        ];
+        c.validate_transfers(100.0, &good).expect("valid batch");
+
+        // Corridor must be strictly inside the band: retail not allowed.
+        assert!(matches!(
+            c.validate_transfers(120.0, &good),
+            Err(LedgerError::PriceOutOfBand { .. })
+        ));
+        assert!(matches!(
+            c.validate_transfers(100.0, &[TransferTx::new(4, 4, 1.0, 100.0)]),
+            Err(LedgerError::SelfTransfer { shard: 4 })
+        ));
+        assert!(matches!(
+            c.validate_transfers(100.0, &[TransferTx::new(0, 1, 0.0, 100.0)]),
+            Err(LedgerError::NonPositiveEnergy { tx_index: 0 })
+        ));
+        let mut bad = TransferTx::new(0, 1, 1.0, 100.0);
+        bad.payment_mc += 20_000;
+        assert!(matches!(
+            c.validate_transfers(100.0, &[bad]),
+            Err(LedgerError::PaymentMismatch { tx_index: 0 })
+        ));
+        let both_sides = [
+            TransferTx::new(0, 1, 1.0, 100.0),
+            TransferTx::new(1, 2, 1.0, 100.0),
+        ];
+        assert!(matches!(
+            c.validate_transfers(100.0, &both_sides),
+            Err(LedgerError::TransferRoleConflict { shard: 1 })
         ));
     }
 

@@ -51,6 +51,16 @@ pub enum LedgerError {
         /// The window being appended.
         got: u64,
     },
+    /// A coupling transfer names the same coalition on both ends.
+    SelfTransfer {
+        /// The offending coalition.
+        shard: usize,
+    },
+    /// A coalition both exports and imports in one coupling round.
+    TransferRoleConflict {
+        /// The double-dealing coalition.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for LedgerError {
@@ -80,6 +90,15 @@ impl fmt::Display for LedgerError {
             }
             LedgerError::NonMonotonicWindow { last, got } => {
                 write!(f, "window {got} appended after window {last}")
+            }
+            LedgerError::SelfTransfer { shard } => {
+                write!(f, "coalition {shard} cannot transfer to itself")
+            }
+            LedgerError::TransferRoleConflict { shard } => {
+                write!(
+                    f,
+                    "coalition {shard} both exports and imports in one coupling round"
+                )
             }
         }
     }

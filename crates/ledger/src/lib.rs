@@ -8,6 +8,8 @@
 //!
 //! * [`SettlementTx`] — one pairwise trade in fixed-point form (µkWh /
 //!   milli-cents) so hashing is exact and platform-independent,
+//! * [`TransferTx`] — one inter-shard coupling transfer at the corridor
+//!   price (coalition-level granularity, same fixed point),
 //! * [`Block`]/[`Ledger`] — a SHA-256 hash-chained block sequence, one
 //!   block per trading window, with full-chain validation and tamper
 //!   detection,
@@ -39,4 +41,4 @@ mod tx;
 pub use block::{Block, Ledger};
 pub use contract::{AccountBook, SettlementContract};
 pub use error::LedgerError;
-pub use tx::SettlementTx;
+pub use tx::{SettlementTx, TransferTx};

@@ -75,6 +75,65 @@ impl SettlementTx {
     }
 }
 
+/// One inter-shard coupling transfer at the corridor price: a surplus
+/// coalition delivers residual energy to a deficit coalition instead of
+/// both settling with the utility at the (worse) feed-in/retail prices.
+///
+/// Parties are **coalitions**, not agents — the coupling round only ever
+/// sees coalition-level aggregates, so the chain records the same
+/// granularity. Stored in the same fixed point as [`SettlementTx`] so
+/// block hashes stay exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransferTx {
+    /// Exporting (surplus) coalition.
+    pub from_shard: usize,
+    /// Importing (deficit) coalition.
+    pub to_shard: usize,
+    /// Energy in µkWh.
+    pub energy_ukwh: u64,
+    /// Payment in milli-cents (importer pays exporter).
+    pub payment_mc: u64,
+}
+
+impl TransferTx {
+    /// Builds a transfer from float quantities at the corridor price.
+    pub fn new(from_shard: usize, to_shard: usize, energy_kwh: f64, price: f64) -> Self {
+        TransferTx {
+            from_shard,
+            to_shard,
+            energy_ukwh: (energy_kwh * ENERGY_SCALE).round() as u64,
+            payment_mc: (energy_kwh * price * MONEY_SCALE).round() as u64,
+        }
+    }
+
+    /// Energy in kWh.
+    pub fn energy_kwh(&self) -> f64 {
+        self.energy_ukwh as f64 / ENERGY_SCALE
+    }
+
+    /// Payment in cents.
+    pub fn payment_cents(&self) -> f64 {
+        self.payment_mc as f64 / MONEY_SCALE
+    }
+
+    /// The implied unit price (¢/kWh); `None` for zero energy.
+    pub fn implied_price(&self) -> Option<f64> {
+        if self.energy_ukwh == 0 {
+            None
+        } else {
+            Some(self.payment_cents() / self.energy_kwh())
+        }
+    }
+
+    /// Canonical byte encoding for hashing.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.from_shard as u64).to_be_bytes());
+        out.extend_from_slice(&(self.to_shard as u64).to_be_bytes());
+        out.extend_from_slice(&self.energy_ukwh.to_be_bytes());
+        out.extend_from_slice(&self.payment_mc.to_be_bytes());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +174,28 @@ mod tests {
         let mut b = Vec::new();
         tx.encode(&mut a);
         tx.encode(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn transfer_fixed_point_roundtrip() {
+        let t = TransferTx::new(3, 7, 2.5, 104.0);
+        assert_eq!((t.from_shard, t.to_shard), (3, 7));
+        assert_eq!(t.energy_ukwh, 2_500_000);
+        assert!((t.energy_kwh() - 2.5).abs() < 1e-9);
+        assert!((t.payment_cents() - 260.0).abs() < 1e-3);
+        assert!((t.implied_price().expect("non-zero") - 104.0).abs() < 1e-3);
+        assert_eq!(TransferTx::new(0, 1, 0.0, 104.0).implied_price(), None);
+    }
+
+    #[test]
+    fn transfer_encoding_is_stable() {
+        let t = TransferTx::new(1, 2, 1.0, 95.0);
+        let mut a = Vec::new();
+        t.encode(&mut a);
+        let mut b = Vec::new();
+        t.encode(&mut b);
         assert_eq!(a, b);
         assert_eq!(a.len(), 32);
     }

@@ -115,6 +115,21 @@ impl NetStats {
         }
     }
 
+    /// Sums the counters of every label starting with `prefix` — the
+    /// per-phase accounting surface (protocol phases namespace their
+    /// labels, e.g. `eval/`, `price/`, `couple/`). Used to audit that a
+    /// phase's traffic stays within its declared envelope.
+    pub fn label_totals(&self, prefix: &str) -> LabelStats {
+        let mut out = LabelStats::default();
+        for (label, s) in &self.per_label {
+            if label.starts_with(prefix) {
+                out.messages += s.messages;
+                out.bytes += s.bytes;
+            }
+        }
+        out
+    }
+
     /// Mean bytes sent+received per party (what Table I averages).
     pub fn mean_bytes_per_party(&self) -> f64 {
         if self.sent_bytes.is_empty() {
@@ -186,6 +201,21 @@ mod tests {
         let mut global = NetStats::new(4);
         let shard = NetStats::new(3);
         global.merge_mapped(&shard, &[0, 1]);
+    }
+
+    #[test]
+    fn label_prefix_totals() {
+        let mut s = NetStats::new(3);
+        s.record(0, 1, "couple/up", 40);
+        s.record(1, 2, "couple/up", 40);
+        s.record(2, 0, "couple/corridor", 8);
+        s.record(0, 1, "eval/result", 1);
+        let couple = s.label_totals("couple/");
+        assert_eq!(couple.messages, 3);
+        assert_eq!(couple.bytes, 88);
+        assert_eq!(s.label_totals("price/"), LabelStats::default());
+        // Whole-fabric prefix matches everything.
+        assert_eq!(s.label_totals("").bytes, s.total_bytes);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use pem_core::PemError;
+use pem_coupling::CouplingError;
 use pem_ledger::LedgerError;
 
 /// Anything that can go wrong while orchestrating a grid.
@@ -14,6 +15,8 @@ pub enum SchedError {
     Pem(PemError),
     /// Settlement of a shard outcome was rejected by the contract.
     Ledger(LedgerError),
+    /// The cross-shard coupling round failed.
+    Coupling(CouplingError),
 }
 
 impl fmt::Display for SchedError {
@@ -22,6 +25,7 @@ impl fmt::Display for SchedError {
             SchedError::Config(msg) => write!(f, "grid configuration: {msg}"),
             SchedError::Pem(e) => write!(f, "coalition window: {e}"),
             SchedError::Ledger(e) => write!(f, "settlement: {e}"),
+            SchedError::Coupling(e) => write!(f, "cross-shard coupling: {e}"),
         }
     }
 }
@@ -32,6 +36,7 @@ impl std::error::Error for SchedError {
             SchedError::Config(_) => None,
             SchedError::Pem(e) => Some(e),
             SchedError::Ledger(e) => Some(e),
+            SchedError::Coupling(e) => Some(e),
         }
     }
 }
@@ -45,5 +50,11 @@ impl From<PemError> for SchedError {
 impl From<LedgerError> for SchedError {
     fn from(e: LedgerError) -> SchedError {
         SchedError::Ledger(e)
+    }
+}
+
+impl From<CouplingError> for SchedError {
+    fn from(e: CouplingError) -> SchedError {
+        SchedError::Coupling(e)
     }
 }

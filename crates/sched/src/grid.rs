@@ -2,7 +2,8 @@
 //! fixed worker pool, settled onto one ledger.
 
 use pem_core::{Pem, PemConfig, PemError, PoolStats};
-use pem_ledger::{Ledger, SettlementContract, SettlementTx};
+use pem_coupling::{CouplingConfig, CouplingCoordinator, Repartitioner, ShardPosition};
+use pem_ledger::{Ledger, SettlementContract, SettlementTx, TransferTx};
 use pem_market::{AgentWindow, MarketKind};
 use pem_net::NetStats;
 
@@ -27,6 +28,10 @@ pub struct GridConfig {
     pub workers: usize,
     /// Partitioning strategy.
     pub strategy: PartitionStrategy,
+    /// Cross-shard market coupling (and optional dispersion-driven
+    /// re-partitioning). `None` disables the subsystem entirely — grid
+    /// reports are then bit-identical to a coupling-unaware build.
+    pub coupling: Option<CouplingConfig>,
 }
 
 impl GridConfig {
@@ -50,6 +55,9 @@ impl GridConfig {
                 return Err(SchedError::Config("feeder count cannot be zero".into()));
             }
         }
+        if let Some(coupling) = &self.coupling {
+            coupling.validate()?;
+        }
         Ok(())
     }
 }
@@ -61,9 +69,12 @@ struct Shard {
     pem: Pem,
 }
 
-/// Derives coalition `shard`'s seed from the grid master seed.
-fn shard_seed(master: u64, shard: usize) -> u64 {
-    master ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1)
+/// Derives coalition `shard`'s seed from the grid master seed. `epoch`
+/// counts re-partitions: coalitions rebuilt after a membership change
+/// draw fresh, independent key and protocol streams.
+fn shard_seed(master: u64, shard: usize, epoch: u64) -> u64 {
+    (master ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1))
+        .wrapping_add(epoch.wrapping_mul(0xD1B5_4A32_D192_ED03))
 }
 
 /// The sharded grid orchestrator.
@@ -89,6 +100,10 @@ pub struct GridOrchestrator {
     ledger: Ledger,
     population: Option<usize>,
     window: u64,
+    coupling: Option<CouplingCoordinator>,
+    repartitioner: Option<Repartitioner>,
+    /// Re-partitions applied so far (also salts rebuilt shard seeds).
+    epoch: u64,
 }
 
 impl GridOrchestrator {
@@ -101,6 +116,19 @@ impl GridOrchestrator {
         cfg.validate()?;
         let partitioner = cfg.strategy.build();
         let contract = SettlementContract::new(cfg.pem.band);
+        let coupling = match &cfg.coupling {
+            Some(c) => Some(CouplingCoordinator::new(
+                c.clone(),
+                cfg.pem.band,
+                cfg.pem.seed,
+            )?),
+            None => None,
+        };
+        let repartitioner = cfg
+            .coupling
+            .as_ref()
+            .and_then(|c| c.repartition.clone())
+            .map(Repartitioner::new);
         Ok(GridOrchestrator {
             partitioner,
             ledger: Ledger::new(contract),
@@ -109,6 +137,9 @@ impl GridOrchestrator {
             plan: None,
             population: None,
             window: 0,
+            coupling,
+            repartitioner,
+            epoch: 0,
         })
     }
 
@@ -167,13 +198,26 @@ impl GridOrchestrator {
             return Err(SchedError::Config("population must be non-empty".into()));
         }
         let plan = self.partitioner.partition(agents, self.cfg.coalition_size);
+        let jobs: Vec<(usize, Vec<usize>)> =
+            plan.shards().to_vec().into_iter().enumerate().collect();
+        let shards = self.build_shards(jobs)?;
+        self.population = Some(agents.len());
+        self.plan = Some(plan);
+        self.shards = Some(shards);
+        Ok(())
+    }
+
+    /// Builds `(shard index, members)` coalitions on the worker pool,
+    /// seeding each from the master seed, its index and the current
+    /// re-partition epoch.
+    fn build_shards(&self, jobs: Vec<(usize, Vec<usize>)>) -> Result<Vec<Shard>, SchedError> {
         let master = self.cfg.pem.seed;
+        let epoch = self.epoch;
         let base_cfg = self.cfg.pem.clone();
-        let jobs: Vec<Vec<usize>> = plan.shards().to_vec();
         let built: Vec<Result<Shard, PemError>> =
-            pool::run_indexed(self.cfg.workers, jobs, move |idx, members| {
+            pool::run_indexed(self.cfg.workers, jobs, move |_, (idx, members)| {
                 let mut cfg = base_cfg.clone();
-                cfg.seed = shard_seed(master, idx);
+                cfg.seed = shard_seed(master, idx, epoch);
                 let pem = Pem::new(cfg, members.len())?;
                 Ok(Shard { members, pem })
             });
@@ -181,10 +225,46 @@ impl GridOrchestrator {
         for shard in built {
             shards.push(shard?);
         }
-        self.population = Some(agents.len());
-        self.plan = Some(plan);
-        self.shards = Some(shards);
-        Ok(())
+        Ok(shards)
+    }
+
+    /// Applies a pending dispersion-driven re-partition, if the
+    /// imbalance history warrants one. Coalitions whose membership
+    /// changed are rebuilt (fresh keys under the new epoch); untouched
+    /// coalitions keep their key material and stream positions. Returns
+    /// whether membership changed.
+    fn maybe_repartition(&mut self, population: &[AgentWindow]) -> Result<bool, SchedError> {
+        let Some(rep) = self.repartitioner.as_ref() else {
+            return Ok(false);
+        };
+        let Some(plan) = self.plan.as_ref() else {
+            return Ok(false);
+        };
+        let nets: Vec<f64> = population.iter().map(AgentWindow::net_energy).collect();
+        let Some(new_shards) = rep.propose(&nets, plan.shards()) else {
+            return Ok(false);
+        };
+        let old = plan.shards().to_vec();
+        self.epoch += 1;
+        let changed: Vec<(usize, Vec<usize>)> = new_shards
+            .iter()
+            .enumerate()
+            .filter(|(i, members)| old[*i] != **members)
+            .map(|(i, members)| (i, members.clone()))
+            .collect();
+        let changed_idx: Vec<usize> = changed.iter().map(|(i, _)| *i).collect();
+        let rebuilt = self.build_shards(changed)?;
+        let shards = self.shards.as_mut().expect("plan implies shards");
+        for (k, shard) in rebuilt.into_iter().enumerate() {
+            shards[changed_idx[k]] = shard;
+        }
+        self.plan = Some(ShardPlan::new(
+            new_shards,
+            population.len(),
+            self.cfg.coalition_size,
+        ));
+        self.repartitioner.as_mut().expect("checked above").reset();
+        Ok(true)
     }
 
     /// Runs one grid-wide trading window over the whole population.
@@ -205,6 +285,9 @@ impl GridOrchestrator {
             expected,
             "population size changed between windows"
         );
+        // Persistent-imbalance feedback: re-carve chronically lopsided
+        // coalitions before dispatching the window.
+        let repartitioned = self.maybe_repartition(population)?;
 
         // --- Dispatch coalition windows onto the worker pool. ----------
         let shards = self.shards.take().expect("formed above");
@@ -232,7 +315,7 @@ impl GridOrchestrator {
         let outcomes: Vec<pem_core::PemWindowOutcome> =
             outcomes.into_iter().collect::<Result<_, _>>()?;
 
-        self.fold_window(population.len(), outcomes)
+        self.fold_window(population, outcomes, repartitioned)
     }
 
     /// Runs a whole day: one grid window per entry of `day`, then
@@ -250,12 +333,16 @@ impl GridOrchestrator {
         Ok(GridDayReport::fold(windows, ledger_valid))
     }
 
-    /// Merges per-shard outcomes into the window's [`GridReport`].
+    /// Merges per-shard outcomes into the window's [`GridReport`],
+    /// running the cross-shard coupling round (when configured) between
+    /// per-shard settlement and the final report.
     fn fold_window(
         &mut self,
-        agents: usize,
+        population: &[AgentWindow],
         outcomes: Vec<pem_core::PemWindowOutcome>,
+        repartitioned: bool,
     ) -> Result<GridReport, SchedError> {
+        let agents = population.len();
         let shards = self.shards.as_ref().expect("installed by run_window");
         let window = self.window;
         self.window += 1;
@@ -268,6 +355,15 @@ impl GridOrchestrator {
         let mut blocks_appended = 0;
 
         let shard_total = shards.len() as u64;
+        // With coupling enabled each window may settle one extra block
+        // (the transfer schedule), so block-window ids stride by S+1
+        // instead of S; auditors recover (grid window, shard) by divmod
+        // with the stride either way.
+        let stride = if self.coupling.is_some() {
+            shard_total + 1
+        } else {
+            shard_total
+        };
         for (idx, (shard, outcome)) in shards.iter().zip(outcomes.iter()).enumerate() {
             net.merge_mapped(&outcome.net, &shard.members);
             cleared += outcome.trades.iter().map(|t| t.energy).sum::<f64>();
@@ -295,16 +391,64 @@ impl GridOrchestrator {
                 .collect();
             if !txs.is_empty() {
                 // Block window ids encode (grid window, shard) as
-                // `window·S + shard + 1`: strictly increasing (the
-                // ledger's monotonicity rule) and recoverable — auditors
-                // map any settled block back to its grid window and
-                // coalition by divmod with the shard count.
-                let block_window = window * shard_total + idx as u64 + 1;
+                // `window·stride + shard + 1`: strictly increasing (the
+                // ledger's monotonicity rule) and recoverable.
+                let block_window = window * stride + idx as u64 + 1;
                 self.ledger
                     .append_window(block_window, outcome.price, &txs)?;
                 blocks_appended += 1;
             }
         }
+
+        // --- Cross-shard coupling round. -------------------------------
+        let coupling_summary = if let Some(coord) = self.coupling.as_mut() {
+            let positions: Vec<ShardPosition> = shards
+                .iter()
+                .zip(outcomes.iter())
+                .enumerate()
+                .map(|(idx, (shard, outcome))| {
+                    // The representative publishes only coalition-level
+                    // aggregates it already holds: the net position (what
+                    // the coalition would otherwise settle with the
+                    // utility) and its local clearing price/volume.
+                    let residual: f64 = shard
+                        .members
+                        .iter()
+                        .map(|&a| population[a].net_energy())
+                        .sum();
+                    ShardPosition {
+                        shard: idx,
+                        traded: outcome.kind != MarketKind::NoMarket,
+                        price: outcome.price,
+                        cleared_kwh: outcome.trades.iter().map(|t| t.energy).sum(),
+                        residual_kwh: residual,
+                    }
+                })
+                .collect();
+            let round = coord.run_round(&positions)?;
+            if round.summary.engaged {
+                let corridor = round.summary.corridor_price;
+                let transfers: Vec<TransferTx> = round
+                    .transfers
+                    .iter()
+                    .map(|t| TransferTx::new(t.from_shard, t.to_shard, t.energy_kwh(), corridor))
+                    .collect();
+                // The coupling block takes the window's last id slot.
+                let block_window = window * stride + shard_total + 1;
+                self.ledger
+                    .append_coupling(block_window, corridor, &transfers)?;
+                blocks_appended += 1;
+            }
+            if let Some(rep) = self.repartitioner.as_mut() {
+                let residuals: Vec<f64> = positions.iter().map(|p| p.residual_kwh).collect();
+                rep.observe(&residuals);
+            }
+            let mut summary = round.summary;
+            summary.repartitioned = repartitioned;
+            Some(summary)
+        } else {
+            None
+        };
 
         let outcome_refs: Vec<&pem_core::PemWindowOutcome> = outcomes.iter().collect();
         let latency = phase_latencies(&outcome_refs);
@@ -353,6 +497,7 @@ impl GridOrchestrator {
                 tip_hash,
             },
             pool: pool_stats,
+            coupling: coupling_summary,
         })
     }
 }
@@ -386,6 +531,7 @@ mod tests {
             coalition_size: 6,
             workers,
             strategy: PartitionStrategy::SurplusBalanced,
+            coupling: None,
         }
     }
 
@@ -453,6 +599,107 @@ mod tests {
         let mut cfg = config(1);
         cfg.strategy = PartitionStrategy::Feeder { feeders: 0 };
         assert!(GridOrchestrator::new(cfg).is_err());
+    }
+
+    fn coupled_config(workers: usize) -> GridConfig {
+        let mut cfg = config(workers);
+        cfg.coupling = Some(pem_coupling::CouplingConfig::fast_test());
+        cfg
+    }
+
+    #[test]
+    fn coupling_round_runs_and_settles_transfers() {
+        // Feeder partitioning over an even/odd population puts sellers
+        // and buyers in interleaved chunks; chunks end up imbalanced, so
+        // the coupling round has residual on both sides.
+        let pop = population(24);
+        let mut cfg = coupled_config(2);
+        cfg.strategy = PartitionStrategy::Feeder { feeders: 2 };
+        let mut grid = GridOrchestrator::new(cfg).expect("grid");
+        let report = grid.run_window(&pop).expect("window");
+        let cs = report.coupling.as_ref().expect("coupling ran");
+        assert_eq!(cs.shards, report.shard_outcomes.len());
+        assert!(cs.net.total_messages > 0, "round always aggregates");
+        assert!(cs.corridor_price >= grid.config().pem.band.floor);
+        assert!(cs.corridor_price <= grid.config().pem.band.ceiling);
+        if cs.engaged {
+            assert!(cs.transferred_kwh > 0.0);
+            assert!(cs.welfare_gain_cents > 0.0);
+            assert_eq!(grid.ledger().coupling_blocks(), 1);
+            assert!((grid.ledger().total_transfer_energy() - cs.transferred_kwh).abs() < 1e-6);
+        }
+        assert!(grid.ledger().validate().is_ok());
+    }
+
+    #[test]
+    fn coupling_disabled_report_has_no_summary() {
+        let pop = population(12);
+        let mut grid = GridOrchestrator::new(config(1)).expect("grid");
+        let report = grid.run_window(&pop).expect("window");
+        assert!(report.coupling.is_none());
+        assert_eq!(grid.ledger().coupling_blocks(), 0);
+    }
+
+    #[test]
+    fn coupling_preserves_local_market_outcomes() {
+        // The coupling round runs strictly after local clearing: per-
+        // shard prices, trades and regimes must match the uncoupled run.
+        let pop = population(20);
+        let mut plain = GridOrchestrator::new(config(2)).expect("grid");
+        let mut coupled = GridOrchestrator::new(coupled_config(2)).expect("grid");
+        let a = plain.run_window(&pop).expect("plain");
+        let b = coupled.run_window(&pop).expect("coupled");
+        assert_eq!(a.regime_counts, b.regime_counts);
+        assert_eq!(a.prices, b.prices);
+        assert_eq!(a.cleared_kwh, b.cleared_kwh);
+        for (x, y) in a.shard_outcomes.iter().zip(b.shard_outcomes.iter()) {
+            assert_eq!(x.members, y.members);
+            assert_eq!(x.outcome.trades, y.outcome.trades);
+        }
+    }
+
+    #[test]
+    fn repartition_rebuilds_lopsided_coalitions() {
+        // Round-robin over the alternating population makes every shard
+        // mixed; force lopsidedness with feeder chunks instead: sellers
+        // are even indices, so contiguous chunks alternate surplus.
+        let mut surpluses: Vec<AgentWindow> = Vec::new();
+        for i in 0..8 {
+            surpluses.push(AgentWindow::new(i, 3.0, 0.5, 0.0, 0.9, 25.0));
+        }
+        for i in 8..16 {
+            surpluses.push(AgentWindow::new(i, 0.0, 2.5, 0.0, 0.9, 25.0));
+        }
+        let mut cfg = coupled_config(2);
+        cfg.coalition_size = 8;
+        cfg.strategy = PartitionStrategy::Feeder { feeders: 2 };
+        cfg.coupling = Some(
+            pem_coupling::CouplingConfig::fast_test()
+                .with_repartition(pem_coupling::RepartitionConfig::fast_test()),
+        );
+        let mut grid = GridOrchestrator::new(cfg).expect("grid");
+
+        let r1 = grid.run_window(&surpluses).expect("w1");
+        let r2 = grid.run_window(&surpluses).expect("w2");
+        // Two windows of persistent imbalance → the third re-partitions.
+        let r3 = grid.run_window(&surpluses).expect("w3");
+        assert!(!r1.coupling.as_ref().expect("cs").repartitioned);
+        assert!(!r2.coupling.as_ref().expect("cs").repartitioned);
+        assert!(r3.coupling.as_ref().expect("cs").repartitioned);
+        // Membership actually changed, but stays a valid partition of
+        // the same sizes.
+        assert_ne!(r2.shard_outcomes[0].members, r3.shard_outcomes[0].members);
+        let mut all: Vec<usize> = r3
+            .shard_outcomes
+            .iter()
+            .flat_map(|s| s.members.iter().copied())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..16).collect::<Vec<_>>());
+        // The swap mixed both sides: the rebuilt shards now clear trades
+        // locally (previously one-sided => NoMarket).
+        assert!(r3.regime_counts[2] < r2.regime_counts[2]);
+        assert!(grid.ledger().validate().is_ok());
     }
 
     #[test]

@@ -16,7 +16,14 @@
 //!   onto grid-global party ids ([`pem_net::NetStats::merge_mapped`]),
 //!   folds prices into cross-shard dispersion and latencies into
 //!   percentiles, and settles every trading coalition's trades onto one
-//!   hash-chained [`pem_ledger::Ledger`].
+//!   hash-chained [`pem_ledger::Ledger`],
+//! * cross-shard **market coupling** (`pem-coupling`, enabled through
+//!   [`GridConfig::coupling`]) — after per-shard clearing, encrypted
+//!   coalition positions are tree-aggregated under a grid Paillier key,
+//!   a corridor price arbitrages the price dispersion, inter-shard
+//!   transfers settle as [`pem_ledger::TransferTx`] blocks, and a
+//!   dispersion-driven [`pem_coupling::Repartitioner`] feeds persistent
+//!   imbalance back into the shard plan.
 //!
 //! # Example
 //!
@@ -40,6 +47,7 @@
 //!     coalition_size: 4,
 //!     workers: 2,
 //!     strategy: PartitionStrategy::SurplusBalanced,
+//!     coupling: None,
 //! })?;
 //! let report = grid.run_window(&population)?;
 //! assert_eq!(report.shard_outcomes.len(), 3);
@@ -62,6 +70,7 @@ pub use grid::{GridConfig, GridOrchestrator};
 pub use partition::{
     FeederTopology, PartitionStrategy, Partitioner, RoundRobin, ShardPlan, SurplusBalanced,
 };
+pub use pem_coupling::{CouplingConfig, CouplingSummary, RepartitionConfig};
 pub use report::{
     GridDayReport, GridReport, LatencyPercentiles, PhaseLatencies, PriceStats, SettlementSummary,
     ShardOutcome,

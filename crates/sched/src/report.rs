@@ -1,6 +1,7 @@
 //! Grid-level reporting: what a sharded trading window produced.
 
 use pem_core::{PemWindowOutcome, PoolStats};
+use pem_coupling::CouplingSummary;
 use pem_crypto::sha256;
 use pem_market::MarketKind;
 use pem_net::NetStats;
@@ -35,19 +36,26 @@ pub struct PriceStats {
 
 impl PriceStats {
     /// Computes dispersion over the prices of trading shards.
+    ///
+    /// Degenerate inputs are well-defined: an empty slice (an
+    /// all-`NoMarket` window, or no shards at all) yields the zeroed
+    /// default, a single price yields zero dispersion, and non-finite
+    /// entries are dropped before any moment is computed — the result
+    /// never contains NaN or infinities.
     pub fn from_prices(prices: &[f64]) -> PriceStats {
-        if prices.is_empty() {
+        let finite: Vec<f64> = prices.iter().copied().filter(|p| p.is_finite()).collect();
+        if finite.is_empty() {
             return PriceStats::default();
         }
-        let n = prices.len() as f64;
-        let mean = prices.iter().sum::<f64>() / n;
-        let var = prices.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n;
+        let n = finite.len() as f64;
         PriceStats {
-            trading_shards: prices.len(),
-            min: prices.iter().copied().fold(f64::INFINITY, f64::min),
-            max: prices.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-            mean,
-            stddev: var.sqrt(),
+            trading_shards: finite.len(),
+            min: finite.iter().copied().fold(f64::INFINITY, f64::min),
+            max: finite.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean: finite.iter().sum::<f64>() / n,
+            // One dispersion definition across the workspace: the same
+            // helper the coupling round reports pre/post figures with.
+            stddev: pem_coupling::price_dispersion(&finite),
         }
     }
 }
@@ -140,6 +148,10 @@ pub struct GridReport {
     /// lifetime totals), summed across the coalitions' pools; `None`
     /// when pools are disabled.
     pub pool: Option<PoolStats>,
+    /// The cross-shard coupling round's summary; `None` when coupling is
+    /// disabled (in which case the report — and its fingerprint — is
+    /// bit-identical to a coupling-unaware grid).
+    pub coupling: Option<CouplingSummary>,
 }
 
 impl GridReport {
@@ -195,6 +207,19 @@ impl GridReport {
         buf.extend_from_slice(&self.net.total_bytes.to_be_bytes());
         buf.extend_from_slice(&self.net.total_messages.to_be_bytes());
         buf.extend_from_slice(&self.settlement.tip_hash);
+        // The coupling section is folded in only when the round ran, so
+        // a coupling-disabled grid fingerprints exactly as before the
+        // subsystem existed.
+        if let Some(cs) = &self.coupling {
+            buf.extend_from_slice(b"pem-coupling-v1");
+            buf.push(u8::from(cs.engaged));
+            buf.push(u8::from(cs.repartitioned));
+            buf.extend_from_slice(&cs.corridor_price.to_bits().to_be_bytes());
+            buf.extend_from_slice(&(cs.transfer_count as u64).to_be_bytes());
+            buf.extend_from_slice(&cs.transferred_kwh.to_bits().to_be_bytes());
+            buf.extend_from_slice(&cs.net.total_bytes.to_be_bytes());
+            buf.extend_from_slice(&cs.net.total_messages.to_be_bytes());
+        }
         sha256(&buf)
     }
 }
@@ -216,6 +241,10 @@ pub struct GridDayReport {
     pub ledger_valid: bool,
     /// Day-total randomizer-pool counters (sum of per-window deltas).
     pub pool: Option<PoolStats>,
+    /// Total energy moved between coalitions by coupling rounds (kWh).
+    pub transferred_kwh: f64,
+    /// Total welfare recovered by coupling rounds (cents).
+    pub coupling_welfare_cents: f64,
 }
 
 impl GridDayReport {
@@ -228,6 +257,8 @@ impl GridDayReport {
             total_messages: 0,
             ledger_valid,
             pool: None,
+            transferred_kwh: 0.0,
+            coupling_welfare_cents: 0.0,
             windows: Vec::new(),
         };
         for w in &windows {
@@ -240,6 +271,12 @@ impl GridDayReport {
                 d.hits += p.hits;
                 d.misses += p.misses;
                 d.generated += p.generated;
+            }
+            if let Some(cs) = &w.coupling {
+                day.transferred_kwh += cs.transferred_kwh;
+                day.coupling_welfare_cents += cs.welfare_gain_cents;
+                day.total_bytes += cs.net.total_bytes;
+                day.total_messages += cs.net.total_messages;
             }
         }
         day.windows = windows;
@@ -287,6 +324,37 @@ mod tests {
         assert!((s.mean - 100.0).abs() < 1e-12);
         assert!((s.stddev - (2.0f64).sqrt()).abs() < 1e-9);
         assert_eq!(PriceStats::from_prices(&[]), PriceStats::default());
+    }
+
+    #[test]
+    fn price_stats_degenerate_inputs() {
+        // An all-NoMarket (or empty) shard set must yield the zeroed
+        // default — no NaN dispersion, no infinite min/max.
+        let empty = PriceStats::from_prices(&[]);
+        assert_eq!(empty, PriceStats::default());
+        assert!(!empty.stddev.is_nan() && !empty.mean.is_nan());
+        assert!(empty.min.is_finite() && empty.max.is_finite());
+
+        // A single trading shard: zero dispersion, degenerate range.
+        let one = PriceStats::from_prices(&[104.5]);
+        assert_eq!(one.trading_shards, 1);
+        assert_eq!((one.min, one.max, one.mean), (104.5, 104.5, 104.5));
+        assert_eq!(one.stddev, 0.0);
+
+        // Identical prices: exactly zero, never a tiny NaN-prone value.
+        let flat = PriceStats::from_prices(&[100.0; 7]);
+        assert_eq!(flat.stddev, 0.0);
+
+        // Non-finite entries (a defensive guard: `optimal_price` clamps,
+        // but the unclamped path can yield infinity) are dropped.
+        let mixed = PriceStats::from_prices(&[100.0, f64::INFINITY, 102.0, f64::NAN]);
+        assert_eq!(mixed.trading_shards, 2);
+        assert_eq!((mixed.min, mixed.max), (100.0, 102.0));
+        assert!(mixed.stddev.is_finite());
+        assert_eq!(
+            PriceStats::from_prices(&[f64::NAN, f64::NEG_INFINITY]),
+            PriceStats::default()
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@ fn grid_config(workers: usize, strategy: PartitionStrategy) -> GridConfig {
         coalition_size: 10,
         workers,
         strategy,
+        coupling: None,
     }
 }
 

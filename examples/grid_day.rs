@@ -7,11 +7,14 @@
 //! cargo run --release --example grid_day
 //! cargo run --release --example grid_day -- --homes 1000 --windows 4 \
 //!     --coalition 31 --workers 8 --strategy surplus --pool 8
+//! # Cross-shard market coupling + dispersion-driven re-partitioning:
+//! cargo run --release --example grid_day -- --couple --repartition
 //! ```
 
 use std::time::Instant;
 
 use pem::core::PemConfig;
+use pem::coupling::{CouplingConfig, RepartitionConfig};
 use pem::data::{TraceConfig, TraceGenerator};
 use pem::sched::{GridConfig, GridOrchestrator, PartitionStrategy};
 
@@ -23,6 +26,11 @@ fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// `true` if `--flag` is present (valueless).
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 fn main() {
@@ -39,29 +47,58 @@ fn main() {
         "feeder" => PartitionStrategy::Feeder { feeders: 8 },
         _ => PartitionStrategy::SurplusBalanced,
     };
+    let couple = flag("--couple") || flag("--repartition");
+    let coupling = couple.then(|| {
+        let cfg = CouplingConfig::fast_test();
+        if flag("--repartition") {
+            cfg.with_repartition(RepartitionConfig::fast_test())
+        } else {
+            cfg
+        }
+    });
 
     println!("== PEM grid day ==");
-    println!("homes {homes} | windows {windows} | coalition ≤{coalition} | workers {workers} | randomizer pool {pool}/key");
+    println!(
+        "homes {homes} | windows {windows} | coalition ≤{coalition} | workers {workers} | randomizer pool {pool}/key | coupling {}",
+        if couple { "on" } else { "off" }
+    );
 
-    // Midday trace windows: solar homes sell, the rest buy.
+    // A full 24h of 15-minute windows at one-in-three solar penetration:
+    // solar homes sell through the day, the rest buy, and the morning /
+    // late-afternoon shoulders leave feeder neighborhoods on *both*
+    // sides of the market — the regime cross-shard coupling arbitrages.
     let trace = TraceGenerator::new(TraceConfig {
         homes,
         windows: 96,
+        window_minutes: 15,
         seed: 2020,
+        solar_fraction: 0.35,
         ..TraceConfig::default()
     })
     .generate();
-    // Start mid-morning and wrap around the 96-window day so any
-    // --windows value works.
+    // Start at ~9:00 (the morning shoulder) and wrap around the
+    // 96-window day so any --windows value works.
     let day: Vec<_> = (0..windows)
-        .map(|w| trace.window_agents((40 + w * 2) % trace.window_count()))
+        .map(|w| trace.window_agents((8 + w * 2) % trace.window_count()))
         .collect();
 
+    // The paper's narrow [90, 110] band pins every morning equilibrium
+    // to the floor; widen the retail/feed-in spread so Stackelberg
+    // prices land *inside* the band and genuine cross-coalition price
+    // dispersion appears (what the coupling round arbitrages).
+    let mut pem = PemConfig::fast_test().with_randomizer_pool(pool);
+    pem.band = pem::market::PriceBand {
+        grid_retail: 120.0,
+        grid_feed_in: 20.0,
+        floor: 30.0,
+        ceiling: 110.0,
+    };
     let mut grid = GridOrchestrator::new(GridConfig {
-        pem: PemConfig::fast_test().with_randomizer_pool(pool),
+        pem,
         coalition_size: coalition,
         workers,
         strategy,
+        coupling,
     })
     .expect("grid configuration");
 
@@ -97,6 +134,31 @@ fn main() {
             w.latency.total.p99_us,
             w.settlement.blocks_appended,
         );
+        if let Some(cs) = &w.coupling {
+            if cs.engaged {
+                println!(
+                    "        └ coupled: corridor {:>6.2} ¢/kWh | σ {:.2}→{:.2} | {:>6.2} kWh over {} transfers | +{:.1} ¢ welfare{}",
+                    cs.corridor_price,
+                    cs.pre_dispersion,
+                    cs.post_dispersion,
+                    cs.transferred_kwh,
+                    cs.transfer_count,
+                    cs.welfare_gain_cents,
+                    if cs.repartitioned { " | re-partitioned" } else { "" },
+                );
+            } else {
+                println!(
+                    "        └ coupling idle: surplus {:.2} kWh vs deficit {:.2} kWh{}",
+                    cs.surplus_kwh,
+                    cs.deficit_kwh,
+                    if cs.repartitioned {
+                        " | re-partitioned"
+                    } else {
+                        ""
+                    },
+                );
+            }
+        }
     }
 
     let agents_windows = (homes * windows) as f64;
@@ -121,6 +183,14 @@ fn main() {
             pool.hit_rate() * 100.0,
             pool.hits,
             pool.misses
+        );
+    }
+    if couple {
+        println!(
+            "coupling           {:>12.2} kWh transferred, +{:.1} ¢ welfare, {} transfer blocks",
+            report.transferred_kwh,
+            report.coupling_welfare_cents,
+            grid.ledger().coupling_blocks()
         );
     }
     println!(

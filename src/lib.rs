@@ -20,6 +20,7 @@
 //! | [`core`] | `pem-core` | Protocols 1–4: the Private Energy Market itself |
 //! | [`ledger`] | `pem-ledger` | hash-chained settlement ledger (§VI blockchain extension) |
 //! | [`sched`] | `pem-sched` | sharded multi-coalition grid orchestrator (bounded coalitions, worker pool, batched crypto) |
+//! | [`coupling`] | `pem-coupling` | privacy-preserving cross-shard market coupling + dispersion-driven re-partitioning |
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@
 pub use pem_bignum as bignum;
 pub use pem_circuit as circuit;
 pub use pem_core as core;
+pub use pem_coupling as coupling;
 pub use pem_crypto as crypto;
 pub use pem_data as data;
 pub use pem_ledger as ledger;
