@@ -1,0 +1,205 @@
+//! Per-kernel Paillier throughput at the paper's key sizes — the crypto
+//! half of the repo's perf trajectory (`BENCH_crypto.json`).
+//!
+//! Measures ops/sec for every kernel the protocols bottom out in:
+//! encryption (fresh and pooled-randomizer), the homomorphic operators,
+//! and decryption on both the CRT fast path and the classic full-width
+//! path (the pre-overhaul kernel, kept as the speedup baseline).
+//!
+//! ```text
+//! cargo run --release -p pem-bench --bin crypto_kernels -- \
+//!     --bits 512,1024,2048 --min-time-ms 300
+//! ```
+//!
+//! Output: a JSON array (one element per key size) followed by a
+//! human-readable table. CI runs a reduced smoke sweep and uploads the
+//! JSON; `BENCH_crypto.json` at the repo root pins the committed
+//! baseline.
+
+use std::time::Instant;
+
+use pem_bench::Args;
+use pem_bignum::BigUint;
+use pem_crypto::drbg::HashDrbg;
+use pem_crypto::paillier::{Ciphertext, Keypair, PrivateKey, PublicKey, Randomizer};
+
+/// One measured kernel: mean latency and throughput.
+struct Kernel {
+    name: &'static str,
+    ops_per_s: f64,
+    mean_us: f64,
+}
+
+/// Runs `op` repeatedly until `min_time_ms` of wall clock accumulates
+/// (at least 3 iterations), returning the throughput figures.
+fn measure<F: FnMut(u64)>(name: &'static str, min_time_ms: u64, mut op: F) -> Kernel {
+    op(0); // warm-up (first call may lazily build contexts)
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < min_time_ms as u128 || iters < 3 {
+        op(iters);
+        iters += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    Kernel {
+        name,
+        ops_per_s: iters as f64 / elapsed,
+        mean_us: elapsed * 1e6 / iters as f64,
+    }
+}
+
+struct SizeReport {
+    key_bits: usize,
+    keygen_ms: f64,
+    kernels: Vec<Kernel>,
+    decrypt_speedup: f64,
+}
+
+/// Fixture material shared by every kernel measurement at one key size.
+struct Fixture {
+    pk: PublicKey,
+    sk: PrivateKey,
+    sk_classic: PrivateKey,
+    cts: Vec<Ciphertext>,
+    randomizers: Vec<Randomizer>,
+    small_scalar: BigUint,
+    messages: Vec<BigUint>,
+}
+
+fn fixture(kp: &Keypair, variants: usize) -> Fixture {
+    let pk = kp.public().clone();
+    let mut rng = HashDrbg::from_seed_label(b"crypto-kernels", pk.bits() as u64);
+    let messages: Vec<BigUint> = (0..variants)
+        .map(|i| BigUint::from(1_000_003u64 * (i as u64 + 1)))
+        .collect();
+    let cts = messages.iter().map(|m| pk.encrypt(m, &mut rng)).collect();
+    let randomizers = pk.precompute_randomizers(variants, &mut rng);
+    Fixture {
+        sk: kp.private().clone(),
+        sk_classic: kp.private().without_crt(),
+        pk,
+        cts,
+        randomizers,
+        // A quantized market scalar (≈ 2^26): the mul_plain fast path.
+        small_scalar: BigUint::from((1u64 << 26) + 12345),
+        messages,
+    }
+}
+
+fn bench_size(bits: usize, min_time_ms: u64) -> SizeReport {
+    let mut rng = HashDrbg::from_seed_label(b"crypto-kernels-key", bits as u64);
+    let t0 = Instant::now();
+    let kp = Keypair::generate(bits, &mut rng);
+    let keygen_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let fx = fixture(&kp, 8);
+    let pick = |i: u64| (i % fx.cts.len() as u64) as usize;
+    let mut kernels = Vec::new();
+
+    {
+        let mut rng = HashDrbg::new(b"bench-encrypt");
+        let (pk, ms) = (&fx.pk, &fx.messages);
+        kernels.push(measure("encrypt", min_time_ms, |i| {
+            let _ = pk.encrypt(&ms[pick(i)], &mut rng);
+        }));
+    }
+    kernels.push(measure("encrypt_pooled", min_time_ms, |i| {
+        let _ = fx
+            .pk
+            .try_encrypt_with(&fx.messages[pick(i)], &fx.randomizers[pick(i)])
+            .expect("in range");
+    }));
+    kernels.push(measure("add_ciphertexts", min_time_ms, |i| {
+        let _ = fx
+            .pk
+            .add_ciphertexts(&fx.cts[pick(i)], &fx.cts[pick(i + 1)]);
+    }));
+    kernels.push(measure("add_plain", min_time_ms, |i| {
+        let _ = fx.pk.add_plain(&fx.cts[pick(i)], &fx.messages[pick(i + 1)]);
+    }));
+    kernels.push(measure("mul_plain_small", min_time_ms, |i| {
+        let _ = fx.pk.mul_plain(&fx.cts[pick(i)], &fx.small_scalar);
+    }));
+    kernels.push(measure("decrypt_crt", min_time_ms, |i| {
+        let _ = fx.sk.decrypt(&fx.cts[pick(i)]);
+    }));
+    kernels.push(measure("decrypt_classic", min_time_ms, |i| {
+        let _ = fx.sk_classic.decrypt(&fx.cts[pick(i)]);
+    }));
+    {
+        let batch = fx.cts.clone();
+        let per_call = batch.len() as f64;
+        let mut k = measure("decrypt_batch", min_time_ms, |_| {
+            let _ = fx.sk.decrypt_batch(&batch);
+        });
+        // Report per-ciphertext figures so the row compares directly.
+        k.ops_per_s *= per_call;
+        k.mean_us /= per_call;
+        kernels.push(k);
+    }
+
+    let ops = |name: &str| {
+        kernels
+            .iter()
+            .find(|k| k.name == name)
+            .map_or(0.0, |k| k.ops_per_s)
+    };
+    let decrypt_speedup = if ops("decrypt_classic") > 0.0 {
+        ops("decrypt_crt") / ops("decrypt_classic")
+    } else {
+        0.0
+    };
+    SizeReport {
+        key_bits: bits,
+        keygen_ms,
+        kernels,
+        decrypt_speedup,
+    }
+}
+
+fn json(reports: &[SizeReport]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"key_bits\": {}, \"keygen_ms\": {:.1}, ",
+            r.key_bits, r.keygen_ms
+        ));
+        for k in &r.kernels {
+            out.push_str(&format!(
+                "\"{}_ops_per_s\": {:.1}, \"{}_mean_us\": {:.1}, ",
+                k.name, k.ops_per_s, k.name, k.mean_us
+            ));
+        }
+        out.push_str(&format!(
+            "\"decrypt_speedup_crt\": {:.2}}}{}",
+            r.decrypt_speedup,
+            if i + 1 < reports.len() { ",\n" } else { "\n" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn main() {
+    let args = Args::from_env();
+    let bits = args.get_usize_list("bits", &[512, 1024, 2048]);
+    let min_time_ms = args.get_u64("min-time-ms", 300);
+
+    let reports: Vec<SizeReport> = bits.iter().map(|&b| bench_size(b, min_time_ms)).collect();
+
+    println!("{}", json(&reports));
+    println!();
+    println!("key_bits  kernel            ops/s        mean");
+    for r in &reports {
+        for k in &r.kernels {
+            println!(
+                "{:>8}  {:<16} {:>10.1}  {:>8.1}µs",
+                r.key_bits, k.name, k.ops_per_s, k.mean_us
+            );
+        }
+        println!(
+            "{:>8}  {:<16} {:>10.2}x  (CRT vs classic)",
+            r.key_bits, "decrypt_speedup", r.decrypt_speedup
+        );
+    }
+}

@@ -1,11 +1,18 @@
-//! Scheduler scaling sweep: population × coalition size × worker count,
-//! emitting one JSON object per configuration (agents/sec, bytes/agent,
-//! latency percentiles) — the perf trajectory of the sharded grid.
+//! Scheduler scaling sweep: population × coalition size × worker count ×
+//! aggregation topology, emitting one JSON object per configuration
+//! (agents/sec, bytes/agent, latency percentiles) — the perf trajectory
+//! of the sharded grid.
 //!
 //! ```text
 //! cargo run --release -p pem-bench --bin sched_scaling -- \
-//!     --populations 120,240 --coalitions 10,20 --workers 1,2,4 --windows 2
+//!     --populations 120,240 --coalitions 10,20 --workers 1,2,4 \
+//!     --windows 2 --topologies ring,star --key-bits 128
 //! ```
+//!
+//! `--topologies ring,star` sweeps Protocol 3's aggregation shape (the
+//! paper's O(n) sequential ring vs the depth-1 star fan-in) so the
+//! window-latency win of the hot-path work shows up end to end;
+//! `--key-bits` scales the Paillier keys toward the paper's sizes.
 //!
 //! Output is a JSON array (one element per swept configuration) followed
 //! by a human-readable summary table on stderr-free stdout.
@@ -13,7 +20,7 @@
 use std::time::Instant;
 
 use pem_bench::Args;
-use pem_core::PemConfig;
+use pem_core::{PemConfig, Topology};
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::AgentWindow;
 use pem_sched::{GridConfig, GridOrchestrator, PartitionStrategy};
@@ -22,6 +29,8 @@ struct Row {
     population: usize,
     coalition: usize,
     workers: usize,
+    topology: Topology,
+    key_bits: usize,
     shards: usize,
     windows: usize,
     setup_s: f64,
@@ -32,6 +41,13 @@ struct Row {
     p50_us: u64,
     p99_us: u64,
     pool_hit_rate: f64,
+}
+
+fn topology_name(t: Topology) -> &'static str {
+    match t {
+        Topology::Ring => "ring",
+        Topology::Star => "star",
+    }
 }
 
 fn day(population: usize, windows: usize) -> Vec<Vec<AgentWindow>> {
@@ -47,10 +63,25 @@ fn day(population: usize, windows: usize) -> Vec<Vec<AgentWindow>> {
         .collect()
 }
 
-fn sweep(population: usize, coalition: usize, workers: usize, windows: usize, pool: usize) -> Row {
+#[allow(clippy::too_many_arguments)]
+fn sweep(
+    population: usize,
+    coalition: usize,
+    workers: usize,
+    windows: usize,
+    pool: usize,
+    topology: Topology,
+    key_bits: usize,
+    pool_workers: usize,
+) -> Row {
     let data = day(population, windows);
+    let mut pem = PemConfig::fast_test()
+        .with_randomizer_pool(pool)
+        .with_topology(topology)
+        .with_pool_workers(pool_workers);
+    pem.key_bits = key_bits;
     let mut grid = GridOrchestrator::new(GridConfig {
-        pem: PemConfig::fast_test().with_randomizer_pool(pool),
+        pem,
         coalition_size: coalition,
         workers,
         strategy: PartitionStrategy::SurplusBalanced,
@@ -73,6 +104,8 @@ fn sweep(population: usize, coalition: usize, workers: usize, windows: usize, po
         population,
         coalition,
         workers,
+        topology,
+        key_bits,
         shards,
         windows,
         setup_s,
@@ -92,6 +125,7 @@ fn json(rows: &[Row]) -> String {
         out.push_str(&format!(
             concat!(
                 "  {{\"population\": {}, \"coalition_size\": {}, \"workers\": {}, ",
+                "\"topology\": \"{}\", \"key_bits\": {}, ",
                 "\"shards\": {}, \"windows\": {}, \"setup_s\": {:.3}, \"run_s\": {:.3}, ",
                 "\"agents_per_s\": {:.1}, \"bytes_per_agent\": {:.1}, ",
                 "\"cleared_kwh\": {:.3}, \"total_p50_us\": {}, \"total_p99_us\": {}, ",
@@ -100,6 +134,8 @@ fn json(rows: &[Row]) -> String {
             r.population,
             r.coalition,
             r.workers,
+            topology_name(r.topology),
+            r.key_bits,
             r.shards,
             r.windows,
             r.setup_s,
@@ -124,25 +160,44 @@ fn main() {
     let workers = args.get_usize_list("workers", &[1, 2, 4]);
     let windows = args.get_usize("windows", 2);
     let pool = args.get_usize("pool", 48);
+    let key_bits = args.get_usize("key-bits", 128);
+    let pool_workers = args.get_usize("pool-workers", 0);
+    let topologies: Vec<Topology> = args
+        .get_str("topologies", "ring")
+        .split(',')
+        .map(|t| t.parse().expect("topology"))
+        .collect();
 
     let mut rows = Vec::new();
     for &population in &populations {
         for &coalition in &coalitions {
             for &w in &workers {
-                rows.push(sweep(population, coalition, w, windows, pool));
+                for &t in &topologies {
+                    rows.push(sweep(
+                        population,
+                        coalition,
+                        w,
+                        windows,
+                        pool,
+                        t,
+                        key_bits,
+                        pool_workers,
+                    ));
+                }
             }
         }
     }
 
     println!("{}", json(&rows));
     println!();
-    println!("population coalition workers shards  agents/s  bytes/agent  p99(µs)");
+    println!("population coalition workers topology shards  agents/s  bytes/agent  p99(µs)");
     for r in &rows {
         println!(
-            "{:>10} {:>9} {:>7} {:>6} {:>9.1} {:>12.1} {:>8}",
+            "{:>10} {:>9} {:>7} {:>8} {:>6} {:>9.1} {:>12.1} {:>8}",
             r.population,
             r.coalition,
             r.workers,
+            topology_name(r.topology),
             r.shards,
             r.agents_per_s,
             r.bytes_per_agent,

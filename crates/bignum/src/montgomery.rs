@@ -126,6 +126,97 @@ impl Montgomery {
         t
     }
 
+    /// Dedicated Montgomery squaring: returns `a * a * R^{-1} mod n`.
+    ///
+    /// The square chain of [`Montgomery::modpow`] spends almost all of its
+    /// time here, and squaring needs only half the cross products of a
+    /// general multiplication: `a_i·a_j` terms with `i < j` are computed
+    /// once and doubled, then the diagonal `a_i²` terms are added, and a
+    /// separate reduction sweep (SOS) folds in the modulus.
+    fn mont_sqr(&self, a: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        debug_assert_eq!(a.len(), k);
+        let n = self.n.limbs();
+        // 1. Cross products `a_i·a_j` (i < j) into a 2k-limb accumulator
+        //    (one slack limb for transient carries).
+        let mut t = vec![0u64; 2 * k + 1];
+        for i in 0..k {
+            let ai = a[i];
+            if ai == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for j in (i + 1)..k {
+                let s = t[i + j] as u128 + ai as u128 * a[j] as u128 + carry;
+                t[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            let mut idx = i + k;
+            while carry > 0 {
+                let s = t[idx] as u128 + carry;
+                t[idx] = s as u64;
+                carry = s >> 64;
+                idx += 1;
+            }
+        }
+        // 2. Double every cross product (shift left one bit) …
+        let mut prev = 0u64;
+        for limb in t.iter_mut() {
+            let cur = *limb;
+            *limb = (cur << 1) | (prev >> 63);
+            prev = cur;
+        }
+        // 3. … and add the diagonal `a_i²` terms.
+        let mut carry = 0u64;
+        for i in 0..k {
+            let d = a[i] as u128 * a[i] as u128;
+            let (s0, c0) = t[2 * i].overflowing_add(d as u64);
+            let (s0, c0b) = s0.overflowing_add(carry);
+            t[2 * i] = s0;
+            let (s1, c1) = t[2 * i + 1].overflowing_add((d >> 64) as u64);
+            let (s1, c1b) = s1.overflowing_add(c0 as u64 + c0b as u64);
+            t[2 * i + 1] = s1;
+            carry = c1 as u64 + c1b as u64;
+        }
+        if carry > 0 {
+            t[2 * k] = t[2 * k].wrapping_add(carry);
+        }
+        // 4. Montgomery reduction of the double-width square (separated
+        //    operand scanning: one modulus sweep per low limb).
+        for i in 0..k {
+            let m = t[i].wrapping_mul(self.n0_inv);
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let s = t[i + j] as u128 + m as u128 * n[j] as u128 + carry;
+                t[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            let mut idx = i + k;
+            while carry > 0 {
+                let s = t[idx] as u128 + carry;
+                t[idx] = s as u64;
+                carry = s >> 64;
+                idx += 1;
+            }
+        }
+        // The reduced value lives in t[k..=2k] and is < 2n: at most one
+        // subtraction, exactly as in `mont_mul`.
+        let ge_n =
+            t[2 * k] != 0 || arith::cmp_limbs(&strip(&t[k..2 * k]), n) != std::cmp::Ordering::Less;
+        let mut out = t[k..2 * k].to_vec();
+        if ge_n {
+            let mut borrow = 0u64;
+            for (j, limb) in out.iter_mut().enumerate() {
+                let (d, b1) = limb.overflowing_sub(n[j]);
+                let (d, b2) = d.overflowing_sub(borrow);
+                *limb = d;
+                borrow = b1 as u64 + b2 as u64;
+            }
+            debug_assert_eq!(t[2 * k].wrapping_sub(borrow), 0);
+        }
+        out
+    }
+
     /// Converts into Montgomery form (`a * R mod n`).
     fn to_mont(&self, a: &BigUint) -> Vec<u64> {
         let reduced = a % &self.n;
@@ -147,7 +238,31 @@ impl Montgomery {
         self.from_mont(&self.mont_mul(&am, &bm))
     }
 
-    /// `base^exp mod n` using 4-bit fixed-window exponentiation.
+    /// `a² mod n` via the dedicated squaring path (~25% cheaper than
+    /// `mul(a, a)` at Paillier widths).
+    pub fn sqr(&self, a: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        self.from_mont(&self.mont_sqr(&am))
+    }
+
+    /// The window width whose table-build cost amortizes over `bits`
+    /// exponent bits: tiny exponents (quantized market scalars) take a
+    /// plain square-and-multiply ladder, full-width Paillier exponents a
+    /// 5-bit table.
+    fn window_bits(bits: usize) -> usize {
+        match bits {
+            0..=7 => 1,
+            8..=23 => 2,
+            24..=95 => 3,
+            96..=767 => 4,
+            _ => 5,
+        }
+    }
+
+    /// `base^exp mod n` using sliding fixed-window exponentiation with
+    /// the window (and its `2^w`-entry table) sized to the exponent's
+    /// actual bit length, and the dedicated squaring kernel in the
+    /// square chain.
     ///
     /// ```
     /// use pem_bignum::{BigUint, Montgomery};
@@ -162,30 +277,31 @@ impl Montgomery {
                 BigUint::one()
             };
         }
+        let bits = exp.bit_length();
+        let w = Montgomery::window_bits(bits);
         let base_m = self.to_mont(base);
 
-        // Precompute base^0..base^15 in Montgomery form.
-        let mut table = Vec::with_capacity(16);
+        // Precompute base^0..base^(2^w - 1) in Montgomery form.
+        let mut table = Vec::with_capacity(1 << w);
         table.push(self.r1.clone()); // 1 in Montgomery form
         table.push(base_m.clone());
-        for i in 2..16 {
+        for i in 2..(1 << w) {
             let prev: &Vec<u64> = &table[i - 1];
             table.push(self.mont_mul(prev, &base_m));
         }
 
-        let bits = exp.bit_length();
-        let windows = bits.div_ceil(4);
+        let windows = bits.div_ceil(w);
         let mut acc = self.r1.clone();
         let mut started = false;
-        for w in (0..windows).rev() {
+        for win in (0..windows).rev() {
             if started {
-                for _ in 0..4 {
-                    acc = self.mont_mul(&acc, &acc);
+                for _ in 0..w {
+                    acc = self.mont_sqr(&acc);
                 }
             }
             let mut idx = 0usize;
-            for b in 0..4 {
-                let bit_pos = w * 4 + (3 - b);
+            for b in 0..w {
+                let bit_pos = win * w + (w - 1 - b);
                 idx <<= 1;
                 if bit_pos < bits && exp.bit(bit_pos) {
                     idx |= 1;
@@ -194,11 +310,9 @@ impl Montgomery {
             if idx != 0 {
                 acc = self.mont_mul(&acc, &table[idx]);
                 started = true;
-            } else if started {
-                // window of zeros: squarings above already applied
-            } else {
-                // leading zero window before any set bit: nothing to do
             }
+            // A zero window needs nothing beyond the squarings above
+            // (or, before the first set bit, nothing at all).
         }
         if !started {
             // exp was zero (handled above) — defensive fallback.
@@ -283,6 +397,52 @@ mod tests {
             ctx.modpow(&a, &BigUint::from(5u64)),
             (a % &n).modpow_naive(&BigUint::from(5u64), &n)
         );
+    }
+
+    #[test]
+    fn sqr_matches_mul_across_widths() {
+        // Single- and multi-limb moduli; values spanning zero to just
+        // below the modulus.
+        let moduli = [
+            BigUint::from(1_000_003u64),
+            (BigUint::one() << 190) + BigUint::from(12345u64),
+            (BigUint::one() << 509) + BigUint::from(9u64),
+        ];
+        for n in moduli {
+            let ctx = Montgomery::new(n.clone()).expect("odd");
+            let mut a = BigUint::from(3u64);
+            for _ in 0..24 {
+                // Walk a pseudo-random orbit mod n so high limbs get
+                // exercised: a <- a² + 1 mod n.
+                assert_eq!(ctx.sqr(&a), ctx.mul(&a, &a), "n={n:?} a={a:?}");
+                a = (ctx.sqr(&a) + BigUint::one()) % &n;
+            }
+            assert_eq!(ctx.sqr(&BigUint::zero()), BigUint::zero());
+            assert_eq!(ctx.sqr(&(&n - &BigUint::one())), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn modpow_window_boundaries() {
+        // Exponent bit lengths straddling every window-width threshold
+        // must all agree with the naive ladder.
+        let n = (BigUint::one() << 190) + BigUint::from(12345u64);
+        let ctx = Montgomery::new(n.clone()).expect("odd");
+        let base = BigUint::from(0xDEAD_BEEFu64);
+        for bits in [1usize, 7, 8, 23, 24, 95, 96, 767, 768] {
+            // exp = 2^(bits-1) (+ 0b1011 when it fits): full length,
+            // mixed windows.
+            let mut exp = BigUint::one() << (bits - 1);
+            if bits > 1 {
+                exp += BigUint::from(0b1011u64) % (BigUint::one() << (bits - 1));
+            }
+            assert_eq!(exp.bit_length(), bits, "constructed width");
+            assert_eq!(
+                ctx.modpow(&base, &exp),
+                base.modpow_naive(&exp, &n),
+                "bits={bits}"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@ use pem_crypto::ot::DhGroup;
 use pem_market::PriceBand;
 
 use crate::error::PemError;
+use crate::protocol3::Topology;
 use crate::quantize::Quantizer;
 
 /// Which Diffie–Hellman group backs the oblivious transfers of the secure
@@ -63,6 +64,16 @@ pub struct PemConfig {
     /// topping up to the static `randomizer_pool` size. Market outcomes
     /// are unaffected either way; only the precompute schedule moves.
     pub adaptive_pool: bool,
+    /// Worker threads for randomizer-pool precompute (0 = the legacy
+    /// sequential per-key streams). Any value ≥ 1 switches the pool to
+    /// per-slot DRBG streams, whose output is bit-identical at every
+    /// worker count (a different — equally uniform — randomizer
+    /// sequence than the sequential mode).
+    pub pool_workers: usize,
+    /// Protocol 3 aggregation topology: the paper's sequential ring or
+    /// the depth-1 star fan-in (same byte volume, O(1) critical path —
+    /// the ROADMAP "protocol hot path" lever).
+    pub topology: Topology,
 }
 
 impl PemConfig {
@@ -79,6 +90,8 @@ impl PemConfig {
             seed: 2020,
             randomizer_pool: 0,
             adaptive_pool: false,
+            pool_workers: 0,
+            topology: Topology::Ring,
         }
     }
 
@@ -96,6 +109,8 @@ impl PemConfig {
             seed: 7,
             randomizer_pool: 0,
             adaptive_pool: false,
+            pool_workers: 0,
+            topology: Topology::Ring,
         }
     }
 
@@ -111,6 +126,22 @@ impl PemConfig {
     #[must_use]
     pub fn with_adaptive_pool(mut self) -> PemConfig {
         self.adaptive_pool = true;
+        self
+    }
+
+    /// Splits randomizer-pool precompute over `workers` threads with
+    /// per-slot DRBG streams (bit-identical pools at any worker count;
+    /// no effect while the pool is disabled).
+    #[must_use]
+    pub fn with_pool_workers(mut self, workers: usize) -> PemConfig {
+        self.pool_workers = workers;
+        self
+    }
+
+    /// Selects the Protocol 3 aggregation topology.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> PemConfig {
+        self.topology = topology;
         self
     }
 

@@ -67,6 +67,18 @@ impl KeyDirectory {
     pub fn randomizer_pool(&self, batch: usize, seed: u64) -> crate::randpool::RandomizerPool {
         crate::randpool::RandomizerPool::generate(self, batch, seed)
     }
+
+    /// Like [`KeyDirectory::randomizer_pool`], but with per-slot DRBG
+    /// streams and the precompute batch split over `workers` threads —
+    /// bit-identical pools at any worker count.
+    pub fn randomizer_pool_parallel(
+        &self,
+        batch: usize,
+        seed: u64,
+        workers: usize,
+    ) -> crate::randpool::RandomizerPool {
+        crate::randpool::RandomizerPool::generate_parallel(self, batch, seed, workers)
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use pem_crypto::paillier::Ciphertext;
 use pem_net::wire::{WireReader, WireWriter};
 use pem_net::{PartyId, SimNetwork};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::agents::AgentCtx;
 use crate::config::PemConfig;
@@ -42,14 +43,28 @@ pub struct PricingOutcome {
 /// the wire per hop. The **star** alternative has every seller send its
 /// pair directly to `H_b`, who multiplies locally: the same byte volume
 /// but a sequential depth of 1 — the trade-off the
-/// `ablation_topology` bench quantifies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// `ablation_topology` bench quantifies and `sched_scaling --topologies`
+/// sweeps end to end. Selected per market via
+/// [`PemConfig::topology`](crate::PemConfig).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum Topology {
     /// Sequential ring through the seller coalition (the paper's flow).
     #[default]
     Ring,
     /// Direct fan-in to the decryptor.
     Star,
+}
+
+impl std::str::FromStr for Topology {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Topology, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ring" => Ok(Topology::Ring),
+            "star" => Ok(Topology::Star),
+            other => Err(format!("unknown topology '{other}' (expected ring|star)")),
+        }
+    }
 }
 
 /// Runs Protocol 3 with the paper's ring topology.

@@ -149,15 +149,21 @@ pub fn run(
         )?;
     }
 
+    // The decryptor drains the whole fan-in first, then decrypts it as
+    // one batch over its (CRT) context — the settlement-side analogue of
+    // the coupling coordinator's batched total/claim decryptions.
     let sk = keys.keypair(decryptor).private();
-    let mut ratios = Vec::with_capacity(ratio_side.len());
+    let mut ratio_cts = Vec::with_capacity(ratio_side.len());
     for _ in 0..ratio_side.len() {
         let env = net.recv_expect(PartyId(decryptor), "dist/ratio-req")?;
         let mut r = WireReader::new(&env.payload);
         let ct = Ciphertext::from_biguint(r.get_biguint()?);
         pk.validate_ciphertext(&ct)?;
-        let v = sk
-            .decrypt(&ct)
+        ratio_cts.push(ct);
+    }
+    let mut ratios = Vec::with_capacity(ratio_side.len());
+    for m in sk.decrypt_batch(&ratio_cts) {
+        let v = m
             .to_u128()
             .ok_or(PemError::Protocol("scaled ratio exceeded 128 bits"))?;
         if v == 0 {

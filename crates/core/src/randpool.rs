@@ -57,11 +57,33 @@ impl PoolStats {
     }
 }
 
+/// How a pool derives the DRBG randomness behind each precomputed
+/// randomizer.
+#[derive(Debug, Clone)]
+enum Streams {
+    /// One sequential DRBG per key: randomizer `j` under a key depends
+    /// on every earlier draw from that key's stream. The original mode —
+    /// kept as the default because existing seeds reproduce bit-for-bit.
+    Sequential(Vec<HashDrbg>),
+    /// One derived DRBG per *(key, slot)*: randomizer `j` under key `k`
+    /// is a pure function of `(seed, k, j)`, so batches can be split
+    /// across any number of worker threads and still come out
+    /// bit-identical (a different — equally uniform — sequence than
+    /// `Sequential`).
+    PerSlot {
+        seed: u64,
+        /// Next slot index to derive, per key (never reused).
+        next_slot: Vec<u64>,
+        /// Worker threads for batch precompute (1 = inline).
+        workers: usize,
+    },
+}
+
 /// A per-key pool of precomputed Paillier randomizers.
 #[derive(Debug, Clone)]
 pub struct RandomizerPool {
     queues: Vec<VecDeque<Randomizer>>,
-    streams: Vec<HashDrbg>,
+    streams: Streams,
     batch: usize,
     stats: PoolStats,
     /// Draws attempted per key since the last refill (hits + misses) —
@@ -72,10 +94,52 @@ pub struct RandomizerPool {
     dry: Vec<u64>,
 }
 
+/// Derives the independent DRBG stream of pool slot `(key, slot)`.
+fn slot_stream(seed: u64, key: usize, slot: u64) -> HashDrbg {
+    let mut label = Vec::with_capacity(33);
+    label.extend_from_slice(b"pem-randpool-slot");
+    label.extend_from_slice(&(key as u64).to_be_bytes());
+    label.extend_from_slice(&slot.to_be_bytes());
+    HashDrbg::from_seed_label(&label, seed)
+}
+
+/// Computes the randomizers for `jobs = [(key, slot), …]`, split over
+/// `workers` threads in contiguous chunks. Output order equals job
+/// order and every randomizer depends only on `(seed, key, slot)`, so
+/// the result is bit-identical at any worker count.
+fn precompute_slots(
+    keys: &KeyDirectory,
+    jobs: &[(usize, u64)],
+    seed: u64,
+    workers: usize,
+) -> Vec<Randomizer> {
+    let one = |&(key, slot): &(usize, u64)| {
+        let mut stream = slot_stream(seed, key, slot);
+        keys.public(key)
+            .precompute_randomizers(1, &mut stream)
+            .pop()
+            .expect("one randomizer requested")
+    };
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(one).collect();
+    }
+    let chunk = jobs.len().div_ceil(workers.min(jobs.len()));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(one).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("pool precompute worker panicked"))
+            .collect()
+    })
+}
+
 impl RandomizerPool {
     /// Builds a pool holding `batch` randomizers per directory key,
     /// deterministically derived from `seed` (independent of the
-    /// protocol RNG streams).
+    /// protocol RNG streams), using the sequential per-key streams.
     pub fn generate(keys: &KeyDirectory, batch: usize, seed: u64) -> RandomizerPool {
         let mut queues = Vec::with_capacity(keys.len());
         let mut streams = Vec::with_capacity(keys.len());
@@ -90,12 +154,39 @@ impl RandomizerPool {
         let keys = queues.len();
         RandomizerPool {
             queues,
-            streams,
+            streams: Streams::Sequential(streams),
             batch,
             stats,
             draws: vec![0; keys],
             dry: vec![0; keys],
         }
+    }
+
+    /// Builds a pool whose precompute (initial batch and every refill)
+    /// is split over `workers` threads using per-slot DRBG streams: the
+    /// pooled randomizers — and hence every ciphertext they produce —
+    /// are bit-identical at any worker count.
+    pub fn generate_parallel(
+        keys: &KeyDirectory,
+        batch: usize,
+        seed: u64,
+        workers: usize,
+    ) -> RandomizerPool {
+        let n = keys.len();
+        let mut pool = RandomizerPool {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            streams: Streams::PerSlot {
+                seed,
+                next_slot: vec![0; n],
+                workers: workers.max(1),
+            },
+            batch,
+            stats: PoolStats::default(),
+            draws: vec![0; n],
+            dry: vec![0; n],
+        };
+        pool.refill(keys);
+        pool
     }
 
     /// Number of keys the pool covers.
@@ -146,15 +237,43 @@ impl RandomizerPool {
     fn refill_to_targets(&mut self, keys: &KeyDirectory, targets: &[usize]) -> usize {
         assert_eq!(keys.len(), self.queues.len(), "key directory size changed");
         let mut generated = 0;
-        for (i, queue) in self.queues.iter_mut().enumerate() {
-            let missing = targets[i].saturating_sub(queue.len());
-            if missing > 0 {
-                let fresh = keys
-                    .public(i)
-                    .precompute_randomizers(missing, &mut self.streams[i]);
-                generated += fresh.len();
-                queue.extend(fresh);
+        match &mut self.streams {
+            Streams::Sequential(streams) => {
+                for (i, queue) in self.queues.iter_mut().enumerate() {
+                    let missing = targets[i].saturating_sub(queue.len());
+                    if missing > 0 {
+                        let fresh = keys
+                            .public(i)
+                            .precompute_randomizers(missing, &mut streams[i]);
+                        generated += fresh.len();
+                        queue.extend(fresh);
+                    }
+                }
             }
+            Streams::PerSlot {
+                seed,
+                next_slot,
+                workers,
+            } => {
+                // Assign each missing entry its (key, slot) coordinate up
+                // front; the precompute itself can then land on any
+                // thread without affecting a single output bit.
+                let mut jobs = Vec::new();
+                for (i, queue) in self.queues.iter().enumerate() {
+                    let missing = targets[i].saturating_sub(queue.len());
+                    for _ in 0..missing {
+                        jobs.push((i, next_slot[i]));
+                        next_slot[i] += 1;
+                    }
+                }
+                let fresh = precompute_slots(keys, &jobs, *seed, *workers);
+                generated = fresh.len();
+                for ((key, _), r) in jobs.iter().zip(fresh) {
+                    self.queues[*key].push_back(r);
+                }
+            }
+        }
+        for i in 0..self.queues.len() {
             self.draws[i] = 0;
             self.dry[i] = 0;
         }
@@ -328,6 +447,60 @@ mod tests {
         let _ = pool.take(0);
         assert_eq!(pool.refill_adaptive(&keys), 0, "7 on hand covers demand");
         assert_eq!(pool.available(0), 7);
+    }
+
+    #[test]
+    fn parallel_pool_is_worker_count_invariant() {
+        // Same seed, 1 vs 4 workers: every queue must hold bit-identical
+        // randomizers, through generation, draws and adaptive refills.
+        let keys = directory();
+        let mut a = RandomizerPool::generate_parallel(&keys, 3, 21, 1);
+        let mut b = RandomizerPool::generate_parallel(&keys, 3, 21, 4);
+        for key in 0..keys.len() {
+            assert_eq!(a.available(key), 3);
+            for _ in 0..3 {
+                assert_eq!(a.take(key), b.take(key), "key {key}");
+            }
+        }
+        // Refill (all queues dry) and compare the next generation too.
+        assert_eq!(a.refill(&keys), b.refill(&keys));
+        for key in 0..keys.len() {
+            assert_eq!(a.take(key), b.take(key), "post-refill key {key}");
+        }
+        // Adaptive refill sees identical demand counters → same targets.
+        assert_eq!(a.refill_adaptive(&keys), b.refill_adaptive(&keys));
+        for key in 0..keys.len() {
+            assert_eq!(a.available(key), b.available(key));
+            assert_eq!(a.take(key), b.take(key), "post-adaptive key {key}");
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn parallel_pool_slots_never_repeat() {
+        // Consecutive refills must keep advancing the slot counters:
+        // no randomizer (and hence no `r`) is ever handed out twice.
+        let keys = directory();
+        let mut pool = RandomizerPool::generate_parallel(&keys, 2, 5, 2);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            while let Some(r) = pool.take(0) {
+                assert!(!seen.contains(&r), "randomizer reuse");
+                seen.push(r);
+            }
+            pool.refill(&keys);
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn parallel_pooled_ciphertexts_decrypt() {
+        let keys = directory();
+        let mut pool = Some(RandomizerPool::generate_parallel(&keys, 2, 9, 4));
+        let mut rng = HashDrbg::new(b"par-fallback");
+        let m = BigUint::from(4321u64);
+        let c = encrypt_under(keys.public(2), 2, &m, &mut pool, &mut rng).expect("pooled");
+        assert_eq!(keys.keypair(2).private().decrypt(&c), m);
     }
 
     #[test]

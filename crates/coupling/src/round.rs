@@ -271,14 +271,15 @@ impl CouplingCoordinator {
         let sk = self.keys.keypair(0).private();
         let env = net.recv_expect(coordinator, LABEL_UP)?;
         let mut r = WireReader::new(&env.payload);
+        let mut total_cts = Vec::with_capacity(4);
+        for _ in 0..4 {
+            total_cts.push(Ciphertext::from_biguint(r.get_biguint()?));
+        }
         let mut totals = [0u128; 4];
-        for t in &mut totals {
-            *t = sk
-                .decrypt(&Ciphertext::from_biguint(r.get_biguint()?))
-                .to_u128()
-                .ok_or_else(|| {
-                    CouplingError::Config("aggregate overflows the coupling range".into())
-                })?;
+        for (t, m) in totals.iter_mut().zip(sk.decrypt_batch(&total_cts)) {
+            *t = m.to_u128().ok_or_else(|| {
+                CouplingError::Config("aggregate overflows the coupling range".into())
+            })?;
         }
         let [surplus_q, deficit_q, vol_q, pv] = totals;
         let surplus_kwh = surplus_q as f64 / ENERGY_SCALE;
@@ -319,13 +320,19 @@ impl CouplingCoordinator {
                 w.put_biguint(c.as_biguint());
                 net.send(PartyId(i), coordinator, LABEL_CLAIM, w.finish())?;
             }
-            let mut exporters: Vec<(usize, u64)> = Vec::new();
-            let mut importers: Vec<(usize, u64)> = Vec::new();
+            // Collect every claim first, then decrypt them as one batch
+            // over the shared CRT context.
+            let mut claim_from = Vec::with_capacity(s);
+            let mut claim_cts = Vec::with_capacity(s);
             for _ in 0..s {
                 let env = net.recv_expect(coordinator, LABEL_CLAIM)?;
                 let mut r = WireReader::new(&env.payload);
-                let res = sk.decrypt_i128(&Ciphertext::from_biguint(r.get_biguint()?));
-                let from = env.from.0;
+                claim_from.push(env.from.0);
+                claim_cts.push(Ciphertext::from_biguint(r.get_biguint()?));
+            }
+            let mut exporters: Vec<(usize, u64)> = Vec::new();
+            let mut importers: Vec<(usize, u64)> = Vec::new();
+            for (&from, res) in claim_from.iter().zip(sk.decrypt_i128_batch(&claim_cts)) {
                 match res.signum() {
                     1 => exporters.push((from, res as u64)),
                     -1 => importers.push((from, (-res) as u64)),

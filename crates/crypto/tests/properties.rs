@@ -64,6 +64,94 @@ proptest! {
     }
 
     #[test]
+    fn crt_decrypt_equals_classic_everywhere(v in any::<u64>(), seed in any::<u64>()) {
+        let kp = shared_keypair();
+        let sk = kp.private();
+        let legacy = sk.without_crt();
+        let mut rng = HashDrbg::from_seed_label(b"crt-eq", seed);
+        let m = BigUint::from(v);
+        let c = kp.public().encrypt(&m, &mut rng);
+        let fast = sk.decrypt(&c);
+        prop_assert_eq!(&fast, &sk.decrypt_classic(&c));
+        prop_assert_eq!(&fast, &legacy.decrypt(&c));
+        prop_assert_eq!(fast, m);
+    }
+
+    #[test]
+    fn crt_decrypt_equals_classic_near_half_n(offset in -8i64..=8, seed in any::<u64>()) {
+        // The balanced-signed boundary band around n/2: the CRT
+        // recombination must land on exactly the same representative the
+        // classic L-function path produces, so sign decoding agrees.
+        let kp = shared_keypair();
+        let sk = kp.private();
+        let pk = kp.public();
+        let half = pk.n() >> 1;
+        let m = if offset >= 0 {
+            &half + &BigUint::from(offset as u64)
+        } else {
+            &half - &BigUint::from((-offset) as u64)
+        };
+        let mut rng = HashDrbg::from_seed_label(b"crt-half", seed ^ offset as u64);
+        let c = pk.encrypt(&m, &mut rng);
+        prop_assert_eq!(sk.decrypt(&c), sk.decrypt_classic(&c));
+        prop_assert_eq!(sk.decrypt_i128(&c), sk.without_crt().decrypt_i128(&c));
+    }
+
+    #[test]
+    fn crt_decrypt_equals_classic_signed(v in any::<i64>(), seed in any::<u64>()) {
+        let kp = shared_keypair();
+        let sk = kp.private();
+        let pk = kp.public();
+        let mut rng = HashDrbg::from_seed_label(b"crt-signed", seed);
+        let c = pk.encrypt(&pk.encode_i128(v as i128), &mut rng);
+        prop_assert_eq!(sk.decrypt_i128(&c), v as i128);
+        prop_assert_eq!(sk.without_crt().decrypt_i128(&c), v as i128);
+    }
+
+    #[test]
+    fn crt_batch_equals_singles(vs in proptest::collection::vec(any::<u64>(), 1..6), seed in any::<u64>()) {
+        let kp = shared_keypair();
+        let mut rng = HashDrbg::from_seed_label(b"crt-batch", seed);
+        let cts: Vec<_> = vs
+            .iter()
+            .map(|&v| kp.public().encrypt(&BigUint::from(v), &mut rng))
+            .collect();
+        let batch = kp.private().decrypt_batch(&cts);
+        for (c, m) in cts.iter().zip(&batch) {
+            prop_assert_eq!(&kp.private().decrypt(c), m);
+        }
+        prop_assert_eq!(batch, vs.iter().map(|&v| BigUint::from(v)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn roundtripped_public_key_is_bit_identical(v in any::<u64>(), seed in any::<u64>()) {
+        // `from_modulus` rebuilds exactly the state a serde round-trip
+        // leaves behind (context dropped, lazily rebuilt): fed the same
+        // DRBG stream or the same pooled randomizer, it must emit the
+        // same ciphertext bits, validate them identically, and decrypt
+        // to the same plaintext.
+        let kp = shared_keypair();
+        let pk = kp.public();
+        let rebuilt = pem_crypto::paillier::PublicKey::from_modulus(pk.n().clone())
+            .expect("valid modulus");
+        let m = BigUint::from(v);
+        let mut rng_a = HashDrbg::from_seed_label(b"pk-rt", seed);
+        let mut rng_b = HashDrbg::from_seed_label(b"pk-rt", seed);
+        let ca = pk.encrypt(&m, &mut rng_a);
+        let cb = rebuilt.encrypt(&m, &mut rng_b);
+        prop_assert_eq!(&ca, &cb);
+        prop_assert!(rebuilt.validate_ciphertext(&cb).is_ok());
+        prop_assert_eq!(kp.private().decrypt(&cb), m);
+
+        let mut rng_pool = HashDrbg::from_seed_label(b"pk-rt-pool", seed);
+        let r = pk.precompute_randomizers(1, &mut rng_pool);
+        prop_assert_eq!(
+            pk.try_encrypt_with(&m, &r[0]).expect("encrypt"),
+            rebuilt.try_encrypt_with(&m, &r[0]).expect("encrypt")
+        );
+    }
+
+    #[test]
     fn ot_transfers_exactly_chosen_message(
         m0 in proptest::collection::vec(any::<u8>(), 16),
         m1 in proptest::collection::vec(any::<u8>(), 16),
