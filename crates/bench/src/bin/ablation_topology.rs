@@ -1,17 +1,30 @@
-//! **Ablation** — ring vs. star aggregation in Private Pricing.
+//! **Ablation** — ring vs. star vs. tree aggregation in Private Pricing.
 //!
 //! The paper's Protocol 3 threads one ciphertext pair through the seller
 //! coalition (a *ring*): `|Φ_s|` messages, but also `|Φ_s|` *sequential*
 //! hops — the latency-critical path grows linearly in the coalition. A
 //! *star* (every seller straight to `H_b`) moves the same bytes at depth
 //! 1, at the cost of `H_b` doing all `|Φ_s|` homomorphic multiplications
-//! itself.
+//! itself and absorbing an `|Φ_s|`-message fan-in. The *tree* bounds the
+//! per-hop fan-in at `f` while keeping the depth `O(log_f |Φ_s|)`.
+//!
+//! Critical paths are **measured**, not estimated: each run executes on
+//! a `SimNetwork` under the LAN latency model and reads the transport's
+//! virtual clock (`Transport::now_us`). The clock overlaps propagation
+//! across messages but serializes each recipient's ingress bytes, so
+//! the star's hub fan-in carries its real bandwidth cost: ring grows as
+//! `n·(base+transmit)`, star as `base + n·transmit`, tree as
+//! `O(log_f n)` hops of at most `f` transmissions each.
+//!
+//! Output: a JSON array (one element per seller count), mirroring
+//! `sched_scaling`. The committed baseline lives in `BENCH_topology.json`.
 //!
 //! ```text
-//! cargo run -p pem-bench --release --bin ablation_topology -- [--sellers 4,8,16,32] [--key 192]
+//! cargo run -p pem-bench --release --bin ablation_topology -- \
+//!     [--sellers 4,8,16,32,64] [--key 192] [--fanin 2]
 //! ```
 
-use pem_bench::{print_csv, Args};
+use pem_bench::Args;
 use pem_core::protocol3::{run_with_topology, Topology};
 use pem_core::{AgentCtx, KeyDirectory, PemConfig, Quantizer};
 use pem_crypto::drbg::HashDrbg;
@@ -19,12 +32,21 @@ use pem_market::AgentWindow;
 use pem_net::{LatencyModel, SimNetwork};
 use rand::Rng;
 
+struct Row {
+    sellers: usize,
+    bytes: [u64; 3],
+    critical_us: [u64; 3],
+    cpu_us: [u64; 3],
+}
+
 fn main() {
     let args = Args::from_env();
-    let seller_counts = args.get_usize_list("sellers", &[4, 8, 16, 32]);
+    let seller_counts = args.get_usize_list("sellers", &[4, 8, 16, 32, 64]);
     let key_bits = args.get_usize("key", 192);
-    eprintln!("# ablation_topology: sellers={seller_counts:?} key={key_bits}");
+    let fanin = args.get_usize("fanin", 2).max(2);
+    eprintln!("# ablation_topology: sellers={seller_counts:?} key={key_bits} fanin={fanin}");
 
+    let topologies = [Topology::Ring, Topology::Star, Topology::Tree { fanin }];
     let mut rows = Vec::new();
     for &n_sellers in &seller_counts {
         let n = n_sellers + 2; // plus two buyers
@@ -61,41 +83,60 @@ fn main() {
             .expect("pricing");
             let elapsed_us = start.elapsed().as_micros() as u64;
             let bytes = net.stats().per_label["price/agg"].bytes;
-            // Sequential depth: ring = one hop per seller; star = 1.
-            let depth = match topology {
-                Topology::Ring => sellers.len() as u64,
-                Topology::Star => 1,
-            };
-            (out.price, bytes, depth, elapsed_us)
+            // Measured critical path of the aggregation + broadcast on
+            // the virtual clock (not a depth × per-hop estimate).
+            (out.price, bytes, net.critical_path_us(), elapsed_us)
         };
 
-        let (p_ring, b_ring, d_ring, t_ring) = measure(Topology::Ring);
-        let (p_star, b_star, d_star, t_star) = measure(Topology::Star);
-        assert!((p_ring - p_star).abs() < 1e-9, "topologies must agree");
-
-        // Critical-path latency estimate on the LAN model: depth × per-hop.
-        let per_hop_us = LatencyModel::lan().charge_us((b_ring / sellers.len() as u64) as usize);
-        rows.push(vec![
-            n_sellers.to_string(),
-            b_ring.to_string(),
-            b_star.to_string(),
-            (d_ring * per_hop_us).to_string(),
-            (d_star * per_hop_us).to_string(),
-            t_ring.to_string(),
-            t_star.to_string(),
-        ]);
+        let mut row = Row {
+            sellers: n_sellers,
+            bytes: [0; 3],
+            critical_us: [0; 3],
+            cpu_us: [0; 3],
+        };
+        let mut prices = [0.0f64; 3];
+        for (k, &t) in topologies.iter().enumerate() {
+            let (p, b, crit, cpu) = measure(t);
+            prices[k] = p;
+            row.bytes[k] = b;
+            row.critical_us[k] = crit;
+            row.cpu_us[k] = cpu;
+        }
+        assert!(
+            (prices[0] - prices[1]).abs() < 1e-9 && (prices[0] - prices[2]).abs() < 1e-9,
+            "topologies must agree on the price"
+        );
+        rows.push(row);
     }
-    print_csv(
-        &[
-            "sellers",
-            "ring_bytes",
-            "star_bytes",
-            "ring_critical_path_us",
-            "star_critical_path_us",
-            "ring_cpu_us",
-            "star_cpu_us",
-        ],
-        &rows,
+
+    println!("[");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            concat!(
+                "  {{\"sellers\": {}, \"fanin\": {}, ",
+                "\"ring_bytes\": {}, \"star_bytes\": {}, \"tree_bytes\": {}, ",
+                "\"ring_critical_path_us\": {}, \"star_critical_path_us\": {}, ",
+                "\"tree_critical_path_us\": {}, ",
+                "\"ring_cpu_us\": {}, \"star_cpu_us\": {}, \"tree_cpu_us\": {}}}{}"
+            ),
+            r.sellers,
+            fanin,
+            r.bytes[0],
+            r.bytes[1],
+            r.bytes[2],
+            r.critical_us[0],
+            r.critical_us[1],
+            r.critical_us[2],
+            r.cpu_us[0],
+            r.cpu_us[1],
+            r.cpu_us[2],
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    println!("]");
+    eprintln!(
+        "# shape: bytes equal; ring critical path grows linearly in full \
+         hops, star linearly in hub ingress transmissions, tree \
+         logarithmically with bounded per-hop fan-in"
     );
-    eprintln!("# shape: bytes equal, ring critical path grows linearly, star stays flat");
 }

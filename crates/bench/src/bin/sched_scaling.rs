@@ -6,12 +6,13 @@
 //! ```text
 //! cargo run --release -p pem-bench --bin sched_scaling -- \
 //!     --populations 120,240 --coalitions 10,20 --workers 1,2,4 \
-//!     --windows 2 --topologies ring,star --key-bits 128
+//!     --windows 2 --topologies ring,star,tree --key-bits 128
 //! ```
 //!
-//! `--topologies ring,star` sweeps Protocol 3's aggregation shape (the
-//! paper's O(n) sequential ring vs the depth-1 star fan-in) so the
-//! window-latency win of the hot-path work shows up end to end;
+//! `--topologies ring,star,tree[:fanin]` sweeps Protocol 3's aggregation
+//! shape (the paper's O(n) sequential ring, the depth-1 star fan-in, or
+//! the O(log n)-depth f-ary tree) so the window-latency win of the
+//! hot-path work shows up end to end;
 //! `--key-bits` scales the Paillier keys toward the paper's sizes.
 //!
 //! Output is a JSON array (one element per swept configuration) followed
@@ -41,13 +42,6 @@ struct Row {
     p50_us: u64,
     p99_us: u64,
     pool_hit_rate: f64,
-}
-
-fn topology_name(t: Topology) -> &'static str {
-    match t {
-        Topology::Ring => "ring",
-        Topology::Star => "star",
-    }
 }
 
 fn day(population: usize, windows: usize) -> Vec<Vec<AgentWindow>> {
@@ -134,7 +128,7 @@ fn json(rows: &[Row]) -> String {
             r.population,
             r.coalition,
             r.workers,
-            topology_name(r.topology),
+            r.topology,
             r.key_bits,
             r.shards,
             r.windows,
@@ -197,7 +191,7 @@ fn main() {
             r.population,
             r.coalition,
             r.workers,
-            topology_name(r.topology),
+            r.topology,
             r.shards,
             r.agents_per_s,
             r.bytes_per_agent,

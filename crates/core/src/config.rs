@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use pem_crypto::ot::DhGroup;
 use pem_market::PriceBand;
+use pem_net::LatencyModel;
 
 use crate::error::PemError;
 use crate::protocol3::Topology;
@@ -70,10 +71,17 @@ pub struct PemConfig {
     /// worker count (a different — equally uniform — randomizer
     /// sequence than the sequential mode).
     pub pool_workers: usize,
-    /// Protocol 3 aggregation topology: the paper's sequential ring or
-    /// the depth-1 star fan-in (same byte volume, O(1) critical path —
-    /// the ROADMAP "protocol hot path" lever).
+    /// Protocol 3 aggregation topology: the paper's sequential ring,
+    /// the depth-1 star fan-in, or an f-ary aggregation tree (same byte
+    /// volume in all three; the critical path is what moves — the
+    /// ROADMAP "protocol hot path" lever).
     pub topology: Topology,
+    /// Latency model of the default transport the window driver builds
+    /// ([`SimNetwork`](pem_net::SimNetwork) with this model). Zero by
+    /// default: pure bandwidth accounting, bit-identical to the
+    /// pre-transport-API behaviour. The virtual clock only shapes the
+    /// reported critical path, never a market outcome.
+    pub latency: LatencyModel,
 }
 
 impl PemConfig {
@@ -92,6 +100,7 @@ impl PemConfig {
             adaptive_pool: false,
             pool_workers: 0,
             topology: Topology::Ring,
+            latency: LatencyModel::zero(),
         }
     }
 
@@ -111,6 +120,7 @@ impl PemConfig {
             adaptive_pool: false,
             pool_workers: 0,
             topology: Topology::Ring,
+            latency: LatencyModel::zero(),
         }
     }
 
@@ -142,6 +152,13 @@ impl PemConfig {
     #[must_use]
     pub fn with_topology(mut self, topology: Topology) -> PemConfig {
         self.topology = topology;
+        self
+    }
+
+    /// Sets the latency model of the driver-built transport.
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyModel) -> PemConfig {
+        self.latency = latency;
         self
     }
 

@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use pem_crypto::drbg::HashDrbg;
 use pem_market::{MarketKind, Role, Trade};
-use pem_net::{NetStats, SimNetwork};
+use pem_net::{NetStats, SimNetwork, Transport};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -185,7 +185,9 @@ impl Pem {
         Ok(DaySummary::fold(outcomes))
     }
 
-    /// Runs one trading window (Protocol 1, lines 3–10).
+    /// Runs one trading window (Protocol 1, lines 3–10) on a fresh
+    /// default transport: a [`SimNetwork`] carrying the configured
+    /// latency model.
     ///
     /// `window_data[i]` is agent `i`'s private data for this window.
     ///
@@ -200,11 +202,40 @@ impl Pem {
         &mut self,
         window_data: &[pem_market::AgentWindow],
     ) -> Result<PemWindowOutcome, PemError> {
+        let mut net = SimNetwork::with_latency(self.n_agents, self.cfg.latency);
+        self.run_window_on(&mut net, window_data)
+    }
+
+    /// Runs one trading window on a caller-provided transport — any
+    /// [`Transport`] implementation (the mesh, a fault-injecting fabric,
+    /// a future async runtime). The transport must be fresh for the
+    /// window and sized to the population: the outcome's traffic
+    /// counters snapshot whatever the fabric accumulated.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_window`](Pem::run_window), plus
+    /// [`PemError::Protocol`] if the transport's party count differs
+    /// from the population size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_data.len()` differs from the population size.
+    pub fn run_window_on<T: Transport>(
+        &mut self,
+        net: &mut T,
+        window_data: &[pem_market::AgentWindow],
+    ) -> Result<PemWindowOutcome, PemError> {
         assert_eq!(
             window_data.len(),
             self.n_agents,
             "window data must cover the whole population"
         );
+        if net.party_count() != self.n_agents {
+            return Err(PemError::Protocol(
+                "transport party count must match the population",
+            ));
+        }
         let quantizer = self.cfg.quantizer();
         self.window_index += 1;
 
@@ -224,7 +255,6 @@ impl Pem {
             agents.push(ctx);
         }
 
-        let mut net = SimNetwork::new(self.n_agents);
         let mut metrics = WindowMetrics::default();
         let mut revealed = RevealedInfo::default();
 
@@ -239,16 +269,15 @@ impl Pem {
                 buyer_count: buyers.len(),
                 metrics,
                 revealed,
-                net: net.stats().clone(),
+                net: net.stats(),
             });
         }
 
         // --- Protocol 2: market evaluation. ----------------------------
         let phase_start = Instant::now();
-        let bytes_before = net.stats().total_bytes;
-        let msgs_before = net.stats().total_messages;
+        let (msgs_before, bytes_before) = net.traffic_totals();
         let eval = protocol2::run(
-            &mut net,
+            net,
             &self.keys,
             &agents,
             &sellers,
@@ -257,10 +286,11 @@ impl Pem {
             &mut self.pool,
             &mut self.rng,
         )?;
+        let (msgs_after, bytes_after) = net.traffic_totals();
         metrics.market_evaluation = PhaseMetrics {
             elapsed: phase_start.elapsed(),
-            bytes: net.stats().total_bytes - bytes_before,
-            messages: net.stats().total_messages - msgs_before,
+            bytes: bytes_after - bytes_before,
+            messages: msgs_after - msgs_before,
         };
         revealed.masked_demand = Some(eval.masked_demand);
         revealed.masked_supply = Some(eval.masked_supply);
@@ -268,10 +298,9 @@ impl Pem {
         // --- Protocol 3 or the extreme-market floor price. -------------
         let price = if eval.general_market {
             let phase_start = Instant::now();
-            let bytes_before = net.stats().total_bytes;
-            let msgs_before = net.stats().total_messages;
+            let (msgs_before, bytes_before) = net.traffic_totals();
             let pricing = protocol3::run_with_topology(
-                &mut net,
+                net,
                 &self.keys,
                 &agents,
                 &sellers,
@@ -281,10 +310,11 @@ impl Pem {
                 &mut self.pool,
                 &mut self.rng,
             )?;
+            let (msgs_after, bytes_after) = net.traffic_totals();
             metrics.pricing = PhaseMetrics {
                 elapsed: phase_start.elapsed(),
-                bytes: net.stats().total_bytes - bytes_before,
-                messages: net.stats().total_messages - msgs_before,
+                bytes: bytes_after - bytes_before,
+                messages: msgs_after - msgs_before,
             };
             revealed.seller_preference_sum = Some(pricing.k_sum);
             revealed.seller_denominator_sum = Some(pricing.denominator_sum);
@@ -295,10 +325,9 @@ impl Pem {
 
         // --- Protocol 4: distribution. ----------------------------------
         let phase_start = Instant::now();
-        let bytes_before = net.stats().total_bytes;
-        let msgs_before = net.stats().total_messages;
+        let (msgs_before, bytes_before) = net.traffic_totals();
         let dist = protocol4::run(
-            &mut net,
+            net,
             &self.keys,
             &agents,
             &sellers,
@@ -309,10 +338,11 @@ impl Pem {
             &mut self.pool,
             &mut self.rng,
         )?;
+        let (msgs_after, bytes_after) = net.traffic_totals();
         metrics.distribution = PhaseMetrics {
             elapsed: phase_start.elapsed(),
-            bytes: net.stats().total_bytes - bytes_before,
-            messages: net.stats().total_messages - msgs_before,
+            bytes: bytes_after - bytes_before,
+            messages: msgs_after - msgs_before,
         };
         revealed.allocation_ratios = dist.ratios.clone();
 
@@ -339,7 +369,7 @@ impl Pem {
             buyer_count: buyers.len(),
             metrics,
             revealed,
-            net: net.stats().clone(),
+            net: net.stats(),
         })
     }
 }

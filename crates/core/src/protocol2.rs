@@ -29,7 +29,7 @@ use pem_crypto::ot::{OtCiphertexts, OtReceiverReply, OtSenderSetup};
 use pem_crypto::paillier::Ciphertext;
 use pem_market::Role;
 use pem_net::wire::{WireReader, WireWriter};
-use pem_net::{PartyId, SimNetwork};
+use pem_net::{PartyId, Transport};
 use rand::Rng;
 
 use crate::agents::AgentCtx;
@@ -60,8 +60,8 @@ pub struct EvalOutcome {
 /// Propagates crypto/network failures; [`PemError::Protocol`] if either
 /// coalition is empty (the caller must handle no-market windows).
 #[allow(clippy::too_many_arguments)]
-pub fn run(
-    net: &mut SimNetwork,
+pub fn run<T: Transport>(
+    net: &mut T,
     keys: &KeyDirectory,
     agents: &[AgentCtx],
     sellers: &[usize],
@@ -148,8 +148,8 @@ pub fn run(
 /// coalition contributes only nonces; the collector folds in its own
 /// nonce and decrypts.
 #[allow(clippy::too_many_arguments)]
-fn masked_ring_aggregate(
-    net: &mut SimNetwork,
+fn masked_ring_aggregate<T: Transport>(
+    net: &mut T,
     keys: &KeyDirectory,
     agents: &[AgentCtx],
     collector: usize,
@@ -232,8 +232,8 @@ fn get_label(r: &mut WireReader<'_>) -> Result<Label, PemError> {
     Ok(Label(out))
 }
 
-fn send_offer(
-    net: &mut SimNetwork,
+fn send_offer<T: Transport>(
+    net: &mut T,
     from: PartyId,
     to: PartyId,
     offer: &CompareOffer,
@@ -262,8 +262,8 @@ fn send_offer(
     Ok(())
 }
 
-fn recv_offer(
-    net: &mut SimNetwork,
+fn recv_offer<T: Transport>(
+    net: &mut T,
     at: PartyId,
     expected_width: usize,
 ) -> Result<CompareOffer, PemError> {
@@ -311,8 +311,8 @@ fn recv_offer(
     })
 }
 
-fn send_requests(
-    net: &mut SimNetwork,
+fn send_requests<T: Transport>(
+    net: &mut T,
     from: PartyId,
     to: PartyId,
     requests: &CompareOtRequests,
@@ -326,7 +326,7 @@ fn send_requests(
     Ok(())
 }
 
-fn recv_requests(net: &mut SimNetwork, at: PartyId) -> Result<CompareOtRequests, PemError> {
+fn recv_requests<T: Transport>(net: &mut T, at: PartyId) -> Result<CompareOtRequests, PemError> {
     let env = net.recv_expect(at, "eval/gc-ot-request")?;
     let mut r = WireReader::new(&env.payload);
     let len = r.get_varint()? as usize;
@@ -339,8 +339,8 @@ fn recv_requests(net: &mut SimNetwork, at: PartyId) -> Result<CompareOtRequests,
     Ok(CompareOtRequests { replies })
 }
 
-fn send_transfer(
-    net: &mut SimNetwork,
+fn send_transfer<T: Transport>(
+    net: &mut T,
     from: PartyId,
     to: PartyId,
     transfer: &CompareLabelCiphertexts,
@@ -355,7 +355,10 @@ fn send_transfer(
     Ok(())
 }
 
-fn recv_transfer(net: &mut SimNetwork, at: PartyId) -> Result<CompareLabelCiphertexts, PemError> {
+fn recv_transfer<T: Transport>(
+    net: &mut T,
+    at: PartyId,
+) -> Result<CompareLabelCiphertexts, PemError> {
     let env = net.recv_expect(at, "eval/gc-ot-transfer")?;
     let mut r = WireReader::new(&env.payload);
     let len = r.get_varint()? as usize;
@@ -373,6 +376,7 @@ mod tests {
     use super::*;
     use crate::quantize::Quantizer;
     use pem_market::AgentWindow;
+    use pem_net::SimNetwork;
 
     fn setup(
         surpluses: &[f64],

@@ -11,7 +11,7 @@
 use pem_crypto::drbg::HashDrbg;
 use pem_crypto::paillier::Ciphertext;
 use pem_net::wire::{WireReader, WireWriter};
-use pem_net::{PartyId, SimNetwork};
+use pem_net::{PartyId, Transport};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -42,10 +42,14 @@ pub struct PricingOutcome {
 /// travelling ciphertext): `|Φ_s|` sequential hops, one ciphertext pair on
 /// the wire per hop. The **star** alternative has every seller send its
 /// pair directly to `H_b`, who multiplies locally: the same byte volume
-/// but a sequential depth of 1 — the trade-off the
-/// `ablation_topology` bench quantifies and `sched_scaling --topologies`
-/// sweeps end to end. Selected per market via
-/// [`PemConfig::topology`](crate::PemConfig).
+/// but a sequential depth of 1 — at the cost of an `|Φ_s|`-message
+/// fan-in concentrated on one party. The **tree** sits between: sellers
+/// aggregate up an f-ary tree, so the sequential depth is
+/// `O(log_f |Φ_s|)` while no party ever receives more than `f` messages
+/// per hop. All three move the same byte volume; the trade-off is what
+/// the `ablation_topology` bench quantifies and
+/// `sched_scaling --topologies` sweeps end to end. Selected per market
+/// via [`PemConfig::topology`](crate::PemConfig).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum Topology {
     /// Sequential ring through the seller coalition (the paper's flow).
@@ -53,18 +57,85 @@ pub enum Topology {
     Ring,
     /// Direct fan-in to the decryptor.
     Star,
+    /// f-ary aggregation tree: depth `O(log_f n)`, at most `fanin`
+    /// messages received per node per hop (values below 2 are treated
+    /// as 2 — a 1-ary "tree" would degenerate into the ring).
+    Tree {
+        /// Maximum children aggregated per node.
+        fanin: usize,
+    },
+}
+
+impl Topology {
+    /// A binary aggregation tree (the default tree shape).
+    pub fn tree() -> Topology {
+        Topology::Tree { fanin: 2 }
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Through `pad` so callers' width/alignment specifiers apply.
+        match self {
+            Topology::Ring => f.pad("ring"),
+            Topology::Star => f.pad("star"),
+            Topology::Tree { fanin } => f.pad(&format!("tree:{fanin}")),
+        }
+    }
 }
 
 impl std::str::FromStr for Topology {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Topology, String> {
-        match s.trim().to_ascii_lowercase().as_str() {
+        let s = s.trim().to_ascii_lowercase();
+        match s.as_str() {
             "ring" => Ok(Topology::Ring),
             "star" => Ok(Topology::Star),
-            other => Err(format!("unknown topology '{other}' (expected ring|star)")),
+            "tree" => Ok(Topology::tree()),
+            other => {
+                if let Some(fanin) = other.strip_prefix("tree:") {
+                    let fanin: usize = fanin
+                        .parse()
+                        .map_err(|_| format!("bad tree fan-in '{fanin}'"))?;
+                    if fanin < 2 {
+                        return Err("tree fan-in must be at least 2".into());
+                    }
+                    Ok(Topology::Tree { fanin })
+                } else {
+                    Err(format!(
+                        "unknown topology '{other}' (expected ring|star|tree[:fanin])"
+                    ))
+                }
+            }
         }
     }
+}
+
+/// Sends one `price/agg` ciphertext pair.
+fn send_pair<T: Transport>(
+    net: &mut T,
+    from: PartyId,
+    to: PartyId,
+    k: &Ciphertext,
+    d: &Ciphertext,
+) -> Result<(), PemError> {
+    let mut w = WireWriter::new();
+    w.put_biguint(k.as_biguint());
+    w.put_biguint(d.as_biguint());
+    net.send(from, to, "price/agg", w.finish())?;
+    Ok(())
+}
+
+/// Receives and decodes one `price/agg` ciphertext pair (the caller
+/// validates against the decryptor's key).
+fn recv_pair<T: Transport>(net: &mut T, at: PartyId) -> Result<(Ciphertext, Ciphertext), PemError> {
+    let env = net.recv_expect(at, "price/agg")?;
+    let mut r = WireReader::new(&env.payload);
+    Ok((
+        Ciphertext::from_biguint(r.get_biguint()?),
+        Ciphertext::from_biguint(r.get_biguint()?),
+    ))
 }
 
 /// Runs Protocol 3 with the paper's ring topology.
@@ -74,8 +145,8 @@ impl std::str::FromStr for Topology {
 /// [`PemError::Protocol`] if either coalition is empty; otherwise
 /// crypto/network failures.
 #[allow(clippy::too_many_arguments)]
-pub fn run(
-    net: &mut SimNetwork,
+pub fn run<T: Transport>(
+    net: &mut T,
     keys: &KeyDirectory,
     agents: &[AgentCtx],
     sellers: &[usize],
@@ -103,8 +174,8 @@ pub fn run(
 ///
 /// As [`run`].
 #[allow(clippy::too_many_arguments)]
-pub fn run_with_topology(
-    net: &mut SimNetwork,
+pub fn run_with_topology<T: Transport>(
+    net: &mut T,
     keys: &KeyDirectory,
     agents: &[AgentCtx],
     sellers: &[usize],
@@ -143,14 +214,8 @@ pub fn run_with_topology(
             for hop in 1..sellers.len() {
                 let prev = sellers[hop - 1];
                 let cur = sellers[hop];
-                let mut w = WireWriter::new();
-                w.put_biguint(k_acc.as_biguint());
-                w.put_biguint(d_acc.as_biguint());
-                net.send(PartyId(prev), PartyId(cur), "price/agg", w.finish())?;
-                let env = net.recv_expect(PartyId(cur), "price/agg")?;
-                let mut r = WireReader::new(&env.payload);
-                let k_in = Ciphertext::from_biguint(r.get_biguint()?);
-                let d_in = Ciphertext::from_biguint(r.get_biguint()?);
+                send_pair(net, PartyId(prev), PartyId(cur), &k_acc, &d_acc)?;
+                let (k_in, d_in) = recv_pair(net, PartyId(cur))?;
                 pk.validate_ciphertext(&k_in)?;
                 pk.validate_ciphertext(&d_in)?;
                 let (k_own, d_own) = seller_terms(cur)?;
@@ -160,33 +225,21 @@ pub fn run_with_topology(
 
             // Last seller forwards the pair to H_b …
             let last = *sellers.last().expect("non-empty");
-            let mut w = WireWriter::new();
-            w.put_biguint(k_acc.as_biguint());
-            w.put_biguint(d_acc.as_biguint());
-            net.send(PartyId(last), PartyId(hb), "price/agg", w.finish())?;
-            let env = net.recv_expect(PartyId(hb), "price/agg")?;
-            let mut r = WireReader::new(&env.payload);
-            let k_ct = Ciphertext::from_biguint(r.get_biguint()?);
-            let d_ct = Ciphertext::from_biguint(r.get_biguint()?);
-            (k_ct, d_ct)
+            send_pair(net, PartyId(last), PartyId(hb), &k_acc, &d_acc)?;
+            recv_pair(net, PartyId(hb))?
         }
         Topology::Star => {
             // Every seller sends its pair straight to H_b, who folds them
-            // together locally: same bytes, sequential depth 1.
+            // together locally: same bytes, sequential depth 1 — at the
+            // cost of an all-sellers fan-in on H_b's ingress link.
             for &s in sellers {
                 let (k_own, d_own) = seller_terms(s)?;
-                let mut w = WireWriter::new();
-                w.put_biguint(k_own.as_biguint());
-                w.put_biguint(d_own.as_biguint());
-                net.send(PartyId(s), PartyId(hb), "price/agg", w.finish())?;
+                send_pair(net, PartyId(s), PartyId(hb), &k_own, &d_own)?;
             }
             let mut k_acc: Option<Ciphertext> = None;
             let mut d_acc: Option<Ciphertext> = None;
             for _ in 0..sellers.len() {
-                let env = net.recv_expect(PartyId(hb), "price/agg")?;
-                let mut r = WireReader::new(&env.payload);
-                let k_in = Ciphertext::from_biguint(r.get_biguint()?);
-                let d_in = Ciphertext::from_biguint(r.get_biguint()?);
+                let (k_in, d_in) = recv_pair(net, PartyId(hb))?;
                 pk.validate_ciphertext(&k_in)?;
                 pk.validate_ciphertext(&d_in)?;
                 k_acc = Some(match k_acc {
@@ -202,6 +255,42 @@ pub fn run_with_topology(
                 k_acc.expect("at least one seller"),
                 d_acc.expect("at least one seller"),
             )
+        }
+        Topology::Tree { fanin } => {
+            // f-ary aggregation tree over seller *positions*: node `p`'s
+            // children are `p·f + 1 ..= p·f + f`, its parent
+            // `(p − 1) / f`, and the root hands the pair to `H_b`.
+            // Iterating positions in descending order guarantees every
+            // child has sent before its parent folds and forwards, so
+            // each node receives at most `f` messages — the per-hop
+            // fan-in bound — and the sequential depth is O(log_f n).
+            let f = fanin.max(2);
+            let m = sellers.len();
+            for pos in (0..m).rev() {
+                let cur = sellers[pos];
+                let (mut k_acc, mut d_acc) = seller_terms(cur)?;
+                let child_lo = pos * f + 1;
+                let children = if child_lo >= m {
+                    0
+                } else {
+                    (m - child_lo).min(f)
+                };
+                debug_assert!(children <= f, "fan-in bound violated");
+                for _ in 0..children {
+                    let (k_in, d_in) = recv_pair(net, PartyId(cur))?;
+                    pk.validate_ciphertext(&k_in)?;
+                    pk.validate_ciphertext(&d_in)?;
+                    k_acc = pk.add_ciphertexts(&k_acc, &k_in);
+                    d_acc = pk.add_ciphertexts(&d_acc, &d_in);
+                }
+                let parent = if pos == 0 {
+                    PartyId(hb)
+                } else {
+                    PartyId(sellers[(pos - 1) / f])
+                };
+                send_pair(net, PartyId(cur), parent, &k_acc, &d_acc)?;
+            }
+            recv_pair(net, PartyId(hb))?
         }
     };
     pk.validate_ciphertext(&k_ct)?;
@@ -256,6 +345,7 @@ mod tests {
     use super::*;
     use crate::quantize::Quantizer;
     use pem_market::{optimal_price, optimal_price_unclamped, AgentWindow, Role};
+    use pem_net::SimNetwork;
 
     fn setup(
         agents_data: Vec<AgentWindow>,

@@ -26,7 +26,7 @@ use pem_crypto::commit::{Commitment, PedersenParams};
 use pem_crypto::drbg::HashDrbg;
 use pem_crypto::paillier::Ciphertext;
 use pem_net::wire::{WireReader, WireWriter};
-use pem_net::{PartyId, SimNetwork};
+use pem_net::{PartyId, Transport};
 use rand::Rng;
 
 use crate::agents::AgentCtx;
@@ -67,8 +67,8 @@ pub struct CheatInjection {
 ///
 /// [`PemError::Protocol`] on empty coalitions; crypto/network failures.
 #[allow(clippy::too_many_arguments)]
-pub fn run(
-    net: &mut SimNetwork,
+pub fn run<T: Transport>(
+    net: &mut T,
     keys: &KeyDirectory,
     agents: &[AgentCtx],
     sellers: &[usize],
@@ -215,6 +215,7 @@ mod tests {
     use crate::quantize::Quantizer;
     use pem_crypto::ot::DhGroup;
     use pem_market::{AgentWindow, Role};
+    use pem_net::SimNetwork;
 
     #[allow(clippy::type_complexity)]
     fn setup(

@@ -22,7 +22,7 @@ use pem_crypto::drbg::HashDrbg;
 use pem_crypto::paillier::Ciphertext;
 use pem_market::{AgentId, Trade};
 use pem_net::wire::{WireReader, WireWriter};
-use pem_net::{PartyId, SimNetwork};
+use pem_net::{PartyId, Transport};
 use rand::Rng;
 
 use crate::agents::AgentCtx;
@@ -54,8 +54,8 @@ pub struct DistributionOutcome {
 /// [`PemError::Protocol`] if either coalition is empty; otherwise
 /// crypto/network failures.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn run(
-    net: &mut SimNetwork,
+pub fn run<T: Transport>(
+    net: &mut T,
     keys: &KeyDirectory,
     agents: &[AgentCtx],
     sellers: &[usize],
@@ -256,6 +256,7 @@ mod tests {
     use super::*;
     use crate::quantize::Quantizer;
     use pem_market::{allocate, AgentWindow, Role};
+    use pem_net::SimNetwork;
 
     fn setup(
         surpluses: &[f64],

@@ -13,9 +13,9 @@ use std::sync::Arc;
 use pem_bignum::BigUint;
 use pem_crypto::drbg::HashDrbg;
 use pem_crypto::paillier::{Ciphertext, Keypair, PublicKey};
-use pem_net::runtime::{build_fabric, run_parties};
+use pem_net::runtime::run_parties;
 use pem_net::wire::{WireReader, WireWriter};
-use pem_net::{NetStats, PartyId};
+use pem_net::{MeshTransport, NetStats, PartyId};
 
 use crate::agents::AgentCtx;
 use crate::config::PemConfig;
@@ -104,7 +104,9 @@ pub fn pricing_ring_threaded(
     let seed = cfg.seed;
     let scale = cfg.scale;
 
-    let (endpoints, stats) = build_fabric(n);
+    // The mesh transport in its threaded shape: per-party endpoints over
+    // crossbeam links, carrying the market's configured latency model.
+    let (endpoints, stats) = MeshTransport::with_latency(n, cfg.latency).into_endpoints();
     let results = run_parties(endpoints, move |ep| -> Result<f64, String> {
         let id = ep.id().0;
         let mut rng = HashDrbg::from_seed_label(b"threaded-pricing", seed ^ id as u64);

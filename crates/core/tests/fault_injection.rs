@@ -1,5 +1,5 @@
 //! Failure injection: message-level faults must surface as typed errors,
-//! never as silently wrong market outcomes.
+//! never as silently wrong market outcomes — **on every transport**.
 //!
 //! Scope note: the paper assumes authenticated secure channels (§II-B),
 //! so *byte-level tampering* is outside the threat model — Paillier is
@@ -8,12 +8,19 @@
 //! What the implementation does guarantee, and what these tests pin, is
 //! that transport-level faults (loss, duplication, truncation) make the
 //! protocols abort with a descriptive error instead of producing trades.
+//!
+//! Since the `Transport` redesign the protocols are generic over the
+//! fabric, so the same fault plans run against both the deterministic
+//! `SimNetwork` and the channel-backed `MeshTransport`; every case must
+//! produce identical protocol outcomes (same result on success, same
+//! error class on abort) — the wire-level witness that the trait is a
+//! real abstraction, not a rename of the simulator.
 
 use pem_core::protocol2;
 use pem_core::{AgentCtx, KeyDirectory, PemConfig, PemError, Quantizer};
 use pem_crypto::drbg::HashDrbg;
 use pem_market::{AgentWindow, Role};
-use pem_net::{FaultKind, FaultPlan, SimNetwork};
+use pem_net::{FaultKind, FaultPlan, MeshTransport, SimNetwork, Transport};
 use rand::Rng;
 
 fn setup() -> (
@@ -49,30 +56,52 @@ fn setup() -> (
     (keys, agents, sellers, buyers, cfg, rng)
 }
 
-fn run_protocol2_with(plan: FaultPlan) -> Result<protocol2::EvalOutcome, PemError> {
+/// Runs Protocol 2 on a caller-built transport (same seeds, so the clean
+/// outcome is identical on every fabric).
+fn run_protocol2_on<T: Transport>(net: &mut T) -> Result<protocol2::EvalOutcome, PemError> {
     let (keys, agents, sellers, buyers, cfg, mut rng) = setup();
-    let mut net = SimNetwork::new(agents.len()).with_faults(plan);
     protocol2::run(
-        &mut net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
+        net, &keys, &agents, &sellers, &buyers, &cfg, &mut None, &mut rng,
     )
+}
+
+/// Runs the same fault plan against both transports and checks the
+/// outcomes agree: both succeed with the identical result, or both abort
+/// with the same error class.
+fn run_protocol2_both(plan: FaultPlan) -> Result<protocol2::EvalOutcome, PemError> {
+    let parties = setup().1.len();
+    let mut sim = SimNetwork::new(parties).with_faults(plan.clone());
+    let sim_result = run_protocol2_on(&mut sim);
+    let mut mesh = MeshTransport::new(parties).with_faults(plan);
+    let mesh_result = run_protocol2_on(&mut mesh);
+    match (&sim_result, &mesh_result) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "transports must agree on the outcome"),
+        (Err(a), Err(b)) => assert_eq!(
+            std::mem::discriminant(a),
+            std::mem::discriminant(b),
+            "transports must abort with the same error class: {a:?} vs {b:?}"
+        ),
+        (a, b) => panic!("transports diverged: sim {a:?} vs mesh {b:?}"),
+    }
+    sim_result
 }
 
 #[test]
 fn baseline_without_faults_succeeds() {
-    let out = run_protocol2_with(FaultPlan::new()).expect("clean run");
+    let out = run_protocol2_both(FaultPlan::new()).expect("clean run");
     assert!(out.general_market); // E_s = 4.0 < E_b = 9.0
 }
 
 #[test]
 fn dropped_aggregation_message_aborts() {
-    let err = run_protocol2_with(FaultPlan::new().inject("eval/demand-agg", 1, FaultKind::Drop))
+    let err = run_protocol2_both(FaultPlan::new().inject("eval/demand-agg", 1, FaultKind::Drop))
         .expect_err("must abort");
     assert!(matches!(err, PemError::Net(_)), "got {err:?}");
 }
 
 #[test]
 fn dropped_gc_offer_aborts() {
-    let err = run_protocol2_with(FaultPlan::new().inject("eval/gc-offer", 0, FaultKind::Drop))
+    let err = run_protocol2_both(FaultPlan::new().inject("eval/gc-offer", 0, FaultKind::Drop))
         .expect_err("must abort");
     assert!(matches!(err, PemError::Net(_)), "got {err:?}");
 }
@@ -82,7 +111,7 @@ fn duplicated_message_aborts_on_label_mismatch() {
     // The duplicate lingers in the recipient's mailbox; the next
     // recv_expect for a different label trips over it.
     let err =
-        run_protocol2_with(FaultPlan::new().inject("eval/demand-agg", 0, FaultKind::Duplicate))
+        run_protocol2_both(FaultPlan::new().inject("eval/demand-agg", 0, FaultKind::Duplicate))
             .expect_err("must abort");
     assert!(matches!(err, PemError::Net(_)), "got {err:?}");
 }
@@ -90,7 +119,7 @@ fn duplicated_message_aborts_on_label_mismatch() {
 #[test]
 fn truncated_ciphertext_fails_to_decode() {
     let err =
-        run_protocol2_with(FaultPlan::new().inject("eval/supply-agg", 0, FaultKind::Truncate))
+        run_protocol2_both(FaultPlan::new().inject("eval/supply-agg", 0, FaultKind::Truncate))
             .expect_err("must abort");
     assert!(
         matches!(err, PemError::Net(_)),
@@ -101,7 +130,7 @@ fn truncated_ciphertext_fails_to_decode() {
 #[test]
 fn truncated_gc_transfer_fails_cleanly() {
     let err =
-        run_protocol2_with(FaultPlan::new().inject("eval/gc-ot-transfer", 0, FaultKind::Truncate))
+        run_protocol2_both(FaultPlan::new().inject("eval/gc-ot-transfer", 0, FaultKind::Truncate))
             .expect_err("must abort");
     // Truncation surfaces as a decode failure or a malformed-garbling
     // complaint, depending on where the cut lands — both are typed.
@@ -117,8 +146,9 @@ fn truncated_gc_transfer_fails_cleanly() {
 #[test]
 fn faults_never_produce_trades() {
     // Sweep a fault across every protocol-2 label: any completed run must
-    // equal the clean outcome, and any failed run must be a typed error.
-    let clean = run_protocol2_with(FaultPlan::new()).expect("clean run");
+    // equal the clean outcome, and any failed run must be a typed error —
+    // with both transports agreeing case by case.
+    let clean = run_protocol2_both(FaultPlan::new()).expect("clean run");
     for label in [
         "eval/demand-agg",
         "eval/supply-agg",
@@ -128,7 +158,7 @@ fn faults_never_produce_trades() {
         "eval/result",
     ] {
         for kind in [FaultKind::Drop, FaultKind::Truncate, FaultKind::Duplicate] {
-            let result = run_protocol2_with(FaultPlan::new().inject(label, 0, kind));
+            let result = run_protocol2_both(FaultPlan::new().inject(label, 0, kind));
             match result {
                 Ok(out) => assert_eq!(
                     out.general_market, clean.general_market,
@@ -144,4 +174,37 @@ fn faults_never_produce_trades() {
             }
         }
     }
+}
+
+#[test]
+fn full_window_runs_on_the_mesh() {
+    // Beyond Protocol 2: a whole PEM window (Protocols 2+3+4) driven over
+    // the mesh transport must reproduce the SimNetwork outcome exactly —
+    // no public protocol entry point is tied to the simulator any more.
+    let data = vec![
+        AgentWindow::new(0, 3.0, 0.5, 0.0, 0.9, 25.0),
+        AgentWindow::new(1, 2.0, 0.5, 0.0, 0.9, 30.0),
+        AgentWindow::new(2, 0.0, 4.0, 0.0, 0.9, 22.0),
+        AgentWindow::new(3, 0.0, 5.0, 0.0, 0.9, 28.0),
+    ];
+    let mut on_sim = pem_core::Pem::new(PemConfig::fast_test(), 4).expect("setup");
+    let a = on_sim.run_window(&data).expect("sim window");
+    let mut on_mesh = pem_core::Pem::new(PemConfig::fast_test(), 4).expect("setup");
+    let mut mesh = MeshTransport::new(4);
+    let b = on_mesh
+        .run_window_on(&mut mesh, &data)
+        .expect("mesh window");
+    assert_eq!(a.kind, b.kind);
+    assert_eq!(a.price.to_bits(), b.price.to_bits());
+    assert_eq!(a.trades, b.trades);
+    assert_eq!(a.revealed, b.revealed);
+    assert_eq!(a.net, b.net, "identical traffic on both transports");
+
+    // A mismatched fabric is rejected with a typed error.
+    let mut small = MeshTransport::new(3);
+    let mut pem = pem_core::Pem::new(PemConfig::fast_test(), 4).expect("setup");
+    assert!(matches!(
+        pem.run_window_on(&mut small, &data),
+        Err(PemError::Protocol(_))
+    ));
 }

@@ -1,5 +1,6 @@
 //! Coupling-round and re-partitioning configuration.
 
+use pem_net::LatencyModel;
 use serde::{Deserialize, Serialize};
 
 use crate::error::CouplingError;
@@ -16,6 +17,13 @@ pub struct CouplingConfig {
     pub randomizer_pool: usize,
     /// Transfers below this many kWh are dust and never scheduled.
     pub min_transfer_kwh: f64,
+    /// Latency model of the coupling fabric's links (shard
+    /// representatives ↔ coordinator). The aggregation tree's
+    /// critical-path latency under this model is reported in
+    /// [`CouplingSummary::critical_path_us`](crate::CouplingSummary);
+    /// zero by default, which reproduces the pre-latency behaviour
+    /// bit-for-bit.
+    pub latency: LatencyModel,
     /// Dispersion-driven re-partitioning; `None` keeps membership fixed.
     pub repartition: Option<RepartitionConfig>,
 }
@@ -28,6 +36,7 @@ impl CouplingConfig {
             key_bits: 128,
             randomizer_pool: 8,
             min_transfer_kwh: 1e-3,
+            latency: LatencyModel::zero(),
             repartition: None,
         }
     }
@@ -36,6 +45,13 @@ impl CouplingConfig {
     #[must_use]
     pub fn with_repartition(mut self, repartition: RepartitionConfig) -> CouplingConfig {
         self.repartition = Some(repartition);
+        self
+    }
+
+    /// Sets the coupling fabric's latency model (builder style).
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyModel) -> CouplingConfig {
+        self.latency = latency;
         self
     }
 
@@ -69,6 +85,7 @@ impl Default for CouplingConfig {
             key_bits: 512,
             randomizer_pool: 16,
             min_transfer_kwh: 1e-3,
+            latency: LatencyModel::zero(),
             repartition: None,
         }
     }

@@ -28,7 +28,7 @@ use pem_crypto::drbg::HashDrbg;
 use pem_crypto::paillier::Ciphertext;
 use pem_market::PriceBand;
 use pem_net::wire::{WireReader, WireWriter};
-use pem_net::{NetStats, PartyId, SimNetwork};
+use pem_net::{NetStats, PartyId, SimNetwork, Transport};
 use serde::{Deserialize, Serialize};
 
 use crate::config::CouplingConfig;
@@ -111,6 +111,12 @@ pub struct CouplingSummary {
     pub surplus_kwh: f64,
     /// Grid-wide residual deficit (kWh) — likewise a total.
     pub deficit_kwh: f64,
+    /// Critical-path latency of the round on the fabric's virtual clock
+    /// (µs): the binary aggregation tree's depth-wise hops plus the
+    /// corridor/claim/schedule exchanges, under the configured
+    /// [`LatencyModel`](pem_net::LatencyModel). Zero under the default
+    /// zero-latency model.
+    pub critical_path_us: u64,
     /// Traffic of the coupling fabric (parties = shard representatives
     /// plus the coordinator). Message and byte counts depend only on the
     /// shard count — the wire-level witness that nothing per-agent
@@ -206,7 +212,9 @@ impl CouplingCoordinator {
         self.pool.as_ref().map(|p| p.stats())
     }
 
-    /// Runs one coupling round over the coalitions' published positions.
+    /// Runs one coupling round over the coalitions' published positions
+    /// on the default fabric: a [`SimNetwork`] carrying the configured
+    /// latency model.
     ///
     /// # Errors
     ///
@@ -216,11 +224,36 @@ impl CouplingCoordinator {
         &mut self,
         positions: &[ShardPosition],
     ) -> Result<CouplingOutcome, CouplingError> {
+        let mut net = SimNetwork::with_latency(positions.len() + 1, self.cfg.latency);
+        self.run_round_on(&mut net, positions)
+    }
+
+    /// Runs one coupling round on a caller-provided transport (any
+    /// [`Transport`] with `positions.len() + 1` parties: one per shard
+    /// representative plus the coordinator). The summary snapshots the
+    /// fabric's traffic and critical-path clock, so pass a fresh
+    /// transport per round.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_round`](CouplingCoordinator::run_round).
+    pub fn run_round_on<T: Transport>(
+        &mut self,
+        net: &mut T,
+        positions: &[ShardPosition],
+    ) -> Result<CouplingOutcome, CouplingError> {
         let s = positions.len();
         if s == 0 {
             return Err(CouplingError::Config(
                 "coupling round needs at least one shard".into(),
             ));
+        }
+        if net.party_count() != s + 1 {
+            return Err(CouplingError::Config(format!(
+                "coupling fabric must have {} parties (shards + coordinator), has {}",
+                s + 1,
+                net.party_count()
+            )));
         }
         let quantized = self.quantize(positions)?;
         let pre_prices: Vec<f64> = positions
@@ -230,7 +263,6 @@ impl CouplingCoordinator {
             .collect();
         let pre_dispersion = price_dispersion(&pre_prices);
 
-        let mut net = SimNetwork::new(s + 1);
         let coordinator = PartyId(s);
         let pk = self.keys.public(0).clone();
 
@@ -381,7 +413,8 @@ impl CouplingCoordinator {
             welfare_gain_cents: transferred_kwh * (self.band.grid_retail - self.band.grid_feed_in),
             surplus_kwh,
             deficit_kwh,
-            net: net.stats().clone(),
+            critical_path_us: net.now_us(),
+            net: net.stats(),
             repartitioned: false,
         };
         Ok(CouplingOutcome { transfers, summary })
@@ -671,6 +704,43 @@ mod tests {
         // Round 1 overran the static batch; the adaptive refill sized
         // the pool to the observed demand, so round 2 never misses.
         assert_eq!(s2.misses, s1.misses, "round 2 fully served");
+    }
+
+    #[test]
+    fn latency_model_reports_tree_critical_path() {
+        use pem_net::LatencyModel;
+        // 15 shards: a full binary aggregation tree of depth 4 (to the
+        // coordinator). Under the LAN model the round must report a
+        // non-zero critical path that reflects tree *depth*, not the
+        // total message volume.
+        let mut c = CouplingCoordinator::new(
+            CouplingConfig::fast_test().with_latency(LatencyModel::lan()),
+            PriceBand::paper_defaults(),
+            11,
+        )
+        .expect("coordinator");
+        let positions: Vec<ShardPosition> = (0..15)
+            .map(|i| {
+                let residual = if i % 2 == 0 { 1.0 } else { -1.0 };
+                position(i, 90.0 + i as f64, 2.0, residual)
+            })
+            .collect();
+        let out = c.run_round(&positions).expect("round");
+        let cp = out.summary.critical_path_us;
+        assert!(cp > 0, "LAN model must surface a critical path");
+        // The volume figure (every message's charge summed) is far
+        // larger than the depth-wise critical path on 15 shards.
+        let per_msg_floor = LatencyModel::lan().charge_us(1);
+        let volume_floor = out.summary.net.total_messages * per_msg_floor;
+        assert!(
+            cp < volume_floor,
+            "critical path {cp}µs must beat the serial volume {volume_floor}µs"
+        );
+
+        // The zero-latency default reports zero.
+        let mut z = coordinator();
+        let out = z.run_round(&positions).expect("round");
+        assert_eq!(out.summary.critical_path_us, 0);
     }
 
     #[test]

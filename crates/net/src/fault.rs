@@ -1,9 +1,12 @@
 //! Fault injection for protocol robustness testing.
 //!
-//! A [`FaultPlan`] attached to a [`SimNetwork`](crate::SimNetwork) drops,
-//! duplicates or corrupts selected messages as they are sent. The PEM
-//! protocols must turn every such fault into a *typed error* — never into
-//! a wrong trade — which `pem-core`'s failure-injection tests assert.
+//! A [`FaultPlan`] attached to a transport — the deterministic
+//! [`SimNetwork`](crate::SimNetwork) or the channel-backed
+//! [`MeshTransport`](crate::MeshTransport) — drops, duplicates or
+//! corrupts selected messages as they are sent ([`FaultPlan::process`]
+//! is the transport-agnostic hook). The PEM protocols must turn every
+//! such fault into a *typed error* — never into a wrong trade — which
+//! `pem-core`'s failure-injection tests assert against both transports.
 
 use std::collections::BTreeMap;
 
@@ -40,6 +43,19 @@ impl FaultPlan {
     pub fn inject(mut self, label: &'static str, nth: u64, kind: FaultKind) -> FaultPlan {
         self.rules.insert(label, (nth, kind));
         self
+    }
+
+    /// Consults and applies the plan to one outgoing message — the whole
+    /// fault pipeline as a single call, usable by *any*
+    /// [`Transport`](crate::Transport) implementation (both built-in
+    /// fabrics route their sends through it). Returns `None` when the
+    /// message is dropped in flight; otherwise the (possibly mangled)
+    /// payload and whether a duplicate copy must also be delivered.
+    pub fn process(&mut self, label: &'static str, payload: Vec<u8>) -> Option<(Vec<u8>, bool)> {
+        match self.action(label) {
+            None => Some((payload, false)),
+            Some(kind) => FaultPlan::apply(kind, payload),
+        }
     }
 
     /// Consults the plan for a message about to be sent. Returns the

@@ -9,13 +9,18 @@
 //!   [`wire::WireReader`]) so every protocol message has a well-defined
 //!   serialized size (Table I is computed from these, not from struct
 //!   guesses),
-//! * [`SimNetwork`] — a deterministic, single-threaded message fabric with
-//!   per-party mailboxes, per-label byte/message counters and an optional
-//!   latency model,
-//! * [`runtime`] — a crossbeam-channel threaded fabric with the same
-//!   [`NetStats`] surface, used to run each agent on its own OS thread
-//!   (the closest in-process analogue of the paper's per-agent
-//!   containers).
+//! * [`Transport`] — the abstract fabric surface the protocol drivers
+//!   are generic over: send/recv/broadcast, stats, and a critical-path
+//!   virtual clock,
+//! * [`SimNetwork`] — the deterministic, single-threaded reference
+//!   implementation with per-party mailboxes, per-label byte/message
+//!   counters and an optional latency model,
+//! * [`MeshTransport`] — a crossbeam-channel mesh with **per-link**
+//!   latency models and the same fault hooks, drivable sequentially or
+//!   split into per-party endpoints,
+//! * [`runtime`] — the one-OS-thread-per-agent harness over mesh
+//!   endpoints (the closest in-process analogue of the paper's
+//!   per-agent containers).
 //!
 //! # Example
 //!
@@ -34,12 +39,16 @@
 
 mod error;
 pub mod fault;
+pub mod mesh;
 pub mod runtime;
 mod sim;
 mod stats;
+mod transport;
 pub mod wire;
 
 pub use error::NetError;
 pub use fault::{FaultKind, FaultPlan};
+pub use mesh::{MeshEndpoint, MeshTransport};
 pub use sim::{Envelope, LatencyModel, PartyId, SimNetwork};
 pub use stats::{LabelStats, NetStats};
+pub use transport::Transport;

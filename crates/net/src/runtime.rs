@@ -2,127 +2,42 @@
 //! channels as links — the in-process analogue of the paper's per-agent
 //! Docker containers.
 //!
-//! Statistics are recorded through a shared [`NetStats`] behind a
-//! `parking_lot` mutex, so the measurement surface matches
-//! [`crate::SimNetwork`] exactly.
+//! Since the `Transport` redesign this module is a thin veneer over
+//! [`MeshTransport`](crate::MeshTransport): [`build_fabric`] splits a
+//! zero-latency mesh into per-party endpoints, and [`run_parties`] drives
+//! any endpoint type on one thread each. Statistics are recorded through
+//! a shared [`NetStats`] behind a `parking_lot` mutex, so the measurement
+//! surface matches the sequential fabrics exactly.
 
 use std::sync::Arc;
 use std::thread;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use crate::error::NetError;
-use crate::sim::{Envelope, PartyId};
+use crate::mesh::MeshTransport;
 use crate::stats::NetStats;
 
-/// A party's handle onto the threaded fabric.
-pub struct Endpoint {
-    id: PartyId,
-    senders: Vec<Sender<Envelope>>,
-    receiver: Receiver<Envelope>,
-    stats: Arc<Mutex<NetStats>>,
-}
-
-impl Endpoint {
-    /// This endpoint's party id.
-    pub fn id(&self) -> PartyId {
-        self.id
-    }
-
-    /// Number of parties on the fabric.
-    pub fn parties(&self) -> usize {
-        self.senders.len()
-    }
-
-    /// Sends `payload` to `to`.
-    ///
-    /// # Errors
-    ///
-    /// [`NetError::UnknownParty`], [`NetError::SelfSend`], or
-    /// [`NetError::Disconnected`] if the recipient hung up.
-    pub fn send(&self, to: PartyId, label: &'static str, payload: Vec<u8>) -> Result<(), NetError> {
-        if to.0 >= self.senders.len() {
-            return Err(NetError::UnknownParty {
-                party: to.0,
-                parties: self.senders.len(),
-            });
-        }
-        if to == self.id {
-            return Err(NetError::SelfSend { party: to.0 });
-        }
-        self.stats
-            .lock()
-            .record(self.id.0, to.0, label, payload.len());
-        self.senders[to.0]
-            .send(Envelope {
-                from: self.id,
-                to,
-                label,
-                payload,
-            })
-            .map_err(|_| NetError::Disconnected)
-    }
-
-    /// Blocking receive.
-    ///
-    /// # Errors
-    ///
-    /// [`NetError::Disconnected`] when all senders are gone.
-    pub fn recv(&self) -> Result<Envelope, NetError> {
-        self.receiver.recv().map_err(|_| NetError::Disconnected)
-    }
-
-    /// Blocking receive that additionally checks the label.
-    ///
-    /// # Errors
-    ///
-    /// [`NetError::UnexpectedLabel`] or [`NetError::Disconnected`].
-    pub fn recv_expect(&self, label: &'static str) -> Result<Envelope, NetError> {
-        let env = self.recv()?;
-        if env.label != label {
-            return Err(NetError::UnexpectedLabel {
-                expected: label,
-                got: env.label.to_string(),
-            });
-        }
-        Ok(env)
-    }
-}
+/// A party's handle onto the threaded fabric (the mesh endpoint type).
+pub type Endpoint = crate::mesh::MeshEndpoint;
 
 /// Builds a fabric of `parties` endpoints plus the shared stats handle.
 pub fn build_fabric(parties: usize) -> (Vec<Endpoint>, Arc<Mutex<NetStats>>) {
-    let stats = Arc::new(Mutex::new(NetStats::new(parties)));
-    let mut senders = Vec::with_capacity(parties);
-    let mut receivers = Vec::with_capacity(parties);
-    for _ in 0..parties {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-    let endpoints = receivers
-        .into_iter()
-        .enumerate()
-        .map(|(i, receiver)| Endpoint {
-            id: PartyId(i),
-            senders: senders.clone(),
-            receiver,
-            stats: Arc::clone(&stats),
-        })
-        .collect();
-    (endpoints, stats)
+    MeshTransport::new(parties).into_endpoints()
 }
 
 /// Runs `body` on one thread per endpoint and joins them all, returning
-/// each thread's result in party order.
+/// each thread's result in party order. Generic over the endpoint type so
+/// custom per-party handles (e.g. an endpoint bundled with private key
+/// material) ride the same harness.
 ///
 /// # Panics
 ///
 /// Propagates panics from party threads.
-pub fn run_parties<T, F>(endpoints: Vec<Endpoint>, body: F) -> Vec<T>
+pub fn run_parties<E, T, F>(endpoints: Vec<E>, body: F) -> Vec<T>
 where
+    E: Send + 'static,
     T: Send + 'static,
-    F: Fn(Endpoint) -> T + Send + Sync + 'static,
+    F: Fn(E) -> T + Send + Sync + 'static,
 {
     let body = Arc::new(body);
     let handles: Vec<_> = endpoints
@@ -141,6 +56,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{NetError, PartyId};
 
     #[test]
     fn ring_passes_a_token() {

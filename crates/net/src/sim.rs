@@ -28,6 +28,10 @@ pub struct Envelope {
     pub label: &'static str,
     /// Serialized payload.
     pub payload: Vec<u8>,
+    /// Arrival time on the fabric's virtual clock (µs): the sender's
+    /// local time at departure plus the link charge. Receiving the
+    /// message fast-forwards the recipient's clock to this instant.
+    pub arrival_us: u64,
 }
 
 /// A simple affine latency model: `base + per_kib · ceil(len/1024)`
@@ -57,9 +61,37 @@ impl LatencyModel {
         }
     }
 
+    /// A WAN-ish profile: 30 ms per message (metro round-trip-class
+    /// propagation) + 160 µs per KiB (~50 Mbit/s effective throughput).
+    pub fn wan() -> LatencyModel {
+        LatencyModel {
+            base_us: 30_000,
+            per_kib_us: 160,
+        }
+    }
+
     /// Latency charged for a message of `len` bytes.
     pub fn charge_us(&self, len: usize) -> u64 {
         self.base_us + self.per_kib_us * (len as u64).div_ceil(1024)
+    }
+
+    /// The bandwidth component alone: time the message's bytes occupy a
+    /// link (`per_kib · ceil(len/1024)`). On the virtual clock the
+    /// propagation component (`base_us`) of concurrent messages overlaps
+    /// freely, but this component serializes on the recipient's ingress
+    /// link — a fan-in of `k` messages costs `base + k·transmit`, which
+    /// is what bounded-fan-in aggregation topologies exist to cap.
+    pub fn transmit_us(&self, len: usize) -> u64 {
+        self.per_kib_us * (len as u64).div_ceil(1024)
+    }
+
+    /// Virtual-clock arrival time of a `len`-byte message that departs
+    /// at `sender_local_us` toward a recipient whose ingress link is
+    /// busy until `ingress_free_us` — the single clock formula both
+    /// built-in transports share (propagation overlaps, ingress bytes
+    /// serialize).
+    pub fn arrival_us(&self, sender_local_us: u64, ingress_free_us: u64, len: usize) -> u64 {
+        (sender_local_us + self.base_us).max(ingress_free_us) + self.transmit_us(len)
     }
 }
 
@@ -71,6 +103,13 @@ pub struct SimNetwork {
     stats: NetStats,
     latency: LatencyModel,
     clock_us: u64,
+    /// Per-party local clocks (advanced by receiving messages).
+    local_time_us: Vec<u64>,
+    /// Per-party ingress-link free time: bytes addressed to one party
+    /// serialize on its link, so fan-in costs transmit time.
+    ingress_free_us: Vec<u64>,
+    /// Critical-path watermark: the latest arrival scheduled so far.
+    critical_us: u64,
     faults: crate::fault::FaultPlan,
 }
 
@@ -87,6 +126,9 @@ impl SimNetwork {
             stats: NetStats::new(parties),
             latency,
             clock_us: 0,
+            local_time_us: vec![0; parties],
+            ingress_free_us: vec![0; parties],
+            critical_us: 0,
             faults: crate::fault::FaultPlan::new(),
         }
     }
@@ -107,9 +149,19 @@ impl SimNetwork {
         &self.stats
     }
 
-    /// Simulated network time spent so far (µs).
+    /// Simulated network time spent so far (µs), *summed over every
+    /// message* — the total-volume figure. For the parallelism-aware
+    /// clock see [`critical_path_us`](SimNetwork::critical_path_us).
     pub fn simulated_latency_us(&self) -> u64 {
         self.clock_us
+    }
+
+    /// Critical-path latency (µs): the virtual-clock instant by which
+    /// every message scheduled so far has arrived, with independent
+    /// links charged in parallel (this is what
+    /// [`Transport::now_us`](crate::Transport::now_us) reports).
+    pub fn critical_path_us(&self) -> u64 {
+        self.critical_us
     }
 
     fn check(&self, p: PartyId) -> Result<(), NetError> {
@@ -144,12 +196,19 @@ impl SimNetwork {
         // the fabric then drops or mangles them (as a real NIC would be).
         self.stats.record(from.0, to.0, label, payload.len());
         self.clock_us += self.latency.charge_us(payload.len());
-        let (payload, duplicate) = match self.faults.action(label) {
-            None => (payload, false),
-            Some(kind) => match crate::fault::FaultPlan::apply(kind, payload) {
-                None => return Ok(()), // dropped in flight
-                Some(x) => x,
-            },
+        // Virtual clock: propagation (base) overlaps across messages,
+        // but the bytes serialize on the recipient's ingress link — a
+        // k-message fan-in costs base + k·transmit, so topology fan-in
+        // bounds are measurable, not free.
+        let arrival_us = self.latency.arrival_us(
+            self.local_time_us[from.0],
+            self.ingress_free_us[to.0],
+            payload.len(),
+        );
+        self.ingress_free_us[to.0] = arrival_us;
+        self.critical_us = self.critical_us.max(arrival_us);
+        let Some((payload, duplicate)) = self.faults.process(label, payload) else {
+            return Ok(()); // dropped in flight
         };
         if duplicate {
             self.mailboxes[to.0].push_back(Envelope {
@@ -157,6 +216,7 @@ impl SimNetwork {
                 to,
                 label,
                 payload: payload.clone(),
+                arrival_us,
             });
         }
         self.mailboxes[to.0].push_back(Envelope {
@@ -164,6 +224,7 @@ impl SimNetwork {
             to,
             label,
             payload,
+            arrival_us,
         });
         Ok(())
     }
@@ -190,9 +251,12 @@ impl SimNetwork {
         Ok(())
     }
 
-    /// Pops the next message for `to`, if any.
+    /// Pops the next message for `to`, if any. Receiving fast-forwards
+    /// `to`'s local clock to the message's arrival time.
     pub fn recv(&mut self, to: PartyId) -> Option<Envelope> {
-        self.mailboxes.get_mut(to.0)?.pop_front()
+        let env = self.mailboxes.get_mut(to.0)?.pop_front()?;
+        self.local_time_us[to.0] = self.local_time_us[to.0].max(env.arrival_us);
+        Some(env)
     }
 
     /// Pops the next message for `to`, requiring the given label.
@@ -213,12 +277,65 @@ impl SimNetwork {
                 got: head.label.to_string(),
             });
         }
-        Ok(self.mailboxes[to.0].pop_front().expect("head exists"))
+        let env = self.mailboxes[to.0].pop_front().expect("head exists");
+        self.local_time_us[to.0] = self.local_time_us[to.0].max(env.arrival_us);
+        Ok(env)
     }
 
     /// Number of undelivered messages across all mailboxes.
     pub fn pending(&self) -> usize {
         self.mailboxes.iter().map(|m| m.len()).sum()
+    }
+}
+
+/// The reference [`Transport`](crate::Transport) implementation: every
+/// trait method delegates to the inherent one of the same shape.
+impl crate::Transport for SimNetwork {
+    fn party_count(&self) -> usize {
+        self.parties()
+    }
+
+    fn send(
+        &mut self,
+        from: PartyId,
+        to: PartyId,
+        label: &'static str,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        SimNetwork::send(self, from, to, label, payload)
+    }
+
+    fn recv(&mut self, to: PartyId) -> Option<Envelope> {
+        SimNetwork::recv(self, to)
+    }
+
+    fn recv_expect(&mut self, to: PartyId, label: &'static str) -> Result<Envelope, NetError> {
+        SimNetwork::recv_expect(self, to, label)
+    }
+
+    fn broadcast(
+        &mut self,
+        from: PartyId,
+        label: &'static str,
+        payload: &[u8],
+    ) -> Result<(), NetError> {
+        SimNetwork::broadcast(self, from, label, payload)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats.clone()
+    }
+
+    fn traffic_totals(&self) -> (u64, u64) {
+        (self.stats.total_messages, self.stats.total_bytes)
+    }
+
+    fn now_us(&self) -> u64 {
+        self.critical_us
+    }
+
+    fn pending(&self) -> usize {
+        SimNetwork::pending(self)
     }
 }
 

@@ -1,0 +1,174 @@
+//! The abstract message-passing surface the PEM protocols run over.
+//!
+//! The paper defines Protocols 2–4 over an abstract reliable
+//! point-to-point model; everything they need from a fabric is captured
+//! by [`Transport`]: addressed sends, label-checked receives, broadcast,
+//! byte/message accounting and a *virtual clock* that tracks the
+//! critical-path latency of the message pattern actually executed.
+//!
+//! Two implementations ship with the crate:
+//!
+//! * [`SimNetwork`](crate::SimNetwork) — the deterministic in-memory
+//!   reference fabric (per-party FIFO mailboxes, one global latency
+//!   model),
+//! * [`MeshTransport`](crate::MeshTransport) — crossbeam-channel links
+//!   with **per-link** latency models, usable both sequentially (through
+//!   this trait) and split into per-party endpoints for one-thread-per-
+//!   agent deployments.
+//!
+//! Drivers written against `T: Transport` run unchanged on either — and
+//! on any future fabric (an async runtime, a real socket mesh) that
+//! implements the trait.
+
+use crate::error::NetError;
+use crate::sim::{Envelope, PartyId};
+use crate::stats::NetStats;
+
+/// A multi-party message fabric.
+///
+/// # Virtual clock
+///
+/// [`now_us`](Transport::now_us) advances along the *critical path* of
+/// the traffic: each party owns a local clock; a message departs at its
+/// sender's local time, its propagation (`base_us`) overlaps freely with
+/// other messages, but its bytes then serialize on the **recipient's
+/// ingress link** (`transmit_us`); a receive fast-forwards the
+/// recipient's clock to the arrival time. A ring over `n` parties thus
+/// costs `n` full hops in sequence, a depth-1 star pays one propagation
+/// plus `n` serialized transmissions at the hub, and a fan-in-bounded
+/// tree pays `O(log n)` hops of at most `fanin` transmissions each —
+/// exactly the trade-off the aggregation-topology ablations measure.
+pub trait Transport {
+    /// Number of parties on the fabric.
+    fn party_count(&self) -> usize;
+
+    /// Sends `payload` from `from` to `to` under a phase label.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownParty`] / [`NetError::SelfSend`], or transport-
+    /// specific delivery failures.
+    fn send(
+        &mut self,
+        from: PartyId,
+        to: PartyId,
+        label: &'static str,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError>;
+
+    /// Pops the next message for `to`, if any is deliverable now.
+    fn recv(&mut self, to: PartyId) -> Option<Envelope>;
+
+    /// Pops the next message for `to`, requiring the given label; the
+    /// message is *not* consumed on a label mismatch.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Empty`] or [`NetError::UnexpectedLabel`].
+    fn recv_expect(&mut self, to: PartyId, label: &'static str) -> Result<Envelope, NetError>;
+
+    /// Broadcasts to every other party. Bytes are charged per recipient
+    /// (the fabrics model point-to-point links), but the virtual clock
+    /// charges the links in parallel: all copies depart at the sender's
+    /// local time.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownParty`] if `from` is invalid.
+    fn broadcast(
+        &mut self,
+        from: PartyId,
+        label: &'static str,
+        payload: &[u8],
+    ) -> Result<(), NetError> {
+        for to in 0..self.party_count() {
+            if to != from.0 {
+                self.send(from, PartyId(to), label, payload.to_vec())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the accumulated traffic statistics.
+    fn stats(&self) -> NetStats;
+
+    /// Cheap `(messages, bytes)` totals — what per-phase metering reads
+    /// between every protocol phase. Implementations should override
+    /// the default, which clones the full stats.
+    fn traffic_totals(&self) -> (u64, u64) {
+        let s = self.stats();
+        (s.total_messages, s.total_bytes)
+    }
+
+    /// The virtual clock: critical-path latency (µs) of the traffic so
+    /// far. Always zero under a zero-latency model.
+    fn now_us(&self) -> u64;
+
+    /// Number of sent-but-unconsumed messages across all parties.
+    fn pending(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{LatencyModel, SimNetwork};
+
+    /// Exercises a transport through the trait only (the driver shape
+    /// Protocols 2–4 compile down to).
+    fn generic_roundtrip<T: Transport>(net: &mut T) {
+        assert_eq!(net.party_count(), 3);
+        net.send(PartyId(0), PartyId(1), "a", vec![1, 2]).unwrap();
+        net.broadcast(PartyId(1), "b", &[9]).unwrap();
+        let env = net.recv_expect(PartyId(1), "a").unwrap();
+        assert_eq!(env.payload, vec![1, 2]);
+        assert_eq!(net.pending(), 2, "both broadcast copies still queued");
+        assert!(net.recv(PartyId(0)).is_some());
+        assert!(net.recv(PartyId(2)).is_some());
+        assert_eq!(net.pending(), 0);
+        let stats = net.stats();
+        assert_eq!(stats.total_messages, 3);
+        assert_eq!(stats.total_bytes, 4);
+    }
+
+    #[test]
+    fn sim_network_is_a_transport() {
+        generic_roundtrip(&mut SimNetwork::new(3));
+    }
+
+    #[test]
+    fn mesh_transport_is_a_transport() {
+        generic_roundtrip(&mut crate::MeshTransport::new(3));
+    }
+
+    #[test]
+    fn virtual_clock_tracks_critical_path_not_volume() {
+        // Star: two concurrent sends into one party → propagation
+        // overlaps (one base) but the bytes serialize on the hub's
+        // ingress link (two transmits) — cheaper than two full hops,
+        // dearer than one.
+        let model = LatencyModel::lan();
+        let hop = model.charge_us(8);
+        let mut star = SimNetwork::with_latency(3, model);
+        star.send(PartyId(1), PartyId(0), "up", vec![0; 8]).unwrap();
+        star.send(PartyId(2), PartyId(0), "up", vec![0; 8]).unwrap();
+        star.recv(PartyId(0)).unwrap();
+        star.recv(PartyId(0)).unwrap();
+        assert_eq!(
+            Transport::now_us(&star),
+            model.base_us + 2 * model.transmit_us(8)
+        );
+        assert!(Transport::now_us(&star) < 2 * hop);
+
+        // Chain: recv-then-forward serializes full hops (base included).
+        let mut chain = SimNetwork::with_latency(3, model);
+        chain
+            .send(PartyId(0), PartyId(1), "fwd", vec![0; 8])
+            .unwrap();
+        chain.recv(PartyId(1)).unwrap();
+        chain
+            .send(PartyId(1), PartyId(2), "fwd", vec![0; 8])
+            .unwrap();
+        chain.recv(PartyId(2)).unwrap();
+        assert_eq!(Transport::now_us(&chain), 2 * hop);
+    }
+}

@@ -9,6 +9,9 @@
 //!     --coalition 31 --workers 8 --strategy surplus --pool 8
 //! # Cross-shard market coupling + dispersion-driven re-partitioning:
 //! cargo run --release --example grid_day -- --couple --repartition
+//! # Latency-aware fabrics (coalition windows *and* the coupling round
+//! # run on the model; the coupling line reports its critical path):
+//! cargo run --release --example grid_day -- --couple --latency lan
 //! ```
 
 use std::time::Instant;
@@ -16,6 +19,7 @@ use std::time::Instant;
 use pem::core::PemConfig;
 use pem::coupling::{CouplingConfig, RepartitionConfig};
 use pem::data::{TraceConfig, TraceGenerator};
+use pem::net::LatencyModel;
 use pem::sched::{GridConfig, GridOrchestrator, PartitionStrategy};
 
 /// `--flag value` lookup over `std::env::args` (no external deps).
@@ -47,9 +51,19 @@ fn main() {
         "feeder" => PartitionStrategy::Feeder { feeders: 8 },
         _ => PartitionStrategy::SurplusBalanced,
     };
+    let latency_name = arg("--latency", "zero".to_string());
+    let latency = match latency_name.as_str() {
+        "zero" => LatencyModel::zero(),
+        "lan" => LatencyModel::lan(),
+        "wan" => LatencyModel::wan(),
+        other => {
+            eprintln!("unknown --latency '{other}' (expected zero|lan|wan)");
+            std::process::exit(2);
+        }
+    };
     let couple = flag("--couple") || flag("--repartition");
     let coupling = couple.then(|| {
-        let cfg = CouplingConfig::fast_test();
+        let cfg = CouplingConfig::fast_test().with_latency(latency);
         if flag("--repartition") {
             cfg.with_repartition(RepartitionConfig::fast_test())
         } else {
@@ -59,7 +73,7 @@ fn main() {
 
     println!("== PEM grid day ==");
     println!(
-        "homes {homes} | windows {windows} | coalition ≤{coalition} | workers {workers} | randomizer pool {pool}/key | coupling {}",
+        "homes {homes} | windows {windows} | coalition ≤{coalition} | workers {workers} | randomizer pool {pool}/key | coupling {} | latency {latency_name}",
         if couple { "on" } else { "off" }
     );
 
@@ -86,7 +100,9 @@ fn main() {
     // to the floor; widen the retail/feed-in spread so Stackelberg
     // prices land *inside* the band and genuine cross-coalition price
     // dispersion appears (what the coupling round arbitrages).
-    let mut pem = PemConfig::fast_test().with_randomizer_pool(pool);
+    let mut pem = PemConfig::fast_test()
+        .with_randomizer_pool(pool)
+        .with_latency(latency);
     pem.band = pem::market::PriceBand {
         grid_retail: 120.0,
         grid_feed_in: 20.0,
@@ -137,20 +153,22 @@ fn main() {
         if let Some(cs) = &w.coupling {
             if cs.engaged {
                 println!(
-                    "        └ coupled: corridor {:>6.2} ¢/kWh | σ {:.2}→{:.2} | {:>6.2} kWh over {} transfers | +{:.1} ¢ welfare{}",
+                    "        └ coupled: corridor {:>6.2} ¢/kWh | σ {:.2}→{:.2} | {:>6.2} kWh over {} transfers | +{:.1} ¢ welfare | crit path {}µs{}",
                     cs.corridor_price,
                     cs.pre_dispersion,
                     cs.post_dispersion,
                     cs.transferred_kwh,
                     cs.transfer_count,
                     cs.welfare_gain_cents,
+                    cs.critical_path_us,
                     if cs.repartitioned { " | re-partitioned" } else { "" },
                 );
             } else {
                 println!(
-                    "        └ coupling idle: surplus {:.2} kWh vs deficit {:.2} kWh{}",
+                    "        └ coupling idle: surplus {:.2} kWh vs deficit {:.2} kWh | crit path {}µs{}",
                     cs.surplus_kwh,
                     cs.deficit_kwh,
+                    cs.critical_path_us,
                     if cs.repartitioned {
                         " | re-partitioned"
                     } else {
