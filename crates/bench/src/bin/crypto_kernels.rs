@@ -2,24 +2,29 @@
 //! half of the repo's perf trajectory (`BENCH_crypto.json`).
 //!
 //! Measures ops/sec for every kernel the protocols bottom out in:
-//! encryption (fresh and pooled-randomizer), the homomorphic operators,
+//! encryption (fresh and pooled-randomizer), randomizer precompute on
+//! both lanes (classic public-key vs the key owner's half-width CRT
+//! legs), the homomorphic operators (including the fused `affine`
+//! against its unfused `mul_plain` + `add_plain` chain and the
+//! power-of-two squaring path), raw vs comb fixed-base exponentiation,
 //! and decryption on both the CRT fast path and the classic full-width
 //! path (the pre-overhaul kernel, kept as the speedup baseline).
 //!
 //! ```text
 //! cargo run --release -p pem-bench --bin crypto_kernels -- \
-//!     --bits 512,1024,2048 --min-time-ms 300
+//!     --bits 512,1024,2048 --min-time-ms 300 --run-label dev
 //! ```
 //!
-//! Output: a JSON array (one element per key size) followed by a
-//! human-readable table. CI runs a reduced smoke sweep and uploads the
-//! JSON; `BENCH_crypto.json` at the repo root pins the committed
-//! baseline.
+//! Output: one JSON *trajectory run* (`{"run": …, "entries": […]}`, an
+//! entry per key size) followed by a human-readable table. CI runs a
+//! reduced smoke sweep and uploads the JSON; `BENCH_crypto.json` at the
+//! repo root pins the committed trajectory — an array of such runs, one
+//! per engine generation.
 
 use std::time::Instant;
 
 use pem_bench::Args;
-use pem_bignum::BigUint;
+use pem_bignum::{BigUint, Montgomery};
 use pem_crypto::drbg::HashDrbg;
 use pem_crypto::paillier::{Ciphertext, Keypair, PrivateKey, PublicKey, Randomizer};
 
@@ -48,11 +53,49 @@ fn measure<F: FnMut(u64)>(name: &'static str, min_time_ms: u64, mut op: F) -> Ke
     }
 }
 
+/// Measures two kernels *interleaved* in one loop, so clock drift and
+/// scheduler noise hit both sides equally — the only trustworthy way to
+/// take a ratio on a shared box. `ops_a`/`ops_b` scale one call of each
+/// closure to reported ops (e.g. a batch call covering 8 items).
+fn measure_pair<F: FnMut(u64), G: FnMut(u64)>(
+    names: (&'static str, &'static str),
+    min_time_ms: u64,
+    ops_per_call: (f64, f64),
+    mut a: F,
+    mut b: G,
+) -> (Kernel, Kernel) {
+    a(0);
+    b(0); // warm-up
+    let mut ta = 0f64;
+    let mut tb = 0f64;
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_millis() < 2 * min_time_ms as u128 || iters < 3 {
+        let t0 = Instant::now();
+        a(iters);
+        ta += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        b(iters);
+        tb += t1.elapsed().as_secs_f64();
+        iters += 1;
+    }
+    let kernel = |name, t: f64, per_call: f64| Kernel {
+        name,
+        ops_per_s: iters as f64 * per_call / t,
+        mean_us: t * 1e6 / (iters as f64 * per_call),
+    };
+    (
+        kernel(names.0, ta, ops_per_call.0),
+        kernel(names.1, tb, ops_per_call.1),
+    )
+}
+
 struct SizeReport {
     key_bits: usize,
     keygen_ms: f64,
     kernels: Vec<Kernel>,
-    decrypt_speedup: f64,
+    /// Derived ratios: (json field name, value).
+    speedups: Vec<(&'static str, f64)>,
 }
 
 /// Fixture material shared by every kernel measurement at one key size.
@@ -120,23 +163,106 @@ fn bench_size(bits: usize, min_time_ms: u64) -> SizeReport {
     kernels.push(measure("mul_plain_small", min_time_ms, |i| {
         let _ = fx.pk.mul_plain(&fx.cts[pick(i)], &fx.small_scalar);
     }));
-    kernels.push(measure("decrypt_crt", min_time_ms, |i| {
-        let _ = fx.sk.decrypt(&fx.cts[pick(i)]);
-    }));
+    {
+        // Power-of-two scalar: the squaring-chain fast path at the same
+        // magnitude as the quantized small_scalar row.
+        let pow2 = BigUint::one() << 26;
+        kernels.push(measure("mul_plain_pow2", min_time_ms, |i| {
+            let _ = fx.pk.mul_plain(&fx.cts[pick(i)], &pow2);
+        }));
+    }
+    {
+        // Fused affine (mul_plain + add_plain in one Montgomery pass)
+        // against the unfused chain it replaces, interleaved.
+        let (pk, cts, ms, k) = (&fx.pk, &fx.cts, &fx.messages, &fx.small_scalar);
+        let (seq, fused) = measure_pair(
+            ("affine_seq", "affine_fused"),
+            min_time_ms,
+            (1.0, 1.0),
+            |i| {
+                let _ = pk.add_plain(&pk.mul_plain(&cts[pick(i)], k), &ms[pick(i + 1)]);
+            },
+            |i| {
+                let _ = pk.affine(&cts[pick(i)], k, &ms[pick(i + 1)]);
+            },
+        );
+        kernels.push(seq);
+        kernels.push(fused);
+    }
+    {
+        // Randomizer precompute, interleaved: the classic full-width
+        // public-key lane vs the key owner's half-width CRT legs — the
+        // pool's fast lane. Batches of 4 so each lane amortizes its
+        // recoding/scratch exactly as the pool does.
+        let (pk, sk) = (&fx.pk, &fx.sk);
+        let mut rng_pk = HashDrbg::new(b"bench-precompute-classic");
+        let mut rng_sk = HashDrbg::new(b"bench-precompute-owner");
+        let (classic, owner) = measure_pair(
+            ("precompute_classic", "precompute_owner_crt"),
+            min_time_ms,
+            (4.0, 4.0),
+            |_| {
+                let _ = pk.precompute_randomizers(4, &mut rng_pk);
+            },
+            |_| {
+                let _ = sk.precompute_randomizers_crt(4, &mut rng_sk);
+            },
+        );
+        kernels.push(classic);
+        kernels.push(owner);
+    }
+    {
+        // Raw full-width exponentiation mod n² vs the comb table for a
+        // fixed base (same base, same full-width exponents), interleaved.
+        let mont = Montgomery::new(fx.pk.n_squared().clone()).expect("n² odd");
+        let mut rng = HashDrbg::new(b"bench-fixed-base");
+        let base = BigUint::random_below(fx.pk.n_squared(), &mut rng);
+        let exps: Vec<BigUint> = (0..8)
+            .map(|_| BigUint::random_below(fx.pk.n(), &mut rng))
+            .collect();
+        let pick_e = |i: u64| (i % exps.len() as u64) as usize;
+        let table = mont.fixed_base_table(&base, fx.pk.bits());
+        let (full, fixed) = measure_pair(
+            ("modpow_full", "fixed_base_pow"),
+            min_time_ms,
+            (1.0, 1.0),
+            |i| {
+                let _ = mont.modpow(&base, &exps[pick_e(i)]);
+            },
+            |i| {
+                let _ = table.pow(&exps[pick_e(i)]);
+            },
+        );
+        kernels.push(full);
+        kernels.push(fixed);
+    }
+    {
+        // Per-item decryption vs the batch API over the same
+        // ciphertexts, interleaved call by call: the first baseline
+        // measured these in separate windows and booked a 45% "batch
+        // regression" at 2048 bits that was pure clock drift. Both
+        // report per-ciphertext figures.
+        let batch = fx.cts.clone();
+        let per_call = batch.len() as f64;
+        let (singles, batched) = measure_pair(
+            ("decrypt_crt", "decrypt_batch"),
+            min_time_ms,
+            (per_call, per_call),
+            |_| {
+                for c in &batch {
+                    let _ = fx.sk.decrypt(c);
+                }
+            },
+            |_| {
+                let _ = fx.sk.decrypt_batch(&batch);
+            },
+        );
+        kernels.push(singles);
+        kernels.push(batched);
+    }
     kernels.push(measure("decrypt_classic", min_time_ms, |i| {
         let _ = fx.sk_classic.decrypt(&fx.cts[pick(i)]);
     }));
-    {
-        let batch = fx.cts.clone();
-        let per_call = batch.len() as f64;
-        let mut k = measure("decrypt_batch", min_time_ms, |_| {
-            let _ = fx.sk.decrypt_batch(&batch);
-        });
-        // Report per-ciphertext figures so the row compares directly.
-        k.ops_per_s *= per_call;
-        k.mean_us /= per_call;
-        kernels.push(k);
-    }
 
     let ops = |name: &str| {
         kernels
@@ -144,21 +270,33 @@ fn bench_size(bits: usize, min_time_ms: u64) -> SizeReport {
             .find(|k| k.name == name)
             .map_or(0.0, |k| k.ops_per_s)
     };
-    let decrypt_speedup = if ops("decrypt_classic") > 0.0 {
-        ops("decrypt_crt") / ops("decrypt_classic")
-    } else {
-        0.0
+    let ratio = |fast: &str, slow: &str| {
+        if ops(slow) > 0.0 {
+            ops(fast) / ops(slow)
+        } else {
+            0.0
+        }
     };
+    let speedups = vec![
+        ("decrypt_speedup_crt", ratio("decrypt_crt", "decrypt_classic")),
+        (
+            "precompute_speedup_owner_crt",
+            ratio("precompute_owner_crt", "precompute_classic"),
+        ),
+        ("fixed_base_speedup", ratio("fixed_base_pow", "modpow_full")),
+        ("affine_speedup", ratio("affine_fused", "affine_seq")),
+        ("mul_plain_pow2_speedup", ratio("mul_plain_pow2", "mul_plain_small")),
+    ];
     SizeReport {
         key_bits: bits,
         keygen_ms,
         kernels,
-        decrypt_speedup,
+        speedups,
     }
 }
 
-fn json(reports: &[SizeReport]) -> String {
-    let mut out = String::from("[\n");
+fn json(label: &str, reports: &[SizeReport]) -> String {
+    let mut out = format!("{{\"run\": \"{label}\", \"entries\": [\n");
     for (i, r) in reports.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"key_bits\": {}, \"keygen_ms\": {:.1}, ",
@@ -170,13 +308,15 @@ fn json(reports: &[SizeReport]) -> String {
                 k.name, k.ops_per_s, k.name, k.mean_us
             ));
         }
-        out.push_str(&format!(
-            "\"decrypt_speedup_crt\": {:.2}}}{}",
-            r.decrypt_speedup,
-            if i + 1 < reports.len() { ",\n" } else { "\n" }
-        ));
+        let tail: Vec<String> = r
+            .speedups
+            .iter()
+            .map(|(name, v)| format!("\"{name}\": {v:.2}"))
+            .collect();
+        out.push_str(&tail.join(", "));
+        out.push_str(if i + 1 < reports.len() { "},\n" } else { "}\n" });
     }
-    out.push(']');
+    out.push_str("]}");
     out
 }
 
@@ -184,22 +324,22 @@ fn main() {
     let args = Args::from_env();
     let bits = args.get_usize_list("bits", &[512, 1024, 2048]);
     let min_time_ms = args.get_u64("min-time-ms", 300);
+    let label = args.get_str("run-label", "dev");
 
     let reports: Vec<SizeReport> = bits.iter().map(|&b| bench_size(b, min_time_ms)).collect();
 
-    println!("{}", json(&reports));
+    println!("{}", json(&label, &reports));
     println!();
-    println!("key_bits  kernel            ops/s        mean");
+    println!("key_bits  kernel                  ops/s        mean");
     for r in &reports {
         for k in &r.kernels {
             println!(
-                "{:>8}  {:<16} {:>10.1}  {:>8.1}µs",
+                "{:>8}  {:<22} {:>10.1}  {:>8.1}µs",
                 r.key_bits, k.name, k.ops_per_s, k.mean_us
             );
         }
-        println!(
-            "{:>8}  {:<16} {:>10.2}x  (CRT vs classic)",
-            r.key_bits, "decrypt_speedup", r.decrypt_speedup
-        );
+        for (name, v) in &r.speedups {
+            println!("{:>8}  {:<22} {:>10.2}x", r.key_bits, name, v);
+        }
     }
 }

@@ -119,6 +119,20 @@ impl BigUint {
         None
     }
 
+    /// `true` when exactly one bit is set (`self = 2^k`); `false` for
+    /// zero.
+    ///
+    /// ```
+    /// use pem_bignum::BigUint;
+    /// assert!((BigUint::one() << 70).is_power_of_two());
+    /// assert!(!BigUint::from(6u64).is_power_of_two());
+    /// assert!(!BigUint::zero().is_power_of_two());
+    /// ```
+    pub fn is_power_of_two(&self) -> bool {
+        self.trailing_zeros()
+            .is_some_and(|t| t + 1 == self.bit_length())
+    }
+
     /// `self * self`.
     pub fn square(&self) -> BigUint {
         self * self

@@ -51,6 +51,6 @@ pub use bigint::{BigInt, Sign};
 pub use biguint::BigUint;
 pub use error::ParseBigIntError;
 pub use modular::ExtendedGcd;
-pub use montgomery::Montgomery;
+pub use montgomery::{ExpDigits, FixedBasePow, Montgomery, PowScratch};
 pub use prime::{is_prime, next_prime, MillerRabin};
 pub use random::RandomBits;

@@ -19,6 +19,11 @@ impl BigUint {
     /// `self^exp mod modulus`, choosing Montgomery for odd moduli and a
     /// binary ladder otherwise.
     ///
+    /// One-shot convenience: the context (whose setup costs a
+    /// full-width division) is rebuilt per call. Hot paths hold a
+    /// [`Montgomery`] and use its engine directly — recoded exponents,
+    /// batch scratch, fixed-base tables (see `pem_bignum::montgomery`).
+    ///
     /// # Panics
     ///
     /// Panics if `modulus` is zero.
@@ -32,6 +37,13 @@ impl BigUint {
         assert!(!modulus.is_zero(), "modpow with zero modulus");
         if modulus.is_one() {
             return BigUint::zero();
+        }
+        // Trivial exponents skip the context build entirely.
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        if exp.is_one() {
+            return self % modulus;
         }
         if modulus.is_odd() {
             let ctx = Montgomery::new(modulus.clone()).expect("odd modulus");

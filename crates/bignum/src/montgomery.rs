@@ -1,10 +1,28 @@
 //! Montgomery-form modular arithmetic for odd moduli.
 //!
 //! A [`Montgomery`] context precomputes the constants needed to multiply in
-//! Montgomery form (CIOS reduction) and exposes windowed modular
-//! exponentiation — the workhorse of Paillier encryption and the OT group.
+//! Montgomery form (CIOS reduction) and exposes the exponentiation engine
+//! the Paillier and OT hot paths bottom out in:
+//!
+//! * [`Montgomery::modpow`] — sliding fixed-window exponentiation with the
+//!   window sized to the exponent, a dedicated squaring kernel in the
+//!   square chain, and a pure-squaring fast path for power-of-two
+//!   exponents (quantized market scalars hit `2^k` constantly);
+//! * [`ExpDigits`] / [`Montgomery::modpow_recoded`] — the exponent's
+//!   window recoding as a reusable value, so a batch of exponentiations
+//!   under one exponent (every `r^n` of a randomizer pool, every CRT
+//!   decryption leg) recodes once instead of per call;
+//! * [`Montgomery::pow_mul`] — `base^exp · factor` fused in the Montgomery
+//!   domain (one conversion round-trip instead of two);
+//! * [`Montgomery::multi_modpow`] — simultaneous (Shamir/interleaved
+//!   window) multi-exponentiation: `Π base_i^exp_i` with one shared
+//!   square chain;
+//! * [`Montgomery::fixed_base_table`] / [`FixedBasePow`] — comb
+//!   precomputation for a base that is exponentiated many times (group
+//!   generators, Pedersen `g`/`h`): after the one-off table build, a full
+//!   exponentiation costs only window-count multiplications — no
+//!   squarings at all.
 
-use crate::arith;
 use crate::biguint::BigUint;
 
 /// A reusable Montgomery-multiplication context for a fixed odd modulus.
@@ -31,6 +49,91 @@ pub struct Montgomery {
     r2: Vec<u64>,
     /// `R mod n`: the Montgomery representation of one.
     r1: Vec<u64>,
+}
+
+/// The windowed recoding of an exponent, detached from any modulus.
+///
+/// Recoding walks every bit of the exponent once; for a single
+/// exponentiation that cost disappears into the noise, but the protocols
+/// exponentiate *batches* under one exponent (`r^n` per pool slot,
+/// `c^{p-1}` per ciphertext of a decryption fan-in). Recode once, reuse
+/// everywhere: [`Montgomery::modpow_recoded`] accepts the recoding in
+/// place of the raw exponent and produces bit-identical results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpDigits {
+    /// Window width in bits.
+    w: usize,
+    /// Window digits, most-significant window first; each `< 2^w`.
+    digits: Vec<u8>,
+    /// Bit length of the recoded exponent.
+    bits: usize,
+    /// `true` when the exponent has exactly one set bit (`2^{bits-1}`):
+    /// the whole exponentiation collapses to a squaring chain.
+    power_of_two: bool,
+}
+
+impl ExpDigits {
+    /// The window width whose table-build cost amortizes over `bits`
+    /// exponent bits: tiny exponents (quantized market scalars) take a
+    /// plain square-and-multiply ladder, full-width Paillier exponents a
+    /// 5-bit table.
+    fn window_bits(bits: usize) -> usize {
+        match bits {
+            0..=7 => 1,
+            8..=23 => 2,
+            24..=95 => 3,
+            96..=767 => 4,
+            _ => 5,
+        }
+    }
+
+    /// Recodes `exp` with the width [`ExpDigits::window_bits`] picks for
+    /// its bit length — exactly the windows [`Montgomery::modpow`] uses.
+    pub fn recode(exp: &BigUint) -> ExpDigits {
+        let bits = exp.bit_length();
+        ExpDigits::recode_with_width(exp, ExpDigits::window_bits(bits))
+    }
+
+    /// Recodes `exp` with an explicit window width (the simultaneous
+    /// multi-exponentiation aligns every exponent on one shared grid).
+    fn recode_with_width(exp: &BigUint, w: usize) -> ExpDigits {
+        debug_assert!((1..=8).contains(&w));
+        let bits = exp.bit_length();
+        let windows = bits.div_ceil(w);
+        let mut digits = Vec::with_capacity(windows);
+        for win in (0..windows).rev() {
+            let mut idx = 0u8;
+            for b in 0..w {
+                let bit_pos = win * w + (w - 1 - b);
+                idx <<= 1;
+                if bit_pos < bits && exp.bit(bit_pos) {
+                    idx |= 1;
+                }
+            }
+            digits.push(idx);
+        }
+        ExpDigits {
+            w,
+            digits,
+            bits,
+            power_of_two: exp.is_power_of_two(),
+        }
+    }
+
+    /// `true` for the recoding of zero.
+    pub fn is_zero(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Bit length of the recoded exponent.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The window width the recoding was built with.
+    pub fn window(&self) -> usize {
+        self.w
+    }
 }
 
 impl Montgomery {
@@ -69,61 +172,102 @@ impl Montgomery {
         &self.n
     }
 
-    /// CIOS Montgomery multiplication: returns `a * b * R^{-1} mod n`.
+    /// `true` when the running value `(hi, lo)` is `>= n` — the
+    /// conditional-subtraction test of both reduction kernels, done in
+    /// place (no normalized copy, no allocation).
+    fn ge_n(&self, hi: u64, lo: &[u64]) -> bool {
+        if hi != 0 {
+            return true;
+        }
+        let n = self.n.limbs();
+        for j in (0..self.k).rev() {
+            if lo[j] != n[j] {
+                return lo[j] > n[j];
+            }
+        }
+        true // equal
+    }
+
+    /// Montgomery multiplication: returns `a * b * R^{-1} mod n`.
     /// Inputs and output are `k`-limb vectors (values `< n`).
     fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; self.k];
+        let mut t = vec![0u64; 2 * self.k + 1];
+        self.mont_mul_into(a, b, &mut out, &mut t);
+        out
+    }
+
+    /// [`Montgomery::mont_mul`] into caller-owned buffers: `out` holds
+    /// `k` limbs, `t` at least `2k + 1` (the double-width accumulator).
+    /// Separated operand scanning (SOS): the full product lands at its
+    /// final offsets and one reduction sweep follows — no per-iteration
+    /// shifting — and the exponentiation ladders reuse the buffers, so
+    /// a group operation allocates nothing.
+    fn mont_mul_into(&self, a: &[u64], b: &[u64], out: &mut [u64], t: &mut [u64]) {
         let k = self.k;
         debug_assert_eq!(a.len(), k);
         debug_assert_eq!(b.len(), k);
-        let n = self.n.limbs();
-        let mut t = vec![0u64; k + 2];
-        for &ai in a.iter() {
-            // t += ai * b
+        debug_assert_eq!(out.len(), k);
+        debug_assert!(t.len() >= 2 * k + 1);
+        let t = &mut t[..2 * k + 1];
+        t.fill(0);
+        // 1. Schoolbook product into the double-width accumulator
+        //    (zipped: the hot multiply-accumulate has no bounds checks).
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
             let mut carry: u128 = 0;
-            for j in 0..k {
-                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
-                t[j] = s as u64;
+            let (t_win, t_hi) = t[i..].split_at_mut(k);
+            for (tj, &bj) in t_win.iter_mut().zip(b) {
+                let s = *tj as u128 + ai as u128 * bj as u128 + carry;
+                *tj = s as u64;
                 carry = s >> 64;
             }
-            let s = t[k] as u128 + carry;
-            t[k] = s as u64;
-            t[k + 1] = (s >> 64) as u64;
-
-            // m = t[0] * n' mod 2^64 ; t += m * n ; t /= 2^64
-            let m = t[0].wrapping_mul(self.n0_inv);
-            let mut carry: u128 = 0;
-            for j in 0..k {
-                let s = t[j] as u128 + m as u128 * n[j] as u128 + carry;
-                t[j] = s as u64;
-                carry = s >> 64;
-            }
-            let s = t[k] as u128 + carry;
-            t[k] = s as u64;
-            t[k + 1] = t[k + 1].wrapping_add((s >> 64) as u64);
-
-            // Divide by the limb base: t[0] is zero by construction.
-            for j in 0..=k {
-                t[j] = t[j + 1];
-            }
-            t[k + 1] = 0;
+            // The running sum fits k+1 limbs per row: one carry limb.
+            t_hi[0] = t_hi[0].wrapping_add(carry as u64);
         }
-        // Conditional subtraction: the running value fits in k+1 limbs and
-        // is < 2n, so at most one subtraction is needed.
-        let ge_n = t[k] != 0 || arith::cmp_limbs(&strip(&t[..k]), n) != std::cmp::Ordering::Less;
-        if ge_n {
+        // 2. Montgomery reduction sweep + conditional subtraction.
+        self.mont_reduce(t, out);
+    }
+
+    /// The shared tail of both SOS kernels: reduces the double-width
+    /// accumulator `t` (2k+1 limbs) in place and writes the canonical
+    /// `< n` result to `out`.
+    fn mont_reduce(&self, t: &mut [u64], out: &mut [u64]) {
+        let k = self.k;
+        let n = self.n.limbs();
+        for i in 0..k {
+            let m = t[i].wrapping_mul(self.n0_inv);
+            let mut carry: u128 = 0;
+            let (t_win, t_hi) = t[i..].split_at_mut(k);
+            for (tj, &nj) in t_win.iter_mut().zip(n) {
+                let s = *tj as u128 + m as u128 * nj as u128 + carry;
+                *tj = s as u64;
+                carry = s >> 64;
+            }
+            let mut idx = 0;
+            while carry > 0 {
+                let s = t_hi[idx] as u128 + carry;
+                t_hi[idx] = s as u64;
+                carry = s >> 64;
+                idx += 1;
+            }
+        }
+        // The reduced value lives in t[k..=2k] and is < 2n: at most one
+        // subtraction.
+        let ge = self.ge_n(t[2 * k], &t[k..2 * k]);
+        out.copy_from_slice(&t[k..2 * k]);
+        if ge {
             let mut borrow = 0u64;
-            for j in 0..k {
-                let nj = n[j];
-                let (d, b1) = t[j].overflowing_sub(nj);
+            for (limb, &nj) in out.iter_mut().zip(n) {
+                let (d, b1) = limb.overflowing_sub(nj);
                 let (d, b2) = d.overflowing_sub(borrow);
-                t[j] = d;
+                *limb = d;
                 borrow = b1 as u64 + b2 as u64;
             }
-            t[k] = t[k].wrapping_sub(borrow);
-            debug_assert_eq!(t[k], 0);
+            debug_assert_eq!(t[2 * k].wrapping_sub(borrow), 0);
         }
-        t.truncate(k);
-        t
     }
 
     /// Dedicated Montgomery squaring: returns `a * a * R^{-1} mod n`.
@@ -134,27 +278,43 @@ impl Montgomery {
     /// once and doubled, then the diagonal `a_i²` terms are added, and a
     /// separate reduction sweep (SOS) folds in the modulus.
     fn mont_sqr(&self, a: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; self.k];
+        let mut t = vec![0u64; 2 * self.k + 1];
+        self.mont_sqr_into(a, &mut out, &mut t);
+        out
+    }
+
+    /// [`Montgomery::mont_sqr`] into caller-owned buffers: `out` holds
+    /// `k` limbs, `t` at least `2k + 1` (the double-width accumulator).
+    /// The square chain is where a windowed exponentiation spends ~80%
+    /// of its multiplies — this is the allocation-free form it runs on.
+    fn mont_sqr_into(&self, a: &[u64], out: &mut [u64], t: &mut [u64]) {
         let k = self.k;
         debug_assert_eq!(a.len(), k);
-        let n = self.n.limbs();
+        debug_assert_eq!(out.len(), k);
+        debug_assert!(t.len() >= 2 * k + 1);
+        let t = &mut t[..2 * k + 1];
+        t.fill(0);
         // 1. Cross products `a_i·a_j` (i < j) into a 2k-limb accumulator
         //    (one slack limb for transient carries).
-        let mut t = vec![0u64; 2 * k + 1];
         for i in 0..k {
             let ai = a[i];
             if ai == 0 {
                 continue;
             }
+            // t[2i+1 .. i+k] += ai * a[i+1 .. k], zipped (no bounds
+            // checks in the hot multiply-accumulate).
             let mut carry: u128 = 0;
-            for j in (i + 1)..k {
-                let s = t[i + j] as u128 + ai as u128 * a[j] as u128 + carry;
-                t[i + j] = s as u64;
+            let (t_win, t_hi) = t[2 * i + 1..].split_at_mut(k - i - 1);
+            for (tj, &aj) in t_win.iter_mut().zip(&a[i + 1..k]) {
+                let s = *tj as u128 + ai as u128 * aj as u128 + carry;
+                *tj = s as u64;
                 carry = s >> 64;
             }
-            let mut idx = i + k;
+            let mut idx = 0;
             while carry > 0 {
-                let s = t[idx] as u128 + carry;
-                t[idx] = s as u64;
+                let s = t_hi[idx] as u128 + carry;
+                t_hi[idx] = s as u64;
                 carry = s >> 64;
                 idx += 1;
             }
@@ -181,40 +341,9 @@ impl Montgomery {
         if carry > 0 {
             t[2 * k] = t[2 * k].wrapping_add(carry);
         }
-        // 4. Montgomery reduction of the double-width square (separated
-        //    operand scanning: one modulus sweep per low limb).
-        for i in 0..k {
-            let m = t[i].wrapping_mul(self.n0_inv);
-            let mut carry: u128 = 0;
-            for j in 0..k {
-                let s = t[i + j] as u128 + m as u128 * n[j] as u128 + carry;
-                t[i + j] = s as u64;
-                carry = s >> 64;
-            }
-            let mut idx = i + k;
-            while carry > 0 {
-                let s = t[idx] as u128 + carry;
-                t[idx] = s as u64;
-                carry = s >> 64;
-                idx += 1;
-            }
-        }
-        // The reduced value lives in t[k..=2k] and is < 2n: at most one
-        // subtraction, exactly as in `mont_mul`.
-        let ge_n =
-            t[2 * k] != 0 || arith::cmp_limbs(&strip(&t[k..2 * k]), n) != std::cmp::Ordering::Less;
-        let mut out = t[k..2 * k].to_vec();
-        if ge_n {
-            let mut borrow = 0u64;
-            for (j, limb) in out.iter_mut().enumerate() {
-                let (d, b1) = limb.overflowing_sub(n[j]);
-                let (d, b2) = d.overflowing_sub(borrow);
-                *limb = d;
-                borrow = b1 as u64 + b2 as u64;
-            }
-            debug_assert_eq!(t[2 * k].wrapping_sub(borrow), 0);
-        }
-        out
+        // 4. Montgomery reduction of the double-width square — the
+        //    same SOS sweep the multiplication kernel ends in.
+        self.mont_reduce(t, out);
     }
 
     /// Converts into Montgomery form (`a * R mod n`).
@@ -245,24 +374,85 @@ impl Montgomery {
         self.from_mont(&self.mont_sqr(&am))
     }
 
-    /// The window width whose table-build cost amortizes over `bits`
-    /// exponent bits: tiny exponents (quantized market scalars) take a
-    /// plain square-and-multiply ladder, full-width Paillier exponents a
-    /// 5-bit table.
-    fn window_bits(bits: usize) -> usize {
-        match bits {
-            0..=7 => 1,
-            8..=23 => 2,
-            24..=95 => 3,
-            96..=767 => 4,
-            _ => 5,
+    /// The `1`-result of an empty exponentiation (`BigUint::one()` except
+    /// for the degenerate modulus `n = 1`, where everything is zero —
+    /// unreachable through `Montgomery::new`, kept for defense in depth).
+    fn one_result(&self) -> BigUint {
+        if self.n.is_one() {
+            BigUint::zero()
+        } else {
+            BigUint::one()
         }
+    }
+
+    /// Builds the odd-power table `table[d] = base^d` (Montgomery form)
+    /// for `d ∈ [0, 2^w)`; `table[0]` is one.
+    fn pow_table(&self, base_m: &[u64], w: usize) -> Vec<Vec<u64>> {
+        let mut table = Vec::with_capacity(1 << w);
+        table.push(self.r1.clone()); // 1 in Montgomery form
+        table.push(base_m.to_vec());
+        for i in 2..(1 << w) {
+            let prev: &Vec<u64> = &table[i - 1];
+            table.push(self.mont_mul(prev, base_m));
+        }
+        table
+    }
+
+    /// The windowed ladder over a prebuilt power table: returns
+    /// `base^exp` in Montgomery form (`digits` must not be zero). The
+    /// whole chain ping-pongs between two `k`-limb buffers and one
+    /// shared accumulator — zero allocations per group operation.
+    fn ladder(&self, table: &[Vec<u64>], digits: &ExpDigits) -> Vec<u64> {
+        debug_assert!(!digits.is_zero());
+        let mut acc = self.r1.clone();
+        let mut tmp = vec![0u64; self.k];
+        let mut t = vec![0u64; 2 * self.k + 1];
+        let mut started = false;
+        for &d in &digits.digits {
+            if started {
+                for _ in 0..digits.w {
+                    self.mont_sqr_into(&acc, &mut tmp, &mut t);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+            }
+            if d != 0 {
+                self.mont_mul_into(&acc, &table[d as usize], &mut tmp, &mut t);
+                std::mem::swap(&mut acc, &mut tmp);
+                started = true;
+            }
+            // A zero window needs nothing beyond the squarings above
+            // (or, before the first set bit, nothing at all).
+        }
+        acc
+    }
+
+    /// `base^exp` in Montgomery form for a non-zero recoding, dispatching
+    /// between the squaring-only chain (power-of-two exponents) and the
+    /// windowed ladder.
+    fn pow_mont(&self, base_m: Vec<u64>, digits: &ExpDigits) -> Vec<u64> {
+        debug_assert!(!digits.is_zero());
+        if digits.power_of_two {
+            // exp = 2^{bits-1}: no table, no window bookkeeping — just
+            // the squaring chain. Quantized tick sizes (`mul_plain` by
+            // `2^k`) land here constantly.
+            let mut acc = base_m;
+            let mut tmp = vec![0u64; self.k];
+            let mut t = vec![0u64; 2 * self.k + 1];
+            for _ in 0..digits.bits - 1 {
+                self.mont_sqr_into(&acc, &mut tmp, &mut t);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            return acc;
+        }
+        let table = self.pow_table(&base_m, digits.w);
+        self.ladder(&table, digits)
     }
 
     /// `base^exp mod n` using sliding fixed-window exponentiation with
     /// the window (and its `2^w`-entry table) sized to the exponent's
-    /// actual bit length, and the dedicated squaring kernel in the
-    /// square chain.
+    /// actual bit length, the dedicated squaring kernel in the square
+    /// chain, and a table-free squaring chain when the exponent is a
+    /// power of two.
     ///
     /// ```
     /// use pem_bignum::{BigUint, Montgomery};
@@ -271,54 +461,322 @@ impl Montgomery {
     /// ```
     pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         if exp.is_zero() {
-            return if self.n.is_one() {
-                BigUint::zero()
-            } else {
-                BigUint::one()
-            };
+            return self.one_result();
         }
-        let bits = exp.bit_length();
-        let w = Montgomery::window_bits(bits);
+        self.modpow_recoded(base, &ExpDigits::recode(exp))
+    }
+
+    /// [`Montgomery::modpow`] over a prebuilt exponent recoding —
+    /// bit-identical results; the recode walk is paid once per exponent
+    /// instead of once per call.
+    pub fn modpow_recoded(&self, base: &BigUint, digits: &ExpDigits) -> BigUint {
+        if digits.is_zero() {
+            return self.one_result();
+        }
         let base_m = self.to_mont(base);
+        self.from_mont(&self.pow_mont(base_m, digits))
+    }
 
-        // Precompute base^0..base^(2^w - 1) in Montgomery form.
-        let mut table = Vec::with_capacity(1 << w);
-        table.push(self.r1.clone()); // 1 in Montgomery form
-        table.push(base_m.clone());
-        for i in 2..(1 << w) {
-            let prev: &Vec<u64> = &table[i - 1];
-            table.push(self.mont_mul(prev, &base_m));
+    /// Allocates the scratch a batch of [`Montgomery::modpow_scratch`]
+    /// calls shares: the `2^w`-entry window-table storage plus the
+    /// ladder's accumulator and ping-pong buffers, sized for `digits`'
+    /// window width.
+    pub fn pow_scratch(&self, digits: &ExpDigits) -> PowScratch {
+        PowScratch {
+            // One flat allocation: entry `d` lives at `[d·k, (d+1)·k)`.
+            // Four allocations per scratch total, and the ladder walks
+            // a contiguous table.
+            table: vec![0u64; (1 << digits.w) * self.k],
+            acc: vec![0u64; self.k],
+            tmp: vec![0u64; self.k],
+            t: vec![0u64; 2 * self.k + 1],
         }
+    }
 
-        let windows = bits.div_ceil(w);
-        let mut acc = self.r1.clone();
+    /// [`Montgomery::modpow_recoded`] with every working buffer — the
+    /// window table included — reused from `scratch` instead of
+    /// reallocated: a fixed-exponent batch (decryption fan-ins,
+    /// randomizer precompute) rebuilds the table's *values* per base
+    /// but pays its ~`2^w` allocations exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was built for a different context shape
+    /// (window width or limb count).
+    pub fn modpow_scratch(
+        &self,
+        base: &BigUint,
+        digits: &ExpDigits,
+        scratch: &mut PowScratch,
+    ) -> BigUint {
+        if digits.is_zero() {
+            return self.one_result();
+        }
+        let k = self.k;
+        assert_eq!(scratch.acc.len(), k, "scratch from another context");
+        let PowScratch { table, acc, tmp, t } = scratch;
+        let base_m = self.to_mont(base);
+        if digits.power_of_two {
+            acc.copy_from_slice(&base_m);
+            for _ in 0..digits.bits - 1 {
+                self.mont_sqr_into(acc, tmp, t);
+                std::mem::swap(acc, tmp);
+            }
+            return self.from_mont(acc);
+        }
+        assert_eq!(
+            table.len(),
+            k << digits.w,
+            "scratch sized for another window width"
+        );
+        // Rebuild the power table in place (entry d at [d·k, (d+1)·k)).
+        table[..k].copy_from_slice(&self.r1);
+        table[k..2 * k].copy_from_slice(&base_m);
+        for i in 2..(1usize << digits.w) {
+            let (lo, hi) = table.split_at_mut(i * k);
+            self.mont_mul_into(&lo[(i - 1) * k..], &base_m, &mut hi[..k], t);
+        }
+        // The ladder, on the reused buffers.
+        acc.copy_from_slice(&self.r1);
         let mut started = false;
-        for win in (0..windows).rev() {
+        for &d in &digits.digits {
             if started {
-                for _ in 0..w {
-                    acc = self.mont_sqr(&acc);
+                for _ in 0..digits.w {
+                    self.mont_sqr_into(acc, tmp, t);
+                    std::mem::swap(acc, tmp);
                 }
             }
-            let mut idx = 0usize;
-            for b in 0..w {
-                let bit_pos = win * w + (w - 1 - b);
-                idx <<= 1;
-                if bit_pos < bits && exp.bit(bit_pos) {
-                    idx |= 1;
-                }
-            }
-            if idx != 0 {
-                acc = self.mont_mul(&acc, &table[idx]);
+            if d != 0 {
+                let d = d as usize;
+                self.mont_mul_into(acc, &table[d * k..(d + 1) * k], tmp, t);
+                std::mem::swap(acc, tmp);
                 started = true;
             }
-            // A zero window needs nothing beyond the squarings above
-            // (or, before the first set bit, nothing at all).
+        }
+        self.from_mont(acc)
+    }
+
+    /// Fused `base^exp · factor mod n`: the multiplication happens in the
+    /// Montgomery domain, saving a conversion round-trip (and a separate
+    /// reduction of `factor`) over `mul(&modpow(base, exp), factor)`.
+    ///
+    /// Backs the fused homomorphic ops (`PublicKey::affine`): a
+    /// `mul_plain` + `add_plain` chain is one `pow_mul`.
+    pub fn pow_mul(&self, base: &BigUint, exp: &BigUint, factor: &BigUint) -> BigUint {
+        let digits = ExpDigits::recode(exp);
+        let factor_m = self.to_mont(factor);
+        if digits.is_zero() {
+            return self.from_mont(&factor_m);
+        }
+        let base_m = self.to_mont(base);
+        let pow = self.pow_mont(base_m, &digits);
+        self.from_mont(&self.mont_mul(&pow, &factor_m))
+    }
+
+    /// Simultaneous multi-exponentiation: `Π base_i^exp_i mod n` with a
+    /// *single* shared square chain (Shamir's trick, interleaved
+    /// windows). Two fused 2048-bit exponentiations cost ~60% of two
+    /// sequential ones; the saving grows with the number of bases.
+    pub fn multi_modpow(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        // Drop zero exponents up front: they contribute a factor of one.
+        let live: Vec<&(&BigUint, &BigUint)> =
+            pairs.iter().filter(|(_, e)| !e.is_zero()).collect();
+        let max_bits = live.iter().map(|(_, e)| e.bit_length()).max().unwrap_or(0);
+        if max_bits == 0 {
+            return self.one_result();
+        }
+        if live.len() == 1 {
+            return self.modpow(live[0].0, live[0].1);
+        }
+        // One shared window grid: every exponent recoded at the width the
+        // longest one picks, padded to the same window count.
+        let w = ExpDigits::window_bits(max_bits);
+        let windows = max_bits.div_ceil(w);
+        let recoded: Vec<(Vec<Vec<u64>>, ExpDigits)> = live
+            .iter()
+            .map(|(b, e)| {
+                let mut d = ExpDigits::recode_with_width(e, w);
+                let pad = windows - d.digits.len();
+                if pad > 0 {
+                    let mut padded = vec![0u8; pad];
+                    padded.extend_from_slice(&d.digits);
+                    d.digits = padded;
+                }
+                (self.pow_table(&self.to_mont(b), w), d)
+            })
+            .collect();
+
+        let mut acc = self.r1.clone();
+        let mut tmp = vec![0u64; self.k];
+        let mut t = vec![0u64; 2 * self.k + 1];
+        let mut started = false;
+        for win in 0..windows {
+            if started {
+                for _ in 0..w {
+                    self.mont_sqr_into(&acc, &mut tmp, &mut t);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+            }
+            for (table, digits) in &recoded {
+                let d = digits.digits[win];
+                if d != 0 {
+                    self.mont_mul_into(&acc, &table[d as usize], &mut tmp, &mut t);
+                    std::mem::swap(&mut acc, &mut tmp);
+                    started = true;
+                }
+            }
         }
         if !started {
-            // exp was zero (handled above) — defensive fallback.
-            return BigUint::one();
+            return self.one_result();
         }
         self.from_mont(&acc)
+    }
+
+    /// Builds a comb (fixed-base windowed) table for `base`, good for
+    /// exponents up to `max_bits` bits. The build costs about one
+    /// full-width exponentiation plus the table multiplications; every
+    /// [`FixedBasePow::pow`] after that skips the square chain entirely.
+    pub fn fixed_base_table(&self, base: &BigUint, max_bits: usize) -> FixedBasePow {
+        // Width 4 keeps the table compact (15 entries per window) while
+        // cutting the per-pow multiplication count to bits/4; going wider
+        // pays off only past ~10^4 reuses, which no caller reaches.
+        let w = 4usize;
+        let max_bits = max_bits.max(1);
+        let windows = max_bits.div_ceil(w);
+        let mut tables = Vec::with_capacity(windows);
+        // cur = base^(2^(w·i)) in Montgomery form, advanced by squaring.
+        let mut cur = self.to_mont(base);
+        for i in 0..windows {
+            let mut t: Vec<Vec<u64>> = Vec::with_capacity((1 << w) - 1);
+            t.push(cur.clone()); // d = 1
+            for _ in 2..(1 << w) {
+                let prev = t.last().expect("seeded with d=1");
+                t.push(self.mont_mul(prev, &cur));
+            }
+            if i + 1 < windows {
+                for _ in 0..w {
+                    cur = self.mont_sqr(&cur);
+                }
+            }
+            tables.push(t);
+        }
+        FixedBasePow {
+            ctx: self.clone(),
+            base: base.clone(),
+            w,
+            tables,
+            max_bits,
+        }
+    }
+}
+
+/// Reusable working storage for a batch of same-exponent
+/// exponentiations: the window table plus the ladder buffers of
+/// [`Montgomery::modpow_scratch`]. Build once per (context, exponent
+/// recoding) with [`Montgomery::pow_scratch`], reuse for every base.
+#[derive(Debug, Clone)]
+pub struct PowScratch {
+    /// Flat window table: entry `d` occupies limbs `[d·k, (d+1)·k)`.
+    table: Vec<u64>,
+    acc: Vec<u64>,
+    tmp: Vec<u64>,
+    t: Vec<u64>,
+}
+
+/// A comb-precomputed fixed base: `tables[i][d-1] = base^(d·2^{w·i})` in
+/// Montgomery form, so `base^e = Π_i tables[i][e_i - 1]` — one
+/// multiplication per non-zero window and **no squarings**.
+///
+/// Built by [`Montgomery::fixed_base_table`]; produces bit-identical
+/// results to [`Montgomery::modpow`] for every exponent (exponents wider
+/// than the table was sized for fall back to `modpow`).
+#[derive(Debug, Clone)]
+pub struct FixedBasePow {
+    ctx: Montgomery,
+    base: BigUint,
+    w: usize,
+    tables: Vec<Vec<Vec<u64>>>,
+    max_bits: usize,
+}
+
+impl FixedBasePow {
+    /// The base the table was built for.
+    pub fn base(&self) -> &BigUint {
+        &self.base
+    }
+
+    /// The modulus the table reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        self.ctx.modulus()
+    }
+
+    /// Largest exponent bit length served from the table.
+    pub fn max_bits(&self) -> usize {
+        self.max_bits
+    }
+
+    /// `base^exp` in Montgomery form, or `None` when the exponent
+    /// overflows the table (callers fall back to the generic ladder).
+    fn pow_mont(&self, exp: &BigUint) -> Option<Vec<u64>> {
+        if exp.bit_length() > self.max_bits {
+            return None;
+        }
+        let mut acc: Option<Vec<u64>> = None;
+        let mut tmp = vec![0u64; self.ctx.k];
+        let mut t = vec![0u64; 2 * self.ctx.k + 1];
+        for (i, table) in self.tables.iter().enumerate() {
+            let mut d = 0usize;
+            for b in (0..self.w).rev() {
+                d <<= 1;
+                if exp.bit(i * self.w + b) {
+                    d |= 1;
+                }
+            }
+            if d != 0 {
+                match acc.as_mut() {
+                    None => acc = Some(table[d - 1].clone()),
+                    Some(a) => {
+                        self.ctx.mont_mul_into(a, &table[d - 1], &mut tmp, &mut t);
+                        std::mem::swap(a, &mut tmp);
+                    }
+                }
+            }
+        }
+        Some(acc.unwrap_or_else(|| self.ctx.r1.clone()))
+    }
+
+    /// `base^exp mod n` — identical to `ctx.modpow(base, exp)`, at the
+    /// cost of one multiplication per non-zero exponent window.
+    pub fn pow(&self, exp: &BigUint) -> BigUint {
+        match self.pow_mont(exp) {
+            Some(m) => self.ctx.from_mont(&m),
+            None => self.ctx.modpow(&self.base, exp),
+        }
+    }
+
+    /// Fused two-base fixed-base exponentiation:
+    /// `self.base^exp · other.base^other_exp mod n` in one pass through
+    /// the Montgomery domain — the Pedersen commitment kernel
+    /// (`g^v · h^r`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables were built over different moduli.
+    pub fn pow_mul(&self, exp: &BigUint, other: &FixedBasePow, other_exp: &BigUint) -> BigUint {
+        assert_eq!(
+            self.ctx.modulus(),
+            other.ctx.modulus(),
+            "fixed-base tables over different moduli"
+        );
+        match (self.pow_mont(exp), other.pow_mont(other_exp)) {
+            (Some(a), Some(b)) => self.ctx.from_mont(&self.ctx.mont_mul(&a, &b)),
+            // Oversized exponent: fall back to the simultaneous
+            // two-base ladder (one shared square chain) — correctness
+            // first, and still ~40% cheaper than two full ladders.
+            _ => self
+                .ctx
+                .multi_modpow(&[(&self.base, exp), (&other.base, other_exp)]),
+        }
     }
 }
 
@@ -327,13 +785,6 @@ fn pad_to(v: &BigUint, k: usize) -> Vec<u64> {
     let mut out = v.limbs().to_vec();
     assert!(out.len() <= k, "value wider than modulus");
     out.resize(k, 0);
-    out
-}
-
-/// View without trailing zeros (for comparisons only).
-fn strip(v: &[u64]) -> Vec<u64> {
-    let mut out = v.to_vec();
-    arith::normalize(&mut out);
     out
 }
 
@@ -447,11 +898,165 @@ mod tests {
 
     #[test]
     fn exponent_with_zero_windows() {
-        // Exponent 2^65 exercises long runs of zero windows.
+        // Exponent 2^65 exercises long runs of zero windows (and now the
+        // power-of-two squaring chain).
         let n = BigUint::from(1_000_003u64);
         let ctx = Montgomery::new(n.clone()).expect("odd");
         let a = BigUint::from(3u64);
         let e = BigUint::one() << 65;
         assert_eq!(ctx.modpow(&a, &e), a.modpow_naive(&e, &n));
+    }
+
+    #[test]
+    fn power_of_two_exponents_match_ladder() {
+        let n = (BigUint::one() << 190) + BigUint::from(12345u64);
+        let ctx = Montgomery::new(n.clone()).expect("odd");
+        let base = BigUint::from(0xFEED_F00Du64);
+        for t in [0usize, 1, 2, 5, 31, 64, 100, 255] {
+            let e = BigUint::one() << t;
+            assert_eq!(
+                ctx.modpow(&base, &e),
+                base.modpow_naive(&e, &n),
+                "exp=2^{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn recoded_modpow_matches_plain() {
+        let n = (BigUint::one() << 190) + BigUint::from(12345u64);
+        let ctx = Montgomery::new(n.clone()).expect("odd");
+        let exps = [
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::from(0b1011_0110u64),
+            (BigUint::one() << 150) + BigUint::from(987_654_321u64),
+            BigUint::one() << 189,
+        ];
+        for e in &exps {
+            let digits = ExpDigits::recode(e);
+            for b in [2u64, 3, 0xDEAD_BEEF] {
+                let base = BigUint::from(b);
+                assert_eq!(
+                    ctx.modpow_recoded(&base, &digits),
+                    ctx.modpow(&base, e),
+                    "base={b} exp={e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_scratch_matches_plain_across_batch() {
+        // One scratch, many bases and repeated use — the fixed-exponent
+        // batch shape (decrypt fan-ins, randomizer precompute).
+        let n = (BigUint::one() << 190) + BigUint::from(12345u64);
+        let ctx = Montgomery::new(n.clone()).expect("odd");
+        for e in [
+            BigUint::zero(),
+            BigUint::from(5u64),
+            BigUint::one() << 100,
+            (BigUint::one() << 150) + BigUint::from(987_654_321u64),
+        ] {
+            let digits = ExpDigits::recode(&e);
+            let mut scratch = ctx.pow_scratch(&digits);
+            for b in [2u64, 3, 7, 0xDEAD_BEEF, 0xFFFF_FFFF_FFFF_FFFF] {
+                let base = BigUint::from(b);
+                assert_eq!(
+                    ctx.modpow_scratch(&base, &digits, &mut scratch),
+                    ctx.modpow(&base, &e),
+                    "base={b} exp={e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pow_mul_fuses_correctly() {
+        let n = (BigUint::one() << 190) + BigUint::from(12345u64);
+        let ctx = Montgomery::new(n.clone()).expect("odd");
+        let base = BigUint::from(7_777_777u64);
+        let factor = (BigUint::one() << 120) + BigUint::from(13u64);
+        for e in [
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::from(123_456_789u64),
+            BigUint::one() << 77,
+        ] {
+            assert_eq!(
+                ctx.pow_mul(&base, &e, &factor),
+                ctx.mul(&ctx.modpow(&base, &e), &factor),
+                "exp={e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_modpow_matches_sequential() {
+        let n = (BigUint::one() << 190) + BigUint::from(12345u64);
+        let ctx = Montgomery::new(n.clone()).expect("odd");
+        let b1 = BigUint::from(3u64);
+        let b2 = (BigUint::one() << 100) + BigUint::from(17u64);
+        let b3 = BigUint::from(0xABCDEFu64);
+        let e1 = (BigUint::one() << 180) + BigUint::from(999u64);
+        let e2 = BigUint::from(65_537u64);
+        let e3 = BigUint::zero();
+        let expected = ctx.mul(
+            &ctx.mul(&ctx.modpow(&b1, &e1), &ctx.modpow(&b2, &e2)),
+            &ctx.modpow(&b3, &e3),
+        );
+        assert_eq!(
+            ctx.multi_modpow(&[(&b1, &e1), (&b2, &e2), (&b3, &e3)]),
+            expected
+        );
+        // Degenerate shapes.
+        assert_eq!(ctx.multi_modpow(&[]), BigUint::one());
+        assert_eq!(ctx.multi_modpow(&[(&b1, &e3)]), BigUint::one());
+        assert_eq!(ctx.multi_modpow(&[(&b1, &e2)]), ctx.modpow(&b1, &e2));
+    }
+
+    #[test]
+    fn fixed_base_matches_modpow() {
+        let n = (BigUint::one() << 190) + BigUint::from(12345u64);
+        let ctx = Montgomery::new(n.clone()).expect("odd");
+        let base = BigUint::from(5u64);
+        let table = ctx.fixed_base_table(&base, 192);
+        for e in [
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::from(2u64),
+            BigUint::from(0xFFFF_FFFFu64),
+            (BigUint::one() << 191) + BigUint::from(123u64),
+            BigUint::one() << 64,
+        ] {
+            assert_eq!(table.pow(&e), ctx.modpow(&base, &e), "exp={e:?}");
+        }
+        // Exponent wider than the table: falls back, stays correct.
+        let wide = BigUint::one() << 200;
+        assert_eq!(table.pow(&wide), ctx.modpow(&base, &wide));
+    }
+
+    #[test]
+    fn fixed_base_pow_mul_fuses() {
+        let n = (BigUint::one() << 190) + BigUint::from(12345u64);
+        let ctx = Montgomery::new(n.clone()).expect("odd");
+        let g = BigUint::from(5u64);
+        let h = BigUint::from(1_000_033u64);
+        let tg = ctx.fixed_base_table(&g, 192);
+        let th = ctx.fixed_base_table(&h, 192);
+        let (ev, er) = (
+            BigUint::from(123_456_789u64),
+            (BigUint::one() << 170) + BigUint::from(7u64),
+        );
+        assert_eq!(
+            tg.pow_mul(&ev, &th, &er),
+            ctx.mul(&ctx.modpow(&g, &ev), &ctx.modpow(&h, &er))
+        );
+        // Oversized exponent falls back through the generic path.
+        let wide = BigUint::one() << 300;
+        assert_eq!(
+            tg.pow_mul(&wide, &th, &er),
+            ctx.mul(&ctx.modpow(&g, &wide), &ctx.modpow(&h, &er))
+        );
     }
 }

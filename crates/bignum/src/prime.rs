@@ -85,13 +85,17 @@ impl MillerRabin {
         let s = n_minus_1.trailing_zeros().expect("n > 2 so n-1 > 0");
         let d = &n_minus_1 >> s;
         let ctx = Montgomery::new(n.clone()).expect("odd n");
+        // Every witness exponentiates to the same odd `d`: recode it
+        // once and share the window-table storage across rounds.
+        let d_digits = crate::montgomery::ExpDigits::recode(&d);
+        let scratch = std::cell::RefCell::new(ctx.pow_scratch(&d_digits));
 
         let witness_passes = |a: &BigUint| -> bool {
             let a = a % n;
             if a.is_zero() || a.is_one() || a == n_minus_1 {
                 return true;
             }
-            let mut x = ctx.modpow(&a, &d);
+            let mut x = ctx.modpow_scratch(&a, &d_digits, &mut scratch.borrow_mut());
             if x.is_one() || x == n_minus_1 {
                 return true;
             }

@@ -113,6 +113,97 @@ proptest! {
     }
 
     #[test]
+    fn power_of_two_exponent_matches_naive(
+        base in arb_biguint(),
+        t in 0usize..200,
+        modulus in arb_biguint_nonzero(),
+    ) {
+        // The squaring-chain fast path (exponent 2^t) against the naive
+        // reference, plus neighbours straddling the detection predicate.
+        let modulus = (modulus | BigUint::one()) + BigUint::from(2u64);
+        let ctx = pem_bignum::Montgomery::new(modulus.clone()).expect("odd > 1");
+        for exp in [
+            BigUint::one() << t,
+            (BigUint::one() << t) + BigUint::one(),
+        ] {
+            prop_assert_eq!(ctx.modpow(&base, &exp), base.modpow_naive(&exp, &modulus));
+        }
+    }
+
+    #[test]
+    fn recoded_modpow_matches_modpow(
+        exp in proptest::collection::vec(any::<u64>(), 0..=3).prop_map(BigUint::from_limbs),
+        bases in proptest::collection::vec(any::<u64>(), 1..4),
+        modulus in arb_biguint_nonzero(),
+    ) {
+        // One recoding, many bases — the randomizer-batch shape.
+        let modulus = (modulus | BigUint::one()) + BigUint::from(2u64);
+        let ctx = pem_bignum::Montgomery::new(modulus.clone()).expect("odd > 1");
+        let digits = pem_bignum::ExpDigits::recode(&exp);
+        for b in bases {
+            let base = BigUint::from(b);
+            prop_assert_eq!(
+                ctx.modpow_recoded(&base, &digits),
+                ctx.modpow(&base, &exp)
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_base_table_matches_modpow(
+        base in arb_biguint(),
+        exps in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..=3).prop_map(BigUint::from_limbs),
+            1..4,
+        ),
+        modulus in arb_biguint_nonzero(),
+    ) {
+        // One comb table, many exponents — the fixed-base reuse shape.
+        let modulus = (modulus | BigUint::one()) + BigUint::from(2u64);
+        let ctx = pem_bignum::Montgomery::new(modulus.clone()).expect("odd > 1");
+        let table = ctx.fixed_base_table(&base, 192);
+        for exp in exps {
+            prop_assert_eq!(table.pow(&exp), ctx.modpow(&base, &exp));
+        }
+    }
+
+    #[test]
+    fn multi_modpow_matches_sequential(
+        pairs in proptest::collection::vec(
+            (
+                proptest::collection::vec(any::<u64>(), 0..=2).prop_map(BigUint::from_limbs),
+                proptest::collection::vec(any::<u64>(), 0..=2).prop_map(BigUint::from_limbs),
+            ),
+            0..4,
+        ),
+        modulus in arb_biguint_nonzero(),
+    ) {
+        let modulus = (modulus | BigUint::one()) + BigUint::from(2u64);
+        let ctx = pem_bignum::Montgomery::new(modulus.clone()).expect("odd > 1");
+        let refs: Vec<(&BigUint, &BigUint)> = pairs.iter().map(|(b, e)| (b, e)).collect();
+        let mut expected = if modulus.is_one() { BigUint::zero() } else { BigUint::one() };
+        for (b, e) in &pairs {
+            expected = ctx.mul(&expected, &ctx.modpow(b, e));
+        }
+        prop_assert_eq!(ctx.multi_modpow(&refs), expected);
+    }
+
+    #[test]
+    fn pow_mul_matches_unfused(
+        base in arb_biguint(),
+        exp in proptest::collection::vec(any::<u64>(), 0..=2).prop_map(BigUint::from_limbs),
+        factor in arb_biguint(),
+        modulus in arb_biguint_nonzero(),
+    ) {
+        let modulus = (modulus | BigUint::one()) + BigUint::from(2u64);
+        let ctx = pem_bignum::Montgomery::new(modulus.clone()).expect("odd > 1");
+        prop_assert_eq!(
+            ctx.pow_mul(&base, &exp, &factor),
+            ctx.mul(&ctx.modpow(&base, &exp), &factor)
+        );
+    }
+
+    #[test]
     fn mod_inverse_really_inverts(a in arb_biguint_nonzero(), m in arb_biguint_nonzero()) {
         let m = &m + &BigUint::from(2u64);
         if let Some(inv) = a.mod_inverse(&m) {

@@ -71,6 +71,12 @@ pub struct PemConfig {
     /// worker count (a different — equally uniform — randomizer
     /// sequence than the sequential mode).
     pub pool_workers: usize,
+    /// Precompute pool randomizers on the key owner's CRT fast lane
+    /// (`r^n` as two half-width exponentiations mod `p²`/`q²` — the
+    /// directory holds every key's factors). Bit-identical randomizers
+    /// either way; `false` forces the classic full-width public-key
+    /// path, the A/B baseline for `sched_scaling`/`crypto_kernels`.
+    pub owner_crt_pool: bool,
     /// Protocol 3 aggregation topology: the paper's sequential ring,
     /// the depth-1 star fan-in, or an f-ary aggregation tree (same byte
     /// volume in all three; the critical path is what moves — the
@@ -99,6 +105,7 @@ impl PemConfig {
             randomizer_pool: 0,
             adaptive_pool: false,
             pool_workers: 0,
+            owner_crt_pool: true,
             topology: Topology::Ring,
             latency: LatencyModel::zero(),
         }
@@ -119,6 +126,7 @@ impl PemConfig {
             randomizer_pool: 0,
             adaptive_pool: false,
             pool_workers: 0,
+            owner_crt_pool: true,
             topology: Topology::Ring,
             latency: LatencyModel::zero(),
         }
@@ -145,6 +153,15 @@ impl PemConfig {
     #[must_use]
     pub fn with_pool_workers(mut self, workers: usize) -> PemConfig {
         self.pool_workers = workers;
+        self
+    }
+
+    /// Selects the randomizer-precompute lane: `false` forces the
+    /// classic full-width public-key path (the measurement baseline).
+    /// Market outcomes and every ciphertext bit are unaffected.
+    #[must_use]
+    pub fn with_owner_crt_pool(mut self, owner_crt: bool) -> PemConfig {
+        self.owner_crt_pool = owner_crt;
         self
     }
 

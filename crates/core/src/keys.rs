@@ -62,6 +62,31 @@ impl KeyDirectory {
         &self.keypairs[i]
     }
 
+    /// Precomputes `count` randomizers under key `i` on the fastest
+    /// correct lane: the key owner's CRT path (`r^n` as two half-width
+    /// exponentiations mod `p²`/`q²`) when the directory holds the
+    /// factors — which it always does for generated keys — falling back
+    /// to the public-key path otherwise. Both lanes draw `r` from `rng`
+    /// identically, so the output is bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn precompute_randomizers_for(
+        &self,
+        i: usize,
+        count: usize,
+        rng: &mut HashDrbg,
+        owner_crt: bool,
+    ) -> Vec<pem_crypto::paillier::Randomizer> {
+        let kp = &self.keypairs[i];
+        if owner_crt && kp.private().has_crt() {
+            kp.private().precompute_randomizers_crt(count, rng)
+        } else {
+            kp.public().precompute_randomizers(count, rng)
+        }
+    }
+
     /// Builds a precomputed-randomizer pool of `batch` entries per key —
     /// the off-critical-path half of encryption (see [`crate::randpool`]).
     pub fn randomizer_pool(&self, batch: usize, seed: u64) -> crate::randpool::RandomizerPool {

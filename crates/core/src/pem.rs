@@ -124,12 +124,25 @@ impl Pem {
         cfg.validate(n_agents)?;
         let keys = KeyDirectory::generate(n_agents, cfg.key_bits, cfg.seed)?;
         let rng = HashDrbg::from_seed_label(b"pem-driver", cfg.seed);
+        // The lane only moves precompute cost; the randomizers (and
+        // every ciphertext they produce) are bit-identical.
         let pool = if cfg.randomizer_pool > 0 {
-            if cfg.pool_workers > 0 {
-                Some(keys.randomizer_pool_parallel(cfg.randomizer_pool, cfg.seed, cfg.pool_workers))
+            Some(if cfg.pool_workers > 0 {
+                crate::randpool::RandomizerPool::generate_parallel_with_lane(
+                    &keys,
+                    cfg.randomizer_pool,
+                    cfg.seed,
+                    cfg.pool_workers,
+                    cfg.owner_crt_pool,
+                )
             } else {
-                Some(keys.randomizer_pool(cfg.randomizer_pool, cfg.seed))
-            }
+                crate::randpool::RandomizerPool::generate_with_lane(
+                    &keys,
+                    cfg.randomizer_pool,
+                    cfg.seed,
+                    cfg.owner_crt_pool,
+                )
+            })
         } else {
             None
         };

@@ -207,9 +207,10 @@ fn masked_ring_aggregate<T: Transport>(
     let received = Ciphertext::from_biguint(r.get_biguint()?);
     pk.validate_ciphertext(&received)?;
 
-    // The collector contributes its own nonce locally and decrypts.
+    // The collector contributes its own nonce locally and decrypts —
+    // the k = 1 shape of the fused affine update (Enc(a) ↦ Enc(a + b)).
     let own = BigUint::from(agents[collector].nonce);
-    let total_ct = pk.add_plain(&received, &own);
+    let total_ct = pk.affine(&received, &BigUint::one(), &own);
     let total = keys.keypair(collector).private().decrypt(&total_ct);
     total
         .to_u128()

@@ -135,9 +135,13 @@ pub fn run<T: Transport>(
         let sn = agents[member].sn_abs_q;
         debug_assert!(sn > 0, "market members have non-zero net energy");
         let exponent = (k_const + sn as u128 / 2) / sn as u128; // round(K / sn)
-        let ct = pk.mul_plain(
+        // Enc(total) ↦ Enc(total · round(K/sn)): the b = 0 shape of the
+        // fused affine update (exact `mul_plain`, one exponentiation —
+        // power-of-two exponents collapse to a squaring chain).
+        let ct = pk.affine(
             &enc_total_per_member[pos],
             &pem_bignum::BigUint::from(exponent),
+            &pem_bignum::BigUint::zero(),
         );
         let mut w = WireWriter::new();
         w.put_biguint(ct.as_biguint());

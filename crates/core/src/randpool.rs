@@ -24,6 +24,18 @@
 //! under. The simulator models the *cost structure* with one shared pool
 //! per target key, mirroring how `KeyDirectory` centralizes key material
 //! to keep information flow explicit.
+//!
+//! Because the directory holds each key's factors, precompute takes the
+//! **owner's CRT fast lane** by default: every `r^n mod n²` runs as two
+//! half-width exponentiations mod `p²`/`q²` with Garner recombination
+//! ([`pem_crypto::paillier::PrivateKey::precompute_randomizers_crt`]) —
+//! bit-identical randomizers to the classic public-key path under the
+//! same DRBG stream, at roughly twice the throughput. This mirrors the
+//! deployment reality that the busiest pool is the one an agent keeps
+//! for *its own* key (every aggregation encrypts under the collector's
+//! key, and the collector precomputes for itself).
+//! [`RandomizerPool::with_owner_crt`] switches lanes for A/B
+//! measurement; outputs do not change.
 
 use std::collections::VecDeque;
 
@@ -85,6 +97,10 @@ pub struct RandomizerPool {
     queues: Vec<VecDeque<Randomizer>>,
     streams: Streams,
     batch: usize,
+    /// Precompute `r^n` through the key owner's half-width CRT legs
+    /// (default) or the classic full-width public-key path — same bits
+    /// either way, ~2× apart in cost.
+    owner_crt: bool,
     stats: PoolStats,
     /// Draws attempted per key since the last refill (hits + misses) —
     /// the observed per-key demand the adaptive refill scales to.
@@ -112,11 +128,11 @@ fn precompute_slots(
     jobs: &[(usize, u64)],
     seed: u64,
     workers: usize,
+    owner_crt: bool,
 ) -> Vec<Randomizer> {
     let one = |&(key, slot): &(usize, u64)| {
         let mut stream = slot_stream(seed, key, slot);
-        keys.public(key)
-            .precompute_randomizers(1, &mut stream)
+        keys.precompute_randomizers_for(key, 1, &mut stream, owner_crt)
             .pop()
             .expect("one randomizer requested")
     };
@@ -141,25 +157,46 @@ impl RandomizerPool {
     /// deterministically derived from `seed` (independent of the
     /// protocol RNG streams), using the sequential per-key streams.
     pub fn generate(keys: &KeyDirectory, batch: usize, seed: u64) -> RandomizerPool {
-        let mut queues = Vec::with_capacity(keys.len());
-        let mut streams = Vec::with_capacity(keys.len());
-        let mut stats = PoolStats::default();
-        for i in 0..keys.len() {
-            let mut stream = HashDrbg::from_seed_label(b"pem-randpool", seed ^ ((i as u64) << 24));
-            let fresh = keys.public(i).precompute_randomizers(batch, &mut stream);
-            stats.generated += fresh.len() as u64;
-            queues.push(fresh.into());
-            streams.push(stream);
-        }
-        let keys = queues.len();
-        RandomizerPool {
-            queues,
+        RandomizerPool::generate_with_lane(keys, batch, seed, true)
+    }
+
+    /// [`RandomizerPool::generate`] with an explicit precompute lane:
+    /// `true` rides the key owner's CRT fast path, `false` the classic
+    /// full-width public-key path — for the *whole* pool lifetime,
+    /// initial batch included. Pure cost dial; the randomizers are
+    /// bit-identical either way.
+    pub fn generate_with_lane(
+        keys: &KeyDirectory,
+        batch: usize,
+        seed: u64,
+        owner_crt: bool,
+    ) -> RandomizerPool {
+        let n = keys.len();
+        let streams = (0..n)
+            .map(|i| HashDrbg::from_seed_label(b"pem-randpool", seed ^ ((i as u64) << 24)))
+            .collect();
+        let mut pool = RandomizerPool {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
             streams: Streams::Sequential(streams),
             batch,
-            stats,
-            draws: vec![0; keys],
-            dry: vec![0; keys],
-        }
+            owner_crt,
+            stats: PoolStats::default(),
+            draws: vec![0; n],
+            dry: vec![0; n],
+        };
+        pool.refill(keys);
+        pool
+    }
+
+    /// Selects the precompute lane for every *subsequent* refill (the
+    /// constructors fix the lane of the initial batch — use
+    /// [`RandomizerPool::generate_with_lane`] /
+    /// [`RandomizerPool::generate_parallel_with_lane`] to choose it end
+    /// to end). Pure cost dial — the randomizers are bit-identical.
+    #[must_use]
+    pub fn with_owner_crt(mut self, owner_crt: bool) -> RandomizerPool {
+        self.owner_crt = owner_crt;
+        self
     }
 
     /// Builds a pool whose precompute (initial batch and every refill)
@@ -172,6 +209,19 @@ impl RandomizerPool {
         seed: u64,
         workers: usize,
     ) -> RandomizerPool {
+        RandomizerPool::generate_parallel_with_lane(keys, batch, seed, workers, true)
+    }
+
+    /// [`RandomizerPool::generate_parallel`] with an explicit
+    /// precompute lane, applied from the initial batch onward (see
+    /// [`RandomizerPool::generate_with_lane`]).
+    pub fn generate_parallel_with_lane(
+        keys: &KeyDirectory,
+        batch: usize,
+        seed: u64,
+        workers: usize,
+        owner_crt: bool,
+    ) -> RandomizerPool {
         let n = keys.len();
         let mut pool = RandomizerPool {
             queues: (0..n).map(|_| VecDeque::new()).collect(),
@@ -181,6 +231,7 @@ impl RandomizerPool {
                 workers: workers.max(1),
             },
             batch,
+            owner_crt,
             stats: PoolStats::default(),
             draws: vec![0; n],
             dry: vec![0; n],
@@ -242,9 +293,12 @@ impl RandomizerPool {
                 for (i, queue) in self.queues.iter_mut().enumerate() {
                     let missing = targets[i].saturating_sub(queue.len());
                     if missing > 0 {
-                        let fresh = keys
-                            .public(i)
-                            .precompute_randomizers(missing, &mut streams[i]);
+                        let fresh = keys.precompute_randomizers_for(
+                            i,
+                            missing,
+                            &mut streams[i],
+                            self.owner_crt,
+                        );
                         generated += fresh.len();
                         queue.extend(fresh);
                     }
@@ -266,7 +320,7 @@ impl RandomizerPool {
                         next_slot[i] += 1;
                     }
                 }
-                let fresh = precompute_slots(keys, &jobs, *seed, *workers);
+                let fresh = precompute_slots(keys, &jobs, *seed, *workers, self.owner_crt);
                 generated = fresh.len();
                 for ((key, _), r) in jobs.iter().zip(fresh) {
                     self.queues[*key].push_back(r);
@@ -447,6 +501,39 @@ mod tests {
         let _ = pool.take(0);
         assert_eq!(pool.refill_adaptive(&keys), 0, "7 on hand covers demand");
         assert_eq!(pool.available(0), 7);
+    }
+
+    #[test]
+    fn owner_crt_lane_is_bit_identical_to_classic() {
+        // Same seed, owner-CRT fast lane vs classic public-key lane:
+        // every randomizer ever drawn must be identical, across the
+        // initial batch and refills, on both stream modes.
+        let keys = directory();
+        let mut fast = RandomizerPool::generate_with_lane(&keys, 2, 7, true);
+        let mut slow = RandomizerPool::generate_with_lane(&keys, 2, 7, false);
+        for round in 0..2 {
+            for key in 0..keys.len() {
+                for draw in 0..2 {
+                    assert_eq!(
+                        fast.take(key),
+                        slow.take(key),
+                        "round {round} key {key} draw {draw}"
+                    );
+                }
+            }
+            assert_eq!(fast.refill(&keys), slow.refill(&keys));
+        }
+        let mut fast = RandomizerPool::generate_parallel_with_lane(&keys, 2, 7, 2, true);
+        let mut slow = RandomizerPool::generate_parallel_with_lane(&keys, 2, 7, 2, false);
+        for key in 0..keys.len() {
+            let _ = (fast.take(key), slow.take(key));
+        }
+        assert_eq!(fast.refill(&keys), slow.refill(&keys));
+        for key in 0..keys.len() {
+            for _ in 0..2 {
+                assert_eq!(fast.take(key), slow.take(key), "per-slot key {key}");
+            }
+        }
     }
 
     #[test]

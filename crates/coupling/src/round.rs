@@ -187,6 +187,9 @@ impl CouplingCoordinator {
         cfg.validate()?;
         let grid_seed = seed ^ 0xC0_0B_11_46_0C_0A_57_A1;
         let keys = KeyDirectory::generate(1, cfg.key_bits, grid_seed)?;
+        // The coordinator owns the grid key, so pool precompute rides
+        // the owner-CRT fast lane (half-width `r^n` legs; bit-identical
+        // randomizers) — the directory wires it up by default.
         let pool = if cfg.randomizer_pool > 0 {
             Some(keys.randomizer_pool(cfg.randomizer_pool, grid_seed))
         } else {
@@ -353,7 +356,9 @@ impl CouplingCoordinator {
                 net.send(PartyId(i), coordinator, LABEL_CLAIM, w.finish())?;
             }
             // Collect every claim first, then decrypt them as one batch
-            // over the shared CRT context.
+            // over the shared CRT context (recodings cached per leg,
+            // large batches fan out over cores — order-preserving, so
+            // the schedule below is unchanged).
             let mut claim_from = Vec::with_capacity(s);
             let mut claim_cts = Vec::with_capacity(s);
             for _ in 0..s {

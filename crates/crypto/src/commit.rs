@@ -10,21 +10,37 @@
 //! Commitments are additively homomorphic, matching the aggregation shape
 //! of Protocols 2–3: `C(a, r) · C(b, s) = C(a+b, r+s)`.
 
+use std::sync::{Arc, OnceLock};
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use pem_bignum::BigUint;
+use pem_bignum::{BigUint, FixedBasePow};
 
 use crate::error::CryptoError;
 use crate::ot::DhGroup;
 use crate::sha256::kdf;
 
 /// Public parameters for Pedersen commitments.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PedersenParams {
     group: DhGroup,
     h: BigUint,
+    /// Comb table for `h` — `g`'s lives on the group. Every commitment
+    /// (and every verification, which recommits) is a fused two-base
+    /// fixed-base exponentiation: window-count multiplications total,
+    /// no squarings. Built lazily, bit-identical results.
+    #[serde(skip)]
+    h_table: OnceLock<Arc<FixedBasePow>>,
 }
+
+impl PartialEq for PedersenParams {
+    fn eq(&self, other: &Self) -> bool {
+        self.group == other.group && self.h == other.h
+    }
+}
+
+impl Eq for PedersenParams {}
 
 /// A commitment value (group element).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,7 +59,17 @@ impl PedersenParams {
             h > BigUint::one(),
             "degenerate h; change the derivation label"
         );
-        PedersenParams { group, h }
+        PedersenParams {
+            group,
+            h,
+            h_table: OnceLock::new(),
+        }
+    }
+
+    /// The cached comb table for `h`, sized like the group's `g` table.
+    fn h_table(&self) -> &Arc<FixedBasePow> {
+        self.h_table
+            .get_or_init(|| Arc::new(self.group.fixed_base_table(&self.h)))
     }
 
     /// The underlying group.
@@ -61,13 +87,19 @@ impl PedersenParams {
         self.group.random_exponent(rng)
     }
 
-    /// Commits to `value` with blinding `r`: `g^value · h^r mod p`.
+    /// Commits to `value` with blinding `r`: `g^value · h^r mod p` as a
+    /// fused two-base fixed-base exponentiation off the cached comb
+    /// tables — window-count multiplications, no squarings, the same
+    /// bits the two-ladder formulation produced.
     ///
     /// Values are reduced modulo the subgroup order `q`.
     pub fn commit(&self, value: &BigUint, r: &BigUint) -> Commitment {
-        let gv = self.group.pow(self.group.g(), &(value % self.group.q()));
-        let hr = self.group.pow(&self.h, &(r % self.group.q()));
-        Commitment(self.group.mul(&gv, &hr))
+        let q = self.group.q();
+        Commitment(
+            self.group
+                .g_table()
+                .pow_mul(&(value % q), self.h_table(), &(r % q)),
+        )
     }
 
     /// Verifies that `commitment` opens to `(value, r)`.
@@ -145,6 +177,24 @@ mod tests {
         let cb = pp.commit(&b, &rb);
         let combined = pp.combine(&ca, &cb);
         assert!(pp.verify(&combined, &(&a + &b), &(&ra + &rb)).is_ok());
+    }
+
+    #[test]
+    fn fused_commit_matches_two_ladders() {
+        // The comb-table commitment must emit exactly the bits of the
+        // textbook g^v · h^r formulation.
+        let pp = params();
+        let mut rng = HashDrbg::new(b"pedersen-fused");
+        for _ in 0..6 {
+            let v = BigUint::from(rng.gen::<u64>());
+            let r = pp.random_blinding(&mut rng);
+            let g = pp.group();
+            let expected = g.mul(
+                &g.pow(g.g(), &(&v % g.q())),
+                &g.pow(pp.h(), &(&r % g.q())),
+            );
+            assert_eq!(pp.commit(&v, &r).0, expected);
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::sync::{Arc, OnceLock};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use pem_bignum::{BigUint, Montgomery};
+use pem_bignum::{BigUint, FixedBasePow, Montgomery};
 
 use crate::error::CryptoError;
 use crate::sha256::{kdf, Sha256};
@@ -60,6 +60,12 @@ pub struct DhGroup {
     q: BigUint,
     #[serde(skip)]
     mont: OnceLock<Arc<Montgomery>>,
+    /// Comb table for the generator: every `g^x` (one per OT flow, two
+    /// per Pedersen commitment) costs window-count multiplications
+    /// instead of a full square-and-multiply ladder. Built lazily on
+    /// first use, bit-identical results.
+    #[serde(skip)]
+    g_table: OnceLock<Arc<FixedBasePow>>,
 }
 
 impl PartialEq for DhGroup {
@@ -85,6 +91,7 @@ impl DhGroup {
             g,
             q,
             mont: OnceLock::new(),
+            g_table: OnceLock::new(),
         }
     }
 
@@ -138,9 +145,34 @@ impl DhGroup {
             .get_or_init(|| Arc::new(Montgomery::new(self.p.clone()).expect("odd p")))
     }
 
+    /// The generator's comb table, sized for subgroup exponents (wider
+    /// exponents fall back to the generic ladder inside
+    /// [`FixedBasePow::pow`]).
+    pub fn g_table(&self) -> &Arc<FixedBasePow> {
+        self.g_table.get_or_init(|| {
+            Arc::new(
+                self.mont()
+                    .fixed_base_table(&self.g, self.q.bit_length()),
+            )
+        })
+    }
+
     /// `base^exp mod p`.
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         self.mont().modpow(base, exp)
+    }
+
+    /// Builds a comb table for an arbitrary base over this group's
+    /// modulus, sized for subgroup exponents (Pedersen's `h` uses this;
+    /// the generator's table is cached on the group itself).
+    pub fn fixed_base_table(&self, base: &BigUint) -> FixedBasePow {
+        self.mont().fixed_base_table(base, self.q.bit_length())
+    }
+
+    /// `g^exp mod p` off the cached fixed-base table — identical bits
+    /// to `pow(g(), exp)`, at a fraction of the cost.
+    pub fn pow_g(&self, exp: &BigUint) -> BigUint {
+        self.g_table().pow(exp)
     }
 
     /// `a * b mod p`.
@@ -216,7 +248,7 @@ impl OtSender {
     /// Starts an OT, producing the setup message.
     pub fn new<R: Rng + ?Sized>(group: DhGroup, rng: &mut R) -> (OtSender, OtSenderSetup) {
         let a = group.random_exponent(rng);
-        let big_a = group.pow(group.g(), &a);
+        let big_a = group.pow_g(&a);
         let setup = OtSenderSetup {
             big_a: big_a.clone(),
         };
@@ -284,7 +316,7 @@ impl OtReceiver {
     ) -> Result<(OtReceiver, OtReceiverReply), CryptoError> {
         group.validate_element(&setup.big_a)?;
         let b = group.random_exponent(rng);
-        let g_b = group.pow(group.g(), &b);
+        let g_b = group.pow_g(&b);
         let big_b = if choice {
             group.mul(&setup.big_a, &g_b)
         } else {
@@ -377,6 +409,20 @@ mod tests {
         assert_eq!(g.p().bit_length(), 2048);
         assert!(is_prime(g.p(), &mut rng));
         assert!(is_prime(g.q(), &mut rng));
+    }
+
+    #[test]
+    fn fixed_base_generator_matches_generic_pow() {
+        let g = DhGroup::test_192();
+        let mut rng = HashDrbg::new(b"g-table");
+        for _ in 0..8 {
+            let e = g.random_exponent(&mut rng);
+            assert_eq!(g.pow_g(&e), g.pow(g.g(), &e));
+        }
+        // Boundary exponents, including one wider than the table.
+        for e in [BigUint::zero(), BigUint::one(), g.q().clone(), g.p().clone()] {
+            assert_eq!(g.pow_g(&e), g.pow(g.g(), &e), "e={e:?}");
+        }
     }
 
     #[test]

@@ -19,18 +19,27 @@
 //! one shared [`Montgomery`] context behind `Arc<OnceLock<…>>`: clones
 //! share it, operations *borrow* it (no per-op allocation), and a key
 //! rebuilt from its serialized fields lazily reconstructs it exactly
-//! once on first use. [`PrivateKey`] retains the prime factors `p`/`q`
-//! (when available) and decrypts via two half-width exponentiations mod
-//! `p²`/`q²` with Garner recombination — ~2.3–3.1× the classic
-//! full-width `c^λ mod n²` path at the paper's key sizes (measured in
-//! `BENCH_crypto.json`), bit-identical output.
+//! once on first use. The same cell pattern caches the window recoding
+//! of the encryption exponent `n` ([`ExpDigits`]), so every `r^n` of a
+//! randomizer batch shares one recode walk. [`PrivateKey`] retains the
+//! prime factors `p`/`q` (when available) and decrypts via two
+//! half-width exponentiations mod `p²`/`q²` with Garner recombination —
+//! ~2.3–3.1× the classic full-width `c^λ mod n²` path at the paper's
+//! key sizes (measured in `BENCH_crypto.json`), bit-identical output.
+//! The owner's knowledge of `p`/`q` also accelerates the *encryption*
+//! side: [`PrivateKey::precompute_randomizers_crt`] computes each pool
+//! randomizer `r^n mod n²` as two half-width exponentiations with the
+//! same Garner recombination — bit-identical to
+//! [`PublicKey::precompute_randomizers`] under the same DRBG stream.
+//! Fused chains (`mul_plain` + `add_plain`) run through
+//! [`PublicKey::affine`], one pass through the Montgomery domain.
 
 use std::sync::{Arc, OnceLock};
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use pem_bignum::{BigUint, Montgomery};
+use pem_bignum::{BigUint, ExpDigits, Montgomery, PowScratch};
 
 use crate::error::CryptoError;
 
@@ -44,6 +53,11 @@ pub struct PublicKey {
     /// on first use after a round-trip.
     #[serde(skip)]
     mont_n2: Arc<OnceLock<Montgomery>>,
+    /// Window recoding of the encryption exponent `n` — every `r^n`
+    /// under this key shares it instead of recoding per call. Same
+    /// lifecycle as the Montgomery context.
+    #[serde(skip)]
+    n_digits: Arc<OnceLock<ExpDigits>>,
 }
 
 impl PartialEq for PublicKey {
@@ -63,13 +77,14 @@ fn preloaded(m: Montgomery) -> Arc<OnceLock<Montgomery>> {
 }
 
 /// Precomputed constants for CRT decryption under one prime `r`: the
-/// half-width Montgomery context for `r²`, the exponent `r−1`, and
+/// half-width Montgomery context for `r²`, the exponent `r−1` (with its
+/// window recoding, shared across a whole decryption batch), and
 /// `h_r = L_r(g^{r−1} mod r²)^{-1} mod r`.
 #[derive(Debug)]
 struct CrtLeg {
     prime: BigUint,
     mont_r2: Montgomery,
-    r1: BigUint,
+    r1_digits: ExpDigits,
     h: BigUint,
 }
 
@@ -78,41 +93,67 @@ impl CrtLeg {
         let r2 = prime * prime;
         let mont_r2 = Montgomery::new(r2.clone())?;
         let r1 = prime - &BigUint::one();
+        let r1_digits = ExpDigits::recode(&r1);
         // g = n + 1; L_r(g^{r−1} mod r²) is invertible mod r for valid
         // Paillier primes (it equals (r−1)·(n/r) mod r).
         let g = (n + &BigUint::one()) % &r2;
-        let l = l_function(&mont_r2.modpow(&g, &r1), prime);
+        let l = l_function(&mont_r2.modpow_recoded(&g, &r1_digits), prime);
         let h = l.mod_inverse(prime)?;
         Some(CrtLeg {
             prime: prime.clone(),
             mont_r2,
-            r1,
+            r1_digits,
             h,
         })
     }
 
     /// One half of a CRT decryption: `L_r(c^{r−1} mod r²) · h_r mod r`.
     fn decrypt(&self, c: &BigUint) -> BigUint {
-        let x = self.mont_r2.modpow(c, &self.r1);
+        let x = self.mont_r2.modpow_recoded(c, &self.r1_digits);
         (&l_function(&x, &self.prime) * &self.h) % &self.prime
+    }
+
+    /// [`CrtLeg::decrypt`] on batch-shared working storage.
+    fn decrypt_scratch(&self, c: &BigUint, scratch: &mut PowScratch) -> BigUint {
+        let x = self.mont_r2.modpow_scratch(c, &self.r1_digits, scratch);
+        (&l_function(&x, &self.prime) * &self.h) % &self.prime
+    }
+
+    /// Scratch sized for this leg's decryption exponent.
+    fn scratch(&self) -> PowScratch {
+        self.mont_r2.pow_scratch(&self.r1_digits)
     }
 }
 
-/// The full CRT decryption context: both legs plus `p^{-1} mod q` for
-/// Garner recombination.
+/// The full CRT context: both decryption legs plus Garner constants for
+/// the two recombination levels the key owner uses — `p^{-1} mod q`
+/// (plaintexts, mod `n`) and `p²^{-1} mod q²` (owner-side encryption
+/// randomizers, mod `n²`) — and the recoding of the encryption exponent
+/// `n` shared by both `r^n` legs.
 #[derive(Debug)]
 struct CrtContext {
     p_leg: CrtLeg,
     q_leg: CrtLeg,
     p_inv_q: BigUint,
+    /// `p²` and `p²^{-1} mod q²`: Garner over the ciphertext space.
+    p2: BigUint,
+    p2_inv_q2: BigUint,
+    /// Window recoding of `n` (modulus-independent: one recode serves
+    /// the `mod p²` and `mod q²` legs alike).
+    n_digits: ExpDigits,
 }
 
 impl CrtContext {
     fn build(p: &BigUint, q: &BigUint, n: &BigUint) -> Option<CrtContext> {
+        let p2 = p * p;
+        let q2 = q * q;
         Some(CrtContext {
             p_leg: CrtLeg::build(p, n)?,
             q_leg: CrtLeg::build(q, n)?,
             p_inv_q: p.mod_inverse(q)?,
+            p2_inv_q2: p2.mod_inverse(&q2)?,
+            p2,
+            n_digits: ExpDigits::recode(n),
         })
     }
 
@@ -121,10 +162,48 @@ impl CrtContext {
     fn decrypt(&self, c: &BigUint) -> BigUint {
         let mp = self.p_leg.decrypt(c);
         let mq = self.q_leg.decrypt(c);
+        self.garner(mp, mq)
+    }
+
+    /// [`CrtContext::decrypt`] on batch-shared leg scratches.
+    fn decrypt_scratch(
+        &self,
+        c: &BigUint,
+        sp: &mut PowScratch,
+        sq: &mut PowScratch,
+    ) -> BigUint {
+        let mp = self.p_leg.decrypt_scratch(c, sp);
+        let mq = self.q_leg.decrypt_scratch(c, sq);
+        self.garner(mp, mq)
+    }
+
+    fn garner(&self, mp: BigUint, mq: BigUint) -> BigUint {
         let q = &self.q_leg.prime;
         let mp_mod_q = &mp % q;
         let u = (&((q + &mq) - &mp_mod_q) * &self.p_inv_q) % q;
         mp + &u * &self.p_leg.prime
+    }
+
+    /// Owner-side encryption exponentiation: `r^n mod n²` via two
+    /// half-width exponentiations mod `p²` / `q²` and Garner
+    /// recombination — the same group element the full-width
+    /// [`Montgomery::modpow`] would produce, at roughly half the cost
+    /// (quarter-cost multiplications, two legs).
+    fn pow_n(&self, r: &BigUint, sp: &mut PowScratch, sq: &mut PowScratch) -> BigUint {
+        let xp = self.p_leg.mont_r2.modpow_scratch(r, &self.n_digits, sp);
+        let xq = self.q_leg.mont_r2.modpow_scratch(r, &self.n_digits, sq);
+        let q2 = self.q_leg.mont_r2.modulus();
+        let xp_mod_q2 = &xp % q2;
+        let u = (&((q2 + &xq) - &xp_mod_q2) * &self.p2_inv_q2) % q2;
+        xp + &u * &self.p2
+    }
+
+    /// Leg scratches sized for the encryption exponent `n`.
+    fn pow_n_scratches(&self) -> (PowScratch, PowScratch) {
+        (
+            self.p_leg.mont_r2.pow_scratch(&self.n_digits),
+            self.q_leg.mont_r2.pow_scratch(&self.n_digits),
+        )
     }
 }
 
@@ -240,6 +319,7 @@ impl Keypair {
             };
             let public = PublicKey {
                 mont_n2: preloaded(mont),
+                n_digits: Arc::new(OnceLock::new()),
                 n,
                 n2,
             };
@@ -295,6 +375,13 @@ impl PublicKey {
             .get_or_init(|| Montgomery::new(self.n2.clone()).expect("n² is odd"))
     }
 
+    /// The shared window recoding of the encryption exponent `n` —
+    /// computed once per key (per clone family), reused by every
+    /// randomizer exponentiation.
+    fn n_digits(&self) -> &ExpDigits {
+        self.n_digits.get_or_init(|| ExpDigits::recode(&self.n))
+    }
+
     /// Reconstructs a public key from its modulus — exactly what
     /// deserializing `{n, n²}` produces: the Montgomery context is
     /// rebuilt lazily on first use.
@@ -312,6 +399,7 @@ impl PublicKey {
             n,
             n2,
             mont_n2: Arc::new(OnceLock::new()),
+            n_digits: Arc::new(OnceLock::new()),
         })
     }
 
@@ -343,9 +431,10 @@ impl PublicKey {
         }
         let r = BigUint::random_coprime(&self.n, rng);
         let mont = self.mont();
-        // (1 + m·n) · r^n mod n²
+        // (1 + m·n) · r^n mod n² — the exponent recoding of `n` is
+        // shared across every encryption under this key.
         let gm = (BigUint::one() + m * &self.n) % &self.n2;
-        let rn = mont.modpow(&r, &self.n);
+        let rn = mont.modpow_recoded(&r, self.n_digits());
         Ok(Ciphertext(mont.mul(&gm, &rn)))
     }
 
@@ -359,11 +448,13 @@ impl PublicKey {
         rng: &mut R,
     ) -> Vec<Randomizer> {
         let mont = self.mont();
+        let digits = self.n_digits();
+        let mut scratch = mont.pow_scratch(digits);
         (0..count)
             .map(|_| {
                 let r = BigUint::random_coprime(&self.n, rng);
                 Randomizer {
-                    rn: mont.modpow(&r, &self.n),
+                    rn: mont.modpow_scratch(&r, digits, &mut scratch),
                 }
             })
             .collect()
@@ -405,8 +496,33 @@ impl PublicKey {
     }
 
     /// Homomorphic scalar multiplication: `Enc(a)^k = Enc(k·a mod n)`.
+    ///
+    /// Power-of-two scalars (quantized tick sizes are `2^k` constantly)
+    /// skip the window machinery entirely: `k` Montgomery squarings,
+    /// nothing else.
     pub fn mul_plain(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
         Ciphertext(self.mont().modpow(&a.0, k))
+    }
+
+    /// Fused affine update: `Enc(a) ↦ Enc(k·a + b mod n)` — a
+    /// `mul_plain` + `add_plain` chain in one pass through the
+    /// Montgomery domain (one exponentiation, one multiplication, one
+    /// conversion round-trip). Bit-identical to
+    /// `add_plain(&mul_plain(a, k), b)`.
+    ///
+    /// Degenerate scalars take the cheapest correct path: `k = 1`
+    /// reduces to a plain-addition multiply, `b ≡ 0 (mod n)` to a bare
+    /// `mul_plain`.
+    pub fn affine(&self, a: &Ciphertext, k: &BigUint, b: &BigUint) -> Ciphertext {
+        let b_red = b % &self.n;
+        if b_red.is_zero() {
+            return self.mul_plain(a, k);
+        }
+        let gb = (BigUint::one() + &b_red * &self.n) % &self.n2;
+        if k.is_one() {
+            return Ciphertext(self.mont().mul(&a.0, &gb));
+        }
+        Ciphertext(self.mont().pow_mul(&a.0, k, &gb))
     }
 
     /// Encodes a signed 128-bit value into the message space
@@ -498,20 +614,112 @@ impl PrivateKey {
         (&l_function(&x, &pk.n) * &self.mu) % &pk.n
     }
 
+    /// Precomputes `count` encryption randomizers (`r^n mod n²`) on the
+    /// key owner's CRT fast lane: each exponentiation runs as two
+    /// half-width legs mod `p²` / `q²` with Garner recombination.
+    ///
+    /// Draws the underlying `r` values exactly as
+    /// [`PublicKey::precompute_randomizers`] does, so under the same
+    /// DRBG stream the two paths emit **bit-identical** randomizers —
+    /// this is a fast lane, not a different distribution. Factorless
+    /// keys fall back to the public-key path (same output, full-width
+    /// cost).
+    pub fn precompute_randomizers_crt<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<Randomizer> {
+        let crt = match self.crt() {
+            Some(crt) => crt,
+            None => return self.public.precompute_randomizers(count, rng),
+        };
+        let n = &self.public.n;
+        let (p, q) = (&crt.p_leg.prime, &crt.q_leg.prime);
+        let (mut sp, mut sq) = crt.pow_n_scratches();
+        (0..count)
+            .map(|_| {
+                // The owner's coprimality test: for n = p·q,
+                // gcd(r, n) = 1 ⟺ p ∤ r ∧ q ∤ r — the same accept/reject
+                // sequence as `random_coprime` (bit-identical stream
+                // consumption), with two half-width divisions in place
+                // of a full Euclid walk.
+                let r = loop {
+                    let candidate = BigUint::random_below(n, rng);
+                    if !candidate.is_zero()
+                        && !(&candidate % p).is_zero()
+                        && !(&candidate % q).is_zero()
+                    {
+                        break candidate;
+                    }
+                };
+                Randomizer {
+                    rn: crt.pow_n(&r, &mut sp, &mut sq),
+                }
+            })
+            .collect()
+    }
+
     /// Decrypts a batch to canonical representatives in `[0, n)`.
     ///
     /// A convenience for the aggregation fan-ins (Protocol 4 ratios,
     /// coupling totals and claims) that decrypt many ciphertexts under
-    /// one key back to back. Each ciphertext costs the same as
-    /// [`PrivateKey::decrypt`] — the CRT exponent is shared but the
-    /// bases differ, so there is no cross-ciphertext shortcut today;
-    /// this is the seam where one would land (and where callers already
-    /// hand over whole fan-ins at once).
+    /// one key back to back. The CRT exponent recodings are shared
+    /// across the whole batch (cached in the key's CRT context), and
+    /// batches of at least four full-size ciphertexts are split over
+    /// the machine's cores with scoped threads — decryption is
+    /// deterministic and chunking preserves order, so the output is
+    /// bit-identical at any core count, and a batch is never slower
+    /// than the per-item path beyond spawn noise.
     pub fn decrypt_batch(&self, cts: &[Ciphertext]) -> Vec<BigUint> {
-        match self.crt() {
-            Some(crt) => cts.iter().map(|c| crt.decrypt(&c.0)).collect(),
-            None => cts.iter().map(|c| self.decrypt_classic(c)).collect(),
+        // One chunk's worth of work, on chunk-local scratches (window
+        // tables + ladder buffers allocated once per chunk, not once
+        // per exponentiation).
+        let run_chunk = |part: &[Ciphertext]| -> Vec<BigUint> {
+            match self.crt() {
+                Some(crt) => {
+                    let (mut sp, mut sq) = (crt.p_leg.scratch(), crt.q_leg.scratch());
+                    part.iter()
+                        .map(|c| crt.decrypt_scratch(&c.0, &mut sp, &mut sq))
+                        .collect()
+                }
+                None => {
+                    let pk = &self.public;
+                    let digits = ExpDigits::recode(&self.lambda);
+                    let mut scratch = pk.mont().pow_scratch(&digits);
+                    part.iter()
+                        .map(|c| {
+                            let x = pk.mont().modpow_scratch(&c.0, &digits, &mut scratch);
+                            (&l_function(&x, &pk.n) * &self.mu) % &pk.n
+                        })
+                        .collect()
+                }
+            }
+        };
+        let workers = if cts.len() >= 4 && self.public.bits() >= 512 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(cts.len())
+        } else {
+            1
+        };
+        if workers <= 1 {
+            return run_chunk(cts);
         }
+        // Touch the lazily built CRT context before fanning out so the
+        // workers share one build instead of racing to create it.
+        let _ = self.crt();
+        let chunk = cts.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = cts
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || run_chunk(part)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("decrypt batch worker panicked"))
+                .collect()
+        })
     }
 
     /// Decrypts and decodes the balanced signed encoding.
@@ -840,6 +1048,94 @@ mod tests {
             let prod = kp.public().mul_plain(&ca, &BigUint::from(k));
             assert_eq!(kp.private().decrypt(&prod), BigUint::from(37 * k), "k={k}");
         }
+    }
+
+    #[test]
+    fn affine_matches_mul_then_add() {
+        let kp = keypair(128);
+        let pk = kp.public();
+        let mut rng = HashDrbg::new(b"affine");
+        let ca = pk.encrypt(&BigUint::from(321u64), &mut rng);
+        let cases = [
+            (7u64, 13u64),      // general fused path
+            (1, 5),             // k = 1 → plain addition
+            (9, 0),             // b = 0 → bare mul_plain
+            (0, 4),             // k = 0 → Enc(b)-shaped (deterministic)
+            (1 << 20, 1 << 30), // power-of-two scalar
+        ];
+        for (k, b) in cases {
+            let (k, b) = (BigUint::from(k), BigUint::from(b));
+            let fused = pk.affine(&ca, &k, &b);
+            let sequential = pk.add_plain(&pk.mul_plain(&ca, &k), &b);
+            assert_eq!(fused, sequential, "k={k:?} b={b:?}");
+        }
+        // b larger than n must reduce identically on both paths.
+        let big_b = pk.n() + &BigUint::from(17u64);
+        assert_eq!(
+            pk.affine(&ca, &BigUint::from(3u64), &big_b),
+            pk.add_plain(&pk.mul_plain(&ca, &BigUint::from(3u64)), &big_b)
+        );
+        // And it decrypts to k·a + b.
+        let out = kp
+            .private()
+            .decrypt(&pk.affine(&ca, &BigUint::from(7u64), &BigUint::from(13u64)));
+        assert_eq!(out, BigUint::from(321u64 * 7 + 13));
+    }
+
+    #[test]
+    fn mul_plain_power_of_two_scalars() {
+        let kp = keypair(128);
+        let mut rng = HashDrbg::new(b"pow2");
+        let a = BigUint::from(5u64);
+        let ca = kp.public().encrypt(&a, &mut rng);
+        for t in [0u32, 1, 5, 17, 40] {
+            let k = BigUint::one() << t as usize;
+            let prod = kp.public().mul_plain(&ca, &k);
+            assert_eq!(
+                kp.private().decrypt(&prod),
+                BigUint::from(5u128 << t),
+                "k=2^{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn owner_crt_randomizers_bit_identical() {
+        // Same DRBG stream through the owner-CRT lane and the classic
+        // public-key lane: identical randomizers, identical ciphertexts.
+        let kp = keypair(128);
+        let mut rng_pk = HashDrbg::new(b"owner-lane");
+        let via_pk = kp.public().precompute_randomizers(5, &mut rng_pk);
+        let mut rng_sk = HashDrbg::new(b"owner-lane");
+        let via_sk = kp.private().precompute_randomizers_crt(5, &mut rng_sk);
+        assert_eq!(via_pk, via_sk);
+        // A factorless key silently falls back to the public path.
+        let mut rng_legacy = HashDrbg::new(b"owner-lane");
+        let via_legacy = kp
+            .private()
+            .without_crt()
+            .precompute_randomizers_crt(5, &mut rng_legacy);
+        assert_eq!(via_pk, via_legacy);
+        // And the randomizers work.
+        let m = BigUint::from(99u64);
+        let c = kp.public().try_encrypt_with(&m, &via_sk[0]).expect("enc");
+        assert_eq!(kp.private().decrypt(&c), m);
+    }
+
+    #[test]
+    fn decrypt_batch_parallel_threshold_is_bit_identical() {
+        // A batch big enough (and a key wide enough) to take the
+        // threaded path must return exactly what singles return, in
+        // order.
+        let kp = keypair(512);
+        let mut rng = HashDrbg::new(b"par-batch");
+        let ms: Vec<BigUint> = (0u64..9).map(|i| BigUint::from(i * 77 + 5)).collect();
+        let cts: Vec<Ciphertext> = ms
+            .iter()
+            .map(|m| kp.public().encrypt(m, &mut rng))
+            .collect();
+        assert_eq!(kp.private().decrypt_batch(&cts), ms);
+        assert_eq!(kp.private().without_crt().decrypt_batch(&cts), ms);
     }
 
     #[test]

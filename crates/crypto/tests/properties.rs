@@ -5,6 +5,7 @@ use pem_crypto::drbg::HashDrbg;
 use pem_crypto::ot::{run_local_ot, DhGroup};
 use pem_crypto::paillier::Keypair;
 use proptest::prelude::*;
+use rand::Rng as _;
 use std::sync::OnceLock;
 
 /// One shared keypair: Paillier keygen dominates test time otherwise.
@@ -121,6 +122,55 @@ proptest! {
             prop_assert_eq!(&kp.private().decrypt(c), m);
         }
         prop_assert_eq!(batch, vs.iter().map(|&v| BigUint::from(v)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn owner_crt_randomizers_equal_classic(count in 1usize..5, seed in any::<u64>()) {
+        // The key owner's half-width `r^n` lane must emit bit-identical
+        // randomizers to the classic full-width public-key lane when
+        // both consume the same DRBG stream.
+        let kp = shared_keypair();
+        let mut rng_pk = HashDrbg::from_seed_label(b"owner-crt", seed);
+        let via_pk = kp.public().precompute_randomizers(count, &mut rng_pk);
+        let mut rng_sk = HashDrbg::from_seed_label(b"owner-crt", seed);
+        let via_sk = kp.private().precompute_randomizers_crt(count, &mut rng_sk);
+        prop_assert_eq!(&via_pk, &via_sk);
+        // And the streams are left in the same state.
+        prop_assert_eq!(rng_pk.gen::<u64>(), rng_sk.gen::<u64>());
+    }
+
+    #[test]
+    fn affine_equals_mul_then_add(a in any::<u64>(), k in any::<u32>(), b in any::<u64>(), seed in any::<u64>()) {
+        let kp = shared_keypair();
+        let pk = kp.public();
+        let mut rng = HashDrbg::from_seed_label(b"affine-prop", seed);
+        let ca = pk.encrypt(&BigUint::from(a), &mut rng);
+        let (k, b) = (BigUint::from(k as u64), BigUint::from(b));
+        let fused = pk.affine(&ca, &k, &b);
+        prop_assert_eq!(&fused, &pk.add_plain(&pk.mul_plain(&ca, &k), &b));
+        // k·a + b for u32·u64 + u64 stays far below the 128-bit modulus.
+        let expected = (BigUint::from(a) * &k + &b) % pk.n();
+        prop_assert_eq!(kp.private().decrypt(&fused), expected);
+    }
+
+    #[test]
+    fn mul_plain_power_of_two_equals_generic(a in any::<u32>(), t in 0usize..48, seed in any::<u64>()) {
+        // The squaring-chain fast path for 2^t scalars against the
+        // generic windowed ladder, via a scalar adjacent to the power of
+        // two (2^t + 1) that cannot take the fast path.
+        let kp = shared_keypair();
+        let pk = kp.public();
+        let mut rng = HashDrbg::from_seed_label(b"pow2-prop", seed);
+        let ca = pk.encrypt(&BigUint::from(a as u64), &mut rng);
+        let k_pow2 = BigUint::one() << t;
+        let fast = pk.mul_plain(&ca, &k_pow2);
+        prop_assert_eq!(
+            kp.private().decrypt(&fast),
+            BigUint::from((a as u128) << t)
+        );
+        // Homomorphism cross-check: Enc(a)^(2^t) · Enc(a) = Enc(a·(2^t + 1)).
+        let slow = pk.mul_plain(&ca, &(&k_pow2 + &BigUint::one()));
+        prop_assert_eq!(pk.add_ciphertexts(&fast, &ca), slow);
     }
 
     #[test]
