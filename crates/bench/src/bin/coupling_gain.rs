@@ -18,11 +18,15 @@ use pem_core::PemConfig;
 use pem_coupling::CouplingConfig;
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::{AgentWindow, PriceBand};
-use pem_sched::{GridConfig, GridOrchestrator, PartitionStrategy};
+use pem_sched::{GridConfig, GridOrchestrator, LatencyPercentiles, PartitionStrategy};
 
 struct Row {
     window: u64,
     shards: usize,
+    /// Window total-phase latency, rendered with the canonical
+    /// [`LatencyPercentiles::to_json`] keys shared with
+    /// `GridReport::to_json` and `sched_scaling`.
+    latency_total: LatencyPercentiles,
     pre_dispersion: f64,
     post_dispersion: f64,
     corridor: f64,
@@ -98,6 +102,7 @@ fn main() {
             Row {
                 window: w.window,
                 shards: cs.shards,
+                latency_total: w.latency.total,
                 pre_dispersion: cs.pre_dispersion,
                 post_dispersion: cs.post_dispersion,
                 corridor: cs.corridor_price,
@@ -117,7 +122,8 @@ fn main() {
                 "\"pre_dispersion\": {:.4}, \"post_dispersion\": {:.4}, ",
                 "\"corridor\": {:.3}, \"transferred_kwh\": {:.4}, ",
                 "\"welfare_cents\": {:.2}, \"coupling_msgs\": {}, ",
-                "\"coupling_bytes\": {}, \"base_s\": {:.3}, \"coupled_s\": {:.3}}}{}"
+                "\"coupling_bytes\": {}, \"latency_total\": {}, ",
+                "\"base_s\": {:.3}, \"coupled_s\": {:.3}}}{}"
             ),
             homes,
             r.window,
@@ -129,6 +135,7 @@ fn main() {
             r.welfare_cents,
             r.coupling_msgs,
             r.coupling_bytes,
+            r.latency_total.to_json(),
             base_s,
             coupled_s,
             if i + 1 < rows.len() { ",\n" } else { "\n" }

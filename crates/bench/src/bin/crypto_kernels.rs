@@ -278,14 +278,20 @@ fn bench_size(bits: usize, min_time_ms: u64) -> SizeReport {
         }
     };
     let speedups = vec![
-        ("decrypt_speedup_crt", ratio("decrypt_crt", "decrypt_classic")),
+        (
+            "decrypt_speedup_crt",
+            ratio("decrypt_crt", "decrypt_classic"),
+        ),
         (
             "precompute_speedup_owner_crt",
             ratio("precompute_owner_crt", "precompute_classic"),
         ),
         ("fixed_base_speedup", ratio("fixed_base_pow", "modpow_full")),
         ("affine_speedup", ratio("affine_fused", "affine_seq")),
-        ("mul_plain_pow2_speedup", ratio("mul_plain_pow2", "mul_plain_small")),
+        (
+            "mul_plain_pow2_speedup",
+            ratio("mul_plain_pow2", "mul_plain_small"),
+        ),
     ];
     SizeReport {
         key_bits: bits,

@@ -24,7 +24,7 @@ use pem_bench::Args;
 use pem_core::{PemConfig, Topology};
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::AgentWindow;
-use pem_sched::{GridConfig, GridOrchestrator, PartitionStrategy};
+use pem_sched::{GridConfig, GridOrchestrator, LatencyPercentiles, PartitionStrategy};
 
 struct Row {
     population: usize,
@@ -39,8 +39,10 @@ struct Row {
     agents_per_s: f64,
     bytes_per_agent: f64,
     cleared_kwh: f64,
-    p50_us: u64,
-    p99_us: u64,
+    /// Last window's total-phase latency, rendered with the canonical
+    /// [`LatencyPercentiles::to_json`] keys (`p50_us`/`p90_us`/
+    /// `p99_us`/`max_us`) shared with `GridReport::to_json`.
+    latency_total: LatencyPercentiles,
     pool_hit_rate: f64,
 }
 
@@ -109,8 +111,7 @@ fn sweep(
         agents_per_s: agent_windows / run_s,
         bytes_per_agent: report.total_bytes as f64 / agent_windows,
         cleared_kwh: report.cleared_kwh,
-        p50_us: last.latency.total.p50_us,
-        p99_us: last.latency.total.p99_us,
+        latency_total: last.latency.total,
         pool_hit_rate: report.pool.map_or(0.0, |p| p.hit_rate()),
     }
 }
@@ -124,7 +125,7 @@ fn json(rows: &[Row]) -> String {
                 "\"topology\": \"{}\", \"key_bits\": {}, ",
                 "\"shards\": {}, \"windows\": {}, \"setup_s\": {:.3}, \"run_s\": {:.3}, ",
                 "\"agents_per_s\": {:.1}, \"bytes_per_agent\": {:.1}, ",
-                "\"cleared_kwh\": {:.3}, \"total_p50_us\": {}, \"total_p99_us\": {}, ",
+                "\"cleared_kwh\": {:.3}, \"latency_total\": {}, ",
                 "\"pool_hit_rate\": {:.4}}}{}"
             ),
             r.population,
@@ -139,8 +140,7 @@ fn json(rows: &[Row]) -> String {
             r.agents_per_s,
             r.bytes_per_agent,
             r.cleared_kwh,
-            r.p50_us,
-            r.p99_us,
+            r.latency_total.to_json(),
             r.pool_hit_rate,
             if i + 1 < rows.len() { ",\n" } else { "\n" }
         ));
@@ -201,7 +201,7 @@ fn main() {
             r.shards,
             r.agents_per_s,
             r.bytes_per_agent,
-            r.p99_us
+            r.latency_total.p99_us
         );
     }
 }

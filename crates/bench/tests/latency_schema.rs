@@ -1,0 +1,62 @@
+//! Pins the latency-percentile JSON schema every emitter shares.
+//!
+//! `GridReport::to_json`, `sched_scaling` and `coupling_gain` all render
+//! latency percentiles through [`LatencyPercentiles::to_json`]; downstream
+//! trajectory tooling joins those files on these exact key names, so a
+//! rename must fail loudly here, not silently fork the schema.
+
+use pem_sched::LatencyPercentiles;
+
+/// The canonical key set, in emission order.
+const KEYS: [&str; 4] = ["p50_us", "p90_us", "p99_us", "max_us"];
+
+#[test]
+fn to_json_emits_exactly_the_canonical_keys() {
+    let p = LatencyPercentiles {
+        p50_us: 10,
+        p90_us: 90,
+        p99_us: 990,
+        max_us: 1000,
+    };
+    assert_eq!(
+        p.to_json(),
+        "{\"p50_us\":10,\"p90_us\":90,\"p99_us\":990,\"max_us\":1000}"
+    );
+}
+
+#[test]
+fn every_canonical_key_appears_once_and_no_legacy_key_survives() {
+    let json = LatencyPercentiles::default().to_json();
+    for key in KEYS {
+        let needle = format!("\"{key}\":");
+        assert_eq!(
+            json.matches(&needle).count(),
+            1,
+            "key {key:?} must appear exactly once in {json}"
+        );
+    }
+    // The pre-normalization emitters prefixed the phase into the key
+    // (`total_p50_us`); the phase now lives in the enclosing object.
+    assert!(!json.contains("total_p50_us"));
+    assert!(!json.contains("total_p99_us"));
+}
+
+#[test]
+fn bench_emitters_nest_the_shared_object_instead_of_flat_keys() {
+    // The two sweep binaries embed the shared object under a
+    // `latency_total` field; pin the composed shape they emit.
+    let row = format!(
+        "{{\"latency_total\": {}}}",
+        LatencyPercentiles {
+            p50_us: 1,
+            p90_us: 2,
+            p99_us: 3,
+            max_us: 4
+        }
+        .to_json()
+    );
+    assert_eq!(
+        row,
+        "{\"latency_total\": {\"p50_us\":1,\"p90_us\":2,\"p99_us\":3,\"max_us\":4}}"
+    );
+}

@@ -24,6 +24,24 @@
 //!   squarings at all.
 
 use crate::biguint::BigUint;
+use pem_telemetry::Counter;
+
+/// Exponentiation-kernel op counters — no-ops until a telemetry
+/// collector is installed, registered on first context construction.
+static MODPOW_OPS: Counter = Counter::new();
+static POW_MUL_OPS: Counter = Counter::new();
+static MULTI_MODPOW_OPS: Counter = Counter::new();
+static FIXED_BASE_OPS: Counter = Counter::new();
+
+fn register_kernel_counters() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        pem_telemetry::register_counter("crypto/modpow", &MODPOW_OPS);
+        pem_telemetry::register_counter("crypto/pow_mul", &POW_MUL_OPS);
+        pem_telemetry::register_counter("crypto/multi_modpow", &MULTI_MODPOW_OPS);
+        pem_telemetry::register_counter("crypto/fixed_base_pow", &FIXED_BASE_OPS);
+    });
+}
 
 /// A reusable Montgomery-multiplication context for a fixed odd modulus.
 ///
@@ -143,6 +161,7 @@ impl Montgomery {
         if n.is_even() || n.is_one() || n.is_zero() {
             return None;
         }
+        register_kernel_counters();
         let k = n.limbs().len();
         let n0 = n.limbs()[0];
         // Newton's iteration doubles correct bits each round: 6 rounds
@@ -208,7 +227,7 @@ impl Montgomery {
         debug_assert_eq!(a.len(), k);
         debug_assert_eq!(b.len(), k);
         debug_assert_eq!(out.len(), k);
-        debug_assert!(t.len() >= 2 * k + 1);
+        debug_assert!(t.len() > 2 * k);
         let t = &mut t[..2 * k + 1];
         t.fill(0);
         // 1. Schoolbook product into the double-width accumulator
@@ -292,7 +311,7 @@ impl Montgomery {
         let k = self.k;
         debug_assert_eq!(a.len(), k);
         debug_assert_eq!(out.len(), k);
-        debug_assert!(t.len() >= 2 * k + 1);
+        debug_assert!(t.len() > 2 * k);
         let t = &mut t[..2 * k + 1];
         t.fill(0);
         // 1. Cross products `a_i·a_j` (i < j) into a 2k-limb accumulator
@@ -470,6 +489,7 @@ impl Montgomery {
     /// bit-identical results; the recode walk is paid once per exponent
     /// instead of once per call.
     pub fn modpow_recoded(&self, base: &BigUint, digits: &ExpDigits) -> BigUint {
+        MODPOW_OPS.incr();
         if digits.is_zero() {
             return self.one_result();
         }
@@ -563,6 +583,7 @@ impl Montgomery {
     /// Backs the fused homomorphic ops (`PublicKey::affine`): a
     /// `mul_plain` + `add_plain` chain is one `pow_mul`.
     pub fn pow_mul(&self, base: &BigUint, exp: &BigUint, factor: &BigUint) -> BigUint {
+        POW_MUL_OPS.incr();
         let digits = ExpDigits::recode(exp);
         let factor_m = self.to_mont(factor);
         if digits.is_zero() {
@@ -578,9 +599,9 @@ impl Montgomery {
     /// windows). Two fused 2048-bit exponentiations cost ~60% of two
     /// sequential ones; the saving grows with the number of bases.
     pub fn multi_modpow(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        MULTI_MODPOW_OPS.incr();
         // Drop zero exponents up front: they contribute a factor of one.
-        let live: Vec<&(&BigUint, &BigUint)> =
-            pairs.iter().filter(|(_, e)| !e.is_zero()).collect();
+        let live: Vec<&(&BigUint, &BigUint)> = pairs.iter().filter(|(_, e)| !e.is_zero()).collect();
         let max_bits = live.iter().map(|(_, e)| e.bit_length()).max().unwrap_or(0);
         if max_bits == 0 {
             return self.one_result();
@@ -748,6 +769,7 @@ impl FixedBasePow {
     /// `base^exp mod n` — identical to `ctx.modpow(base, exp)`, at the
     /// cost of one multiplication per non-zero exponent window.
     pub fn pow(&self, exp: &BigUint) -> BigUint {
+        FIXED_BASE_OPS.incr();
         match self.pow_mont(exp) {
             Some(m) => self.ctx.from_mont(&m),
             None => self.ctx.modpow(&self.base, exp),
@@ -763,6 +785,7 @@ impl FixedBasePow {
     ///
     /// Panics if the two tables were built over different moduli.
     pub fn pow_mul(&self, exp: &BigUint, other: &FixedBasePow, other_exp: &BigUint) -> BigUint {
+        FIXED_BASE_OPS.incr();
         assert_eq!(
             self.ctx.modulus(),
             other.ctx.modulus(),

@@ -11,6 +11,7 @@ use std::time::Instant;
 use pem_crypto::drbg::HashDrbg;
 use pem_market::{MarketKind, Role, Trade};
 use pem_net::{NetStats, SimNetwork, Transport};
+use pem_telemetry::Span;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -251,6 +252,7 @@ impl Pem {
         }
         let quantizer = self.cfg.quantizer();
         self.window_index += 1;
+        let window_span = Span::enter_at("window", "driver", net.now_us());
 
         // Local step: every agent quantizes its data, draws this window's
         // nonce and claims a role (coalition formation).
@@ -289,6 +291,7 @@ impl Pem {
         // --- Protocol 2: market evaluation. ----------------------------
         let phase_start = Instant::now();
         let (msgs_before, bytes_before) = net.traffic_totals();
+        let phase_span = Span::enter_at("window/eval", "driver", net.now_us());
         let eval = protocol2::run(
             net,
             &self.keys,
@@ -299,6 +302,7 @@ impl Pem {
             &mut self.pool,
             &mut self.rng,
         )?;
+        phase_span.finish_at(net.now_us());
         let (msgs_after, bytes_after) = net.traffic_totals();
         metrics.market_evaluation = PhaseMetrics {
             elapsed: phase_start.elapsed(),
@@ -312,6 +316,7 @@ impl Pem {
         let price = if eval.general_market {
             let phase_start = Instant::now();
             let (msgs_before, bytes_before) = net.traffic_totals();
+            let phase_span = Span::enter_at("window/price", "driver", net.now_us());
             let pricing = protocol3::run_with_topology(
                 net,
                 &self.keys,
@@ -323,6 +328,7 @@ impl Pem {
                 &mut self.pool,
                 &mut self.rng,
             )?;
+            phase_span.finish_at(net.now_us());
             let (msgs_after, bytes_after) = net.traffic_totals();
             metrics.pricing = PhaseMetrics {
                 elapsed: phase_start.elapsed(),
@@ -339,6 +345,7 @@ impl Pem {
         // --- Protocol 4: distribution. ----------------------------------
         let phase_start = Instant::now();
         let (msgs_before, bytes_before) = net.traffic_totals();
+        let phase_span = Span::enter_at("window/dist", "driver", net.now_us());
         let dist = protocol4::run(
             net,
             &self.keys,
@@ -351,6 +358,7 @@ impl Pem {
             &mut self.pool,
             &mut self.rng,
         )?;
+        phase_span.finish_at(net.now_us());
         let (msgs_after, bytes_after) = net.traffic_totals();
         metrics.distribution = PhaseMetrics {
             elapsed: phase_start.elapsed(),
@@ -363,13 +371,16 @@ impl Pem {
         // next window's encryptions are all pre-amortized. Runs after the
         // phase timers, so it never pollutes the hot-path metrics.
         if let Some(pool) = self.pool.as_mut() {
+            let refill_span = Span::enter("window/pool-refill", "driver");
             if self.cfg.adaptive_pool {
                 pool.refill_adaptive(&self.keys);
             } else {
                 pool.refill(&self.keys);
             }
+            refill_span.finish();
         }
 
+        window_span.finish_at(net.now_us());
         Ok(PemWindowOutcome {
             kind: if eval.general_market {
                 MarketKind::General

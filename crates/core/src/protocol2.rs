@@ -30,6 +30,7 @@ use pem_crypto::paillier::Ciphertext;
 use pem_market::Role;
 use pem_net::wire::{WireReader, WireWriter};
 use pem_net::{PartyId, Transport};
+use pem_telemetry::Span;
 use rand::Rng;
 
 use crate::agents::AgentCtx;
@@ -79,6 +80,7 @@ pub fn run<T: Transport>(
     let hr2 = buyers[rng.gen_range(0..buyers.len())];
 
     // --- Demand round: Σ(|sn_j| + r_j) + Σ r_i under H_r1's key. -------
+    let agg_span = Span::enter_at("eval/demand-agg", "protocol", net.now_us());
     let masked_demand = masked_ring_aggregate(
         net,
         keys,
@@ -91,8 +93,10 @@ pub fn run<T: Transport>(
         pool,
         rng,
     )?;
+    agg_span.finish_at(net.now_us());
 
     // --- Supply round: Σ(sn_i + r_i) + Σ r_j under H_r2's key. ---------
+    let agg_span = Span::enter_at("eval/supply-agg", "protocol", net.now_us());
     let masked_supply = masked_ring_aggregate(
         net,
         keys,
@@ -105,8 +109,10 @@ pub fn run<T: Transport>(
         pool,
         rng,
     )?;
+    agg_span.finish_at(net.now_us());
 
     // --- Secure comparison: H_r2 garbles `R_s < R_b`, H_r1 evaluates. --
+    let compare_span = Span::enter_at("eval/compare", "protocol", net.now_us());
     let group = cfg.ot_profile.group();
     let (garbler, offer) = CompareGarbler::start(cfg.compare_bits, masked_supply, &group, rng)?;
     send_offer(net, PartyId(hr2), PartyId(hr1), &offer)?;
@@ -121,6 +127,7 @@ pub fn run<T: Transport>(
     let transfer = recv_transfer(net, PartyId(hr1))?;
 
     let general_market = evaluator.finish(&transfer)?;
+    compare_span.finish_at(net.now_us());
 
     // H_r1 announces the market case (one public bit, per the paper).
     let mut w = WireWriter::new();

@@ -12,6 +12,7 @@ use pem_crypto::drbg::HashDrbg;
 use pem_crypto::paillier::Ciphertext;
 use pem_net::wire::{WireReader, WireWriter};
 use pem_net::{PartyId, Transport};
+use pem_telemetry::Span;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -206,6 +207,7 @@ pub fn run_with_topology<T: Transport>(
         Ok((k_ct, d_ct))
     };
 
+    let agg_span = Span::enter_at("price/agg", "protocol", net.now_us());
     let (k_ct, d_ct) = match topology {
         Topology::Ring => {
             // Ring pass over the sellers, accumulating both sums
@@ -293,6 +295,7 @@ pub fn run_with_topology<T: Transport>(
             recv_pair(net, PartyId(hb))?
         }
     };
+    agg_span.finish_at(net.now_us());
     pk.validate_ciphertext(&k_ct)?;
     pk.validate_ciphertext(&d_ct)?;
 
@@ -319,6 +322,7 @@ pub fn run_with_topology<T: Transport>(
     let price = cfg.band.clamp(p_hat);
 
     // H_b broadcasts p* to the whole market.
+    let bc_span = Span::enter_at("price/broadcast", "protocol", net.now_us());
     let mut w = WireWriter::new();
     w.put_f64(price);
     net.broadcast(PartyId(hb), "price/broadcast", &w.finish())?;
@@ -330,6 +334,7 @@ pub fn run_with_topology<T: Transport>(
             debug_assert_eq!(p.to_bits(), price.to_bits());
         }
     }
+    bc_span.finish_at(net.now_us());
 
     Ok(PricingOutcome {
         price,

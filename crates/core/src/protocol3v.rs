@@ -27,6 +27,7 @@ use pem_crypto::drbg::HashDrbg;
 use pem_crypto::paillier::Ciphertext;
 use pem_net::wire::{WireReader, WireWriter};
 use pem_net::{PartyId, Transport};
+use pem_telemetry::Span;
 use rand::Rng;
 
 use crate::agents::AgentCtx;
@@ -123,6 +124,7 @@ pub fn run<T: Transport>(
     // Ring pass: ciphertext product, commitment product and masked
     // blinding sum travel together. The blinding sum is protected by the
     // same Paillier key (it is only meaningful to H_b).
+    let agg_span = Span::enter_at("vprice/agg", "protocol", net.now_us());
     let first = contribution(sellers[0])?;
     let mut ct_acc = first.ct;
     let mut com_acc = first.commitment;
@@ -161,6 +163,7 @@ pub fn run<T: Transport>(
     let blind_final = Ciphertext::from_biguint(r.get_biguint()?);
     pk.validate_ciphertext(&ct_final)?;
     pk.validate_ciphertext(&blind_final)?;
+    agg_span.finish_at(net.now_us());
 
     // H_b decrypts the sum and the aggregated blinding, then audits.
     let sk = keys.keypair(hb).private();
@@ -191,6 +194,7 @@ pub fn run<T: Transport>(
     };
 
     // Broadcast the verdict (and the price when valid).
+    let verdict_span = Span::enter_at("vprice/verdict", "protocol", net.now_us());
     let mut w = WireWriter::new();
     w.put_bool(integrity_ok);
     w.put_f64(price);
@@ -200,6 +204,7 @@ pub fn run<T: Transport>(
             net.recv_expect(PartyId(i), "vprice/verdict")?;
         }
     }
+    verdict_span.finish_at(net.now_us());
 
     Ok(VerifiedPricingOutcome {
         price,

@@ -23,6 +23,7 @@ use pem_crypto::paillier::Ciphertext;
 use pem_market::{AgentId, Trade};
 use pem_net::wire::{WireReader, WireWriter};
 use pem_net::{PartyId, Transport};
+use pem_telemetry::Span;
 use rand::Rng;
 
 use crate::agents::AgentCtx;
@@ -83,6 +84,7 @@ pub fn run<T: Transport>(
     let k_const = 1u128 << cfg.ratio_precision_bits;
 
     // --- Step 2: ring-aggregate the ratio side's total under pk. -------
+    let agg_span = Span::enter_at("dist/total-agg", "protocol", net.now_us());
     let contribution = |idx: usize| pem_bignum::BigUint::from(agents[idx].sn_abs_q);
     let mut acc = randpool::encrypt_under(pk, decryptor, &contribution(ratio_side[0]), pool, rng)?;
     for hop in 1..ratio_side.len() {
@@ -129,15 +131,17 @@ pub fn run<T: Transport>(
             enc_total_per_member.push(ct);
         }
     }
+    agg_span.finish_at(net.now_us());
 
     // --- Step 3: exponent-inverted ratio requests to the decryptor. ----
+    let ratio_span = Span::enter_at("dist/ratios", "protocol", net.now_us());
     for (pos, &member) in ratio_side.iter().enumerate() {
         let sn = agents[member].sn_abs_q;
         debug_assert!(sn > 0, "market members have non-zero net energy");
         let exponent = (k_const + sn as u128 / 2) / sn as u128; // round(K / sn)
-        // Enc(total) ↦ Enc(total · round(K/sn)): the b = 0 shape of the
-        // fused affine update (exact `mul_plain`, one exponentiation —
-        // power-of-two exponents collapse to a squaring chain).
+                                                                // Enc(total) ↦ Enc(total · round(K/sn)): the b = 0 shape of the
+                                                                // fused affine update (exact `mul_plain`, one exponentiation —
+                                                                // power-of-two exponents collapse to a squaring chain).
         let ct = pk.affine(
             &enc_total_per_member[pos],
             &pem_bignum::BigUint::from(exponent),
@@ -176,8 +180,10 @@ pub fn run<T: Transport>(
         // v ≈ K·total/sn_member ⇒ member share = K/v.
         ratios.push(k_const as f64 / v as f64);
     }
+    ratio_span.finish_at(net.now_us());
 
     // --- Step 4: broadcast ratios to the other coalition and settle. ---
+    let settle_span = Span::enter_at("dist/settle", "protocol", net.now_us());
     {
         let mut w = WireWriter::new();
         w.put_varint(ratios.len() as u64);
@@ -247,6 +253,7 @@ pub fn run<T: Transport>(
             });
         }
     }
+    settle_span.finish_at(net.now_us());
 
     Ok(DistributionOutcome {
         trades,

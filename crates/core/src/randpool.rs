@@ -46,6 +46,22 @@ use pem_crypto::CryptoError;
 
 use crate::keys::KeyDirectory;
 
+/// Global pool counters mirroring [`PoolStats`] into the telemetry
+/// registry (no-ops until a collector is installed; summed across all
+/// pools in the process, where `PoolStats` stays per-pool).
+static POOL_HITS: pem_telemetry::Counter = pem_telemetry::Counter::new();
+static POOL_MISSES: pem_telemetry::Counter = pem_telemetry::Counter::new();
+static POOL_GENERATED: pem_telemetry::Counter = pem_telemetry::Counter::new();
+
+fn register_pool_counters() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        pem_telemetry::register_counter("pool/hit", &POOL_HITS);
+        pem_telemetry::register_counter("pool/miss", &POOL_MISSES);
+        pem_telemetry::register_counter("pool/generated", &POOL_GENERATED);
+    });
+}
+
 /// Draw/refill counters for observability (surfaced in grid reports).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
@@ -171,6 +187,7 @@ impl RandomizerPool {
         seed: u64,
         owner_crt: bool,
     ) -> RandomizerPool {
+        register_pool_counters();
         let n = keys.len();
         let streams = (0..n)
             .map(|i| HashDrbg::from_seed_label(b"pem-randpool", seed ^ ((i as u64) << 24)))
@@ -222,6 +239,7 @@ impl RandomizerPool {
         workers: usize,
         owner_crt: bool,
     ) -> RandomizerPool {
+        register_pool_counters();
         let n = keys.len();
         let mut pool = RandomizerPool {
             queues: (0..n).map(|_| VecDeque::new()).collect(),
@@ -263,10 +281,12 @@ impl RandomizerPool {
         match self.queues.get_mut(key_owner).and_then(VecDeque::pop_front) {
             Some(r) => {
                 self.stats.hits += 1;
+                POOL_HITS.incr();
                 Some(r)
             }
             None => {
                 self.stats.misses += 1;
+                POOL_MISSES.incr();
                 if let Some(d) = self.dry.get_mut(key_owner) {
                     *d += 1;
                 }
@@ -287,6 +307,7 @@ impl RandomizerPool {
     /// counters — the shared mechanics of both refill policies.
     fn refill_to_targets(&mut self, keys: &KeyDirectory, targets: &[usize]) -> usize {
         assert_eq!(keys.len(), self.queues.len(), "key directory size changed");
+        let refill_span = pem_telemetry::Span::enter("pool/refill", "pool");
         let mut generated = 0;
         match &mut self.streams {
             Streams::Sequential(streams) => {
@@ -332,6 +353,8 @@ impl RandomizerPool {
             self.dry[i] = 0;
         }
         self.stats.generated += generated as u64;
+        POOL_GENERATED.add(generated as u64);
+        refill_span.finish();
         generated
     }
 

@@ -29,6 +29,7 @@ use pem_crypto::paillier::Ciphertext;
 use pem_market::PriceBand;
 use pem_net::wire::{WireReader, WireWriter};
 use pem_net::{NetStats, PartyId, SimNetwork, Transport};
+use pem_telemetry::Span;
 use serde::{Deserialize, Serialize};
 
 use crate::config::CouplingConfig;
@@ -274,6 +275,8 @@ impl CouplingCoordinator {
         // `2i+2`; the root's parent is the coordinator). Iterating in
         // descending index order guarantees both children delivered
         // before their parent folds and forwards.
+        let round_span = Span::enter_at("couple/round", "coupling", net.now_us());
+        let up_span = Span::enter_at("couple/up", "coupling", net.now_us());
         for i in (0..s).rev() {
             let q = &quantized[i];
             let mut acc = [
@@ -316,6 +319,7 @@ impl CouplingCoordinator {
                 CouplingError::Config("aggregate overflows the coupling range".into())
             })?;
         }
+        up_span.finish_at(net.now_us());
         let [surplus_q, deficit_q, vol_q, pv] = totals;
         let surplus_kwh = surplus_q as f64 / ENERGY_SCALE;
         let deficit_kwh = deficit_q as f64 / ENERGY_SCALE;
@@ -340,14 +344,17 @@ impl CouplingCoordinator {
         let engaged = s >= 2 && transferable_q >= u128::from(min_transfer_q.max(1));
 
         // --- Phase 2: corridor broadcast. ------------------------------
+        let corridor_span = Span::enter_at("couple/corridor", "coupling", net.now_us());
         let mut w = WireWriter::new();
         w.put_varint(corridor_mc);
         w.put_bool(engaged);
         net.broadcast(coordinator, LABEL_CORRIDOR, &w.finish())?;
+        corridor_span.finish_at(net.now_us());
 
         // --- Phase 3: claims (constant traffic: every shard sends). ----
         let mut transfers = Vec::new();
         if engaged {
+            let claim_span = Span::enter_at("couple/claim", "coupling", net.now_us());
             for (i, q) in quantized.iter().enumerate() {
                 let m = pk.encode_i128(q.res);
                 let c = encrypt_under(&pk, 0, &m, &mut self.pool, &mut self.rng)?;
@@ -377,8 +384,10 @@ impl CouplingCoordinator {
                 }
             }
             transfers = schedule(exporters, importers, min_transfer_q.max(1));
+            claim_span.finish_at(net.now_us());
 
             // --- Phase 4: schedule notifications. ----------------------
+            let schedule_span = Span::enter_at("couple/schedule", "coupling", net.now_us());
             let mut legs: Vec<Vec<(bool, usize, u64)>> = vec![Vec::new(); s];
             for t in &transfers {
                 legs[t.from_shard].push((true, t.to_shard, t.energy_ukwh));
@@ -397,7 +406,9 @@ impl CouplingCoordinator {
                 }
                 net.send(coordinator, PartyId(i), LABEL_SCHEDULE, w.finish())?;
             }
+            schedule_span.finish_at(net.now_us());
         }
+        round_span.finish_at(net.now_us());
 
         // Off-critical-path: top the grid-key randomizer pool back up,
         // scaled to this round's observed demand.

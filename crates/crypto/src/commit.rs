@@ -189,10 +189,7 @@ mod tests {
             let v = BigUint::from(rng.gen::<u64>());
             let r = pp.random_blinding(&mut rng);
             let g = pp.group();
-            let expected = g.mul(
-                &g.pow(g.g(), &(&v % g.q())),
-                &g.pow(pp.h(), &(&r % g.q())),
-            );
+            let expected = g.mul(&g.pow(g.g(), &(&v % g.q())), &g.pow(pp.h(), &(&r % g.q())));
             assert_eq!(pp.commit(&v, &r).0, expected);
         }
     }

@@ -149,12 +149,8 @@ impl DhGroup {
     /// exponents fall back to the generic ladder inside
     /// [`FixedBasePow::pow`]).
     pub fn g_table(&self) -> &Arc<FixedBasePow> {
-        self.g_table.get_or_init(|| {
-            Arc::new(
-                self.mont()
-                    .fixed_base_table(&self.g, self.q.bit_length()),
-            )
-        })
+        self.g_table
+            .get_or_init(|| Arc::new(self.mont().fixed_base_table(&self.g, self.q.bit_length())))
     }
 
     /// `base^exp mod p`.
@@ -420,7 +416,12 @@ mod tests {
             assert_eq!(g.pow_g(&e), g.pow(g.g(), &e));
         }
         // Boundary exponents, including one wider than the table.
-        for e in [BigUint::zero(), BigUint::one(), g.q().clone(), g.p().clone()] {
+        for e in [
+            BigUint::zero(),
+            BigUint::one(),
+            g.q().clone(),
+            g.p().clone(),
+        ] {
             assert_eq!(g.pow_g(&e), g.pow(g.g(), &e), "e={e:?}");
         }
     }

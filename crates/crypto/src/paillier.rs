@@ -166,12 +166,7 @@ impl CrtContext {
     }
 
     /// [`CrtContext::decrypt`] on batch-shared leg scratches.
-    fn decrypt_scratch(
-        &self,
-        c: &BigUint,
-        sp: &mut PowScratch,
-        sq: &mut PowScratch,
-    ) -> BigUint {
+    fn decrypt_scratch(&self, c: &BigUint, sp: &mut PowScratch, sq: &mut PowScratch) -> BigUint {
         let mp = self.p_leg.decrypt_scratch(c, sp);
         let mq = self.q_leg.decrypt_scratch(c, sq);
         self.garner(mp, mq)
@@ -1076,9 +1071,9 @@ mod tests {
             pk.add_plain(&pk.mul_plain(&ca, &BigUint::from(3u64)), &big_b)
         );
         // And it decrypts to k·a + b.
-        let out = kp
-            .private()
-            .decrypt(&pk.affine(&ca, &BigUint::from(7u64), &BigUint::from(13u64)));
+        let out =
+            kp.private()
+                .decrypt(&pk.affine(&ca, &BigUint::from(7u64), &BigUint::from(13u64)));
         assert_eq!(out, BigUint::from(321u64 * 7 + 13));
     }
 

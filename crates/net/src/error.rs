@@ -42,6 +42,13 @@ pub enum NetError {
     },
     /// The threaded runtime channel closed unexpectedly.
     Disconnected,
+    /// [`crate::NetStats::merge`] over two fabrics of different sizes.
+    PartyCountMismatch {
+        /// Parties in the stats block being merged into.
+        have: usize,
+        /// Parties in the block being merged.
+        got: usize,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -64,6 +71,9 @@ impl fmt::Display for NetError {
                 write!(f, "failed to decode {what} at byte {offset}")
             }
             NetError::Disconnected => write!(f, "runtime channel disconnected"),
+            NetError::PartyCountMismatch { have, got } => {
+                write!(f, "cannot merge stats of {got} parties into {have}")
+            }
         }
     }
 }

@@ -4,6 +4,8 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::NetError;
+
 /// Counters for one message label (protocol phase).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LabelStats {
@@ -47,20 +49,26 @@ impl NetStats {
         let e = self.per_label.entry(label.to_string()).or_default();
         e.messages += 1;
         e.bytes += len as u64;
+        // Mirror into the global telemetry registry (no-op when no
+        // collector is installed) so traces carry per-label traffic.
+        pem_telemetry::record_traffic(label, len as u64);
     }
 
     /// Merges another stats block into this one (used when a phase runs on
-    /// a separate fabric, e.g. the threaded runtime).
+    /// a separate fabric, e.g. the threaded runtime, or when folding
+    /// per-window stats into a day-level block).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the party counts differ.
-    pub fn merge(&mut self, other: &NetStats) {
-        assert_eq!(
-            self.sent_bytes.len(),
-            other.sent_bytes.len(),
-            "party count mismatch"
-        );
+    /// [`NetError::PartyCountMismatch`] if the party counts differ; the
+    /// receiver is left untouched.
+    pub fn merge(&mut self, other: &NetStats) -> Result<(), NetError> {
+        if self.sent_bytes.len() != other.sent_bytes.len() {
+            return Err(NetError::PartyCountMismatch {
+                have: self.sent_bytes.len(),
+                got: other.sent_bytes.len(),
+            });
+        }
         self.total_messages += other.total_messages;
         self.total_bytes += other.total_bytes;
         for (a, b) in self.sent_bytes.iter_mut().zip(other.sent_bytes.iter()) {
@@ -78,6 +86,7 @@ impl NetStats {
             e.messages += s.messages;
             e.bytes += s.bytes;
         }
+        Ok(())
     }
 
     /// Merges a smaller fabric's counters into this one, translating its
@@ -171,11 +180,23 @@ mod tests {
         let mut b = NetStats::new(2);
         b.record(1, 0, "x", 5);
         b.record(0, 1, "y", 7);
-        a.merge(&b);
+        a.merge(&b).expect("same party count");
         assert_eq!(a.total_bytes, 22);
         assert_eq!(a.per_label["x"].bytes, 15);
         assert_eq!(a.per_label["y"].bytes, 7);
         assert_eq!(a.sent_bytes, vec![17, 5]);
+    }
+
+    #[test]
+    fn merge_rejects_party_count_mismatch() {
+        let mut a = NetStats::new(2);
+        a.record(0, 1, "x", 10);
+        let mut b = NetStats::new(3);
+        b.record(2, 0, "x", 5);
+        let before = a.clone();
+        let err = a.merge(&b).expect_err("party counts differ");
+        assert_eq!(err, NetError::PartyCountMismatch { have: 2, got: 3 });
+        assert_eq!(a, before, "failed merge must leave the receiver intact");
     }
 
     #[test]

@@ -290,6 +290,10 @@ impl GridOrchestrator {
         let repartitioned = self.maybe_repartition(population)?;
 
         // --- Dispatch coalition windows onto the worker pool. ----------
+        // Watermark the telemetry buffer so the report's profile covers
+        // exactly this window's spans (including the coupling round,
+        // which runs inside fold_window).
+        let telemetry_mark = pem_telemetry::event_count();
         let shards = self.shards.take().expect("formed above");
         let jobs: Vec<(Shard, Vec<AgentWindow>)> = shards
             .into_iter()
@@ -315,7 +319,7 @@ impl GridOrchestrator {
         let outcomes: Vec<pem_core::PemWindowOutcome> =
             outcomes.into_iter().collect::<Result<_, _>>()?;
 
-        self.fold_window(population, outcomes, repartitioned)
+        self.fold_window(population, outcomes, repartitioned, telemetry_mark)
     }
 
     /// Runs a whole day: one grid window per entry of `day`, then
@@ -341,6 +345,7 @@ impl GridOrchestrator {
         population: &[AgentWindow],
         outcomes: Vec<pem_core::PemWindowOutcome>,
         repartitioned: bool,
+        telemetry_mark: usize,
     ) -> Result<GridReport, SchedError> {
         let agents = population.len();
         let shards = self.shards.as_ref().expect("installed by run_window");
@@ -481,6 +486,16 @@ impl GridOrchestrator {
             })
             .collect();
 
+        // Capture this window's span profile (empty collector → None, so
+        // the report is structurally identical with telemetry off).
+        let profile = if pem_telemetry::enabled() {
+            Some(pem_telemetry::ProfileSummary::from_events(
+                &pem_telemetry::events_since(telemetry_mark),
+            ))
+        } else {
+            None
+        };
+
         Ok(GridReport {
             window,
             agents,
@@ -498,6 +513,7 @@ impl GridOrchestrator {
             },
             pool: pool_stats,
             coupling: coupling_summary,
+            profile,
         })
     }
 }

@@ -1,0 +1,224 @@
+//! Hand-rolled JSON rendering of grid reports.
+//!
+//! The workspace's serde is an offline stub (derives are markers), so
+//! machine-readable output is emitted directly. The shape is pinned by
+//! tests here and consumed by `examples/grid_day.rs --json` and the CI
+//! bench artifacts; latency percentiles everywhere use the canonical
+//! [`LatencyPercentiles::to_json`] key names.
+
+use pem_net::NetStats;
+use pem_telemetry::ProfileSummary;
+
+use crate::report::{GridDayReport, GridReport, PriceStats};
+
+/// Escapes a string for a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` so the output is valid JSON even for non-finite
+/// values (NaN marks an aborted price; JSON has no literal for it).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn price_stats_json(p: &PriceStats) -> String {
+    format!(
+        "{{\"trading_shards\":{},\"min\":{},\"max\":{},\"mean\":{},\"stddev\":{}}}",
+        p.trading_shards,
+        json_f64(p.min),
+        json_f64(p.max),
+        json_f64(p.mean),
+        json_f64(p.stddev)
+    )
+}
+
+fn net_json(n: &NetStats) -> String {
+    let labels: Vec<String> = n
+        .per_label
+        .iter()
+        .map(|(label, s)| {
+            format!(
+                "\"{}\":{{\"messages\":{},\"bytes\":{}}}",
+                escape(label),
+                s.messages,
+                s.bytes
+            )
+        })
+        .collect();
+    format!(
+        "{{\"total_messages\":{},\"total_bytes\":{},\"parties\":{},\"per_label\":{{{}}}}}",
+        n.total_messages,
+        n.total_bytes,
+        n.sent_bytes.len(),
+        labels.join(",")
+    )
+}
+
+fn profile_json(p: &ProfileSummary) -> String {
+    let rows: Vec<String> = p
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"count\":{},\"wall_us\":{},\"virtual_us\":{}}}",
+                escape(r.name),
+                escape(r.cat),
+                r.count,
+                r.wall_us,
+                r.virtual_us
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+impl GridReport {
+    /// Renders the report as one JSON object (single line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"window\":{},\"agents\":{},\"shards\":{},\"cleared_kwh\":{},\"payments_cents\":{},",
+            self.window,
+            self.agents,
+            self.shard_outcomes.len(),
+            json_f64(self.cleared_kwh),
+            json_f64(self.payments_cents)
+        ));
+        out.push_str(&format!(
+            "\"regimes\":{{\"general\":{},\"extreme\":{},\"no_market\":{}}},",
+            self.regime_counts[0], self.regime_counts[1], self.regime_counts[2]
+        ));
+        out.push_str(&format!("\"prices\":{},", price_stats_json(&self.prices)));
+        out.push_str(&format!("\"net\":{},", net_json(&self.net)));
+        out.push_str(&format!(
+            "\"latency\":{{\"evaluation\":{},\"pricing\":{},\"distribution\":{},\"total\":{}}},",
+            self.latency.evaluation.to_json(),
+            self.latency.pricing.to_json(),
+            self.latency.distribution.to_json(),
+            self.latency.total.to_json()
+        ));
+        out.push_str(&format!(
+            "\"settlement\":{{\"blocks_appended\":{},\"chain_blocks\":{},\"tip_hash\":\"{}\"}},",
+            self.settlement.blocks_appended,
+            self.settlement.chain_blocks,
+            hex(&self.settlement.tip_hash)
+        ));
+        match &self.pool {
+            Some(p) => out.push_str(&format!(
+                "\"pool\":{{\"hits\":{},\"misses\":{},\"generated\":{}}},",
+                p.hits, p.misses, p.generated
+            )),
+            None => out.push_str("\"pool\":null,"),
+        }
+        match &self.coupling {
+            Some(c) => out.push_str(&format!(
+                "\"coupling\":{{\"engaged\":{},\"corridor_price\":{},\"transfer_count\":{},\
+                 \"transferred_kwh\":{},\"welfare_gain_cents\":{}}},",
+                c.engaged,
+                json_f64(c.corridor_price),
+                c.transfer_count,
+                json_f64(c.transferred_kwh),
+                json_f64(c.welfare_gain_cents)
+            )),
+            None => out.push_str("\"coupling\":null,"),
+        }
+        match &self.profile {
+            Some(p) => out.push_str(&format!("\"profile\":{},", profile_json(p))),
+            None => out.push_str("\"profile\":null,"),
+        }
+        out.push_str(&format!("\"fingerprint\":\"{}\"", hex(&self.fingerprint())));
+        out.push('}');
+        out
+    }
+}
+
+impl GridDayReport {
+    /// Renders the day report (with every window inline) as one JSON
+    /// object.
+    pub fn to_json(&self) -> String {
+        let windows: Vec<String> = self.windows.iter().map(GridReport::to_json).collect();
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"cleared_kwh\":{},\"payments_cents\":{},\"total_bytes\":{},\"total_messages\":{},\
+             \"ledger_valid\":{},\"transferred_kwh\":{},\"coupling_welfare_cents\":{},",
+            json_f64(self.cleared_kwh),
+            json_f64(self.payments_cents),
+            self.total_bytes,
+            self.total_messages,
+            self.ledger_valid,
+            json_f64(self.transferred_kwh),
+            json_f64(self.coupling_welfare_cents)
+        ));
+        match &self.pool {
+            Some(p) => out.push_str(&format!(
+                "\"pool\":{{\"hits\":{},\"misses\":{},\"generated\":{}}},",
+                p.hits, p.misses, p.generated
+            )),
+            None => out.push_str("\"pool\":null,"),
+        }
+        match &self.net {
+            Some(n) => out.push_str(&format!("\"net\":{},", net_json(n))),
+            None => out.push_str("\"net\":null,"),
+        }
+        out.push_str(&format!("\"windows\":[{}]", windows.join(",")));
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::LatencyPercentiles;
+
+    #[test]
+    fn escapes_and_formats() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(hex(&[0x0a, 0xff]), "0aff");
+    }
+
+    #[test]
+    fn latency_json_uses_canonical_keys() {
+        let p = LatencyPercentiles {
+            p50_us: 1,
+            p90_us: 2,
+            p99_us: 3,
+            max_us: 4,
+        };
+        assert_eq!(
+            p.to_json(),
+            "{\"p50_us\":1,\"p90_us\":2,\"p99_us\":3,\"max_us\":4}"
+        );
+    }
+
+    #[test]
+    fn net_json_shape() {
+        let mut n = NetStats::new(2);
+        n.record(0, 1, "eval/result", 10);
+        let json = net_json(&n);
+        assert!(json.contains("\"total_messages\":1"));
+        assert!(json.contains("\"parties\":2"));
+        assert!(json.contains("\"eval/result\":{\"messages\":1,\"bytes\":10}"));
+    }
+}

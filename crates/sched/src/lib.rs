@@ -61,6 +61,7 @@
 
 mod error;
 mod grid;
+mod json;
 pub mod partition;
 pub mod pool;
 mod report;

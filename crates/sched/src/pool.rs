@@ -10,6 +10,23 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
+use pem_telemetry::{Counter, LogHistogram};
+
+/// Shared-queue depth sampled at every job pop (telemetry; empty until a
+/// collector is installed).
+static QUEUE_DEPTH: LogHistogram = LogHistogram::new();
+/// Jobs run by a worker other than their round-robin home (`i % workers`)
+/// — how much the shared queue actually rebalances.
+static STEALS: Counter = Counter::new();
+
+fn register_pool_metrics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        pem_telemetry::register_histogram("sched/queue-depth", &QUEUE_DEPTH);
+        pem_telemetry::register_counter("sched/steals", &STEALS);
+    });
+}
+
 /// Runs `job` over every input on `workers` threads, returning results
 /// in input order.
 ///
@@ -37,6 +54,8 @@ where
             .collect();
     }
 
+    register_pool_metrics();
+    let spawned = workers.min(n);
     let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(inputs.into_iter().enumerate().collect());
     let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
     {
@@ -44,12 +63,20 @@ where
         let queue = &queue;
         let results = &results;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers.min(n))
-                .map(|_| {
+            let handles: Vec<_> = (0..spawned)
+                .map(|w| {
                     scope.spawn(move || loop {
-                        let next = queue.lock().expect("queue lock").pop_front();
+                        let (next, depth) = {
+                            let mut q = queue.lock().expect("queue lock");
+                            let next = q.pop_front();
+                            (next, q.len())
+                        };
                         match next {
                             Some((i, input)) => {
+                                QUEUE_DEPTH.record(depth as u64);
+                                if i % spawned != w {
+                                    STEALS.incr();
+                                }
                                 let out = job(i, input);
                                 results.lock().expect("results lock")[i] = Some(out);
                             }

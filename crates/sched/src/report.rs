@@ -5,6 +5,7 @@ use pem_coupling::CouplingSummary;
 use pem_crypto::sha256;
 use pem_market::MarketKind;
 use pem_net::NetStats;
+use pem_telemetry::ProfileSummary;
 
 /// One coalition's contribution to a grid window.
 #[derive(Debug, Clone)]
@@ -88,6 +89,16 @@ impl LatencyPercentiles {
             max_us: *sorted.last().expect("non-empty"),
         }
     }
+
+    /// Canonical JSON rendering — the one latency-percentile shape every
+    /// bench and report emitter shares (key names are schema-pinned by
+    /// `crates/bench/tests/latency_schema.rs`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            self.p50_us, self.p90_us, self.p99_us, self.max_us
+        )
+    }
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice.
@@ -152,6 +163,11 @@ pub struct GridReport {
     /// disabled (in which case the report — and its fingerprint — is
     /// bit-identical to a coupling-unaware grid).
     pub coupling: Option<CouplingSummary>,
+    /// Per-phase span profile of this window (wall + virtual clock),
+    /// captured from the telemetry collector; `None` when no collector
+    /// is installed. Observability only — deliberately excluded from
+    /// [`GridReport::fingerprint`].
+    pub profile: Option<ProfileSummary>,
 }
 
 impl GridReport {
@@ -245,6 +261,12 @@ pub struct GridDayReport {
     pub transferred_kwh: f64,
     /// Total welfare recovered by coupling rounds (cents).
     pub coupling_welfare_cents: f64,
+    /// Day-level traffic: every window's [`GridReport::net`] merged into
+    /// one per-party/per-label block. `None` when there are no windows
+    /// or the windows disagree on party count (heterogeneous reports
+    /// can't be merged; coupling fabrics are excluded either way — their
+    /// totals are already folded into `total_bytes`/`total_messages`).
+    pub net: Option<NetStats>,
 }
 
 impl GridDayReport {
@@ -259,13 +281,25 @@ impl GridDayReport {
             pool: None,
             transferred_kwh: 0.0,
             coupling_welfare_cents: 0.0,
+            net: None,
             windows: Vec::new(),
         };
+        let mut net_ok = true;
         for w in &windows {
             day.cleared_kwh += w.cleared_kwh;
             day.payments_cents += w.payments_cents;
             day.total_bytes += w.net.total_bytes;
             day.total_messages += w.net.total_messages;
+            if let Some(acc) = day.net.as_mut() {
+                // A mismatch (heterogeneous window reports) drops the
+                // merged view rather than poisoning partial counters.
+                if acc.merge(&w.net).is_err() {
+                    day.net = None;
+                    net_ok = false;
+                }
+            } else if net_ok {
+                day.net = Some(w.net.clone());
+            }
             if let Some(p) = w.pool {
                 let d = day.pool.get_or_insert_with(PoolStats::default);
                 d.hits += p.hits;

@@ -1,0 +1,109 @@
+//! Telemetry must be observation-only: installing the collector changes
+//! what is *recorded*, never what is *computed*. A grid run with the
+//! collector off and an identically-seeded run with it on must produce
+//! bit-identical `GridReport::fingerprint`s — the same goldens the
+//! fingerprint regression pins.
+//!
+//! Both phases live in ONE `#[test]` because the collector is process
+//! global: running them as separate tests would race on install state.
+
+use pem_core::PemConfig;
+use pem_data::{TraceConfig, TraceGenerator};
+use pem_market::AgentWindow;
+use pem_sched::{GridConfig, GridOrchestrator, PartitionStrategy};
+use pem_telemetry as telemetry;
+
+fn day(windows: usize, homes: usize) -> Vec<Vec<AgentWindow>> {
+    let trace = TraceGenerator::new(TraceConfig {
+        homes,
+        windows: 96,
+        seed: 40,
+        ..TraceConfig::default()
+    })
+    .generate();
+    (0..windows).map(|w| trace.window_agents(44 + w)).collect()
+}
+
+fn run(workers: usize) -> Vec<pem_sched::GridReport> {
+    let mut grid = GridOrchestrator::new(GridConfig {
+        pem: PemConfig::fast_test().with_randomizer_pool(6),
+        coalition_size: 10,
+        workers,
+        strategy: PartitionStrategy::SurplusBalanced,
+        coupling: None,
+    })
+    .expect("grid");
+    day(2, 40)
+        .iter()
+        .map(|pop| grid.run_window(pop).expect("window"))
+        .collect()
+}
+
+/// Same goldens as `fingerprint_golden.rs` — the telemetry-on run must
+/// still hit the pre-telemetry bits.
+const GOLDEN: [&str; 2] = [
+    "4ee83e434d00ddbf0369d5163500deb5a20f904967684b0b6d715c0a552a4e91",
+    "8ffba214d4af7dabd9e9e5a5ff87d3cd4ba87082b36002a3e0dca90b5458fd11",
+];
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn collector_on_and_off_produce_identical_fingerprints() {
+    // --- Phase 1: collector off (pristine process state). --------------
+    assert!(!telemetry::enabled(), "collector must start uninstalled");
+    let off = run(4);
+    let off_fps: Vec<String> = off.iter().map(|r| hex(&r.fingerprint())).collect();
+    assert!(
+        off.iter().all(|r| r.profile.is_none()),
+        "no collector → no profile in the report"
+    );
+
+    // --- Phase 2: identical run with the collector installed. ----------
+    assert!(telemetry::install());
+    let on = run(4);
+    telemetry::uninstall();
+    let on_fps: Vec<String> = on.iter().map(|r| hex(&r.fingerprint())).collect();
+
+    assert_eq!(
+        off_fps, on_fps,
+        "installing telemetry changed a protocol output"
+    );
+    assert_eq!(
+        off_fps,
+        GOLDEN.to_vec(),
+        "telemetry PR drifted the golden fingerprints"
+    );
+
+    // The collector-on run did actually record: every window carries a
+    // span profile covering the driver phases and the protocol tree.
+    for r in &on {
+        let profile = r.profile.as_ref().expect("collector on → profile");
+        for phase in ["window", "window/eval", "window/dist", "pool/refill"] {
+            let row = profile
+                .row(phase)
+                .unwrap_or_else(|| panic!("missing span row {phase:?}"));
+            assert!(row.count > 0, "empty span row {phase:?}");
+        }
+        // Per-shard protocol sub-spans fold in too (one per coalition).
+        assert!(profile.row("eval/demand-agg").is_some());
+        assert!(profile.row("dist/total-agg").is_some());
+    }
+
+    // And the kernel/pool counters moved while the collector was on.
+    let counters = telemetry::counter_snapshot();
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("counter {name:?} not registered"))
+    };
+    assert!(get("crypto/modpow") > 0, "modpow counter never bumped");
+    assert!(
+        get("pool/hit") + get("pool/miss") > 0,
+        "randomizer pool counters never bumped"
+    );
+}

@@ -1,0 +1,127 @@
+//! Chrome trace-event JSON export (`chrome://tracing` / Perfetto).
+//!
+//! Spans become `"ph": "X"` (complete) events on their recording
+//! thread's track; registered counters and the per-label traffic table
+//! are appended as `"ph": "C"` (counter) samples so the trace carries
+//! the whole observability surface in one file. Virtual-clock readings
+//! ride along in `args` (`vts_us` / `vdur_us`): wall time lays the
+//! track out, simulated protocol time is one click away.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::registry::{counter_snapshot, traffic_snapshot};
+use crate::Event;
+
+/// Escapes a string for a JSON literal (the span vocabulary is plain
+/// ASCII, but labels are caller-supplied).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `events` (plus the current counter and traffic snapshots) as
+/// a Chrome trace-event JSON document.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+    let mut last_ts = 0u64;
+    for e in events {
+        last_ts = last_ts.max(e.ts_us + e.dur_us);
+        let args = match (e.vts_us, e.vdur_us) {
+            (Some(vts), Some(vdur)) => {
+                format!(",\"args\":{{\"vts_us\":{vts},\"vdur_us\":{vdur}}}")
+            }
+            (Some(vts), None) => format!(",\"args\":{{\"vts_us\":{vts}}}"),
+            _ => String::new(),
+        };
+        push(
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}{}}}",
+                escape(e.name),
+                escape(e.cat),
+                e.ts_us,
+                e.dur_us,
+                e.tid,
+                args
+            ),
+            &mut out,
+        );
+    }
+    for (name, value) in counter_snapshot() {
+        push(
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{last_ts},\"pid\":1,\"args\":{{\"value\":{value}}}}}",
+                escape(name)
+            ),
+            &mut out,
+        );
+    }
+    for (label, t) in traffic_snapshot() {
+        push(
+            format!(
+                "{{\"name\":\"net/{}\",\"ph\":\"C\",\"ts\":{last_ts},\"pid\":1,\"args\":{{\"messages\":{},\"bytes\":{}}}}}",
+                escape(&label),
+                t.messages,
+                t.bytes
+            ),
+            &mut out,
+        );
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Writes [`chrome_trace_json`] to `path`.
+///
+/// # Errors
+///
+/// File creation or write failures.
+pub fn write_chrome_trace<P: AsRef<Path>>(path: P, events: &[Event]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(chrome_trace_json(events).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_complete_events_with_virtual_clock_args() {
+        let events = [Event {
+            name: "eval",
+            cat: "protocol",
+            tid: 3,
+            ts_us: 10,
+            dur_us: 25,
+            vts_us: Some(0),
+            vdur_us: Some(120),
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"eval\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":10,\"dur\":25"));
+        assert!(json.contains("\"vdur_us\":120"));
+        assert!(json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn escapes_hostile_names() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

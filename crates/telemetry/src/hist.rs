@@ -1,0 +1,309 @@
+//! Fixed-bucket streaming log histograms.
+//!
+//! 257 buckets cover the whole `u64` range: bucket 0 holds exact zeros,
+//! and each power-of-two octave above is split into 4 linear
+//! sub-buckets, bounding the relative quantization error of any
+//! recorded value by 25% (one sub-bucket width). Recording is one
+//! atomic add into a `const`-constructed array — **no allocation ever**,
+//! so instrumented crates hold these as `static`s and registration
+//! ([`crate::register_histogram`]) is the only step that touches the
+//! heap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::enabled;
+
+/// Number of buckets: zeros + 64 octaves × 4 sub-buckets.
+pub const BUCKET_COUNT: usize = 1 + 64 * 4;
+
+/// Bucket index of `v`. Monotone non-decreasing in `v`.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let octave = 63 - v.leading_zeros() as usize;
+    let sub = if octave >= 2 {
+        ((v >> (octave - 2)) & 3) as usize
+    } else {
+        0
+    };
+    1 + octave * 4 + sub
+}
+
+/// Inclusive upper bound of bucket `idx` — the representative value
+/// percentile estimates report (so an estimate never under-reports).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx == 0 {
+        return 0;
+    }
+    let base = idx - 1;
+    let (octave, sub) = (base / 4, base % 4);
+    if octave < 2 {
+        // Octaves 0 and 1 are narrower than a sub-bucket; all values
+        // land in sub 0 and the bucket spans the whole octave.
+        (1u64 << (octave + 1)) - 1
+    } else {
+        match ((sub as u64) + 1)
+            .checked_shl((octave - 2) as u32)
+            .and_then(|w| (1u64 << octave).checked_add(w))
+        {
+            Some(end) => end - 1,
+            // The topmost bucket's exclusive end overflows u64.
+            None => u64::MAX,
+        }
+    }
+}
+
+/// A lock-free streaming histogram over `u64` samples.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl LogHistogram {
+    /// A zeroed histogram (usable as a `static` initializer).
+    pub const fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKET_COUNT],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample — a no-op while the collector is off.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.record_always(v);
+        }
+    }
+
+    /// Records one sample unconditionally (for histograms whose data is
+    /// gathered outside the global collector's lifecycle, and tests).
+    pub fn record_always(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.each_ref().map(|b| b.load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every bucket and the count/sum.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+/// A plain-data copy of a [`LogHistogram`]: what exporters fold, merge
+/// and take percentiles over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Builds a snapshot directly from samples (no atomics involved).
+    pub fn from_samples(samples: &[u64]) -> HistogramSnapshot {
+        let mut s = HistogramSnapshot::empty();
+        for &v in samples {
+            s.buckets[bucket_index(v)] += 1;
+            s.count += 1;
+            s.sum = s.sum.wrapping_add(v);
+        }
+        s
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges two snapshots bucket-wise. Associative and commutative by
+    /// construction (every field is an independent sum).
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = self.clone();
+        for (a, b) in out.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        out.count += other.count;
+        out.sum = out.sum.wrapping_add(other.sum);
+        out
+    }
+
+    /// Nearest-rank percentile estimate: the inclusive upper bound of
+    /// the bucket containing the rank-⌈p·n⌉ sample — always in the same
+    /// bucket as the exact nearest-rank value, hence within one
+    /// sub-bucket (≤ 25% relative error) of it. `p` in `[0, 1]`;
+    /// returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(idx);
+            }
+        }
+        bucket_upper(BUCKET_COUNT - 1)
+    }
+
+    /// The standard latency summary: (p50, p95, p99).
+    pub fn quantiles(&self) -> (u64, u64, u64) {
+        (
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.percentile(0.99),
+        )
+    }
+
+    /// Bucket index a value lands in — exposed so tests can assert the
+    /// "within one bucket" percentile contract.
+    pub fn bucket_of(v: u64) -> usize {
+        bucket_index(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sorted sweep of probe values touching every octave edge.
+    fn probe_values() -> Vec<u64> {
+        let mut vs = vec![0u64];
+        for shift in 0..64u32 {
+            let base = 1u64 << shift;
+            vs.push(base);
+            vs.push(base.saturating_add(base >> 2));
+            vs.push(base.saturating_add(base >> 1));
+            vs.push((base << 1).wrapping_sub(1).max(base)); // octave top
+        }
+        vs.push(u64::MAX);
+        vs.sort_unstable();
+        vs
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut last = 0usize;
+        for v in probe_values() {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKET_COUNT);
+            assert!(idx >= last, "index regressed at {v}");
+            last = idx;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn bucket_upper_contains_its_values() {
+        // Upper bounds strictly increase across *reachable* buckets
+        // (octaves 0–1 have unreachable sub-buckets 1–3: no value maps
+        // to them, so their tied upper bound is never reported).
+        let mut last_idx = usize::MAX;
+        for v in probe_values() {
+            let idx = bucket_index(v);
+            assert!(bucket_upper(idx) >= v, "upper bound below {v}");
+            if last_idx != usize::MAX && idx != last_idx {
+                assert!(
+                    bucket_upper(idx) > bucket_upper(last_idx),
+                    "upper bound tied across reachable buckets {last_idx} -> {idx}"
+                );
+            }
+            last_idx = idx;
+        }
+    }
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let samples: Vec<u64> = (1..=1000).collect();
+        let s = HistogramSnapshot::from_samples(&samples);
+        assert_eq!(s.count(), 1000);
+        let (p50, p95, p99) = s.quantiles();
+        // Exact nearest-rank values are 500 / 950 / 990; the estimate
+        // reports its bucket's upper bound (≤ 25% above).
+        for (est, exact) in [(p50, 500u64), (p95, 950), (p99, 990)] {
+            assert!(est >= exact, "estimate {est} under exact {exact}");
+            assert!(
+                est as f64 <= exact as f64 * 1.25,
+                "estimate {est} vs {exact}"
+            );
+        }
+        assert_eq!(s.percentile(1.0), s.percentile(0.9999));
+    }
+
+    #[test]
+    fn empty_and_zero_samples() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        let z = HistogramSnapshot::from_samples(&[0, 0, 0]);
+        assert_eq!(z.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain_snapshot() {
+        let h = LogHistogram::new();
+        let samples = [3u64, 17, 17, 4096, 0, 999_999];
+        for &v in &samples {
+            h.record_always(v);
+        }
+        assert_eq!(h.snapshot(), HistogramSnapshot::from_samples(&samples));
+        assert_eq!(h.count(), samples.len() as u64);
+        h.reset();
+        assert_eq!(h.snapshot(), HistogramSnapshot::empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Guard-based spans.
+
+use std::time::Instant;
+
+use crate::{current_tid, enabled, epoch_us, push_event, Event};
+
+/// A timing guard: entering samples the clocks, dropping records the
+/// event. With no collector installed the guard is inert — construction
+/// is one relaxed atomic load, drop is a no-op, and nothing allocates.
+///
+/// The virtual clock (the transport's critical-path `now_us`) is the
+/// caller's to sample, because only the caller holds the fabric:
+/// [`Span::enter_at`] takes the entry reading and [`Span::finish_at`]
+/// the exit reading. A span dropped early (an error path) keeps its
+/// wall-clock duration but reports no virtual duration.
+#[must_use = "a span measures the scope it lives in; dropping it immediately records nothing useful"]
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    cat: &'static str,
+    /// `None` ⇔ the collector was off at entry ⇔ drop is a no-op.
+    start: Option<Instant>,
+    vstart_us: Option<u64>,
+    vend_us: Option<u64>,
+}
+
+impl Span {
+    /// Enters a wall-clock-only span.
+    #[inline]
+    pub fn enter(name: &'static str, cat: &'static str) -> Span {
+        Span {
+            name,
+            cat,
+            start: enabled().then(Instant::now),
+            vstart_us: None,
+            vend_us: None,
+        }
+    }
+
+    /// Enters a span that also carries the virtual clock, sampled by the
+    /// caller at entry (`vnow_us`, typically `net.now_us()`).
+    #[inline]
+    pub fn enter_at(name: &'static str, cat: &'static str, vnow_us: u64) -> Span {
+        Span {
+            name,
+            cat,
+            start: enabled().then(Instant::now),
+            vstart_us: Some(vnow_us),
+            vend_us: None,
+        }
+    }
+
+    /// Ends the span now (equivalent to dropping it, made explicit).
+    #[inline]
+    pub fn finish(self) {}
+
+    /// Ends the span with the exit virtual-clock reading.
+    #[inline]
+    pub fn finish_at(mut self, vnow_us: u64) {
+        self.vend_us = Some(vnow_us);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let event = Event {
+            name: self.name,
+            cat: self.cat,
+            tid: current_tid(),
+            ts_us: epoch_us(start),
+            dur_us: start.elapsed().as_micros() as u64,
+            vts_us: self.vstart_us,
+            vdur_us: match (self.vstart_us, self.vend_us) {
+                (Some(s), Some(e)) => Some(e.saturating_sub(s)),
+                _ => None,
+            },
+        };
+        push_event(event);
+    }
+}

@@ -1,0 +1,58 @@
+//! No-collector semantics: every entry point must be inert until
+//! `install()` runs. Integration tests get their own process, so this
+//! file observes the pristine (never-installed) state — keep any test
+//! that *installs* the collector in `installed_last` position-proof by
+//! filtering, or in the unit suite instead.
+
+use pem_telemetry as telemetry;
+use telemetry::{Counter, LogHistogram, Span};
+
+static COUNTER: Counter = Counter::new();
+static HIST: LogHistogram = LogHistogram::new();
+
+#[test]
+fn everything_is_inert_before_install() {
+    assert!(!telemetry::enabled());
+
+    // Spans record nothing.
+    Span::enter("disabled/span", "test").finish();
+    Span::enter_at("disabled/vspan", "test", 7).finish_at(9);
+    assert_eq!(telemetry::event_count(), 0);
+    assert!(telemetry::drain().is_empty());
+
+    // Counters and histograms stay at zero.
+    telemetry::register_counter("disabled/counter", &COUNTER);
+    telemetry::register_histogram("disabled/hist", &HIST);
+    COUNTER.add(10);
+    COUNTER.incr();
+    HIST.record(1234);
+    assert_eq!(COUNTER.get(), 0);
+    assert_eq!(HIST.count(), 0);
+
+    // Traffic mirroring is off.
+    telemetry::record_traffic("disabled/label", 99);
+    assert!(telemetry::traffic_snapshot().is_empty());
+
+    // The registry itself works (registration is not gated).
+    assert!(telemetry::counter_snapshot()
+        .iter()
+        .any(|(n, v)| *n == "disabled/counter" && *v == 0));
+
+    // And after install the same statics come alive.
+    assert!(telemetry::install(), "first install returns true");
+    assert!(!telemetry::install(), "second install is idempotent");
+    COUNTER.add(2);
+    HIST.record(40);
+    telemetry::record_traffic("disabled/label", 99);
+    Span::enter("disabled/now-live", "test").finish();
+    assert_eq!(COUNTER.get(), 2);
+    assert_eq!(HIST.count(), 1);
+    assert_eq!(telemetry::event_count(), 1);
+
+    // Uninstall drops buffered events and re-gates the hot paths.
+    telemetry::uninstall();
+    assert!(!telemetry::enabled());
+    assert_eq!(telemetry::event_count(), 0);
+    COUNTER.add(5);
+    assert_eq!(COUNTER.get(), 2, "counter re-gated after uninstall");
+}

@@ -1,0 +1,92 @@
+//! Property suite for the streaming histogram: merge is a commutative
+//! monoid over snapshots, and percentile estimates stay within one
+//! bucket of the exact nearest-rank statistic.
+
+use pem_telemetry::HistogramSnapshot;
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile of raw samples.
+fn exact_percentile(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let (ha, hb) = (HistogramSnapshot::from_samples(&a), HistogramSnapshot::from_samples(&b));
+        prop_assert_eq!(ha.merge(&hb), hb.merge(&ha));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..120),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..120),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..120),
+    ) {
+        let (ha, hb, hc) = (
+            HistogramSnapshot::from_samples(&a),
+            HistogramSnapshot::from_samples(&b),
+            HistogramSnapshot::from_samples(&c),
+        );
+        prop_assert_eq!(ha.merge(&hb).merge(&hc), ha.merge(&hb.merge(&hc)));
+    }
+
+    #[test]
+    fn merge_equals_concatenation(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let merged = HistogramSnapshot::from_samples(&a)
+            .merge(&HistogramSnapshot::from_samples(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, HistogramSnapshot::from_samples(&all));
+    }
+
+    #[test]
+    fn empty_is_the_identity(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let h = HistogramSnapshot::from_samples(&a);
+        prop_assert_eq!(h.merge(&HistogramSnapshot::empty()), h.clone());
+        prop_assert_eq!(HistogramSnapshot::empty().merge(&h), h);
+    }
+
+    #[test]
+    fn percentile_within_one_bucket_of_exact(
+        samples in proptest::collection::vec(0u64..10_000_000_000, 1..300),
+        p_mille in 1u64..=1000,
+    ) {
+        let p = p_mille as f64 / 1000.0;
+        let h = HistogramSnapshot::from_samples(&samples);
+        let est = h.percentile(p);
+        let exact = exact_percentile(&samples, p);
+        // The estimate is the upper bound of the bucket holding the
+        // exact nearest-rank sample: same bucket, and never below it.
+        prop_assert!(est >= exact, "estimate {} under exact {}", est, exact);
+        prop_assert_eq!(
+            HistogramSnapshot::bucket_of(est),
+            HistogramSnapshot::bucket_of(exact),
+            "estimate bucket drifted from the exact sample's bucket"
+        );
+    }
+
+    #[test]
+    fn count_and_sum_survive_merge(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let merged = HistogramSnapshot::from_samples(&a)
+            .merge(&HistogramSnapshot::from_samples(&b));
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.sum(), a.iter().sum::<u64>() + b.iter().sum::<u64>());
+    }
+}

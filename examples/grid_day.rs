@@ -12,6 +12,9 @@
 //! # Latency-aware fabrics (coalition windows *and* the coupling round
 //! # run on the model; the coupling line reports its critical path):
 //! cargo run --release --example grid_day -- --couple --latency lan
+//! # Observability: Chrome trace (chrome://tracing / Perfetto) and a
+//! # machine-readable full-day report.
+//! cargo run --release --example grid_day -- --trace day.trace.json --json day.json
 //! ```
 
 use std::time::Instant;
@@ -61,6 +64,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let trace_path = arg("--trace", String::new());
+    let json_path = arg("--json", String::new());
+    if !trace_path.is_empty() || !json_path.is_empty() {
+        // Spans, counters and per-label traffic start recording; market
+        // outputs are bit-identical either way.
+        pem::telemetry::install();
+    }
     let couple = flag("--couple") || flag("--repartition");
     let coupling = couple.then(|| {
         let cfg = CouplingConfig::fast_test().with_latency(latency);
@@ -220,4 +230,17 @@ fn main() {
     let hex: String = tip.iter().map(|b| format!("{b:02x}")).collect();
     println!("chain tip          {hex}");
     println!("wall clock         {elapsed:>12.1} s");
+
+    if !json_path.is_empty() {
+        std::fs::write(&json_path, report.to_json()).expect("write --json report");
+        println!("json report        {json_path}");
+    }
+    if !trace_path.is_empty() {
+        let events = pem::telemetry::drain();
+        pem::telemetry::write_chrome_trace(&trace_path, &events).expect("write --trace file");
+        println!(
+            "chrome trace       {trace_path} ({} span events; load in chrome://tracing)",
+            events.len()
+        );
+    }
 }

@@ -21,6 +21,7 @@
 //! | [`ledger`] | `pem-ledger` | hash-chained settlement ledger (§VI blockchain extension) |
 //! | [`sched`] | `pem-sched` | sharded multi-coalition grid orchestrator (bounded coalitions, worker pool, batched crypto) |
 //! | [`coupling`] | `pem-coupling` | privacy-preserving cross-shard market coupling + dispersion-driven re-partitioning |
+//! | [`telemetry`] | `pem-telemetry` | spans (wall + virtual clock), metrics registry, Chrome trace export |
 //!
 //! # Quickstart
 //!
@@ -56,3 +57,4 @@ pub use pem_ledger as ledger;
 pub use pem_market as market;
 pub use pem_net as net;
 pub use pem_sched as sched;
+pub use pem_telemetry as telemetry;
