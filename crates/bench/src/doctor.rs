@@ -1,0 +1,502 @@
+//! Regression checks over the committed bench trajectories — the logic
+//! behind the `grid_doctor` sentinel binary.
+//!
+//! Three artifact families are watched:
+//!
+//! * **`BENCH_crypto.json`** — labelled trajectory runs of the Paillier
+//!   kernel benchmarks. Two runs are compared metric-by-metric (every
+//!   shared `*_mean_us` / `keygen_ms` figure, matched by `key_bits`;
+//!   lower is better) against a relative threshold.
+//! * **`BENCH_topology.json`** — the aggregation-topology ablation.
+//!   Structural invariants rather than run pairs: the fan-in-bounded
+//!   tree must beat the ring's critical path from 8 sellers up, the
+//!   three topologies must move the same bytes, and the tree's critical
+//!   path must scale sublinearly in the seller count.
+//! * **`grid_day --json`** — a day report: the ledger must validate,
+//!   energy must clear, traffic must flow, and every window must carry
+//!   its fingerprint.
+
+use crate::json::Json;
+
+/// One comparison the doctor ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// What was compared (e.g. `crypto/1024/encrypt_mean_us`).
+    pub name: String,
+    /// Baseline (expected / earlier) value.
+    pub baseline: f64,
+    /// Current (later) value.
+    pub current: f64,
+    /// Relative change in percent (positive = current larger).
+    pub change_pct: f64,
+    /// Whether this check flags a regression.
+    pub regressed: bool,
+}
+
+impl Check {
+    fn compare(name: String, baseline: f64, current: f64, threshold: f64) -> Check {
+        let change_pct = if baseline != 0.0 {
+            (current - baseline) / baseline * 100.0
+        } else if current == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        Check {
+            name,
+            baseline,
+            current,
+            change_pct,
+            // Lower is better for everything compare() is used on.
+            regressed: current > baseline * (1.0 + threshold),
+        }
+    }
+
+    /// A pass/fail invariant (no tolerance): `holds == false` flags it.
+    fn invariant(name: String, baseline: f64, current: f64, holds: bool) -> Check {
+        let change_pct = if baseline != 0.0 {
+            (current - baseline) / baseline * 100.0
+        } else {
+            0.0
+        };
+        Check {
+            name,
+            baseline,
+            current,
+            change_pct,
+            regressed: !holds,
+        }
+    }
+}
+
+/// The doctor's full verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Every check run, in order.
+    pub checks: Vec<Check>,
+    /// The relative regression threshold the comparisons used.
+    pub threshold: f64,
+}
+
+impl Verdict {
+    /// `true` when no check flagged a regression.
+    pub fn passed(&self) -> bool {
+        !self.checks.iter().any(|c| c.regressed)
+    }
+
+    /// The flagged checks.
+    pub fn regressions(&self) -> Vec<&Check> {
+        self.checks.iter().filter(|c| c.regressed).collect()
+    }
+
+    /// Hand-rolled JSON rendering (the artifact CI uploads).
+    pub fn to_json(&self) -> String {
+        let checks: Vec<String> = self
+            .checks
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"name\":\"{}\",\"baseline\":{},\"current\":{},\
+                     \"change_pct\":{},\"regressed\":{}}}",
+                    c.name,
+                    fmt_json_f64(c.baseline),
+                    fmt_json_f64(c.current),
+                    fmt_json_f64(c.change_pct),
+                    c.regressed
+                )
+            })
+            .collect();
+        format!(
+            "{{\"passed\":{},\"threshold\":{},\"checks\":[{}]}}\n",
+            self.passed(),
+            fmt_json_f64(self.threshold),
+            checks.join(",")
+        )
+    }
+}
+
+fn fmt_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Whether a metric key is a lower-is-better latency figure the doctor
+/// compares across runs.
+fn comparable(key: &str) -> bool {
+    key.ends_with("_mean_us") || key == "keygen_ms"
+}
+
+fn run_label(run: &Json) -> Option<&str> {
+    run.get("run").and_then(Json::as_str)
+}
+
+fn run_entries(run: &Json) -> &[Json] {
+    run.get("entries").and_then(Json::as_array).unwrap_or(&[])
+}
+
+/// The entry of `run` at `key_bits`, if any.
+fn entry_at(run: &Json, key_bits: f64) -> Option<&Json> {
+    run_entries(run)
+        .iter()
+        .find(|e| e.get("key_bits").and_then(Json::as_f64) == Some(key_bits))
+}
+
+/// Metrics two runs can be compared on: shared comparable keys over
+/// shared `key_bits`.
+fn shared_metrics<'a>(a: &'a Json, b: &'a Json) -> Vec<(f64, String)> {
+    let mut out = Vec::new();
+    for ea in run_entries(a) {
+        let Some(bits) = ea.get("key_bits").and_then(Json::as_f64) else {
+            continue;
+        };
+        let Some(eb) = entry_at(b, bits) else {
+            continue;
+        };
+        let Some(obj) = ea.as_object() else {
+            continue;
+        };
+        for key in obj.keys() {
+            if comparable(key) && eb.get(key).and_then(Json::as_f64).is_some() {
+                out.push((bits, key.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Picks the default `(baseline, current)` run labels from a trajectory:
+/// the **latest** pair of runs that share at least one comparable
+/// metric, preferring the most recent run as `current`. (Overhead-style
+/// runs that publish only `*_bare/_instr` figures share nothing with
+/// the kernel runs and are skipped.)
+pub fn pick_runs(trajectory: &Json) -> Option<(String, String)> {
+    let runs = trajectory.as_array()?;
+    for j in (1..runs.len()).rev() {
+        for i in (0..j).rev() {
+            if !shared_metrics(&runs[i], &runs[j]).is_empty() {
+                return Some((
+                    run_label(&runs[i])?.to_string(),
+                    run_label(&runs[j])?.to_string(),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Compares two labelled runs of a crypto trajectory metric-by-metric.
+/// With `baseline`/`current` as `None`, the pair comes from
+/// [`pick_runs`].
+///
+/// # Errors
+///
+/// A human-readable message when the document is not a trajectory, a
+/// requested label is missing, or no comparable pair exists.
+pub fn crypto_checks(
+    trajectory: &Json,
+    baseline: Option<&str>,
+    current: Option<&str>,
+    threshold: f64,
+) -> Result<(String, String, Vec<Check>), String> {
+    let runs = trajectory
+        .as_array()
+        .ok_or("crypto trajectory must be a JSON array of runs")?;
+    let find = |label: &str| {
+        runs.iter()
+            .find(|r| run_label(r) == Some(label))
+            .ok_or_else(|| format!("run {label:?} not found in the trajectory"))
+    };
+    let (base_label, cur_label) = match (baseline, current) {
+        (Some(b), Some(c)) => (b.to_string(), c.to_string()),
+        _ => {
+            let (b, c) =
+                pick_runs(trajectory).ok_or("no pair of runs shares a comparable metric")?;
+            (
+                baseline.map_or(b, str::to_string),
+                current.map_or(c, str::to_string),
+            )
+        }
+    };
+    let base = find(&base_label)?;
+    let cur = find(&cur_label)?;
+    let metrics = shared_metrics(base, cur);
+    if metrics.is_empty() {
+        return Err(format!(
+            "runs {base_label:?} and {cur_label:?} share no comparable metric"
+        ));
+    }
+    let checks = metrics
+        .into_iter()
+        .map(|(bits, key)| {
+            let b = entry_at(base, bits)
+                .and_then(|e| e.get(&key))
+                .and_then(Json::as_f64)
+                .expect("shared metric present in baseline");
+            let c = entry_at(cur, bits)
+                .and_then(|e| e.get(&key))
+                .and_then(Json::as_f64)
+                .expect("shared metric present in current");
+            Check::compare(format!("crypto/{}/{key}", bits as u64), b, c, threshold)
+        })
+        .collect();
+    Ok((base_label, cur_label, checks))
+}
+
+/// Relative byte-count slack between topologies (they carry identical
+/// protocol payloads; envelope framing may differ by a few bytes).
+const BYTES_PARITY_SLACK: f64 = 0.01;
+
+/// Structural invariants over the topology-ablation rows.
+///
+/// # Errors
+///
+/// A message when the document is not an array of ablation rows.
+pub fn topology_checks(rows: &Json) -> Result<Vec<Check>, String> {
+    let rows = rows
+        .as_array()
+        .ok_or("topology ablation must be a JSON array of rows")?;
+    let field = |row: &Json, key: &str| -> Result<f64, String> {
+        row.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("topology row missing {key:?}"))
+    };
+    let mut checks = Vec::new();
+    let mut tree_points: Vec<(f64, f64)> = Vec::new();
+    for row in rows {
+        let sellers = field(row, "sellers")? as u64;
+        let ring = field(row, "ring_critical_path_us")?;
+        let tree = field(row, "tree_critical_path_us")?;
+        tree_points.push((sellers as f64, tree));
+        // The tree's whole reason to exist: beat the ring's O(n)
+        // critical path once fan-in matters.
+        if sellers >= 8 {
+            checks.push(Check::invariant(
+                format!("topology/{sellers}/tree_beats_ring"),
+                ring,
+                tree,
+                tree < ring,
+            ));
+        }
+        // Topologies trade latency, not volume: bytes must agree.
+        let bytes = [
+            field(row, "ring_bytes")?,
+            field(row, "star_bytes")?,
+            field(row, "tree_bytes")?,
+        ];
+        let min = bytes.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = bytes.iter().copied().fold(0.0, f64::max);
+        checks.push(Check::invariant(
+            format!("topology/{sellers}/bytes_parity"),
+            min,
+            max,
+            min > 0.0 && (max - min) / min <= BYTES_PARITY_SLACK,
+        ));
+    }
+    // Sublinear scaling: across the sweep, the tree's critical path may
+    // not grow as fast as the seller count does.
+    if let (Some(&(s0, t0)), Some(&(s1, t1))) = (tree_points.first(), tree_points.last()) {
+        if s1 > s0 && t0 > 0.0 {
+            checks.push(Check::invariant(
+                "topology/tree_scales_sublinearly".to_string(),
+                s1 / s0,
+                t1 / t0,
+                t1 / t0 < s1 / s0,
+            ));
+        }
+    }
+    Ok(checks)
+}
+
+/// Sanity checks over a `grid_day --json` day report.
+///
+/// # Errors
+///
+/// A message when the document lacks the day-report fields.
+pub fn grid_day_checks(report: &Json) -> Result<Vec<Check>, String> {
+    let ledger_valid = report
+        .get("ledger_valid")
+        .and_then(Json::as_bool)
+        .ok_or("day report missing \"ledger_valid\"")?;
+    let cleared = report
+        .get("cleared_kwh")
+        .and_then(Json::as_f64)
+        .ok_or("day report missing \"cleared_kwh\"")?;
+    let messages = report
+        .get("total_messages")
+        .and_then(Json::as_f64)
+        .ok_or("day report missing \"total_messages\"")?;
+    let windows = report
+        .get("windows")
+        .and_then(Json::as_array)
+        .ok_or("day report missing \"windows\"")?;
+    let fingerprints_ok = !windows.is_empty()
+        && windows.iter().all(|w| {
+            w.get("fingerprint")
+                .and_then(Json::as_str)
+                .is_some_and(|f| f.len() == 64 && f.bytes().all(|b| b.is_ascii_hexdigit()))
+        });
+    Ok(vec![
+        Check::invariant(
+            "grid_day/ledger_valid".into(),
+            1.0,
+            f64::from(u8::from(ledger_valid)),
+            ledger_valid,
+        ),
+        Check::invariant("grid_day/cleared_kwh".into(), 0.0, cleared, cleared > 0.0),
+        Check::invariant(
+            "grid_day/total_messages".into(),
+            0.0,
+            messages,
+            messages > 0.0,
+        ),
+        Check::invariant(
+            "grid_day/window_fingerprints".into(),
+            1.0,
+            f64::from(u8::from(fingerprints_ok)),
+            fingerprints_ok,
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trajectory(runs: &str) -> Json {
+        Json::parse(runs).expect("valid test JSON")
+    }
+
+    #[test]
+    fn compare_flags_past_threshold_only() {
+        let ok = Check::compare("m".into(), 100.0, 110.0, 0.25);
+        assert!(!ok.regressed);
+        assert!((ok.change_pct - 10.0).abs() < 1e-9);
+        let bad = Check::compare("m".into(), 100.0, 126.0, 0.25);
+        assert!(bad.regressed);
+        // Improvements never flag.
+        assert!(!Check::compare("m".into(), 100.0, 40.0, 0.25).regressed);
+        // Zero baseline: any nonzero current is an infinite regression.
+        assert!(Check::compare("m".into(), 0.0, 1.0, 0.25).regressed);
+        assert!(!Check::compare("m".into(), 0.0, 0.0, 0.25).regressed);
+    }
+
+    #[test]
+    fn picks_latest_comparable_pair() {
+        // Three runs; the last shares nothing with the others (an
+        // overhead-style run), so the pair walks back.
+        let t = trajectory(
+            "[{\"run\":\"a\",\"entries\":[{\"key_bits\":512,\"x_mean_us\":10}]},\
+              {\"run\":\"b\",\"entries\":[{\"key_bits\":512,\"x_mean_us\":8}]},\
+              {\"run\":\"c\",\"entries\":[{\"key_bits\":512,\"x_bare_mean_us\":8}]}]",
+        );
+        assert_eq!(pick_runs(&t), Some(("a".into(), "b".into())));
+    }
+
+    #[test]
+    fn crypto_checks_match_by_key_bits() {
+        let t = trajectory(
+            "[{\"run\":\"a\",\"entries\":[\
+                {\"key_bits\":512,\"x_mean_us\":10,\"keygen_ms\":5,\"x_ops_per_s\":99},\
+                {\"key_bits\":1024,\"x_mean_us\":40}]},\
+              {\"run\":\"b\",\"entries\":[\
+                {\"key_bits\":512,\"x_mean_us\":30,\"keygen_ms\":5.1},\
+                {\"key_bits\":1024,\"x_mean_us\":39}]}]",
+        );
+        let (base, cur, checks) = crypto_checks(&t, None, None, 0.25).expect("comparable");
+        assert_eq!((base.as_str(), cur.as_str()), ("a", "b"));
+        // ops_per_s is not a latency metric; three shared figures remain.
+        assert_eq!(checks.len(), 3);
+        let x512 = checks
+            .iter()
+            .find(|c| c.name == "crypto/512/x_mean_us")
+            .expect("check present");
+        assert!(x512.regressed, "3x slower must flag");
+        assert!(checks
+            .iter()
+            .filter(|c| c.name != "crypto/512/x_mean_us")
+            .all(|c| !c.regressed));
+        // Explicit labels override the picker.
+        let (b2, c2, _) = crypto_checks(&t, Some("b"), Some("a"), 0.25).expect("explicit");
+        assert_eq!((b2.as_str(), c2.as_str()), ("b", "a"));
+        assert!(crypto_checks(&t, Some("zz"), None, 0.25).is_err());
+    }
+
+    #[test]
+    fn topology_invariants() {
+        let rows = trajectory(
+            "[{\"sellers\":4,\"fanin\":2,\"ring_bytes\":392,\"star_bytes\":392,\
+               \"tree_bytes\":392,\"ring_critical_path_us\":540,\
+               \"star_critical_path_us\":240,\"tree_critical_path_us\":432,\
+               \"ring_cpu_us\":1,\"star_cpu_us\":1,\"tree_cpu_us\":1},\
+              {\"sellers\":64,\"fanin\":2,\"ring_bytes\":6271,\"star_bytes\":6272,\
+               \"tree_bytes\":6272,\"ring_critical_path_us\":7020,\
+               \"star_critical_path_us\":720,\"tree_critical_path_us\":864,\
+               \"ring_cpu_us\":1,\"star_cpu_us\":1,\"tree_cpu_us\":1}]",
+        );
+        let checks = topology_checks(&rows).expect("valid rows");
+        assert!(
+            checks.iter().all(|c| !c.regressed),
+            "committed shape is clean"
+        );
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "topology/64/tree_beats_ring"));
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "topology/tree_scales_sublinearly"));
+        // A synthetic regression: the tree suddenly slower than the ring.
+        let bad = trajectory(
+            "[{\"sellers\":8,\"fanin\":2,\"ring_bytes\":783,\"star_bytes\":784,\
+               \"tree_bytes\":784,\"ring_critical_path_us\":972,\
+               \"star_critical_path_us\":272,\"tree_critical_path_us\":2000,\
+               \"ring_cpu_us\":1,\"star_cpu_us\":1,\"tree_cpu_us\":1}]",
+        );
+        let checks = topology_checks(&bad).expect("valid rows");
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "topology/8/tree_beats_ring" && c.regressed));
+    }
+
+    #[test]
+    fn grid_day_sanity() {
+        let fp = "ab".repeat(32);
+        let good = trajectory(&format!(
+            "{{\"ledger_valid\":true,\"cleared_kwh\":12.5,\"total_messages\":420,\
+              \"windows\":[{{\"fingerprint\":\"{fp}\"}}]}}"
+        ));
+        let checks = grid_day_checks(&good).expect("valid report");
+        assert!(checks.iter().all(|c| !c.regressed));
+        let bad = trajectory(
+            "{\"ledger_valid\":false,\"cleared_kwh\":0,\"total_messages\":0,\
+              \"windows\":[]}",
+        );
+        let checks = grid_day_checks(&bad).expect("valid report");
+        assert!(checks.iter().all(|c| c.regressed), "everything flags");
+        assert!(grid_day_checks(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn verdict_json_and_exit_semantics() {
+        let v = Verdict {
+            checks: vec![
+                Check::compare("a".into(), 10.0, 11.0, 0.25),
+                Check::compare("b".into(), 10.0, 20.0, 0.25),
+            ],
+            threshold: 0.25,
+        };
+        assert!(!v.passed());
+        assert_eq!(v.regressions().len(), 1);
+        let parsed = Json::parse(&v.to_json()).expect("verdict is valid JSON");
+        assert_eq!(parsed.get("passed").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            parsed
+                .get("checks")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+    }
+}

@@ -10,6 +10,9 @@
 
 use std::collections::BTreeMap;
 
+pub mod doctor;
+pub mod json;
+
 /// A minimal `--flag value` / `--flag` parser (no external deps).
 ///
 /// # Example
@@ -65,6 +68,14 @@ impl Args {
 
     /// Value of `--name` as u64, or `default`.
     pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.values
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Value of `--name` as f64, or `default`.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
         self.values
             .get(name)
             .and_then(|v| v.parse().ok())

@@ -20,7 +20,7 @@ use pem_core::protocol2;
 use pem_core::{AgentCtx, KeyDirectory, PemConfig, PemError, Quantizer};
 use pem_crypto::drbg::HashDrbg;
 use pem_market::{AgentWindow, Role};
-use pem_net::{FaultKind, FaultPlan, MeshTransport, SimNetwork, Transport};
+use pem_net::{FaultKind, FaultPlan, LatencyModel, MeshTransport, SimNetwork, Transport};
 use rand::Rng;
 
 fn setup() -> (
@@ -174,6 +174,53 @@ fn faults_never_produce_trades() {
             }
         }
     }
+}
+
+#[test]
+fn fault_plans_leave_identical_message_logs() {
+    // With the telemetry collector installed, both transports journal a
+    // `MsgEvent` per send — *before* fault processing, so a dropped
+    // message is still witnessed. Under the same fault plan the two
+    // fabrics must therefore leave byte-identical logs (modulo fabric
+    // id and global sequence number): the wire-level refinement of the
+    // outcome-equivalence checks above.
+    let plan = FaultPlan::new().inject("eval/gc-offer", 0, FaultKind::Drop);
+    pem_telemetry::install();
+    let mark = pem_telemetry::msg_count();
+
+    let parties = setup().1.len();
+    let mut sim = SimNetwork::with_latency(parties, LatencyModel::lan()).with_faults(plan.clone());
+    let sim_result = run_protocol2_on(&mut sim);
+    let mut mesh = MeshTransport::with_latency(parties, LatencyModel::lan()).with_faults(plan);
+    let mesh_result = run_protocol2_on(&mut mesh);
+    assert!(
+        sim_result.is_err() && mesh_result.is_err(),
+        "plan drops a message"
+    );
+
+    // Concurrent tests in this binary may record onto other fabrics;
+    // scope by fabric id, then erase it (and seq) for the comparison.
+    let msgs = pem_telemetry::msgs_since(mark);
+    let log = |fabric: u64| -> Vec<(usize, usize, &str, u64, u64, u64)> {
+        let mut out: Vec<_> = msgs
+            .iter()
+            .filter(|m| m.fabric == fabric)
+            .map(|m| (m.from, m.to, m.label, m.bytes, m.depart_us, m.arrival_us))
+            .collect();
+        out.sort_unstable();
+        out
+    };
+    let sim_log = log(sim.fabric_id());
+    let mesh_log = log(mesh.fabric_id());
+    assert!(
+        !sim_log.is_empty(),
+        "the run crosses the wire before aborting"
+    );
+    assert_eq!(
+        sim_log, mesh_log,
+        "same fault plan must leave the same message log on both fabrics"
+    );
+    pem_telemetry::uninstall();
 }
 
 #[test]

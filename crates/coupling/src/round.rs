@@ -29,7 +29,7 @@ use pem_crypto::paillier::Ciphertext;
 use pem_market::PriceBand;
 use pem_net::wire::{WireReader, WireWriter};
 use pem_net::{NetStats, PartyId, SimNetwork, Transport};
-use pem_telemetry::Span;
+use pem_telemetry::{CriticalPathReport, Span};
 use serde::{Deserialize, Serialize};
 
 use crate::config::CouplingConfig;
@@ -118,6 +118,11 @@ pub struct CouplingSummary {
     /// [`LatencyModel`](pem_net::LatencyModel). Zero under the default
     /// zero-latency model.
     pub critical_path_us: u64,
+    /// Causal decomposition of that critical path into hops and phases,
+    /// built from the telemetry message log — present only when the
+    /// collector was installed during the round (observation only:
+    /// excluded from fingerprints, never fed back into the protocol).
+    pub critical_path: Option<CriticalPathReport>,
     /// Traffic of the coupling fabric (parties = shard representatives
     /// plus the coordinator). Message and byte counts depend only on the
     /// shard count — the wire-level witness that nothing per-agent
@@ -259,6 +264,10 @@ impl CouplingCoordinator {
                 net.party_count()
             )));
         }
+        // Watermark the telemetry message buffer so the summary can
+        // attribute exactly this round's traffic (no-op when the
+        // collector is off).
+        let msg_mark = pem_telemetry::msg_count();
         let quantized = self.quantize(positions)?;
         let pre_prices: Vec<f64> = positions
             .iter()
@@ -418,6 +427,14 @@ impl CouplingCoordinator {
 
         let transferred_kwh: f64 = transfers.iter().map(ShardTransfer::energy_kwh).sum();
         let post_dispersion = post_coupling_dispersion(positions, &transfers, corridor);
+        let critical_path = pem_telemetry::enabled()
+            .then(|| {
+                CriticalPathReport::for_fabric(
+                    &pem_telemetry::msgs_since(msg_mark),
+                    net.fabric_id(),
+                )
+            })
+            .filter(|r| r.total_us > 0);
         let summary = CouplingSummary {
             shards: s,
             engaged: engaged && !transfers.is_empty(),
@@ -430,6 +447,7 @@ impl CouplingCoordinator {
             surplus_kwh,
             deficit_kwh,
             critical_path_us: net.now_us(),
+            critical_path,
             net: net.stats(),
             repartitioned: false,
         };
@@ -757,6 +775,37 @@ mod tests {
         let mut z = coordinator();
         let out = z.run_round(&positions).expect("round");
         assert_eq!(out.summary.critical_path_us, 0);
+    }
+
+    #[test]
+    fn collector_attributes_the_round_critical_path() {
+        use pem_net::LatencyModel;
+        // With the collector installed, the summary carries a causal
+        // decomposition whose total is exactly the measured critical
+        // path and whose phase shares tile it.
+        pem_telemetry::install();
+        let mut c = CouplingCoordinator::new(
+            CouplingConfig::fast_test().with_latency(LatencyModel::lan()),
+            PriceBand::paper_defaults(),
+            11,
+        )
+        .expect("coordinator");
+        let positions = vec![
+            position(0, 92.0, 3.0, 2.0),
+            position(1, 108.0, 2.0, -1.5),
+            position(2, 100.0, 1.0, -0.25),
+        ];
+        let out = c.run_round(&positions).expect("round");
+        let report = out.summary.critical_path.expect("collector on");
+        assert_eq!(report.total_us, out.summary.critical_path_us);
+        let phase_sum: u64 = report.phase_us.iter().map(|(_, us)| us).sum();
+        assert_eq!(phase_sum, report.total_us);
+        assert!(report.hops.iter().all(|h| h.label.starts_with("couple/")));
+        // Zero-latency rounds (the default config) carry no report even
+        // with the collector on: there is no path to decompose.
+        let mut z = coordinator();
+        let out = z.run_round(&positions).expect("round");
+        assert_eq!(out.summary.critical_path, None);
     }
 
     #[test]

@@ -56,6 +56,8 @@ struct MeshShared {
     clock_sum_us: AtomicU64,
     /// Messages sent but not yet pulled off a channel.
     in_flight: AtomicU64,
+    /// Process-unique id for telemetry message attribution.
+    fabric: u64,
 }
 
 impl MeshShared {
@@ -133,6 +135,18 @@ impl MeshEndpoint {
         self.shared
             .critical_us
             .fetch_max(arrival_us, Ordering::Relaxed);
+        // Telemetry sees the message as sent (before fault processing,
+        // matching the stats charge above); no-op unless a collector is
+        // installed.
+        pem_telemetry::record_msg(
+            self.shared.fabric,
+            self.id.0,
+            to.0,
+            label,
+            len as u64,
+            local_us,
+            arrival_us,
+        );
         let (payload, duplicate) = if self.shared.has_faults.load(Ordering::Relaxed) {
             match self.shared.faults.lock().process(label, payload) {
                 None => return Ok(()), // dropped in flight
@@ -192,6 +206,12 @@ impl MeshEndpoint {
         self.pull().map(|env| self.observe(env))
     }
 
+    /// Process-unique fabric id of the mesh this endpoint belongs to
+    /// (see [`Transport::fabric_id`]).
+    pub fn fabric_id(&self) -> u64 {
+        self.shared.fabric
+    }
+
     /// Blocking receive that additionally checks the label.
     ///
     /// # Errors
@@ -243,6 +263,7 @@ impl MeshTransport {
             critical_us: AtomicU64::new(0),
             clock_sum_us: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            fabric: crate::transport::next_fabric_id(),
         });
         let mut senders = Vec::with_capacity(parties);
         let mut receivers = Vec::with_capacity(parties);
@@ -387,6 +408,10 @@ impl Transport for MeshTransport {
 
     fn now_us(&self) -> u64 {
         self.shared.critical_us.load(Ordering::Relaxed)
+    }
+
+    fn fabric_id(&self) -> u64 {
+        self.shared.fabric
     }
 
     fn pending(&self) -> usize {

@@ -111,6 +111,8 @@ pub struct SimNetwork {
     /// Critical-path watermark: the latest arrival scheduled so far.
     critical_us: u64,
     faults: crate::fault::FaultPlan,
+    /// Process-unique id for telemetry message attribution.
+    fabric: u64,
 }
 
 impl SimNetwork {
@@ -130,6 +132,7 @@ impl SimNetwork {
             ingress_free_us: vec![0; parties],
             critical_us: 0,
             faults: crate::fault::FaultPlan::new(),
+            fabric: crate::transport::next_fabric_id(),
         }
     }
 
@@ -162,6 +165,12 @@ impl SimNetwork {
     /// [`Transport::now_us`](crate::Transport::now_us) reports).
     pub fn critical_path_us(&self) -> u64 {
         self.critical_us
+    }
+
+    /// Process-unique fabric id (see
+    /// [`Transport::fabric_id`](crate::Transport::fabric_id)).
+    pub fn fabric_id(&self) -> u64 {
+        self.fabric
     }
 
     fn check(&self, p: PartyId) -> Result<(), NetError> {
@@ -207,6 +216,18 @@ impl SimNetwork {
         );
         self.ingress_free_us[to.0] = arrival_us;
         self.critical_us = self.critical_us.max(arrival_us);
+        // Telemetry sees the message as sent (before fault processing,
+        // matching the stats semantics above); no-op unless a collector
+        // is installed.
+        pem_telemetry::record_msg(
+            self.fabric,
+            from.0,
+            to.0,
+            label,
+            payload.len() as u64,
+            self.local_time_us[from.0],
+            arrival_us,
+        );
         let Some((payload, duplicate)) = self.faults.process(label, payload) else {
             return Ok(()); // dropped in flight
         };
@@ -332,6 +353,10 @@ impl crate::Transport for SimNetwork {
 
     fn now_us(&self) -> u64 {
         self.critical_us
+    }
+
+    fn fabric_id(&self) -> u64 {
+        self.fabric
     }
 
     fn pending(&self) -> usize {

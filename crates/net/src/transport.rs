@@ -20,9 +20,20 @@
 //! on any future fabric (an async runtime, a real socket mesh) that
 //! implements the trait.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::error::NetError;
 use crate::sim::{Envelope, PartyId};
 use crate::stats::NetStats;
+
+/// Next fabric id; `0` is reserved for "unattributed", so allocation
+/// starts at 1.
+static NEXT_FABRIC: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a process-unique fabric id for a new transport instance.
+pub(crate) fn next_fabric_id() -> u64 {
+    NEXT_FABRIC.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A multi-party message fabric.
 ///
@@ -103,6 +114,14 @@ pub trait Transport {
     /// The virtual clock: critical-path latency (µs) of the traffic so
     /// far. Always zero under a zero-latency model.
     fn now_us(&self) -> u64;
+
+    /// Process-unique id of this transport instance, used to scope
+    /// telemetry message events (`pem_telemetry::MsgEvent::fabric`)
+    /// when several fabrics record concurrently. `0` (the default)
+    /// means the fabric does not attribute its traffic.
+    fn fabric_id(&self) -> u64 {
+        0
+    }
 
     /// Number of sent-but-unconsumed messages across all parties.
     fn pending(&self) -> usize;

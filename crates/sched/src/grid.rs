@@ -294,6 +294,9 @@ impl GridOrchestrator {
         // exactly this window's spans (including the coupling round,
         // which runs inside fold_window).
         let telemetry_mark = pem_telemetry::event_count();
+        // A second watermark on the message-event buffer scopes the
+        // causal critical-path attribution the same way.
+        let msg_mark = pem_telemetry::msg_count();
         let shards = self.shards.take().expect("formed above");
         let jobs: Vec<(Shard, Vec<AgentWindow>)> = shards
             .into_iter()
@@ -319,7 +322,13 @@ impl GridOrchestrator {
         let outcomes: Vec<pem_core::PemWindowOutcome> =
             outcomes.into_iter().collect::<Result<_, _>>()?;
 
-        self.fold_window(population, outcomes, repartitioned, telemetry_mark)
+        self.fold_window(
+            population,
+            outcomes,
+            repartitioned,
+            telemetry_mark,
+            msg_mark,
+        )
     }
 
     /// Runs a whole day: one grid window per entry of `day`, then
@@ -346,6 +355,7 @@ impl GridOrchestrator {
         outcomes: Vec<pem_core::PemWindowOutcome>,
         repartitioned: bool,
         telemetry_mark: usize,
+        msg_mark: usize,
     ) -> Result<GridReport, SchedError> {
         let agents = population.len();
         let shards = self.shards.as_ref().expect("installed by run_window");
@@ -406,6 +416,10 @@ impl GridOrchestrator {
         }
 
         // --- Cross-shard coupling round. -------------------------------
+        // Message records up to here belong to the per-shard window
+        // fabrics; everything after is the coupling fabric (which scopes
+        // its own attribution inside run_round).
+        let window_msg_end = pem_telemetry::msg_count();
         let coupling_summary = if let Some(coord) = self.coupling.as_mut() {
             let positions: Vec<ShardPosition> = shards
                 .iter()
@@ -495,6 +509,17 @@ impl GridOrchestrator {
         } else {
             None
         };
+        // Causal attribution of the window's shard traffic: each shard
+        // runs its own fabric, so take the *dominant* one (the longest
+        // virtual critical path). None with the collector off or under
+        // the zero-latency model (nothing to decompose).
+        let causal = if pem_telemetry::enabled() {
+            let msgs = pem_telemetry::msgs_since(msg_mark);
+            let window_len = window_msg_end.saturating_sub(msg_mark).min(msgs.len());
+            pem_telemetry::CriticalPathReport::dominant(&msgs[..window_len])
+        } else {
+            None
+        };
 
         Ok(GridReport {
             window,
@@ -514,6 +539,7 @@ impl GridOrchestrator {
             pool: pool_stats,
             coupling: coupling_summary,
             profile,
+            causal,
         })
     }
 }

@@ -7,7 +7,7 @@
 //! [`LatencyPercentiles::to_json`] key names.
 
 use pem_net::NetStats;
-use pem_telemetry::ProfileSummary;
+use pem_telemetry::{CriticalPathReport, ProfileSummary};
 
 use crate::report::{GridDayReport, GridReport, PriceStats};
 
@@ -90,6 +90,52 @@ fn profile_json(p: &ProfileSummary) -> String {
     format!("[{}]", rows.join(","))
 }
 
+/// How many dominating edges a report's JSON carries (the full hop
+/// list lives in the in-memory report; JSON keeps the headline).
+const CAUSAL_TOP_EDGES: usize = 8;
+
+fn causal_json(r: &CriticalPathReport) -> String {
+    let phases: Vec<String> = r
+        .phase_us
+        .iter()
+        .map(|(name, us)| format!("\"{}\":{}", escape(name), us))
+        .collect();
+    let links: Vec<String> = r
+        .link_us
+        .iter()
+        .map(|(from, to, us)| format!("{{\"from\":{from},\"to\":{to},\"us\":{us}}}"))
+        .collect();
+    let edges: Vec<String> = r
+        .top_edges(CAUSAL_TOP_EDGES)
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"from\":{},\"to\":{},\"label\":\"{}\",\"bytes\":{},\"depart_us\":{},\
+                 \"arrival_us\":{},\"contrib_us\":{},\"queued\":{}}}",
+                h.from,
+                h.to,
+                escape(h.label),
+                h.bytes,
+                h.depart_us,
+                h.arrival_us,
+                h.contrib_us,
+                h.queued
+            )
+        })
+        .collect();
+    format!(
+        "{{\"total_us\":{},\"messages\":{},\"local_us\":{},\"path_len\":{},\
+         \"phase_us\":{{{}}},\"link_us\":[{}],\"top_edges\":[{}]}}",
+        r.total_us,
+        r.messages,
+        r.local_us,
+        r.hops.len(),
+        phases.join(","),
+        links.join(","),
+        edges.join(",")
+    )
+}
+
 impl GridReport {
     /// Renders the report as one JSON object (single line).
     pub fn to_json(&self) -> String {
@@ -129,20 +175,33 @@ impl GridReport {
             None => out.push_str("\"pool\":null,"),
         }
         match &self.coupling {
-            Some(c) => out.push_str(&format!(
-                "\"coupling\":{{\"engaged\":{},\"corridor_price\":{},\"transfer_count\":{},\
-                 \"transferred_kwh\":{},\"welfare_gain_cents\":{}}},",
-                c.engaged,
-                json_f64(c.corridor_price),
-                c.transfer_count,
-                json_f64(c.transferred_kwh),
-                json_f64(c.welfare_gain_cents)
-            )),
+            Some(c) => {
+                let causal = match &c.critical_path {
+                    Some(r) => causal_json(r),
+                    None => "null".into(),
+                };
+                out.push_str(&format!(
+                    "\"coupling\":{{\"engaged\":{},\"corridor_price\":{},\"transfer_count\":{},\
+                     \"transferred_kwh\":{},\"welfare_gain_cents\":{},\
+                     \"critical_path_us\":{},\"causal\":{}}},",
+                    c.engaged,
+                    json_f64(c.corridor_price),
+                    c.transfer_count,
+                    json_f64(c.transferred_kwh),
+                    json_f64(c.welfare_gain_cents),
+                    c.critical_path_us,
+                    causal
+                ));
+            }
             None => out.push_str("\"coupling\":null,"),
         }
         match &self.profile {
             Some(p) => out.push_str(&format!("\"profile\":{},", profile_json(p))),
             None => out.push_str("\"profile\":null,"),
+        }
+        match &self.causal {
+            Some(c) => out.push_str(&format!("\"causal\":{},", causal_json(c))),
+            None => out.push_str("\"causal\":null,"),
         }
         out.push_str(&format!("\"fingerprint\":\"{}\"", hex(&self.fingerprint())));
         out.push('}');
@@ -177,6 +236,10 @@ impl GridDayReport {
         match &self.net {
             Some(n) => out.push_str(&format!("\"net\":{},", net_json(n))),
             None => out.push_str("\"net\":null,"),
+        }
+        match &self.profile {
+            Some(p) => out.push_str(&format!("\"profile\":{},", profile_json(p))),
+            None => out.push_str("\"profile\":null,"),
         }
         out.push_str(&format!("\"windows\":[{}]", windows.join(",")));
         out.push('}');

@@ -5,7 +5,7 @@ use pem_coupling::CouplingSummary;
 use pem_crypto::sha256;
 use pem_market::MarketKind;
 use pem_net::NetStats;
-use pem_telemetry::ProfileSummary;
+use pem_telemetry::{CriticalPathReport, ProfileSummary};
 
 /// One coalition's contribution to a grid window.
 #[derive(Debug, Clone)]
@@ -168,6 +168,15 @@ pub struct GridReport {
     /// is installed. Observability only — deliberately excluded from
     /// [`GridReport::fingerprint`].
     pub profile: Option<ProfileSummary>,
+    /// Causal critical-path attribution of the *dominant* shard fabric
+    /// (the coalition whose message chain is the window's longest),
+    /// built from the telemetry message log. `None` when no collector
+    /// is installed or under the zero-latency model. Observability only
+    /// — excluded from [`GridReport::fingerprint`] like
+    /// [`profile`](GridReport::profile); the coupling round's own
+    /// attribution rides in
+    /// [`CouplingSummary::critical_path`](pem_coupling::CouplingSummary).
+    pub causal: Option<CriticalPathReport>,
 }
 
 impl GridReport {
@@ -267,6 +276,11 @@ pub struct GridDayReport {
     /// can't be merged; coupling fabrics are excluded either way — their
     /// totals are already folded into `total_bytes`/`total_messages`).
     pub net: Option<NetStats>,
+    /// Day-level span profile: every window's
+    /// [`GridReport::profile`] merged by span name (counts and times
+    /// sum — the profile analogue of the merged `net`). `None` when no
+    /// window carried a profile (collector off).
+    pub profile: Option<ProfileSummary>,
 }
 
 impl GridDayReport {
@@ -282,6 +296,7 @@ impl GridDayReport {
             transferred_kwh: 0.0,
             coupling_welfare_cents: 0.0,
             net: None,
+            profile: None,
             windows: Vec::new(),
         };
         let mut net_ok = true;
@@ -305,6 +320,11 @@ impl GridDayReport {
                 d.hits += p.hits;
                 d.misses += p.misses;
                 d.generated += p.generated;
+            }
+            if let Some(p) = &w.profile {
+                day.profile
+                    .get_or_insert_with(ProfileSummary::default)
+                    .merge(p);
             }
             if let Some(cs) = &w.coupling {
                 day.transferred_kwh += cs.transferred_kwh;

@@ -6,12 +6,19 @@
 //! the whole observability surface in one file. Virtual-clock readings
 //! ride along in `args` (`vts_us` / `vdur_us`): wall time lays the
 //! track out, simulated protocol time is one click away.
+//!
+//! Recorded message deliveries get their own **virtual-time process**
+//! per fabric (`pid = 100 + fabric`, one track per party): each message
+//! is an `"X"` slice from `depart_us` to `arrival_us` on the sender's
+//! track, paired with `"s"`/`"f"` **flow events** keyed by the record
+//! sequence number — `chrome://tracing` draws the arrow from the
+//! sender's track to the recipient's.
 
 use std::io::Write;
 use std::path::Path;
 
 use crate::registry::{counter_snapshot, traffic_snapshot};
-use crate::Event;
+use crate::{Event, MsgEvent};
 
 /// Escapes a string for a JSON literal (the span vocabulary is plain
 /// ASCII, but labels are caller-supplied).
@@ -28,9 +35,9 @@ fn escape(s: &str) -> String {
     out
 }
 
-/// Renders `events` (plus the current counter and traffic snapshots) as
-/// a Chrome trace-event JSON document.
-pub fn chrome_trace_json(events: &[Event]) -> String {
+/// Renders `events` and `msgs` (plus the current counter and traffic
+/// snapshots) as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(events: &[Event], msgs: &[MsgEvent]) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     let mut first = true;
     let mut push = |line: String, out: &mut String| {
@@ -58,6 +65,47 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                 e.dur_us,
                 e.tid,
                 args
+            ),
+            &mut out,
+        );
+    }
+    for m in msgs {
+        // Virtual-time process per fabric, one track per party: the
+        // message occupies the sender's track for its flight...
+        let pid = 100 + m.fabric;
+        push(
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"msg\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{},\
+                 \"args\":{{\"bytes\":{},\"to\":{},\"seq\":{}}}}}",
+                escape(m.label),
+                m.depart_us,
+                m.arrival_us - m.depart_us,
+                m.from,
+                m.bytes,
+                m.to,
+                m.seq
+            ),
+            &mut out,
+        );
+        // ...and an s→f flow pair (keyed by the record seq) draws the
+        // arrow from the sender's track to the recipient's.
+        push(
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":{},\"ts\":{},\"pid\":{pid},\"tid\":{}}}",
+                escape(m.label),
+                m.seq,
+                m.depart_us,
+                m.from
+            ),
+            &mut out,
+        );
+        push(
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"ts\":{},\"pid\":{pid},\"tid\":{}}}",
+                escape(m.label),
+                m.seq,
+                m.arrival_us,
+                m.to
             ),
             &mut out,
         );
@@ -91,9 +139,13 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
 /// # Errors
 ///
 /// File creation or write failures.
-pub fn write_chrome_trace<P: AsRef<Path>>(path: P, events: &[Event]) -> std::io::Result<()> {
+pub fn write_chrome_trace<P: AsRef<Path>>(
+    path: P,
+    events: &[Event],
+    msgs: &[MsgEvent],
+) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    f.write_all(chrome_trace_json(events).as_bytes())
+    f.write_all(chrome_trace_json(events, msgs).as_bytes())
 }
 
 #[cfg(test)]
@@ -111,7 +163,7 @@ mod tests {
             vts_us: Some(0),
             vdur_us: Some(120),
         }];
-        let json = chrome_trace_json(&events);
+        let json = chrome_trace_json(&events, &[]);
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.contains("\"name\":\"eval\""));
         assert!(json.contains("\"ph\":\"X\""));
@@ -123,5 +175,28 @@ mod tests {
     #[test]
     fn escapes_hostile_names() {
         assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn messages_emit_slices_and_flow_pairs() {
+        let msgs = [crate::MsgEvent {
+            fabric: 2,
+            from: 0,
+            to: 3,
+            label: "price/agg",
+            bytes: 64,
+            depart_us: 100,
+            arrival_us: 208,
+            seq: 7,
+        }];
+        let json = chrome_trace_json(&[], &msgs);
+        // The flight slice lives on the fabric's virtual-time process.
+        assert!(json
+            .contains("\"cat\":\"msg\",\"ph\":\"X\",\"ts\":100,\"dur\":108,\"pid\":102,\"tid\":0"));
+        // One s→f flow pair keyed by the record seq.
+        assert!(json.contains("\"ph\":\"s\",\"id\":7,\"ts\":100,\"pid\":102,\"tid\":0"));
+        assert!(
+            json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":7,\"ts\":208,\"pid\":102,\"tid\":3")
+        );
     }
 }

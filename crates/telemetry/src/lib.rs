@@ -51,12 +51,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+pub mod causal;
 mod chrome;
 mod hist;
 mod profile;
 mod registry;
 mod span;
 
+pub use causal::{CriticalPathReport, PathHop};
 pub use chrome::{chrome_trace_json, write_chrome_trace};
 pub use hist::{HistogramSnapshot, LogHistogram, BUCKET_COUNT};
 pub use profile::{ProfileRow, ProfileSummary};
@@ -85,12 +87,47 @@ pub struct Event {
     pub vdur_us: Option<u64>,
 }
 
+/// One message delivery, as recorded by a transport through
+/// [`record_msg`]. Timestamps are on the transport's **virtual
+/// critical-path clock** (`Transport::now_us` semantics): `depart_us`
+/// is the sender's local virtual time at send, `arrival_us` the
+/// modelled delivery time after propagation and ingress serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgEvent {
+    /// Transport-instance id ([`Transport::fabric_id`] in `pem-net`):
+    /// scopes events when several fabrics record concurrently into the
+    /// one process-global buffer. `0` means unattributed.
+    pub fabric: u64,
+    /// Sending party index (fabric-local).
+    pub from: usize,
+    /// Receiving party index (fabric-local).
+    pub to: usize,
+    /// Protocol message label (e.g. `"eval/supply-agg"`).
+    pub label: &'static str,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Sender's virtual clock at send, µs.
+    pub depart_us: u64,
+    /// Modelled virtual delivery time, µs.
+    pub arrival_us: u64,
+    /// Global record sequence number: strictly increasing in buffer
+    /// order across all fabrics (assigned under the buffer lock).
+    pub seq: u64,
+}
+
 /// Collector master switch. All hot-path gating is a single relaxed
 /// load of this flag.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Completed spans, in completion order.
 static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+
+/// Recorded message deliveries, in record order.
+static MSGS: Mutex<Vec<MsgEvent>> = Mutex::new(Vec::new());
+
+/// Next message sequence number. Only read/written while holding the
+/// [`MSGS`] lock, so `seq` order always matches buffer order.
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Wall-clock epoch: fixed the first time the collector is installed.
 static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -111,12 +148,18 @@ pub fn install() -> bool {
     !ENABLED.swap(true, Ordering::SeqCst)
 }
 
-/// Disables the collector and discards all buffered events. Counters
-/// and histograms keep their accumulated values (use [`reset_metrics`]
-/// to zero them).
+/// Disables the collector and discards all buffered events and message
+/// records. Counters and histograms keep their accumulated values (use
+/// [`reset_metrics`] to zero them).
+///
+/// Watermarks taken before `uninstall` (via [`event_count`] /
+/// [`msg_count`]) go stale: the buffers restart from zero, so a stale
+/// watermark handed to [`events_since`] / [`msgs_since`] simply yields
+/// an empty slice until the buffer grows past it again.
 pub fn uninstall() {
     ENABLED.store(false, Ordering::SeqCst);
     EVENTS.lock().expect("telemetry events").clear();
+    MSGS.lock().expect("telemetry msgs").clear();
 }
 
 /// Whether the collector is installed.
@@ -138,9 +181,77 @@ pub fn event_count() -> usize {
 
 /// Clones the events buffered at or after `watermark` (an earlier
 /// [`event_count`] reading) without draining them.
+///
+/// ## Watermark semantics
+///
+/// A watermark is a plain buffer length, so it is only meaningful
+/// against the buffer it was taken from:
+///
+/// * **Concurrent recording** is fine — events pushed between the
+///   [`event_count`] call and this one are included (the buffer is
+///   append-only between drains).
+/// * **[`drain`] invalidates watermarks**: it empties the buffer, so a
+///   pre-drain watermark now points past the end and this returns an
+///   empty vector (never a panic, never someone else's events) until
+///   the buffer grows past the stale mark again. Scope holders must
+///   read their slice before anything drains — in the grid driver,
+///   windows only ever *read* (`events_since`), and the one `drain`
+///   happens after the day completes.
+/// * **[`uninstall`] clears the buffer** the same way; see its docs.
 pub fn events_since(watermark: usize) -> Vec<Event> {
     let events = EVENTS.lock().expect("telemetry events");
     events.get(watermark..).unwrap_or_default().to_vec()
+}
+
+/// Records one message delivery on the virtual clock. Called by
+/// `pem-net` transports on every send; a no-op (one relaxed atomic
+/// load) when no collector is installed.
+#[inline]
+pub fn record_msg(
+    fabric: u64,
+    from: usize,
+    to: usize,
+    label: &'static str,
+    bytes: u64,
+    depart_us: u64,
+    arrival_us: u64,
+) {
+    if !enabled() {
+        return;
+    }
+    let mut msgs = MSGS.lock().expect("telemetry msgs");
+    let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
+    msgs.push(MsgEvent {
+        fabric,
+        from,
+        to,
+        label,
+        bytes,
+        depart_us,
+        arrival_us,
+        seq,
+    });
+}
+
+/// Takes every buffered message record, leaving the buffer empty.
+pub fn drain_msgs() -> Vec<MsgEvent> {
+    std::mem::take(&mut *MSGS.lock().expect("telemetry msgs"))
+}
+
+/// Number of message records buffered so far — a watermark for
+/// [`msgs_since`], with the same semantics as [`event_count`] /
+/// [`events_since`].
+pub fn msg_count() -> usize {
+    MSGS.lock().expect("telemetry msgs").len()
+}
+
+/// Clones the message records buffered at or after `watermark` (an
+/// earlier [`msg_count`] reading) without draining them. Stale
+/// watermarks (after [`drain_msgs`] or [`uninstall`]) yield an empty
+/// vector; see [`events_since`] for the full watermark contract.
+pub fn msgs_since(watermark: usize) -> Vec<MsgEvent> {
+    let msgs = MSGS.lock().expect("telemetry msgs");
+    msgs.get(watermark..).unwrap_or_default().to_vec()
 }
 
 /// Microseconds since the collector epoch.

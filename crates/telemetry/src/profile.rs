@@ -50,6 +50,28 @@ impl ProfileSummary {
         }
     }
 
+    /// Folds `other` into `self` by span name (counts and times sum;
+    /// a name new to `self` keeps `other`'s category), preserving the
+    /// name-sorted row order — the day-level roll-up of per-window
+    /// profiles, mirroring merged `NetStats`.
+    pub fn merge(&mut self, other: &ProfileSummary) {
+        let mut rows: BTreeMap<&'static str, ProfileRow> =
+            self.rows.drain(..).map(|r| (r.name, r)).collect();
+        for o in &other.rows {
+            let row = rows.entry(o.name).or_insert(ProfileRow {
+                name: o.name,
+                cat: o.cat,
+                count: 0,
+                wall_us: 0,
+                virtual_us: 0,
+            });
+            row.count += o.count;
+            row.wall_us += o.wall_us;
+            row.virtual_us += o.virtual_us;
+        }
+        self.rows = rows.into_values().collect();
+    }
+
     /// The row named `name`, if present.
     pub fn row(&self, name: &str) -> Option<&ProfileRow> {
         self.rows.iter().find(|r| r.name == name)
@@ -94,5 +116,25 @@ mod tests {
         assert_eq!(price.virtual_us, 5);
         assert_eq!(p.total_wall_us(), 22);
         assert_eq!(ProfileSummary::from_events(&[]), ProfileSummary::default());
+    }
+
+    #[test]
+    fn merge_sums_by_name_and_stays_sorted() {
+        let mut a =
+            ProfileSummary::from_events(&[event("price", 10, Some(4)), event("window", 20, None)]);
+        let b =
+            ProfileSummary::from_events(&[event("eval", 7, Some(2)), event("price", 5, Some(1))]);
+        a.merge(&b);
+        let names: Vec<&str> = a.rows.iter().map(|r| r.name).collect();
+        assert_eq!(names, ["eval", "price", "window"]);
+        let price = a.row("price").expect("row");
+        assert_eq!(price.count, 2);
+        assert_eq!(price.wall_us, 15);
+        assert_eq!(price.virtual_us, 5);
+        assert_eq!(a.row("eval").expect("row").wall_us, 7);
+        // Merging an empty profile is the identity.
+        let before = a.clone();
+        a.merge(&ProfileSummary::default());
+        assert_eq!(a, before);
     }
 }

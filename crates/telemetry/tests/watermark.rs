@@ -1,0 +1,159 @@
+//! Watermark semantics of the global collector, pinned as tests:
+//! watermarks are plain buffer lengths, so concurrent recording is
+//! safe, `drain`/`uninstall` invalidate them into *empty* reads (never
+//! panics, never someone else's events), and re-installation starts a
+//! fresh buffer. Runs in its own process (integration test) so the
+//! process-global collector is not shared with other test binaries.
+
+use std::sync::Mutex;
+
+use pem_telemetry::{
+    drain, drain_msgs, enabled, event_count, events_since, install, msg_count, msgs_since,
+    record_msg, uninstall, Span,
+};
+
+/// Tests in this binary share the process-global collector; serialize.
+static COLLECTOR: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    COLLECTOR.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn watermark_scopes_a_unit_of_work() {
+    let _guard = lock();
+    install();
+    drain();
+    drain_msgs();
+
+    Span::enter("w/before", "test").finish();
+    let ev_mark = event_count();
+    let msg_mark = msg_count();
+    Span::enter("w/inside", "test").finish();
+    record_msg(7, 0, 1, "w/msg", 10, 0, 5);
+
+    let events = events_since(ev_mark);
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].name, "w/inside");
+    let msgs = msgs_since(msg_mark);
+    assert_eq!(msgs.len(), 1);
+    assert_eq!((msgs[0].fabric, msgs[0].label), (7, "w/msg"));
+    // Reading does not drain: the same slice is still there.
+    assert_eq!(events_since(ev_mark).len(), 1);
+    // And the full buffer still holds the pre-mark record too.
+    assert_eq!(events_since(0).len(), 2);
+    uninstall();
+}
+
+#[test]
+fn drain_invalidates_watermarks_into_empty_reads() {
+    let _guard = lock();
+    install();
+    drain();
+    drain_msgs();
+
+    Span::enter("w/a", "test").finish();
+    Span::enter("w/b", "test").finish();
+    record_msg(1, 0, 1, "w/m", 1, 0, 1);
+    let ev_mark = event_count();
+    let msg_mark = msg_count();
+    assert_eq!((ev_mark, msg_mark), (2, 1));
+
+    assert_eq!(drain().len(), 2);
+    assert_eq!(drain_msgs().len(), 1);
+    // The stale watermark points past the (now empty) buffer: empty
+    // vector, no panic.
+    assert!(events_since(ev_mark).is_empty());
+    assert!(msgs_since(msg_mark).is_empty());
+    // Until the buffer grows past the stale mark again.
+    Span::enter("w/c", "test").finish();
+    Span::enter("w/d", "test").finish();
+    Span::enter("w/e", "test").finish();
+    assert_eq!(events_since(ev_mark).len(), 1, "only the overshoot shows");
+    uninstall();
+}
+
+#[test]
+fn uninstall_clears_both_buffers_and_gates_recording() {
+    let _guard = lock();
+    install();
+    drain();
+    drain_msgs();
+
+    Span::enter("w/span", "test").finish();
+    record_msg(1, 0, 1, "w/m", 1, 0, 1);
+    let stale = event_count();
+    uninstall();
+    assert!(!enabled());
+    // Buffers are gone; stale watermarks read empty.
+    assert_eq!(event_count(), 0);
+    assert_eq!(msg_count(), 0);
+    assert!(events_since(stale).is_empty());
+    assert!(msgs_since(stale).is_empty());
+    // Recording while uninstalled is a no-op.
+    Span::enter("w/ignored", "test").finish();
+    record_msg(1, 0, 1, "w/ignored", 1, 0, 1);
+    assert_eq!((event_count(), msg_count()), (0, 0));
+    // Re-installation starts a fresh, working buffer.
+    install();
+    Span::enter("w/fresh", "test").finish();
+    record_msg(2, 1, 0, "w/fresh", 1, 0, 1);
+    assert_eq!(drain().len(), 1);
+    assert_eq!(drain_msgs().len(), 1);
+    uninstall();
+}
+
+#[test]
+fn concurrent_recording_against_a_held_watermark() {
+    let _guard = lock();
+    install();
+    drain();
+    drain_msgs();
+
+    // Writers append while the main thread reads against a fixed
+    // watermark: every read must be a clean prefix-extension (the
+    // buffer is append-only between drains), and the final slice holds
+    // exactly the recorded total with strictly increasing seq.
+    const WRITERS: usize = 4;
+    const PER_WRITER: usize = 250;
+    let mark = msg_count();
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    record_msg(
+                        w as u64 + 1,
+                        w,
+                        (w + 1) % WRITERS,
+                        "w/conc",
+                        8,
+                        i as u64,
+                        i as u64 + 3,
+                    );
+                }
+            })
+        })
+        .collect();
+    let mut last_len = 0;
+    while handles.iter().any(|h| !h.is_finished()) {
+        let snapshot = msgs_since(mark);
+        assert!(snapshot.len() >= last_len, "append-only between drains");
+        last_len = snapshot.len();
+    }
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    let all = msgs_since(mark);
+    assert_eq!(all.len(), WRITERS * PER_WRITER);
+    assert!(
+        all.windows(2).all(|w| w[0].seq < w[1].seq),
+        "seq order matches buffer order"
+    );
+    for w in 0..WRITERS {
+        let per: Vec<_> = all.iter().filter(|m| m.fabric == w as u64 + 1).collect();
+        assert_eq!(per.len(), PER_WRITER, "no writer's records were lost");
+        // Per-fabric records keep their program order.
+        assert!(per.windows(2).all(|p| p[0].depart_us < p[1].depart_us));
+    }
+    uninstall();
+}

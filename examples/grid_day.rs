@@ -187,6 +187,19 @@ fn main() {
                 );
             }
         }
+        if let Some(c) = &w.causal {
+            let phases: Vec<String> = c
+                .phase_us
+                .iter()
+                .map(|(name, us)| format!("{name} {us}µs"))
+                .collect();
+            println!(
+                "        └ critical path: {}µs over {} hops ({})",
+                c.total_us,
+                c.hops.len(),
+                phases.join(", "),
+            );
+        }
     }
 
     let agents_windows = (homes * windows) as f64;
@@ -237,10 +250,14 @@ fn main() {
     }
     if !trace_path.is_empty() {
         let events = pem::telemetry::drain();
-        pem::telemetry::write_chrome_trace(&trace_path, &events).expect("write --trace file");
+        let msgs = pem::telemetry::drain_msgs();
+        pem::telemetry::write_chrome_trace(&trace_path, &events, &msgs)
+            .expect("write --trace file");
         println!(
-            "chrome trace       {trace_path} ({} span events; load in chrome://tracing)",
-            events.len()
+            "chrome trace       {trace_path} ({} span events, {} message flows; \
+             load in chrome://tracing)",
+            events.len(),
+            msgs.len()
         );
     }
 }
