@@ -18,7 +18,7 @@ use pem_core::PemConfig;
 use pem_coupling::CouplingConfig;
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::{AgentWindow, PriceBand};
-use pem_sched::{GridConfig, GridOrchestrator, LatencyPercentiles, PartitionStrategy};
+use pem_sched::{Engine, GridConfig, GridOrchestrator, LatencyPercentiles, PartitionStrategy};
 
 struct Row {
     window: u64,
@@ -64,6 +64,7 @@ fn config(coalition: usize, workers: usize, couple: bool) -> GridConfig {
         pem,
         coalition_size: coalition,
         workers,
+        engine: Engine::Threads,
         strategy: PartitionStrategy::Feeder { feeders: 8 },
         coupling: couple.then(CouplingConfig::fast_test),
     }

@@ -1,0 +1,291 @@
+//! Fabric executor scaling: the thread-pool engine vs the deterministic
+//! single-thread fabric executor on the same grid day (bit-identical
+//! fingerprints are asserted, not assumed), plus a many-window stress
+//! run that multiplexes thousands of poll-able `WindowTask`s on one
+//! executor thread under a bounded admission batch.
+//!
+//! ```text
+//! cargo run --release -p pem-bench --bin fabric_scaling -- \
+//!     --homes 240 --coalition 12 --windows 2 --batches 0,8,64 \
+//!     --stress-tasks 10000 --stress-agents 4 --stress-batch 64
+//! ```
+//!
+//! Output is one JSON object: a `"grid"` array (one row per engine
+//! configuration, each carrying `fingerprints_match` against the thread
+//! baseline) and a `"stress"` object (`peak_resident`, polls, stalls,
+//! windows/s on the single executor thread). The committed trajectory
+//! point of record is `BENCH_fabric.json`; `grid_doctor --fabric` runs
+//! invariants over it.
+
+use std::time::Instant;
+
+use pem_bench::Args;
+use pem_core::{Pem, PemConfig};
+use pem_data::{TraceConfig, TraceGenerator};
+use pem_fabric::Executor;
+use pem_market::AgentWindow;
+use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy};
+
+struct GridRow {
+    engine: Engine,
+    homes: usize,
+    coalition: usize,
+    windows: usize,
+    shards: usize,
+    run_s: f64,
+    windows_per_s: f64,
+    agent_windows_per_s: f64,
+    fingerprints_match: bool,
+}
+
+struct StressRow {
+    tasks: usize,
+    agents: usize,
+    batch: usize,
+    completed: usize,
+    peak_resident: usize,
+    polls: u64,
+    stalls: u64,
+    executor_threads: usize,
+    setup_s: f64,
+    run_s: f64,
+    windows_per_s: f64,
+}
+
+fn day(homes: usize, windows: usize) -> Vec<Vec<AgentWindow>> {
+    let trace = TraceGenerator::new(TraceConfig {
+        homes,
+        windows: 96,
+        seed: 2020,
+        ..TraceConfig::default()
+    })
+    .generate();
+    (0..windows)
+        .map(|w| trace.window_agents((40 + w * 2) % trace.window_count()))
+        .collect()
+}
+
+/// Runs one grid day on `engine`, returning per-window fingerprints and
+/// the wall-clock rate.
+fn run_grid(
+    engine: Engine,
+    homes: usize,
+    coalition: usize,
+    pool: usize,
+    data: &[Vec<AgentWindow>],
+) -> (Vec<[u8; 32]>, usize, f64) {
+    let mut grid = GridOrchestrator::new(GridConfig {
+        pem: PemConfig::fast_test().with_randomizer_pool(pool),
+        coalition_size: coalition,
+        workers: 2,
+        engine,
+        strategy: PartitionStrategy::SurplusBalanced,
+        coupling: None,
+    })
+    .expect("grid configuration");
+    grid.form_shards(&data[0]).expect("shard formation");
+    let shards = grid.plan().expect("plan").shard_count();
+    let _ = homes;
+    let start = Instant::now();
+    let fingerprints: Vec<[u8; 32]> = data
+        .iter()
+        .map(|pop| grid.run_window(pop).expect("window").fingerprint())
+        .collect();
+    (fingerprints, shards, start.elapsed().as_secs_f64())
+}
+
+/// The stress phase: `tasks` independent coalitions, each prepared as a
+/// poll-able window, all multiplexed on ONE executor thread with at most
+/// `batch` windows resident. The executor never spawns; `run` happens on
+/// the calling thread.
+fn stress(tasks: usize, agents: usize, batch: usize, pool: usize) -> StressRow {
+    let setup = Instant::now();
+    let mut pems: Vec<Pem> = (0..tasks)
+        .map(|i| {
+            let mut cfg = PemConfig::fast_test().with_randomizer_pool(pool);
+            // Distinct key material and rng stream per coalition: the
+            // stress must not amortize anything across tasks.
+            cfg.seed ^= (i as u64) << 16;
+            Pem::new(cfg, agents).expect("pem setup")
+        })
+        .collect();
+    // Two-sided populations (even agents sell, odd agents buy) so every
+    // stress window runs the full protocol stack, not a no-market exit.
+    let populations: Vec<Vec<AgentWindow>> = (0..tasks)
+        .map(|salt| {
+            (0..agents)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        AgentWindow::new(
+                            i,
+                            2.0 + ((i + salt) % 7) as f64 * 0.4,
+                            0.5,
+                            0.0,
+                            0.9,
+                            22.0 + (salt % 9) as f64,
+                        )
+                    } else {
+                        AgentWindow::new(
+                            i,
+                            0.0,
+                            1.0 + ((i + salt) % 5) as f64 * 0.5,
+                            0.0,
+                            0.9,
+                            25.0,
+                        )
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let setup_s = setup.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let jobs: Vec<_> = pems
+        .iter_mut()
+        .zip(populations.iter())
+        .map(|(pem, pop)| pem.fabric_window(pop).expect("window task"))
+        .collect();
+    let (outcomes, report) = Executor::new(batch).run(jobs).expect("stress run");
+    let run_s = start.elapsed().as_secs_f64();
+    assert_eq!(outcomes.len(), tasks, "every window must complete");
+
+    StressRow {
+        tasks,
+        agents,
+        batch,
+        completed: report.completed,
+        peak_resident: report.peak_resident,
+        polls: report.polls,
+        stalls: report.stalls,
+        // `Executor::run` polls every task on the calling thread; the
+        // stress spawns nothing.
+        executor_threads: 1,
+        setup_s,
+        run_s,
+        windows_per_s: tasks as f64 / run_s,
+    }
+}
+
+fn json(rows: &[GridRow], stress: Option<&StressRow>) -> String {
+    let mut out = String::from("{\n  \"grid\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"homes\": {}, \"coalition_size\": {}, ",
+                "\"windows\": {}, \"shards\": {}, \"run_s\": {:.3}, ",
+                "\"windows_per_s\": {:.2}, \"agent_windows_per_s\": {:.1}, ",
+                "\"fingerprints_match\": {}}}{}"
+            ),
+            r.engine,
+            r.homes,
+            r.coalition,
+            r.windows,
+            r.shards,
+            r.run_s,
+            r.windows_per_s,
+            r.agent_windows_per_s,
+            r.fingerprints_match,
+            if i + 1 < rows.len() { ",\n" } else { "\n" }
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(s) = stress {
+        out.push_str(&format!(
+            concat!(
+                ",\n  \"stress\": {{\"tasks\": {}, \"agents\": {}, \"batch\": {}, ",
+                "\"completed\": {}, \"peak_resident\": {}, \"polls\": {}, ",
+                "\"stalls\": {}, \"executor_threads\": {}, \"setup_s\": {:.3}, ",
+                "\"run_s\": {:.3}, \"windows_per_s\": {:.2}}}"
+            ),
+            s.tasks,
+            s.agents,
+            s.batch,
+            s.completed,
+            s.peak_resident,
+            s.polls,
+            s.stalls,
+            s.executor_threads,
+            s.setup_s,
+            s.run_s,
+            s.windows_per_s,
+        ));
+    }
+    out.push_str("\n}");
+    out
+}
+
+fn main() {
+    let args = Args::from_env();
+    let homes = args.get_usize("homes", 240);
+    let coalition = args.get_usize("coalition", 12);
+    let windows = args.get_usize("windows", 2);
+    let pool = args.get_usize("pool", 6);
+    let batches = args.get_usize_list("batches", &[0, 8, 64]);
+    let stress_tasks = args.get_usize("stress-tasks", 10_000);
+    let stress_agents = args.get_usize("stress-agents", 4);
+    let stress_batch = args.get_usize("stress-batch", 64);
+    let stress_pool = args.get_usize("stress-pool", 0);
+
+    let data = day(homes, windows);
+    let (base_fps, shards, base_s) = run_grid(Engine::Threads, homes, coalition, pool, &data);
+    let mut rows = vec![GridRow {
+        engine: Engine::Threads,
+        homes,
+        coalition,
+        windows,
+        shards,
+        run_s: base_s,
+        windows_per_s: windows as f64 / base_s,
+        agent_windows_per_s: (homes * windows) as f64 / base_s,
+        fingerprints_match: true,
+    }];
+    for &batch in &batches {
+        let engine = Engine::Fabric { batch };
+        let (fps, shards, run_s) = run_grid(engine, homes, coalition, pool, &data);
+        rows.push(GridRow {
+            engine,
+            homes,
+            coalition,
+            windows,
+            shards,
+            run_s,
+            windows_per_s: windows as f64 / run_s,
+            agent_windows_per_s: (homes * windows) as f64 / run_s,
+            fingerprints_match: fps == base_fps,
+        });
+    }
+
+    let stress_row = (stress_tasks > 0).then(|| {
+        eprintln!(
+            "stress: {stress_tasks} windows x {stress_agents} agents, batch {stress_batch} ..."
+        );
+        stress(stress_tasks, stress_agents, stress_batch, stress_pool)
+    });
+
+    println!("{}", json(&rows, stress_row.as_ref()));
+    println!();
+    println!("engine     shards  run_s  windows/s  agent-windows/s  fingerprints");
+    for r in &rows {
+        println!(
+            "{:<10} {:>6} {:>6.2} {:>10.2} {:>16.1}  {}",
+            r.engine.to_string(),
+            r.shards,
+            r.run_s,
+            r.windows_per_s,
+            r.agent_windows_per_s,
+            if r.fingerprints_match {
+                "match"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+    if let Some(s) = &stress_row {
+        println!(
+            "stress: {} windows on 1 executor thread | batch {} -> peak resident {} | \
+             {:.1} windows/s | {} polls, {} stalls",
+            s.completed, s.batch, s.peak_resident, s.windows_per_s, s.polls, s.stalls
+        );
+    }
+}

@@ -24,7 +24,7 @@ use pem_bench::Args;
 use pem_core::{PemConfig, Topology};
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::AgentWindow;
-use pem_sched::{GridConfig, GridOrchestrator, LatencyPercentiles, PartitionStrategy};
+use pem_sched::{Engine, GridConfig, GridOrchestrator, LatencyPercentiles, PartitionStrategy};
 
 struct Row {
     population: usize,
@@ -82,6 +82,7 @@ fn sweep(
         pem,
         coalition_size: coalition,
         workers,
+        engine: Engine::Threads,
         strategy: PartitionStrategy::SurplusBalanced,
         coupling: None,
     })

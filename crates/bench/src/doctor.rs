@@ -12,6 +12,11 @@
 //!   tree must beat the ring's critical path from 8 sellers up, the
 //!   three topologies must move the same bytes, and the tree's critical
 //!   path must scale sublinearly in the seller count.
+//! * **`BENCH_fabric.json`** — the fabric-executor scaling run.
+//!   Invariants: every fabric-engine grid row must report fingerprints
+//!   bit-identical to the thread baseline, and the stress section must
+//!   complete every window on its single executor thread while holding
+//!   residency to the admission batch.
 //! * **`grid_day --json`** — a day report: the ledger must validate,
 //!   energy must clear, traffic must flow, and every window must carry
 //!   its fingerprint.
@@ -310,6 +315,86 @@ pub fn topology_checks(rows: &Json) -> Result<Vec<Check>, String> {
     Ok(checks)
 }
 
+/// Invariants over a `fabric_scaling` run (`BENCH_fabric.json`).
+///
+/// # Errors
+///
+/// A message when the document lacks the `"grid"` rows or a stress
+/// section field.
+pub fn fabric_checks(doc: &Json) -> Result<Vec<Check>, String> {
+    let rows = doc
+        .get("grid")
+        .and_then(Json::as_array)
+        .ok_or("fabric run missing \"grid\" rows")?;
+    if rows.is_empty() {
+        return Err("fabric run has no grid rows".into());
+    }
+    let mut checks = Vec::new();
+    for row in rows {
+        let engine = row
+            .get("engine")
+            .and_then(Json::as_str)
+            .ok_or("fabric grid row missing \"engine\"")?;
+        let matches = row
+            .get("fingerprints_match")
+            .and_then(Json::as_bool)
+            .ok_or("fabric grid row missing \"fingerprints_match\"")?;
+        // The executor's whole contract: where a window runs never
+        // changes what it computes.
+        checks.push(Check::invariant(
+            format!("fabric/{engine}/fingerprints_match"),
+            1.0,
+            f64::from(u8::from(matches)),
+            matches,
+        ));
+        let rate = row
+            .get("windows_per_s")
+            .and_then(Json::as_f64)
+            .ok_or("fabric grid row missing \"windows_per_s\"")?;
+        checks.push(Check::invariant(
+            format!("fabric/{engine}/windows_per_s"),
+            0.0,
+            rate,
+            rate > 0.0,
+        ));
+    }
+    if let Some(stress) = doc.get("stress") {
+        let field = |key: &str| -> Result<f64, String> {
+            stress
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("fabric stress section missing {key:?}"))
+        };
+        let tasks = field("tasks")?;
+        let completed = field("completed")?;
+        checks.push(Check::invariant(
+            "fabric/stress/completed".into(),
+            tasks,
+            completed,
+            completed == tasks && tasks > 0.0,
+        ));
+        let threads = field("executor_threads")?;
+        checks.push(Check::invariant(
+            "fabric/stress/single_thread".into(),
+            1.0,
+            threads,
+            threads == 1.0,
+        ));
+        // The admission batch is a residency ceiling, and the executor
+        // must actually reach it (otherwise the stress never stressed).
+        let batch = field("batch")?;
+        let peak = field("peak_resident")?;
+        let cap = if batch > 0.0 { batch } else { tasks };
+        checks.push(Check::invariant(
+            "fabric/stress/peak_resident".into(),
+            cap,
+            peak,
+            peak <= cap && peak > 0.0,
+        ));
+    }
+    Ok(checks)
+}
+
 /// Sanity checks over a `grid_day --json` day report.
 ///
 /// # Errors
@@ -458,6 +543,51 @@ mod tests {
         assert!(checks
             .iter()
             .any(|c| c.name == "topology/8/tree_beats_ring" && c.regressed));
+    }
+
+    #[test]
+    fn fabric_invariants() {
+        let good = trajectory(
+            "{\"grid\":[\
+               {\"engine\":\"threads\",\"windows_per_s\":7.9,\"fingerprints_match\":true},\
+               {\"engine\":\"fabric:8\",\"windows_per_s\":8.4,\"fingerprints_match\":true}],\
+              \"stress\":{\"tasks\":10000,\"completed\":10000,\"batch\":64,\
+               \"peak_resident\":64,\"executor_threads\":1}}",
+        );
+        let checks = fabric_checks(&good).expect("valid run");
+        assert!(checks.iter().all(|c| !c.regressed));
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "fabric/fabric:8/fingerprints_match"));
+        assert!(checks.iter().any(|c| c.name == "fabric/stress/completed"));
+        // A fabric engine that diverged from the thread baseline, a
+        // stress run that lost windows, and a residency overshoot all
+        // flag.
+        let bad = trajectory(
+            "{\"grid\":[\
+               {\"engine\":\"fabric\",\"windows_per_s\":8.0,\"fingerprints_match\":false}],\
+              \"stress\":{\"tasks\":100,\"completed\":99,\"batch\":8,\
+               \"peak_resident\":12,\"executor_threads\":2}}",
+        );
+        let checks = fabric_checks(&bad).expect("valid run");
+        for name in [
+            "fabric/fabric/fingerprints_match",
+            "fabric/stress/completed",
+            "fabric/stress/single_thread",
+            "fabric/stress/peak_resident",
+        ] {
+            assert!(
+                checks.iter().any(|c| c.name == name && c.regressed),
+                "{name} must flag"
+            );
+        }
+        // Stress section is optional (smoke runs may skip it).
+        let grid_only = trajectory(
+            "{\"grid\":[{\"engine\":\"threads\",\"windows_per_s\":1.0,\
+              \"fingerprints_match\":true}]}",
+        );
+        assert!(fabric_checks(&grid_only).expect("valid").len() == 2);
+        assert!(fabric_checks(&Json::Null).is_err());
     }
 
     #[test]

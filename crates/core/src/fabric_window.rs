@@ -1,0 +1,546 @@
+//! One PEM trading window as a poll-able fabric task.
+//!
+//! [`WindowTask`] runs Protocol 1's window body — market evaluation,
+//! pricing, distribution — over its own [`EventTransport`], advancing by
+//! **one protocol message per poll** where the phase is a state machine
+//! ([`MaskedAggMachine`], [`PricingMachine`]) and inline at phase
+//! transitions where the sub-protocol is a strict two-party
+//! request/response (the garbled-circuit comparison) or pure local
+//! compute (Protocol 4's per-pair arithmetic, the randomizer-pool
+//! refill). Thousands of windows can therefore share one executor
+//! thread, each owning its RNG stream, fabric and virtual clock — so the
+//! outcome is bit-identical to [`Pem::run_window`], at any interleaving.
+//!
+//! [`Pem::run_window`]: crate::Pem::run_window
+
+use std::time::Instant;
+
+use pem_crypto::drbg::HashDrbg;
+use pem_fabric::{kickoff, step, EventTransport, FabricTask, Poll, ProtocolStateMachine};
+use pem_market::{AgentWindow, MarketKind, Role};
+use pem_net::Transport;
+use pem_telemetry::Span;
+use rand::Rng;
+
+use crate::agents::AgentCtx;
+use crate::config::PemConfig;
+use crate::error::PemError;
+use crate::keys::KeyDirectory;
+use crate::metrics::{PhaseMetrics, WindowMetrics};
+use crate::pem::{PemWindowOutcome, RevealedInfo};
+use crate::protocol2::{self, MaskedAggMachine};
+use crate::protocol3::PricingMachine;
+use crate::protocol4;
+use crate::randpool::RandomizerPool;
+
+/// Wall-clock and traffic sample opening a driver phase.
+struct PhaseStart {
+    wall: Instant,
+    messages: u64,
+    bytes: u64,
+    /// The open `window/<phase>` driver span.
+    span: Option<Span>,
+}
+
+/// Where the window currently stands.
+enum Stage<'a> {
+    /// One-sided window: the first poll reports immediately.
+    NoMarket,
+    /// The first poll opens Protocol 2.
+    EvalStart,
+    /// Demand ring in flight.
+    EvalDemand {
+        machine: MaskedAggMachine<'a>,
+        agg_span: Option<Span>,
+    },
+    /// Supply ring in flight.
+    EvalSupply {
+        machine: MaskedAggMachine<'a>,
+        agg_span: Option<Span>,
+    },
+    /// Garbled-circuit comparison plus the result broadcast (inline).
+    EvalFinish,
+    /// The next poll opens Protocol 3 — or takes the floor price.
+    PriceStart,
+    /// Pricing aggregation/broadcast in flight.
+    Price { machine: PricingMachine<'a> },
+    /// Protocol 4 and the pool refill (inline), assembling the outcome.
+    Dist,
+    /// The outcome has been reported; the task must not be polled again.
+    Done,
+}
+
+/// One trading window, poll-able: the unit an [`Executor`] multiplexes.
+///
+/// Borrows its market's long-lived state (keys, RNG, randomizer pool)
+/// mutably for the window's whole life, which is exactly what makes the
+/// RNG stream sequential per market — construction and every poll draw
+/// in the same order the blocking driver would, so outputs are
+/// bit-identical regardless of how tasks interleave on the executor.
+///
+/// [`Executor`]: pem_fabric::Executor
+pub struct WindowTask<'a> {
+    cfg: &'a PemConfig,
+    keys: &'a KeyDirectory,
+    rng: &'a mut HashDrbg,
+    pool: &'a mut Option<RandomizerPool>,
+    net: EventTransport,
+    agents: Vec<AgentCtx>,
+    sellers: Vec<usize>,
+    buyers: Vec<usize>,
+    window_span: Option<Span>,
+    phase: Option<PhaseStart>,
+    metrics: WindowMetrics,
+    revealed: RevealedInfo,
+    /// Protocol 2's designated parties (valid from `EvalStart` on).
+    hr1: usize,
+    hr2: usize,
+    /// Masked `(demand, supply)` totals out of the aggregation rings.
+    masked: (u128, u128),
+    general_market: bool,
+    price: f64,
+    stage: Stage<'a>,
+}
+
+impl<'a> WindowTask<'a> {
+    /// Prepares the window: builds the event fabric, quantizes every
+    /// agent's data and forms the coalitions — the same local step, in
+    /// the same RNG order, as the blocking driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_data.len()` differs from the population size.
+    pub(crate) fn new(
+        cfg: &'a PemConfig,
+        keys: &'a KeyDirectory,
+        rng: &'a mut HashDrbg,
+        pool: &'a mut Option<RandomizerPool>,
+        n_agents: usize,
+        window_data: &[AgentWindow],
+    ) -> Result<WindowTask<'a>, PemError> {
+        assert_eq!(
+            window_data.len(),
+            n_agents,
+            "window data must cover the whole population"
+        );
+        let net = EventTransport::with_latency(n_agents, cfg.latency);
+        let quantizer = cfg.quantizer();
+        let window_span = Some(Span::enter_at("window", "driver", net.now_us()));
+
+        let mut agents = Vec::with_capacity(n_agents);
+        let mut sellers = Vec::new();
+        let mut buyers = Vec::new();
+        for (i, data) in window_data.iter().enumerate() {
+            let nonce = rng.gen::<u64>() >> (64 - cfg.nonce_bits);
+            let ctx = AgentCtx::prepare(i, *data, &quantizer, nonce)?;
+            match ctx.role {
+                Role::Seller => sellers.push(i),
+                Role::Buyer => buyers.push(i),
+                Role::OffMarket => {}
+            }
+            agents.push(ctx);
+        }
+
+        let stage = if sellers.is_empty() || buyers.is_empty() {
+            Stage::NoMarket
+        } else {
+            Stage::EvalStart
+        };
+        Ok(WindowTask {
+            cfg,
+            keys,
+            rng,
+            pool,
+            net,
+            agents,
+            sellers,
+            buyers,
+            window_span,
+            phase: None,
+            metrics: WindowMetrics::default(),
+            revealed: RevealedInfo::default(),
+            hr1: 0,
+            hr2: 0,
+            masked: (0, 0),
+            general_market: false,
+            price: cfg.band.grid_retail,
+            stage,
+        })
+    }
+
+    /// Opens a driver phase: samples the wall clock and traffic counters
+    /// and enters the `window/<phase>` span on the virtual clock.
+    fn phase_open(&mut self, name: &'static str) {
+        let (messages, bytes) = self.net.traffic_totals();
+        self.phase = Some(PhaseStart {
+            wall: Instant::now(),
+            messages,
+            bytes,
+            span: Some(Span::enter_at(name, "driver", self.net.now_us())),
+        });
+    }
+
+    /// Closes the open phase, returning its metrics.
+    fn phase_close(&mut self) -> PhaseMetrics {
+        let start = self.phase.take().expect("a phase is open");
+        if let Some(span) = start.span {
+            span.finish_at(self.net.now_us());
+        }
+        let (messages, bytes) = self.net.traffic_totals();
+        PhaseMetrics {
+            elapsed: start.wall.elapsed(),
+            bytes: bytes - start.bytes,
+            messages: messages - start.messages,
+        }
+    }
+
+    /// Assembles the window outcome (the task's terminal step).
+    fn finish(&mut self, kind: MarketKind, trades: Vec<pem_market::Trade>) -> PemWindowOutcome {
+        if let Some(span) = self.window_span.take() {
+            span.finish_at(self.net.now_us());
+        }
+        PemWindowOutcome {
+            kind,
+            price: self.price,
+            trades,
+            seller_count: self.sellers.len(),
+            buyer_count: self.buyers.len(),
+            metrics: std::mem::take(&mut self.metrics),
+            revealed: std::mem::take(&mut self.revealed),
+            net: Transport::stats(&self.net),
+        }
+    }
+}
+
+impl FabricTask for WindowTask<'_> {
+    type Output = PemWindowOutcome;
+    type Error = PemError;
+
+    fn poll(&mut self) -> Result<Poll<PemWindowOutcome>, PemError> {
+        match std::mem::replace(&mut self.stage, Stage::Done) {
+            Stage::NoMarket => Ok(Poll::Ready(self.finish(MarketKind::NoMarket, Vec::new()))),
+
+            Stage::EvalStart => {
+                self.phase_open("window/eval");
+                self.hr1 = self.sellers[self.rng.gen_range(0..self.sellers.len())];
+                self.hr2 = self.buyers[self.rng.gen_range(0..self.buyers.len())];
+                let agg_span = Some(Span::enter_at(
+                    "eval/demand-agg",
+                    "protocol",
+                    self.net.now_us(),
+                ));
+                let mut machine = MaskedAggMachine::new(
+                    self.keys,
+                    &self.agents,
+                    self.hr1,
+                    &self.buyers,
+                    &self.sellers,
+                    Role::Buyer,
+                    "eval/demand-agg",
+                    self.pool,
+                    self.rng,
+                )?;
+                kickoff(&mut self.net, &mut machine)?;
+                self.stage = Stage::EvalDemand { machine, agg_span };
+                Ok(Poll::Pending)
+            }
+
+            Stage::EvalDemand {
+                mut machine,
+                agg_span,
+            } => {
+                match step(&mut self.net, &mut machine)? {
+                    None => self.stage = Stage::EvalDemand { machine, agg_span },
+                    Some(total) => {
+                        if let Some(span) = agg_span {
+                            span.finish_at(self.net.now_us());
+                        }
+                        self.masked.0 = total;
+                        let agg_span = Some(Span::enter_at(
+                            "eval/supply-agg",
+                            "protocol",
+                            self.net.now_us(),
+                        ));
+                        let mut machine = MaskedAggMachine::new(
+                            self.keys,
+                            &self.agents,
+                            self.hr2,
+                            &self.sellers,
+                            &self.buyers,
+                            Role::Seller,
+                            "eval/supply-agg",
+                            self.pool,
+                            self.rng,
+                        )?;
+                        kickoff(&mut self.net, &mut machine)?;
+                        self.stage = Stage::EvalSupply { machine, agg_span };
+                    }
+                }
+                Ok(Poll::Pending)
+            }
+
+            Stage::EvalSupply {
+                mut machine,
+                agg_span,
+            } => {
+                match step(&mut self.net, &mut machine)? {
+                    None => self.stage = Stage::EvalSupply { machine, agg_span },
+                    Some(total) => {
+                        if let Some(span) = agg_span {
+                            span.finish_at(self.net.now_us());
+                        }
+                        self.masked.1 = total;
+                        self.stage = Stage::EvalFinish;
+                    }
+                }
+                Ok(Poll::Pending)
+            }
+
+            Stage::EvalFinish => {
+                // Two-party lock-step request/response: running it inline
+                // costs the executor at most one GC comparison per poll.
+                self.general_market = protocol2::run_compare(
+                    &mut self.net,
+                    self.cfg,
+                    self.hr1,
+                    self.hr2,
+                    self.masked.0,
+                    self.masked.1,
+                    self.rng,
+                )?;
+                protocol2::broadcast_result(
+                    &mut self.net,
+                    self.hr1,
+                    self.agents.len(),
+                    self.general_market,
+                )?;
+                self.metrics.market_evaluation = self.phase_close();
+                self.revealed.masked_demand = Some(self.masked.0);
+                self.revealed.masked_supply = Some(self.masked.1);
+                self.stage = Stage::PriceStart;
+                Ok(Poll::Pending)
+            }
+
+            Stage::PriceStart => {
+                if self.general_market {
+                    self.phase_open("window/price");
+                    let start_vts = self.net.now_us();
+                    let mut machine = PricingMachine::new(
+                        self.keys,
+                        &self.agents,
+                        &self.sellers,
+                        &self.buyers,
+                        self.cfg,
+                        self.cfg.topology,
+                        self.pool,
+                        self.rng,
+                        start_vts,
+                    )?;
+                    kickoff(&mut self.net, &mut machine)?;
+                    self.stage = Stage::Price { machine };
+                } else {
+                    self.price = self.cfg.band.floor;
+                    self.stage = Stage::Dist;
+                }
+                Ok(Poll::Pending)
+            }
+
+            Stage::Price { mut machine } => {
+                match step(&mut self.net, &mut machine)? {
+                    None => self.stage = Stage::Price { machine },
+                    Some(pricing) => {
+                        self.metrics.pricing = self.phase_close();
+                        self.revealed.seller_preference_sum = Some(pricing.k_sum);
+                        self.revealed.seller_denominator_sum = Some(pricing.denominator_sum);
+                        self.price = pricing.price;
+                        self.stage = Stage::Dist;
+                    }
+                }
+                Ok(Poll::Pending)
+            }
+
+            Stage::Dist => {
+                self.phase_open("window/dist");
+                let dist = protocol4::run(
+                    &mut self.net,
+                    self.keys,
+                    &self.agents,
+                    &self.sellers,
+                    &self.buyers,
+                    self.price,
+                    self.general_market,
+                    self.cfg,
+                    self.pool,
+                    self.rng,
+                )?;
+                self.metrics.distribution = self.phase_close();
+                self.revealed.allocation_ratios = dist.ratios.clone();
+
+                // Off-critical-path: top the pool back up after the phase
+                // timers, exactly like the blocking driver.
+                if let Some(pool) = self.pool.as_mut() {
+                    let refill_span = Span::enter("window/pool-refill", "driver");
+                    if self.cfg.adaptive_pool {
+                        pool.refill_adaptive(self.keys);
+                    } else {
+                        pool.refill(self.keys);
+                    }
+                    refill_span.finish();
+                }
+
+                let kind = if self.general_market {
+                    MarketKind::General
+                } else {
+                    MarketKind::Extreme
+                };
+                Ok(Poll::Ready(self.finish(kind, dist.trades)))
+            }
+
+            Stage::Done => panic!("polled a completed window task"),
+        }
+    }
+
+    fn is_ready(&self) -> bool {
+        // A poll makes progress unless it would receive a message that
+        // has not arrived. Phases that compute locally are always ready.
+        let waiting_on = match &self.stage {
+            Stage::EvalDemand { machine, .. } | Stage::EvalSupply { machine, .. } => {
+                machine.expecting()
+            }
+            Stage::Price { machine } => machine.expecting(),
+            Stage::Done => return false,
+            _ => None,
+        };
+        waiting_on.is_none_or(|(to, _)| self.net.has_message(to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pem::Pem;
+    use pem_fabric::Executor;
+
+    fn population(surpluses: &[f64]) -> Vec<AgentWindow> {
+        surpluses
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                if s >= 0.0 {
+                    AgentWindow::new(i, s + 0.5, 0.5, 0.0, 0.9, 20.0 + i as f64)
+                } else {
+                    AgentWindow::new(i, 0.0, -s, 0.0, 0.9, 20.0 + i as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// The blocking driver and the executor-driven task must agree on
+    /// every outcome bit (wall-clock elapsed excepted).
+    fn assert_outcomes_identical(a: &PemWindowOutcome, b: &PemWindowOutcome) {
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+        assert_eq!(a.trades, b.trades);
+        assert_eq!(a.seller_count, b.seller_count);
+        assert_eq!(a.buyer_count, b.buyer_count);
+        assert_eq!(a.revealed, b.revealed);
+        assert_eq!(a.net, b.net);
+        for (x, y) in [
+            (&a.metrics.market_evaluation, &b.metrics.market_evaluation),
+            (&a.metrics.pricing, &b.metrics.pricing),
+            (&a.metrics.distribution, &b.metrics.distribution),
+        ] {
+            assert_eq!(x.bytes, y.bytes);
+            assert_eq!(x.messages, y.messages);
+        }
+    }
+
+    #[test]
+    fn fabric_window_matches_blocking_driver() {
+        // One population per regime: general, extreme, no-market.
+        for pop in [
+            population(&[2.0, 1.0, -3.0, -2.0, -1.0]),
+            population(&[5.0, 4.0, -1.0]),
+            population(&[-1.0, -2.0, -0.5]),
+        ] {
+            let n = pop.len();
+            let mut blocking = Pem::new(PemConfig::fast_test(), n).expect("setup");
+            let mut fabric = Pem::new(PemConfig::fast_test(), n).expect("setup");
+            let a = blocking.run_window(&pop).expect("blocking window");
+            let task = fabric.fabric_window(&pop).expect("task");
+            let (mut outs, report) = Executor::new(0).run(vec![task]).expect("executor");
+            assert_outcomes_identical(&a, &outs.pop().expect("one output"));
+            assert!(report.polls > 0);
+        }
+    }
+
+    #[test]
+    fn interleaved_tasks_match_sequential_runs() {
+        // Three markets multiplexed on one executor at batch 2: every
+        // outcome must match its own market run in isolation.
+        let pops = [
+            population(&[2.0, 1.0, -3.0, -2.0]),
+            population(&[3.0, -1.0, -4.0, 0.5]),
+            population(&[1.5, 2.5, -2.0, -0.5]),
+        ];
+        let solo: Vec<PemWindowOutcome> = pops
+            .iter()
+            .map(|pop| {
+                Pem::new(PemConfig::fast_test(), pop.len())
+                    .expect("setup")
+                    .run_window(pop)
+                    .expect("window")
+            })
+            .collect();
+        let mut pems: Vec<Pem> = pops
+            .iter()
+            .map(|pop| Pem::new(PemConfig::fast_test(), pop.len()).expect("setup"))
+            .collect();
+        let tasks: Vec<WindowTask<'_>> = pems
+            .iter_mut()
+            .zip(pops.iter())
+            .map(|(pem, pop)| pem.fabric_window(pop).expect("task"))
+            .collect();
+        let (outs, _) = Executor::new(2).run(tasks).expect("executor");
+        for (a, b) in solo.iter().zip(outs.iter()) {
+            assert_outcomes_identical(a, b);
+        }
+    }
+
+    #[test]
+    fn pooled_fabric_window_matches_blocking_driver() {
+        let pop = population(&[2.0, 1.0, -3.0, -2.0]);
+        let cfg = || PemConfig::fast_test().with_randomizer_pool(4);
+        let mut blocking = Pem::new(cfg(), 4).expect("setup");
+        let mut fabric = Pem::new(cfg(), 4).expect("setup");
+        let a = blocking.run_window(&pop).expect("blocking window");
+        let task = fabric.fabric_window(&pop).expect("task");
+        let (mut outs, _) = Executor::new(0).run(vec![task]).expect("executor");
+        assert_outcomes_identical(&a, &outs.pop().expect("one output"));
+        // The pool streams are in lock-step too.
+        assert_eq!(blocking.pool_stats(), fabric.pool_stats());
+    }
+
+    #[test]
+    fn window_task_reports_readiness() {
+        let pop = population(&[2.0, -1.0]);
+        let mut pem = Pem::new(PemConfig::fast_test(), 2).expect("setup");
+        let mut task = pem.fabric_window(&pop).expect("task");
+        // Local phases are always ready; machine phases only once the
+        // expected message is queued (kickoff precedes the first step,
+        // so single-window polling never stalls).
+        let mut polls = 0usize;
+        loop {
+            assert!(task.is_ready(), "single window never waits");
+            match task.poll().expect("poll") {
+                Poll::Pending => polls += 1,
+                Poll::Ready(out) => {
+                    assert_eq!(out.kind, MarketKind::Extreme);
+                    break;
+                }
+            }
+            assert!(polls < 10_000, "window must terminate");
+        }
+        assert!(!task.is_ready(), "completed tasks report not-ready");
+    }
+}

@@ -45,6 +45,7 @@
 mod agents;
 mod config;
 mod error;
+pub mod fabric_window;
 mod keys;
 mod metrics;
 mod pem;
@@ -59,6 +60,7 @@ pub mod threaded;
 pub use agents::AgentCtx;
 pub use config::{OtProfile, PemConfig};
 pub use error::PemError;
+pub use fabric_window::WindowTask;
 pub use keys::KeyDirectory;
 pub use metrics::{PhaseMetrics, WindowMetrics};
 pub use pem::{DaySummary, Pem, PemWindowOutcome, RevealedInfo};

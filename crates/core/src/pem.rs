@@ -220,6 +220,34 @@ impl Pem {
         self.run_window_on(&mut net, window_data)
     }
 
+    /// Prepares one trading window as a poll-able
+    /// [`WindowTask`](crate::fabric_window::WindowTask) for a fabric
+    /// executor, instead of running it to completion here. The task
+    /// borrows this market mutably until it completes; its outcome is
+    /// bit-identical to [`run_window`](Pem::run_window).
+    ///
+    /// # Errors
+    ///
+    /// Data validation and quantization failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_data.len()` differs from the population size.
+    pub fn fabric_window(
+        &mut self,
+        window_data: &[pem_market::AgentWindow],
+    ) -> Result<crate::fabric_window::WindowTask<'_>, PemError> {
+        self.window_index += 1;
+        crate::fabric_window::WindowTask::new(
+            &self.cfg,
+            &self.keys,
+            &mut self.rng,
+            &mut self.pool,
+            self.n_agents,
+            window_data,
+        )
+    }
+
     /// Runs one trading window on a caller-provided transport — any
     /// [`Transport`] implementation (the mesh, a fault-injecting fabric,
     /// a future async runtime). The transport must be fresh for the

@@ -27,9 +27,10 @@ use pem_circuit::{comparator_circuit, CircuitError};
 use pem_crypto::drbg::HashDrbg;
 use pem_crypto::ot::{OtCiphertexts, OtReceiverReply, OtSenderSetup};
 use pem_crypto::paillier::Ciphertext;
+use pem_fabric::{Outbound, ProtocolStateMachine, Transition};
 use pem_market::Role;
 use pem_net::wire::{WireReader, WireWriter};
-use pem_net::{PartyId, Transport};
+use pem_net::{Envelope, PartyId, Transport};
 use pem_telemetry::Span;
 use rand::Rng;
 
@@ -111,34 +112,8 @@ pub fn run<T: Transport>(
     )?;
     agg_span.finish_at(net.now_us());
 
-    // --- Secure comparison: H_r2 garbles `R_s < R_b`, H_r1 evaluates. --
-    let compare_span = Span::enter_at("eval/compare", "protocol", net.now_us());
-    let group = cfg.ot_profile.group();
-    let (garbler, offer) = CompareGarbler::start(cfg.compare_bits, masked_supply, &group, rng)?;
-    send_offer(net, PartyId(hr2), PartyId(hr1), &offer)?;
-    let offer = recv_offer(net, PartyId(hr1), cfg.compare_bits)?;
-
-    let (evaluator, requests) = CompareEvaluator::respond(offer, masked_demand, &group, rng)?;
-    send_requests(net, PartyId(hr1), PartyId(hr2), &requests)?;
-    let requests = recv_requests(net, PartyId(hr2))?;
-
-    let transfer = garbler.provide_labels(&requests)?;
-    send_transfer(net, PartyId(hr2), PartyId(hr1), &transfer)?;
-    let transfer = recv_transfer(net, PartyId(hr1))?;
-
-    let general_market = evaluator.finish(&transfer)?;
-    compare_span.finish_at(net.now_us());
-
-    // H_r1 announces the market case (one public bit, per the paper).
-    let mut w = WireWriter::new();
-    w.put_bool(general_market);
-    net.broadcast(PartyId(hr1), "eval/result", &w.finish())?;
-    // Everyone consumes the announcement.
-    for i in 0..agents.len() {
-        if i != hr1 {
-            net.recv_expect(PartyId(i), "eval/result")?;
-        }
-    }
+    let general_market = run_compare(net, cfg, hr1, hr2, masked_demand, masked_supply, rng)?;
+    broadcast_result(net, hr1, agents.len(), general_market)?;
 
     Ok(EvalOutcome {
         general_market,
@@ -149,7 +124,8 @@ pub fn run<T: Transport>(
     })
 }
 
-/// One nonce-masked ring aggregation ending at `collector`.
+/// One nonce-masked ring aggregation ending at `collector` — the thin
+/// blocking adapter over [`MaskedAggMachine`].
 ///
 /// `value_holders` contribute `value + nonce` (their `|sn|`), the other
 /// coalition contributes only nonces; the collector folds in its own
@@ -167,61 +143,227 @@ fn masked_ring_aggregate<T: Transport>(
     pool: &mut Option<RandomizerPool>,
     rng: &mut HashDrbg,
 ) -> Result<u128, PemError> {
-    let pk = keys.public(collector);
+    let mut machine = MaskedAggMachine::new(
+        keys,
+        agents,
+        collector,
+        value_holders,
+        maskers,
+        value_role,
+        label,
+        pool,
+        rng,
+    )?;
+    pem_fabric::drive(net, &mut machine)
+}
 
-    let contribution = |idx: usize| -> BigUint {
-        let a = &agents[idx];
-        if a.role == value_role {
-            BigUint::from(a.sn_abs_q) + BigUint::from(a.nonce)
-        } else {
-            BigUint::from(a.nonce)
+/// The nonce-masked ring aggregation of Protocol 2 as a poll-able state
+/// machine: one travelling ciphertext, one hop per message, nothing
+/// blocked between hops.
+///
+/// Every encryption is performed at construction, in exactly the order
+/// the blocking driver would interleave them with the wire traffic — the
+/// RNG and randomizer-pool streams (and therefore every ciphertext bit)
+/// are identical whether the machine is driven to completion on a
+/// blocking transport or interleaved with thousands of peers on an
+/// executor.
+pub struct MaskedAggMachine<'a> {
+    keys: &'a KeyDirectory,
+    collector: usize,
+    label: &'static str,
+    /// The ring: value holders first, then the masking coalition minus
+    /// the collector.
+    chain: Vec<usize>,
+    /// Encrypted contributions, one per chain member, chain order.
+    own: Vec<Ciphertext>,
+    /// The collector's locally-added nonce.
+    collector_nonce: u64,
+    /// Travelling accumulator (the ciphertext currently on the wire).
+    acc: Ciphertext,
+    /// Next chain index to receive; `chain.len()` is the collector.
+    hop: usize,
+    done: bool,
+}
+
+impl<'a> MaskedAggMachine<'a> {
+    /// Builds the machine: forms the chain and encrypts every
+    /// contribution up front (in chain order — the blocking driver's RNG
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Encryption failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        keys: &'a KeyDirectory,
+        agents: &[AgentCtx],
+        collector: usize,
+        value_holders: &[usize],
+        maskers: &[usize],
+        value_role: Role,
+        label: &'static str,
+        pool: &mut Option<RandomizerPool>,
+        rng: &mut HashDrbg,
+    ) -> Result<MaskedAggMachine<'a>, PemError> {
+        let pk = keys.public(collector);
+        let contribution = |idx: usize| -> BigUint {
+            let a = &agents[idx];
+            if a.role == value_role {
+                BigUint::from(a.sn_abs_q) + BigUint::from(a.nonce)
+            } else {
+                BigUint::from(a.nonce)
+            }
+        };
+        let mut chain: Vec<usize> = value_holders.to_vec();
+        chain.extend(maskers.iter().copied().filter(|&m| m != collector));
+        debug_assert!(!chain.is_empty());
+        let mut own = Vec::with_capacity(chain.len());
+        for &member in &chain {
+            own.push(randpool::encrypt_under(
+                pk,
+                collector,
+                &contribution(member),
+                pool,
+                rng,
+            )?);
         }
-    };
-
-    // Chain: value holders first, then the masking coalition minus the
-    // collector; the collector terminates the ring.
-    let mut chain: Vec<usize> = value_holders.to_vec();
-    chain.extend(maskers.iter().copied().filter(|&m| m != collector));
-    debug_assert!(!chain.is_empty());
-
-    let mut acc: Ciphertext =
-        randpool::encrypt_under(pk, collector, &contribution(chain[0]), pool, rng)?;
-    for hop in 1..chain.len() {
-        // chain[hop-1] sends the running ciphertext to chain[hop] …
-        let mut w = WireWriter::new();
-        w.put_biguint(acc.as_biguint());
-        net.send(
-            PartyId(chain[hop - 1]),
-            PartyId(chain[hop]),
+        let acc = own[0].clone();
+        Ok(MaskedAggMachine {
+            keys,
+            collector,
             label,
-            w.finish(),
-        )?;
-        let env = net.recv_expect(PartyId(chain[hop]), label)?;
+            chain,
+            own,
+            collector_nonce: agents[collector].nonce,
+            acc,
+            hop: 1,
+            done: false,
+        })
+    }
+
+    fn pack(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_biguint(self.acc.as_biguint());
+        w.finish()
+    }
+
+    /// The party the travelling ciphertext goes to next.
+    fn next_party(&self) -> PartyId {
+        if self.hop < self.chain.len() {
+            PartyId(self.chain[self.hop])
+        } else {
+            PartyId(self.collector)
+        }
+    }
+}
+
+impl ProtocolStateMachine for MaskedAggMachine<'_> {
+    type Output = u128;
+    type Error = PemError;
+
+    fn initial_messages(&mut self) -> Result<Vec<Outbound>, PemError> {
+        // chain[0] opens the ring with its own encrypted contribution.
+        Ok(vec![Outbound {
+            from: PartyId(self.chain[0]),
+            to: self.next_party(),
+            label: self.label,
+            payload: self.pack(),
+        }])
+    }
+
+    fn expecting(&self) -> Option<(PartyId, &'static str)> {
+        if self.done {
+            None
+        } else {
+            Some((self.next_party(), self.label))
+        }
+    }
+
+    fn on_message(&mut self, env: Envelope) -> Result<Transition<u128>, PemError> {
+        let pk = self.keys.public(self.collector);
         let mut r = WireReader::new(&env.payload);
         let received = Ciphertext::from_biguint(r.get_biguint()?);
         pk.validate_ciphertext(&received)?;
-        // … which multiplies in its own encrypted contribution.
-        let own = randpool::encrypt_under(pk, collector, &contribution(chain[hop]), pool, rng)?;
-        acc = pk.add_ciphertexts(&received, &own);
+        if self.hop < self.chain.len() {
+            // A chain member multiplies in its encrypted contribution
+            // and forwards the accumulator.
+            self.acc = pk.add_ciphertexts(&received, &self.own[self.hop]);
+            self.hop += 1;
+            let from = env.to;
+            Ok(Transition::Send(vec![Outbound {
+                from,
+                to: self.next_party(),
+                label: self.label,
+                payload: self.pack(),
+            }]))
+        } else {
+            // The collector contributes its own nonce locally and
+            // decrypts — the k = 1 shape of the fused affine update
+            // (Enc(a) ↦ Enc(a + b)).
+            self.done = true;
+            let own = BigUint::from(self.collector_nonce);
+            let total_ct = pk.affine(&received, &BigUint::one(), &own);
+            let total = self
+                .keys
+                .keypair(self.collector)
+                .private()
+                .decrypt(&total_ct);
+            let total = total
+                .to_u128()
+                .ok_or(PemError::Protocol("masked aggregate exceeded 128 bits"))?;
+            Ok(Transition::Done(total))
+        }
     }
-    // Last chain member hands the ciphertext to the collector.
-    let last = *chain.last().expect("non-empty chain");
-    let mut w = WireWriter::new();
-    w.put_biguint(acc.as_biguint());
-    net.send(PartyId(last), PartyId(collector), label, w.finish())?;
-    let env = net.recv_expect(PartyId(collector), label)?;
-    let mut r = WireReader::new(&env.payload);
-    let received = Ciphertext::from_biguint(r.get_biguint()?);
-    pk.validate_ciphertext(&received)?;
+}
 
-    // The collector contributes its own nonce locally and decrypts —
-    // the k = 1 shape of the fused affine update (Enc(a) ↦ Enc(a + b)).
-    let own = BigUint::from(agents[collector].nonce);
-    let total_ct = pk.affine(&received, &BigUint::one(), &own);
-    let total = keys.keypair(collector).private().decrypt(&total_ct);
-    total
-        .to_u128()
-        .ok_or(PemError::Protocol("masked aggregate exceeded 128 bits"))
+/// The garbled-circuit comparison `R_s < R_b`: `H_r2` garbles, `H_r1`
+/// evaluates. Two-party and strictly request/response, so it runs
+/// inline (blocking) even under the fabric engine.
+pub(crate) fn run_compare<T: Transport>(
+    net: &mut T,
+    cfg: &PemConfig,
+    hr1: usize,
+    hr2: usize,
+    masked_demand: u128,
+    masked_supply: u128,
+    rng: &mut HashDrbg,
+) -> Result<bool, PemError> {
+    let compare_span = Span::enter_at("eval/compare", "protocol", net.now_us());
+    let group = cfg.ot_profile.group();
+    let (garbler, offer) = CompareGarbler::start(cfg.compare_bits, masked_supply, &group, rng)?;
+    send_offer(net, PartyId(hr2), PartyId(hr1), &offer)?;
+    let offer = recv_offer(net, PartyId(hr1), cfg.compare_bits)?;
+
+    let (evaluator, requests) = CompareEvaluator::respond(offer, masked_demand, &group, rng)?;
+    send_requests(net, PartyId(hr1), PartyId(hr2), &requests)?;
+    let requests = recv_requests(net, PartyId(hr2))?;
+
+    let transfer = garbler.provide_labels(&requests)?;
+    send_transfer(net, PartyId(hr2), PartyId(hr1), &transfer)?;
+    let transfer = recv_transfer(net, PartyId(hr1))?;
+
+    let general_market = evaluator.finish(&transfer)?;
+    compare_span.finish_at(net.now_us());
+    Ok(general_market)
+}
+
+/// `H_r1` announces the market case (one public bit, per the paper) and
+/// every other party consumes the announcement.
+pub(crate) fn broadcast_result<T: Transport>(
+    net: &mut T,
+    hr1: usize,
+    n: usize,
+    general_market: bool,
+) -> Result<(), PemError> {
+    let mut w = WireWriter::new();
+    w.put_bool(general_market);
+    net.broadcast(PartyId(hr1), "eval/result", &w.finish())?;
+    for i in 0..n {
+        if i != hr1 {
+            net.recv_expect(PartyId(i), "eval/result")?;
+        }
+    }
+    Ok(())
 }
 
 // --- Wire encodings for the comparison messages ------------------------

@@ -10,8 +10,9 @@
 
 use pem_crypto::drbg::HashDrbg;
 use pem_crypto::paillier::Ciphertext;
+use pem_fabric::{Outbound, ProtocolStateMachine, Transition};
 use pem_net::wire::{WireReader, WireWriter};
-use pem_net::{PartyId, Transport};
+use pem_net::{Envelope, PartyId, Transport};
 use pem_telemetry::Span;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -113,32 +114,6 @@ impl std::str::FromStr for Topology {
     }
 }
 
-/// Sends one `price/agg` ciphertext pair.
-fn send_pair<T: Transport>(
-    net: &mut T,
-    from: PartyId,
-    to: PartyId,
-    k: &Ciphertext,
-    d: &Ciphertext,
-) -> Result<(), PemError> {
-    let mut w = WireWriter::new();
-    w.put_biguint(k.as_biguint());
-    w.put_biguint(d.as_biguint());
-    net.send(from, to, "price/agg", w.finish())?;
-    Ok(())
-}
-
-/// Receives and decodes one `price/agg` ciphertext pair (the caller
-/// validates against the decryptor's key).
-fn recv_pair<T: Transport>(net: &mut T, at: PartyId) -> Result<(Ciphertext, Ciphertext), PemError> {
-    let env = net.recv_expect(at, "price/agg")?;
-    let mut r = WireReader::new(&env.payload);
-    Ok((
-        Ciphertext::from_biguint(r.get_biguint()?),
-        Ciphertext::from_biguint(r.get_biguint()?),
-    ))
-}
-
 /// Runs Protocol 3 with the paper's ring topology.
 ///
 /// # Errors
@@ -169,7 +144,8 @@ pub fn run<T: Transport>(
     )
 }
 
-/// Runs Protocol 3 with an explicit aggregation topology.
+/// Runs Protocol 3 with an explicit aggregation topology — the thin
+/// blocking adapter over [`PricingMachine`].
 ///
 /// # Errors
 ///
@@ -186,163 +162,483 @@ pub fn run_with_topology<T: Transport>(
     pool: &mut Option<RandomizerPool>,
     rng: &mut HashDrbg,
 ) -> Result<PricingOutcome, PemError> {
-    if sellers.is_empty() || buyers.is_empty() {
-        return Err(PemError::Protocol(
-            "pricing requires both coalitions to be non-empty",
-        ));
-    }
-    let hb = buyers[rng.gen_range(0..buyers.len())];
-    let pk = keys.public(hb);
-    let quantizer = cfg.quantizer();
+    let start_vts = net.now_us();
+    let mut machine = PricingMachine::new(
+        keys, agents, sellers, buyers, cfg, topology, pool, rng, start_vts,
+    )?;
+    pem_fabric::drive(net, &mut machine)
+}
 
-    // Each seller's two pricing terms, encrypted under H_b's key. The
-    // denominator term is signed in principle (deep battery charging), so
-    // it uses the balanced encoding.
-    let mut seller_terms = |idx: usize| -> Result<(Ciphertext, Ciphertext), PemError> {
-        let a = &agents[idx];
-        let k_q = quantizer.quantize_unsigned(a.data.preference, "preference")?;
-        let d_q = quantizer.quantize(a.data.pricing_denominator_term(), "pricing denominator")?;
-        let k_ct = randpool::encrypt_under(pk, hb, &pem_bignum::BigUint::from(k_q), pool, rng)?;
-        let d_ct = randpool::encrypt_under(pk, hb, &pk.encode_i128(d_q as i128), pool, rng)?;
-        Ok((k_ct, d_ct))
-    };
+/// Where the pricing protocol currently stands.
+enum PricingState {
+    /// Ring pass: waiting for the travelling pair at `sellers[hop]`
+    /// (the accumulator itself is in flight, inside the message).
+    Ring {
+        hop: usize,
+    },
+    /// Star fan-in: `H_b` folding pairs FIFO; `received` counted so far.
+    Star {
+        received: usize,
+        k_acc: Option<Ciphertext>,
+        d_acc: Option<Ciphertext>,
+    },
+    /// Tree fold: node at position `pos` waiting for `remaining` child
+    /// pairs before forwarding to its parent.
+    Tree {
+        pos: usize,
+        remaining: usize,
+        k_acc: Ciphertext,
+        d_acc: Ciphertext,
+    },
+    /// The aggregated pair is on its way to `H_b`.
+    AwaitFinal,
+    /// Price broadcast out; parties `> next` (skipping `H_b`) still to
+    /// confirm consumption.
+    Consume {
+        next: usize,
+    },
+    Done,
+}
 
-    let agg_span = Span::enter_at("price/agg", "protocol", net.now_us());
-    let (k_ct, d_ct) = match topology {
-        Topology::Ring => {
-            // Ring pass over the sellers, accumulating both sums
-            // homomorphically (the paper's Protocol 3 flow).
-            let (mut k_acc, mut d_acc) = seller_terms(sellers[0])?;
-            for hop in 1..sellers.len() {
-                let prev = sellers[hop - 1];
-                let cur = sellers[hop];
-                send_pair(net, PartyId(prev), PartyId(cur), &k_acc, &d_acc)?;
-                let (k_in, d_in) = recv_pair(net, PartyId(cur))?;
-                pk.validate_ciphertext(&k_in)?;
-                pk.validate_ciphertext(&d_in)?;
-                let (k_own, d_own) = seller_terms(cur)?;
-                k_acc = pk.add_ciphertexts(&k_in, &k_own);
-                d_acc = pk.add_ciphertexts(&d_in, &d_own);
-            }
+/// Protocol 3 — Private Pricing — as a poll-able state machine covering
+/// all three aggregation topologies plus the price broadcast.
+///
+/// All seller-term encryptions are performed at construction, in exactly
+/// the order the blocking driver drew them (ring/star: seller order;
+/// tree: descending position), so RNG and randomizer-pool streams are
+/// bit-identical between [`run_with_topology`] and an executor-driven
+/// run.
+pub struct PricingMachine<'a> {
+    keys: &'a KeyDirectory,
+    cfg: &'a PemConfig,
+    /// Seller party ids, coalition order.
+    sellers: Vec<usize>,
+    /// Population size (for the broadcast consume loop).
+    n: usize,
+    hb: usize,
+    fanin: usize,
+    /// Encrypted `(k, d)` terms, indexed by seller *position*.
+    terms: Vec<Option<(Ciphertext, Ciphertext)>>,
+    state: PricingState,
+    /// Open `price/agg` span (finished when the pair reaches `H_b`).
+    agg_span: Option<Span>,
+    /// Open `price/broadcast` span (finished on the last consumption).
+    bc_span: Option<Span>,
+    /// Filled by the final-aggregation step, reported at `Done`.
+    outcome: Option<PricingOutcome>,
+}
 
-            // Last seller forwards the pair to H_b …
-            let last = *sellers.last().expect("non-empty");
-            send_pair(net, PartyId(last), PartyId(hb), &k_acc, &d_acc)?;
-            recv_pair(net, PartyId(hb))?
+impl<'a> PricingMachine<'a> {
+    /// Builds the machine: selects `H_b`, encrypts every seller's terms
+    /// under `H_b`'s key (in the blocking driver's order) and opens the
+    /// `price/agg` span at `start_vts` (the fabric's current virtual
+    /// time).
+    ///
+    /// # Errors
+    ///
+    /// [`PemError::Protocol`] if either coalition is empty; otherwise
+    /// quantization/encryption failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        keys: &'a KeyDirectory,
+        agents: &[AgentCtx],
+        sellers: &[usize],
+        buyers: &[usize],
+        cfg: &'a PemConfig,
+        topology: Topology,
+        pool: &mut Option<RandomizerPool>,
+        rng: &mut HashDrbg,
+        start_vts: u64,
+    ) -> Result<PricingMachine<'a>, PemError> {
+        if sellers.is_empty() || buyers.is_empty() {
+            return Err(PemError::Protocol(
+                "pricing requires both coalitions to be non-empty",
+            ));
         }
-        Topology::Star => {
-            // Every seller sends its pair straight to H_b, who folds them
-            // together locally: same bytes, sequential depth 1 — at the
-            // cost of an all-sellers fan-in on H_b's ingress link.
-            for &s in sellers {
-                let (k_own, d_own) = seller_terms(s)?;
-                send_pair(net, PartyId(s), PartyId(hb), &k_own, &d_own)?;
+        let hb = buyers[rng.gen_range(0..buyers.len())];
+        let pk = keys.public(hb);
+        let quantizer = cfg.quantizer();
+        let m = sellers.len();
+
+        // Each seller's two pricing terms, encrypted under H_b's key. The
+        // denominator term is signed in principle (deep battery
+        // charging), so it uses the balanced encoding.
+        let mut seller_terms = |idx: usize| -> Result<(Ciphertext, Ciphertext), PemError> {
+            let a = &agents[idx];
+            let k_q = quantizer.quantize_unsigned(a.data.preference, "preference")?;
+            let d_q =
+                quantizer.quantize(a.data.pricing_denominator_term(), "pricing denominator")?;
+            let k_ct = randpool::encrypt_under(pk, hb, &pem_bignum::BigUint::from(k_q), pool, rng)?;
+            let d_ct = randpool::encrypt_under(pk, hb, &pk.encode_i128(d_q as i128), pool, rng)?;
+            Ok((k_ct, d_ct))
+        };
+
+        let mut terms: Vec<Option<(Ciphertext, Ciphertext)>> = (0..m).map(|_| None).collect();
+        let (state, fanin) = match topology {
+            Topology::Ring => {
+                for pos in 0..m {
+                    terms[pos] = Some(seller_terms(sellers[pos])?);
+                }
+                (PricingState::Ring { hop: 1 }, 2)
             }
-            let mut k_acc: Option<Ciphertext> = None;
-            let mut d_acc: Option<Ciphertext> = None;
-            for _ in 0..sellers.len() {
-                let (k_in, d_in) = recv_pair(net, PartyId(hb))?;
-                pk.validate_ciphertext(&k_in)?;
-                pk.validate_ciphertext(&d_in)?;
-                k_acc = Some(match k_acc {
+            Topology::Star => {
+                for pos in 0..m {
+                    terms[pos] = Some(seller_terms(sellers[pos])?);
+                }
+                (
+                    PricingState::Star {
+                        received: 0,
+                        k_acc: None,
+                        d_acc: None,
+                    },
+                    2,
+                )
+            }
+            Topology::Tree { fanin } => {
+                let f = fanin.max(2);
+                // The blocking driver walks positions in descending
+                // order, computing each node's terms as it visits it.
+                for pos in (0..m).rev() {
+                    terms[pos] = Some(seller_terms(sellers[pos])?);
+                }
+                // The first (highest) position with children; every
+                // position below it also has children.
+                let state = if m == 1 {
+                    PricingState::AwaitFinal
+                } else {
+                    let pos = (m - 2) / f;
+                    let (k_acc, d_acc) = terms[pos].take().expect("just computed");
+                    PricingState::Tree {
+                        pos,
+                        remaining: tree_children(pos, f, m),
+                        k_acc,
+                        d_acc,
+                    }
+                };
+                (state, f)
+            }
+        };
+
+        Ok(PricingMachine {
+            keys,
+            cfg,
+            sellers: sellers.to_vec(),
+            n: agents.len(),
+            hb,
+            fanin,
+            terms,
+            state,
+            agg_span: Some(Span::enter_at("price/agg", "protocol", start_vts)),
+            bc_span: None,
+            outcome: None,
+        })
+    }
+
+    fn pair_payload(k: &Ciphertext, d: &Ciphertext) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_biguint(k.as_biguint());
+        w.put_biguint(d.as_biguint());
+        w.finish()
+    }
+
+    fn pair_out(&self, from: usize, to: usize, k: &Ciphertext, d: &Ciphertext) -> Outbound {
+        Outbound {
+            from: PartyId(from),
+            to: PartyId(to),
+            label: "price/agg",
+            payload: Self::pair_payload(k, d),
+        }
+    }
+
+    /// The parent of seller position `pos` in the f-ary tree (`H_b` for
+    /// the root).
+    fn tree_parent(&self, pos: usize) -> usize {
+        if pos == 0 {
+            self.hb
+        } else {
+            self.sellers[(pos - 1) / self.fanin]
+        }
+    }
+
+    /// `H_b` holds the final aggregate: decrypt, price, and fan the
+    /// broadcast out. `vts` is the arrival time of the closing message
+    /// (the end of the aggregation phase on the virtual clock).
+    fn finish_aggregation(
+        &mut self,
+        k_ct: Ciphertext,
+        d_ct: Ciphertext,
+        vts: u64,
+    ) -> Result<Transition<PricingOutcome>, PemError> {
+        let pk = self.keys.public(self.hb);
+        if let Some(span) = self.agg_span.take() {
+            span.finish_at(vts);
+        }
+        pk.validate_ciphertext(&k_ct)?;
+        pk.validate_ciphertext(&d_ct)?;
+
+        // … who decrypts the two aggregates (and nothing else — Lemma 3).
+        let quantizer = self.cfg.quantizer();
+        let sk = self.keys.keypair(self.hb).private();
+        let k_sum_q = sk
+            .decrypt(&k_ct)
+            .to_u128()
+            .ok_or(PemError::Protocol("k aggregate exceeded 128 bits"))?;
+        let d_sum_q = sk.decrypt_i128(&d_ct);
+        let k_sum = quantizer.dequantize_u128(k_sum_q);
+        let denominator_sum =
+            quantizer.dequantize(i64::try_from(d_sum_q).map_err(|_| {
+                PemError::Protocol("pricing denominator aggregate exceeded 64 bits")
+            })?);
+
+        // Eq. 13 with the Eq. 14 clamp; a non-positive denominator means
+        // supply is so battery-starved the equilibrium diverges →
+        // ceiling.
+        let p_hat = if denominator_sum <= 0.0 {
+            f64::INFINITY
+        } else {
+            (self.cfg.band.grid_retail * k_sum / denominator_sum).sqrt()
+        };
+        let price = self.cfg.band.clamp(p_hat);
+        self.outcome = Some(PricingOutcome {
+            price,
+            p_hat,
+            hb: self.hb,
+            k_sum,
+            denominator_sum,
+        });
+
+        // H_b broadcasts p* to the whole market.
+        self.bc_span = Some(Span::enter_at("price/broadcast", "protocol", vts));
+        let mut w = WireWriter::new();
+        w.put_f64(price);
+        let bytes = w.finish();
+        let outs: Vec<Outbound> = (0..self.n)
+            .filter(|&i| i != self.hb)
+            .map(|i| Outbound {
+                from: PartyId(self.hb),
+                to: PartyId(i),
+                label: "price/broadcast",
+                payload: bytes.clone(),
+            })
+            .collect();
+        self.state = PricingState::Consume {
+            next: usize::from(self.hb == 0),
+        };
+        Ok(Transition::Send(outs))
+    }
+}
+
+/// Number of children of tree position `pos` with fan-in `f` over `m`
+/// positions.
+fn tree_children(pos: usize, f: usize, m: usize) -> usize {
+    let child_lo = pos * f + 1;
+    if child_lo >= m {
+        0
+    } else {
+        (m - child_lo).min(f)
+    }
+}
+
+/// Decodes one `price/agg` pair and validates both halves.
+fn decode_pair(
+    pk: &pem_crypto::paillier::PublicKey,
+    payload: &[u8],
+) -> Result<(Ciphertext, Ciphertext), PemError> {
+    let mut r = WireReader::new(payload);
+    let k = Ciphertext::from_biguint(r.get_biguint()?);
+    let d = Ciphertext::from_biguint(r.get_biguint()?);
+    pk.validate_ciphertext(&k)?;
+    pk.validate_ciphertext(&d)?;
+    Ok((k, d))
+}
+
+impl ProtocolStateMachine for PricingMachine<'_> {
+    type Output = PricingOutcome;
+    type Error = PemError;
+
+    fn initial_messages(&mut self) -> Result<Vec<Outbound>, PemError> {
+        /// Which kickoff shape the starting state calls for.
+        enum Kick {
+            Ring,
+            Tree,
+            Star,
+        }
+        let kick = match &self.state {
+            PricingState::Ring { .. } => Kick::Ring,
+            PricingState::Star { .. } => Kick::Star,
+            PricingState::Tree { .. } | PricingState::AwaitFinal => Kick::Tree,
+            _ => unreachable!("kickoff happens exactly once"),
+        };
+        let m = self.sellers.len();
+        match kick {
+            Kick::Ring => {
+                // The first seller opens the ring (straight to H_b when
+                // it is alone).
+                let (k, d) = self.terms[0].take().expect("computed at construction");
+                let to = if m > 1 { self.sellers[1] } else { self.hb };
+                let out = self.pair_out(self.sellers[0], to, &k, &d);
+                if m == 1 {
+                    self.state = PricingState::AwaitFinal;
+                }
+                Ok(vec![out])
+            }
+            Kick::Star => {
+                // Every seller sends its pair straight to H_b, who folds
+                // them together locally: same bytes, sequential depth 1 —
+                // at the cost of an all-sellers fan-in on H_b's ingress
+                // link.
+                let mut outs = Vec::with_capacity(m);
+                for pos in 0..m {
+                    let (k, d) = self.terms[pos].take().expect("computed at construction");
+                    outs.push(self.pair_out(self.sellers[pos], self.hb, &k, &d));
+                }
+                Ok(outs)
+            }
+            Kick::Tree => {
+                // Leaves (the trailing positions) send immediately, in
+                // the blocking driver's descending order; every inner
+                // node waits for its children first.
+                let f = self.fanin;
+                let mut outs = Vec::new();
+                for pos in (0..m).rev() {
+                    if tree_children(pos, f, m) == 0 {
+                        let (k, d) = self.terms[pos].take().expect("computed at construction");
+                        outs.push(self.pair_out(self.sellers[pos], self.tree_parent(pos), &k, &d));
+                    }
+                }
+                Ok(outs)
+            }
+        }
+    }
+
+    fn expecting(&self) -> Option<(PartyId, &'static str)> {
+        match &self.state {
+            PricingState::Ring { hop, .. } => Some((PartyId(self.sellers[*hop]), "price/agg")),
+            PricingState::Star { .. } | PricingState::AwaitFinal => {
+                Some((PartyId(self.hb), "price/agg"))
+            }
+            PricingState::Tree { pos, .. } => Some((PartyId(self.sellers[*pos]), "price/agg")),
+            PricingState::Consume { next } => Some((PartyId(*next), "price/broadcast")),
+            PricingState::Done => None,
+        }
+    }
+
+    fn on_message(&mut self, env: Envelope) -> Result<Transition<PricingOutcome>, PemError> {
+        let pk = self.keys.public(self.hb);
+        let m = self.sellers.len();
+        match std::mem::replace(&mut self.state, PricingState::Done) {
+            PricingState::Ring { hop } => {
+                // Ring pass over the sellers, accumulating both sums
+                // homomorphically (the paper's Protocol 3 flow).
+                let (k_in, d_in) = decode_pair(pk, &env.payload)?;
+                let (k_own, d_own) = self.terms[hop].take().expect("computed at construction");
+                let k_acc = pk.add_ciphertexts(&k_in, &k_own);
+                let d_acc = pk.add_ciphertexts(&d_in, &d_own);
+                let (to, next_state) = if hop + 1 < m {
+                    (self.sellers[hop + 1], Some(hop + 1))
+                } else {
+                    (self.hb, None)
+                };
+                let out = self.pair_out(self.sellers[hop], to, &k_acc, &d_acc);
+                self.state = match next_state {
+                    Some(hop) => PricingState::Ring { hop },
+                    None => PricingState::AwaitFinal,
+                };
+                Ok(Transition::Send(vec![out]))
+            }
+            PricingState::Star {
+                received,
+                k_acc,
+                d_acc,
+            } => {
+                let (k_in, d_in) = decode_pair(pk, &env.payload)?;
+                let k_acc = match k_acc {
                     None => k_in,
                     Some(acc) => pk.add_ciphertexts(&acc, &k_in),
-                });
-                d_acc = Some(match d_acc {
+                };
+                let d_acc = match d_acc {
                     None => d_in,
                     Some(acc) => pk.add_ciphertexts(&acc, &d_in),
-                });
-            }
-            (
-                k_acc.expect("at least one seller"),
-                d_acc.expect("at least one seller"),
-            )
-        }
-        Topology::Tree { fanin } => {
-            // f-ary aggregation tree over seller *positions*: node `p`'s
-            // children are `p·f + 1 ..= p·f + f`, its parent
-            // `(p − 1) / f`, and the root hands the pair to `H_b`.
-            // Iterating positions in descending order guarantees every
-            // child has sent before its parent folds and forwards, so
-            // each node receives at most `f` messages — the per-hop
-            // fan-in bound — and the sequential depth is O(log_f n).
-            let f = fanin.max(2);
-            let m = sellers.len();
-            for pos in (0..m).rev() {
-                let cur = sellers[pos];
-                let (mut k_acc, mut d_acc) = seller_terms(cur)?;
-                let child_lo = pos * f + 1;
-                let children = if child_lo >= m {
-                    0
-                } else {
-                    (m - child_lo).min(f)
                 };
-                debug_assert!(children <= f, "fan-in bound violated");
-                for _ in 0..children {
-                    let (k_in, d_in) = recv_pair(net, PartyId(cur))?;
-                    pk.validate_ciphertext(&k_in)?;
-                    pk.validate_ciphertext(&d_in)?;
-                    k_acc = pk.add_ciphertexts(&k_acc, &k_in);
-                    d_acc = pk.add_ciphertexts(&d_acc, &d_in);
+                if received + 1 == m {
+                    self.finish_aggregation(k_acc, d_acc, env.arrival_us)
+                } else {
+                    self.state = PricingState::Star {
+                        received: received + 1,
+                        k_acc: Some(k_acc),
+                        d_acc: Some(d_acc),
+                    };
+                    Ok(Transition::Continue)
                 }
-                let parent = if pos == 0 {
-                    PartyId(hb)
-                } else {
-                    PartyId(sellers[(pos - 1) / f])
-                };
-                send_pair(net, PartyId(cur), parent, &k_acc, &d_acc)?;
             }
-            recv_pair(net, PartyId(hb))?
-        }
-    };
-    agg_span.finish_at(net.now_us());
-    pk.validate_ciphertext(&k_ct)?;
-    pk.validate_ciphertext(&d_ct)?;
-
-    // … who decrypts the two aggregates (and nothing else — Lemma 3).
-    let sk = keys.keypair(hb).private();
-    let k_sum_q = sk
-        .decrypt(&k_ct)
-        .to_u128()
-        .ok_or(PemError::Protocol("k aggregate exceeded 128 bits"))?;
-    let d_sum_q = sk.decrypt_i128(&d_ct);
-    let k_sum = quantizer.dequantize_u128(k_sum_q);
-    let denominator_sum = quantizer.dequantize(
-        i64::try_from(d_sum_q)
-            .map_err(|_| PemError::Protocol("pricing denominator aggregate exceeded 64 bits"))?,
-    );
-
-    // Eq. 13 with the Eq. 14 clamp; a non-positive denominator means
-    // supply is so battery-starved the equilibrium diverges → ceiling.
-    let p_hat = if denominator_sum <= 0.0 {
-        f64::INFINITY
-    } else {
-        (cfg.band.grid_retail * k_sum / denominator_sum).sqrt()
-    };
-    let price = cfg.band.clamp(p_hat);
-
-    // H_b broadcasts p* to the whole market.
-    let bc_span = Span::enter_at("price/broadcast", "protocol", net.now_us());
-    let mut w = WireWriter::new();
-    w.put_f64(price);
-    net.broadcast(PartyId(hb), "price/broadcast", &w.finish())?;
-    for i in 0..agents.len() {
-        if i != hb {
-            let env = net.recv_expect(PartyId(i), "price/broadcast")?;
-            let mut r = WireReader::new(&env.payload);
-            let p = r.get_f64()?;
-            debug_assert_eq!(p.to_bits(), price.to_bits());
+            PricingState::Tree {
+                pos,
+                remaining,
+                k_acc,
+                d_acc,
+            } => {
+                let (k_in, d_in) = decode_pair(pk, &env.payload)?;
+                let k_acc = pk.add_ciphertexts(&k_acc, &k_in);
+                let d_acc = pk.add_ciphertexts(&d_acc, &d_in);
+                if remaining > 1 {
+                    self.state = PricingState::Tree {
+                        pos,
+                        remaining: remaining - 1,
+                        k_acc,
+                        d_acc,
+                    };
+                    return Ok(Transition::Continue);
+                }
+                // Node complete: forward to the parent, then move to the
+                // next (lower) position — every one of which is an inner
+                // node, since leaves occupy the trailing positions.
+                let out = self.pair_out(self.sellers[pos], self.tree_parent(pos), &k_acc, &d_acc);
+                self.state = if pos == 0 {
+                    PricingState::AwaitFinal
+                } else {
+                    let pos = pos - 1;
+                    let (k_acc, d_acc) = self.terms[pos].take().expect("computed at construction");
+                    PricingState::Tree {
+                        pos,
+                        remaining: tree_children(pos, self.fanin, m),
+                        k_acc,
+                        d_acc,
+                    }
+                };
+                Ok(Transition::Send(vec![out]))
+            }
+            PricingState::AwaitFinal => {
+                let mut r = WireReader::new(&env.payload);
+                let k_ct = Ciphertext::from_biguint(r.get_biguint()?);
+                let d_ct = Ciphertext::from_biguint(r.get_biguint()?);
+                self.finish_aggregation(k_ct, d_ct, env.arrival_us)
+            }
+            PricingState::Consume { next } => {
+                let mut r = WireReader::new(&env.payload);
+                let p = r.get_f64()?;
+                let price = self
+                    .outcome
+                    .as_ref()
+                    .expect("set by finish_aggregation")
+                    .price;
+                debug_assert_eq!(p.to_bits(), price.to_bits());
+                let mut next = next + 1;
+                if next == self.hb {
+                    next += 1;
+                }
+                if next < self.n {
+                    self.state = PricingState::Consume { next };
+                    Ok(Transition::Continue)
+                } else {
+                    if let Some(span) = self.bc_span.take() {
+                        span.finish_at(env.arrival_us);
+                    }
+                    Ok(Transition::Done(self.outcome.take().expect("just checked")))
+                }
+            }
+            PricingState::Done => unreachable!("fed a completed pricing machine"),
         }
     }
-    bc_span.finish_at(net.now_us());
-
-    Ok(PricingOutcome {
-        price,
-        p_hat,
-        hb,
-        k_sum,
-        denominator_sum,
-    })
 }
 
 #[cfg(test)]

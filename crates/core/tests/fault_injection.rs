@@ -10,8 +10,9 @@
 //! protocols abort with a descriptive error instead of producing trades.
 //!
 //! Since the `Transport` redesign the protocols are generic over the
-//! fabric, so the same fault plans run against both the deterministic
-//! `SimNetwork` and the channel-backed `MeshTransport`; every case must
+//! fabric, so the same fault plans run against the deterministic
+//! `SimNetwork`, the channel-backed `MeshTransport` *and* the
+//! poll-oriented `EventTransport` of `pem-fabric`; every case must
 //! produce identical protocol outcomes (same result on success, same
 //! error class on abort) — the wire-level witness that the trait is a
 //! real abstraction, not a rename of the simulator.
@@ -19,6 +20,7 @@
 use pem_core::protocol2;
 use pem_core::{AgentCtx, KeyDirectory, PemConfig, PemError, Quantizer};
 use pem_crypto::drbg::HashDrbg;
+use pem_fabric::EventTransport;
 use pem_market::{AgentWindow, Role};
 use pem_net::{FaultKind, FaultPlan, LatencyModel, MeshTransport, SimNetwork, Transport};
 use rand::Rng;
@@ -65,23 +67,27 @@ fn run_protocol2_on<T: Transport>(net: &mut T) -> Result<protocol2::EvalOutcome,
     )
 }
 
-/// Runs the same fault plan against both transports and checks the
-/// outcomes agree: both succeed with the identical result, or both abort
-/// with the same error class.
+/// Runs the same fault plan against all three transports and checks the
+/// outcomes agree: every fabric succeeds with the identical result, or
+/// every fabric aborts with the same error class.
 fn run_protocol2_both(plan: FaultPlan) -> Result<protocol2::EvalOutcome, PemError> {
     let parties = setup().1.len();
     let mut sim = SimNetwork::new(parties).with_faults(plan.clone());
     let sim_result = run_protocol2_on(&mut sim);
-    let mut mesh = MeshTransport::new(parties).with_faults(plan);
+    let mut mesh = MeshTransport::new(parties).with_faults(plan.clone());
     let mesh_result = run_protocol2_on(&mut mesh);
-    match (&sim_result, &mesh_result) {
-        (Ok(a), Ok(b)) => assert_eq!(a, b, "transports must agree on the outcome"),
-        (Err(a), Err(b)) => assert_eq!(
-            std::mem::discriminant(a),
-            std::mem::discriminant(b),
-            "transports must abort with the same error class: {a:?} vs {b:?}"
-        ),
-        (a, b) => panic!("transports diverged: sim {a:?} vs mesh {b:?}"),
+    let mut event = EventTransport::new(parties).with_faults(plan);
+    let event_result = run_protocol2_on(&mut event);
+    for (name, other) in [("mesh", &mesh_result), ("event", &event_result)] {
+        match (&sim_result, other) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "sim vs {name}: outcomes must agree"),
+            (Err(a), Err(b)) => assert_eq!(
+                std::mem::discriminant(a),
+                std::mem::discriminant(b),
+                "sim vs {name}: same error class expected: {a:?} vs {b:?}"
+            ),
+            (a, b) => panic!("transports diverged: sim {a:?} vs {name} {b:?}"),
+        }
     }
     sim_result
 }
@@ -191,10 +197,13 @@ fn fault_plans_leave_identical_message_logs() {
     let parties = setup().1.len();
     let mut sim = SimNetwork::with_latency(parties, LatencyModel::lan()).with_faults(plan.clone());
     let sim_result = run_protocol2_on(&mut sim);
-    let mut mesh = MeshTransport::with_latency(parties, LatencyModel::lan()).with_faults(plan);
+    let mut mesh =
+        MeshTransport::with_latency(parties, LatencyModel::lan()).with_faults(plan.clone());
     let mesh_result = run_protocol2_on(&mut mesh);
+    let mut event = EventTransport::with_latency(parties, LatencyModel::lan()).with_faults(plan);
+    let event_result = run_protocol2_on(&mut event);
     assert!(
-        sim_result.is_err() && mesh_result.is_err(),
+        sim_result.is_err() && mesh_result.is_err() && event_result.is_err(),
         "plan drops a message"
     );
 
@@ -212,6 +221,7 @@ fn fault_plans_leave_identical_message_logs() {
     };
     let sim_log = log(sim.fabric_id());
     let mesh_log = log(mesh.fabric_id());
+    let event_log = log(event.fabric_id());
     assert!(
         !sim_log.is_empty(),
         "the run crosses the wire before aborting"
@@ -219,6 +229,10 @@ fn fault_plans_leave_identical_message_logs() {
     assert_eq!(
         sim_log, mesh_log,
         "same fault plan must leave the same message log on both fabrics"
+    );
+    assert_eq!(
+        sim_log, event_log,
+        "the event fabric journals the same wire history"
     );
     pem_telemetry::uninstall();
 }

@@ -8,7 +8,7 @@ use pem_core::PemConfig;
 use pem_coupling::CouplingConfig;
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::{AgentWindow, PriceBand};
-use pem_sched::{GridConfig, GridOrchestrator, PartitionStrategy};
+use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy};
 
 /// The `grid_day` example's trace: 1,000 homes, a 24h day of 15-minute
 /// windows, one-in-three solar penetration, seed 2020.
@@ -54,6 +54,7 @@ fn thousand_home_day_reduces_dispersion_without_leaking_bids() {
         pem,
         coalition_size: 31,
         workers: workers(),
+        engine: Engine::Threads,
         strategy: PartitionStrategy::Feeder { feeders: 8 },
         coupling: Some(coupling),
     })
@@ -153,6 +154,7 @@ fn coupled_grid(coalition_size: usize) -> GridConfig {
         pem: PemConfig::fast_test().with_randomizer_pool(6),
         coalition_size,
         workers: 2,
+        engine: Engine::Threads,
         strategy: PartitionStrategy::RoundRobin,
         coupling: Some(CouplingConfig::fast_test()),
     }

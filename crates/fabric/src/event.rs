@@ -1,0 +1,460 @@
+//! The event-queue transport: `SimNetwork` virtual-clock semantics,
+//! organized for poll-driven delivery.
+//!
+//! [`EventTransport`] carries the exact send-side pipeline of the
+//! built-in fabrics — byte accounting before anything else, the shared
+//! [`LatencyModel::arrival_us`] clock formula (propagation overlaps,
+//! ingress bytes serialize), telemetry message records, then the
+//! [`FaultPlan`] hook — plus `MeshTransport`'s per-link latency
+//! overrides. What differs is the receive side: nothing ever blocks.
+//! Queued messages can be inspected ([`EventTransport::has_message`]),
+//! popped per recipient with the usual FIFO `recv`/`recv_expect`, or
+//! delivered in global arrival order with
+//! [`EventTransport::pop_earliest`] — the event-loop shape a poll-driven
+//! executor needs.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use pem_net::fault::FaultPlan;
+use pem_net::{Envelope, LatencyModel, NetError, NetStats, PartyId, Transport};
+
+/// Deterministic non-blocking fabric: per-party FIFO mailboxes behind an
+/// arrival-ordered event view, with the same accounting, virtual clock
+/// and fault semantics as `SimNetwork`.
+#[derive(Debug)]
+pub struct EventTransport {
+    /// Per-party mailboxes; each entry carries a global send sequence
+    /// number so arrival-order delivery breaks ties deterministically.
+    mailboxes: Vec<VecDeque<(u64, Envelope)>>,
+    /// Next global send sequence number.
+    seq: u64,
+    stats: NetStats,
+    default_latency: LatencyModel,
+    /// `(from, to)` → model overriding the default on that link.
+    link_latency: BTreeMap<(usize, usize), LatencyModel>,
+    /// Total latency charged across all messages (µs).
+    clock_us: u64,
+    /// Per-party local clocks (advanced by receiving messages).
+    local_time_us: Vec<u64>,
+    /// Per-party ingress-link free time: fan-in bytes serialize.
+    ingress_free_us: Vec<u64>,
+    /// Critical-path watermark: the latest arrival scheduled so far.
+    critical_us: u64,
+    faults: FaultPlan,
+    /// Process-unique id for telemetry message attribution.
+    fabric: u64,
+}
+
+impl EventTransport {
+    /// Creates a fabric with `parties` parties and no latency model.
+    pub fn new(parties: usize) -> EventTransport {
+        EventTransport::with_latency(parties, LatencyModel::zero())
+    }
+
+    /// Creates a fabric whose links all carry `default` latency
+    /// (override individual links with
+    /// [`set_link_latency`](Self::set_link_latency)).
+    pub fn with_latency(parties: usize, default: LatencyModel) -> EventTransport {
+        EventTransport {
+            mailboxes: (0..parties).map(|_| VecDeque::new()).collect(),
+            seq: 0,
+            stats: NetStats::new(parties),
+            default_latency: default,
+            link_latency: BTreeMap::new(),
+            clock_us: 0,
+            local_time_us: vec![0; parties],
+            ingress_free_us: vec![0; parties],
+            critical_us: 0,
+            faults: FaultPlan::new(),
+            fabric: pem_net::next_fabric_id(),
+        }
+    }
+
+    /// Attaches a fault-injection plan (builder style).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> EventTransport {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the latency model of the ordered link `from → to`.
+    pub fn set_link_latency(&mut self, from: PartyId, to: PartyId, model: LatencyModel) {
+        self.link_latency.insert((from.0, to.0), model);
+    }
+
+    /// Number of parties.
+    pub fn parties(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Total latency charged across all messages (µs) — the volume
+    /// figure, as opposed to the critical path of [`Transport::now_us`].
+    pub fn simulated_latency_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    /// Critical-path latency (µs): the virtual-clock instant by which
+    /// every message scheduled so far has arrived.
+    pub fn critical_path_us(&self) -> u64 {
+        self.critical_us
+    }
+
+    /// Process-unique fabric id (see [`Transport::fabric_id`]).
+    pub fn fabric_id(&self) -> u64 {
+        self.fabric
+    }
+
+    /// Whether any message is queued for `to` — the readiness probe a
+    /// poll-driven task uses before committing to a receive.
+    pub fn has_message(&self, to: PartyId) -> bool {
+        self.mailboxes.get(to.0).is_some_and(|m| !m.is_empty())
+    }
+
+    fn check(&self, p: PartyId) -> Result<(), NetError> {
+        if p.0 >= self.mailboxes.len() {
+            Err(NetError::UnknownParty {
+                party: p.0,
+                parties: self.mailboxes.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn link_model(&self, from: usize, to: usize) -> LatencyModel {
+        *self
+            .link_latency
+            .get(&(from, to))
+            .unwrap_or(&self.default_latency)
+    }
+
+    /// Folds a consumed delivery into the recipient's local clock.
+    fn observe(&mut self, env: Envelope) -> Envelope {
+        self.local_time_us[env.to.0] = self.local_time_us[env.to.0].max(env.arrival_us);
+        env
+    }
+
+    /// Sends `payload` from `from` to `to` under a phase label, with the
+    /// exact accounting/clock/fault pipeline of `SimNetwork` (per-link
+    /// latency resolved first, as on the mesh).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownParty`] / [`NetError::SelfSend`].
+    pub fn send(
+        &mut self,
+        from: PartyId,
+        to: PartyId,
+        label: &'static str,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        self.check(from)?;
+        self.check(to)?;
+        if from == to {
+            return Err(NetError::SelfSend { party: from.0 });
+        }
+        // The sender is charged for the bytes it put on the wire even if
+        // the fabric then drops or mangles them (matching `SimNetwork`).
+        self.stats.record(from.0, to.0, label, payload.len());
+        let model = self.link_model(from.0, to.0);
+        self.clock_us += model.charge_us(payload.len());
+        let arrival_us = model.arrival_us(
+            self.local_time_us[from.0],
+            self.ingress_free_us[to.0],
+            payload.len(),
+        );
+        self.ingress_free_us[to.0] = arrival_us;
+        self.critical_us = self.critical_us.max(arrival_us);
+        // Telemetry sees the message as sent, before fault processing —
+        // same ordering as the built-in fabrics.
+        pem_telemetry::record_msg(
+            self.fabric,
+            from.0,
+            to.0,
+            label,
+            payload.len() as u64,
+            self.local_time_us[from.0],
+            arrival_us,
+        );
+        let Some((payload, duplicate)) = self.faults.process(label, payload) else {
+            return Ok(()); // dropped in flight
+        };
+        if duplicate {
+            self.seq += 1;
+            self.mailboxes[to.0].push_back((
+                self.seq,
+                Envelope {
+                    from,
+                    to,
+                    label,
+                    payload: payload.clone(),
+                    arrival_us,
+                },
+            ));
+        }
+        self.seq += 1;
+        self.mailboxes[to.0].push_back((
+            self.seq,
+            Envelope {
+                from,
+                to,
+                label,
+                payload,
+                arrival_us,
+            },
+        ));
+        Ok(())
+    }
+
+    /// Pops the next message for `to`, if any (FIFO per recipient, like
+    /// the built-in fabrics). Consumption fast-forwards `to`'s local
+    /// clock to the arrival time.
+    pub fn recv(&mut self, to: PartyId) -> Option<Envelope> {
+        let (_, env) = self.mailboxes.get_mut(to.0)?.pop_front()?;
+        Some(self.observe(env))
+    }
+
+    /// Pops the next message for `to`, requiring the given label; the
+    /// message is *not* consumed (and the clock not advanced) on a label
+    /// mismatch.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Empty`] or [`NetError::UnexpectedLabel`].
+    pub fn recv_expect(&mut self, to: PartyId, label: &'static str) -> Result<Envelope, NetError> {
+        self.check(to)?;
+        let (_, head) = self.mailboxes[to.0].front().ok_or(NetError::Empty {
+            party: to.0,
+            expected: label,
+        })?;
+        if head.label != label {
+            return Err(NetError::UnexpectedLabel {
+                expected: label,
+                got: head.label.to_string(),
+            });
+        }
+        let (_, env) = self.mailboxes[to.0].pop_front().expect("head exists");
+        Ok(self.observe(env))
+    }
+
+    /// Pops the queued message with the earliest arrival time across
+    /// *all* parties (ties broken by send order) — global event-loop
+    /// delivery, for drivers that react to whatever lands next rather
+    /// than waiting on one party.
+    pub fn pop_earliest(&mut self) -> Option<Envelope> {
+        let party = self
+            .mailboxes
+            .iter()
+            .enumerate()
+            .filter_map(|(p, m)| m.front().map(|(seq, env)| (env.arrival_us, *seq, p)))
+            .min()?
+            .2;
+        let (_, env) = self.mailboxes[party].pop_front().expect("head exists");
+        Some(self.observe(env))
+    }
+
+    /// Number of undelivered messages across all mailboxes.
+    pub fn pending(&self) -> usize {
+        self.mailboxes.iter().map(|m| m.len()).sum()
+    }
+}
+
+impl Transport for EventTransport {
+    fn party_count(&self) -> usize {
+        self.parties()
+    }
+
+    fn send(
+        &mut self,
+        from: PartyId,
+        to: PartyId,
+        label: &'static str,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        EventTransport::send(self, from, to, label, payload)
+    }
+
+    fn recv(&mut self, to: PartyId) -> Option<Envelope> {
+        EventTransport::recv(self, to)
+    }
+
+    fn recv_expect(&mut self, to: PartyId, label: &'static str) -> Result<Envelope, NetError> {
+        EventTransport::recv_expect(self, to, label)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats.clone()
+    }
+
+    fn traffic_totals(&self) -> (u64, u64) {
+        (self.stats.total_messages, self.stats.total_bytes)
+    }
+
+    fn now_us(&self) -> u64 {
+        self.critical_us
+    }
+
+    fn fabric_id(&self) -> u64 {
+        self.fabric
+    }
+
+    fn pending(&self) -> usize {
+        EventTransport::pending(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pem_net::fault::FaultKind;
+    use pem_net::SimNetwork;
+
+    /// Drives the same traffic script over both fabrics and asserts the
+    /// whole measurement surface matches: stats, virtual clocks,
+    /// delivered envelopes.
+    fn assert_matches_sim(script: impl Fn(&mut dyn Transport) -> Vec<Envelope>) {
+        let mut sim = SimNetwork::with_latency(4, LatencyModel::lan());
+        let mut event = EventTransport::with_latency(4, LatencyModel::lan());
+        let sim_envs = script(&mut sim);
+        let event_envs = script(&mut event);
+        assert_eq!(sim_envs, event_envs, "delivered envelopes differ");
+        assert_eq!(&Transport::stats(&sim), event.stats(), "stats differ");
+        assert_eq!(sim.now_us(), Transport::now_us(&event), "clocks differ");
+        assert_eq!(
+            sim.simulated_latency_us(),
+            event.simulated_latency_us(),
+            "latency volume differs"
+        );
+    }
+
+    #[test]
+    fn matches_sim_network_semantics() {
+        assert_matches_sim(|net| {
+            let mut seen = Vec::new();
+            net.send(PartyId(0), PartyId(1), "a", vec![0; 600]).unwrap();
+            net.send(PartyId(2), PartyId(1), "a", vec![0; 600]).unwrap();
+            // Label mismatch: non-consuming, clock untouched.
+            assert!(matches!(
+                net.recv_expect(PartyId(1), "b"),
+                Err(NetError::UnexpectedLabel { .. })
+            ));
+            seen.push(net.recv_expect(PartyId(1), "a").unwrap());
+            net.broadcast(PartyId(1), "bc", &[9, 9]).unwrap();
+            seen.push(net.recv_expect(PartyId(1), "a").unwrap());
+            for p in [0, 2, 3] {
+                seen.push(net.recv(PartyId(p)).unwrap());
+            }
+            assert_eq!(net.pending(), 0);
+            seen
+        });
+    }
+
+    #[test]
+    fn rejects_bad_addresses() {
+        let mut net = EventTransport::new(2);
+        assert!(matches!(
+            net.send(PartyId(0), PartyId(5), "x", vec![]),
+            Err(NetError::UnknownParty { .. })
+        ));
+        assert!(matches!(
+            net.send(PartyId(0), PartyId(0), "x", vec![]),
+            Err(NetError::SelfSend { .. })
+        ));
+        assert!(matches!(
+            net.recv_expect(PartyId(1), "x"),
+            Err(NetError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn pop_earliest_delivers_in_arrival_order() {
+        let mut net = EventTransport::with_latency(3, LatencyModel::lan());
+        // Slow link 0→2: its message departs first but arrives last.
+        net.set_link_latency(PartyId(0), PartyId(2), LatencyModel::wan());
+        net.send(PartyId(0), PartyId(2), "slow", vec![0; 8])
+            .unwrap();
+        net.send(PartyId(0), PartyId(1), "fast", vec![0; 8])
+            .unwrap();
+        net.send(PartyId(1), PartyId(0), "fast", vec![0; 8])
+            .unwrap();
+        let order: Vec<&str> = std::iter::from_fn(|| net.pop_earliest())
+            .map(|env| env.label)
+            .collect();
+        assert_eq!(order, vec!["fast", "fast", "slow"]);
+        assert_eq!(net.pending(), 0);
+    }
+
+    #[test]
+    fn pop_earliest_breaks_ties_by_send_order() {
+        // Zero latency: every arrival is at 0 — delivery must follow
+        // global send order, not party index.
+        let mut net = EventTransport::new(3);
+        net.send(PartyId(0), PartyId(2), "first", vec![1]).unwrap();
+        net.send(PartyId(0), PartyId(1), "second", vec![2]).unwrap();
+        net.send(PartyId(1), PartyId(2), "third", vec![3]).unwrap();
+        let order: Vec<&str> = std::iter::from_fn(|| net.pop_earliest())
+            .map(|env| env.label)
+            .collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn per_link_latency_overrides_default() {
+        let mut net = EventTransport::with_latency(3, LatencyModel::lan());
+        net.set_link_latency(PartyId(0), PartyId(2), LatencyModel::wan());
+        net.send(PartyId(0), PartyId(1), "x", vec![0; 100]).unwrap();
+        let lan_arrival = net.recv(PartyId(1)).expect("delivered").arrival_us;
+        assert_eq!(lan_arrival, LatencyModel::lan().charge_us(100));
+        net.send(PartyId(0), PartyId(2), "x", vec![0; 100]).unwrap();
+        let wan_arrival = net.recv(PartyId(2)).expect("delivered").arrival_us;
+        assert_eq!(wan_arrival, LatencyModel::wan().charge_us(100));
+        assert_eq!(net.critical_path_us(), wan_arrival);
+    }
+
+    #[test]
+    fn faults_apply_exactly_as_on_sim() {
+        for kind in [
+            FaultKind::Drop,
+            FaultKind::Duplicate,
+            FaultKind::Corrupt,
+            FaultKind::Truncate,
+        ] {
+            let plan = || FaultPlan::new().inject("m", 1, kind);
+            let mut sim = SimNetwork::new(2).with_faults(plan());
+            let mut event = EventTransport::new(2).with_faults(plan());
+            fn script<T: Transport>(net: &mut T) -> Vec<Vec<u8>> {
+                net.send(PartyId(0), PartyId(1), "m", vec![1, 2, 3, 4])
+                    .unwrap();
+                // The faulted occurrence.
+                net.send(PartyId(0), PartyId(1), "m", vec![5, 6, 7, 8])
+                    .unwrap();
+                let mut out = Vec::new();
+                while let Some(env) = net.recv(PartyId(1)) {
+                    out.push(env.payload);
+                }
+                out
+            }
+            let sim_out = script(&mut sim);
+            let event_out = script(&mut event);
+            assert_eq!(sim_out, event_out, "{kind:?} outcomes differ");
+            assert_eq!(sim.stats(), event.stats(), "{kind:?} stats differ");
+        }
+    }
+
+    #[test]
+    fn has_message_probes_without_consuming() {
+        let mut net = EventTransport::new(2);
+        assert!(!net.has_message(PartyId(1)));
+        net.send(PartyId(0), PartyId(1), "x", vec![1]).unwrap();
+        assert!(net.has_message(PartyId(1)));
+        assert!(!net.has_message(PartyId(0)));
+        assert_eq!(net.pending(), 1, "probe must not consume");
+        net.recv(PartyId(1)).unwrap();
+        assert!(!net.has_message(PartyId(1)));
+    }
+}

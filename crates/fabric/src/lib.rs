@@ -1,0 +1,62 @@
+//! Event-driven execution substrate for the PEM protocols.
+//!
+//! The paper's per-agent-container deployment maps naturally onto one OS
+//! thread per party with blocking `recv` — fine for one coalition, fatal
+//! for ten thousand concurrent windows. This crate provides the pieces
+//! that let a *single* thread multiplex arbitrarily many protocol
+//! instances:
+//!
+//! * [`ProtocolStateMachine`] — the message-in → transition →
+//!   messages-out shape: a protocol holds explicit state instead of a
+//!   blocked stack, so thousands of instances cost thousands of structs,
+//!   not thousands of threads. [`drive`] polls any machine to completion
+//!   on a blocking [`Transport`], which is how the classic drivers in
+//!   `pem-core` stay bit-identical thin adapters.
+//! * [`EventTransport`] — a [`Transport`] implementation with the same
+//!   virtual-clock semantics as `SimNetwork`/`MeshTransport` (arrival
+//!   formula, ingress serialization, per-link latency, fault hooks) but
+//!   organized as an inspectable event queue: `recv` never blocks, and
+//!   [`EventTransport::pop_earliest`] delivers in global arrival order.
+//! * [`Executor`] — a deterministic single-thread scheduler over
+//!   [`FabricTask`]s: seeded, poll-order-stable, bit-identical output at
+//!   any admission batch size. Ready-queue depth, poll and stall
+//!   counters flow through the `pem-telemetry` registry
+//!   (`fabric/polls`, `fabric/stalls`, `fabric/ready-depth`).
+//!
+//! # Example
+//!
+//! ```
+//! use pem_fabric::{EventTransport, Executor, FabricTask, Poll};
+//! use pem_net::{PartyId, Transport};
+//!
+//! // A trivial task: relay one message, then finish.
+//! struct Relay(EventTransport);
+//! impl FabricTask for Relay {
+//!     type Output = Vec<u8>;
+//!     type Error = pem_net::NetError;
+//!     fn poll(&mut self) -> Result<Poll<Vec<u8>>, Self::Error> {
+//!         let env = self.0.recv_expect(PartyId(1), "hop")?;
+//!         Ok(Poll::Ready(env.payload))
+//!     }
+//!     fn is_ready(&self) -> bool {
+//!         self.0.has_message(PartyId(1))
+//!     }
+//! }
+//!
+//! let mut net = EventTransport::new(2);
+//! net.send(PartyId(0), PartyId(1), "hop", vec![42]).unwrap();
+//! let (outputs, report) = Executor::new(0).run(vec![Relay(net)]).unwrap();
+//! assert_eq!(outputs, vec![vec![42]]);
+//! assert_eq!(report.completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod executor;
+mod machine;
+
+pub use event::EventTransport;
+pub use executor::{Executor, ExecutorReport, FabricTask, Poll};
+pub use machine::{drive, kickoff, step, Outbound, ProtocolStateMachine, Transition};

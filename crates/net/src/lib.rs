@@ -51,4 +51,4 @@ pub use fault::{FaultKind, FaultPlan};
 pub use mesh::{MeshEndpoint, MeshTransport};
 pub use sim::{Envelope, LatencyModel, PartyId, SimNetwork};
 pub use stats::{LabelStats, NetStats};
-pub use transport::Transport;
+pub use transport::{next_fabric_id, Transport};

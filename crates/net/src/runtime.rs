@@ -42,14 +42,25 @@ where
     let body = Arc::new(body);
     let handles: Vec<_> = endpoints
         .into_iter()
-        .map(|ep| {
+        .enumerate()
+        .map(|(i, ep)| {
             let body = Arc::clone(&body);
-            thread::spawn(move || body(ep))
+            // Named threads: a panic inside a party prints as
+            // `thread 'party-3' panicked …`, so the failing party is
+            // identifiable from the crash output alone.
+            thread::Builder::new()
+                .name(format!("party-{i}"))
+                .spawn(move || body(ep))
+                .unwrap_or_else(|e| panic!("failed to spawn party-{i}: {e}"))
         })
         .collect();
     handles
         .into_iter()
-        .map(|h| h.join().expect("party thread panicked"))
+        .enumerate()
+        .map(|(i, h)| {
+            h.join()
+                .unwrap_or_else(|_| panic!("party-{i} thread panicked"))
+        })
         .collect()
 }
 

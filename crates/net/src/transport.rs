@@ -31,7 +31,12 @@ use crate::stats::NetStats;
 static NEXT_FABRIC: AtomicU64 = AtomicU64::new(1);
 
 /// Allocates a process-unique fabric id for a new transport instance.
-pub(crate) fn next_fabric_id() -> u64 {
+///
+/// Public so out-of-crate [`Transport`] implementations (e.g. the
+/// event-queue fabric in `pem-fabric`) draw from the same id space as
+/// the built-in fabrics — telemetry message attribution relies on ids
+/// never colliding within a process.
+pub fn next_fabric_id() -> u64 {
     NEXT_FABRIC.fetch_add(1, Ordering::Relaxed)
 }
 

@@ -3,6 +3,7 @@
 
 use pem_core::{Pem, PemConfig, PemError, PoolStats};
 use pem_coupling::{CouplingConfig, CouplingCoordinator, Repartitioner, ShardPosition};
+use pem_fabric::Executor;
 use pem_ledger::{Ledger, SettlementContract, SettlementTx, TransferTx};
 use pem_market::{AgentWindow, MarketKind};
 use pem_net::NetStats;
@@ -13,6 +14,56 @@ use crate::pool;
 use crate::report::{
     phase_latencies, GridDayReport, GridReport, PriceStats, SettlementSummary, ShardOutcome,
 };
+
+/// Which execution engine runs a window's coalition jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// One blocking protocol run per worker thread (the classic pool).
+    #[default]
+    Threads,
+    /// Every coalition as a poll-able [`WindowTask`] multiplexed on one
+    /// deterministic single-thread executor. `batch` bounds how many
+    /// coalitions are resident at once (`0` = all) — a memory ceiling,
+    /// never an output change: fingerprints are bit-identical to the
+    /// thread engine at every batch size.
+    ///
+    /// [`WindowTask`]: pem_core::WindowTask
+    Fabric {
+        /// Maximum resident tasks (`0` = admit everything).
+        batch: usize,
+    },
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Threads => write!(f, "threads"),
+            Engine::Fabric { batch: 0 } => write!(f, "fabric"),
+            Engine::Fabric { batch } => write!(f, "fabric:{batch}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    /// Parses `threads`, `fabric`, or `fabric:<batch>`.
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s {
+            "threads" => Ok(Engine::Threads),
+            "fabric" => Ok(Engine::Fabric { batch: 0 }),
+            other => match other.strip_prefix("fabric:") {
+                Some(batch) => batch
+                    .parse()
+                    .map(|batch| Engine::Fabric { batch })
+                    .map_err(|_| format!("bad fabric batch size {batch:?}")),
+                None => Err(format!(
+                    "unknown engine {other:?} (expected threads, fabric or fabric:<batch>)"
+                )),
+            },
+        }
+    }
+}
 
 /// Configuration of a sharded grid.
 #[derive(Debug, Clone)]
@@ -25,7 +76,12 @@ pub struct GridConfig {
     /// tens to low hundreds; protocol cost grows superlinearly).
     pub coalition_size: usize,
     /// Worker threads running coalition windows (and key generation).
+    /// Under [`Engine::Fabric`] the protocol phase runs on one thread;
+    /// `workers` still parallelizes key generation and randomizer-pool
+    /// precompute.
     pub workers: usize,
+    /// Execution engine for the window's coalition jobs.
+    pub engine: Engine,
     /// Partitioning strategy.
     pub strategy: PartitionStrategy,
     /// Cross-shard market coupling (and optional dispersion-driven
@@ -305,22 +361,45 @@ impl GridOrchestrator {
                 (shard, data)
             })
             .collect();
-        let finished = pool::run_indexed(self.cfg.workers, jobs, |_, (mut shard, data)| {
-            let outcome = shard.pem.run_window(&data);
-            (shard, outcome)
-        });
+        let (shards, outcomes): (
+            Vec<Shard>,
+            Result<Vec<pem_core::PemWindowOutcome>, PemError>,
+        ) = match self.cfg.engine {
+            Engine::Threads => {
+                let finished = pool::run_indexed(self.cfg.workers, jobs, |_, (mut shard, data)| {
+                    let outcome = shard.pem.run_window(&data);
+                    (shard, outcome)
+                });
+                let mut shards = Vec::with_capacity(finished.len());
+                let mut outcomes = Vec::with_capacity(finished.len());
+                for (shard, outcome) in finished {
+                    shards.push(shard);
+                    outcomes.push(outcome);
+                }
+                (shards, outcomes.into_iter().collect())
+            }
+            Engine::Fabric { batch } => {
+                // Every coalition becomes a poll-able task; one
+                // executor thread interleaves them message by
+                // message. Outputs come back in shard order, so the
+                // fold below is identical to the thread engine's.
+                let mut jobs = jobs;
+                let run: Result<Vec<pem_core::PemWindowOutcome>, PemError> = (|| {
+                    let tasks = jobs
+                        .iter_mut()
+                        .map(|(shard, data)| shard.pem.fabric_window(data))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let (outs, _report) = Executor::new(batch).run(tasks)?;
+                    Ok(outs)
+                })();
+                (jobs.into_iter().map(|(shard, _)| shard).collect(), run)
+            }
+        };
 
         // Reinstall shard state before error propagation so one failed
         // window doesn't wedge the orchestrator.
-        let mut outcomes = Vec::with_capacity(finished.len());
-        let mut shards = Vec::with_capacity(finished.len());
-        for (shard, outcome) in finished {
-            shards.push(shard);
-            outcomes.push(outcome);
-        }
         self.shards = Some(shards);
-        let outcomes: Vec<pem_core::PemWindowOutcome> =
-            outcomes.into_iter().collect::<Result<_, _>>()?;
+        let outcomes = outcomes?;
 
         self.fold_window(
             population,
@@ -572,6 +651,7 @@ mod tests {
             pem: PemConfig::fast_test().with_randomizer_pool(4),
             coalition_size: 6,
             workers,
+            engine: Engine::Threads,
             strategy: PartitionStrategy::SurplusBalanced,
             coupling: None,
         }

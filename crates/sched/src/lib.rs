@@ -30,7 +30,7 @@
 //! ```
 //! use pem_core::PemConfig;
 //! use pem_market::AgentWindow;
-//! use pem_sched::{GridConfig, GridOrchestrator, PartitionStrategy};
+//! use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy};
 //!
 //! // 12 agents, coalitions of at most 4, two workers.
 //! let population: Vec<AgentWindow> = (0..12)
@@ -46,6 +46,7 @@
 //!     pem: PemConfig::fast_test().with_randomizer_pool(4),
 //!     coalition_size: 4,
 //!     workers: 2,
+//!     engine: Engine::Threads,
 //!     strategy: PartitionStrategy::SurplusBalanced,
 //!     coupling: None,
 //! })?;
@@ -67,7 +68,7 @@ pub mod pool;
 mod report;
 
 pub use error::SchedError;
-pub use grid::{GridConfig, GridOrchestrator};
+pub use grid::{Engine, GridConfig, GridOrchestrator};
 pub use partition::{
     FeederTopology, PartitionStrategy, Partitioner, RoundRobin, ShardPlan, SurplusBalanced,
 };

@@ -9,7 +9,7 @@
 use pem_core::PemConfig;
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::AgentWindow;
-use pem_sched::{GridConfig, GridOrchestrator, GridReport, PartitionStrategy};
+use pem_sched::{Engine, GridConfig, GridOrchestrator, GridReport, PartitionStrategy};
 
 fn grid_config(workers: usize, strategy: PartitionStrategy) -> GridConfig {
     GridConfig {
@@ -17,6 +17,7 @@ fn grid_config(workers: usize, strategy: PartitionStrategy) -> GridConfig {
         pem: PemConfig::fast_test().with_randomizer_pool(6),
         coalition_size: 10,
         workers,
+        engine: Engine::Threads,
         strategy,
         coupling: None,
     }

@@ -11,7 +11,7 @@
 use pem_core::PemConfig;
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::AgentWindow;
-use pem_sched::{GridConfig, GridOrchestrator, PartitionStrategy};
+use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy};
 
 fn day(windows: usize, homes: usize) -> Vec<Vec<AgentWindow>> {
     let trace = TraceGenerator::new(TraceConfig {
@@ -29,6 +29,7 @@ fn fingerprints(workers: usize) -> Vec<String> {
         pem: PemConfig::fast_test().with_randomizer_pool(6),
         coalition_size: 10,
         workers,
+        engine: Engine::Threads,
         strategy: PartitionStrategy::SurplusBalanced,
         coupling: None,
     })

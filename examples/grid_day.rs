@@ -12,6 +12,9 @@
 //! # Latency-aware fabrics (coalition windows *and* the coupling round
 //! # run on the model; the coupling line reports its critical path):
 //! cargo run --release --example grid_day -- --couple --latency lan
+//! # All coalitions as poll-able tasks on one deterministic executor
+//! # thread (bit-identical reports; fabric:<batch> bounds residency):
+//! cargo run --release --example grid_day -- --engine fabric
 //! # Observability: Chrome trace (chrome://tracing / Perfetto) and a
 //! # machine-readable full-day report.
 //! cargo run --release --example grid_day -- --trace day.trace.json --json day.json
@@ -23,7 +26,7 @@ use pem::core::PemConfig;
 use pem::coupling::{CouplingConfig, RepartitionConfig};
 use pem::data::{TraceConfig, TraceGenerator};
 use pem::net::LatencyModel;
-use pem::sched::{GridConfig, GridOrchestrator, PartitionStrategy};
+use pem::sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy};
 
 /// `--flag value` lookup over `std::env::args` (no external deps).
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -54,6 +57,13 @@ fn main() {
         "feeder" => PartitionStrategy::Feeder { feeders: 8 },
         _ => PartitionStrategy::SurplusBalanced,
     };
+    let engine: Engine = match arg("--engine", "threads".to_string()).parse() {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("bad --engine: {e}");
+            std::process::exit(2);
+        }
+    };
     let latency_name = arg("--latency", "zero".to_string());
     let latency = match latency_name.as_str() {
         "zero" => LatencyModel::zero(),
@@ -83,7 +93,7 @@ fn main() {
 
     println!("== PEM grid day ==");
     println!(
-        "homes {homes} | windows {windows} | coalition ≤{coalition} | workers {workers} | randomizer pool {pool}/key | coupling {} | latency {latency_name}",
+        "homes {homes} | windows {windows} | coalition ≤{coalition} | workers {workers} | engine {engine} | randomizer pool {pool}/key | coupling {} | latency {latency_name}",
         if couple { "on" } else { "off" }
     );
 
@@ -123,6 +133,7 @@ fn main() {
         pem,
         coalition_size: coalition,
         workers,
+        engine,
         strategy,
         coupling,
     })

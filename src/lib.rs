@@ -18,6 +18,7 @@
 //! | [`data`] | `pem-data` | synthetic smart-home traces (UMass Smart* substitute) |
 //! | [`net`] | `pem-net` | `Transport` trait, byte-metered fabrics (`SimNetwork`, `MeshTransport`), wire codec, threaded runtime |
 //! | [`core`] | `pem-core` | Protocols 1–4: the Private Energy Market itself |
+//! | [`fabric`] | `pem-fabric` | poll-able protocol state machines, event-queue transport, deterministic single-thread executor |
 //! | [`ledger`] | `pem-ledger` | hash-chained settlement ledger (§VI blockchain extension) |
 //! | [`sched`] | `pem-sched` | sharded multi-coalition grid orchestrator (bounded coalitions, worker pool, batched crypto) |
 //! | [`coupling`] | `pem-coupling` | privacy-preserving cross-shard market coupling + dispersion-driven re-partitioning |
@@ -53,6 +54,7 @@ pub use pem_core as core;
 pub use pem_coupling as coupling;
 pub use pem_crypto as crypto;
 pub use pem_data as data;
+pub use pem_fabric as fabric;
 pub use pem_ledger as ledger;
 pub use pem_market as market;
 pub use pem_net as net;
