@@ -18,7 +18,9 @@ use pem_core::PemConfig;
 use pem_coupling::CouplingConfig;
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::{AgentWindow, PriceBand};
-use pem_sched::{Engine, GridConfig, GridOrchestrator, LatencyPercentiles, PartitionStrategy};
+use pem_sched::{
+    Engine, GridConfig, GridOrchestrator, LatencyPercentiles, PartitionStrategy, RetryPolicy,
+};
 
 struct Row {
     window: u64,
@@ -67,6 +69,7 @@ fn config(coalition: usize, workers: usize, couple: bool) -> GridConfig {
         engine: Engine::Threads,
         strategy: PartitionStrategy::Feeder { feeders: 8 },
         coupling: couple.then(CouplingConfig::fast_test),
+        retry: RetryPolicy::default(),
     }
 }
 

@@ -24,7 +24,7 @@ use pem_core::{Pem, PemConfig};
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_fabric::Executor;
 use pem_market::AgentWindow;
-use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy};
+use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy, RetryPolicy};
 
 struct GridRow {
     engine: Engine,
@@ -81,6 +81,7 @@ fn run_grid(
         engine,
         strategy: PartitionStrategy::SurplusBalanced,
         coupling: None,
+        retry: RetryPolicy::default(),
     })
     .expect("grid configuration");
     grid.form_shards(&data[0]).expect("shard formation");

@@ -4,9 +4,15 @@
 //! ```text
 //! grid_doctor [--crypto BENCH_crypto.json] [--topology BENCH_topology.json]
 //!             [--fabric BENCH_fabric.json] [--grid-day grid_day.json]
+//!             [--chaos chaos_day.json]
 //!             [--baseline RUN] [--current RUN]
 //!             [--threshold 0.25] [--out verdict.json]
 //! ```
+//!
+//! `--chaos` takes a `grid_day --chaos --json` report and gates the
+//! fault-tolerance invariants against the fault-free `--grid-day`
+//! report (which is required alongside it: it is the clean baseline the
+//! healthy coalitions' fingerprints are compared to).
 //!
 //! Exit status: `0` when every check passes, `1` when a regression is
 //! flagged, `2` on a usage or load error. The verdict (and the artifact
@@ -17,7 +23,7 @@
 use std::process::ExitCode;
 
 use pem_bench::doctor::{
-    crypto_checks, fabric_checks, grid_day_checks, topology_checks, Check, Verdict,
+    chaos_checks, crypto_checks, fabric_checks, grid_day_checks, topology_checks, Check, Verdict,
 };
 use pem_bench::json::Json;
 use pem_bench::Args;
@@ -34,6 +40,7 @@ fn run() -> Result<Verdict, String> {
     let topology_path = args.get_str("topology", "BENCH_topology.json");
     let fabric_path = args.get_str("fabric", "BENCH_fabric.json");
     let grid_day_path = args.get_str("grid-day", "");
+    let chaos_path = args.get_str("chaos", "");
     let baseline = args.get_str("baseline", "");
     let current = args.get_str("current", "");
     let threshold = args.get_f64("threshold", 0.25);
@@ -89,6 +96,20 @@ fn run() -> Result<Verdict, String> {
         println!("grid_day: {} sanity checks", c.len());
         checks.append(&mut c);
         sections += 1;
+
+        if !chaos_path.is_empty() {
+            let chaos = load(&chaos_path, "chaos day report")?;
+            let mut c = chaos_checks(&doc, &chaos)?;
+            println!("chaos: {} fault-tolerance invariants", c.len());
+            checks.append(&mut c);
+            sections += 1;
+        }
+    } else if !chaos_path.is_empty() {
+        return Err(
+            "--chaos needs --grid-day alongside it (the fault-free baseline the degraded \
+             run is compared to)"
+                .into(),
+        );
     }
 
     if sections == 0 {

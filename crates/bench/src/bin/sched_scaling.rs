@@ -24,7 +24,9 @@ use pem_bench::Args;
 use pem_core::{PemConfig, Topology};
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::AgentWindow;
-use pem_sched::{Engine, GridConfig, GridOrchestrator, LatencyPercentiles, PartitionStrategy};
+use pem_sched::{
+    Engine, GridConfig, GridOrchestrator, LatencyPercentiles, PartitionStrategy, RetryPolicy,
+};
 
 struct Row {
     population: usize,
@@ -85,6 +87,7 @@ fn sweep(
         engine: Engine::Threads,
         strategy: PartitionStrategy::SurplusBalanced,
         coupling: None,
+        retry: RetryPolicy::default(),
     })
     .expect("grid configuration");
 

@@ -20,6 +20,12 @@
 //! * **`grid_day --json`** — a day report: the ledger must validate,
 //!   energy must clear, traffic must flow, and every window must carry
 //!   its fingerprint.
+//! * **`grid_day --chaos --json`** — the chaos smoke ([`chaos_checks`]):
+//!   a degraded day report held against the fault-free baseline. The
+//!   day must complete with a valid ledger, the committed fault plan
+//!   must quarantine and recover at least one coalition each, and every
+//!   coalition that cleared under chaos must be bit-identical to the
+//!   fault-free run.
 
 use crate::json::Json;
 
@@ -446,6 +452,147 @@ pub fn grid_day_checks(report: &Json) -> Result<Vec<Check>, String> {
     ])
 }
 
+fn day_windows<'a>(doc: &'a Json, what: &str) -> Result<&'a [Json], String> {
+    doc.get("windows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{what} report missing \"windows\""))
+}
+
+/// The `shard -> fingerprint` map of one window's
+/// `"shard_fingerprints"` array (quarantined coalitions are absent).
+fn shard_fingerprints<'a>(
+    window: &'a Json,
+    w: usize,
+    what: &str,
+) -> Result<std::collections::BTreeMap<u64, &'a str>, String> {
+    let rows = window
+        .get("shard_fingerprints")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{what} window {w} missing \"shard_fingerprints\""))?;
+    let mut map = std::collections::BTreeMap::new();
+    for row in rows {
+        let shard = row
+            .get("shard")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{what} window {w} fingerprint row missing \"shard\""))?;
+        let fp = row
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{what} window {w} fingerprint row missing \"fingerprint\""))?;
+        map.insert(shard as u64, fp);
+    }
+    Ok(map)
+}
+
+/// Chaos-smoke invariants: a `grid_day --chaos --json` report held
+/// against the fault-free report of the same configuration.
+///
+/// The degraded day must complete end to end (same window count, valid
+/// ledger, energy still clearing), the committed fault plan must
+/// actually bite (at least one coalition quarantined and at least one
+/// recovered over the day), and — the heart of the recovery contract —
+/// every coalition that cleared *under* chaos must report a per-shard
+/// fingerprint bit-identical to the fault-free run. The baseline itself
+/// must be fully healthy, so swapped arguments flag instead of passing
+/// vacuously.
+///
+/// # Errors
+///
+/// A message when either document lacks the day-report fields the
+/// comparison needs.
+pub fn chaos_checks(clean: &Json, chaos: &Json) -> Result<Vec<Check>, String> {
+    let clean_windows = day_windows(clean, "clean")?;
+    let chaos_windows = day_windows(chaos, "chaos")?;
+    let mut checks = vec![Check::invariant(
+        "chaos/completed".into(),
+        clean_windows.len() as f64,
+        chaos_windows.len() as f64,
+        !chaos_windows.is_empty() && chaos_windows.len() == clean_windows.len(),
+    )];
+    let ledger_valid = chaos
+        .get("ledger_valid")
+        .and_then(Json::as_bool)
+        .ok_or("chaos report missing \"ledger_valid\"")?;
+    checks.push(Check::invariant(
+        "chaos/ledger_valid".into(),
+        1.0,
+        f64::from(u8::from(ledger_valid)),
+        ledger_valid,
+    ));
+    let cleared = chaos
+        .get("cleared_kwh")
+        .and_then(Json::as_f64)
+        .ok_or("chaos report missing \"cleared_kwh\"")?;
+    checks.push(Check::invariant(
+        "chaos/cleared_kwh".into(),
+        0.0,
+        cleared,
+        cleared > 0.0,
+    ));
+
+    let mut baseline_degraded = 0u64;
+    let mut quarantined = 0u64;
+    let mut recovered = 0u64;
+    let mut healthy = 0u64;
+    let mut mismatched = 0u64;
+    for (w, (cw, xw)) in clean_windows.iter().zip(chaos_windows).enumerate() {
+        for status in cw.get("statuses").and_then(Json::as_array).unwrap_or(&[]) {
+            if status.get("status").and_then(Json::as_str) != Some("cleared") {
+                baseline_degraded += 1;
+            }
+        }
+        let statuses = xw
+            .get("statuses")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("chaos window {w} missing \"statuses\""))?;
+        let clean_fp = shard_fingerprints(cw, w, "clean")?;
+        let chaos_fp = shard_fingerprints(xw, w, "chaos")?;
+        for (shard, status) in statuses.iter().enumerate() {
+            match status.get("status").and_then(Json::as_str) {
+                Some("cleared") => {
+                    healthy += 1;
+                    let shard = shard as u64;
+                    if chaos_fp.get(&shard) != clean_fp.get(&shard) {
+                        mismatched += 1;
+                    }
+                }
+                Some("recovered") => recovered += 1,
+                Some("quarantined") => quarantined += 1,
+                _ => {
+                    return Err(format!(
+                        "chaos window {w} shard {shard} carries an unknown status"
+                    ))
+                }
+            }
+        }
+    }
+    checks.push(Check::invariant(
+        "chaos/baseline_healthy".into(),
+        0.0,
+        baseline_degraded as f64,
+        baseline_degraded == 0,
+    ));
+    checks.push(Check::invariant(
+        "chaos/quarantined_coalitions".into(),
+        0.0,
+        quarantined as f64,
+        quarantined > 0,
+    ));
+    checks.push(Check::invariant(
+        "chaos/recovered_coalitions".into(),
+        0.0,
+        recovered as f64,
+        recovered > 0,
+    ));
+    checks.push(Check::invariant(
+        "chaos/healthy_fingerprints_identical".into(),
+        healthy as f64,
+        (healthy - mismatched) as f64,
+        healthy > 0 && mismatched == 0,
+    ));
+    Ok(checks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,6 +753,82 @@ mod tests {
         let checks = grid_day_checks(&bad).expect("valid report");
         assert!(checks.iter().all(|c| c.regressed), "everything flags");
         assert!(grid_day_checks(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn chaos_invariants() {
+        let fp = |c: char| c.to_string().repeat(64);
+        // Clean baseline: three coalitions, all cleared.
+        let clean = trajectory(&format!(
+            "{{\"ledger_valid\":true,\"cleared_kwh\":20.0,\"windows\":[{{\
+              \"statuses\":[{{\"status\":\"cleared\"}},{{\"status\":\"cleared\"}},\
+                            {{\"status\":\"cleared\"}}],\
+              \"shard_fingerprints\":[\
+                {{\"shard\":0,\"fingerprint\":\"{a}\"}},\
+                {{\"shard\":1,\"fingerprint\":\"{b}\"}},\
+                {{\"shard\":2,\"fingerprint\":\"{c}\"}}]}}]}}",
+            a = fp('a'),
+            b = fp('b'),
+            c = fp('c'),
+        ));
+        // Chaos: shard 0 quarantined (absent from the fingerprints),
+        // shard 1 recovered (fingerprint may differ — the retry salts
+        // the DRBG), shard 2 healthy and bit-identical.
+        let chaos = trajectory(&format!(
+            "{{\"ledger_valid\":true,\"cleared_kwh\":12.5,\"windows\":[{{\
+              \"statuses\":[{{\"status\":\"quarantined\",\"error\":\"timeout\"}},\
+                            {{\"status\":\"recovered\",\"attempts\":1}},\
+                            {{\"status\":\"cleared\"}}],\
+              \"shard_fingerprints\":[\
+                {{\"shard\":1,\"fingerprint\":\"{d}\"}},\
+                {{\"shard\":2,\"fingerprint\":\"{c}\"}}]}}]}}",
+            d = fp('d'),
+            c = fp('c'),
+        ));
+        let checks = chaos_checks(&clean, &chaos).expect("valid reports");
+        assert!(
+            checks.iter().all(|c| !c.regressed),
+            "committed plan is clean"
+        );
+        for name in [
+            "chaos/completed",
+            "chaos/ledger_valid",
+            "chaos/baseline_healthy",
+            "chaos/quarantined_coalitions",
+            "chaos/recovered_coalitions",
+            "chaos/healthy_fingerprints_identical",
+        ] {
+            assert!(checks.iter().any(|c| c.name == name), "{name} present");
+        }
+        // A healthy coalition whose bits drifted from the fault-free
+        // run must flag — that is the whole quarantine contract.
+        let drifted = trajectory(&format!(
+            "{{\"ledger_valid\":true,\"cleared_kwh\":12.5,\"windows\":[{{\
+              \"statuses\":[{{\"status\":\"quarantined\",\"error\":\"timeout\"}},\
+                            {{\"status\":\"recovered\",\"attempts\":1}},\
+                            {{\"status\":\"cleared\"}}],\
+              \"shard_fingerprints\":[\
+                {{\"shard\":1,\"fingerprint\":\"{d}\"}},\
+                {{\"shard\":2,\"fingerprint\":\"{e}\"}}]}}]}}",
+            d = fp('d'),
+            e = fp('e'),
+        ));
+        let checks = chaos_checks(&clean, &drifted).expect("valid reports");
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "chaos/healthy_fingerprints_identical" && c.regressed));
+        // Swapped arguments: the "clean" baseline is itself degraded.
+        let checks = chaos_checks(&chaos, &clean).expect("valid reports");
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "chaos/baseline_healthy" && c.regressed));
+        // A chaos plan that never bit (nothing quarantined or
+        // recovered) flags instead of passing vacuously.
+        let checks = chaos_checks(&clean, &clean).expect("valid reports");
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "chaos/quarantined_coalitions" && c.regressed));
+        assert!(chaos_checks(&Json::Null, &chaos).is_err());
     }
 
     #[test]

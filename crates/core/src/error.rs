@@ -35,6 +35,27 @@ pub enum PemError {
     Protocol(&'static str),
 }
 
+impl PemError {
+    /// Whether re-running the window could plausibly succeed.
+    ///
+    /// Transport faults (lost, late, mangled or unexpected messages),
+    /// the crypto/circuit decode failures they cascade into, and
+    /// protocol-invariant aborts are all artifacts of *this execution*
+    /// — a retry with fresh nonces over a healthy fabric can clear.
+    /// Configuration, quantization and market-model errors are
+    /// properties of the *inputs*: re-running reproduces them exactly,
+    /// so the scheduler fails fast instead of burning attempts.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            PemError::Net(_)
+            | PemError::Crypto(_)
+            | PemError::Circuit(_)
+            | PemError::Protocol(_) => true,
+            PemError::Config(_) | PemError::Quantization { .. } | PemError::Market(_) => false,
+        }
+    }
+}
+
 impl fmt::Display for PemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -18,7 +18,7 @@ use std::time::Instant;
 use pem_crypto::drbg::HashDrbg;
 use pem_fabric::{kickoff, step, EventTransport, FabricTask, Poll, ProtocolStateMachine};
 use pem_market::{AgentWindow, MarketKind, Role};
-use pem_net::Transport;
+use pem_net::{FaultPlan, NetError, Transport};
 use pem_telemetry::Span;
 use rand::Rng;
 
@@ -100,6 +100,11 @@ pub struct WindowTask<'a> {
     general_market: bool,
     price: f64,
     stage: Stage<'a>,
+    /// Remaining polls before the task gives up with a timeout
+    /// (`None` = unbounded). A wedged machine — e.g. one whose expected
+    /// message was stalled in flight — must not hold an executor slot
+    /// forever.
+    poll_budget: Option<u64>,
 }
 
 impl<'a> WindowTask<'a> {
@@ -117,13 +122,17 @@ impl<'a> WindowTask<'a> {
         pool: &'a mut Option<RandomizerPool>,
         n_agents: usize,
         window_data: &[AgentWindow],
+        faults: Option<FaultPlan>,
     ) -> Result<WindowTask<'a>, PemError> {
         assert_eq!(
             window_data.len(),
             n_agents,
             "window data must cover the whole population"
         );
-        let net = EventTransport::with_latency(n_agents, cfg.latency);
+        let mut net = EventTransport::with_latency(n_agents, cfg.latency);
+        if let Some(plan) = faults {
+            net = net.with_faults(plan);
+        }
         let quantizer = cfg.quantizer();
         let window_span = Some(Span::enter_at("window", "driver", net.now_us()));
 
@@ -165,7 +174,19 @@ impl<'a> WindowTask<'a> {
             general_market: false,
             price: cfg.band.grid_retail,
             stage,
+            poll_budget: None,
         })
+    }
+
+    /// Caps the task at `polls` polls (builder style): exhausting the
+    /// budget surfaces [`NetError::Timeout`] instead of letting a wedged
+    /// machine occupy its executor slot indefinitely. Healthy windows
+    /// complete in a few polls per protocol message, so any generous cap
+    /// leaves normal runs untouched.
+    #[must_use]
+    pub fn with_poll_budget(mut self, polls: u64) -> WindowTask<'a> {
+        self.poll_budget = Some(polls);
+        self
     }
 
     /// Opens a driver phase: samples the wall clock and traffic counters
@@ -217,6 +238,24 @@ impl FabricTask for WindowTask<'_> {
     type Error = PemError;
 
     fn poll(&mut self) -> Result<Poll<PemWindowOutcome>, PemError> {
+        if let Some(budget) = self.poll_budget.as_mut() {
+            if *budget == 0 {
+                let (party, expected) = match &self.stage {
+                    Stage::EvalDemand { machine, .. } | Stage::EvalSupply { machine, .. } => {
+                        machine.expecting()
+                    }
+                    Stage::Price { machine } => machine.expecting(),
+                    _ => None,
+                }
+                .map_or((0, "window"), |(to, label)| (to.0, label));
+                return Err(PemError::Net(NetError::Timeout {
+                    party,
+                    expected,
+                    deadline_us: self.net.now_us(),
+                }));
+            }
+            *budget -= 1;
+        }
         match std::mem::replace(&mut self.stage, Stage::Done) {
             Stage::NoMarket => Ok(Poll::Ready(self.finish(MarketKind::NoMarket, Vec::new()))),
 
@@ -519,6 +558,63 @@ mod tests {
         assert_outcomes_identical(&a, &outs.pop().expect("one output"));
         // The pool streams are in lock-step too.
         assert_eq!(blocking.pool_stats(), fabric.pool_stats());
+    }
+
+    #[test]
+    fn poll_budget_bounds_window_execution() {
+        let pop = population(&[2.0, 1.0, -3.0, -2.0]);
+        // A budget far below what a window needs surfaces as a timeout,
+        // not a hang — the wedged task frees its executor slot.
+        let mut pem = Pem::new(PemConfig::fast_test(), 4).expect("setup");
+        let task = pem.fabric_window(&pop).expect("task").with_poll_budget(3);
+        let (results, _) = Executor::new(0).run_collect(vec![task]);
+        match &results[0] {
+            Err(PemError::Net(NetError::Timeout { .. })) => {}
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        // A generous budget changes nothing: same bits as unbudgeted.
+        let mut a = Pem::new(PemConfig::fast_test(), 4).expect("setup");
+        let mut b = Pem::new(PemConfig::fast_test(), 4).expect("setup");
+        let (mut plain, _) = Executor::new(0)
+            .run(vec![a.fabric_window(&pop).expect("task")])
+            .expect("run");
+        let (mut budgeted, _) = Executor::new(0)
+            .run(vec![b
+                .fabric_window(&pop)
+                .expect("task")
+                .with_poll_budget(1_000_000)])
+            .expect("run");
+        assert_outcomes_identical(
+            &plain.pop().expect("one output"),
+            &budgeted.pop().expect("one output"),
+        );
+    }
+
+    #[test]
+    fn stalled_window_is_evicted_not_hung() {
+        use pem_net::{FaultKind, FaultPlan};
+        let stalled_pop = population(&[2.0, 1.0, -3.0, -2.0]);
+        let healthy_pop = population(&[3.0, -1.0, -4.0, 0.5]);
+        let solo = Pem::new(PemConfig::fast_test(), 4)
+            .expect("setup")
+            .run_window(&healthy_pop)
+            .expect("window");
+        let mut stalled_pem = Pem::new(PemConfig::fast_test(), 4).expect("setup");
+        let mut healthy_pem = Pem::new(PemConfig::fast_test(), 4).expect("setup");
+        let plan = FaultPlan::new().inject("eval/demand-agg", 0, FaultKind::Stall);
+        let stalled = stalled_pem
+            .fabric_window_with_faults(&stalled_pop, Some(plan))
+            .expect("task")
+            .with_poll_budget(50_000);
+        let healthy = healthy_pem.fabric_window(&healthy_pop).expect("task");
+        let (results, _) = Executor::new(0).run_collect(vec![stalled, healthy]);
+        assert!(
+            matches!(&results[0], Err(PemError::Net(_))),
+            "the stalled window surfaces a typed net error: {:?}",
+            results[0]
+        );
+        let out = results[1].as_ref().expect("healthy window completes");
+        assert_outcomes_identical(&solo, out);
     }
 
     #[test]

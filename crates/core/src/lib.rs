@@ -63,7 +63,7 @@ pub use error::PemError;
 pub use fabric_window::WindowTask;
 pub use keys::KeyDirectory;
 pub use metrics::{PhaseMetrics, WindowMetrics};
-pub use pem::{DaySummary, Pem, PemWindowOutcome, RevealedInfo};
+pub use pem::{DaySummary, Pem, PemCheckpoint, PemWindowOutcome, RevealedInfo};
 pub use protocol3::Topology;
 pub use quantize::Quantizer;
 pub use randpool::{PoolStats, RandomizerPool};

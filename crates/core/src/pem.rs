@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use pem_crypto::drbg::HashDrbg;
 use pem_market::{MarketKind, Role, Trade};
-use pem_net::{NetStats, SimNetwork, Transport};
+use pem_net::{FaultPlan, NetStats, SimNetwork, Transport};
 use pem_telemetry::Span;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -102,6 +102,21 @@ impl DaySummary {
     }
 }
 
+/// A snapshot of a market's mutable per-window state — the driver DRBG,
+/// the randomizer pool and the window counter.
+///
+/// A failed window leaves those streams wherever the failure happened to
+/// interrupt them, which is engine- and schedule-dependent; restoring a
+/// checkpoint taken *before* the window rewinds the market to a
+/// well-defined state, so retries and post-quarantine windows stay
+/// bit-reproducible.
+#[derive(Debug, Clone)]
+pub struct PemCheckpoint {
+    rng: HashDrbg,
+    pool: Option<crate::randpool::RandomizerPool>,
+    window_index: u64,
+}
+
 /// The Private Energy Market: a population of agents with keys, ready to
 /// run trading windows.
 #[derive(Debug)]
@@ -177,6 +192,27 @@ impl Pem {
         self.pool.as_ref().map(|p| p.stats())
     }
 
+    /// Snapshots the market's mutable per-window state (DRBG, pool,
+    /// window counter) so a failed window can be rewound with
+    /// [`restore`](Pem::restore).
+    pub fn checkpoint(&self) -> PemCheckpoint {
+        PemCheckpoint {
+            rng: self.rng.clone(),
+            pool: self.pool.clone(),
+            window_index: self.window_index,
+        }
+    }
+
+    /// Rewinds the market to a [`checkpoint`](Pem::checkpoint) taken
+    /// earlier — the recovery primitive: after a failed attempt the
+    /// DRBG and pool are mid-window in an engine-dependent position,
+    /// and this puts them back.
+    pub fn restore(&mut self, cp: PemCheckpoint) {
+        self.rng = cp.rng;
+        self.pool = cp.pool;
+        self.window_index = cp.window_index;
+    }
+
     /// Runs a whole day: one call per window, aggregated.
     ///
     /// `day[w][i]` is agent `i`'s data in window `w`.
@@ -220,6 +256,69 @@ impl Pem {
         self.run_window_on(&mut net, window_data)
     }
 
+    /// [`run_window`](Pem::run_window) over a fault-injecting fabric:
+    /// the fresh `SimNetwork` carries the given plan. This is the chaos
+    /// entry point the grid orchestrator drives.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_window`](Pem::run_window) — faults surface as typed
+    /// errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_data.len()` differs from the population size.
+    pub fn run_window_with_faults(
+        &mut self,
+        window_data: &[pem_market::AgentWindow],
+        faults: FaultPlan,
+    ) -> Result<PemWindowOutcome, PemError> {
+        let mut net = SimNetwork::with_latency(self.n_agents, self.cfg.latency).with_faults(faults);
+        self.run_window_on(&mut net, window_data)
+    }
+
+    /// Re-runs the *current* window as retry attempt `attempt` (≥ 1).
+    ///
+    /// The retry draws from a side DRBG stream derived from the market
+    /// seed, the window index and the attempt number — attempt `k` of
+    /// window `w` is bit-reproducible — while the primary stream stays
+    /// exactly where the caller's [`restore`](Pem::restore) put it, so
+    /// windows that never fail keep their golden fingerprints. The
+    /// caller is expected to have restored a pre-window checkpoint
+    /// before each attempt (the failed attempt left the streams
+    /// mid-window).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_window`](Pem::run_window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_data.len()` differs from the population size.
+    pub fn retry_window(
+        &mut self,
+        window_data: &[pem_market::AgentWindow],
+        attempt: u32,
+        faults: Option<FaultPlan>,
+    ) -> Result<PemWindowOutcome, PemError> {
+        let window = self.window_index + 1;
+        let mut label = Vec::with_capacity(25);
+        label.extend_from_slice(b"pem-retry");
+        label.extend_from_slice(&window.to_be_bytes());
+        label.extend_from_slice(&u64::from(attempt).to_be_bytes());
+        let salted = HashDrbg::from_seed_label(&label, self.cfg.seed);
+        let primary = std::mem::replace(&mut self.rng, salted);
+        let mut net = SimNetwork::with_latency(self.n_agents, self.cfg.latency);
+        if let Some(plan) = faults {
+            net = net.with_faults(plan);
+        }
+        let result = self.run_window_on(&mut net, window_data);
+        // The side stream dies with the attempt; the primary stream is
+        // untouched either way.
+        self.rng = primary;
+        result
+    }
+
     /// Prepares one trading window as a poll-able
     /// [`WindowTask`](crate::fabric_window::WindowTask) for a fabric
     /// executor, instead of running it to completion here. The task
@@ -237,6 +336,25 @@ impl Pem {
         &mut self,
         window_data: &[pem_market::AgentWindow],
     ) -> Result<crate::fabric_window::WindowTask<'_>, PemError> {
+        self.fabric_window_with_faults(window_data, None)
+    }
+
+    /// [`fabric_window`](Pem::fabric_window) with an optional fault
+    /// plan attached to the task's event fabric — the chaos entry point
+    /// for executor-driven windows.
+    ///
+    /// # Errors
+    ///
+    /// Data validation and quantization failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_data.len()` differs from the population size.
+    pub fn fabric_window_with_faults(
+        &mut self,
+        window_data: &[pem_market::AgentWindow],
+        faults: Option<FaultPlan>,
+    ) -> Result<crate::fabric_window::WindowTask<'_>, PemError> {
         self.window_index += 1;
         crate::fabric_window::WindowTask::new(
             &self.cfg,
@@ -245,6 +363,7 @@ impl Pem {
             &mut self.pool,
             self.n_agents,
             window_data,
+            faults,
         )
     }
 
@@ -686,6 +805,73 @@ mod tests {
         assert!((a.price - b.price).abs() < 1e-9);
         assert_eq!(a.trades, b.trades);
         assert_eq!(a.metrics.pricing.messages, b.metrics.pricing.messages);
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_windows_bit_identically() {
+        let pop = population(&[2.0, 1.0, -3.0, -2.0]);
+        let mut pem = Pem::new(PemConfig::fast_test().with_randomizer_pool(4), 4).expect("setup");
+        let cp = pem.checkpoint();
+        let a = pem.run_window(&pop).expect("first");
+        pem.restore(cp);
+        let b = pem.run_window(&pop).expect("replay");
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+        assert_eq!(a.trades, b.trades);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.revealed, b.revealed);
+    }
+
+    #[test]
+    fn retry_attempts_are_bit_reproducible_and_leave_primary_stream_intact() {
+        let pop = population(&[2.0, 1.0, -3.0, -2.0]);
+        let mut pem = Pem::new(PemConfig::fast_test(), 4).expect("setup");
+        let cp = pem.checkpoint();
+        let r1 = pem.retry_window(&pop, 1, None).expect("attempt 1");
+        pem.restore(cp.clone());
+        let r1b = pem.retry_window(&pop, 1, None).expect("attempt 1 replay");
+        // Same (window, attempt) salt → the same bits, every time.
+        assert_eq!(r1.price.to_bits(), r1b.price.to_bits());
+        assert_eq!(r1.trades, r1b.trades);
+        assert_eq!(r1.net, r1b.net);
+        assert_eq!(r1.revealed, r1b.revealed);
+        // A different attempt salts a different stream; the market
+        // outcome (a function of the inputs) is unchanged regardless.
+        pem.restore(cp.clone());
+        let r2 = pem.retry_window(&pop, 2, None).expect("attempt 2");
+        assert_eq!(r1.kind, r2.kind);
+        assert_eq!(r1.price.to_bits(), r2.price.to_bits());
+        assert_eq!(r1.trades, r2.trades);
+        // The retry borrows a side stream: after restoring the pre-retry
+        // checkpoint, the primary stream replays exactly as if the retry
+        // never happened.
+        pem.restore(cp);
+        let after = pem.run_window(&pop).expect("primary window");
+        let mut fresh = Pem::new(PemConfig::fast_test(), 4).expect("setup");
+        let clean = fresh.run_window(&pop).expect("clean");
+        assert_eq!(after.price.to_bits(), clean.price.to_bits());
+        assert_eq!(after.trades, clean.trades);
+        assert_eq!(after.net, clean.net);
+    }
+
+    #[test]
+    fn faulted_window_recovers_via_checkpointed_retry() {
+        use pem_net::{FaultKind, FaultPlan};
+        let pop = population(&[2.0, 1.0, -3.0, -2.0]);
+        let mut clean_pem = Pem::new(PemConfig::fast_test(), 4).expect("setup");
+        let clean = clean_pem.run_window(&pop).expect("clean");
+
+        let mut pem = Pem::new(PemConfig::fast_test(), 4).expect("setup");
+        let cp = pem.checkpoint();
+        let plan = FaultPlan::new().inject("eval/demand-agg", 0, FaultKind::Drop);
+        let err = pem
+            .run_window_with_faults(&pop, plan)
+            .expect_err("dropped aggregation message aborts the window");
+        assert!(err.is_retryable(), "transport fault must be retryable");
+        pem.restore(cp);
+        let out = pem.retry_window(&pop, 1, None).expect("retry clears");
+        assert_eq!(out.kind, clean.kind);
+        assert_eq!(out.price.to_bits(), clean.price.to_bits());
+        assert_eq!(out.trades, clean.trades);
     }
 
     #[test]

@@ -238,6 +238,110 @@ fn fault_plans_leave_identical_message_logs() {
 }
 
 #[test]
+fn delayed_message_is_late_not_lost() {
+    // A Delay fault shifts an envelope's arrival on the virtual clock;
+    // blocking receives still find it, so all three fabrics must
+    // complete with the bit-identical clean outcome.
+    let clean = run_protocol2_both(FaultPlan::new()).expect("clean run");
+    for label in ["eval/demand-agg", "eval/gc-offer", "eval/result"] {
+        let out =
+            run_protocol2_both(FaultPlan::new().inject(label, 0, FaultKind::Delay { us: 5_000 }))
+                .unwrap_or_else(|e| panic!("{label}: a delayed message is late, not lost: {e:?}"));
+        assert_eq!(out, clean, "{label}: delay must not change the outcome");
+    }
+}
+
+#[test]
+fn stalled_message_aborts_with_one_error_class() {
+    // A Stall swallows the envelope after it was journalled: every
+    // fabric must abort (run_protocol2_both additionally pins the
+    // error discriminants against each other).
+    for label in ["eval/demand-agg", "eval/supply-agg", "eval/gc-offer"] {
+        let err = run_protocol2_both(FaultPlan::new().inject(label, 0, FaultKind::Stall))
+            .expect_err("a stalled message never arrives");
+        assert!(matches!(err, PemError::Net(_)), "{label}: got {err:?}");
+    }
+}
+
+#[test]
+fn recv_deadline_times_out_on_every_transport() {
+    use pem_net::{NetError, PartyId};
+    // No traffic at all: a deadline-bounded receive must surface
+    // `NetError::Timeout` (not `Empty`, not a hang) on all three
+    // fabrics, carrying the party and label it was waiting on.
+    let check = |err: NetError, fabric: &str| match err {
+        NetError::Timeout {
+            party,
+            expected,
+            deadline_us,
+        } => {
+            assert_eq!((party, expected), (1, "eval/result"), "{fabric}");
+            assert_eq!(deadline_us, 10, "{fabric}: virtual-clock deadline echoed");
+        }
+        other => panic!("{fabric}: expected Timeout, got {other:?}"),
+    };
+    let mut sim = SimNetwork::new(2);
+    check(
+        sim.recv_deadline(PartyId(1), "eval/result", 10)
+            .expect_err("empty mailbox"),
+        "sim",
+    );
+    let mut mesh = MeshTransport::new(2);
+    check(
+        Transport::recv_deadline(&mut mesh, PartyId(1), "eval/result", 10)
+            .expect_err("empty mailbox"),
+        "mesh",
+    );
+    let mut event = EventTransport::new(2);
+    check(
+        Transport::recv_deadline(&mut event, PartyId(1), "eval/result", 10)
+            .expect_err("empty mailbox"),
+        "event",
+    );
+}
+
+#[test]
+fn delay_and_stall_leave_identical_message_logs() {
+    // `record_msg` runs before fault processing on every transport, so
+    // a delayed *or* stalled envelope is journalled identically across
+    // fabrics — the wire-level witness that the new fault kinds are
+    // transport-agnostic too.
+    pem_telemetry::install();
+    for plan in [
+        FaultPlan::new().inject("eval/supply-agg", 0, FaultKind::Delay { us: 2_000 }),
+        FaultPlan::new().inject("eval/supply-agg", 0, FaultKind::Stall),
+    ] {
+        let mark = pem_telemetry::msg_count();
+        let parties = setup().1.len();
+        let mut sim =
+            SimNetwork::with_latency(parties, LatencyModel::lan()).with_faults(plan.clone());
+        let _ = run_protocol2_on(&mut sim);
+        let mut mesh =
+            MeshTransport::with_latency(parties, LatencyModel::lan()).with_faults(plan.clone());
+        let _ = run_protocol2_on(&mut mesh);
+        let mut event =
+            EventTransport::with_latency(parties, LatencyModel::lan()).with_faults(plan);
+        let _ = run_protocol2_on(&mut event);
+
+        let msgs = pem_telemetry::msgs_since(mark);
+        let log = |fabric: u64| -> Vec<(usize, usize, &str, u64, u64, u64)> {
+            let mut out: Vec<_> = msgs
+                .iter()
+                .filter(|m| m.fabric == fabric)
+                .map(|m| (m.from, m.to, m.label, m.bytes, m.depart_us, m.arrival_us))
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        let sim_log = log(sim.fabric_id());
+        assert!(!sim_log.is_empty(), "the run crosses the wire");
+        assert_eq!(sim_log, log(mesh.fabric_id()), "sim vs mesh journals");
+        assert_eq!(sim_log, log(event.fabric_id()), "sim vs event journals");
+    }
+    pem_telemetry::uninstall();
+}
+
+#[test]
 fn full_window_runs_on_the_mesh() {
     // Beyond Protocol 2: a whole PEM window (Protocols 2+3+4) driven over
     // the mesh transport must reproduce the SimNetwork outcome exactly —

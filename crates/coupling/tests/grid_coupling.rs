@@ -8,7 +8,7 @@ use pem_core::PemConfig;
 use pem_coupling::CouplingConfig;
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::{AgentWindow, PriceBand};
-use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy};
+use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy, RetryPolicy};
 
 /// The `grid_day` example's trace: 1,000 homes, a 24h day of 15-minute
 /// windows, one-in-three solar penetration, seed 2020.
@@ -57,6 +57,7 @@ fn thousand_home_day_reduces_dispersion_without_leaking_bids() {
         engine: Engine::Threads,
         strategy: PartitionStrategy::Feeder { feeders: 8 },
         coupling: Some(coupling),
+        retry: RetryPolicy::default(),
     })
     .expect("grid");
 
@@ -157,6 +158,7 @@ fn coupled_grid(coalition_size: usize) -> GridConfig {
         engine: Engine::Threads,
         strategy: PartitionStrategy::RoundRobin,
         coupling: Some(CouplingConfig::fast_test()),
+        retry: RetryPolicy::default(),
     }
 }
 

@@ -181,9 +181,21 @@ impl EventTransport {
             self.local_time_us[from.0],
             arrival_us,
         );
-        let Some((payload, duplicate)) = self.faults.process(label, payload) else {
-            return Ok(()); // dropped in flight
+        let (payload, duplicate, delay_us) = match self.faults.process(label, payload) {
+            pem_net::Delivery::Deliver {
+                payload,
+                duplicate,
+                delay_us,
+            } => (payload, duplicate, delay_us),
+            pem_net::Delivery::Lost => return Ok(()), // dropped or stalled in flight
         };
+        // An injected delay pushes the arrival back *after* journaling
+        // (same semantics as `SimNetwork`).
+        let arrival_us = arrival_us + delay_us;
+        if delay_us > 0 {
+            self.ingress_free_us[to.0] = self.ingress_free_us[to.0].max(arrival_us);
+            self.critical_us = self.critical_us.max(arrival_us);
+        }
         if duplicate {
             self.seq += 1;
             self.mailboxes[to.0].push_back((
@@ -242,6 +254,38 @@ impl EventTransport {
         Ok(self.observe(env))
     }
 
+    /// Deadline-aware receive on the fabric's virtual clock: a message
+    /// whose arrival time is past `deadline_us` — or that never arrived
+    /// at all — surfaces as [`NetError::Timeout`]. A late message stays
+    /// queued.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] or [`NetError::UnexpectedLabel`].
+    pub fn recv_deadline(
+        &mut self,
+        to: PartyId,
+        label: &'static str,
+        deadline_us: u64,
+    ) -> Result<Envelope, NetError> {
+        self.check(to)?;
+        match self.mailboxes[to.0].front() {
+            None => Err(NetError::Timeout {
+                party: to.0,
+                expected: label,
+                deadline_us,
+            }),
+            Some((_, head)) if head.label == label && head.arrival_us > deadline_us => {
+                Err(NetError::Timeout {
+                    party: to.0,
+                    expected: label,
+                    deadline_us,
+                })
+            }
+            Some(_) => self.recv_expect(to, label),
+        }
+    }
+
     /// Pops the queued message with the earliest arrival time across
     /// *all* parties (ties broken by send order) — global event-loop
     /// delivery, for drivers that react to whatever lands next rather
@@ -285,6 +329,15 @@ impl Transport for EventTransport {
 
     fn recv_expect(&mut self, to: PartyId, label: &'static str) -> Result<Envelope, NetError> {
         EventTransport::recv_expect(self, to, label)
+    }
+
+    fn recv_deadline(
+        &mut self,
+        to: PartyId,
+        label: &'static str,
+        deadline_us: u64,
+    ) -> Result<Envelope, NetError> {
+        EventTransport::recv_deadline(self, to, label, deadline_us)
     }
 
     fn stats(&self) -> NetStats {
@@ -423,6 +476,8 @@ mod tests {
             FaultKind::Duplicate,
             FaultKind::Corrupt,
             FaultKind::Truncate,
+            FaultKind::Delay { us: 250 },
+            FaultKind::Stall,
         ] {
             let plan = || FaultPlan::new().inject("m", 1, kind);
             let mut sim = SimNetwork::new(2).with_faults(plan());

@@ -66,6 +66,10 @@ pub trait FabricTask {
     fn is_ready(&self) -> bool;
 }
 
+/// What [`Executor::run_collect`] returns: one `Result` per input task,
+/// in input order, plus the run's scheduling counters.
+pub type Collected<O, E> = (Vec<Result<O, E>>, ExecutorReport);
+
 /// Counters from one [`Executor::run`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecutorReport {
@@ -189,6 +193,98 @@ impl Executor {
             report,
         ))
     }
+
+    /// Like [`run`](Executor::run) but fault-isolating: a task error
+    /// evicts *that task only*, recorded as `Err` at its input index,
+    /// while every other task runs to completion. Scheduling order is
+    /// identical to `run` up to the first failure, so fault-free runs
+    /// produce bit-identical outputs and counters.
+    ///
+    /// A wedged task (never ready, e.g. waiting on a stalled message)
+    /// is force-polled once nothing else is ready, surfaces its typed
+    /// receive error, and frees its slot — one faulty coalition cannot
+    /// stall the rest of the fleet.
+    pub fn run_collect<T: FabricTask>(&self, tasks: Vec<T>) -> Collected<T::Output, T::Error> {
+        register_fabric_metrics();
+        let n = tasks.len();
+        let batch = if self.batch == 0 {
+            n.max(1)
+        } else {
+            self.batch
+        };
+        let mut waiting = tasks.into_iter().enumerate();
+        let mut active: Vec<(usize, T)> = Vec::new();
+        let mut results: Vec<Option<Result<T::Output, T::Error>>> = (0..n).map(|_| None).collect();
+        let mut report = ExecutorReport::default();
+
+        loop {
+            while active.len() < batch {
+                match waiting.next() {
+                    Some(slot) => active.push(slot),
+                    None => break,
+                }
+            }
+            report.peak_resident = report.peak_resident.max(active.len());
+            if active.is_empty() {
+                break;
+            }
+
+            let ready = active.iter().filter(|(_, t)| t.is_ready()).count();
+            READY_DEPTH.record(ready as u64);
+            report.peak_ready = report.peak_ready.max(ready);
+
+            let mut progressed = false;
+            let mut i = 0;
+            while i < active.len() {
+                if !active[i].1.is_ready() {
+                    STALLS.incr();
+                    report.stalls += 1;
+                    i += 1;
+                    continue;
+                }
+                progressed = true;
+                POLLS.incr();
+                report.polls += 1;
+                match active[i].1.poll() {
+                    Ok(Poll::Pending) => i += 1,
+                    Ok(Poll::Ready(out)) => {
+                        let (idx, _) = active.remove(i);
+                        results[idx] = Some(Ok(out));
+                        report.completed += 1;
+                    }
+                    Err(e) => {
+                        let (idx, _) = active.remove(i);
+                        results[idx] = Some(Err(e));
+                    }
+                }
+            }
+
+            if !progressed {
+                POLLS.incr();
+                report.polls += 1;
+                match active[0].1.poll() {
+                    Ok(Poll::Pending) => {}
+                    Ok(Poll::Ready(out)) => {
+                        let (idx, _) = active.remove(0);
+                        results[idx] = Some(Ok(out));
+                        report.completed += 1;
+                    }
+                    Err(e) => {
+                        let (idx, _) = active.remove(0);
+                        results[idx] = Some(Err(e));
+                    }
+                }
+            }
+        }
+
+        (
+            results
+                .into_iter()
+                .map(|slot| slot.expect("every task resolved"))
+                .collect(),
+            report,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +390,117 @@ mod tests {
         }
         let err = Executor::new(0).run(vec![Starved]).unwrap_err();
         assert_eq!(err, "message never arrived");
+    }
+
+    #[test]
+    fn run_collect_isolates_failures() {
+        /// Fails on its `fail_at`-th poll; completes otherwise.
+        struct Mixed {
+            id: usize,
+            remaining: u32,
+            fail_at: Option<u32>,
+        }
+        impl FabricTask for Mixed {
+            type Output = usize;
+            type Error = String;
+            fn poll(&mut self) -> Result<Poll<usize>, String> {
+                self.remaining -= 1;
+                if self.fail_at == Some(self.remaining) {
+                    return Err(format!("task {} failed", self.id));
+                }
+                if self.remaining == 0 {
+                    Ok(Poll::Ready(self.id))
+                } else {
+                    Ok(Poll::Pending)
+                }
+            }
+            fn is_ready(&self) -> bool {
+                true
+            }
+        }
+        let tasks = |fail: bool| {
+            (0..4usize)
+                .map(|id| Mixed {
+                    id,
+                    remaining: 3,
+                    fail_at: (fail && id == 2).then_some(1),
+                })
+                .collect::<Vec<_>>()
+        };
+        for batch in [0usize, 1, 2] {
+            let (results, report) = Executor::new(batch).run_collect(tasks(true));
+            assert_eq!(results.len(), 4, "batch {batch}");
+            for (id, result) in results.iter().enumerate() {
+                if id == 2 {
+                    assert_eq!(*result, Err("task 2 failed".to_string()));
+                } else {
+                    assert_eq!(*result, Ok(id));
+                }
+            }
+            assert_eq!(report.completed, 3);
+        }
+        // Fault-free run_collect matches run exactly (outputs + counters).
+        let (ok, collect_report) = Executor::new(2).run_collect(tasks(false));
+        let (out, run_report) = Executor::new(2).run(tasks(false)).expect("run");
+        assert_eq!(ok.into_iter().collect::<Result<Vec<_>, _>>(), Ok(out));
+        assert_eq!(collect_report, run_report);
+    }
+
+    #[test]
+    fn run_collect_force_polls_wedged_tasks() {
+        /// Never ready: only a force-poll can surface its error.
+        struct Wedged;
+        impl FabricTask for Wedged {
+            type Output = usize;
+            type Error = &'static str;
+            fn poll(&mut self) -> Result<Poll<usize>, &'static str> {
+                Err("stalled message never arrived")
+            }
+            fn is_ready(&self) -> bool {
+                false
+            }
+        }
+        struct Fine(u32);
+        impl FabricTask for Fine {
+            type Output = usize;
+            type Error = &'static str;
+            fn poll(&mut self) -> Result<Poll<usize>, &'static str> {
+                self.0 -= 1;
+                if self.0 == 0 {
+                    Ok(Poll::Ready(7))
+                } else {
+                    Ok(Poll::Pending)
+                }
+            }
+            fn is_ready(&self) -> bool {
+                true
+            }
+        }
+        enum Either {
+            Wedged(Wedged),
+            Fine(Fine),
+        }
+        impl FabricTask for Either {
+            type Output = usize;
+            type Error = &'static str;
+            fn poll(&mut self) -> Result<Poll<usize>, &'static str> {
+                match self {
+                    Either::Wedged(t) => t.poll(),
+                    Either::Fine(t) => t.poll(),
+                }
+            }
+            fn is_ready(&self) -> bool {
+                match self {
+                    Either::Wedged(t) => t.is_ready(),
+                    Either::Fine(t) => t.is_ready(),
+                }
+            }
+        }
+        let (results, report) =
+            Executor::new(0).run_collect(vec![Either::Wedged(Wedged), Either::Fine(Fine(3))]);
+        assert_eq!(results[0], Err("stalled message never arrived"));
+        assert_eq!(results[1], Ok(7));
+        assert_eq!(report.completed, 1);
     }
 
     #[test]

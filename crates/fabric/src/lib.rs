@@ -58,5 +58,5 @@ mod executor;
 mod machine;
 
 pub use event::EventTransport;
-pub use executor::{Executor, ExecutorReport, FabricTask, Poll};
+pub use executor::{Collected, Executor, ExecutorReport, FabricTask, Poll};
 pub use machine::{drive, kickoff, step, Outbound, ProtocolStateMachine, Transition};

@@ -40,6 +40,18 @@ pub enum NetError {
         /// What was being decoded.
         what: &'static str,
     },
+    /// A deadline-aware receive gave up: the expected message had not
+    /// arrived by the deadline (transport clock for the deterministic
+    /// fabrics, wall clock for threaded mesh endpoints).
+    Timeout {
+        /// The receiving party.
+        party: usize,
+        /// Label the caller expected.
+        expected: &'static str,
+        /// The deadline that expired, in microseconds on the clock the
+        /// transport uses for deadlines.
+        deadline_us: u64,
+    },
     /// The threaded runtime channel closed unexpectedly.
     Disconnected,
     /// [`crate::NetStats::merge`] over two fabrics of different sizes.
@@ -69,6 +81,16 @@ impl fmt::Display for NetError {
             }
             NetError::Decode { offset, what } => {
                 write!(f, "failed to decode {what} at byte {offset}")
+            }
+            NetError::Timeout {
+                party,
+                expected,
+                deadline_us,
+            } => {
+                write!(
+                    f,
+                    "party {party} timed out waiting for {expected:?} (deadline {deadline_us}us)"
+                )
             }
             NetError::Disconnected => write!(f, "runtime channel disconnected"),
             NetError::PartyCountMismatch { have, got } => {

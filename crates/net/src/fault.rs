@@ -1,14 +1,48 @@
 //! Fault injection for protocol robustness testing.
 //!
 //! A [`FaultPlan`] attached to a transport — the deterministic
-//! [`SimNetwork`](crate::SimNetwork) or the channel-backed
-//! [`MeshTransport`](crate::MeshTransport) — drops, duplicates or
-//! corrupts selected messages as they are sent ([`FaultPlan::process`]
-//! is the transport-agnostic hook). The PEM protocols must turn every
-//! such fault into a *typed error* — never into a wrong trade — which
-//! `pem-core`'s failure-injection tests assert against both transports.
+//! [`SimNetwork`](crate::SimNetwork), the channel-backed
+//! [`MeshTransport`](crate::MeshTransport) or the poll-oriented
+//! `EventTransport` of `pem-fabric` — drops, duplicates, corrupts,
+//! delays or stalls selected messages as they are sent
+//! ([`FaultPlan::process`] is the transport-agnostic hook). The PEM
+//! protocols must turn every such fault into a *typed error* — never
+//! into a wrong trade — which `pem-core`'s failure-injection tests
+//! assert against all three transports.
+//!
+//! Every applied fault is counted on the `fault/*` telemetry counters
+//! (`fault/drops`, `fault/duplicates`, `fault/corruptions`,
+//! `fault/truncations`, `fault/delays`, `fault/stalls`) so chaos runs
+//! leave an auditable trail.
 
 use std::collections::BTreeMap;
+
+use pem_telemetry::Counter;
+
+/// Messages dropped in flight by a fault plan.
+static DROPS: Counter = Counter::new();
+/// Messages delivered twice by a fault plan.
+static DUPLICATES: Counter = Counter::new();
+/// Messages with a flipped payload byte.
+static CORRUPTIONS: Counter = Counter::new();
+/// Messages truncated to half length.
+static TRUNCATIONS: Counter = Counter::new();
+/// Messages delivered late (arrival time pushed back).
+static DELAYS: Counter = Counter::new();
+/// Messages withheld forever (a hung sender, not a lossy link).
+static STALLS: Counter = Counter::new();
+
+fn register_fault_metrics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        pem_telemetry::register_counter("fault/drops", &DROPS);
+        pem_telemetry::register_counter("fault/duplicates", &DUPLICATES);
+        pem_telemetry::register_counter("fault/corruptions", &CORRUPTIONS);
+        pem_telemetry::register_counter("fault/truncations", &TRUNCATIONS);
+        pem_telemetry::register_counter("fault/delays", &DELAYS);
+        pem_telemetry::register_counter("fault/stalls", &STALLS);
+    });
+}
 
 /// What to do to a matched message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +55,40 @@ pub enum FaultKind {
     Corrupt,
     /// Truncate the payload to half its length.
     Truncate,
+    /// Deliver the message, but this many microseconds later than the
+    /// latency model says: the arrival time (and therefore the ingress
+    /// serialization point and the critical path) is pushed back.
+    Delay {
+        /// Extra in-flight time, in virtual microseconds.
+        us: u64,
+    },
+    /// The message never arrives — a hung sender rather than a lossy
+    /// link. At the transport level this withholds delivery like
+    /// [`FaultKind::Drop`], but it is counted separately
+    /// (`fault/stalls`) and is what deadline-aware receives
+    /// ([`crate::Transport::recv_deadline`]) and poll budgets surface
+    /// as [`crate::NetError::Timeout`].
+    Stall,
+}
+
+/// Outcome of consulting a [`FaultPlan`] for one outgoing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver the (possibly mangled) payload. `duplicate` asks for a
+    /// second identical copy; `delay_us` is added onto the modeled
+    /// arrival time *after* the message has been journaled, so delayed
+    /// and on-time runs leave the same wire log.
+    Deliver {
+        /// Payload to deliver (post-fault).
+        payload: Vec<u8>,
+        /// Whether an identical duplicate copy must also be delivered.
+        duplicate: bool,
+        /// Extra microseconds to add to the modeled arrival time.
+        delay_us: u64,
+    },
+    /// The message is withheld: lost in flight ([`FaultKind::Drop`]) or
+    /// stalled forever ([`FaultKind::Stall`]).
+    Lost,
 }
 
 /// A schedule of faults keyed by message label: the `n`-th send (0-based)
@@ -45,15 +113,25 @@ impl FaultPlan {
         self
     }
 
+    /// Whether the plan schedules any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
     /// Consults and applies the plan to one outgoing message — the whole
     /// fault pipeline as a single call, usable by *any*
-    /// [`Transport`](crate::Transport) implementation (both built-in
-    /// fabrics route their sends through it). Returns `None` when the
-    /// message is dropped in flight; otherwise the (possibly mangled)
-    /// payload and whether a duplicate copy must also be delivered.
-    pub fn process(&mut self, label: &'static str, payload: Vec<u8>) -> Option<(Vec<u8>, bool)> {
+    /// [`Transport`](crate::Transport) implementation (all built-in
+    /// fabrics route their sends through it). Returns [`Delivery::Lost`]
+    /// when the message is withheld (dropped or stalled); otherwise the
+    /// (possibly mangled) payload plus the duplicate flag and any extra
+    /// arrival delay.
+    pub fn process(&mut self, label: &'static str, payload: Vec<u8>) -> Delivery {
         match self.action(label) {
-            None => Some((payload, false)),
+            None => Delivery::Deliver {
+                payload,
+                duplicate: false,
+                delay_us: 0,
+            },
             Some(kind) => FaultPlan::apply(kind, payload),
         }
     }
@@ -70,21 +148,55 @@ impl FaultPlan {
         }
     }
 
-    /// Applies a fault to a payload; `None` means the message is dropped.
-    pub(crate) fn apply(kind: FaultKind, mut payload: Vec<u8>) -> Option<(Vec<u8>, bool)> {
+    /// Applies a fault to a payload and counts it on the `fault/*`
+    /// telemetry counters.
+    pub(crate) fn apply(kind: FaultKind, mut payload: Vec<u8>) -> Delivery {
+        register_fault_metrics();
         match kind {
-            FaultKind::Drop => None,
-            FaultKind::Duplicate => Some((payload, true)),
+            FaultKind::Drop => {
+                DROPS.incr();
+                Delivery::Lost
+            }
+            FaultKind::Duplicate => {
+                DUPLICATES.incr();
+                Delivery::Deliver {
+                    payload,
+                    duplicate: true,
+                    delay_us: 0,
+                }
+            }
             FaultKind::Corrupt => {
+                CORRUPTIONS.incr();
                 if !payload.is_empty() {
                     let mid = payload.len() / 2;
                     payload[mid] ^= 1;
                 }
-                Some((payload, false))
+                Delivery::Deliver {
+                    payload,
+                    duplicate: false,
+                    delay_us: 0,
+                }
             }
             FaultKind::Truncate => {
+                TRUNCATIONS.incr();
                 payload.truncate(payload.len() / 2);
-                Some((payload, false))
+                Delivery::Deliver {
+                    payload,
+                    duplicate: false,
+                    delay_us: 0,
+                }
+            }
+            FaultKind::Delay { us } => {
+                DELAYS.incr();
+                Delivery::Deliver {
+                    payload,
+                    duplicate: false,
+                    delay_us: us,
+                }
+            }
+            FaultKind::Stall => {
+                STALLS.incr();
+                Delivery::Lost
             }
         }
     }
@@ -93,7 +205,7 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{PartyId, SimNetwork};
+    use crate::{PartyId, SimNetwork, Transport};
 
     #[test]
     fn plan_matches_nth_occurrence() {
@@ -145,5 +257,35 @@ mod tests {
         net.send(PartyId(0), PartyId(1), "m", vec![1, 2, 3, 4])
             .expect("send");
         assert_eq!(net.recv(PartyId(1)).expect("delivered").payload, vec![1, 2]);
+    }
+
+    #[test]
+    fn stall_withholds_like_drop() {
+        let mut net =
+            SimNetwork::new(2).with_faults(FaultPlan::new().inject("m", 0, FaultKind::Stall));
+        net.send(PartyId(0), PartyId(1), "m", vec![9])
+            .expect("send");
+        assert!(
+            net.recv(PartyId(1)).is_none(),
+            "stalled message never arrives"
+        );
+        net.send(PartyId(0), PartyId(1), "m", vec![4])
+            .expect("send");
+        assert_eq!(net.recv(PartyId(1)).expect("delivered").payload, vec![4]);
+    }
+
+    #[test]
+    fn delay_pushes_back_arrival_and_critical_path() {
+        let mut net = SimNetwork::new(2).with_faults(FaultPlan::new().inject(
+            "m",
+            0,
+            FaultKind::Delay { us: 5_000 },
+        ));
+        net.send(PartyId(0), PartyId(1), "m", vec![1])
+            .expect("send");
+        let env = net.recv(PartyId(1)).expect("delivered late, but delivered");
+        assert_eq!(env.payload, vec![1]);
+        assert_eq!(env.arrival_us, 5_000, "zero-latency model plus the delay");
+        assert_eq!(net.now_us(), 5_000, "critical path includes the delay");
     }
 }

@@ -47,7 +47,7 @@ mod transport;
 pub mod wire;
 
 pub use error::NetError;
-pub use fault::{FaultKind, FaultPlan};
+pub use fault::{Delivery, FaultKind, FaultPlan};
 pub use mesh::{MeshEndpoint, MeshTransport};
 pub use sim::{Envelope, LatencyModel, PartyId, SimNetwork};
 pub use stats::{LabelStats, NetStats};

@@ -147,14 +147,27 @@ impl MeshEndpoint {
             local_us,
             arrival_us,
         );
-        let (payload, duplicate) = if self.shared.has_faults.load(Ordering::Relaxed) {
+        let (payload, duplicate, delay_us) = if self.shared.has_faults.load(Ordering::Relaxed) {
             match self.shared.faults.lock().process(label, payload) {
-                None => return Ok(()), // dropped in flight
-                Some(x) => x,
+                crate::fault::Delivery::Deliver {
+                    payload,
+                    duplicate,
+                    delay_us,
+                } => (payload, duplicate, delay_us),
+                crate::fault::Delivery::Lost => return Ok(()), // dropped or stalled in flight
             }
         } else {
-            (payload, false)
+            (payload, false, 0)
         };
+        // An injected delay pushes the arrival back *after* journaling
+        // (same semantics as `SimNetwork`).
+        let arrival_us = arrival_us + delay_us;
+        if delay_us > 0 {
+            self.shared.ingress_free_us[to.0].fetch_max(arrival_us, Ordering::Relaxed);
+            self.shared
+                .critical_us
+                .fetch_max(arrival_us, Ordering::Relaxed);
+        }
         let env = Envelope {
             from: self.id,
             to,
@@ -210,6 +223,44 @@ impl MeshEndpoint {
     /// (see [`Transport::fabric_id`]).
     pub fn fabric_id(&self) -> u64 {
         self.shared.fabric
+    }
+
+    /// Deadline-aware blocking receive on the **wall clock**: waits at
+    /// most `deadline` for a message, then gives up with
+    /// [`NetError::Timeout`]. Threaded endpoints have no global virtual
+    /// clock to poll against — wall time is the deadline a real
+    /// per-agent deployment would enforce, and it is what un-wedges a
+    /// recipient whose expected message was dropped or stalled in
+    /// flight.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`], [`NetError::UnexpectedLabel`] or
+    /// [`NetError::Disconnected`].
+    pub fn recv_deadline(
+        &self,
+        label: &'static str,
+        deadline: std::time::Duration,
+    ) -> Result<Envelope, NetError> {
+        match self.receiver.recv_timeout(deadline) {
+            Ok(env) => {
+                self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                let env = self.observe(env);
+                if env.label != label {
+                    return Err(NetError::UnexpectedLabel {
+                        expected: label,
+                        got: env.label.to_string(),
+                    });
+                }
+                Ok(env)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout {
+                party: self.id.0,
+                expected: label,
+                deadline_us: deadline.as_micros() as u64,
+            }),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
     }
 
     /// Blocking receive that additionally checks the label.
@@ -395,6 +446,35 @@ impl Transport for MeshTransport {
         }
         let env = self.stash[to.0].pop_front().expect("head exists");
         Ok(self.endpoints[to.0].observe(env))
+    }
+
+    fn recv_deadline(
+        &mut self,
+        to: PartyId,
+        label: &'static str,
+        deadline_us: u64,
+    ) -> Result<Envelope, NetError> {
+        // Sequential mode has the same inspectable arrival times as
+        // `SimNetwork`, so the deadline is measured on the virtual
+        // clock; the threaded shape uses the wall-clock
+        // [`MeshEndpoint::recv_deadline`] instead.
+        self.check(to)?;
+        self.fill_head(to.0);
+        match self.stash[to.0].front() {
+            None => Err(NetError::Timeout {
+                party: to.0,
+                expected: label,
+                deadline_us,
+            }),
+            Some(head) if head.label == label && head.arrival_us > deadline_us => {
+                Err(NetError::Timeout {
+                    party: to.0,
+                    expected: label,
+                    deadline_us,
+                })
+            }
+            Some(_) => self.recv_expect(to, label),
+        }
     }
 
     fn stats(&self) -> NetStats {

@@ -228,9 +228,22 @@ impl SimNetwork {
             self.local_time_us[from.0],
             arrival_us,
         );
-        let Some((payload, duplicate)) = self.faults.process(label, payload) else {
-            return Ok(()); // dropped in flight
+        let (payload, duplicate, delay_us) = match self.faults.process(label, payload) {
+            crate::fault::Delivery::Deliver {
+                payload,
+                duplicate,
+                delay_us,
+            } => (payload, duplicate, delay_us),
+            crate::fault::Delivery::Lost => return Ok(()), // dropped or stalled in flight
         };
+        // An injected delay pushes the arrival back *after* journaling:
+        // the wire log records the modeled send, the clocks record the
+        // fault's effect.
+        let arrival_us = arrival_us + delay_us;
+        if delay_us > 0 {
+            self.ingress_free_us[to.0] = self.ingress_free_us[to.0].max(arrival_us);
+            self.critical_us = self.critical_us.max(arrival_us);
+        }
         if duplicate {
             self.mailboxes[to.0].push_back(Envelope {
                 from,
@@ -303,6 +316,40 @@ impl SimNetwork {
         Ok(env)
     }
 
+    /// Deadline-aware receive on the fabric's virtual clock: a message
+    /// whose arrival time is past `deadline_us` — or that never arrived
+    /// at all — surfaces as [`NetError::Timeout`]. A late message stays
+    /// queued, so a caller that extends its deadline can still consume
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] (empty mailbox or arrival past the
+    /// deadline) or [`NetError::UnexpectedLabel`].
+    pub fn recv_deadline(
+        &mut self,
+        to: PartyId,
+        label: &'static str,
+        deadline_us: u64,
+    ) -> Result<Envelope, NetError> {
+        self.check(to)?;
+        match self.mailboxes[to.0].front() {
+            None => Err(NetError::Timeout {
+                party: to.0,
+                expected: label,
+                deadline_us,
+            }),
+            Some(head) if head.label == label && head.arrival_us > deadline_us => {
+                Err(NetError::Timeout {
+                    party: to.0,
+                    expected: label,
+                    deadline_us,
+                })
+            }
+            Some(_) => self.recv_expect(to, label),
+        }
+    }
+
     /// Number of undelivered messages across all mailboxes.
     pub fn pending(&self) -> usize {
         self.mailboxes.iter().map(|m| m.len()).sum()
@@ -332,6 +379,15 @@ impl crate::Transport for SimNetwork {
 
     fn recv_expect(&mut self, to: PartyId, label: &'static str) -> Result<Envelope, NetError> {
         SimNetwork::recv_expect(self, to, label)
+    }
+
+    fn recv_deadline(
+        &mut self,
+        to: PartyId,
+        label: &'static str,
+        deadline_us: u64,
+    ) -> Result<Envelope, NetError> {
+        SimNetwork::recv_deadline(self, to, label, deadline_us)
     }
 
     fn broadcast(

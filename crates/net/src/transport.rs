@@ -83,6 +83,37 @@ pub trait Transport {
     /// [`NetError::Empty`] or [`NetError::UnexpectedLabel`].
     fn recv_expect(&mut self, to: PartyId, label: &'static str) -> Result<Envelope, NetError>;
 
+    /// Deadline-aware receive: like
+    /// [`recv_expect`](Transport::recv_expect), but a message that has
+    /// not arrived by `deadline_us` surfaces as [`NetError::Timeout`].
+    /// The deterministic fabrics measure the deadline on their virtual
+    /// critical-path clock and leave a late message queued (extending
+    /// the deadline can still consume it); threaded mesh endpoints
+    /// measure wall time instead.
+    ///
+    /// The default maps an empty mailbox to a timeout and otherwise
+    /// behaves exactly like `recv_expect` — correct for fabrics whose
+    /// queued messages are always deliverable "now".
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] or [`NetError::UnexpectedLabel`].
+    fn recv_deadline(
+        &mut self,
+        to: PartyId,
+        label: &'static str,
+        deadline_us: u64,
+    ) -> Result<Envelope, NetError> {
+        match self.recv_expect(to, label) {
+            Err(NetError::Empty { party, expected }) => Err(NetError::Timeout {
+                party,
+                expected,
+                deadline_us,
+            }),
+            other => other,
+        }
+    }
+
     /// Broadcasts to every other party. Bytes are charged per recipient
     /// (the fabrics model point-to-point links), but the virtual clock
     /// charges the links in parallel: all copies depart at the sender's

@@ -11,6 +11,10 @@ use pem_ledger::LedgerError;
 pub enum SchedError {
     /// Invalid orchestrator configuration.
     Config(String),
+    /// An internal orchestrator invariant did not hold (e.g. shards
+    /// missing where the plan implies them) — a bug surfaced as a typed
+    /// error instead of a panic so callers can keep the grid alive.
+    State(&'static str),
     /// A coalition's PEM window failed.
     Pem(PemError),
     /// Settlement of a shard outcome was rejected by the contract.
@@ -23,6 +27,7 @@ impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchedError::Config(msg) => write!(f, "grid configuration: {msg}"),
+            SchedError::State(msg) => write!(f, "orchestrator state: {msg}"),
             SchedError::Pem(e) => write!(f, "coalition window: {e}"),
             SchedError::Ledger(e) => write!(f, "settlement: {e}"),
             SchedError::Coupling(e) => write!(f, "cross-shard coupling: {e}"),
@@ -33,7 +38,7 @@ impl fmt::Display for SchedError {
 impl std::error::Error for SchedError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SchedError::Config(_) => None,
+            SchedError::Config(_) | SchedError::State(_) => None,
             SchedError::Pem(e) => Some(e),
             SchedError::Ledger(e) => Some(e),
             SchedError::Coupling(e) => Some(e),

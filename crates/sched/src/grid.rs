@@ -1,19 +1,37 @@
 //! The grid orchestrator: sharded multi-coalition PEM windows on a
 //! fixed worker pool, settled onto one ledger.
 
-use pem_core::{Pem, PemConfig, PemError, PoolStats};
+use pem_core::{Pem, PemCheckpoint, PemConfig, PemError, PemWindowOutcome, PoolStats};
 use pem_coupling::{CouplingConfig, CouplingCoordinator, Repartitioner, ShardPosition};
 use pem_fabric::Executor;
 use pem_ledger::{Ledger, SettlementContract, SettlementTx, TransferTx};
 use pem_market::{AgentWindow, MarketKind};
-use pem_net::NetStats;
+use pem_net::{FaultKind, FaultPlan, NetStats};
+use pem_telemetry::{Counter, Span};
 
 use crate::error::SchedError;
 use crate::partition::{PartitionStrategy, Partitioner, ShardPlan};
 use crate::pool;
 use crate::report::{
-    phase_latencies, GridDayReport, GridReport, PriceStats, SettlementSummary, ShardOutcome,
+    phase_latencies, CoalitionStatus, GridDayReport, GridReport, PriceStats, SettlementSummary,
+    ShardOutcome,
 };
+
+/// Coalition window re-executions across all grids (telemetry).
+static RETRIES: Counter = Counter::new();
+/// Coalitions quarantined (counted once per window they sit out).
+static QUARANTINES: Counter = Counter::new();
+/// Quarantined coalitions re-admitted by a successful probe.
+static READMISSIONS: Counter = Counter::new();
+
+fn register_fault_metrics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        pem_telemetry::register_counter("fault/retries", &RETRIES);
+        pem_telemetry::register_counter("fault/quarantines", &QUARANTINES);
+        pem_telemetry::register_counter("fault/readmissions", &READMISSIONS);
+    });
+}
 
 /// Which execution engine runs a window's coalition jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,6 +83,70 @@ impl std::str::FromStr for Engine {
     }
 }
 
+/// How the orchestrator treats a failed coalition window.
+///
+/// `max_attempts` counts *re-executions* after the initial run. Each
+/// retry restores the coalition's pre-window checkpoint (DRBG position,
+/// randomizer pool) and replays the window on a side DRBG stream salted
+/// by `(window, attempt)` — attempt `k` of window `w` is therefore
+/// bit-reproducible, and a successful retry leaves the primary stream
+/// exactly where an untroubled window would have. A coalition that
+/// exhausts its attempts is quarantined: excluded from settlement and
+/// coupling for the window and probed for re-admission next window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-executions after the initial attempt (`0` = quarantine on the
+    /// first failure).
+    pub max_attempts: u32,
+    /// Wall-clock pause between attempts, in milliseconds. Never
+    /// touches the virtual clocks, so fingerprints are unaffected.
+    pub backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_ms: 0,
+        }
+    }
+}
+
+/// A deterministic fault injected into one coalition's window fabric —
+/// the chaos-testing hook of the orchestrator (attached with
+/// [`GridOrchestrator::with_chaos`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosSpec {
+    /// Target shard index.
+    pub shard: usize,
+    /// Message label the fault matches.
+    pub label: &'static str,
+    /// Which matching message (0-based) the fault hits.
+    pub nth: u64,
+    /// The fault applied.
+    pub kind: FaultKind,
+    /// `false`: transient — only the first attempt of a window is
+    /// faulted, so a retry clears. `true`: persistent — every attempt
+    /// (including re-admission probes) is faulted.
+    pub persistent: bool,
+    /// Restrict the fault to one grid window (`None` = every window).
+    pub window: Option<u64>,
+}
+
+/// The fault plan a shard's `attempt` of grid `window` runs under.
+fn chaos_plan(specs: &[ChaosSpec], shard: usize, window: u64, attempt: u32) -> Option<FaultPlan> {
+    let mut plan = FaultPlan::new();
+    for spec in specs {
+        if spec.shard == shard
+            && spec.window.is_none_or(|w| w == window)
+            && (spec.persistent || attempt == 0)
+        {
+            plan = plan.inject(spec.label, spec.nth, spec.kind);
+        }
+    }
+    (!plan.is_empty()).then_some(plan)
+}
+
 /// Configuration of a sharded grid.
 #[derive(Debug, Clone)]
 pub struct GridConfig {
@@ -88,6 +170,8 @@ pub struct GridConfig {
     /// re-partitioning). `None` disables the subsystem entirely — grid
     /// reports are then bit-identical to a coupling-unaware build.
     pub coupling: Option<CouplingConfig>,
+    /// Recovery policy for failed coalition windows.
+    pub retry: RetryPolicy,
 }
 
 impl GridConfig {
@@ -133,6 +217,110 @@ fn shard_seed(master: u64, shard: usize, epoch: u64) -> u64 {
         .wrapping_add(epoch.wrapping_mul(0xD1B5_4A32_D192_ED03))
 }
 
+/// What one coalition's recovery-supervised window produced: the
+/// outcome (absent when quarantined) and the status verdict.
+type ShardRun = (Option<PemWindowOutcome>, CoalitionStatus);
+
+/// Retries a failed attempt 0 under the policy. Every attempt restores
+/// the pre-window checkpoint and replays via the blocking driver on a
+/// `(window, attempt)`-salted stream — the retry path is identical (and
+/// bit-reproducible) whichever engine ran the first attempt. Fatal
+/// (non-retryable) errors quarantine immediately.
+#[allow(clippy::too_many_arguments)] // the recovery context, spelled out
+fn retry_shard(
+    pem: &mut Pem,
+    data: &[AgentWindow],
+    cp: &PemCheckpoint,
+    first_err: PemError,
+    specs: &[ChaosSpec],
+    shard: usize,
+    window: u64,
+    retry: RetryPolicy,
+) -> ShardRun {
+    let mut err = first_err;
+    for attempt in 1..=retry.max_attempts {
+        if !err.is_retryable() {
+            break;
+        }
+        pem.restore(cp.clone());
+        if retry.backoff_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(retry.backoff_ms));
+        }
+        RETRIES.incr();
+        let span = Span::enter("grid/retry", "fault");
+        let result = pem.retry_window(data, attempt, chaos_plan(specs, shard, window, attempt));
+        span.finish();
+        match result {
+            Ok(out) => return (Some(out), CoalitionStatus::Recovered { attempts: attempt }),
+            Err(e) => err = e,
+        }
+    }
+    pem.restore(cp.clone());
+    QUARANTINES.incr();
+    (
+        None,
+        CoalitionStatus::Quarantined {
+            error: err.to_string(),
+        },
+    )
+}
+
+/// Maps a finished first attempt to its verdict, consuming retries on
+/// failure. A quarantined coalition's probe (`probe = true`) gets no
+/// retry budget: one clean window re-admits it, one failure keeps it
+/// out, and either way the checkpoint discipline keeps its primary
+/// stream deterministic.
+#[allow(clippy::too_many_arguments)] // the recovery context, spelled out
+fn settle_attempt(
+    pem: &mut Pem,
+    data: &[AgentWindow],
+    cp: PemCheckpoint,
+    first: Result<PemWindowOutcome, PemError>,
+    specs: &[ChaosSpec],
+    shard: usize,
+    window: u64,
+    retry: RetryPolicy,
+    probe: bool,
+) -> ShardRun {
+    match first {
+        Ok(out) if probe => {
+            READMISSIONS.incr();
+            (Some(out), CoalitionStatus::Recovered { attempts: 1 })
+        }
+        Ok(out) => (Some(out), CoalitionStatus::Cleared),
+        Err(e) if probe => {
+            pem.restore(cp);
+            QUARANTINES.incr();
+            (
+                None,
+                CoalitionStatus::Quarantined {
+                    error: e.to_string(),
+                },
+            )
+        }
+        Err(e) => retry_shard(pem, data, &cp, e, specs, shard, window, retry),
+    }
+}
+
+/// Runs one coalition window under the recovery policy on the blocking
+/// driver (the thread engine's job; also the shared retry path).
+fn run_shard_blocking(
+    pem: &mut Pem,
+    data: &[AgentWindow],
+    specs: &[ChaosSpec],
+    shard: usize,
+    window: u64,
+    retry: RetryPolicy,
+    probe: bool,
+) -> ShardRun {
+    let cp = pem.checkpoint();
+    let first = match chaos_plan(specs, shard, window, 0) {
+        Some(plan) => pem.run_window_with_faults(data, plan),
+        None => pem.run_window(data),
+    };
+    settle_attempt(pem, data, cp, first, specs, shard, window, retry, probe)
+}
+
 /// The sharded grid orchestrator.
 ///
 /// Partitions the population once (on the first window), spins up one
@@ -160,6 +348,12 @@ pub struct GridOrchestrator {
     repartitioner: Option<Repartitioner>,
     /// Re-partitions applied so far (also salts rebuilt shard seeds).
     epoch: u64,
+    /// Deterministic fault injections (chaos testing).
+    chaos: Vec<ChaosSpec>,
+    /// Per-shard quarantine flags carried across windows; sized when
+    /// shards form. A flagged shard runs a re-admission probe instead
+    /// of a full retried window.
+    quarantine: Vec<bool>,
 }
 
 impl GridOrchestrator {
@@ -196,7 +390,28 @@ impl GridOrchestrator {
             coupling,
             repartitioner,
             epoch: 0,
+            chaos: Vec::new(),
+            quarantine: Vec::new(),
         })
+    }
+
+    /// Attaches deterministic fault injections: each spec faults one
+    /// shard's window fabric. Chaos is orchestrator state, not
+    /// configuration — a healthy grid's reports carry no trace of the
+    /// machinery.
+    #[must_use]
+    pub fn with_chaos(mut self, specs: Vec<ChaosSpec>) -> GridOrchestrator {
+        self.chaos = specs;
+        self
+    }
+
+    /// Shards currently quarantined (empty before the first window).
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.quarantine
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, &q)| q.then_some(idx))
+            .collect()
     }
 
     /// Replaces the partitioner with a custom strategy (before the first
@@ -310,7 +525,10 @@ impl GridOrchestrator {
             .collect();
         let changed_idx: Vec<usize> = changed.iter().map(|(i, _)| *i).collect();
         let rebuilt = self.build_shards(changed)?;
-        let shards = self.shards.as_mut().expect("plan implies shards");
+        let shards = self
+            .shards
+            .as_mut()
+            .ok_or(SchedError::State("plan implies shards"))?;
         for (k, shard) in rebuilt.into_iter().enumerate() {
             shards[changed_idx[k]] = shard;
         }
@@ -319,23 +537,38 @@ impl GridOrchestrator {
             population.len(),
             self.cfg.coalition_size,
         ));
-        self.repartitioner.as_mut().expect("checked above").reset();
+        self.repartitioner
+            .as_mut()
+            .ok_or(SchedError::State("repartitioner checked above"))?
+            .reset();
         Ok(true)
     }
 
     /// Runs one grid-wide trading window over the whole population.
     ///
+    /// Coalition failures no longer abort the window: each failed shard
+    /// is retried under [`GridConfig::retry`] (bit-reproducibly, on a
+    /// salted DRBG stream) and quarantined when its attempts are
+    /// exhausted — the window settles degraded, with only the cleared
+    /// coalitions on the ledger and in the coupling round. Quarantined
+    /// shards carry over and are probed for re-admission next window.
+    ///
     /// # Errors
     ///
-    /// Shard protocol failures or settlement-contract violations.
+    /// Settlement-contract violations or orchestrator-state faults
+    /// (coalition *protocol* failures surface as
+    /// [`CoalitionStatus::Quarantined`] instead).
     ///
     /// # Panics
     ///
     /// Panics if `population` length changes between windows (coalition
     /// membership and keys are fixed after the first window).
     pub fn run_window(&mut self, population: &[AgentWindow]) -> Result<GridReport, SchedError> {
+        register_fault_metrics();
         self.form_shards(population)?;
-        let expected = self.population.expect("set by form_shards");
+        let expected = self
+            .population
+            .ok_or(SchedError::State("population recorded by form_shards"))?;
         assert_eq!(
             population.len(),
             expected,
@@ -353,57 +586,111 @@ impl GridOrchestrator {
         // A second watermark on the message-event buffer scopes the
         // causal critical-path attribution the same way.
         let msg_mark = pem_telemetry::msg_count();
-        let shards = self.shards.take().expect("formed above");
-        let jobs: Vec<(Shard, Vec<AgentWindow>)> = shards
+        let shards = self
+            .shards
+            .take()
+            .ok_or(SchedError::State("shards formed by form_shards"))?;
+        if self.quarantine.len() != shards.len() {
+            self.quarantine = vec![false; shards.len()];
+        }
+        let window = self.window;
+        let retry = self.cfg.retry;
+        let chaos = self.chaos.clone();
+        // `(shard index, probe?, shard, window data)` per coalition.
+        let jobs: Vec<(usize, bool, Shard, Vec<AgentWindow>)> = shards
             .into_iter()
-            .map(|shard| {
+            .enumerate()
+            .map(|(idx, shard)| {
                 let data: Vec<AgentWindow> = shard.members.iter().map(|&a| population[a]).collect();
-                (shard, data)
+                (idx, self.quarantine[idx], shard, data)
             })
             .collect();
-        let (shards, outcomes): (
-            Vec<Shard>,
-            Result<Vec<pem_core::PemWindowOutcome>, PemError>,
-        ) = match self.cfg.engine {
+        let (shards, runs): (Vec<Shard>, Vec<ShardRun>) = match self.cfg.engine {
             Engine::Threads => {
-                let finished = pool::run_indexed(self.cfg.workers, jobs, |_, (mut shard, data)| {
-                    let outcome = shard.pem.run_window(&data);
-                    (shard, outcome)
-                });
-                let mut shards = Vec::with_capacity(finished.len());
-                let mut outcomes = Vec::with_capacity(finished.len());
-                for (shard, outcome) in finished {
-                    shards.push(shard);
-                    outcomes.push(outcome);
-                }
-                (shards, outcomes.into_iter().collect())
+                let finished = pool::run_indexed(
+                    self.cfg.workers,
+                    jobs,
+                    move |_, (idx, probe, mut shard, data)| {
+                        let run = run_shard_blocking(
+                            &mut shard.pem,
+                            &data,
+                            &chaos,
+                            idx,
+                            window,
+                            retry,
+                            probe,
+                        );
+                        (shard, run)
+                    },
+                );
+                finished.into_iter().unzip()
             }
             Engine::Fabric { batch } => {
-                // Every coalition becomes a poll-able task; one
-                // executor thread interleaves them message by
-                // message. Outputs come back in shard order, so the
-                // fold below is identical to the thread engine's.
+                // Every coalition becomes a poll-able task; one executor
+                // thread interleaves them message by message, isolating
+                // failures per task (a wedged coalition is force-polled
+                // into its typed error and evicted). Results come back
+                // in shard order, so the fold below is identical to the
+                // thread engine's; retries run on the shared blocking
+                // path, which the fabric driver is bit-equivalent to.
                 let mut jobs = jobs;
-                let run: Result<Vec<pem_core::PemWindowOutcome>, PemError> = (|| {
-                    let tasks = jobs
-                        .iter_mut()
-                        .map(|(shard, data)| shard.pem.fabric_window(data))
-                        .collect::<Result<Vec<_>, _>>()?;
-                    let (outs, _report) = Executor::new(batch).run(tasks)?;
-                    Ok(outs)
-                })();
-                (jobs.into_iter().map(|(shard, _)| shard).collect(), run)
+                let checkpoints: Vec<PemCheckpoint> = jobs
+                    .iter()
+                    .map(|(_, _, shard, _)| shard.pem.checkpoint())
+                    .collect();
+                let mut attempt0: Vec<Option<Result<PemWindowOutcome, PemError>>> =
+                    jobs.iter().map(|_| None).collect();
+                let mut tasks = Vec::with_capacity(jobs.len());
+                let mut task_pos = Vec::with_capacity(jobs.len());
+                for (pos, (idx, _, shard, data)) in jobs.iter_mut().enumerate() {
+                    match shard
+                        .pem
+                        .fabric_window_with_faults(data, chaos_plan(&chaos, *idx, window, 0))
+                    {
+                        Ok(task) => {
+                            tasks.push(task);
+                            task_pos.push(pos);
+                        }
+                        Err(e) => attempt0[pos] = Some(Err(e)),
+                    }
+                }
+                let (outs, _report) = Executor::new(batch).run_collect(tasks);
+                for (pos, out) in task_pos.into_iter().zip(outs) {
+                    attempt0[pos] = Some(out);
+                }
+                jobs.into_iter()
+                    .zip(checkpoints)
+                    .zip(attempt0)
+                    .map(|(((idx, probe, mut shard, data), cp), first)| {
+                        let first = first.expect("every shard's attempt 0 resolved");
+                        let run = settle_attempt(
+                            &mut shard.pem,
+                            &data,
+                            cp,
+                            first,
+                            &chaos,
+                            idx,
+                            window,
+                            retry,
+                            probe,
+                        );
+                        (shard, run)
+                    })
+                    .unzip()
             }
         };
 
-        // Reinstall shard state before error propagation so one failed
-        // window doesn't wedge the orchestrator.
         self.shards = Some(shards);
-        let outcomes = outcomes?;
+        for (idx, (_, status)) in runs.iter().enumerate() {
+            self.quarantine[idx] = matches!(status, CoalitionStatus::Quarantined { .. });
+        }
+        let (outcomes, statuses): (Vec<Option<PemWindowOutcome>>, Vec<CoalitionStatus>) =
+            runs.into_iter().unzip();
 
         self.fold_window(
             population,
             outcomes,
+            statuses,
             repartitioned,
             telemetry_mark,
             msg_mark,
@@ -427,17 +714,23 @@ impl GridOrchestrator {
 
     /// Merges per-shard outcomes into the window's [`GridReport`],
     /// running the cross-shard coupling round (when configured) between
-    /// per-shard settlement and the final report.
+    /// per-shard settlement and the final report. Quarantined shards
+    /// (no outcome) are excluded from traffic, settlement and coupling;
+    /// their status rides in the report's roster.
     fn fold_window(
         &mut self,
         population: &[AgentWindow],
-        outcomes: Vec<pem_core::PemWindowOutcome>,
+        outcomes: Vec<Option<PemWindowOutcome>>,
+        statuses: Vec<CoalitionStatus>,
         repartitioned: bool,
         telemetry_mark: usize,
         msg_mark: usize,
     ) -> Result<GridReport, SchedError> {
         let agents = population.len();
-        let shards = self.shards.as_ref().expect("installed by run_window");
+        let shards = self
+            .shards
+            .as_ref()
+            .ok_or(SchedError::State("shards installed by run_window"))?;
         let window = self.window;
         self.window += 1;
 
@@ -459,6 +752,10 @@ impl GridOrchestrator {
             shard_total
         };
         for (idx, (shard, outcome)) in shards.iter().zip(outcomes.iter()).enumerate() {
+            let Some(outcome) = outcome else {
+                // Quarantined: no traffic, no regime, no settlement.
+                continue;
+            };
             net.merge_mapped(&outcome.net, &shard.members);
             cleared += outcome.trades.iter().map(|t| t.energy).sum::<f64>();
             payments += outcome.trades.iter().map(|t| t.payment).sum::<f64>();
@@ -500,11 +797,24 @@ impl GridOrchestrator {
         // its own attribution inside run_round).
         let window_msg_end = pem_telemetry::msg_count();
         let coupling_summary = if let Some(coord) = self.coupling.as_mut() {
+            // A quarantined coalition stands in with a neutral zero
+            // position (the coupling fabric is shard-indexed, so every
+            // slot must be filled): it neither exports nor imports, so
+            // the corridor clears over the healthy residuals only.
             let positions: Vec<ShardPosition> = shards
                 .iter()
                 .zip(outcomes.iter())
                 .enumerate()
                 .map(|(idx, (shard, outcome))| {
+                    let Some(outcome) = outcome.as_ref() else {
+                        return ShardPosition {
+                            shard: idx,
+                            traded: false,
+                            price: 0.0,
+                            cleared_kwh: 0.0,
+                            residual_kwh: 0.0,
+                        };
+                    };
                     // The representative publishes only coalition-level
                     // aggregates it already holds: the net position (what
                     // the coalition would otherwise settle with the
@@ -538,7 +848,12 @@ impl GridOrchestrator {
                 blocks_appended += 1;
             }
             if let Some(rep) = self.repartitioner.as_mut() {
-                let residuals: Vec<f64> = positions.iter().map(|p| p.residual_kwh).collect();
+                // Shard-indexed observation vector; quarantined shards
+                // observe their neutral 0.0 residual.
+                let mut residuals = vec![0.0; shards.len()];
+                for p in &positions {
+                    residuals[p.shard] = p.residual_kwh;
+                }
                 rep.observe(&residuals);
             }
             let mut summary = round.summary;
@@ -548,7 +863,7 @@ impl GridOrchestrator {
             None
         };
 
-        let outcome_refs: Vec<&pem_core::PemWindowOutcome> = outcomes.iter().collect();
+        let outcome_refs: Vec<&PemWindowOutcome> = outcomes.iter().flatten().collect();
         let latency = phase_latencies(&outcome_refs);
         let pool_stats =
             shards
@@ -566,16 +881,18 @@ impl GridOrchestrator {
             .ledger
             .blocks()
             .last()
-            .expect("genesis always present")
+            .ok_or(SchedError::State("genesis block always present"))?
             .hash;
         let shard_outcomes: Vec<ShardOutcome> = shards
             .iter()
             .zip(outcomes)
             .enumerate()
-            .map(|(idx, (shard, outcome))| ShardOutcome {
-                shard: idx,
-                members: shard.members.clone(),
-                outcome,
+            .filter_map(|(idx, (shard, outcome))| {
+                outcome.map(|outcome| ShardOutcome {
+                    shard: idx,
+                    members: shard.members.clone(),
+                    outcome,
+                })
             })
             .collect();
 
@@ -604,6 +921,7 @@ impl GridOrchestrator {
             window,
             agents,
             shard_outcomes,
+            statuses,
             cleared_kwh: cleared,
             payments_cents: payments,
             regime_counts: regimes,
@@ -654,6 +972,7 @@ mod tests {
             engine: Engine::Threads,
             strategy: PartitionStrategy::SurplusBalanced,
             coupling: None,
+            retry: RetryPolicy::default(),
         }
     }
 

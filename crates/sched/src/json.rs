@@ -9,7 +9,7 @@
 use pem_net::NetStats;
 use pem_telemetry::{CriticalPathReport, ProfileSummary};
 
-use crate::report::{GridDayReport, GridReport, PriceStats};
+use crate::report::{CoalitionStatus, GridDayReport, GridReport, PriceStats};
 
 /// Escapes a string for a JSON literal.
 fn escape(s: &str) -> String {
@@ -203,6 +203,38 @@ impl GridReport {
             Some(c) => out.push_str(&format!("\"causal\":{},", causal_json(c))),
             None => out.push_str("\"causal\":null,"),
         }
+        let statuses: Vec<String> = self
+            .statuses
+            .iter()
+            .map(|s| match s {
+                CoalitionStatus::Cleared => "{\"status\":\"cleared\"}".into(),
+                CoalitionStatus::Recovered { attempts } => {
+                    format!("{{\"status\":\"recovered\",\"attempts\":{attempts}}}")
+                }
+                CoalitionStatus::Quarantined { error } => {
+                    format!(
+                        "{{\"status\":\"quarantined\",\"error\":\"{}\"}}",
+                        escape(error)
+                    )
+                }
+            })
+            .collect();
+        out.push_str(&format!("\"statuses\":[{}],", statuses.join(",")));
+        let shard_fps: Vec<String> = self
+            .shard_outcomes
+            .iter()
+            .map(|so| {
+                format!(
+                    "{{\"shard\":{},\"fingerprint\":\"{}\"}}",
+                    so.shard,
+                    hex(&so.fingerprint())
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "\"shard_fingerprints\":[{}],",
+            shard_fps.join(",")
+        ));
         out.push_str(&format!("\"fingerprint\":\"{}\"", hex(&self.fingerprint())));
         out.push('}');
         out

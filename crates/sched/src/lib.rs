@@ -30,7 +30,7 @@
 //! ```
 //! use pem_core::PemConfig;
 //! use pem_market::AgentWindow;
-//! use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy};
+//! use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy, RetryPolicy};
 //!
 //! // 12 agents, coalitions of at most 4, two workers.
 //! let population: Vec<AgentWindow> = (0..12)
@@ -49,6 +49,7 @@
 //!     engine: Engine::Threads,
 //!     strategy: PartitionStrategy::SurplusBalanced,
 //!     coupling: None,
+//!     retry: RetryPolicy::default(),
 //! })?;
 //! let report = grid.run_window(&population)?;
 //! assert_eq!(report.shard_outcomes.len(), 3);
@@ -68,12 +69,12 @@ pub mod pool;
 mod report;
 
 pub use error::SchedError;
-pub use grid::{Engine, GridConfig, GridOrchestrator};
+pub use grid::{ChaosSpec, Engine, GridConfig, GridOrchestrator, RetryPolicy};
 pub use partition::{
     FeederTopology, PartitionStrategy, Partitioner, RoundRobin, ShardPlan, SurplusBalanced,
 };
 pub use pem_coupling::{CouplingConfig, CouplingSummary, RepartitionConfig};
 pub use report::{
-    GridDayReport, GridReport, LatencyPercentiles, PhaseLatencies, PriceStats, SettlementSummary,
-    ShardOutcome,
+    CoalitionStatus, GridDayReport, GridReport, LatencyPercentiles, PhaseLatencies, PriceStats,
+    SettlementSummary, ShardOutcome,
 };

@@ -19,6 +19,85 @@ pub struct ShardOutcome {
     pub outcome: PemWindowOutcome,
 }
 
+impl ShardOutcome {
+    /// Canonical digest of this shard's deterministic contribution
+    /// alone: membership, regime, price, trades and the sanctioned
+    /// disclosure surface. Because each coalition owns an independent
+    /// seed stream, a healthy shard's fingerprint is bit-identical
+    /// between a fault-free run and a degraded run that quarantined
+    /// *other* shards — the per-shard invariant the chaos doctor checks.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        let mut buf = Vec::with_capacity(96);
+        buf.extend_from_slice(b"pem-shard-v1");
+        self.fold(&mut buf);
+        sha256(&buf)
+    }
+
+    /// Appends the shard's canonical serialization (the per-shard chunk
+    /// of [`GridReport::fingerprint`]) to `buf`.
+    fn fold(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.shard as u64).to_be_bytes());
+        buf.extend_from_slice(&(self.members.len() as u64).to_be_bytes());
+        for &m in &self.members {
+            buf.extend_from_slice(&(m as u64).to_be_bytes());
+        }
+        buf.push(match self.outcome.kind {
+            MarketKind::General => 0,
+            MarketKind::Extreme => 1,
+            MarketKind::NoMarket => 2,
+        });
+        buf.extend_from_slice(&self.outcome.price.to_bits().to_be_bytes());
+        buf.extend_from_slice(&(self.outcome.trades.len() as u64).to_be_bytes());
+        for t in &self.outcome.trades {
+            buf.extend_from_slice(&(t.seller.0 as u64).to_be_bytes());
+            buf.extend_from_slice(&(t.buyer.0 as u64).to_be_bytes());
+            buf.extend_from_slice(&t.energy.to_bits().to_be_bytes());
+            buf.extend_from_slice(&t.payment.to_bits().to_be_bytes());
+        }
+        // The sanctioned disclosure surface is seed-dependent (nonce
+        // masses, ratio quantization); folding it in makes the
+        // fingerprint sensitive to the crypto streams as well.
+        // Options get a presence byte and the ratio list a length
+        // prefix so the serialization stays injective.
+        let rev = &self.outcome.revealed;
+        for masked in [rev.masked_demand, rev.masked_supply] {
+            match masked {
+                Some(v) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&v.to_be_bytes());
+                }
+                None => buf.push(0),
+            }
+        }
+        buf.extend_from_slice(&(rev.allocation_ratios.len() as u64).to_be_bytes());
+        for r in &rev.allocation_ratios {
+            buf.extend_from_slice(&r.to_bits().to_be_bytes());
+        }
+    }
+}
+
+/// How a coalition's window concluded under the recovery layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoalitionStatus {
+    /// The first attempt succeeded.
+    Cleared,
+    /// A transient failure was retried away.
+    Recovered {
+        /// Re-executions consumed (1-based; a successful re-admission
+        /// probe after a quarantined window also reports 1).
+        attempts: u32,
+    },
+    /// Every attempt failed: the coalition is excluded from this
+    /// window's settlement and coupling, and carried over for a
+    /// re-admission probe next window.
+    Quarantined {
+        /// Display form of the last error. Deliberately excluded from
+        /// fingerprints — error *strings* may differ across engines
+        /// even when the error class is identical.
+        error: String,
+    },
+}
+
 /// Dispersion of clearing prices across the trading coalitions.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PriceStats {
@@ -139,8 +218,13 @@ pub struct GridReport {
     pub window: u64,
     /// Population size.
     pub agents: usize,
-    /// Per-coalition outcomes, in shard order.
+    /// Per-coalition outcomes, in shard order. Quarantined coalitions
+    /// contribute no outcome: their shard indices are simply absent
+    /// (see [`statuses`](GridReport::statuses) for the full roster).
     pub shard_outcomes: Vec<ShardOutcome>,
+    /// Recovery verdict for every coalition, indexed by shard. All
+    /// [`CoalitionStatus::Cleared`] on a healthy run.
+    pub statuses: Vec<CoalitionStatus>,
     /// Total energy cleared peer-to-peer (kWh).
     pub cleared_kwh: f64,
     /// Total payments settled (cents).
@@ -191,43 +275,7 @@ impl GridReport {
         buf.extend_from_slice(&self.window.to_be_bytes());
         buf.extend_from_slice(&(self.agents as u64).to_be_bytes());
         for so in &self.shard_outcomes {
-            buf.extend_from_slice(&(so.shard as u64).to_be_bytes());
-            buf.extend_from_slice(&(so.members.len() as u64).to_be_bytes());
-            for &m in &so.members {
-                buf.extend_from_slice(&(m as u64).to_be_bytes());
-            }
-            buf.push(match so.outcome.kind {
-                MarketKind::General => 0,
-                MarketKind::Extreme => 1,
-                MarketKind::NoMarket => 2,
-            });
-            buf.extend_from_slice(&so.outcome.price.to_bits().to_be_bytes());
-            buf.extend_from_slice(&(so.outcome.trades.len() as u64).to_be_bytes());
-            for t in &so.outcome.trades {
-                buf.extend_from_slice(&(t.seller.0 as u64).to_be_bytes());
-                buf.extend_from_slice(&(t.buyer.0 as u64).to_be_bytes());
-                buf.extend_from_slice(&t.energy.to_bits().to_be_bytes());
-                buf.extend_from_slice(&t.payment.to_bits().to_be_bytes());
-            }
-            // The sanctioned disclosure surface is seed-dependent (nonce
-            // masses, ratio quantization); folding it in makes the
-            // fingerprint sensitive to the crypto streams as well.
-            // Options get a presence byte and the ratio list a length
-            // prefix so the serialization stays injective.
-            let rev = &so.outcome.revealed;
-            for masked in [rev.masked_demand, rev.masked_supply] {
-                match masked {
-                    Some(v) => {
-                        buf.push(1);
-                        buf.extend_from_slice(&v.to_be_bytes());
-                    }
-                    None => buf.push(0),
-                }
-            }
-            buf.extend_from_slice(&(rev.allocation_ratios.len() as u64).to_be_bytes());
-            for r in &rev.allocation_ratios {
-                buf.extend_from_slice(&r.to_bits().to_be_bytes());
-            }
+            so.fold(&mut buf);
         }
         buf.extend_from_slice(&self.net.total_bytes.to_be_bytes());
         buf.extend_from_slice(&self.net.total_messages.to_be_bytes());
@@ -244,6 +292,25 @@ impl GridReport {
             buf.extend_from_slice(&cs.transferred_kwh.to_bits().to_be_bytes());
             buf.extend_from_slice(&cs.net.total_bytes.to_be_bytes());
             buf.extend_from_slice(&cs.net.total_messages.to_be_bytes());
+        }
+        // The degraded section is folded in only when the recovery layer
+        // actually intervened, so healthy-run fingerprints stay
+        // bit-identical to pre-recovery goldens. Status tags and attempt
+        // counts are deterministic; error strings are not folded (they
+        // may differ across engines for the same error class).
+        if self.statuses.iter().any(|s| *s != CoalitionStatus::Cleared) {
+            buf.extend_from_slice(b"pem-degraded-v1");
+            buf.extend_from_slice(&(self.statuses.len() as u64).to_be_bytes());
+            for status in &self.statuses {
+                match status {
+                    CoalitionStatus::Cleared => buf.push(0),
+                    CoalitionStatus::Recovered { attempts } => {
+                        buf.push(1);
+                        buf.extend_from_slice(&attempts.to_be_bytes());
+                    }
+                    CoalitionStatus::Quarantined { .. } => buf.push(2),
+                }
+            }
         }
         sha256(&buf)
     }

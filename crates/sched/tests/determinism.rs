@@ -9,7 +9,7 @@
 use pem_core::PemConfig;
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::AgentWindow;
-use pem_sched::{Engine, GridConfig, GridOrchestrator, GridReport, PartitionStrategy};
+use pem_sched::{Engine, GridConfig, GridOrchestrator, GridReport, PartitionStrategy, RetryPolicy};
 
 fn grid_config(workers: usize, strategy: PartitionStrategy) -> GridConfig {
     GridConfig {
@@ -20,6 +20,7 @@ fn grid_config(workers: usize, strategy: PartitionStrategy) -> GridConfig {
         engine: Engine::Threads,
         strategy,
         coupling: None,
+        retry: RetryPolicy::default(),
     }
 }
 

@@ -6,7 +6,7 @@
 use pem_core::PemConfig;
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::AgentWindow;
-use pem_sched::{Engine, GridConfig, GridOrchestrator, GridReport, PartitionStrategy};
+use pem_sched::{Engine, GridConfig, GridOrchestrator, GridReport, PartitionStrategy, RetryPolicy};
 
 fn grid_config(engine: Engine) -> GridConfig {
     GridConfig {
@@ -18,6 +18,7 @@ fn grid_config(engine: Engine) -> GridConfig {
         engine,
         strategy: PartitionStrategy::SurplusBalanced,
         coupling: None,
+        retry: RetryPolicy::default(),
     }
 }
 

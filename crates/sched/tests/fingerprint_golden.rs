@@ -11,7 +11,7 @@
 use pem_core::PemConfig;
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::AgentWindow;
-use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy};
+use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy, RetryPolicy};
 
 fn day(windows: usize, homes: usize) -> Vec<Vec<AgentWindow>> {
     let trace = TraceGenerator::new(TraceConfig {
@@ -32,6 +32,7 @@ fn fingerprints(workers: usize) -> Vec<String> {
         engine: Engine::Threads,
         strategy: PartitionStrategy::SurplusBalanced,
         coupling: None,
+        retry: RetryPolicy::default(),
     })
     .expect("grid");
     day(2, 40)

@@ -10,7 +10,7 @@
 use pem_core::PemConfig;
 use pem_data::{TraceConfig, TraceGenerator};
 use pem_market::AgentWindow;
-use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy};
+use pem_sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy, RetryPolicy};
 use pem_telemetry as telemetry;
 
 fn day(windows: usize, homes: usize) -> Vec<Vec<AgentWindow>> {
@@ -32,6 +32,7 @@ fn run(workers: usize) -> Vec<pem_sched::GridReport> {
         engine: Engine::Threads,
         strategy: PartitionStrategy::SurplusBalanced,
         coupling: None,
+        retry: RetryPolicy::default(),
     })
     .expect("grid");
     day(2, 40)

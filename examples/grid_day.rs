@@ -18,6 +18,11 @@
 //! # Observability: Chrome trace (chrome://tracing / Perfetto) and a
 //! # machine-readable full-day report.
 //! cargo run --release --example grid_day -- --trace day.trace.json --json day.json
+//! # Chaos smoke: a committed per-coalition fault plan (persistent stall
+//! # on shard 0, transient drop on shard 1) with one retry per window —
+//! # the day completes degraded, shard 0 quarantined, shard 1 recovered,
+//! # every healthy coalition bit-identical to the fault-free run.
+//! cargo run --release --example grid_day -- --chaos --retries 1 --json chaos.json
 //! ```
 
 use std::time::Instant;
@@ -25,8 +30,11 @@ use std::time::Instant;
 use pem::core::PemConfig;
 use pem::coupling::{CouplingConfig, RepartitionConfig};
 use pem::data::{TraceConfig, TraceGenerator};
-use pem::net::LatencyModel;
-use pem::sched::{Engine, GridConfig, GridOrchestrator, PartitionStrategy};
+use pem::net::{FaultKind, LatencyModel};
+use pem::sched::{
+    ChaosSpec, CoalitionStatus, Engine, GridConfig, GridOrchestrator, PartitionStrategy,
+    RetryPolicy,
+};
 
 /// `--flag value` lookup over `std::env::args` (no external deps).
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -81,6 +89,8 @@ fn main() {
         // outputs are bit-identical either way.
         pem::telemetry::install();
     }
+    let retries: u32 = arg("--retries", 1);
+    let chaos = flag("--chaos");
     let couple = flag("--couple") || flag("--repartition");
     let coupling = couple.then(|| {
         let cfg = CouplingConfig::fast_test().with_latency(latency);
@@ -93,8 +103,9 @@ fn main() {
 
     println!("== PEM grid day ==");
     println!(
-        "homes {homes} | windows {windows} | coalition ≤{coalition} | workers {workers} | engine {engine} | randomizer pool {pool}/key | coupling {} | latency {latency_name}",
-        if couple { "on" } else { "off" }
+        "homes {homes} | windows {windows} | coalition ≤{coalition} | workers {workers} | engine {engine} | randomizer pool {pool}/key | coupling {} | latency {latency_name} | chaos {} | retries {retries}",
+        if couple { "on" } else { "off" },
+        if chaos { "on" } else { "off" },
     );
 
     // A full 24h of 15-minute windows at one-in-three solar penetration:
@@ -136,8 +147,36 @@ fn main() {
         engine,
         strategy,
         coupling,
+        retry: RetryPolicy {
+            max_attempts: retries,
+            backoff_ms: 0,
+        },
     })
     .expect("grid configuration");
+    if chaos {
+        // The committed chaos-smoke fault plan: shard 0's demand
+        // aggregation stalls on every attempt (quarantined all day),
+        // shard 1's supply aggregation drops once per window on the
+        // first attempt only (recovers via one deterministic retry).
+        grid = grid.with_chaos(vec![
+            ChaosSpec {
+                shard: 0,
+                label: "eval/demand-agg",
+                nth: 0,
+                kind: FaultKind::Stall,
+                persistent: true,
+                window: None,
+            },
+            ChaosSpec {
+                shard: 1,
+                label: "eval/supply-agg",
+                nth: 0,
+                kind: FaultKind::Drop,
+                persistent: false,
+                window: None,
+            },
+        ]);
+    }
 
     // Front-load coalition formation + keygen (parallel on the pool).
     let setup = Instant::now();
@@ -211,6 +250,29 @@ fn main() {
                 phases.join(", "),
             );
         }
+        let mut recovered: Vec<String> = Vec::new();
+        let mut quarantined: Vec<String> = Vec::new();
+        for (shard, status) in w.statuses.iter().enumerate() {
+            match status {
+                CoalitionStatus::Cleared => {}
+                CoalitionStatus::Recovered { attempts } => {
+                    recovered.push(format!(
+                        "{shard} ({attempts} retr{})",
+                        if *attempts == 1 { "y" } else { "ies" }
+                    ));
+                }
+                CoalitionStatus::Quarantined { error } => {
+                    quarantined.push(format!("{shard} [{error}]"));
+                }
+            }
+        }
+        if !recovered.is_empty() || !quarantined.is_empty() {
+            println!(
+                "        └ degraded: recovered [{}] | quarantined [{}]",
+                recovered.join(", "),
+                quarantined.join(", "),
+            );
+        }
     }
 
     let agents_windows = (homes * windows) as f64;
@@ -250,6 +312,19 @@ fn main() {
         grid.ledger().blocks().len(),
         report.ledger_valid
     );
+    let degraded: usize = report
+        .windows
+        .iter()
+        .flat_map(|w| &w.statuses)
+        .filter(|s| !matches!(s, CoalitionStatus::Cleared))
+        .count();
+    if degraded > 0 {
+        let q = grid.quarantined();
+        println!(
+            "fault tolerance    {:>12} degraded coalition-windows; quarantined at close: {:?}",
+            degraded, q
+        );
+    }
     let tip = grid.ledger().blocks().last().expect("tip").hash;
     let hex: String = tip.iter().map(|b| format!("{b:02x}")).collect();
     println!("chain tip          {hex}");

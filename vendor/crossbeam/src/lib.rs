@@ -32,6 +32,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout expired.
+        Timeout,
+        /// Every sender has disconnected.
+        Disconnected,
+    }
+
     impl<T> Sender<T> {
         /// Sends a message, failing if the channel is disconnected.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
@@ -51,6 +60,16 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, RecvError> {
             let guard = self.inner.lock().expect("channel mutex poisoned");
             guard.try_recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks until a message arrives, every sender is gone, or the
+        /// timeout expires — whichever happens first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let guard = self.inner.lock().expect("channel mutex poisoned");
+            guard.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
     }
 
